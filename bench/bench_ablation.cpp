@@ -1,0 +1,163 @@
+// Ablation study over the design choices DESIGN.md §5a calls out:
+// which parts of the calibrated similarity pipeline actually carry the
+// detection quality? Each row disables/changes one knob and reruns an
+// E1-style classification (SCAGuard only) on the same dataset, reporting
+// macro F1 over the four attack families plus the benign false-positive
+// rate.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "attacks/registry.h"
+#include "cfg/cfg.h"
+#include "eval/experiments.h"
+#include "support/table.h"
+
+using namespace scag;
+using core::Family;
+
+namespace {
+
+struct Variant {
+  std::string name;
+  core::ModelConfig model;
+  core::DtwConfig dtw;
+};
+
+struct Outcome {
+  Prf prf;
+  double benign_fp = 0.0;
+};
+
+Outcome evaluate(const Variant& variant, const eval::Dataset& ds) {
+  // Enroll the designated PoC per family, modeled under this variant's
+  // configuration (the repository must be built with the same pipeline the
+  // targets are modeled with).
+  core::Detector detector(variant.model, variant.dtw, eval::kThreshold);
+  const core::ModelBuilder builder(variant.model);
+  for (const auto& [family, poc_name] :
+       {std::pair{Family::kFlushReload, "FR-IAIK"},
+        std::pair{Family::kPrimeProbe, "PP-IAIK"},
+        std::pair{Family::kSpectreFR, "Spectre-FR-Ideal"},
+        std::pair{Family::kSpectrePP, "Spectre-PP-Trippel"}}) {
+    const auto& spec = attacks::poc_by_name(poc_name);
+    detector.enroll(builder.build(spec.build(attacks::PocConfig{}), family));
+  }
+
+  eval::ConfusionMatrix cm;
+  std::size_t benign_total = 0, benign_fp = 0;
+  auto classify = [&](const eval::Sample& sample) {
+    const cfg::Cfg cfg = cfg::Cfg::build(sample.program);
+    const core::AttackModel m =
+        builder.build_from_profile(cfg, sample.profile, sample.family);
+    return detector.scan(m.sequence).verdict;
+  };
+  for (const eval::Sample& sample : ds.attacks)
+    cm.add(sample.family, classify(sample));
+  for (const eval::Sample& sample : ds.benign) {
+    const Family verdict = classify(sample);
+    cm.add(Family::kBenign, verdict);
+    ++benign_total;
+    benign_fp += verdict != Family::kBenign;
+  }
+
+  Outcome out;
+  out.prf = cm.macro({Family::kFlushReload, Family::kPrimeProbe,
+                      Family::kSpectreFR, Family::kSpectrePP});
+  out.benign_fp = benign_total == 0
+                      ? 0.0
+                      : static_cast<double>(benign_fp) /
+                            static_cast<double>(benign_total);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = bench::samples_from_argv(argc, argv, 100);
+  eval::DatasetConfig config;
+  config.samples_per_type = n;
+  config.obfuscated_per_family = 0;  // ablation uses the E1-style corpus
+  std::printf("Generating dataset (%zu per type)...\n", n);
+  const eval::Dataset ds = eval::generate_dataset(config);
+
+  std::vector<Variant> variants;
+  {
+    Variant v;
+    v.name = "calibrated (deployed)";
+    v.model = eval::experiment_model_config();
+    v.dtw = eval::experiment_dtw_config();
+    variants.push_back(v);
+  }
+  {
+    Variant v = variants[0];
+    v.name = "paper-literal distance (full tokens, 1/(1+D))";
+    v.dtw = core::DtwConfig{};  // accumulated, gamma 1, full tokens
+    variants.push_back(v);
+  }
+  {
+    Variant v = variants[0];
+    v.name = "full-token alphabet (rest calibrated)";
+    v.dtw.distance.alphabet = core::IsAlphabet::kFullTokens;
+    variants.push_back(v);
+  }
+  {
+    Variant v = variants[0];
+    v.name = "accumulated DTW (no path averaging)";
+    v.dtw.normalization = core::DtwNormalization::kAccumulated;
+    variants.push_back(v);
+  }
+  {
+    Variant v = variants[0];
+    v.name = "gamma = 1 (shallow similarity mapping)";
+    v.dtw.gamma = 1.0;
+    variants.push_back(v);
+  }
+  {
+    Variant v = variants[0];
+    v.name = "no length penalty";
+    v.dtw.length_penalty = 0.0;
+    variants.push_back(v);
+  }
+  {
+    Variant v = variants[0];
+    v.name = "IS only (no CSP component)";
+    v.dtw.distance.is_weight = 1.0;
+    variants.push_back(v);
+  }
+  {
+    Variant v = variants[0];
+    v.name = "CSP only (no instruction component)";
+    v.dtw.distance.is_weight = 0.0;
+    variants.push_back(v);
+  }
+  {
+    Variant v = variants[0];
+    v.name = "no step-2 BB filtering";
+    v.model.relevant.skip_step_two = true;
+    variants.push_back(v);
+  }
+  {
+    Variant v = variants[0];
+    v.name = "Sakoe-Chiba window = 3";
+    v.dtw.window = 3;
+    variants.push_back(v);
+  }
+
+  Table t("\nABLATION: E1-style classification, SCAGuard only");
+  t.header({"Variant", "Precision", "Recall", "F1", "Benign FP rate"});
+  for (const Variant& v : variants) {
+    const Outcome out = evaluate(v, ds);
+    t.row({v.name, pct(out.prf.precision), pct(out.prf.recall),
+           pct(out.prf.f1), pct(out.benign_fp)});
+    std::printf("  done: %s\n", v.name.c_str());
+  }
+  t.print();
+
+  std::puts(
+      "\nReading guide: the deployed calibration should dominate. The\n"
+      "paper-literal distance collapses at this program scale (DESIGN.md\n"
+      "5a); removing CSP or the instruction component shows both carry\n"
+      "signal; disabling step-2 filtering admits noisy blocks into the\n"
+      "models; a tight DTW window barely hurts (sequences are short).");
+  return 0;
+}

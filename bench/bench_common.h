@@ -1,0 +1,43 @@
+// Shared helpers for the table/figure reproduction binaries.
+//
+// Every binary accepts an optional sample count:
+//     bench_table6_classification [samples_per_type]
+// The default is the paper's 400 per attack type. Use a smaller value for
+// a quick run (e.g. 40).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "eval/dataset.h"
+#include "support/strings.h"
+
+namespace scag::bench {
+
+inline std::size_t samples_from_argv(int argc, char** argv,
+                                     std::size_t fallback = 400) {
+  if (argc > 1) {
+    const long v = std::strtol(argv[1], nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+
+inline eval::Dataset make_dataset(std::size_t samples_per_type) {
+  eval::DatasetConfig config;
+  config.samples_per_type = samples_per_type;
+  config.obfuscated_per_family = samples_per_type;
+  std::printf(
+      "Generating dataset: %zu samples per attack type, %zu obfuscated per "
+      "family, %zu benign...\n",
+      samples_per_type, samples_per_type, samples_per_type);
+  return eval::generate_dataset(config);
+}
+
+/// "ours vs paper" annotation for a percentage cell.
+inline std::string vs_paper(double ours, double paper) {
+  return pct(ours) + " (paper " + pct(paper) + ")";
+}
+
+}  // namespace scag::bench

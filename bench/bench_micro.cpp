@@ -1,0 +1,144 @@
+// Engineering microbenchmarks (google-benchmark): throughput of the
+// building blocks — interpreter, cache hierarchy, CFG recovery, model
+// construction, Levenshtein, and DTW scaling.
+#include <benchmark/benchmark.h>
+
+#include "attacks/registry.h"
+#include "cache/hierarchy.h"
+#include "cfg/cfg.h"
+#include "core/detector.h"
+#include "core/distance.h"
+#include "core/dtw.h"
+#include "cpu/interpreter.h"
+#include "isa/builder.h"
+#include "eval/experiments.h"
+#include "support/rng.h"
+
+using namespace scag;
+
+namespace {
+
+isa::Program fr_poc() {
+  return attacks::poc_by_name("FR-IAIK").build(attacks::PocConfig{});
+}
+
+void BM_CacheHierarchyLoad(benchmark::State& state) {
+  cache::CacheHierarchy h;
+  Rng rng(1);
+  std::vector<std::uint64_t> addrs;
+  for (int i = 0; i < 4096; ++i) addrs.push_back(rng.below(1 << 22) & ~63ULL);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        h.load(addrs[i++ & 4095], cache::Owner::kAttacker));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheHierarchyLoad);
+
+void BM_InterpreterRunFrPoc(benchmark::State& state) {
+  const isa::Program poc = fr_poc();
+  for (auto _ : state) {
+    cpu::Interpreter interp;
+    benchmark::DoNotOptimize(interp.run(poc).cycles);
+  }
+}
+BENCHMARK(BM_InterpreterRunFrPoc);
+
+void BM_InterpreterThroughput(benchmark::State& state) {
+  // Instructions-per-second over a tight arithmetic loop.
+  const isa::Program p = [] {
+    isa::ProgramBuilder b("tight");
+    b.mov(isa::reg(isa::Reg::RCX), isa::imm(100000));
+    b.label("loop");
+    b.add(isa::reg(isa::Reg::RAX), isa::imm(3));
+    b.xor_(isa::reg(isa::Reg::RAX), isa::reg(isa::Reg::RCX));
+    b.dec(isa::reg(isa::Reg::RCX));
+    b.jne("loop");
+    b.hlt();
+    return b.build();
+  }();
+  std::uint64_t retired = 0;
+  for (auto _ : state) {
+    cpu::Interpreter interp;
+    retired = interp.run(p).profile.retired;
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * retired));
+}
+BENCHMARK(BM_InterpreterThroughput);
+
+void BM_CfgBuild(benchmark::State& state) {
+  const isa::Program poc = fr_poc();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cfg::Cfg::build(poc).num_blocks());
+  }
+}
+BENCHMARK(BM_CfgBuild);
+
+void BM_ModelBuildFull(benchmark::State& state) {
+  const isa::Program poc = fr_poc();
+  const core::ModelBuilder builder(eval::experiment_model_config());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        builder.build(poc, core::Family::kFlushReload).sequence.size());
+  }
+}
+BENCHMARK(BM_ModelBuildFull);
+
+void BM_Levenshtein(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const std::vector<std::string> alphabet = {"mov reg, mem", "add reg, imm",
+                                             "clflush mem", "jl mem"};
+  std::vector<std::string> a, b;
+  for (std::size_t i = 0; i < n; ++i) {
+    a.push_back(rng.pick(alphabet));
+    b.push_back(rng.pick(alphabet));
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(core::levenshtein(a, b));
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Levenshtein)->Range(8, 512)->Complexity(benchmark::oNSquared);
+
+void BM_DtwSimilarity(benchmark::State& state) {
+  // DTW over synthetic CST-BBS sequences of the given length.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  auto make_seq = [&rng, n] {
+    core::CstBbs seq;
+    const std::vector<std::string> tokens = {"flush", "time", "load", "store",
+                                             "br"};
+    for (std::size_t i = 0; i < n; ++i) {
+      core::CstBbsElement e;
+      for (std::uint64_t k = 0; k < 2 + rng.below(4); ++k)
+        e.sem_tokens.push_back(rng.pick(tokens));
+      e.cst.before = {0.0, 1.0};
+      e.cst.after = {rng.uniform01() * 0.5, 1.0 - rng.uniform01() * 0.5};
+      seq.push_back(e);
+    }
+    return seq;
+  };
+  const core::CstBbs a = make_seq(), b = make_seq();
+  const core::DtwConfig config = core::calibrated_dtw_config();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::similarity(a, b, config));
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DtwSimilarity)->Range(4, 256)->Complexity(benchmark::oNSquared);
+
+void BM_DetectorScan(benchmark::State& state) {
+  const core::Detector d = eval::make_scaguard(
+      {core::Family::kFlushReload, core::Family::kPrimeProbe,
+       core::Family::kSpectreFR, core::Family::kSpectrePP});
+  const isa::Program target =
+      attacks::poc_by_name("ER-IAIK").build(attacks::PocConfig{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.scan(target).best_score);
+  }
+}
+BENCHMARK(BM_DetectorScan);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// Robustness experiment (extension): how does each detector degrade as the
+// HPC measurement noise grows? The learning baselines consume the sampled
+// counter time series directly, so jitter eats their margins; SCAGuard's
+// pipeline thresholds per-block event counts at "nonzero" and works from
+// structure, so it should stay flat. The anomaly detector's benign envelope
+// widens with noise, costing detection.
+#include <cstdio>
+
+#include "baselines/anomaly.h"
+#include "bench_common.h"
+#include "cfg/cfg.h"
+#include "eval/experiments.h"
+#include "support/table.h"
+
+using namespace scag;
+using core::Family;
+
+namespace {
+
+struct Row {
+  double noise;
+  double svm_f1, knn_f1, scaguard_f1, anomaly_detect;
+};
+
+Row evaluate_at(double noise, std::size_t n) {
+  eval::DatasetConfig config;
+  config.samples_per_type = n;
+  config.obfuscated_per_family = 0;
+  config.sample_noise = noise;
+  const eval::Dataset ds = eval::generate_dataset(config);
+
+  Row row{};
+  row.noise = noise;
+
+  // E1-style split: first half train, second half test, per class.
+  std::vector<trace::ExecutionProfile> train_profiles, benign_train;
+  std::vector<Family> train_labels;
+  std::vector<const eval::Sample*> test;
+  auto split = [&](const std::vector<const eval::Sample*>& pool) {
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (i < pool.size() / 2) {
+        train_profiles.push_back(pool[i]->profile);
+        train_labels.push_back(pool[i]->family);
+        if (pool[i]->family == Family::kBenign)
+          benign_train.push_back(pool[i]->profile);
+      } else {
+        test.push_back(pool[i]);
+      }
+    }
+  };
+  for (Family f : {Family::kFlushReload, Family::kPrimeProbe,
+                   Family::kSpectreFR, Family::kSpectrePP, Family::kBenign})
+    split(ds.of_family(f));
+
+  const std::vector<Family> attack_classes = {
+      Family::kFlushReload, Family::kPrimeProbe, Family::kSpectreFR,
+      Family::kSpectrePP};
+
+  // Learners.
+  Rng rng(17);
+  for (auto [kind, slot] :
+       {std::pair{baselines::LearnerKind::kSvmNw, &row.svm_f1},
+        std::pair{baselines::LearnerKind::kKnnMlfm, &row.knn_f1}}) {
+    baselines::LearningDetector d(kind);
+    Rng train_rng = rng.split();
+    d.train(train_profiles, train_labels, train_rng);
+    eval::ConfusionMatrix cm;
+    for (const eval::Sample* s : test) cm.add(s->family, d.classify(s->profile));
+    *slot = cm.macro(attack_classes).f1;
+  }
+
+  // SCAGuard.
+  {
+    const core::Detector d = eval::make_scaguard(attack_classes);
+    eval::ConfusionMatrix cm;
+    for (const eval::Sample* s : test)
+      cm.add(s->family, eval::scaguard_classify(d, *s));
+    row.scaguard_f1 = cm.macro(attack_classes).f1;
+  }
+
+  // Anomaly detection rate over the attack test mass.
+  {
+    baselines::AnomalyDetector d;
+    d.train(benign_train);
+    std::size_t detected = 0, total = 0;
+    for (const eval::Sample* s : test) {
+      if (s->family == Family::kBenign) continue;
+      detected += d.is_anomalous(s->profile);
+      ++total;
+    }
+    row.anomaly_detect =
+        total == 0 ? 0.0
+                   : static_cast<double>(detected) / static_cast<double>(total);
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = bench::samples_from_argv(argc, argv, 60);
+  std::printf("Noise sensitivity sweep (%zu samples per type per level)\n", n);
+
+  Table t("\nNOISE SENSITIVITY: macro F1 on an E1-style task");
+  t.header({"HPC noise", "SVM-NW F1", "KNN-MLFM F1", "SCAGUARD F1",
+            "Anomaly detect rate"});
+  for (double noise : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+    const Row row = evaluate_at(noise, n);
+    t.row({pct(row.noise), pct(row.svm_f1), pct(row.knn_f1),
+           pct(row.scaguard_f1), pct(row.anomaly_detect)});
+    std::printf("  done: noise %.0f%%\n", noise * 100);
+  }
+  t.print();
+  std::puts(
+      "\nExpected shape: SCAGuard is flat across the sweep (its per-block\n"
+      "HPC values are thresholded at nonzero and the address trace carries\n"
+      "no noise), the margin-based SVM and the anomaly envelope degrade,\n"
+      "while KNN tolerates symmetric jitter better (neighborhoods move\n"
+      "together).");
+  return 0;
+}

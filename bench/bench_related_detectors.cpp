@@ -1,0 +1,133 @@
+// Related-work appendix (paper Section VI): the victim-oriented anomaly
+// detector and the Phased-Guard-style two-stage detector, compared with
+// SCAGuard on (a) attack DETECTION, (b) family CLASSIFICATION, and (c)
+// false positives on the hard benign programs. Reproduces the paper's
+// qualitative claims:
+//   - anomaly detection needs no attack samples but cannot classify and
+//     false-positives on unusual benign profiles;
+//   - the phased pipeline classifies, but only families it trained on;
+//   - SCAGuard classifies from one PoC per family.
+#include <cstdio>
+
+#include "baselines/anomaly.h"
+#include "bench_common.h"
+#include "cfg/cfg.h"
+#include "eval/experiments.h"
+#include "support/table.h"
+
+using namespace scag;
+using core::Family;
+
+int main(int argc, char** argv) {
+  const std::size_t n = bench::samples_from_argv(argc, argv, 120);
+  eval::DatasetConfig config;
+  config.samples_per_type = n;
+  config.obfuscated_per_family = 0;
+  std::printf("Generating dataset (%zu per type)...\n", n);
+  const eval::Dataset ds = eval::generate_dataset(config);
+
+  // Split benign in half: train / test.
+  std::vector<trace::ExecutionProfile> benign_train;
+  std::vector<const eval::Sample*> benign_test;
+  for (std::size_t i = 0; i < ds.benign.size(); ++i) {
+    if (i < ds.benign.size() / 2)
+      benign_train.push_back(ds.benign[i].profile);
+    else
+      benign_test.push_back(&ds.benign[i]);
+  }
+  // Attack training data (phased stage 2): the FR and PP families only —
+  // Spectre variants are "zero-day" for everything but SCAGuard's E2 logic.
+  std::vector<trace::ExecutionProfile> attack_train;
+  std::vector<Family> attack_labels;
+  for (const eval::Sample& s : ds.attacks) {
+    if (s.family == Family::kFlushReload || s.family == Family::kPrimeProbe) {
+      attack_train.push_back(s.profile);
+      attack_labels.push_back(s.family);
+    }
+  }
+
+  baselines::AnomalyDetector anomaly;
+  anomaly.train(benign_train);
+
+  baselines::PhasedDetector phased;
+  Rng rng(3);
+  phased.train(benign_train, attack_train, attack_labels, rng);
+
+  const core::Detector scaguard = eval::make_scaguard(
+      {Family::kFlushReload, Family::kPrimeProbe, Family::kSpectreFR,
+       Family::kSpectrePP});
+
+  // Evaluate.
+  struct Tally {
+    std::size_t detected = 0, correctly_classified = 0, total = 0;
+    std::size_t benign_fp = 0, benign_total = 0;
+  };
+  Tally t_anomaly, t_phased, t_scaguard;
+
+  auto scaguard_verdict = [&scaguard](const eval::Sample& s) {
+    const cfg::Cfg cfg = cfg::Cfg::build(s.program);
+    const core::AttackModel m = scaguard.builder().build_from_profile(
+        cfg, s.profile, s.family);
+    return scaguard.scan(m.sequence).verdict;
+  };
+
+  for (const eval::Sample& s : ds.attacks) {
+    // Spectre variants count as their base family for "classification".
+    const Family truth = s.family == Family::kSpectreFR
+                             ? Family::kFlushReload
+                             : s.family == Family::kSpectrePP
+                                   ? Family::kPrimeProbe
+                                   : s.family;
+    ++t_anomaly.total;
+    t_anomaly.detected += anomaly.is_anomalous(s.profile);
+    // Anomaly detection cannot classify at all.
+
+    ++t_phased.total;
+    const Family pf = phased.classify(s.profile);
+    t_phased.detected += pf != Family::kBenign;
+    t_phased.correctly_classified += pf == truth;
+
+    ++t_scaguard.total;
+    const Family sv = scaguard_verdict(s);
+    t_scaguard.detected += sv != Family::kBenign;
+    t_scaguard.correctly_classified +=
+        sv == s.family || sv == truth;  // exact family or base family
+  }
+  for (const eval::Sample* s : benign_test) {
+    ++t_anomaly.benign_total;
+    t_anomaly.benign_fp += anomaly.is_anomalous(s->profile);
+    ++t_phased.benign_total;
+    t_phased.benign_fp += phased.classify(s->profile) != Family::kBenign;
+    ++t_scaguard.benign_total;
+    t_scaguard.benign_fp += scaguard_verdict(*s) != Family::kBenign;
+  }
+
+  auto frac = [](std::size_t a, std::size_t b) {
+    return b == 0 ? 0.0 : static_cast<double>(a) / static_cast<double>(b);
+  };
+
+  Table t("\nRELATED-WORK DETECTORS (paper Section VI)");
+  t.header({"Detector", "Attack samples needed", "Detection rate",
+            "Correct family", "Benign FP rate"});
+  t.row({"Anomaly (Chiappetta-style)", "none",
+         pct(frac(t_anomaly.detected, t_anomaly.total)),
+         "cannot classify",
+         pct(frac(t_anomaly.benign_fp, t_anomaly.benign_total))});
+  t.row({"Phased (Phased-Guard-style)", "many (FR/PP trained)",
+         pct(frac(t_phased.detected, t_phased.total)),
+         pct(frac(t_phased.correctly_classified, t_phased.total)),
+         pct(frac(t_phased.benign_fp, t_phased.benign_total))});
+  t.row({"SCAGUARD", "one PoC per family",
+         pct(frac(t_scaguard.detected, t_scaguard.total)),
+         pct(frac(t_scaguard.correctly_classified, t_scaguard.total)),
+         pct(frac(t_scaguard.benign_fp, t_scaguard.benign_total))});
+  t.print();
+
+  std::puts(
+      "\nExpected shape (paper Section VI): the anomaly detector detects\n"
+      "much of the attack mass with zero attack training data but cannot\n"
+      "name the family and pays a benign false-positive cost on unusual\n"
+      "profiles; the phased pipeline classifies only what it trained on;\n"
+      "SCAGuard does both from a single PoC per family.");
+  return 0;
+}

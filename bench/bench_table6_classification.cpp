@@ -1,0 +1,87 @@
+// Table VI: classification results of SCAGUARD and the four baseline
+// detection approaches over the evaluation tasks E1-E4, printed with the
+// paper's numbers alongside. Shape to check: SCAGUARD stays >90% precision
+// on new-variant tasks while SCADET collapses to zero beyond E1/E2 and the
+// learning baselines degrade on at least one generalization direction.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/experiments.h"
+#include "support/table.h"
+
+using namespace scag;
+using eval::Approach;
+using eval::Task;
+
+namespace {
+
+struct PaperCell {
+  double p, r, f1;
+};
+
+// Paper Table VI, in [approach][task] order.
+const PaperCell kPaper[5][5] = {
+    // E1                E2                E3-1              E3-2              E4
+    {{.9458, .9420, .9424}, {.9049, .9000, .9004}, {.2101, .3625, .2661}, {.7899, .7375, .7251}, {.8949, .8889, .8888}},  // SVM-NW
+    {{.6815, .5151, .4900}, {.6696, .5583, .5256}, {.7564, .7250, .7163}, {.6488, .6375, .6305}, {.4282, .6417, .5133}},  // LR-NW
+    {{.9132, .9170, .9145}, {.4266, .6333, .5094}, {.6758, .6625, .6560}, {.8274, .7750, .7656}, {.8866, .8834, .8823}},  // KNN-MLFM
+    {{.5000, .2750, .3548}, {0, 0, 0},             {0, 0, 0},             {0, 0, 0},             {0, 0, 0}},              // SCADET
+    {{.9664, .9650, .9652}, {.9520, .9500, .9503}, {.9128, .9125, .9125}, {.9255, .9125, .9118}, {.9274, .9223, .9225}},  // SCAGUARD
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = bench::samples_from_argv(argc, argv);
+  const eval::Dataset ds = bench::make_dataset(n);
+
+  std::puts("\nRunning E1-E4 for all five approaches...");
+  const eval::Table6 results = eval::run_classification(ds);
+
+  const Approach approaches[] = {Approach::kSvmNw, Approach::kLrNw,
+                                 Approach::kKnnMlfm, Approach::kScadet,
+                                 Approach::kScaguard};
+  const Task tasks[] = {Task::kE1, Task::kE2, Task::kE3_1, Task::kE3_2,
+                        Task::kE4};
+
+  std::puts(
+      "\nTABLE VI: CLASSIFICATION RESULTS OF SCAGUARD AND THE 4 EXISTING "
+      "APPROACHES");
+  for (std::size_t ti = 0; ti < 5; ++ti) {
+    const Task task = tasks[ti];
+    std::printf("\n--- %s ---\n", std::string(eval::task_name(task)).c_str());
+    Table t;
+    t.header({"Approach", "Precision", "Recall", "F1-score",
+              "Paper (P / R / F1)"});
+    for (std::size_t ai = 0; ai < 5; ++ai) {
+      const Prf prf = results.results.at(approaches[ai]).at(task);
+      const PaperCell& paper = kPaper[ai][ti];
+      t.row({std::string(eval::approach_name(approaches[ai])),
+             pct(prf.precision), pct(prf.recall), pct(prf.f1),
+             pct(paper.p) + " / " + pct(paper.r) + " / " + pct(paper.f1)});
+    }
+    t.print();
+  }
+
+  // Headline shape assertions, printed so the log is self-checking.
+  const auto& sg = results.results.at(Approach::kScaguard);
+  const auto& sc = results.results.at(Approach::kScadet);
+  std::puts("\nShape checks:");
+  std::printf("  SCAGUARD precision > 90%% on E1/E2/E3: %s\n",
+              (sg.at(Task::kE1).precision > 0.9 &&
+               sg.at(Task::kE2).precision > 0.9 &&
+               sg.at(Task::kE3_1).precision > 0.9 &&
+               sg.at(Task::kE3_2).precision > 0.9)
+                  ? "PASS"
+                  : "FAIL");
+  std::printf("  SCADET zero on cross-family tasks (E3): %s\n",
+              (sc.at(Task::kE3_1).f1 == 0.0 && sc.at(Task::kE3_2).f1 == 0.0)
+                  ? "PASS"
+                  : "FAIL");
+  bool beats_scadet = true;
+  for (Task task : tasks)
+    beats_scadet &= sg.at(task).f1 > sc.at(task).f1;
+  std::printf("  SCAGUARD beats SCADET on every task: %s\n",
+              beats_scadet ? "PASS" : "FAIL");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// The deployment scenario from the paper's discussion section: SCAGuard as
+// a pre-installation guard on a server cluster. A repository of attack
+// models is built once from the known PoCs; every "untrusted program" is
+// then modeled and compared before being admitted.
+//
+// Usage:
+//   detect_suspicious_binary              # scans a built-in demo queue
+//   detect_suspicious_binary prog.s ...   # scans your own mini-x86 .s files
+//
+// The .s dialect is the library's assembler syntax (see isa/assembler.h),
+// e.g.:
+//     loop:
+//       clflush [rax]
+//       ...
+//       jne loop
+//       hlt
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "attacks/registry.h"
+#include "benign/registry.h"
+#include "core/detector.h"
+#include "eval/experiments.h"
+#include "isa/assembler.h"
+#include "mutation/mutator.h"
+#include "support/strings.h"
+#include "support/table.h"
+
+using namespace scag;
+
+namespace {
+
+void scan_and_report(const core::Detector& detector,
+                     const std::string& name, const isa::Program& program,
+                     Table& report) {
+  const core::Detection det = detector.scan(program);
+  std::string best = "-";
+  if (!det.scores.empty())
+    best = det.scores.front().model_name + " @ " + pct(det.best_score);
+  report.row({name, det.is_attack() ? "ATTACK" : "admit",
+              std::string(core::family_abbrev(det.verdict)), best});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::puts("Building the attack-model repository (one PoC per family)...");
+  const core::Detector detector = eval::make_scaguard(
+      {core::Family::kFlushReload, core::Family::kPrimeProbe,
+       core::Family::kSpectreFR, core::Family::kSpectrePP});
+  for (const core::AttackModel& m : detector.repository())
+    std::printf("  enrolled %-24s (%s, %zu-element CST-BBS)\n",
+                m.name.c_str(),
+                std::string(core::family_abbrev(m.family)).c_str(),
+                m.sequence.size());
+
+  Table report("\nScan report");
+  report.header({"Program", "Verdict", "Family", "Best match"});
+
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) {
+      std::ifstream in(argv[i]);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", argv[i]);
+        return 1;
+      }
+      std::stringstream ss;
+      ss << in.rdbuf();
+      try {
+        scan_and_report(detector, argv[i],
+                        isa::assemble(ss.str(), argv[i]), report);
+      } catch (const isa::AsmError& e) {
+        std::fprintf(stderr, "%s: %s\n", argv[i], e.what());
+        return 1;
+      }
+    }
+    report.print();
+    return 0;
+  }
+
+  // Demo queue: disguised attack variants mixed with legitimate software.
+  std::puts("\nScanning the demo installation queue...");
+  Rng rng(20260704);
+
+  attacks::PocConfig config;
+  config.secret = 1 + rng.below(15);
+
+  {  // A mutated Evict+Reload nobody enrolled.
+    Rng mut = rng.split();
+    scan_and_report(detector, "update-helper (ER mutant)",
+                    mutation::mutate(attacks::er_iaik(config), mut), report);
+  }
+  {  // An obfuscated Prime+Probe.
+    Rng mut = rng.split();
+    scan_and_report(detector, "telemetry-agent (PP obfusc.)",
+                    mutation::obfuscate(attacks::pp_jzhang(config), mut),
+                    report);
+  }
+  {  // A Spectre variant.
+    Rng mut = rng.split();
+    scan_and_report(detector, "codec-plugin (Spectre-FR)",
+                    mutation::mutate(attacks::spectre_fr_good(config), mut),
+                    report);
+  }
+  // Legitimate software, including the hard cases.
+  const char* legit[] = {"aes-ttables", "hashtable-server", "timed-lookup",
+                         "flush-writeback", "matmul"};
+  for (const char* name : legit) {
+    for (const auto& spec : benign::all_benign_templates()) {
+      if (spec.name != name) continue;
+      Rng gen = rng.split();
+      scan_and_report(detector, name, spec.build(gen), report);
+    }
+  }
+  report.print();
+  std::puts("\n(ATTACK = similarity above the 45% threshold; admit = below.)");
+  return 0;
+}

@@ -1,0 +1,14 @@
+; A benign rolling-checksum loop over a buffer. Scans as benign:
+;   scagctl scan <repo> examples/programs/benign_checksum.s
+.entry main
+main:
+  mov rcx, 300
+  mov r8, 0
+scan:
+  mov rax, [rcx*8+0x90000000]
+  imul r8, 31
+  add r8, rax
+  dec rcx
+  jne scan
+  mov [0x91000000], r8
+  hlt

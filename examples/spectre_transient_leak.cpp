@@ -1,0 +1,85 @@
+// A guided tour of the Spectre V1 machinery in the simulated CPU:
+//   - how training biases the branch predictor,
+//   - how the transient window leaks a secret into the cache,
+//   - how the leak disappears when speculation is off,
+//   - and how SCAGuard classifies the binary.
+//
+//   $ ./build/examples/spectre_transient_leak
+#include <cstdio>
+
+#include "attacks/registry.h"
+#include "core/detector.h"
+#include "cpu/interpreter.h"
+#include "eval/experiments.h"
+#include "support/strings.h"
+
+using namespace scag;
+
+namespace {
+
+void run_once(const isa::Program& poc, const attacks::PocConfig& config,
+              bool speculation) {
+  cpu::ExecOptions opts;
+  opts.speculation = speculation;
+  cpu::Interpreter interp(opts);
+  const cpu::RunResult run = interp.run(poc);
+
+  const std::uint64_t recovered =
+      run.memory.read(config.layout.recovered_addr);
+  std::printf("  speculation %-3s : recovered %llu (%s), %llu branch misses, "
+              "%llu cycles\n",
+              speculation ? "ON" : "OFF",
+              static_cast<unsigned long long>(recovered),
+              recovered == config.secret ? "LEAKED" : "safe",
+              static_cast<unsigned long long>(
+                  run.profile.totals[trace::HpcEvent::kBranchMiss]),
+              static_cast<unsigned long long>(run.cycles));
+
+  // Histogram of reload hits per probe slot.
+  std::fputs("  probe-slot hits :", stdout);
+  for (int s = 0; s < attacks::Layout::kNumSlots; ++s) {
+    const std::uint64_t hits =
+        run.memory.read(config.layout.histogram + static_cast<std::uint64_t>(s) * 8);
+    std::printf(" %llu", static_cast<unsigned long long>(hits));
+  }
+  std::puts("");
+}
+
+}  // namespace
+
+int main() {
+  attacks::PocConfig config;
+  config.secret = 11;
+  config.rounds = 6;
+
+  std::printf("Victim secret nibble: %llu\n",
+              static_cast<unsigned long long>(config.secret));
+  std::puts(
+      "\nThe gadget bounds-checks an index; training teaches the predictor\n"
+      "'in bounds', then one out-of-bounds call executes the two dependent\n"
+      "loads transiently, caching probe slot <secret>:");
+
+  for (const char* name :
+       {"Spectre-FR-Ideal", "Spectre-FR-Good", "Spectre-PP-Trippel"}) {
+    std::printf("\n%s:\n", name);
+    const isa::Program poc = attacks::poc_by_name(name).build(config);
+    run_once(poc, config, /*speculation=*/true);
+    run_once(poc, config, /*speculation=*/false);
+  }
+
+  // Detection: the defender has never seen a Spectre PoC, only classic
+  // FR/PP (the paper's E2 setting).
+  std::puts("\nDetection with only classic FR/PP models enrolled (task E2):");
+  const core::Detector detector = eval::make_scaguard(
+      {core::Family::kFlushReload, core::Family::kPrimeProbe});
+  for (const char* name :
+       {"Spectre-FR-Ideal", "Spectre-FR-Good", "Spectre-PP-Trippel"}) {
+    const core::Detection det =
+        detector.scan(attacks::poc_by_name(name).build(config));
+    std::printf("  %-20s -> %-7s (closest: %s at %s)\n", name,
+                det.is_attack() ? "ATTACK" : "missed",
+                det.scores.empty() ? "-" : det.scores.front().model_name.c_str(),
+                pct(det.best_score).c_str());
+  }
+  return 0;
+}

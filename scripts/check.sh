@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full verification: configure, build, run every test and every
+# table/figure reproduction at a reduced scale. CI entry point.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+N="${1:-60}"   # samples per attack type for the bench pass
+for b in build/bench/bench_*; do
+  [ -x "$b" ] || continue
+  echo "===== $b ====="
+  case "$(basename "$b")" in
+    bench_micro) "$b" --benchmark_min_time=0.05s ;;
+    bench_table1*|bench_table5*|bench_timecost) "$b" ;;
+    *) "$b" "$N" ;;
+  esac
+done
+echo "ALL CHECKS PASSED"

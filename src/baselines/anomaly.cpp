@@ -1,0 +1,59 @@
+#include "baselines/anomaly.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+#include "support/stats.h"
+
+namespace scag::baselines {
+
+void AnomalyDetector::train(
+    const std::vector<trace::ExecutionProfile>& benign_profiles) {
+  if (benign_profiles.empty())
+    throw std::invalid_argument("AnomalyDetector::train: empty training set");
+  std::vector<ml::FeatureVector> xs;
+  xs.reserve(benign_profiles.size());
+  for (const auto& p : benign_profiles) xs.push_back(ml::extract_features(p));
+  standardizer_.fit(xs);
+  trained_ = true;
+
+  // Envelope: a quantile of the benign training scores.
+  std::vector<double> scores;
+  scores.reserve(benign_profiles.size());
+  for (const auto& p : benign_profiles) scores.push_back(score(p));
+  threshold_ = percentile(scores, config_.train_quantile);
+}
+
+double AnomalyDetector::score(const trace::ExecutionProfile& profile) const {
+  if (!trained_)
+    throw std::logic_error("AnomalyDetector::score before train");
+  ml::FeatureVector z =
+      standardizer_.transform(ml::extract_features(profile));
+  for (double& v : z) v = std::abs(v);
+  // Attacks manifest as extreme values in a few dimensions (flush-driven
+  // miss rates, probe-phase burstiness); average the top quartile so those
+  // peaks dominate instead of being diluted across all features.
+  std::sort(z.begin(), z.end(), std::greater<double>());
+  const std::size_t k = std::max<std::size_t>(1, z.size() / 4);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < k; ++i) acc += z[i];
+  return acc / static_cast<double>(k);
+}
+
+void PhasedDetector::train(
+    const std::vector<trace::ExecutionProfile>& benign_profiles,
+    const std::vector<trace::ExecutionProfile>& attack_profiles,
+    const std::vector<core::Family>& attack_labels, Rng& rng) {
+  gate_.train(benign_profiles);
+  classifier_.train(attack_profiles, attack_labels, rng);
+}
+
+core::Family PhasedDetector::classify(
+    const trace::ExecutionProfile& profile) const {
+  if (!gate_.is_anomalous(profile)) return core::Family::kBenign;
+  return classifier_.classify(profile);
+}
+
+}  // namespace scag::baselines

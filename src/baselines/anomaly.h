@@ -1,0 +1,80 @@
+// Related-work detectors from the paper's Section VI, reproduced so their
+// claimed weaknesses can be demonstrated (bench_related_detectors):
+//
+//   AnomalyDetector  — victim/benign-oriented anomaly detection in the
+//     style of Chiappetta et al.: trains on BENIGN HPC profiles only and
+//     flags anything too far from that distribution. Needs no attack
+//     samples, but "data from a single source may lead to a high false
+//     positive ratio and the identified attacks cannot be further
+//     classified" (paper, §VI).
+//
+//   PhasedDetector — Phased-Guard-style two-stage pipeline: an anomaly
+//     gate followed by a multi-class classifier that attributes the attack
+//     family. Classifies, but inherits the learning-based approaches' need
+//     for attack training data.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "baselines/learning.h"
+#include "ml/features.h"
+
+namespace scag::baselines {
+
+struct AnomalyConfig {
+  /// Threshold = this quantile of the benign training scores. Anything
+  /// above it is flagged, so roughly (1 - quantile) of benign traffic
+  /// false-positives by construction — the "high false positive ratio" the
+  /// paper attributes to single-source anomaly detection.
+  double train_quantile = 0.95;
+};
+
+class AnomalyDetector {
+ public:
+  explicit AnomalyDetector(AnomalyConfig config = {}) : config_(config) {}
+
+  /// Trains on benign profiles ONLY.
+  void train(const std::vector<trace::ExecutionProfile>& benign_profiles);
+
+  /// Anomaly score of a profile (mean |z| over features).
+  double score(const trace::ExecutionProfile& profile) const;
+
+  /// True if the profile lies outside the benign envelope.
+  bool is_anomalous(const trace::ExecutionProfile& profile) const {
+    return score(profile) > threshold_;
+  }
+
+  double threshold() const { return threshold_; }
+
+ private:
+  AnomalyConfig config_;
+  ml::Standardizer standardizer_;
+  double threshold_ = 0.0;
+  bool trained_ = false;
+};
+
+class PhasedDetector {
+ public:
+  explicit PhasedDetector(LearnerKind classifier_kind = LearnerKind::kSvmNw)
+      : classifier_(classifier_kind) {}
+
+  /// Stage 1 trains on the benign profiles; stage 2 trains on the labeled
+  /// attack profiles (families only; no benign class needed — the gate
+  /// already filtered).
+  void train(const std::vector<trace::ExecutionProfile>& benign_profiles,
+             const std::vector<trace::ExecutionProfile>& attack_profiles,
+             const std::vector<core::Family>& attack_labels, Rng& rng);
+
+  /// kBenign if the anomaly gate passes the sample; otherwise the stage-2
+  /// family attribution.
+  core::Family classify(const trace::ExecutionProfile& profile) const;
+
+  const AnomalyDetector& gate() const { return gate_; }
+
+ private:
+  AnomalyDetector gate_;
+  LearningDetector classifier_;
+};
+
+}  // namespace scag::baselines

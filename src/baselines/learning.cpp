@@ -1,0 +1,78 @@
+#include "baselines/learning.h"
+
+#include <stdexcept>
+
+namespace scag::baselines {
+
+std::string_view learner_name(LearnerKind kind) {
+  switch (kind) {
+    case LearnerKind::kSvmNw: return "SVM-NW";
+    case LearnerKind::kLrNw: return "LR-NW";
+    case LearnerKind::kKnnMlfm: return "KNN-MLFM";
+  }
+  return "<bad-learner>";
+}
+
+void LearningDetector::train(
+    const std::vector<trace::ExecutionProfile>& profiles,
+    const std::vector<core::Family>& labels, Rng& rng) {
+  if (profiles.size() != labels.size() || profiles.empty())
+    throw std::invalid_argument("LearningDetector::train: bad training set");
+
+  std::vector<ml::FeatureVector> xs;
+  xs.reserve(profiles.size());
+  for (const auto& p : profiles) xs.push_back(ml::extract_features(p));
+  standardizer_.fit(xs);
+  xs = standardizer_.transform_all(xs);
+
+  std::vector<int> ys;
+  ys.reserve(labels.size());
+  for (core::Family f : labels) ys.push_back(static_cast<int>(f));
+  const int num_classes = static_cast<int>(core::Family::kCount);
+
+  // Small hyperparameter grids, selected by k-fold CV ("fine-tuned
+  // parameters" in the paper's protocol).
+  std::vector<std::function<std::unique_ptr<ml::Classifier>()>> candidates;
+  switch (kind_) {
+    case LearnerKind::kSvmNw:
+      for (double lambda : {1e-3, 1e-4, 1e-5}) {
+        candidates.push_back([lambda] {
+          ml::LinearConfig c;
+          c.lambda = lambda;
+          c.epochs = 30;
+          return std::make_unique<ml::LinearSvm>(c);
+        });
+      }
+      break;
+    case LearnerKind::kLrNw:
+      // NIGHTs-WATCH's LR is plain linear regression used as a classifier.
+      for (double lr : {0.002, 0.01, 0.05}) {
+        candidates.push_back([lr] {
+          ml::LinearConfig c;
+          c.lr = lr;
+          c.epochs = 30;
+          return std::make_unique<ml::LinearRegressionClassifier>(c);
+        });
+      }
+      break;
+    case LearnerKind::kKnnMlfm:
+      for (int k : {3, 5, 9}) {
+        candidates.push_back(
+            [k] { return std::make_unique<ml::Knn>(k); });
+      }
+      break;
+  }
+  model_ = ml::select_and_train(candidates, xs, ys, num_classes, cv_folds_,
+                                rng);
+}
+
+core::Family LearningDetector::classify(
+    const trace::ExecutionProfile& profile) const {
+  if (!model_)
+    throw std::logic_error("LearningDetector::classify before train");
+  const ml::FeatureVector x =
+      standardizer_.transform(ml::extract_features(profile));
+  return static_cast<core::Family>(model_->predict(x));
+}
+
+}  // namespace scag::baselines

@@ -1,0 +1,45 @@
+// Learning-based baseline detectors of Table VI:
+//   SVM-NW   : NIGHTs-WATCH with a linear SVM
+//   LR-NW    : NIGHTs-WATCH with (logistic) regression
+//   KNN-MLFM : KNN-based malicious loop finding
+// Each samples HPC time series (profiles must be collected with a nonzero
+// sample_interval), standardizes features, selects hyperparameters by
+// 10-fold cross-validation, and classifies into attack families + benign.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/family.h"
+#include "ml/crossval.h"
+#include "trace/profile.h"
+
+namespace scag::baselines {
+
+enum class LearnerKind { kSvmNw, kLrNw, kKnnMlfm };
+
+std::string_view learner_name(LearnerKind kind);
+
+class LearningDetector {
+ public:
+  explicit LearningDetector(LearnerKind kind, int cv_folds = 10)
+      : kind_(kind), cv_folds_(cv_folds) {}
+
+  LearnerKind kind() const { return kind_; }
+
+  /// Trains on labeled profiles. Labels are Family values (ints), with
+  /// kBenign as its own class.
+  void train(const std::vector<trace::ExecutionProfile>& profiles,
+             const std::vector<core::Family>& labels, Rng& rng);
+
+  /// Classifies a profile into a Family (possibly kBenign).
+  core::Family classify(const trace::ExecutionProfile& profile) const;
+
+ private:
+  LearnerKind kind_;
+  int cv_folds_;
+  ml::Standardizer standardizer_;
+  std::unique_ptr<ml::Classifier> model_;
+};
+
+}  // namespace scag::baselines

@@ -1,0 +1,134 @@
+#include "baselines/scadet.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "support/strings.h"
+
+namespace scag::baselines {
+
+using cfg::BlockId;
+using isa::Instruction;
+using isa::Opcode;
+
+namespace {
+
+/// The strict structural test: a short loop body of loads and pointer
+/// arithmetic ending in a backward conditional branch, with no timing, no
+/// flushes, no calls, no stores. Hand-written rules match shapes like this;
+/// anything else (junk, dead-code jumps, fused phases) falls through.
+bool is_pure_access_loop(const cfg::Cfg& cfg, BlockId id,
+                         const ScadetConfig& config) {
+  const cfg::BasicBlock& block = cfg.block(id);
+  if (block.count > config.max_loop_block_len) return false;
+  const isa::Program& program = cfg.program();
+  bool has_load = false;
+  for (std::size_t i = block.first; i <= block.last(); ++i) {
+    const Instruction& insn = program.at(i);
+    switch (insn.op) {
+      case Opcode::kRdtscp:
+      case Opcode::kClflush:
+      case Opcode::kCall:
+      case Opcode::kRet:
+      case Opcode::kPush:
+      case Opcode::kPop:
+      case Opcode::kHlt:
+      case Opcode::kJmp:
+      case Opcode::kNop:  // junk breaks the exact pattern the rule encodes
+        return false;
+      default:
+        break;
+    }
+    // Identity moves are junk, not part of the designated walk pattern.
+    if (insn.op == Opcode::kMov && insn.dst.is_reg() && insn.src.is_reg() &&
+        insn.dst.reg == insn.src.reg)
+      return false;
+    if (isa::writes_memory(insn)) return false;
+    if (isa::reads_memory(insn)) has_load = true;
+    if (isa::is_cond_branch(insn.op)) {
+      // Must be the block terminator and jump backward (a loop).
+      if (i != block.last()) return false;
+      if (insn.target > insn.address) return false;
+    }
+  }
+  if (!has_load) return false;
+  return isa::is_cond_branch(program.at(block.last()).op);
+}
+
+/// True if a block containing rdtscp exists within one CFG hop of `id`.
+bool timed_neighborhood(const cfg::Cfg& cfg, BlockId id) {
+  auto block_has_rdtscp = [&cfg](BlockId b) {
+    const cfg::BasicBlock& blk = cfg.block(b);
+    for (std::size_t i = blk.first; i <= blk.last(); ++i)
+      if (cfg.program().at(i).op == Opcode::kRdtscp) return true;
+    return false;
+  };
+  if (block_has_rdtscp(id)) return true;
+  for (BlockId p : cfg.predecessors(id))
+    if (block_has_rdtscp(p)) return true;
+  for (BlockId s : cfg.successors(id))
+    if (block_has_rdtscp(s)) return true;
+  return false;
+}
+
+}  // namespace
+
+ScadetResult scadet_detect(const cfg::Cfg& cfg,
+                           const trace::ExecutionProfile& profile,
+                           const ScadetConfig& config) {
+  ScadetResult result;
+  const cache::Cache mapper(config.set_mapping);
+
+  // Per block: lines grouped by cache set, plus first-execution cycle.
+  struct WalkInfo {
+    BlockId block;
+    std::uint32_t set;
+    std::set<std::uint64_t> lines;
+    std::uint64_t first_cycle;
+  };
+  std::vector<WalkInfo> walks;
+
+  for (BlockId id = 0; id < cfg.num_blocks(); ++id) {
+    const cfg::BasicBlock& block = cfg.block(id);
+    std::uint64_t first_cycle = 0;
+    std::map<std::uint32_t, std::set<std::uint64_t>> by_set;
+    for (std::size_t i = block.first; i <= block.last(); ++i) {
+      const std::uint64_t fc = profile.first_cycle[i];
+      if (fc != 0 && (first_cycle == 0 || fc < first_cycle)) first_cycle = fc;
+      for (std::uint64_t line : profile.line_addrs[i])
+        by_set[mapper.set_index(line)].insert(line);
+    }
+    if (first_cycle == 0) continue;  // never executed
+    if (!is_pure_access_loop(cfg, id, config)) continue;
+    for (auto& [set_idx, lines] : by_set) {
+      if (lines.size() >= config.min_ways)
+        walks.push_back({id, set_idx, std::move(lines), first_cycle});
+    }
+  }
+
+  // P1 + P2 + P3: find a prime walk and a later probe walk over the same
+  // lines of the same set, the probe one with timing nearby.
+  for (const WalkInfo& prime : walks) {
+    for (const WalkInfo& probe : walks) {
+      if (prime.block == probe.block) continue;
+      if (prime.set != probe.set) continue;
+      if (probe.first_cycle <= prime.first_cycle) continue;
+      // Same eviction-set lines (the designated rule matches re-walks).
+      std::size_t common = 0;
+      for (std::uint64_t line : probe.lines) common += prime.lines.count(line);
+      if (common < config.min_ways) continue;
+      if (!timed_neighborhood(cfg, probe.block)) continue;
+      result.detected = true;
+      result.verdict = core::Family::kPrimeProbe;
+      result.reason = strfmt(
+          "prime walk in BB%u and timed probe walk in BB%u over set %u",
+          prime.block, probe.block, prime.set);
+      return result;
+    }
+  }
+  result.reason = "no prime+probe phase pattern matched";
+  return result;
+}
+
+}  // namespace scag::baselines

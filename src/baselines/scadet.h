@@ -1,0 +1,47 @@
+// SCADET reimplementation (Sabbagh et al., ICCAD'18): a learning-free,
+// rule-based Prime+Probe detector. It pattern-matches the *structural*
+// signature of a Prime+Probe attack in the runtime trace:
+//
+//   P1. a "prime walk": a pure access-loop basic block that touches at
+//       least `min_ways` distinct lines of a single cache set;
+//   P2. a later "probe walk": a pure access-loop block touching the same
+//       lines, with timing (rdtscp) in its immediate CFG neighborhood;
+//   P3. phase order: prime executes before probe (first-execution cycles).
+//
+// "Pure access loop" is deliberately strict (a short block of loads,
+// pointer arithmetic, and one backward conditional branch): that is what a
+// hand-written rule matches — and why junk insertion, obfuscation, and
+// restructured variants slip past it, exactly the brittleness the paper's
+// Table VI documents.
+#pragma once
+
+#include <string>
+
+#include "cache/cache.h"
+#include "cfg/cfg.h"
+#include "core/family.h"
+#include "trace/profile.h"
+
+namespace scag::baselines {
+
+struct ScadetConfig {
+  /// LLC geometry used to map lines onto sets.
+  cache::CacheConfig set_mapping{1024, 16, 64};
+  /// Minimum distinct same-set lines for a walk to count as prime/probe.
+  std::uint32_t min_ways = 12;
+  /// Maximum instruction count of a "pure access loop" block.
+  std::size_t max_loop_block_len = 10;
+};
+
+struct ScadetResult {
+  bool detected = false;
+  core::Family verdict = core::Family::kBenign;  // kPrimeProbe when detected
+  std::string reason;
+};
+
+/// Applies the rules to one executed program.
+ScadetResult scadet_detect(const cfg::Cfg& cfg,
+                           const trace::ExecutionProfile& profile,
+                           const ScadetConfig& config = {});
+
+}  // namespace scag::baselines

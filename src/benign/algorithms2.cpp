@@ -1,0 +1,163 @@
+// Additional algorithm kernels: iterative quicksort (stack-array driven,
+// data-dependent branching) and breadth-first search over a random graph
+// (pointer-indirect, queue-driven) — two more realistic memory-access
+// shapes for the benign corpus.
+#include "benign/registry.h"
+
+#include "isa/builder.h"
+
+namespace scag::benign {
+
+using namespace scag::isa;  // NOLINT: builder DSL
+
+namespace {
+
+std::int64_t rand_base(Rng& rng, std::int64_t region) {
+  return region + static_cast<std::int64_t>(rng.below(0x100000) & ~0x3fULL);
+}
+
+}  // namespace
+
+isa::Program quicksort(Rng& rng) {
+  const std::int64_t len = static_cast<std::int64_t>(rng.uniform(48, 160));
+  const std::int64_t data = rand_base(rng, 0xBC00'0000);
+  const std::int64_t stack = rand_base(rng, 0xBE00'0000);
+
+  ProgramBuilder b("benign-quicksort");
+  Rng local = rng.split();
+  for (std::int64_t i = 0; i < len; ++i)
+    b.data_word(static_cast<std::uint64_t>(data + i * 8),
+                local.next() & 0xffff);
+
+  // Iterative quicksort with an explicit (lo, hi) range stack:
+  //   r8 = stack top (element count), ranges stored as two words each.
+  //   Hoare-lite partition: pivot = a[hi]; scan i from lo..hi-1 moving
+  //   smaller elements forward (Lomuto).
+  b.xor_(reg(Reg::R15), reg(Reg::R15));
+  // push initial range (0, len-1)
+  b.mov(reg(Reg::R8), imm(1));
+  b.mov(mem_abs(stack), imm(0));
+  b.mov(mem_abs(stack + 8), imm(len - 1));
+
+  b.label("work_loop");
+  b.test(reg(Reg::R8), reg(Reg::R8));
+  b.je("done");
+  b.dec(reg(Reg::R8));
+  // pop (lo, hi)
+  b.mov(reg(Reg::RAX), reg(Reg::R8));
+  b.shl(reg(Reg::RAX), imm(4));  // * 16 bytes per range
+  b.mov(reg(Reg::RSI), mem(Reg::RAX, stack));       // lo
+  b.mov(reg(Reg::RDI), mem(Reg::RAX, stack + 8));   // hi
+  b.cmp(reg(Reg::RSI), reg(Reg::RDI));
+  b.jge("work_loop");  // range of size <= 1
+
+  // partition: pivot = a[hi]; store index in r9.
+  b.mov(reg(Reg::R10), mem_idx(Reg::R15, Reg::RDI, 8, data));  // pivot
+  b.mov(reg(Reg::R9), reg(Reg::RSI));  // store index
+  b.mov(reg(Reg::RCX), reg(Reg::RSI)); // scan index
+  b.label("part_loop");
+  b.cmp(reg(Reg::RCX), reg(Reg::RDI));
+  b.jge("part_done");
+  b.mov(reg(Reg::RAX), mem_idx(Reg::R15, Reg::RCX, 8, data));
+  b.cmp(reg(Reg::RAX), reg(Reg::R10));
+  b.jge("part_next");
+  // swap a[rcx] <-> a[r9]
+  b.mov(reg(Reg::RBX), mem_idx(Reg::R15, Reg::R9, 8, data));
+  b.mov(mem_idx(Reg::R15, Reg::R9, 8, data), reg(Reg::RAX));
+  b.mov(mem_idx(Reg::R15, Reg::RCX, 8, data), reg(Reg::RBX));
+  b.inc(reg(Reg::R9));
+  b.label("part_next");
+  b.inc(reg(Reg::RCX));
+  b.jmp("part_loop");
+  b.label("part_done");
+  // swap pivot into place: a[hi] <-> a[r9]
+  b.mov(reg(Reg::RAX), mem_idx(Reg::R15, Reg::R9, 8, data));
+  b.mov(reg(Reg::RBX), mem_idx(Reg::R15, Reg::RDI, 8, data));
+  b.mov(mem_idx(Reg::R15, Reg::R9, 8, data), reg(Reg::RBX));
+  b.mov(mem_idx(Reg::R15, Reg::RDI, 8, data), reg(Reg::RAX));
+
+  // push (lo, p-1) and (p+1, hi)
+  b.mov(reg(Reg::RAX), reg(Reg::R8));
+  b.shl(reg(Reg::RAX), imm(4));
+  b.mov(mem(Reg::RAX, stack), reg(Reg::RSI));
+  b.mov(reg(Reg::RBX), reg(Reg::R9));
+  b.dec(reg(Reg::RBX));
+  b.mov(mem(Reg::RAX, stack + 8), reg(Reg::RBX));
+  b.inc(reg(Reg::R8));
+  b.mov(reg(Reg::RAX), reg(Reg::R8));
+  b.shl(reg(Reg::RAX), imm(4));
+  b.mov(reg(Reg::RBX), reg(Reg::R9));
+  b.inc(reg(Reg::RBX));
+  b.mov(mem(Reg::RAX, stack), reg(Reg::RBX));
+  b.mov(mem(Reg::RAX, stack + 8), reg(Reg::RDI));
+  b.inc(reg(Reg::R8));
+  b.jmp("work_loop");
+
+  b.label("done");
+  // Checksum the sorted array so the work is observable.
+  b.mov(reg(Reg::RCX), imm(0));
+  b.mov(reg(Reg::R11), imm(0));
+  b.label("sum");
+  b.add(reg(Reg::R11), mem_idx(Reg::R15, Reg::RCX, 8, data));
+  b.inc(reg(Reg::RCX));
+  b.cmp(reg(Reg::RCX), imm(len));
+  b.jl("sum");
+  b.mov(mem_abs(data - 0x1000), reg(Reg::R11));
+  b.hlt();
+  return b.build();
+}
+
+isa::Program graph_bfs(Rng& rng) {
+  const std::int64_t nodes = static_cast<std::int64_t>(rng.uniform(48, 128));
+  const std::int64_t degree = 3;  // fixed out-degree adjacency table
+  const std::int64_t adj = rand_base(rng, 0xC000'0000);
+  const std::int64_t visited = rand_base(rng, 0xC200'0000);
+  const std::int64_t queue = rand_base(rng, 0xC400'0000);
+
+  ProgramBuilder b("benign-bfs");
+  Rng local = rng.split();
+  for (std::int64_t v = 0; v < nodes; ++v)
+    for (std::int64_t e = 0; e < degree; ++e)
+      b.data_word(static_cast<std::uint64_t>(adj + (v * degree + e) * 8),
+                  local.below(static_cast<std::uint64_t>(nodes)));
+
+  // BFS from node 0 with an array queue: r8 = head, r9 = tail.
+  b.xor_(reg(Reg::R15), reg(Reg::R15));
+  b.mov(reg(Reg::R8), imm(0));
+  b.mov(reg(Reg::R9), imm(1));
+  b.mov(mem_abs(queue), imm(0));            // enqueue node 0
+  b.mov(mem_abs(visited), imm(1));          // visited[0] = 1
+  b.mov(reg(Reg::R12), imm(0));             // reachable count
+
+  b.label("bfs_loop");
+  b.cmp(reg(Reg::R8), reg(Reg::R9));
+  b.jge("bfs_done");
+  b.mov(reg(Reg::RSI), mem_idx(Reg::R15, Reg::R8, 8, queue));  // dequeue
+  b.inc(reg(Reg::R8));
+  b.inc(reg(Reg::R12));
+  // Visit the fixed-degree neighbor list.
+  b.mov(reg(Reg::RCX), imm(0));
+  b.label("edge_loop");
+  b.mov(reg(Reg::RAX), reg(Reg::RSI));
+  b.imul(reg(Reg::RAX), imm(degree));
+  b.add(reg(Reg::RAX), reg(Reg::RCX));
+  b.mov(reg(Reg::RDI), mem_idx(Reg::R15, Reg::RAX, 8, adj));  // neighbor
+  b.mov(reg(Reg::RBX), mem_idx(Reg::R15, Reg::RDI, 8, visited));
+  b.test(reg(Reg::RBX), reg(Reg::RBX));
+  b.jne("edge_next");
+  b.mov(mem_idx(Reg::R15, Reg::RDI, 8, visited), imm(1));
+  b.mov(mem_idx(Reg::R15, Reg::R9, 8, queue), reg(Reg::RDI));  // enqueue
+  b.inc(reg(Reg::R9));
+  b.label("edge_next");
+  b.inc(reg(Reg::RCX));
+  b.cmp(reg(Reg::RCX), imm(degree));
+  b.jl("edge_loop");
+  b.jmp("bfs_loop");
+
+  b.label("bfs_done");
+  b.mov(mem_abs(adj - 0x1000), reg(Reg::R12));
+  b.hlt();
+  return b.build();
+}
+
+}  // namespace scag::benign

@@ -1,0 +1,146 @@
+// Cryptographic kernels: table-based AES rounds and square-and-multiply
+// modular exponentiation. These perform heavy key-dependent memory access
+// and key-dependent branching — exactly the programs a naive CSCA detector
+// false-positives on, which is why the paper includes them.
+#include "benign/registry.h"
+
+#include "isa/builder.h"
+
+namespace scag::benign {
+
+using namespace scag::isa;  // NOLINT: builder DSL
+
+namespace {
+
+std::int64_t rand_base(Rng& rng, std::int64_t region) {
+  // Line-granular placement: samples differ in which cache sets their data
+  // occupies, and distinct regions do not systematically alias.
+  return region + static_cast<std::int64_t>(rng.below(0x100000) & ~0x3fULL);
+}
+
+}  // namespace
+
+isa::Program aes_ttables(Rng& rng) {
+  const std::int64_t tbl = rand_base(rng, 0xA200'0000);
+  const std::int64_t rounds = static_cast<std::int64_t>(rng.uniform(10, 14));
+  const std::int64_t blocks = static_cast<std::int64_t>(rng.uniform(8, 32));
+
+  ProgramBuilder b("benign-aes");
+  // Four 256-entry T-tables (one per state byte position).
+  Rng local = rng.split();
+  for (int t = 0; t < 4; ++t)
+    for (int e = 0; e < 256; ++e)
+      b.data_word(static_cast<std::uint64_t>(tbl + t * 0x1000 + e * 8),
+                  local.next());
+  const std::int64_t key = static_cast<std::int64_t>(rng.next() | 1);
+
+  b.xor_(reg(Reg::R15), reg(Reg::R15));
+  b.mov(reg(Reg::R12), imm(key));          // round key material
+  b.mov(reg(Reg::RCX), imm(blocks));
+  b.label("block_loop");
+  b.mov(reg(Reg::RAX), reg(Reg::RCX));
+  b.imul(reg(Reg::RAX), imm(0x9E3779B9));  // "plaintext"
+  b.mov(reg(Reg::RDX), imm(rounds));
+  b.label("round_loop");
+  // Four T-table lookups indexed by the state bytes.
+  b.mov(reg(Reg::RBX), reg(Reg::RAX));
+  b.and_(reg(Reg::RBX), imm(255));
+  b.mov(reg(Reg::R8), mem_idx(Reg::R15, Reg::RBX, 8, tbl));
+  b.mov(reg(Reg::RBX), reg(Reg::RAX));
+  b.shr(reg(Reg::RBX), imm(8));
+  b.and_(reg(Reg::RBX), imm(255));
+  b.mov(reg(Reg::R9), mem_idx(Reg::R15, Reg::RBX, 8, tbl + 0x1000));
+  b.mov(reg(Reg::RBX), reg(Reg::RAX));
+  b.shr(reg(Reg::RBX), imm(16));
+  b.and_(reg(Reg::RBX), imm(255));
+  b.mov(reg(Reg::R10), mem_idx(Reg::R15, Reg::RBX, 8, tbl + 0x2000));
+  b.mov(reg(Reg::RBX), reg(Reg::RAX));
+  b.shr(reg(Reg::RBX), imm(24));
+  b.and_(reg(Reg::RBX), imm(255));
+  b.mov(reg(Reg::R11), mem_idx(Reg::R15, Reg::RBX, 8, tbl + 0x3000));
+  // Mix.
+  b.xor_(reg(Reg::R8), reg(Reg::R9));
+  b.xor_(reg(Reg::R10), reg(Reg::R11));
+  b.xor_(reg(Reg::R8), reg(Reg::R10));
+  b.xor_(reg(Reg::RAX), reg(Reg::R8));
+  b.xor_(reg(Reg::RAX), reg(Reg::R12));
+  b.dec(reg(Reg::RDX));
+  b.jne("round_loop");
+  // Store ciphertext block.
+  b.mov(mem_idx(Reg::R15, Reg::RCX, 8, tbl - 0x10000), reg(Reg::RAX));
+  b.dec(reg(Reg::RCX));
+  b.jne("block_loop");
+  b.hlt();
+  return b.build();
+}
+
+isa::Program rsa_modexp(Rng& rng) {
+  const std::int64_t out = rand_base(rng, 0xA400'0000);
+  // Secret exponent: key-dependent branch pattern.
+  const std::int64_t exponent =
+      static_cast<std::int64_t>(rng.next() | (1ULL << 62));
+  const std::int64_t modulus =
+      static_cast<std::int64_t>(rng.uniform(1'000'003, 100'000'003)) | 1;
+
+  ProgramBuilder b("benign-modexp");
+  b.xor_(reg(Reg::R15), reg(Reg::R15));
+  b.mov(reg(Reg::R8), imm(exponent));
+  b.mov(reg(Reg::RAX), imm(1));  // result
+  b.mov(reg(Reg::RBX),
+        imm(static_cast<std::int64_t>(rng.uniform(2, 65537))));  // base
+  b.mov(reg(Reg::RCX), imm(63));
+  b.label("bit_loop");
+  // result = result^2 "mod" m (mask keeps magnitudes bounded).
+  b.imul(reg(Reg::RAX), reg(Reg::RAX));
+  b.and_(reg(Reg::RAX), imm(modulus));
+  // If the key bit is set: result *= base (the classic SM leak shape).
+  b.mov(reg(Reg::RDX), reg(Reg::R8));
+  b.shr(reg(Reg::RDX), reg(Reg::RCX));
+  b.and_(reg(Reg::RDX), imm(1));
+  b.test(reg(Reg::RDX), reg(Reg::RDX));
+  b.je("skip_mul");
+  b.imul(reg(Reg::RAX), reg(Reg::RBX));
+  b.and_(reg(Reg::RAX), imm(modulus));
+  b.mov(mem_idx(Reg::R15, Reg::RCX, 8, out), reg(Reg::RAX));  // trace buffer
+  b.label("skip_mul");
+  b.dec(reg(Reg::RCX));
+  b.cmp(reg(Reg::RCX), imm(0));
+  b.jge("bit_loop");
+  b.mov(mem_abs(out - 0x1000), reg(Reg::RAX));
+  b.hlt();
+  return b.build();
+}
+
+isa::Program stream_cipher(Rng& rng) {
+  const std::int64_t sbox = rand_base(rng, 0xA600'0000);
+  const std::int64_t msg = rand_base(rng, 0xA800'0000);
+  const std::int64_t len = static_cast<std::int64_t>(rng.uniform(200, 800));
+
+  ProgramBuilder b("benign-streamcipher");
+  Rng local = rng.split();
+  for (int e = 0; e < 256; ++e)
+    b.data_word(static_cast<std::uint64_t>(sbox + e * 8), local.next());
+  b.data_region(static_cast<std::uint64_t>(msg),
+                static_cast<std::uint64_t>(len * 8), 0x5c5c5c5c);
+
+  b.xor_(reg(Reg::R15), reg(Reg::R15));
+  b.mov(reg(Reg::R8), imm(static_cast<std::int64_t>(rng.next() | 1)));
+  b.mov(reg(Reg::RDI), imm(0));
+  b.label("xor_loop");
+  // keystream = sbox[(state >> 5) & 255]; state = state*prime + i
+  b.mov(reg(Reg::RBX), reg(Reg::R8));
+  b.shr(reg(Reg::RBX), imm(5));
+  b.and_(reg(Reg::RBX), imm(255));
+  b.mov(reg(Reg::RAX), mem_idx(Reg::R15, Reg::RBX, 8, sbox));
+  b.xor_(reg(Reg::RAX), mem_idx(Reg::R15, Reg::RDI, 8, msg));
+  b.mov(mem_idx(Reg::R15, Reg::RDI, 8, msg), reg(Reg::RAX));
+  b.imul(reg(Reg::R8), imm(6364136223846793005LL));
+  b.add(reg(Reg::R8), reg(Reg::RDI));
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(len));
+  b.jl("xor_loop");
+  b.hlt();
+  return b.build();
+}
+
+}  // namespace scag::benign

@@ -1,0 +1,126 @@
+// Hard benign cases: legitimate programs whose HPC profiles resemble
+// attacks. Self-profiling code reads rdtscp; persistent-memory commit
+// paths execute clflush after stores; latency microbenchmarks time loads.
+// These are the programs that force a detector to look at *structure*
+// (as SCAGuard does) instead of raw counter signatures.
+#include "benign/registry.h"
+
+#include "isa/builder.h"
+
+namespace scag::benign {
+
+using namespace scag::isa;  // NOLINT: builder DSL
+
+namespace {
+
+std::int64_t rand_base(Rng& rng, std::int64_t region) {
+  return region + static_cast<std::int64_t>(rng.below(0x100000) & ~0x3fULL);
+}
+
+}  // namespace
+
+isa::Program timed_kernel(Rng& rng) {
+  // Benchmark harness: repeatedly times a streaming kernel with rdtscp and
+  // stores the elapsed cycles (exactly what perf-style self-profiling does).
+  const std::int64_t data = rand_base(rng, 0xB200'0000);
+  const std::int64_t times = rand_base(rng, 0xB400'0000);
+  const std::int64_t len = static_cast<std::int64_t>(rng.uniform(128, 512));
+  const std::int64_t reps = static_cast<std::int64_t>(rng.uniform(6, 16));
+
+  ProgramBuilder b("benign-timedkernel");
+  b.data_region(static_cast<std::uint64_t>(data),
+                static_cast<std::uint64_t>(len * 8), 9);
+
+  b.xor_(reg(Reg::R15), reg(Reg::R15));
+  b.mov(reg(Reg::RCX), imm(reps));
+  b.label("rep_loop");
+  b.rdtscp(Reg::R8);
+  b.mov(reg(Reg::RDI), imm(0));
+  b.mov(reg(Reg::R10), imm(0));
+  b.label("kernel");
+  b.add(reg(Reg::R10), mem_idx(Reg::R15, Reg::RDI, 8, data));
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(len));
+  b.jl("kernel");
+  b.rdtscp(Reg::R9);
+  b.sub(reg(Reg::R9), reg(Reg::R8));
+  b.mov(mem_idx(Reg::R15, Reg::RCX, 8, times), reg(Reg::R9));
+  b.dec(reg(Reg::RCX));
+  b.jne("rep_loop");
+  b.mov(mem_abs(times - 0x1000), reg(Reg::R10));
+  b.hlt();
+  return b.build();
+}
+
+isa::Program flush_writeback(Rng& rng) {
+  // Persistent-memory commit path: write a log buffer, then clflush each
+  // written line and fence (databases and pmem libraries do exactly this).
+  const std::int64_t log = rand_base(rng, 0xB600'0000);
+  const std::int64_t entries = static_cast<std::int64_t>(rng.uniform(24, 96));
+  const std::int64_t txns = static_cast<std::int64_t>(rng.uniform(4, 12));
+
+  ProgramBuilder b("benign-flushwb");
+  b.xor_(reg(Reg::R15), reg(Reg::R15));
+  b.mov(reg(Reg::RCX), imm(txns));
+  b.mov(reg(Reg::R8), imm(static_cast<std::int64_t>(rng.next() | 1)));
+  b.label("txn_loop");
+  // Write phase: append entries (one per cache line).
+  b.mov(reg(Reg::RDI), imm(0));
+  b.label("write_loop");
+  b.mov(reg(Reg::RAX), reg(Reg::RDI));
+  b.shl(reg(Reg::RAX), imm(6));  // line stride
+  b.imul(reg(Reg::R8), imm(6364136223846793005LL));
+  b.mov(mem(Reg::RAX, log), reg(Reg::R8));
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(entries));
+  b.jl("write_loop");
+  // Commit phase: flush every written line, then fence.
+  b.mov(reg(Reg::RDI), imm(0));
+  b.label("commit_loop");
+  b.mov(reg(Reg::RAX), reg(Reg::RDI));
+  b.shl(reg(Reg::RAX), imm(6));
+  b.clflush(mem(Reg::RAX, log));
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(entries));
+  b.jl("commit_loop");
+  b.mfence();
+  b.dec(reg(Reg::RCX));
+  b.jne("txn_loop");
+  b.hlt();
+  return b.build();
+}
+
+isa::Program timed_lookup(Rng& rng) {
+  // Latency microbenchmark: times individual random table lookups and
+  // records each latency (cache-latency profilers look like this).
+  const std::int64_t table = rand_base(rng, 0xB800'0000);
+  const std::int64_t lat = rand_base(rng, 0xBA00'0000);
+  const std::int64_t tbl_len = 1LL << rng.uniform(6, 9);  // 64..512 lines
+  const std::int64_t probes = static_cast<std::int64_t>(rng.uniform(64, 256));
+
+  ProgramBuilder b("benign-timedlookup");
+  b.data_region(static_cast<std::uint64_t>(table),
+                static_cast<std::uint64_t>(tbl_len * 64), 11);
+
+  b.xor_(reg(Reg::R15), reg(Reg::R15));
+  b.mov(reg(Reg::RCX), imm(probes));
+  b.mov(reg(Reg::R10), imm(static_cast<std::int64_t>(rng.next() | 1)));
+  b.label("probe_loop");
+  b.imul(reg(Reg::R10), imm(6364136223846793005LL));
+  b.add(reg(Reg::R10), imm(12345));
+  b.mov(reg(Reg::RBX), reg(Reg::R10));
+  b.shr(reg(Reg::RBX), imm(23));
+  b.and_(reg(Reg::RBX), imm(tbl_len - 1));
+  b.shl(reg(Reg::RBX), imm(6));
+  b.rdtscp(Reg::R8);
+  b.mov(reg(Reg::RAX), mem(Reg::RBX, table));
+  b.rdtscp(Reg::R9);
+  b.sub(reg(Reg::R9), reg(Reg::R8));
+  b.mov(mem_idx(Reg::R15, Reg::RCX, 8, lat), reg(Reg::R9));
+  b.dec(reg(Reg::RCX));
+  b.jne("probe_loop");
+  b.hlt();
+  return b.build();
+}
+
+}  // namespace scag::benign

@@ -1,0 +1,235 @@
+// LeetCode-style algorithm kernels: classic interview problems over arrays,
+// standing in for the paper's 230-solution LeetCode corpus.
+#include "benign/registry.h"
+
+#include "isa/builder.h"
+
+namespace scag::benign {
+
+using namespace scag::isa;  // NOLINT: builder DSL
+
+namespace {
+
+std::int64_t rand_base(Rng& rng, std::int64_t region) {
+  // Line-granular placement: samples differ in which cache sets their data
+  // occupies, and distinct regions do not systematically alias.
+  return region + static_cast<std::int64_t>(rng.below(0x100000) & ~0x3fULL);
+}
+
+/// Seeds `len` pseudo-random words at `base`.
+void seed_array(ProgramBuilder& b, Rng& rng, std::int64_t base,
+                std::int64_t len, std::uint64_t mask = ~0ULL) {
+  Rng local = rng.split();
+  for (std::int64_t i = 0; i < len; ++i)
+    b.data_word(static_cast<std::uint64_t>(base + i * 8),
+                local.next() & mask);
+}
+
+}  // namespace
+
+isa::Program two_sum(Rng& rng) {
+  const std::int64_t len = static_cast<std::int64_t>(rng.uniform(40, 120));
+  const std::int64_t base = rand_base(rng, 0x9600'0000);
+  const std::int64_t out = base - 0x1000;
+
+  ProgramBuilder b("benign-twosum");
+  seed_array(b, rng, base, len, 0xffff);
+  const std::int64_t target = static_cast<std::int64_t>(rng.uniform(10, 60000));
+
+  b.xor_(reg(Reg::R15), reg(Reg::R15));
+  b.mov(reg(Reg::RDI), imm(0));  // i
+  b.label("i_loop");
+  b.mov(reg(Reg::RSI), reg(Reg::RDI));
+  b.inc(reg(Reg::RSI));  // j = i + 1
+  b.label("j_loop");
+  b.cmp(reg(Reg::RSI), imm(len));
+  b.jge("i_next");
+  b.mov(reg(Reg::RAX), mem_idx(Reg::R15, Reg::RDI, 8, base));
+  b.add(reg(Reg::RAX), mem_idx(Reg::R15, Reg::RSI, 8, base));
+  b.cmp(reg(Reg::RAX), imm(target));
+  b.jne("j_next");
+  b.mov(mem_abs(out), reg(Reg::RDI));
+  b.mov(mem_abs(out + 8), reg(Reg::RSI));
+  b.label("j_next");
+  b.inc(reg(Reg::RSI));
+  b.jmp("j_loop");
+  b.label("i_next");
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(len));
+  b.jl("i_loop");
+  b.hlt();
+  return b.build();
+}
+
+isa::Program binary_search(Rng& rng) {
+  const std::int64_t len = 1LL << rng.uniform(7, 10);  // 128..1024, sorted
+  const std::int64_t base = rand_base(rng, 0x9800'0000);
+  const std::int64_t queries = static_cast<std::int64_t>(rng.uniform(50, 200));
+
+  ProgramBuilder b("benign-bsearch");
+  // Sorted array: value = 3*i + small jitterless offset.
+  for (std::int64_t i = 0; i < len; ++i)
+    b.data_word(static_cast<std::uint64_t>(base + i * 8),
+                static_cast<std::uint64_t>(3 * i));
+
+  b.xor_(reg(Reg::R15), reg(Reg::R15));
+  b.mov(reg(Reg::RCX), imm(queries));
+  b.mov(reg(Reg::R10), imm(static_cast<std::int64_t>(rng.uniform(1, 997))));
+  b.label("query_loop");
+  // key = (r10 = r10*2862933555777941757 + 3037) % (3*len)
+  b.imul(reg(Reg::R10), imm(6364136223846793005LL));
+  b.add(reg(Reg::R10), imm(3037));
+  b.mov(reg(Reg::RDX), reg(Reg::R10));
+  b.shr(reg(Reg::RDX), imm(33));
+  b.and_(reg(Reg::RDX), imm(4 * len - 1));  // key in [0, 4len)
+  // lo = 0, hi = len
+  b.mov(reg(Reg::RDI), imm(0));
+  b.mov(reg(Reg::RSI), imm(len));
+  b.label("bs_loop");
+  b.mov(reg(Reg::RAX), reg(Reg::RDI));
+  b.add(reg(Reg::RAX), reg(Reg::RSI));
+  b.shr(reg(Reg::RAX), imm(1));  // mid
+  b.cmp(reg(Reg::RAX), reg(Reg::RDI));
+  b.je("bs_done");
+  b.mov(reg(Reg::RBX), mem_idx(Reg::R15, Reg::RAX, 8, base));
+  b.cmp(reg(Reg::RBX), reg(Reg::RDX));
+  b.jg("go_left");
+  b.mov(reg(Reg::RDI), reg(Reg::RAX));
+  b.jmp("bs_loop");
+  b.label("go_left");
+  b.mov(reg(Reg::RSI), reg(Reg::RAX));
+  b.jmp("bs_loop");
+  b.label("bs_done");
+  b.dec(reg(Reg::RCX));
+  b.jne("query_loop");
+  b.mov(mem_abs(base - 0x1000), reg(Reg::RDI));
+  b.hlt();
+  return b.build();
+}
+
+isa::Program fibonacci_dp(Rng& rng) {
+  const std::int64_t n = static_cast<std::int64_t>(rng.uniform(300, 2000));
+  const std::int64_t base = rand_base(rng, 0x9A00'0000);
+
+  ProgramBuilder b("benign-fib");
+  b.data_word(static_cast<std::uint64_t>(base), 0);
+  b.data_word(static_cast<std::uint64_t>(base + 8), 1);
+
+  b.xor_(reg(Reg::R15), reg(Reg::R15));
+  b.mov(reg(Reg::RDI), imm(2));
+  b.label("fib_loop");
+  b.mov(reg(Reg::RAX), mem_idx(Reg::R15, Reg::RDI, 8, base - 8));
+  b.add(reg(Reg::RAX), mem_idx(Reg::R15, Reg::RDI, 8, base - 16));
+  b.mov(mem_idx(Reg::R15, Reg::RDI, 8, base), reg(Reg::RAX));
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(n));
+  b.jl("fib_loop");
+  b.hlt();
+  return b.build();
+}
+
+isa::Program max_subarray(Rng& rng) {
+  const std::int64_t len = static_cast<std::int64_t>(rng.uniform(300, 1500));
+  const std::int64_t base = rand_base(rng, 0x9C00'0000);
+
+  ProgramBuilder b("benign-kadane");
+  Rng local = rng.split();
+  for (std::int64_t i = 0; i < len; ++i) {
+    // Signed values in [-128, 127].
+    const std::int64_t v = static_cast<std::int64_t>(local.below(256)) - 128;
+    b.data_word(static_cast<std::uint64_t>(base + i * 8),
+                static_cast<std::uint64_t>(v));
+  }
+
+  b.xor_(reg(Reg::R15), reg(Reg::R15));
+  b.mov(reg(Reg::RDI), imm(0));
+  b.mov(reg(Reg::R8), imm(0));   // current
+  b.mov(reg(Reg::R9), imm(0));   // best
+  b.label("scan");
+  b.add(reg(Reg::R8), mem_idx(Reg::R15, Reg::RDI, 8, base));
+  b.cmp(reg(Reg::R8), imm(0));
+  b.jge("keep");
+  b.mov(reg(Reg::R8), imm(0));
+  b.label("keep");
+  b.cmp(reg(Reg::R8), reg(Reg::R9));
+  b.jle("no_update");
+  b.mov(reg(Reg::R9), reg(Reg::R8));
+  b.label("no_update");
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(len));
+  b.jl("scan");
+  b.mov(mem_abs(base - 0x1000), reg(Reg::R9));
+  b.hlt();
+  return b.build();
+}
+
+isa::Program sieve(Rng& rng) {
+  const std::int64_t n = static_cast<std::int64_t>(rng.uniform(500, 3000));
+  const std::int64_t base = rand_base(rng, 0x9E00'0000);
+
+  ProgramBuilder b("benign-sieve");
+  b.xor_(reg(Reg::R15), reg(Reg::R15));
+  // Mark composites: for p in 2..sqrt(n): for m = p*p step p: sieve[m] = 1.
+  b.mov(reg(Reg::RDI), imm(2));  // p
+  b.label("p_loop");
+  b.mov(reg(Reg::RAX), reg(Reg::RDI));
+  b.imul(reg(Reg::RAX), reg(Reg::RDI));
+  b.cmp(reg(Reg::RAX), imm(n));
+  b.jge("done");
+  b.mov(reg(Reg::RSI), reg(Reg::RAX));  // m = p*p
+  b.label("mark");
+  b.mov(mem_idx(Reg::R15, Reg::RSI, 8, base), reg(Reg::RDI));
+  b.add(reg(Reg::RSI), reg(Reg::RDI));
+  b.cmp(reg(Reg::RSI), imm(n));
+  b.jl("mark");
+  b.inc(reg(Reg::RDI));
+  b.jmp("p_loop");
+  b.label("done");
+  // Count primes.
+  b.mov(reg(Reg::RDI), imm(2));
+  b.mov(reg(Reg::RCX), imm(0));
+  b.label("count");
+  b.mov(reg(Reg::RAX), mem_idx(Reg::R15, Reg::RDI, 8, base));
+  b.test(reg(Reg::RAX), reg(Reg::RAX));
+  b.jne("not_prime");
+  b.inc(reg(Reg::RCX));
+  b.label("not_prime");
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(n));
+  b.jl("count");
+  b.mov(mem_abs(base - 0x1000), reg(Reg::RCX));
+  b.hlt();
+  return b.build();
+}
+
+isa::Program reverse_array(Rng& rng) {
+  const std::int64_t len = static_cast<std::int64_t>(rng.uniform(200, 1000));
+  const std::int64_t base = rand_base(rng, 0xA000'0000);
+  const std::int64_t reps = static_cast<std::int64_t>(rng.uniform(2, 6));
+
+  ProgramBuilder b("benign-reverse");
+  seed_array(b, rng, base, len);
+
+  b.xor_(reg(Reg::R15), reg(Reg::R15));
+  b.mov(reg(Reg::RCX), imm(reps));
+  b.label("rep");
+  b.mov(reg(Reg::RDI), imm(0));
+  b.mov(reg(Reg::RSI), imm(len - 1));
+  b.label("swap_loop");
+  b.cmp(reg(Reg::RDI), reg(Reg::RSI));
+  b.jge("rep_next");
+  b.mov(reg(Reg::RAX), mem_idx(Reg::R15, Reg::RDI, 8, base));
+  b.mov(reg(Reg::RBX), mem_idx(Reg::R15, Reg::RSI, 8, base));
+  b.mov(mem_idx(Reg::R15, Reg::RDI, 8, base), reg(Reg::RBX));
+  b.mov(mem_idx(Reg::R15, Reg::RSI, 8, base), reg(Reg::RAX));
+  b.inc(reg(Reg::RDI));
+  b.dec(reg(Reg::RSI));
+  b.jmp("swap_loop");
+  b.label("rep_next");
+  b.dec(reg(Reg::RCX));
+  b.jne("rep");
+  b.hlt();
+  return b.build();
+}
+
+}  // namespace scag::benign

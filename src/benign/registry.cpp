@@ -1,0 +1,41 @@
+#include "benign/registry.h"
+
+namespace scag::benign {
+
+const std::vector<BenignSpec>& all_benign_templates() {
+  static const std::vector<BenignSpec> templates = {
+      {"matmul", "SPEC2006", matmul},
+      {"stream-triad", "SPEC2006", stream_triad},
+      {"pointer-chase", "SPEC2006", pointer_chase},
+      {"stencil", "SPEC2006", stencil},
+      {"histogram", "SPEC2006", histogram},
+      {"two-sum", "LeetCode", two_sum},
+      {"binary-search", "LeetCode", binary_search},
+      {"fibonacci-dp", "LeetCode", fibonacci_dp},
+      {"max-subarray", "LeetCode", max_subarray},
+      {"sieve", "LeetCode", sieve},
+      {"reverse-array", "LeetCode", reverse_array},
+      {"quicksort", "LeetCode", quicksort},
+      {"graph-bfs", "LeetCode", graph_bfs},
+      {"aes-ttables", "Encryption", aes_ttables},
+      {"rsa-modexp", "Encryption", rsa_modexp},
+      {"stream-cipher", "Encryption", stream_cipher},
+      {"hashtable-server", "Server", hashtable_server},
+      {"parser-checksum", "Server", parser_checksum},
+      {"lz-window-copy", "Server", lz_window_copy},
+      {"timed-kernel", "SPEC2006", timed_kernel},
+      {"flush-writeback", "Server", flush_writeback},
+      {"timed-lookup", "LeetCode", timed_lookup},
+  };
+  return templates;
+}
+
+isa::Program generate_benign(std::size_t index, Rng& rng) {
+  const auto& templates = all_benign_templates();
+  const BenignSpec& spec = templates[index % templates.size()];
+  isa::Program p = spec.build(rng);
+  p.set_name(spec.name + "-" + std::to_string(index));
+  return p;
+}
+
+}  // namespace scag::benign

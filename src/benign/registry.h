@@ -1,0 +1,66 @@
+// Benign program generators — the Table III substitute.
+//
+// Four categories mirroring the paper's benign dataset: SPEC-like compute
+// kernels, LeetCode-style algorithm solutions, cryptographic kernels
+// (table-based AES and square-and-multiply RSA — the classic
+// false-positive bait, since they perform heavy key-dependent memory
+// access), and server-application-style loops. Every template is
+// parameterized by an Rng so each generated sample differs in sizes,
+// constants, data layout, and loop structure.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+#include "support/rng.h"
+
+namespace scag::benign {
+
+struct BenignSpec {
+  std::string name;
+  std::string category;  // "SPEC2006" | "LeetCode" | "Encryption" | "Server"
+  std::function<isa::Program(Rng&)> build;
+};
+
+// ---- SPEC-like kernels ----------------------------------------------------
+isa::Program matmul(Rng& rng);         // blocked matrix multiply
+isa::Program stream_triad(Rng& rng);   // a[i] = b[i] + k*c[i]
+isa::Program pointer_chase(Rng& rng);  // mcf-style linked traversal
+isa::Program stencil(Rng& rng);        // 1-D 3-point stencil sweeps
+isa::Program histogram(Rng& rng);      // data-dependent binning
+
+// ---- LeetCode-style solutions ----------------------------------------------
+isa::Program two_sum(Rng& rng);
+isa::Program binary_search(Rng& rng);
+isa::Program fibonacci_dp(Rng& rng);
+isa::Program max_subarray(Rng& rng);   // Kadane
+isa::Program sieve(Rng& rng);          // Eratosthenes
+isa::Program reverse_array(Rng& rng);
+isa::Program quicksort(Rng& rng);      // iterative, explicit range stack
+isa::Program graph_bfs(Rng& rng);      // array-queue BFS over a random graph
+
+// ---- Cryptographic kernels --------------------------------------------------
+isa::Program aes_ttables(Rng& rng);    // 4 T-tables, key-dependent lookups
+isa::Program rsa_modexp(Rng& rng);     // square-and-multiply, key-bit branches
+isa::Program stream_cipher(Rng& rng);  // S-box driven XOR stream
+
+// ---- Server-application style ----------------------------------------------
+isa::Program hashtable_server(Rng& rng);  // request loop with table probes
+isa::Program parser_checksum(Rng& rng);   // buffer scan + checksum
+isa::Program lz_window_copy(Rng& rng);    // gzip-ish window copies
+
+// ---- Hard cases: benign programs with attack-like HPC profiles -------------
+isa::Program timed_kernel(Rng& rng);      // self-profiling benchmark (rdtscp)
+isa::Program flush_writeback(Rng& rng);   // pmem-style commit (clflush+fence)
+isa::Program timed_lookup(Rng& rng);      // load-latency microbenchmark
+
+/// All benign templates.
+const std::vector<BenignSpec>& all_benign_templates();
+
+/// Deterministically generates the i-th benign sample: templates are cycled
+/// and each instance draws its parameters from `rng`.
+isa::Program generate_benign(std::size_t index, Rng& rng);
+
+}  // namespace scag::benign

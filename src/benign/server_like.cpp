@@ -1,0 +1,150 @@
+// Server-application-style workloads: request loops with hash-table probes
+// (SQLite-ish), buffer parsing with checksums (thttpd-ish), and LZ-style
+// window copies (gzip-ish) — the paper's "Server Applications" category.
+#include "benign/registry.h"
+
+#include "isa/builder.h"
+
+namespace scag::benign {
+
+using namespace scag::isa;  // NOLINT: builder DSL
+
+namespace {
+
+std::int64_t rand_base(Rng& rng, std::int64_t region) {
+  // Line-granular placement: samples differ in which cache sets their data
+  // occupies, and distinct regions do not systematically alias.
+  return region + static_cast<std::int64_t>(rng.below(0x100000) & ~0x3fULL);
+}
+
+}  // namespace
+
+isa::Program hashtable_server(Rng& rng) {
+  const std::int64_t table = rand_base(rng, 0xAA00'0000);
+  const std::int64_t buckets = 1LL << rng.uniform(8, 11);  // 256..2048
+  const std::int64_t requests =
+      static_cast<std::int64_t>(rng.uniform(200, 800));
+
+  ProgramBuilder b("benign-htserver");
+  // Pre-populated table: value = hash of bucket index.
+  Rng local = rng.split();
+  for (std::int64_t i = 0; i < buckets; ++i)
+    b.data_word(static_cast<std::uint64_t>(table + i * 8),
+                local.next() | 1);
+
+  b.xor_(reg(Reg::R15), reg(Reg::R15));
+  b.mov(reg(Reg::RCX), imm(requests));
+  b.mov(reg(Reg::R8), imm(static_cast<std::int64_t>(rng.next() | 1)));
+  b.mov(reg(Reg::R10), imm(0));  // response accumulator
+  b.label("request_loop");
+  // key = splitmix-ish step
+  b.imul(reg(Reg::R8), imm(6364136223846793005LL));
+  b.add(reg(Reg::R8), imm(1442695040888963407LL));
+  b.mov(reg(Reg::RBX), reg(Reg::R8));
+  b.shr(reg(Reg::RBX), imm(17));
+  b.and_(reg(Reg::RBX), imm(buckets - 1));
+  // Probe with linear probing (up to 3 probes).
+  b.mov(reg(Reg::RAX), mem_idx(Reg::R15, Reg::RBX, 8, table));
+  b.test(reg(Reg::RAX), reg(Reg::RAX));
+  b.jne("hit");
+  b.inc(reg(Reg::RBX));
+  b.and_(reg(Reg::RBX), imm(buckets - 1));
+  b.mov(reg(Reg::RAX), mem_idx(Reg::R15, Reg::RBX, 8, table));
+  b.label("hit");
+  b.add(reg(Reg::R10), reg(Reg::RAX));
+  // Occasionally update the bucket ("write query").
+  b.mov(reg(Reg::RDX), reg(Reg::R8));
+  b.and_(reg(Reg::RDX), imm(7));
+  b.test(reg(Reg::RDX), reg(Reg::RDX));
+  b.jne("no_write");
+  b.mov(mem_idx(Reg::R15, Reg::RBX, 8, table), reg(Reg::R10));
+  b.label("no_write");
+  b.dec(reg(Reg::RCX));
+  b.jne("request_loop");
+  b.mov(mem_abs(table - 0x1000), reg(Reg::R10));
+  b.hlt();
+  return b.build();
+}
+
+isa::Program parser_checksum(Rng& rng) {
+  const std::int64_t buf = rand_base(rng, 0xAC00'0000);
+  const std::int64_t len = static_cast<std::int64_t>(rng.uniform(300, 1200));
+  const std::int64_t msgs = static_cast<std::int64_t>(rng.uniform(2, 6));
+
+  ProgramBuilder b("benign-parser");
+  Rng local = rng.split();
+  for (std::int64_t i = 0; i < len; ++i)
+    b.data_word(static_cast<std::uint64_t>(buf + i * 8),
+                local.next() & 0x7f7f7f7f);
+
+  b.xor_(reg(Reg::R15), reg(Reg::R15));
+  b.mov(reg(Reg::RCX), imm(msgs));
+  b.label("msg_loop");
+  b.mov(reg(Reg::RDI), imm(0));
+  b.mov(reg(Reg::R8), imm(0));   // checksum
+  b.mov(reg(Reg::R9), imm(0));   // token count
+  b.label("scan");
+  b.mov(reg(Reg::RAX), mem_idx(Reg::R15, Reg::RDI, 8, buf));
+  // "Delimiter" check: low byte == 0x20.
+  b.mov(reg(Reg::RBX), reg(Reg::RAX));
+  b.and_(reg(Reg::RBX), imm(255));
+  b.cmp(reg(Reg::RBX), imm(0x20));
+  b.jne("not_delim");
+  b.inc(reg(Reg::R9));
+  b.label("not_delim");
+  // Rolling checksum.
+  b.imul(reg(Reg::R8), imm(31));
+  b.add(reg(Reg::R8), reg(Reg::RAX));
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(len));
+  b.jl("scan");
+  // Write response header.
+  b.mov(mem_abs(buf - 0x1000), reg(Reg::R8));
+  b.mov(mem_abs(buf - 0x1000 + 8), reg(Reg::R9));
+  b.dec(reg(Reg::RCX));
+  b.jne("msg_loop");
+  b.hlt();
+  return b.build();
+}
+
+isa::Program lz_window_copy(Rng& rng) {
+  const std::int64_t src = rand_base(rng, 0xAE00'0000);
+  const std::int64_t dst = rand_base(rng, 0xB000'0000);
+  const std::int64_t len = static_cast<std::int64_t>(rng.uniform(200, 600));
+  const std::int64_t copies = static_cast<std::int64_t>(rng.uniform(30, 120));
+
+  ProgramBuilder b("benign-lzcopy");
+  Rng local = rng.split();
+  for (std::int64_t i = 0; i < len; ++i)
+    b.data_word(static_cast<std::uint64_t>(src + i * 8), local.next());
+
+  b.xor_(reg(Reg::R15), reg(Reg::R15));
+  b.mov(reg(Reg::RCX), imm(copies));
+  b.mov(reg(Reg::R8), imm(static_cast<std::int64_t>(rng.next() | 1)));
+  b.mov(reg(Reg::R12), imm(0));  // output cursor
+  b.label("copy_loop");
+  // Pick (offset, length) pseudo-randomly like LZ back-references.
+  b.imul(reg(Reg::R8), imm(6364136223846793005LL));
+  b.add(reg(Reg::R8), imm(99991));
+  b.mov(reg(Reg::RDI), reg(Reg::R8));
+  b.shr(reg(Reg::RDI), imm(13));
+  b.and_(reg(Reg::RDI), imm(len / 2 - 1));  // source offset
+  b.mov(reg(Reg::RDX), reg(Reg::R8));
+  b.shr(reg(Reg::RDX), imm(41));
+  b.and_(reg(Reg::RDX), imm(15));
+  b.inc(reg(Reg::RDX));  // run length 1..16
+  b.label("run_loop");
+  b.mov(reg(Reg::RAX), mem_idx(Reg::R15, Reg::RDI, 8, src));
+  b.mov(mem_idx(Reg::R15, Reg::R12, 8, dst), reg(Reg::RAX));
+  b.inc(reg(Reg::RDI));
+  b.inc(reg(Reg::R12));
+  b.and_(reg(Reg::R12), imm(2047));  // wrap the output window
+  b.dec(reg(Reg::RDX));
+  b.jne("run_loop");
+  b.dec(reg(Reg::RCX));
+  b.jne("copy_loop");
+  b.hlt();
+  return b.build();
+}
+
+}  // namespace scag::benign

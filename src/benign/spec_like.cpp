@@ -1,0 +1,193 @@
+// SPEC-like compute kernels: dense linear algebra, streaming, pointer
+// chasing, stencils, and histogramming — the "different degrees of memory
+// accesses" the paper's benign set covers.
+#include "benign/registry.h"
+
+#include "isa/builder.h"
+
+namespace scag::benign {
+
+using namespace scag::isa;  // NOLINT: builder DSL
+
+namespace {
+
+/// Randomized data-segment base so layouts differ across samples.
+std::int64_t rand_base(Rng& rng, std::int64_t region) {
+  // Line-granular placement: samples differ in which cache sets their data
+  // occupies, and distinct regions do not systematically alias.
+  return region + static_cast<std::int64_t>(rng.below(0x100000) & ~0x3fULL);
+}
+
+}  // namespace
+
+isa::Program matmul(Rng& rng) {
+  const std::int64_t n = static_cast<std::int64_t>(rng.uniform(6, 12));
+  const std::int64_t a_base = rand_base(rng, 0x8000'0000);
+  const std::int64_t b_base = rand_base(rng, 0x8200'0000);
+  const std::int64_t c_base = rand_base(rng, 0x8400'0000);
+
+  ProgramBuilder b("benign-matmul");
+  b.data_region(static_cast<std::uint64_t>(a_base),
+                static_cast<std::uint64_t>(n * n * 8), rng.next() % 97);
+  b.data_region(static_cast<std::uint64_t>(b_base),
+                static_cast<std::uint64_t>(n * n * 8), rng.next() % 89);
+
+  b.xor_(reg(Reg::R15), reg(Reg::R15));
+  b.mov(reg(Reg::RDI), imm(0));  // i
+  b.label("i_loop");
+  b.mov(reg(Reg::RSI), imm(0));  // j
+  b.label("j_loop");
+  b.mov(reg(Reg::RDX), imm(0));  // k
+  b.mov(reg(Reg::R10), imm(0));  // acc
+  b.label("k_loop");
+  // acc += A[i*n+k] * B[k*n+j]
+  b.mov(reg(Reg::RAX), reg(Reg::RDI));
+  b.imul(reg(Reg::RAX), imm(n));
+  b.add(reg(Reg::RAX), reg(Reg::RDX));
+  b.mov(reg(Reg::R8), mem_idx(Reg::R15, Reg::RAX, 8, a_base));
+  b.mov(reg(Reg::RBX), reg(Reg::RDX));
+  b.imul(reg(Reg::RBX), imm(n));
+  b.add(reg(Reg::RBX), reg(Reg::RSI));
+  b.mov(reg(Reg::R9), mem_idx(Reg::R15, Reg::RBX, 8, b_base));
+  b.imul(reg(Reg::R8), reg(Reg::R9));
+  b.add(reg(Reg::R10), reg(Reg::R8));
+  b.inc(reg(Reg::RDX));
+  b.cmp(reg(Reg::RDX), imm(n));
+  b.jl("k_loop");
+  // C[i*n+j] = acc
+  b.mov(reg(Reg::RAX), reg(Reg::RDI));
+  b.imul(reg(Reg::RAX), imm(n));
+  b.add(reg(Reg::RAX), reg(Reg::RSI));
+  b.mov(mem_idx(Reg::R15, Reg::RAX, 8, c_base), reg(Reg::R10));
+  b.inc(reg(Reg::RSI));
+  b.cmp(reg(Reg::RSI), imm(n));
+  b.jl("j_loop");
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(n));
+  b.jl("i_loop");
+  b.hlt();
+  return b.build();
+}
+
+isa::Program stream_triad(Rng& rng) {
+  const std::int64_t len = static_cast<std::int64_t>(rng.uniform(256, 1024));
+  const std::int64_t scale_k = static_cast<std::int64_t>(rng.uniform(2, 9));
+  const std::int64_t a_base = rand_base(rng, 0x8600'0000);
+  const std::int64_t b_base = rand_base(rng, 0x8800'0000);
+  const std::int64_t c_base = rand_base(rng, 0x8A00'0000);
+
+  ProgramBuilder b("benign-stream");
+  b.data_region(static_cast<std::uint64_t>(b_base),
+                static_cast<std::uint64_t>(len * 8), 5);
+  b.data_region(static_cast<std::uint64_t>(c_base),
+                static_cast<std::uint64_t>(len * 8), 3);
+
+  b.xor_(reg(Reg::R15), reg(Reg::R15));
+  const std::int64_t passes = static_cast<std::int64_t>(rng.uniform(2, 5));
+  b.mov(reg(Reg::RCX), imm(passes));
+  b.label("pass_loop");
+  b.mov(reg(Reg::RDI), imm(0));
+  b.label("elem_loop");
+  b.mov(reg(Reg::RAX), mem_idx(Reg::R15, Reg::RDI, 8, b_base));
+  b.mov(reg(Reg::RBX), mem_idx(Reg::R15, Reg::RDI, 8, c_base));
+  b.imul(reg(Reg::RBX), imm(scale_k));
+  b.add(reg(Reg::RAX), reg(Reg::RBX));
+  b.mov(mem_idx(Reg::R15, Reg::RDI, 8, a_base), reg(Reg::RAX));
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(len));
+  b.jl("elem_loop");
+  b.dec(reg(Reg::RCX));
+  b.jne("pass_loop");
+  b.hlt();
+  return b.build();
+}
+
+isa::Program pointer_chase(Rng& rng) {
+  const std::size_t nodes = static_cast<std::size_t>(rng.uniform(128, 512));
+  const std::int64_t base = rand_base(rng, 0x8C00'0000);
+  // Build a random cycle: next[perm[i]] = perm[i+1].
+  std::vector<std::size_t> perm(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) perm[i] = i;
+  Rng local = rng.split();
+  local.shuffle(perm);
+
+  ProgramBuilder b("benign-ptrchase");
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const std::size_t from = perm[i];
+    const std::size_t to = perm[(i + 1) % nodes];
+    // Node stride of 64 bytes so each node is its own cache line.
+    b.data_word(static_cast<std::uint64_t>(base) + from * 64,
+                static_cast<std::uint64_t>(base) + to * 64);
+  }
+
+  const std::int64_t hops = static_cast<std::int64_t>(rng.uniform(
+      nodes * 2, nodes * 4));
+  b.xor_(reg(Reg::R15), reg(Reg::R15));
+  b.lea(reg(Reg::RAX), mem_abs(base));
+  b.mov(reg(Reg::RCX), imm(hops));
+  b.label("chase");
+  b.mov(reg(Reg::RAX), mem(Reg::RAX));
+  b.dec(reg(Reg::RCX));
+  b.jne("chase");
+  b.mov(mem_abs(base - 0x1000), reg(Reg::RAX));
+  b.hlt();
+  return b.build();
+}
+
+isa::Program stencil(Rng& rng) {
+  const std::int64_t len = static_cast<std::int64_t>(rng.uniform(200, 800));
+  const std::int64_t sweeps = static_cast<std::int64_t>(rng.uniform(2, 6));
+  const std::int64_t src = rand_base(rng, 0x8E00'0000);
+  const std::int64_t dst = rand_base(rng, 0x9000'0000);
+
+  ProgramBuilder b("benign-stencil");
+  b.data_region(static_cast<std::uint64_t>(src),
+                static_cast<std::uint64_t>(len * 8), 7);
+
+  b.xor_(reg(Reg::R15), reg(Reg::R15));
+  b.mov(reg(Reg::RCX), imm(sweeps));
+  b.label("sweep");
+  b.mov(reg(Reg::RDI), imm(1));
+  b.label("cell");
+  b.mov(reg(Reg::RAX), mem_idx(Reg::R15, Reg::RDI, 8, src - 8));
+  b.add(reg(Reg::RAX), mem_idx(Reg::R15, Reg::RDI, 8, src));
+  b.add(reg(Reg::RAX), mem_idx(Reg::R15, Reg::RDI, 8, src + 8));
+  b.shr(reg(Reg::RAX), imm(1));
+  b.mov(mem_idx(Reg::R15, Reg::RDI, 8, dst), reg(Reg::RAX));
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(len - 1));
+  b.jl("cell");
+  b.dec(reg(Reg::RCX));
+  b.jne("sweep");
+  b.hlt();
+  return b.build();
+}
+
+isa::Program histogram(Rng& rng) {
+  const std::int64_t len = static_cast<std::int64_t>(rng.uniform(400, 1200));
+  const std::int64_t bins = 1LL << rng.uniform(4, 7);  // 16..64 bins
+  const std::int64_t data = rand_base(rng, 0x9200'0000);
+  const std::int64_t hist = rand_base(rng, 0x9400'0000);
+
+  ProgramBuilder b("benign-histogram");
+  // Pseudo-random input values.
+  Rng local = rng.split();
+  for (std::int64_t i = 0; i < len; ++i)
+    b.data_word(static_cast<std::uint64_t>(data + i * 8), local.next());
+
+  b.xor_(reg(Reg::R15), reg(Reg::R15));
+  b.mov(reg(Reg::RDI), imm(0));
+  b.label("scan");
+  b.mov(reg(Reg::RAX), mem_idx(Reg::R15, Reg::RDI, 8, data));
+  b.and_(reg(Reg::RAX), imm(bins - 1));
+  b.mov(reg(Reg::RBX), mem_idx(Reg::R15, Reg::RAX, 8, hist));
+  b.inc(reg(Reg::RBX));
+  b.mov(mem_idx(Reg::R15, Reg::RAX, 8, hist), reg(Reg::RBX));
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(len));
+  b.jl("scan");
+  b.hlt();
+  return b.build();
+}
+
+}  // namespace scag::benign

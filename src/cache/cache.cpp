@@ -1,0 +1,208 @@
+#include "cache/cache.h"
+
+#include <stdexcept>
+
+namespace scag::cache {
+
+namespace {
+bool is_pow2(std::uint32_t x) { return x != 0 && (x & (x - 1)) == 0; }
+}  // namespace
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  if (config_.num_sets == 0 || config_.ways == 0)
+    throw std::invalid_argument("Cache: sets/ways must be positive");
+  if (!is_pow2(config_.line_size))
+    throw std::invalid_argument("Cache: line_size must be a power of two");
+  if (config_.policy == ReplacementPolicy::kPlru && !is_pow2(config_.ways))
+    throw std::invalid_argument("Cache: PLRU requires power-of-two ways");
+  lines_.resize(static_cast<std::size_t>(config_.num_sets) * config_.ways);
+  if (config_.policy == ReplacementPolicy::kPlru)
+    plru_bits_.assign(config_.num_sets, 0);
+}
+
+Cache::Line* Cache::find(std::uint64_t addr) {
+  const std::uint64_t la = line_addr(addr);
+  const std::size_t base =
+      static_cast<std::size_t>(set_index(addr)) * config_.ways;
+  for (std::size_t w = 0; w < config_.ways; ++w) {
+    Line& line = lines_[base + w];
+    if (line.valid && line.tag == la) return &line;
+  }
+  return nullptr;
+}
+
+const Cache::Line* Cache::find(std::uint64_t addr) const {
+  return const_cast<Cache*>(this)->find(addr);
+}
+
+std::size_t Cache::pick_victim(std::size_t set_idx, std::size_t base) {
+  switch (config_.policy) {
+    case ReplacementPolicy::kLru:
+    case ReplacementPolicy::kFifo: {
+      // Smallest stamp wins: last-touch for LRU, insertion time for FIFO
+      // (FIFO simply never refreshes the stamp on a hit).
+      std::size_t victim = 0;
+      for (std::size_t w = 1; w < config_.ways; ++w)
+        if (lines_[base + w].lru < lines_[base + victim].lru) victim = w;
+      return victim;
+    }
+    case ReplacementPolicy::kPlru: {
+      // Follow the tree bits: bit 0 is the root; a set bit means "go
+      // right". The victim is the leaf the bits point away from... i.e.
+      // we walk TOWARD the side the bits indicate is colder.
+      std::uint32_t bits = plru_bits_[set_idx];
+      std::size_t node = 0;  // index within the implicit tree
+      std::size_t lo = 0, span = config_.ways;
+      while (span > 1) {
+        const bool right = (bits >> node) & 1u;
+        span /= 2;
+        if (right) lo += span;
+        node = 2 * node + 1 + (right ? 1 : 0);
+      }
+      return lo;
+    }
+    case ReplacementPolicy::kRandom: {
+      // xorshift64*: deterministic, independent of program addresses.
+      rand_state_ ^= rand_state_ >> 12;
+      rand_state_ ^= rand_state_ << 25;
+      rand_state_ ^= rand_state_ >> 27;
+      return static_cast<std::size_t>(
+          (rand_state_ * 0x2545F4914F6CDD1DULL) % config_.ways);
+    }
+  }
+  return 0;
+}
+
+void Cache::touch(std::size_t set_idx, std::size_t way, bool is_fill) {
+  switch (config_.policy) {
+    case ReplacementPolicy::kLru:
+      lines_[set_idx * config_.ways + way].lru = tick_;
+      break;
+    case ReplacementPolicy::kFifo:
+      if (is_fill) lines_[set_idx * config_.ways + way].lru = tick_;
+      break;
+    case ReplacementPolicy::kPlru: {
+      // Flip the bits along the path to `way` to point AWAY from it.
+      std::uint32_t& bits = plru_bits_[set_idx];
+      std::size_t node = 0;
+      std::size_t lo = 0, span = config_.ways;
+      while (span > 1) {
+        span /= 2;
+        const bool went_right = way >= lo + span;
+        // Point the bit at the OTHER half.
+        if (went_right) {
+          bits &= ~(1u << node);
+          lo += span;
+        } else {
+          bits |= (1u << node);
+        }
+        node = 2 * node + 1 + (went_right ? 1 : 0);
+      }
+      break;
+    }
+    case ReplacementPolicy::kRandom:
+      break;  // stateless
+  }
+}
+
+AccessOutcome Cache::access(std::uint64_t addr, AccessType /*type*/,
+                            Owner owner) {
+  ++tick_;
+  AccessOutcome out;
+  const std::size_t set_idx = set_index(addr);
+  const std::size_t base = set_idx * config_.ways;
+  if (Line* line = find(addr)) {
+    touch(set_idx, static_cast<std::size_t>(line - &lines_[base]),
+          /*is_fill=*/false);
+    line->owner = owner;
+    out.hit = true;
+    ++hits_;
+    return out;
+  }
+  ++misses_;
+  // Miss: fill an invalid way if one exists, else evict per policy.
+  std::size_t way = config_.ways;
+  for (std::size_t w = 0; w < config_.ways; ++w) {
+    if (!lines_[base + w].valid) {
+      way = w;
+      break;
+    }
+  }
+  if (way == config_.ways) way = pick_victim(set_idx, base);
+  Line& victim = lines_[base + way];
+  if (victim.valid) {
+    out.evicted = true;
+    out.evicted_line_addr = victim.tag;
+    out.evicted_owner = victim.owner;
+  }
+  victim.valid = true;
+  victim.tag = line_addr(addr);
+  victim.owner = owner;
+  touch(set_idx, way, /*is_fill=*/true);
+  return out;
+}
+
+bool Cache::probe(std::uint64_t addr) const { return find(addr) != nullptr; }
+
+bool Cache::flush(std::uint64_t addr) {
+  if (Line* line = find(addr)) {
+    line->valid = false;
+    line->owner = Owner::kNone;
+    return true;
+  }
+  return false;
+}
+
+void Cache::clear() {
+  for (Line& line : lines_) {
+    line.valid = false;
+    line.owner = Owner::kNone;
+    line.lru = 0;
+  }
+  for (auto& bits : plru_bits_) bits = 0;
+  tick_ = 0;
+}
+
+void Cache::fill_all(Owner owner) {
+  // Synthetic line addresses far above any program address so they cannot
+  // alias with real data: set s way w gets line (1<<60) + (w*num_sets + s).
+  clear();
+  for (std::uint32_t s = 0; s < config_.num_sets; ++s) {
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+      const std::uint64_t fake_line_index =
+          static_cast<std::uint64_t>(w) * config_.num_sets + s;
+      const std::uint64_t addr =
+          (1ULL << 60) + fake_line_index * config_.line_size * config_.num_sets +
+          static_cast<std::uint64_t>(s) * config_.line_size;
+      access(addr, AccessType::kLoad, owner);
+    }
+  }
+  reset_counters();
+}
+
+double Cache::occupancy(Owner owner) const {
+  std::size_t count = 0;
+  for (const Line& line : lines_)
+    if (line.valid && line.owner == owner) ++count;
+  return static_cast<double>(count) / static_cast<double>(lines_.size());
+}
+
+double Cache::total_occupancy() const {
+  std::size_t count = 0;
+  for (const Line& line : lines_)
+    if (line.valid) ++count;
+  return static_cast<double>(count) / static_cast<double>(lines_.size());
+}
+
+std::uint32_t Cache::set_occupancy(std::uint64_t addr, Owner owner) const {
+  const std::size_t base =
+      static_cast<std::size_t>(set_index(addr)) * config_.ways;
+  std::uint32_t count = 0;
+  for (std::size_t w = 0; w < config_.ways; ++w) {
+    const Line& line = lines_[base + w];
+    if (line.valid && line.owner == owner) ++count;
+  }
+  return count;
+}
+
+}  // namespace scag::cache

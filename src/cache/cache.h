@@ -1,0 +1,124 @@
+// Set-associative cache simulator with per-line owner tracking.
+//
+// This is the substitute for the external CacheSim the paper uses: it both
+// backs the CPU interpreter (so attacks see real hit/miss timing) and
+// measures the cache state transitions (CSTs) of Definition 3/4 — the
+// owner tags let us read off AO (attacker occupancy) and IO (occupancy by
+// everyone else) directly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace scag::cache {
+
+/// Who a cache line belongs to. Used only for occupancy accounting; lookup
+/// is by address, as in real hardware.
+enum class Owner : std::uint8_t { kNone, kAttacker, kVictim, kOther };
+
+/// Replacement policy of a cache level. Real LLCs vary (Skylake's LLC is
+/// not true LRU), and eviction-based attacks are sensitive to the policy —
+/// the cache_geometry_study example sweeps these.
+enum class ReplacementPolicy : std::uint8_t {
+  kLru,    // evict least-recently used (default; what the PoCs assume)
+  kFifo,   // evict oldest insertion, hits do not refresh
+  kPlru,   // tree pseudo-LRU (requires power-of-two ways)
+  kRandom, // evict a deterministic-pseudo-random way
+};
+
+struct CacheConfig {
+  std::uint32_t num_sets = 64;
+  std::uint32_t ways = 8;
+  std::uint32_t line_size = 64;  // bytes, power of two
+  ReplacementPolicy policy = ReplacementPolicy::kLru;
+
+  std::uint32_t num_lines() const { return num_sets * ways; }
+};
+
+/// What kind of access is being performed.
+enum class AccessType : std::uint8_t { kLoad, kStore, kFetch };
+
+/// Outcome of one access against a single cache level.
+struct AccessOutcome {
+  bool hit = false;
+  /// A valid line was evicted to make room (only possible on a miss).
+  bool evicted = false;
+  std::uint64_t evicted_line_addr = 0;  // line-aligned address
+  Owner evicted_owner = Owner::kNone;
+};
+
+/// One cache level. LRU replacement.
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  const CacheConfig& config() const { return config_; }
+
+  /// Performs an access; on miss the line is filled and tagged `owner`.
+  /// On hit the owner tag is updated to the accessor (the most recent
+  /// toucher "owns" the line for occupancy purposes).
+  AccessOutcome access(std::uint64_t addr, AccessType type, Owner owner);
+
+  /// True if the line holding `addr` is present (no LRU update).
+  bool probe(std::uint64_t addr) const;
+
+  /// Invalidates the line holding addr; returns true if it was present.
+  bool flush(std::uint64_t addr);
+
+  /// Invalidates everything.
+  void clear();
+
+  /// Fills every line with synthetic disjoint addresses tagged `owner`.
+  /// Used to set up the paper's CST scenario (IO = 1, AO = 0).
+  void fill_all(Owner owner);
+
+  /// Fraction of all lines currently valid and owned by `owner`.
+  double occupancy(Owner owner) const;
+
+  /// Fraction of all lines valid (any owner).
+  double total_occupancy() const;
+
+  /// Number of valid lines owned by `owner` in the set holding `addr`.
+  std::uint32_t set_occupancy(std::uint64_t addr, Owner owner) const;
+
+  std::uint32_t set_index(std::uint64_t addr) const {
+    return static_cast<std::uint32_t>((addr / config_.line_size) %
+                                      config_.num_sets);
+  }
+  std::uint64_t line_addr(std::uint64_t addr) const {
+    return addr - (addr % config_.line_size);
+  }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  void reset_counters() { hits_ = misses_ = 0; }
+
+ private:
+  struct Line {
+    bool valid = false;
+    std::uint64_t tag = 0;  // full line-aligned address (simple and exact)
+    Owner owner = Owner::kNone;
+    std::uint64_t lru = 0;  // last-touch (LRU) or insertion (FIFO) stamp
+  };
+
+  Line* find(std::uint64_t addr);
+  const Line* find(std::uint64_t addr) const;
+
+  /// Picks the way to evict in the (full) set starting at `base`,
+  /// according to the configured policy.
+  std::size_t pick_victim(std::size_t set_index, std::size_t base);
+
+  /// Updates policy metadata on a hit/fill of way `way` in `set_index`.
+  void touch(std::size_t set_index, std::size_t way, bool is_fill);
+
+  CacheConfig config_;
+  std::vector<Line> lines_;  // num_sets * ways, set-major
+  std::vector<std::uint32_t> plru_bits_;  // one tree per set (kPlru)
+  std::uint64_t rand_state_ = 0x9e3779b97f4a7c15ULL;  // kRandom
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace scag::cache

@@ -1,0 +1,87 @@
+#include "cache/hierarchy.h"
+
+namespace scag::cache {
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig& config)
+    : config_(config),
+      l1d_(config.l1d),
+      l1i_(config.l1i),
+      llc_(config.llc) {}
+
+HierarchyOutcome CacheHierarchy::data_access(std::uint64_t addr,
+                                             AccessType type, Owner owner) {
+  HierarchyOutcome out;
+  const AccessOutcome l1 = l1d_.access(addr, type, owner);
+  if (l1.hit) {
+    out.l1_hit = true;
+    out.latency = config_.lat_l1_hit;
+    if (type == AccessType::kStore) out.latency += config_.lat_store_buffer;
+    // Keep LLC recency roughly in sync for inclusivity (no latency cost).
+    llc_.access(addr, type, owner);
+    return out;
+  }
+  const AccessOutcome l2 = llc_.access(addr, type, owner);
+  if (l2.hit) {
+    out.llc_hit = true;
+    out.latency = config_.lat_llc_hit;
+  } else {
+    out.latency = config_.lat_memory;
+  }
+  // Inclusive LLC: if the LLC evicted a line, back-invalidate L1.
+  if (l2.evicted) l1d_.flush(l2.evicted_line_addr);
+  if (type == AccessType::kStore) out.latency += config_.lat_store_buffer;
+  return out;
+}
+
+HierarchyOutcome CacheHierarchy::load(std::uint64_t addr, Owner owner) {
+  return data_access(addr, AccessType::kLoad, owner);
+}
+
+HierarchyOutcome CacheHierarchy::store(std::uint64_t addr, Owner owner) {
+  return data_access(addr, AccessType::kStore, owner);
+}
+
+HierarchyOutcome CacheHierarchy::fetch(std::uint64_t addr, Owner owner) {
+  HierarchyOutcome out;
+  const AccessOutcome l1 = l1i_.access(addr, AccessType::kFetch, owner);
+  if (l1.hit) {
+    out.l1_hit = true;
+    out.latency = config_.lat_l1_hit;
+    return out;
+  }
+  const AccessOutcome l2 = llc_.access(addr, AccessType::kFetch, owner);
+  if (l2.hit) {
+    out.llc_hit = true;
+    out.latency = config_.lat_llc_hit;
+  } else {
+    out.latency = config_.lat_memory;
+  }
+  if (l2.evicted) {
+    l1d_.flush(l2.evicted_line_addr);
+    l1i_.flush(l2.evicted_line_addr);
+  }
+  return out;
+}
+
+HierarchyOutcome CacheHierarchy::flush(std::uint64_t addr) {
+  HierarchyOutcome out;
+  const bool in_l1d = l1d_.flush(addr);
+  const bool in_l1i = l1i_.flush(addr);
+  const bool in_llc = llc_.flush(addr);
+  out.flushed_line_was_present = in_l1d || in_l1i || in_llc;
+  out.latency = out.flushed_line_was_present ? config_.lat_flush_present
+                                             : config_.lat_flush_absent;
+  return out;
+}
+
+HierarchyOutcome CacheHierarchy::prefetch(std::uint64_t addr, Owner owner) {
+  return data_access(addr, AccessType::kLoad, owner);
+}
+
+void CacheHierarchy::clear() {
+  l1d_.clear();
+  l1i_.clear();
+  llc_.clear();
+}
+
+}  // namespace scag::cache

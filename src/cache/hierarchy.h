@@ -1,0 +1,79 @@
+// Two-level cache hierarchy: split L1 (data + instruction) over a unified,
+// inclusive LLC. Produces latencies (which the CPU interpreter exposes via
+// rdtscp — this is what makes Flush+Reload-style attacks actually observe
+// timing differences in the simulation) and per-access event summaries
+// (which the trace collector converts into the HPC events of Table I).
+#pragma once
+
+#include <cstdint>
+
+#include "cache/cache.h"
+
+namespace scag::cache {
+
+struct HierarchyConfig {
+  CacheConfig l1d{64, 8, 64};    // 32 KiB
+  CacheConfig l1i{64, 8, 64};    // 32 KiB
+  CacheConfig llc{1024, 16, 64}; // 1 MiB
+
+  // Latencies in cycles (order-of-magnitude of a Skylake-era part).
+  std::uint32_t lat_l1_hit = 4;
+  std::uint32_t lat_llc_hit = 40;
+  std::uint32_t lat_memory = 200;
+  // clflush of a cached line costs more than of an uncached one: this
+  // asymmetry is exactly what Flush+Flush measures.
+  std::uint32_t lat_flush_present = 48;
+  std::uint32_t lat_flush_absent = 30;
+  std::uint32_t lat_store_buffer = 1;  // architectural store cost
+};
+
+/// Result of a data access through the whole hierarchy.
+struct HierarchyOutcome {
+  bool l1_hit = false;
+  bool llc_hit = false;    // only meaningful if !l1_hit
+  std::uint32_t latency = 0;
+  bool flushed_line_was_present = false;  // for flush ops
+};
+
+class CacheHierarchy {
+ public:
+  explicit CacheHierarchy(const HierarchyConfig& config = {});
+
+  const HierarchyConfig& config() const { return config_; }
+
+  /// Data load.
+  HierarchyOutcome load(std::uint64_t addr, Owner owner);
+  /// Data store (write-allocate, write-back modeled only as latency).
+  HierarchyOutcome store(std::uint64_t addr, Owner owner);
+  /// Instruction fetch (L1I + LLC).
+  HierarchyOutcome fetch(std::uint64_t addr, Owner owner);
+  /// clflush: removes the line from every level.
+  HierarchyOutcome flush(std::uint64_t addr);
+  /// prefetch: like a load but reported separately by callers if needed.
+  HierarchyOutcome prefetch(std::uint64_t addr, Owner owner);
+
+  /// True if the line is in the LLC (the level CSCA probes care about).
+  bool probe_llc(std::uint64_t addr) const { return llc_.probe(addr); }
+  bool probe_l1d(std::uint64_t addr) const { return l1d_.probe(addr); }
+
+  Cache& l1d() { return l1d_; }
+  Cache& l1i() { return l1i_; }
+  Cache& llc() { return llc_; }
+  const Cache& l1d() const { return l1d_; }
+  const Cache& l1i() const { return l1i_; }
+  const Cache& llc() const { return llc_; }
+
+  /// Clears all levels.
+  void clear();
+
+ private:
+  HierarchyOutcome data_access(std::uint64_t addr, AccessType type,
+                               Owner owner);
+
+  HierarchyConfig config_;
+  Cache l1d_;
+  Cache l1i_;
+  Cache llc_;
+};
+
+}  // namespace scag::cache

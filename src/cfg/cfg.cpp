@@ -1,0 +1,132 @@
+#include "cfg/cfg.h"
+
+#include <algorithm>
+#include <set>
+
+#include "support/strings.h"
+
+namespace scag::cfg {
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::Program;
+
+Cfg Cfg::build(const Program& program) {
+  program.validate();
+  const std::size_t n = program.size();
+
+  // Leaders: entry, branch targets, and instructions following a
+  // block-ending instruction.
+  std::set<std::size_t> leaders;
+  leaders.insert(program.index_of(program.entry()));
+  leaders.insert(0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Instruction& insn = program.at(i);
+    if (isa::ends_basic_block(insn.op)) {
+      if (i + 1 < n) leaders.insert(i + 1);
+      if (isa::is_control_flow(insn.op) && insn.op != Opcode::kRet) {
+        const std::size_t t = program.index_of(insn.target);
+        if (t != Program::npos) leaders.insert(t);
+      }
+    }
+  }
+
+  Cfg cfg;
+  cfg.program_ = &program;
+  cfg.instr_to_block_.assign(n, kNoBlock);
+
+  // Carve blocks between consecutive leaders.
+  std::vector<std::size_t> sorted(leaders.begin(), leaders.end());
+  for (std::size_t b = 0; b < sorted.size(); ++b) {
+    BasicBlock block;
+    block.id = static_cast<BlockId>(b);
+    block.first = sorted[b];
+    const std::size_t end = b + 1 < sorted.size() ? sorted[b + 1] : n;
+    block.count = end - block.first;
+    for (std::size_t i = block.first; i < end; ++i)
+      cfg.instr_to_block_[i] = block.id;
+    cfg.blocks_.push_back(block);
+  }
+
+  cfg.succ_.assign(cfg.blocks_.size(), {});
+  cfg.pred_.assign(cfg.blocks_.size(), {});
+  auto add_edge = [&cfg](BlockId from, BlockId to) {
+    auto& s = cfg.succ_[from];
+    if (std::find(s.begin(), s.end(), to) == s.end()) {
+      s.push_back(to);
+      cfg.pred_[to].push_back(from);
+    }
+  };
+
+  for (const BasicBlock& block : cfg.blocks_) {
+    const Instruction& lastinsn = program.at(block.last());
+    const std::size_t next = block.last() + 1;
+    switch (lastinsn.op) {
+      case Opcode::kJmp:
+        add_edge(block.id, cfg.instr_to_block_[program.index_of(lastinsn.target)]);
+        break;
+      case Opcode::kCall:
+        add_edge(block.id, cfg.instr_to_block_[program.index_of(lastinsn.target)]);
+        if (next < n) add_edge(block.id, cfg.instr_to_block_[next]);
+        break;
+      case Opcode::kRet:
+      case Opcode::kHlt:
+        break;
+      default:
+        if (isa::is_cond_branch(lastinsn.op)) {
+          add_edge(block.id,
+                   cfg.instr_to_block_[program.index_of(lastinsn.target)]);
+          if (next < n) add_edge(block.id, cfg.instr_to_block_[next]);
+        } else if (next < n) {
+          // Straight-line fall-through into the next leader.
+          add_edge(block.id, cfg.instr_to_block_[next]);
+        }
+        break;
+    }
+  }
+
+  cfg.entry_ = cfg.instr_to_block_[program.index_of(program.entry())];
+  return cfg;
+}
+
+BlockId Cfg::block_at_address(std::uint64_t addr) const {
+  const std::size_t idx = program_->index_of(addr);
+  if (idx == Program::npos) return kNoBlock;
+  const BlockId b = instr_to_block_[idx];
+  return blocks_[b].first == idx ? b : kNoBlock;
+}
+
+std::vector<Instruction> Cfg::instructions_of(BlockId id) const {
+  const BasicBlock& b = blocks_.at(id);
+  std::vector<Instruction> out;
+  out.reserve(b.count);
+  for (std::size_t i = b.first; i < b.first + b.count; ++i)
+    out.push_back(program_->at(i));
+  return out;
+}
+
+std::vector<std::uint64_t> Cfg::addresses_of(BlockId id) const {
+  const BasicBlock& b = blocks_.at(id);
+  std::vector<std::uint64_t> out;
+  out.reserve(b.count);
+  for (std::size_t i = b.first; i < b.first + b.count; ++i)
+    out.push_back(program_->address_of(i));
+  return out;
+}
+
+std::string Cfg::to_dot() const {
+  std::string out = "digraph cfg {\n";
+  for (const BasicBlock& b : blocks_) {
+    out += strfmt("  b%u [label=\"BB%u\\n0x%llx (%zu)\"];\n", b.id, b.id,
+                  static_cast<unsigned long long>(program_->address_of(b.first)),
+                  b.count);
+  }
+  for (const BasicBlock& b : blocks_) {
+    for (BlockId s : succ_[b.id])
+      out += strfmt("  b%u -> b%u;\n", b.id, s);
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace scag::cfg

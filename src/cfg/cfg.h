@@ -1,0 +1,77 @@
+// Control-flow graph recovery from a Program (the Angr substitute).
+//
+// Definition 1 of the paper: nodes are basic blocks (maximal straight-line
+// instruction sequences), edges are possible control transfers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace scag::cfg {
+
+using BlockId = std::uint32_t;
+inline constexpr BlockId kNoBlock = static_cast<BlockId>(-1);
+
+/// A basic block: instructions [first, first+count) of the program.
+struct BasicBlock {
+  BlockId id = 0;
+  std::size_t first = 0;  // index of first instruction in the Program
+  std::size_t count = 0;  // number of instructions
+
+  std::size_t last() const { return first + count - 1; }
+};
+
+class Cfg {
+ public:
+  /// Builds the CFG of a program. Call edges go both to the callee entry
+  /// and to the fall-through (the return point); ret has no successors.
+  /// The Cfg keeps a reference to `program`, which must therefore outlive
+  /// it (and must not be moved while the Cfg is alive).
+  static Cfg build(const isa::Program& program);
+
+  const isa::Program& program() const { return *program_; }
+
+  std::size_t num_blocks() const { return blocks_.size(); }
+  const BasicBlock& block(BlockId id) const { return blocks_.at(id); }
+  const std::vector<BasicBlock>& blocks() const { return blocks_; }
+
+  const std::vector<BlockId>& successors(BlockId id) const {
+    return succ_.at(id);
+  }
+  const std::vector<BlockId>& predecessors(BlockId id) const {
+    return pred_.at(id);
+  }
+
+  /// Block containing the instruction at index `instr_idx`.
+  BlockId block_of_instr(std::size_t instr_idx) const {
+    return instr_to_block_.at(instr_idx);
+  }
+
+  /// Block whose first instruction is at `addr`; kNoBlock if none.
+  BlockId block_at_address(std::uint64_t addr) const;
+
+  /// Block containing the program entry point.
+  BlockId entry_block() const { return entry_; }
+
+  /// Instructions of a block, copied out (used for CST-BBS construction).
+  std::vector<isa::Instruction> instructions_of(BlockId id) const;
+
+  /// Addresses of all instructions in a block.
+  std::vector<std::uint64_t> addresses_of(BlockId id) const;
+
+  /// Graphviz dot output for debugging/examples.
+  std::string to_dot() const;
+
+ private:
+  const isa::Program* program_ = nullptr;
+  std::vector<BasicBlock> blocks_;
+  std::vector<std::vector<BlockId>> succ_;
+  std::vector<std::vector<BlockId>> pred_;
+  std::vector<BlockId> instr_to_block_;
+  BlockId entry_ = 0;
+};
+
+}  // namespace scag::cfg

@@ -1,0 +1,128 @@
+#include "cfg/dominators.h"
+
+#include <algorithm>
+
+namespace scag::cfg {
+
+namespace {
+
+/// Reverse postorder of the blocks reachable from `entry`.
+std::vector<BlockId> reverse_postorder(const Cfg& cfg, BlockId entry) {
+  std::vector<std::uint8_t> state(cfg.num_blocks(), 0);  // 0 new, 1 open, 2 done
+  std::vector<BlockId> postorder;
+  struct Frame {
+    BlockId node;
+    std::size_t next = 0;
+  };
+  std::vector<Frame> stack{{entry, 0}};
+  state[entry] = 1;
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const auto& succs = cfg.successors(f.node);
+    if (f.next < succs.size()) {
+      const BlockId child = succs[f.next++];
+      if (state[child] == 0) {
+        state[child] = 1;
+        stack.push_back({child, 0});
+      }
+    } else {
+      state[f.node] = 2;
+      postorder.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+  std::reverse(postorder.begin(), postorder.end());
+  return postorder;
+}
+
+}  // namespace
+
+DominatorTree::DominatorTree(const Cfg& cfg) {
+  const BlockId entry = cfg.entry_block();
+  idom_.assign(cfg.num_blocks(), kNoBlock);
+
+  const std::vector<BlockId> rpo = reverse_postorder(cfg, entry);
+  std::vector<std::size_t> rpo_index(cfg.num_blocks(),
+                                     static_cast<std::size_t>(-1));
+  for (std::size_t i = 0; i < rpo.size(); ++i) rpo_index[rpo[i]] = i;
+
+  idom_[entry] = entry;
+
+  auto intersect = [&](BlockId a, BlockId b) {
+    while (a != b) {
+      while (rpo_index[a] > rpo_index[b]) a = idom_[a];
+      while (rpo_index[b] > rpo_index[a]) b = idom_[b];
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (BlockId b : rpo) {
+      if (b == entry) continue;
+      BlockId new_idom = kNoBlock;
+      for (BlockId p : cfg.predecessors(b)) {
+        if (idom_[p] == kNoBlock) continue;  // predecessor not processed yet
+        new_idom = new_idom == kNoBlock ? p : intersect(p, new_idom);
+      }
+      if (new_idom != kNoBlock && idom_[b] != new_idom) {
+        idom_[b] = new_idom;
+        changed = true;
+      }
+    }
+  }
+}
+
+bool DominatorTree::dominates(BlockId a, BlockId b) const {
+  if (idom_.at(a) == kNoBlock || idom_.at(b) == kNoBlock) return false;
+  BlockId cur = b;
+  for (;;) {
+    if (cur == a) return true;
+    const BlockId up = idom_[cur];
+    if (up == cur) return false;  // reached the entry
+    cur = up;
+  }
+}
+
+bool NaturalLoop::contains(BlockId b) const {
+  return std::binary_search(body.begin(), body.end(), b);
+}
+
+std::vector<NaturalLoop> find_natural_loops(const Cfg& cfg,
+                                            const DominatorTree& dom) {
+  std::vector<NaturalLoop> loops;
+  for (BlockId latch = 0; latch < cfg.num_blocks(); ++latch) {
+    if (!dom.reachable(latch)) continue;
+    for (BlockId header : cfg.successors(latch)) {
+      if (!dom.dominates(header, latch)) continue;
+      // Back edge latch -> header: flood backwards from the latch without
+      // crossing the header.
+      NaturalLoop loop;
+      loop.header = header;
+      loop.latch = latch;
+      std::vector<bool> in_loop(cfg.num_blocks(), false);
+      in_loop[header] = true;
+      std::vector<BlockId> work;
+      if (!in_loop[latch]) {
+        in_loop[latch] = true;
+        work.push_back(latch);
+      }
+      while (!work.empty()) {
+        const BlockId b = work.back();
+        work.pop_back();
+        for (BlockId p : cfg.predecessors(b)) {
+          if (!dom.reachable(p) || in_loop[p]) continue;
+          in_loop[p] = true;
+          work.push_back(p);
+        }
+      }
+      for (BlockId b = 0; b < cfg.num_blocks(); ++b)
+        if (in_loop[b]) loop.body.push_back(b);
+      loops.push_back(std::move(loop));
+    }
+  }
+  return loops;
+}
+
+}  // namespace scag::cfg

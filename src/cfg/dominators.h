@@ -1,0 +1,50 @@
+// Dominator analysis and natural-loop discovery over a Cfg.
+//
+// Downstream users of a CFG library expect these; inside this project they
+// back structural queries in tests and tooling (e.g. "is this branch a
+// loop latch?") and give scagctl's model dump loop context.
+//
+// The dominator computation is the classic Cooper-Harvey-Kennedy iterative
+// algorithm over a reverse-postorder numbering.
+#pragma once
+
+#include <vector>
+
+#include "cfg/cfg.h"
+
+namespace scag::cfg {
+
+class DominatorTree {
+ public:
+  /// Computes dominators for everything reachable from cfg.entry_block().
+  explicit DominatorTree(const Cfg& cfg);
+
+  /// Immediate dominator of `b`; the entry block is its own idom. Returns
+  /// kNoBlock for unreachable blocks.
+  BlockId idom(BlockId b) const { return idom_.at(b); }
+
+  /// True if `a` dominates `b` (reflexive). False if either is unreachable.
+  bool dominates(BlockId a, BlockId b) const;
+
+  /// True if the block is reachable from the entry.
+  bool reachable(BlockId b) const { return idom_.at(b) != kNoBlock; }
+
+ private:
+  std::vector<BlockId> idom_;
+};
+
+/// A natural loop: a back edge latch->header where header dominates latch,
+/// plus every block that can reach the latch without passing the header.
+struct NaturalLoop {
+  BlockId header = 0;
+  BlockId latch = 0;
+  std::vector<BlockId> body;  // includes header and latch, sorted
+
+  bool contains(BlockId b) const;
+};
+
+/// Finds all natural loops of the CFG (one per back edge).
+std::vector<NaturalLoop> find_natural_loops(const Cfg& cfg,
+                                            const DominatorTree& dom);
+
+}  // namespace scag::cfg

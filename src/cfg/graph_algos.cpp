@@ -1,0 +1,178 @@
+#include "cfg/graph_algos.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace scag::cfg {
+
+void Digraph::add_edge(std::uint32_t from, std::uint32_t to) {
+  if (from >= adj.size() || to >= adj.size())
+    throw std::out_of_range("Digraph::add_edge: node out of range");
+  auto& s = adj[from];
+  if (std::find(s.begin(), s.end(), to) == s.end()) s.push_back(to);
+}
+
+bool Digraph::has_edge(std::uint32_t from, std::uint32_t to) const {
+  const auto& s = adj.at(from);
+  return std::find(s.begin(), s.end(), to) != s.end();
+}
+
+namespace {
+
+// Iterative DFS that classifies back edges (target on the current stack).
+void dfs_remove_back_edges(
+    Digraph& g, std::uint32_t root, std::vector<std::uint8_t>& color,
+    std::vector<std::pair<std::uint32_t, std::uint32_t>>& removed) {
+  // color: 0 = white, 1 = on stack (gray), 2 = done (black)
+  struct Frame {
+    std::uint32_t node;
+    std::size_t next_child = 0;
+  };
+  if (color[root] != 0) return;
+  std::vector<Frame> stack;
+  stack.push_back({root, 0});
+  color[root] = 1;
+  while (!stack.empty()) {
+    const std::uint32_t node = stack.back().node;
+    auto& children = g.adj[node];
+    if (stack.back().next_child >= children.size()) {
+      color[node] = 2;
+      stack.pop_back();
+      continue;
+    }
+    const std::uint32_t c = children[stack.back().next_child];
+    if (color[c] == 1) {
+      // Back edge: remove it; next_child now indexes the following edge.
+      removed.emplace_back(node, c);
+      children.erase(children.begin() +
+                     static_cast<std::ptrdiff_t>(stack.back().next_child));
+      continue;
+    }
+    ++stack.back().next_child;
+    if (color[c] == 0) {
+      color[c] = 1;
+      stack.push_back({c, 0});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> remove_back_edges(
+    Digraph& g, std::uint32_t root) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> removed;
+  std::vector<std::uint8_t> color(g.size(), 0);
+  if (g.size() == 0) return removed;
+  if (root >= g.size())
+    throw std::out_of_range("remove_back_edges: root out of range");
+  dfs_remove_back_edges(g, root, color, removed);
+  for (std::uint32_t v = 0; v < g.size(); ++v)
+    dfs_remove_back_edges(g, v, color, removed);
+  return removed;
+}
+
+bool has_cycle(const Digraph& g) {
+  // Kahn's algorithm: cycle iff not all nodes can be topologically removed.
+  std::vector<std::size_t> indeg(g.size(), 0);
+  for (const auto& succs : g.adj)
+    for (std::uint32_t t : succs) ++indeg[t];
+  std::vector<std::uint32_t> queue;
+  for (std::uint32_t v = 0; v < g.size(); ++v)
+    if (indeg[v] == 0) queue.push_back(v);
+  std::size_t seen = 0;
+  while (!queue.empty()) {
+    const std::uint32_t v = queue.back();
+    queue.pop_back();
+    ++seen;
+    for (std::uint32_t t : g.adj[v])
+      if (--indeg[t] == 0) queue.push_back(t);
+  }
+  return seen != g.size();
+}
+
+namespace {
+
+void dfs_paths(const Digraph& g, std::uint32_t cur, std::uint32_t to,
+               const std::vector<bool>& blocked, const PathLimits& limits,
+               std::vector<std::uint32_t>& path,
+               std::vector<std::vector<std::uint32_t>>& out) {
+  if (out.size() >= limits.max_paths) return;
+  if (cur == to && path.size() > 1) {
+    out.push_back(path);
+    return;
+  }
+  if (path.size() >= limits.max_length) return;
+  for (std::uint32_t next : g.adj[cur]) {
+    if (out.size() >= limits.max_paths) return;
+    // Interior nodes may not be blocked; the final endpoint is exempt.
+    if (next != to && (next >= blocked.size() ? false : blocked[next]))
+      continue;
+    // Simple paths only (DAG input makes revisits impossible, but stay
+    // defensive for general graphs).
+    if (std::find(path.begin(), path.end(), next) != path.end()) continue;
+    path.push_back(next);
+    dfs_paths(g, next, to, blocked, limits, path, out);
+    path.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<std::uint32_t>> paths_avoiding(
+    const Digraph& g, std::uint32_t from, std::uint32_t to,
+    const std::vector<bool>& blocked, const PathLimits& limits) {
+  std::vector<std::vector<std::uint32_t>> out;
+  if (from >= g.size() || to >= g.size()) return out;
+  if (from == to) return out;
+  std::vector<std::uint32_t> path{from};
+  dfs_paths(g, from, to, blocked, limits, path, out);
+  return out;
+}
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+std::vector<std::size_t> max_spanning_forest(
+    std::size_t num_nodes, const std::vector<WeightedEdge>& edges) {
+  std::vector<std::size_t> order(edges.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&edges](std::size_t a, std::size_t b) {
+                     return edges[a].weight > edges[b].weight;
+                   });
+  UnionFind uf(num_nodes);
+  std::vector<std::size_t> chosen;
+  for (std::size_t idx : order) {
+    const WeightedEdge& e = edges[idx];
+    if (uf.unite(e.u, e.v)) chosen.push_back(idx);
+  }
+  return chosen;
+}
+
+}  // namespace scag::cfg

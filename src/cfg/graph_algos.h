@@ -1,0 +1,64 @@
+// Graph algorithms for Algorithm 1 of the paper:
+//   - back-edge removal (step 1: make the CFG loop-free)
+//   - bounded enumeration of simple paths that avoid a blocked set (step 3)
+//   - maximum spanning tree over a weighted graph (step 4)
+// They operate on a lightweight adjacency-list digraph so they can be unit
+// tested independently of the Cfg class.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace scag::cfg {
+
+/// Adjacency-list digraph over nodes 0..n-1.
+struct Digraph {
+  std::vector<std::vector<std::uint32_t>> adj;
+
+  explicit Digraph(std::size_t n = 0) : adj(n) {}
+  std::size_t size() const { return adj.size(); }
+  void add_edge(std::uint32_t from, std::uint32_t to);
+  bool has_edge(std::uint32_t from, std::uint32_t to) const;
+};
+
+/// Removes back edges (edges into a node currently on the DFS stack),
+/// starting DFS from `root` and then from every unreached node, so the
+/// result is a DAG covering all nodes. Returns the removed edges.
+std::vector<std::pair<std::uint32_t, std::uint32_t>> remove_back_edges(
+    Digraph& g, std::uint32_t root);
+
+/// True if the digraph contains a directed cycle.
+bool has_cycle(const Digraph& g);
+
+/// Limits for path enumeration so pathological CFGs stay bounded. The
+/// defaults comfortably cover the PoC-scale graphs of the paper.
+struct PathLimits {
+  std::size_t max_paths = 256;
+  std::size_t max_length = 128;  // nodes per path
+};
+
+/// Enumerates simple paths from `from` to `to` in a DAG whose interior
+/// nodes avoid `blocked` (blocked[v] true = may not appear strictly inside
+/// the path). Endpoints are exempt from blocking. Paths are returned as
+/// node sequences including both endpoints.
+std::vector<std::vector<std::uint32_t>> paths_avoiding(
+    const Digraph& g, std::uint32_t from, std::uint32_t to,
+    const std::vector<bool>& blocked, const PathLimits& limits = {});
+
+/// A weighted undirected edge for spanning-tree computation. `payload` is
+/// an opaque index the caller uses to map selected edges back to paths.
+struct WeightedEdge {
+  std::uint32_t u = 0;
+  std::uint32_t v = 0;
+  double weight = 0.0;
+  std::size_t payload = 0;
+};
+
+/// Kruskal maximum spanning forest: picks edges in decreasing weight,
+/// skipping those that close a cycle. Returns indices into `edges`.
+/// (The paper's Algorithm 1 step 4 computes a maximum spanning tree of the
+/// pair-graph G'; a forest degenerates gracefully if G' is disconnected.)
+std::vector<std::size_t> max_spanning_forest(
+    std::size_t num_nodes, const std::vector<WeightedEdge>& edges);
+
+}  // namespace scag::cfg

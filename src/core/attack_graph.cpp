@@ -1,0 +1,89 @@
+#include "core/attack_graph.h"
+
+#include <unordered_map>
+
+namespace scag::core {
+
+using cfg::BlockId;
+using cfg::Digraph;
+using cfg::WeightedEdge;
+
+AttackGraph build_attack_graph(const cfg::Cfg& cfg,
+                               const std::vector<BbStats>& stats,
+                               const std::vector<BlockId>& relevant,
+                               const AttackGraphConfig& config) {
+  const std::size_t n = cfg.num_blocks();
+  AttackGraph out;
+  out.graph = Digraph(n);
+  out.in_graph.assign(n, false);
+  out.relevant = relevant;
+  for (BlockId id : relevant) out.in_graph[id] = true;
+  if (relevant.size() < 2) return out;
+
+  // Step 1: loop-free copy of the CFG.
+  Digraph dag(n);
+  for (BlockId b = 0; b < n; ++b)
+    for (BlockId s : cfg.successors(b)) dag.add_edge(b, s);
+  cfg::remove_back_edges(dag, cfg.entry_block());
+
+  // Step 3: pair graph G'. For every ordered pair of relevant blocks,
+  // enumerate candidate paths avoiding other relevant blocks and keep the
+  // best-scoring path as the pair's edge label.
+  std::vector<bool> blocked(n, false);
+  for (BlockId id : relevant) blocked[id] = true;
+
+  // Node remap for the spanning-forest computation.
+  std::unordered_map<BlockId, std::uint32_t> compact;
+  for (std::uint32_t i = 0; i < relevant.size(); ++i)
+    compact[relevant[i]] = i;
+
+  std::vector<std::vector<std::uint32_t>> stored_paths;
+  std::vector<WeightedEdge> edges;
+
+  for (BlockId vi : relevant) {
+    for (BlockId vj : relevant) {
+      if (vi == vj) continue;
+      const auto paths =
+          cfg::paths_avoiding(dag, vi, vj, blocked, config.path_limits);
+      double best_value = -1.0;
+      const std::vector<std::uint32_t>* best_path = nullptr;
+      for (const auto& path : paths) {
+        double value;
+        if (path.size() == 2) {
+          value = config.direct_edge_weight;  // directly connected: MAX
+        } else {
+          double sum = 0.0;
+          for (std::size_t k = 1; k + 1 < path.size(); ++k)
+            sum += static_cast<double>(stats[path[k]].hpc_value);
+          value = sum / static_cast<double>(path.size() - 2);
+        }
+        if (value > best_value) {
+          best_value = value;
+          best_path = &path;
+        }
+      }
+      if (best_path != nullptr) {
+        stored_paths.push_back(*best_path);
+        edges.push_back({compact[vi], compact[vj], best_value,
+                         stored_paths.size() - 1});
+      }
+    }
+  }
+
+  // Step 4: maximum spanning tree (forest if G' is disconnected).
+  const std::vector<std::size_t> chosen =
+      cfg::max_spanning_forest(relevant.size(), edges);
+
+  // Step 5: restore the labeled paths of the chosen edges.
+  for (std::size_t idx : chosen) {
+    const auto& path = stored_paths[edges[idx].payload];
+    for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+      out.graph.add_edge(path[k], path[k + 1]);
+      out.in_graph[path[k]] = true;
+      out.in_graph[path[k + 1]] = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace scag::core

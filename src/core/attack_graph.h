@@ -1,0 +1,52 @@
+// Algorithm 1 of the paper: attack-relevant graph construction.
+//
+// Connect all identified attack-relevant blocks with the most-possible
+// attack-relevant paths of the (loop-free) CFG:
+//   1. remove back edges                     (loop-free CFG)
+//   2. attach HPC values to blocks
+//   3. for each pair of relevant blocks, enumerate the paths that avoid
+//      other relevant blocks and score each path by the average HPC value
+//      of its interior blocks (MAX when directly connected)
+//   4. maximum spanning tree over the pair graph
+//   5. restore the labeled path of each chosen edge into the result graph
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cfg/cfg.h"
+#include "cfg/graph_algos.h"
+#include "core/bb_profile.h"
+
+namespace scag::core {
+
+struct AttackGraphConfig {
+  cfg::PathLimits path_limits{};
+  /// The paper's MAX weight for directly connected relevant blocks.
+  double direct_edge_weight = 1e18;
+};
+
+struct AttackGraph {
+  /// Directed graph over the CFG's block ids; only restored-path edges.
+  cfg::Digraph graph{0};
+  /// Blocks included in the attack-relevant graph (relevant blocks plus
+  /// interior blocks of the restored paths).
+  std::vector<bool> in_graph;
+  /// The attack-relevant endpoints the graph was built from.
+  std::vector<cfg::BlockId> relevant;
+
+  std::size_t node_count() const {
+    std::size_t n = 0;
+    for (bool b : in_graph) n += b;
+    return n;
+  }
+};
+
+/// Runs Algorithm 1. `relevant` are the step-2 survivors of
+/// identify_relevant_blocks; `stats` provides the per-block HPC values.
+AttackGraph build_attack_graph(const cfg::Cfg& cfg,
+                               const std::vector<BbStats>& stats,
+                               const std::vector<cfg::BlockId>& relevant,
+                               const AttackGraphConfig& config = {});
+
+}  // namespace scag::core

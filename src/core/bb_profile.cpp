@@ -1,0 +1,35 @@
+#include "core/bb_profile.h"
+
+#include <stdexcept>
+
+namespace scag::core {
+
+std::vector<BbStats> aggregate_by_block(
+    const cfg::Cfg& cfg, const trace::ExecutionProfile& profile) {
+  const isa::Program& program = cfg.program();
+  if (profile.per_instr.size() != program.size())
+    throw std::invalid_argument(
+        "aggregate_by_block: profile does not match program");
+
+  std::vector<BbStats> stats(cfg.num_blocks());
+  for (const cfg::BasicBlock& block : cfg.blocks()) {
+    BbStats& s = stats[block.id];
+    for (std::size_t i = block.first; i < block.first + block.count; ++i) {
+      s.hpc_value += profile.per_instr[i].total();
+      const std::uint64_t fc = profile.first_cycle[i];
+      if (fc != 0 && (s.first_cycle == 0 || fc < s.first_cycle))
+        s.first_cycle = fc;
+      const isa::Instruction& insn = program.at(i);
+      CacheOp op = CacheOp::kLoad;
+      if (insn.op == isa::Opcode::kClflush) op = CacheOp::kFlush;
+      else if (isa::writes_memory(insn)) op = CacheOp::kStore;
+      for (std::uint64_t line : profile.line_addrs[i]) {
+        s.lines.insert(line);
+        s.accesses.push_back({op, line});
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace scag::core

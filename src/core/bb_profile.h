@@ -1,0 +1,48 @@
+// Mapping runtime data onto basic blocks (paper Section III-A1, step 1).
+//
+// The ExecutionProfile is per-instruction; the modeling pipeline needs it
+// per basic block: the summed "HPC value", the set of touched cache-line
+// addresses (including flushed lines), the first-execution timestamp, and
+// per-operation access records for CST measurement.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "cfg/cfg.h"
+#include "trace/profile.h"
+
+namespace scag::core {
+
+/// What a memory-touching instruction does to the cache; CST measurement
+/// replays these against a fresh cache (Section III-A3).
+enum class CacheOp : std::uint8_t { kLoad, kStore, kFlush };
+
+/// One replayable access: every line address an instruction touched, with
+/// the operation kind.
+struct AccessRecord {
+  CacheOp op = CacheOp::kLoad;
+  std::uint64_t line_addr = 0;
+};
+
+/// Aggregated runtime statistics of one basic block.
+struct BbStats {
+  /// Sum of the 11 HPC events over all instructions of the block.
+  std::uint64_t hpc_value = 0;
+  /// Distinct cache-line addresses the block accessed (incl. flushes).
+  std::set<std::uint64_t> lines;
+  /// Cycle of first execution + 1; 0 if the block never executed.
+  std::uint64_t first_cycle = 0;
+  /// Replay list for CST measurement, in instruction order.
+  std::vector<AccessRecord> accesses;
+
+  bool executed() const { return first_cycle != 0; }
+};
+
+/// Aggregates an execution profile over the blocks of a CFG.
+/// The profile must come from the same Program the CFG was built from.
+std::vector<BbStats> aggregate_by_block(const cfg::Cfg& cfg,
+                                        const trace::ExecutionProfile& profile);
+
+}  // namespace scag::core

@@ -1,0 +1,35 @@
+#include "core/cst.h"
+
+namespace scag::core {
+
+Cst measure_cst(const std::vector<AccessRecord>& accesses,
+                const CstConfig& config) {
+  cache::Cache sim(config.cache);
+  sim.fill_all(cache::Owner::kOther);
+
+  Cst cst;
+  cst.before.ao = sim.occupancy(cache::Owner::kAttacker);
+  cst.before.io = sim.total_occupancy() - cst.before.ao;
+
+  for (const AccessRecord& rec : accesses) {
+    switch (rec.op) {
+      case CacheOp::kLoad:
+        sim.access(rec.line_addr, cache::AccessType::kLoad,
+                   cache::Owner::kAttacker);
+        break;
+      case CacheOp::kStore:
+        sim.access(rec.line_addr, cache::AccessType::kStore,
+                   cache::Owner::kAttacker);
+        break;
+      case CacheOp::kFlush:
+        sim.flush(rec.line_addr);
+        break;
+    }
+  }
+
+  cst.after.ao = sim.occupancy(cache::Owner::kAttacker);
+  cst.after.io = sim.total_occupancy() - cst.after.ao;
+  return cst;
+}
+
+}  // namespace scag::core

@@ -1,0 +1,51 @@
+// Cache state transitions (paper Definitions 2-4 and Section III-A3).
+//
+// A cache state S = (AO, IO): AO is the fraction of cache lines occupied by
+// the attack program, IO the fraction occupied by everyone else. The CST of
+// a basic block b is S -b-> S'. To measure it we use the paper's scenario:
+// start from a cache entirely full of non-attack data (IO = 1, AO = 0) and
+// replay the block's recorded memory operations as the attacker.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "cache/cache.h"
+#include "core/bb_profile.h"
+
+namespace scag::core {
+
+/// Definition 3: cache state (AO, IO) with AO + IO <= 1.
+struct CacheState {
+  double ao = 0.0;
+  double io = 0.0;
+
+  bool operator==(const CacheState&) const = default;
+};
+
+/// Definition 4: the cache state transition of one basic block.
+struct Cst {
+  CacheState before;
+  CacheState after;
+
+  /// P_i of Section III-B1: the magnitude of the cache change.
+  double change() const {
+    return (std::abs(after.ao - before.ao) + std::abs(after.io - before.io)) /
+           2.0;
+  }
+};
+
+inline double abs_diff(double a, double b) { return a > b ? a - b : b - a; }
+
+struct CstConfig {
+  /// Geometry of the simulated cache the accesses are replayed against.
+  /// Small enough that a PoC's working set moves the occupancy needle.
+  cache::CacheConfig cache{64, 8, 64};
+};
+
+/// Replays a block's access records against a freshly prepared cache
+/// (IO = 1, AO = 0) and returns the observed CST.
+Cst measure_cst(const std::vector<AccessRecord>& accesses,
+                const CstConfig& config = {});
+
+}  // namespace scag::core

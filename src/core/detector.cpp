@@ -1,0 +1,46 @@
+#include "core/detector.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace scag::core {
+
+void Detector::enroll(const isa::Program& poc, Family family) {
+  if (family == Family::kBenign)
+    throw std::invalid_argument("Detector::enroll: enroll attack PoCs only");
+  repository_.push_back(builder_.build(poc, family));
+}
+
+void Detector::enroll(AttackModel model) {
+  if (model.family == Family::kBenign)
+    throw std::invalid_argument("Detector::enroll: enroll attack models only");
+  repository_.push_back(std::move(model));
+}
+
+Detection Detector::scan(const isa::Program& target) const {
+  const AttackModel m = builder_.build(target);
+  return scan(m.sequence);
+}
+
+Detection Detector::scan(const CstBbs& target_sequence) const {
+  Detection det;
+  det.scores.reserve(repository_.size());
+  for (const AttackModel& model : repository_) {
+    ModelScore s;
+    s.model_name = model.name;
+    s.family = model.family;
+    s.score = similarity(target_sequence, model.sequence, dtw_);
+    det.scores.push_back(s);
+  }
+  std::sort(det.scores.begin(), det.scores.end(),
+            [](const ModelScore& a, const ModelScore& b) {
+              return a.score > b.score;
+            });
+  if (!det.scores.empty()) {
+    det.best_score = det.scores.front().score;
+    if (det.best_score >= threshold_) det.verdict = det.scores.front().family;
+  }
+  return det;
+}
+
+}  // namespace scag::core

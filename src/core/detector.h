@@ -1,0 +1,71 @@
+// Attack detection and classification (paper Section III-B3).
+//
+// A repository holds the CST-BBS models of known attack PoCs. A target
+// program is modeled with the same pipeline and compared against every
+// PoC model; the best similarity score decides:
+//   score >= threshold  -> classified into that PoC's attack family
+//   otherwise           -> benign
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/dtw.h"
+#include "core/model.h"
+
+namespace scag::core {
+
+/// Score of the target against one repository model.
+struct ModelScore {
+  std::string model_name;
+  Family family = Family::kBenign;
+  double score = 0.0;
+};
+
+struct Detection {
+  /// All per-model scores, sorted descending.
+  std::vector<ModelScore> scores;
+  /// Family of the best-scoring model if above threshold, else kBenign.
+  Family verdict = Family::kBenign;
+  double best_score = 0.0;
+
+  bool is_attack() const { return verdict != Family::kBenign; }
+};
+
+class Detector {
+ public:
+  /// threshold: minimum similarity to call the target an attack. The paper
+  /// selects 45% (the middle of the robust 30%-60% band of Fig. 5).
+  explicit Detector(ModelConfig model_config = {}, DtwConfig dtw_config = {},
+                    double threshold = 0.45)
+      : builder_(std::move(model_config)),
+        dtw_(dtw_config),
+        threshold_(threshold) {}
+
+  double threshold() const { return threshold_; }
+  void set_threshold(double t) { threshold_ = t; }
+  const ModelBuilder& builder() const { return builder_; }
+
+  /// Adds a PoC to the repository (modeling it with the pipeline).
+  void enroll(const isa::Program& poc, Family family);
+
+  /// Adds a pre-built model.
+  void enroll(AttackModel model);
+
+  std::size_t repository_size() const { return repository_.size(); }
+  const std::vector<AttackModel>& repository() const { return repository_; }
+
+  /// Full pipeline on a target program, then similarity comparison.
+  Detection scan(const isa::Program& target) const;
+
+  /// Comparison only, for a target already modeled.
+  Detection scan(const CstBbs& target_sequence) const;
+
+ private:
+  ModelBuilder builder_;
+  DtwConfig dtw_;
+  double threshold_;
+  std::vector<AttackModel> repository_;
+};
+
+}  // namespace scag::core

@@ -1,0 +1,96 @@
+#include "core/distance.h"
+
+#include <algorithm>
+
+#include "isa/normalize.h"
+
+namespace scag::core {
+
+std::size_t levenshtein(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b) {
+  // Ensure the inner dimension is the shorter sequence.
+  const auto& longer = a.size() >= b.size() ? a : b;
+  const auto& shorter = a.size() >= b.size() ? b : a;
+  const std::size_t n = shorter.size();
+  if (n == 0) return longer.size();
+
+  std::vector<std::size_t> row(n + 1);
+  for (std::size_t j = 0; j <= n; ++j) row[j] = j;
+  for (std::size_t i = 1; i <= longer.size(); ++i) {
+    std::size_t prev_diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= n; ++j) {
+      const std::size_t del = row[j] + 1;
+      const std::size_t ins = row[j - 1] + 1;
+      const std::size_t sub =
+          prev_diag + (longer[i - 1] == shorter[j - 1] ? 0 : 1);
+      prev_diag = row[j];
+      row[j] = std::min({del, ins, sub});
+    }
+  }
+  return row[n];
+}
+
+double weighted_levenshtein(const std::vector<std::string>& a,
+                            const std::vector<std::string>& b) {
+  const std::size_t n = a.size(), m = b.size();
+  std::vector<double> prev(m + 1), cur(m + 1);
+  prev[0] = 0.0;
+  for (std::size_t j = 1; j <= m; ++j)
+    prev[j] = prev[j - 1] + isa::semantic_token_weight(b[j - 1]);
+  for (std::size_t i = 1; i <= n; ++i) {
+    cur[0] = prev[0] + isa::semantic_token_weight(a[i - 1]);
+    for (std::size_t j = 1; j <= m; ++j) {
+      const double del = prev[j] + isa::semantic_token_weight(a[i - 1]);
+      const double ins = cur[j - 1] + isa::semantic_token_weight(b[j - 1]);
+      const double sub =
+          prev[j - 1] + isa::semantic_subst_cost(a[i - 1], b[j - 1]);
+      cur[j] = std::min({del, ins, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+namespace {
+
+double total_weight(const std::vector<std::string>& tokens) {
+  double w = 0.0;
+  for (const std::string& t : tokens) w += isa::semantic_token_weight(t);
+  return w;
+}
+
+}  // namespace
+
+double instruction_distance(const CstBbsElement& a, const CstBbsElement& b,
+                            const DistanceConfig& config) {
+  switch (config.alphabet) {
+    case IsAlphabet::kFullTokens: {
+      const std::size_t longest =
+          std::max(a.norm_instrs.size(), b.norm_instrs.size());
+      if (longest == 0) return 0.0;
+      return static_cast<double>(levenshtein(a.norm_instrs, b.norm_instrs)) /
+             static_cast<double>(longest);
+    }
+    case IsAlphabet::kSemanticWeighted: {
+      const double denom =
+          std::max(total_weight(a.sem_tokens), total_weight(b.sem_tokens));
+      if (denom == 0.0) return 0.0;
+      return std::min(
+          1.0, weighted_levenshtein(a.sem_tokens, b.sem_tokens) / denom);
+    }
+  }
+  return 0.0;
+}
+
+double csp_distance(const Cst& a, const Cst& b) {
+  return abs_diff(a.change(), b.change());
+}
+
+double cst_distance(const CstBbsElement& a, const CstBbsElement& b,
+                    const DistanceConfig& config) {
+  return config.is_weight * instruction_distance(a, b, config) +
+         (1.0 - config.is_weight) * csp_distance(a.cst, b.cst);
+}
+
+}  // namespace scag::core

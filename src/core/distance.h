@@ -1,0 +1,61 @@
+// Distances between CSTs (paper Section III-B1).
+//
+//   D_IS   = Levenshtein(IS1, IS2) / max(|IS1|, |IS2|)   over normalized
+//            instruction sequences
+//   P_i    = (|AO_i - AO'_i| + |IO_i - IO'_i|) / 2
+//   D_CSP  = |P_2 - P_1|
+//   Distance(t1, t2) = (D_IS + D_CSP) / 2
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+
+namespace scag::core {
+
+/// Edit distance between two token sequences (insert/delete/substitute,
+/// unit costs). O(n*m) time, O(min(n,m)) space.
+std::size_t levenshtein(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b);
+
+/// Weighted edit distance over semantic tokens: insert/delete cost the
+/// token's weight, substitution costs semantic_subst_cost. Used by the
+/// calibrated distance mode.
+double weighted_levenshtein(const std::vector<std::string>& a,
+                            const std::vector<std::string>& b);
+
+/// How the per-element instruction distance is computed.
+///
+/// kFullTokens is the paper's exact procedure: plain Levenshtein over
+/// "mov reg, mem"-style normalized instructions.
+///
+/// kSemanticWeighted is the calibrated mode the benchmark harness uses:
+/// weighted edit distance over the cache-semantic alphabet. Our mini-ISA
+/// basic blocks are 1-2 orders of magnitude smaller than real compiled
+/// blocks, which makes full-token Levenshtein over-sensitive to coding
+/// style; weighting the tokens an attack is actually made of (flush, time,
+/// loads) restores the family-coherence the paper reports (see DESIGN.md).
+enum class IsAlphabet { kFullTokens, kSemanticWeighted };
+
+struct DistanceConfig {
+  IsAlphabet alphabet = IsAlphabet::kFullTokens;
+  /// Weight of the instruction-sequence component; the CSP component gets
+  /// 1 - is_weight. The paper uses the unweighted mean (0.5). Exposed for
+  /// the ablation study (bench_ablation).
+  double is_weight = 0.5;
+};
+
+/// Normalized instruction-sequence distance D_IS in [0, 1].
+double instruction_distance(const CstBbsElement& a, const CstBbsElement& b,
+                            const DistanceConfig& config = {});
+
+/// Cache-state-pair distance D_CSP in [0, 1].
+double csp_distance(const Cst& a, const Cst& b);
+
+/// Combined per-element distance in [0, 1]: (D_IS + D_CSP) / 2.
+double cst_distance(const CstBbsElement& a, const CstBbsElement& b,
+                    const DistanceConfig& config = {});
+
+}  // namespace scag::core

@@ -1,0 +1,99 @@
+#include "core/dtw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/distance.h"
+
+namespace scag::core {
+
+DtwResult dtw(std::size_t n, std::size_t m,
+              const std::function<double(std::size_t, std::size_t)>& cost,
+              const DtwConfig& config) {
+  DtwResult result;
+  if (n == 0 && m == 0) return result;
+  if (n == 0 || m == 0) {
+    result.distance = static_cast<double>(n + m);  // all unmatched, cost 1
+    result.path_length = n + m;
+    return result;
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // dp[i][j] = min accumulated cost aligning a[0..i) with b[0..j).
+  // steps[i][j] = warping-path length achieving it.
+  const std::size_t w =
+      config.window == 0 ? std::max(n, m)
+                         : std::max(config.window,
+                                    n > m ? n - m : m - n);  // feasibility
+
+  std::vector<double> prev(m + 1, kInf), cur(m + 1, kInf);
+  std::vector<std::size_t> prev_steps(m + 1, 0), cur_steps(m + 1, 0);
+  prev[0] = 0.0;
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    const std::size_t j_lo = i > w ? i - w : 1;
+    const std::size_t j_hi = std::min(m, i + w);
+    for (std::size_t j = j_lo; j <= j_hi; ++j) {
+      const double c = cost(i - 1, j - 1);
+      double best = prev[j - 1];        // diagonal
+      std::size_t steps = prev_steps[j - 1];
+      if (prev[j] < best) {             // insertion
+        best = prev[j];
+        steps = prev_steps[j];
+      }
+      if (cur[j - 1] < best) {          // deletion
+        best = cur[j - 1];
+        steps = cur_steps[j - 1];
+      }
+      cur[j] = best + c;
+      cur_steps[j] = steps + 1;
+    }
+    std::swap(prev, cur);
+    std::swap(prev_steps, cur_steps);
+  }
+  result.distance = prev[m];
+  result.path_length = prev_steps[m];
+  return result;
+}
+
+double cst_bbs_distance(const CstBbs& a, const CstBbs& b,
+                        const DtwConfig& config) {
+  const DtwResult r =
+      dtw(a.size(), b.size(),
+          [&a, &b, &config](std::size_t i, std::size_t j) {
+            return cst_distance(a[i], b[j], config.distance);
+          },
+          config);
+  double d = r.distance;
+  if (config.normalization == DtwNormalization::kPathAveraged &&
+      r.path_length > 0)
+    d /= static_cast<double>(r.path_length);
+  if (config.length_penalty > 0.0 && !a.empty() && !b.empty()) {
+    const double lo = static_cast<double>(std::min(a.size(), b.size()));
+    const double hi = static_cast<double>(std::max(a.size(), b.size()));
+    d *= 1.0 + config.length_penalty * (1.0 - lo / hi);
+  }
+  return d;
+}
+
+double similarity(const CstBbs& a, const CstBbs& b, const DtwConfig& config) {
+  const double d = cst_bbs_distance(a, b, config);
+  const double scaled = config.cost_scale * d;
+  if (config.gamma == 1.0) return 1.0 / (1.0 + scaled);
+  return 1.0 / (1.0 + std::pow(scaled, config.gamma));
+}
+
+DtwConfig calibrated_dtw_config() {
+  DtwConfig config;
+  config.distance.alphabet = IsAlphabet::kSemanticWeighted;
+  config.normalization = DtwNormalization::kPathAveraged;
+  config.cost_scale = 4.0;
+  config.gamma = 3.5;
+  config.length_penalty = 0.25;
+  return config;
+}
+
+}  // namespace scag::core

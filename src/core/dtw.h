@@ -1,0 +1,72 @@
+// Dynamic Time Warping over CST-BBS sequences (paper Section III-B2).
+//
+// DTW aligns two sequences by warping their time axes and accumulates the
+// per-pair distance along the optimal warping path. The accumulated
+// distance D in [0, inf) is converted to a similarity score 1/(1+D) in
+// (0, 1]: the larger the score, the more similar the behaviors.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "core/distance.h"
+#include "core/model.h"
+
+namespace scag::core {
+
+/// How the accumulated DTW cost is turned into the distance D used in the
+/// similarity score 1/(1+cost_scale*D).
+///   kAccumulated : D = raw accumulated cost (the paper's description).
+///   kPathAveraged: D = accumulated cost / warping path length. Length-
+///                  invariant; the calibrated benchmark configuration uses
+///                  this because our model sequences are much shorter than
+///                  the paper's (see DESIGN.md).
+enum class DtwNormalization { kAccumulated, kPathAveraged };
+
+struct DtwConfig {
+  /// Per-element distance configuration (alphabet selection).
+  DistanceConfig distance{};
+  DtwNormalization normalization = DtwNormalization::kAccumulated;
+  /// Sakoe-Chiba band half-width; 0 = unconstrained alignment.
+  std::size_t window = 0;
+  /// Multiplies the (possibly path-averaged) cost before the similarity
+  /// conversion. Together with `gamma` this is the calibration that maps
+  /// our distance scale onto the paper's threshold regime; both are fixed
+  /// once, across ALL experiments (see DESIGN.md).
+  double cost_scale = 1.0;
+  /// Steepness of the similarity mapping: 1/(1 + (cost_scale*D)^gamma).
+  /// gamma = 1 is the paper's 1/(1+D).
+  double gamma = 1.0;
+  /// Penalizes sequence-length mismatch (path-averaged DTW alone would let
+  /// a 2-element program warp cheaply onto an 18-element attack model):
+  /// D *= 1 + length_penalty * (1 - min(n,m)/max(n,m)). 0 disables.
+  double length_penalty = 0.0;
+};
+
+/// The calibrated configuration used by the benchmark harness: semantic
+/// weighted alphabet, path-averaged DTW, cost_scale 4, gamma 3.5. See
+/// DESIGN.md for why the calibration is needed and how it was chosen.
+DtwConfig calibrated_dtw_config();
+
+struct DtwResult {
+  double distance = 0.0;     // accumulated cost along the optimal path
+  std::size_t path_length = 0;
+};
+
+/// Generic DTW between index spaces [0,n) and [0,m) with an arbitrary
+/// cost function. Empty-sequence convention: aligning against an empty
+/// sequence costs 1 per element (the maximum per-element distance).
+DtwResult dtw(std::size_t n, std::size_t m,
+              const std::function<double(std::size_t, std::size_t)>& cost,
+              const DtwConfig& config = {});
+
+/// Accumulated DTW distance between two CST-BBSes using the combined
+/// CST distance of Section III-B1.
+double cst_bbs_distance(const CstBbs& a, const CstBbs& b,
+                        const DtwConfig& config = {});
+
+/// Similarity score in (0, 1]: 1 / (1 + cost_scale * D).
+double similarity(const CstBbs& a, const CstBbs& b,
+                  const DtwConfig& config = {});
+
+}  // namespace scag::core

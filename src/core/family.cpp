@@ -1,0 +1,37 @@
+#include "core/family.h"
+
+namespace scag::core {
+
+std::string_view family_name(Family f) {
+  switch (f) {
+    case Family::kFlushReload: return "Flush+Reload Family";
+    case Family::kPrimeProbe: return "Prime+Probe Family";
+    case Family::kSpectreFR: return "Spectre-like Variants of FR";
+    case Family::kSpectrePP: return "Spectre-like Variants of PP";
+    case Family::kBenign: return "Benign";
+    case Family::kCount: break;
+  }
+  return "<bad-family>";
+}
+
+std::string_view family_abbrev(Family f) {
+  switch (f) {
+    case Family::kFlushReload: return "FR-F";
+    case Family::kPrimeProbe: return "PP-F";
+    case Family::kSpectreFR: return "S-FR";
+    case Family::kSpectrePP: return "S-PP";
+    case Family::kBenign: return "Benign";
+    case Family::kCount: break;
+  }
+  return "<bad-family>";
+}
+
+std::optional<Family> parse_family(std::string_view abbrev) {
+  for (int i = 0; i < static_cast<int>(Family::kCount); ++i) {
+    const Family f = static_cast<Family>(i);
+    if (family_abbrev(f) == abbrev) return f;
+  }
+  return std::nullopt;
+}
+
+}  // namespace scag::core

@@ -1,0 +1,26 @@
+// Attack families of Table II.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace scag::core {
+
+/// The four attack types of the paper's dataset (Table II) plus Benign,
+/// which is what the detector reports when no model scores above threshold.
+enum class Family : int {
+  kFlushReload,  // FR-F : Flush+Reload / Flush+Flush / Evict+Reload
+  kPrimeProbe,   // PP-F : Prime+Probe
+  kSpectreFR,    // S-FR : Spectre-like variants of FR
+  kSpectrePP,    // S-PP : Spectre-like variants of PP
+  kBenign,
+  kCount,
+};
+
+inline constexpr int kNumAttackFamilies = 4;  // excludes kBenign
+
+std::string_view family_name(Family f);
+std::string_view family_abbrev(Family f);
+std::optional<Family> parse_family(std::string_view abbrev);
+
+}  // namespace scag::core

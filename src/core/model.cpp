@@ -1,0 +1,68 @@
+#include "core/model.h"
+
+#include <algorithm>
+
+#include "isa/normalize.h"
+
+namespace scag::core {
+
+AttackModel ModelBuilder::build(const isa::Program& program, Family family,
+                                ModelArtifacts* artifacts) const {
+  cpu::Interpreter interp(config_.exec);
+  const cpu::RunResult run = interp.run(program);
+  const cfg::Cfg cfg = cfg::Cfg::build(program);
+  if (artifacts != nullptr) {
+    artifacts->exit = run.profile.exit;
+    artifacts->retired = run.profile.retired;
+    artifacts->cycles = run.profile.cycles;
+  }
+  return build_from_profile(cfg, run.profile, family, artifacts);
+}
+
+AttackModel ModelBuilder::build_from_profile(
+    const cfg::Cfg& cfg, const trace::ExecutionProfile& profile, Family family,
+    ModelArtifacts* artifacts) const {
+  const std::vector<BbStats> stats = aggregate_by_block(cfg, profile);
+  const RelevantResult rel = identify_relevant_blocks(stats, config_.relevant);
+  const AttackGraph graph =
+      build_attack_graph(cfg, stats, rel.relevant, config_.graph);
+
+  if (artifacts != nullptr) {
+    artifacts->num_blocks = cfg.num_blocks();
+    artifacts->potential = rel.potential;
+    artifacts->relevant = rel.relevant;
+    artifacts->graph_nodes = graph.node_count();
+  }
+
+  // Flatten the attack-relevant graph into a BBS ordered by first-execution
+  // timestamp (Section III-A3). Blocks that were restored into the graph
+  // but never executed carry no timestamp and are dropped.
+  std::vector<cfg::BlockId> ordered;
+  for (cfg::BlockId id = 0; id < cfg.num_blocks(); ++id) {
+    if (graph.in_graph[id] && stats[id].executed()) ordered.push_back(id);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [&stats](cfg::BlockId a, cfg::BlockId b) {
+              if (stats[a].first_cycle != stats[b].first_cycle)
+                return stats[a].first_cycle < stats[b].first_cycle;
+              return a < b;
+            });
+
+  AttackModel model;
+  model.name = cfg.program().name();
+  model.family = family;
+  model.sequence.reserve(ordered.size());
+  for (cfg::BlockId id : ordered) {
+    CstBbsElement elem;
+    elem.block = id;
+    elem.first_cycle = stats[id].first_cycle;
+    const std::vector<isa::Instruction> instrs = cfg.instructions_of(id);
+    elem.norm_instrs = isa::normalize(instrs);
+    elem.sem_tokens = isa::semantic_tokens(instrs);
+    elem.cst = measure_cst(stats[id].accesses, config_.cst);
+    model.sequence.push_back(std::move(elem));
+  }
+  return model;
+}
+
+}  // namespace scag::core

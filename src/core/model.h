@@ -1,0 +1,85 @@
+// CST-BBS attack behavior model construction (paper Definition 5 and
+// Section III-A): the end-to-end modeling pipeline
+//
+//   run PoC -> profile -> CFG -> per-BB stats -> relevant BBs ->
+//   attack-relevant graph (Algorithm 1) -> flatten by timestamp ->
+//   CST per block -> CST-BBS
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cfg/cfg.h"
+#include "core/attack_graph.h"
+#include "core/cst.h"
+#include "core/family.h"
+#include "core/relevant.h"
+#include "cpu/interpreter.h"
+#include "isa/program.h"
+
+namespace scag::core {
+
+/// One element of a CST-BBS: a basic block with its normalized instruction
+/// sequence and its measured cache state transition.
+struct CstBbsElement {
+  cfg::BlockId block = 0;
+  std::uint64_t first_cycle = 0;           // flattening key
+  std::vector<std::string> norm_instrs;    // Section III-B1 normalization
+  std::vector<std::string> sem_tokens;     // calibrated semantic alphabet
+  Cst cst;
+};
+
+/// Definition 5: a sequence of cache-state-transition-enhanced blocks,
+/// ordered by execution timestamp.
+using CstBbs = std::vector<CstBbsElement>;
+
+/// A named behavior model in the repository.
+struct AttackModel {
+  std::string name;
+  Family family = Family::kBenign;
+  CstBbs sequence;
+};
+
+struct ModelConfig {
+  cpu::ExecOptions exec{};
+  RelevantConfig relevant{};
+  AttackGraphConfig graph{};
+  CstConfig cst{};
+};
+
+/// Intermediate artifacts of the pipeline, exposed for evaluation (Table IV
+/// counts #BB/#IAB) and for the examples.
+struct ModelArtifacts {
+  std::size_t num_blocks = 0;             // #BB
+  std::vector<cfg::BlockId> potential;    // step-1 survivors
+  std::vector<cfg::BlockId> relevant;     // step-2 survivors (#IAB source)
+  std::size_t graph_nodes = 0;            // attack-relevant graph size
+  trace::ExitReason exit = trace::ExitReason::kHalted;
+  std::uint64_t retired = 0;
+  std::uint64_t cycles = 0;
+};
+
+class ModelBuilder {
+ public:
+  explicit ModelBuilder(ModelConfig config = {}) : config_(std::move(config)) {}
+
+  const ModelConfig& config() const { return config_; }
+
+  /// Runs the full pipeline on a program and returns its CST-BBS model.
+  AttackModel build(const isa::Program& program,
+                    Family family = Family::kBenign,
+                    ModelArtifacts* artifacts = nullptr) const;
+
+  /// Pipeline stage: from an already-collected profile and CFG (lets the
+  /// evaluation reuse one execution for several analyses).
+  AttackModel build_from_profile(const cfg::Cfg& cfg,
+                                 const trace::ExecutionProfile& profile,
+                                 Family family = Family::kBenign,
+                                 ModelArtifacts* artifacts = nullptr) const;
+
+ private:
+  ModelConfig config_;
+};
+
+}  // namespace scag::core

@@ -1,0 +1,46 @@
+#include "core/relevant.h"
+
+#include <map>
+
+namespace scag::core {
+
+RelevantResult identify_relevant_blocks(const std::vector<BbStats>& stats,
+                                        const RelevantConfig& config) {
+  RelevantResult result;
+  const cache::Cache mapper(config.set_mapping);
+
+  // Step 1: executed blocks with nonzero HPC value.
+  for (cfg::BlockId id = 0; id < stats.size(); ++id) {
+    const BbStats& s = stats[id];
+    if (s.executed() && s.hpc_value >= config.min_hpc_value)
+      result.potential.push_back(id);
+  }
+
+  if (config.skip_step_two) {
+    result.relevant = result.potential;
+    return result;
+  }
+
+  // Step 2: cache sets touched by at least two distinct potential blocks.
+  std::map<std::uint32_t, std::set<cfg::BlockId>> set_to_blocks;
+  for (cfg::BlockId id : result.potential) {
+    for (std::uint64_t line : stats[id].lines)
+      set_to_blocks[mapper.set_index(line)].insert(id);
+  }
+  for (const auto& [set_idx, blocks] : set_to_blocks) {
+    if (blocks.size() >= 2) result.shared_sets.insert(set_idx);
+  }
+  for (cfg::BlockId id : result.potential) {
+    bool touches_shared = false;
+    for (std::uint64_t line : stats[id].lines) {
+      if (result.shared_sets.count(mapper.set_index(line))) {
+        touches_shared = true;
+        break;
+      }
+    }
+    if (touches_shared) result.relevant.push_back(id);
+  }
+  return result;
+}
+
+}  // namespace scag::core

@@ -1,0 +1,44 @@
+// Attack-relevant basic block identification (paper Section III-A1).
+//
+// Step 1: a block is *potentially* attack-relevant if it executed and its
+//         HPC value (sum of the 11 Table-I events) is nonzero.
+// Step 2: CSCAs must touch some cache sets from at least two different
+//         blocks (prepare + probe). Compute the cache sets each potential
+//         block touches; keep only blocks that touch a set also touched by
+//         another potential block.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "cache/cache.h"
+#include "core/bb_profile.h"
+
+namespace scag::core {
+
+struct RelevantConfig {
+  /// Cache geometry used to map line addresses to cache sets in step 2
+  /// (the LLC of the monitored platform).
+  cache::CacheConfig set_mapping{1024, 16, 64};
+  /// HPC value threshold for step 1 (paper: nonzero, i.e. > 0).
+  std::uint64_t min_hpc_value = 1;
+  /// Disables step 2 (overlapping-cache-set filtering); every potential
+  /// block is then reported relevant. For the ablation study only.
+  bool skip_step_two = false;
+};
+
+struct RelevantResult {
+  /// Step-1 survivors (potential attack-relevant blocks).
+  std::vector<cfg::BlockId> potential;
+  /// Step-2 survivors: the identified attack-relevant blocks (#IAB).
+  std::vector<cfg::BlockId> relevant;
+  /// Cache sets that were accessed by >= 2 distinct potential blocks.
+  std::set<std::uint32_t> shared_sets;
+};
+
+/// Runs both identification steps over per-block statistics.
+RelevantResult identify_relevant_blocks(const std::vector<BbStats>& stats,
+                                        const RelevantConfig& config = {});
+
+}  // namespace scag::core

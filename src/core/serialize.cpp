@@ -1,0 +1,154 @@
+#include "core/serialize.h"
+
+#include <bit>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+#include "support/strings.h"
+
+namespace scag::core {
+
+namespace {
+
+constexpr const char* kMagic = "scaguard-models v1";
+
+std::string f2hex(double v) {
+  return strfmt("%016llx",
+                static_cast<unsigned long long>(std::bit_cast<std::uint64_t>(v)));
+}
+
+double hex2f(const std::string& s, std::size_t line) {
+  if (s.size() != 16)
+    throw SerializeError(line, "bad float field: " + s);
+  std::uint64_t bits = 0;
+  for (char c : s) {
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else throw SerializeError(line, "bad hex digit in float field: " + s);
+    bits = (bits << 4) | static_cast<std::uint64_t>(digit);
+  }
+  return std::bit_cast<double>(bits);
+}
+
+std::uint64_t to_u64(const std::string& s, std::size_t line) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long v = std::stoull(s, &used, 10);
+    if (used != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw SerializeError(line, "bad integer field: " + s);
+  }
+}
+
+}  // namespace
+
+void save_models(std::ostream& out, const std::vector<AttackModel>& models) {
+  out << kMagic << "\n";
+  for (const AttackModel& m : models) {
+    out << "model " << m.name << " " << family_abbrev(m.family) << " "
+        << m.sequence.size() << "\n";
+    for (const CstBbsElement& e : m.sequence) {
+      out << "elem " << e.block << " " << e.first_cycle << " "
+          << f2hex(e.cst.before.ao) << " " << f2hex(e.cst.before.io) << " "
+          << f2hex(e.cst.after.ao) << " " << f2hex(e.cst.after.io) << "\n";
+      out << "norm " << join(e.norm_instrs, "|") << "\n";
+      out << "sem " << join(e.sem_tokens, " ") << "\n";
+    }
+    out << "end\n";
+  }
+}
+
+std::string save_models_to_string(const std::vector<AttackModel>& models) {
+  std::ostringstream ss;
+  save_models(ss, models);
+  return ss.str();
+}
+
+void save_models_to_file(const std::string& path,
+                         const std::vector<AttackModel>& models) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  save_models(out, models);
+}
+
+std::vector<AttackModel> load_models(std::istream& in) {
+  std::vector<AttackModel> models;
+  std::string line;
+  std::size_t lineno = 0;
+
+  auto next_line = [&in, &line, &lineno]() -> bool {
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (!trim(line).empty()) return true;
+    }
+    return false;
+  };
+
+  if (!next_line() || trim(line) != kMagic)
+    throw SerializeError(lineno == 0 ? 1 : lineno,
+                         "missing repository header '" + std::string(kMagic) +
+                             "'");
+
+  while (next_line()) {
+    const auto head = split_ws(line);
+    if (head.size() != 4 || head[0] != "model")
+      throw SerializeError(lineno, "expected 'model <name> <family> <n>'");
+    AttackModel model;
+    model.name = head[1];
+    const auto family = parse_family(head[2]);
+    if (!family) throw SerializeError(lineno, "unknown family " + head[2]);
+    model.family = *family;
+    const std::uint64_t count = to_u64(head[3], lineno);
+
+    for (std::uint64_t i = 0; i < count; ++i) {
+      if (!next_line()) throw SerializeError(lineno, "truncated element");
+      const auto elem_fields = split_ws(line);
+      if (elem_fields.size() != 7 || elem_fields[0] != "elem")
+        throw SerializeError(lineno, "expected 'elem' record");
+      CstBbsElement elem;
+      elem.block =
+          static_cast<cfg::BlockId>(to_u64(elem_fields[1], lineno));
+      elem.first_cycle = to_u64(elem_fields[2], lineno);
+      elem.cst.before.ao = hex2f(elem_fields[3], lineno);
+      elem.cst.before.io = hex2f(elem_fields[4], lineno);
+      elem.cst.after.ao = hex2f(elem_fields[5], lineno);
+      elem.cst.after.io = hex2f(elem_fields[6], lineno);
+
+      if (!next_line() || !starts_with(trim(line), "norm"))
+        throw SerializeError(lineno, "expected 'norm' record");
+      {
+        const std::string payload = trim(trim(line).substr(4));
+        if (!payload.empty()) elem.norm_instrs = split(payload, '|');
+      }
+
+      if (!next_line() || !starts_with(trim(line), "sem"))
+        throw SerializeError(lineno, "expected 'sem' record");
+      {
+        const std::string payload = trim(trim(line).substr(3));
+        if (!payload.empty()) elem.sem_tokens = split_ws(payload);
+      }
+      model.sequence.push_back(std::move(elem));
+    }
+
+    if (!next_line() || trim(line) != "end")
+      throw SerializeError(lineno, "expected 'end' after model " + model.name);
+    models.push_back(std::move(model));
+  }
+  return models;
+}
+
+std::vector<AttackModel> load_models_from_string(const std::string& text) {
+  std::istringstream ss(text);
+  return load_models(ss);
+}
+
+std::vector<AttackModel> load_models_from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return load_models(in);
+}
+
+}  // namespace scag::core

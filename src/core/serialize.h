@@ -1,0 +1,50 @@
+// Model repository serialization.
+//
+// The paper's deployment story builds the attack-model repository once and
+// reuses it for every scan. This module persists CST-BBS models in a
+// line-oriented text format that is diffable, versioned, and independent of
+// the host's float formatting:
+//
+//   scaguard-models v1
+//   model <name> <family-abbrev> <num-elements>
+//   elem <block-id> <first-cycle> <ao> <io> <ao'> <io'>
+//   norm <token>|<token>|...
+//   sem <token> <token> ...
+//   end
+//
+// Cache states are stored as exact IEEE-754 bit patterns (hex) so a
+// round-trip reproduces byte-identical similarity scores.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+
+namespace scag::core {
+
+/// Thrown on malformed repository files, with 1-based line context.
+class SerializeError : public std::runtime_error {
+ public:
+  SerializeError(std::size_t line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Writes models in the repository format.
+void save_models(std::ostream& out, const std::vector<AttackModel>& models);
+std::string save_models_to_string(const std::vector<AttackModel>& models);
+void save_models_to_file(const std::string& path,
+                         const std::vector<AttackModel>& models);
+
+/// Parses a repository. Throws SerializeError on malformed input.
+std::vector<AttackModel> load_models(std::istream& in);
+std::vector<AttackModel> load_models_from_string(const std::string& text);
+std::vector<AttackModel> load_models_from_file(const std::string& path);
+
+}  // namespace scag::core

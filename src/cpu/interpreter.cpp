@@ -1,0 +1,540 @@
+#include "cpu/interpreter.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace scag::cpu {
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::Operand;
+using isa::Program;
+using isa::Reg;
+using trace::HpcEvent;
+
+/// Transient-execution context: shadow registers/flags and a store buffer.
+/// Transient stores never reach the cache or architectural memory; transient
+/// loads DO perturb the cache — that is the Spectre leak.
+struct Interpreter::SpecCtx {
+  RegFile regs;
+  Flags flags;
+  std::unordered_map<std::uint64_t, std::uint64_t> writes;
+  std::size_t branch_idx = 0;  // instruction the events are attributed to
+};
+
+namespace {
+
+/// Instructions that terminate a transient window (serializing or
+/// not-speculated operations).
+bool stops_speculation(Opcode op) {
+  switch (op) {
+    case Opcode::kLfence:
+    case Opcode::kMfence:
+    case Opcode::kRdtscp:
+    case Opcode::kClflush:
+    case Opcode::kHlt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool eval_condition(Opcode op, const Flags& f) {
+  switch (op) {
+    case Opcode::kJe: return f.eq;
+    case Opcode::kJne: return !f.eq;
+    case Opcode::kJl: return f.slt;
+    case Opcode::kJge: return !f.slt;
+    case Opcode::kJle: return f.slt || f.eq;
+    case Opcode::kJg: return !(f.slt || f.eq);
+    case Opcode::kJb: return f.ult;
+    case Opcode::kJae: return !f.ult;
+    case Opcode::kJbe: return f.ult || f.eq;
+    case Opcode::kJa: return !(f.ult || f.eq);
+    default:
+      throw std::logic_error("eval_condition: not a conditional branch");
+  }
+}
+
+/// ALU evaluation; returns result and updates flags.
+std::uint64_t alu(Opcode op, std::uint64_t a, std::uint64_t b, Flags& f) {
+  std::uint64_t r = 0;
+  bool ult = false;
+  switch (op) {
+    case Opcode::kAdd: r = a + b; ult = r < a; break;
+    case Opcode::kSub: r = a - b; ult = a < b; break;
+    case Opcode::kImul: r = a * b; break;
+    case Opcode::kXor: r = a ^ b; break;
+    case Opcode::kAnd: r = a & b; break;
+    case Opcode::kOr: r = a | b; break;
+    case Opcode::kShl: r = a << (b & 63); break;
+    case Opcode::kShr: r = a >> (b & 63); break;
+    case Opcode::kInc: r = a + 1; break;
+    case Opcode::kDec: r = a - 1; ult = a < 1; break;
+    case Opcode::kNeg: r = 0 - a; ult = a != 0; break;
+    case Opcode::kNot: r = ~a; break;
+    default:
+      throw std::logic_error("alu: not an ALU opcode");
+  }
+  f.eq = r == 0;
+  f.slt = static_cast<std::int64_t>(r) < 0;
+  f.ult = ult;
+  return r;
+}
+
+bool is_alu(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd: case Opcode::kSub: case Opcode::kImul:
+    case Opcode::kXor: case Opcode::kAnd: case Opcode::kOr:
+    case Opcode::kShl: case Opcode::kShr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_unary_alu(Opcode op) {
+  return op == Opcode::kInc || op == Opcode::kDec || op == Opcode::kNeg ||
+         op == Opcode::kNot;
+}
+
+}  // namespace
+
+Interpreter::Interpreter(ExecOptions options)
+    : options_(std::move(options)), hierarchy_(options_.cache_config) {}
+
+std::uint64_t Interpreter::effective_addr(const isa::MemRef& m,
+                                          const RegFile& regs) const {
+  std::uint64_t ea = static_cast<std::uint64_t>(m.disp);
+  if (m.base != isa::MemRef::kNoReg) ea += regs[static_cast<Reg>(m.base)];
+  if (m.index != isa::MemRef::kNoReg)
+    ea += regs[static_cast<Reg>(m.index)] * m.scale;
+  return ea;
+}
+
+cache::Owner Interpreter::owner_for(std::uint64_t code_addr) const {
+  for (const auto& [lo, hi] : options_.victim_ranges)
+    if (code_addr >= lo && code_addr < hi) return cache::Owner::kVictim;
+  return cache::Owner::kAttacker;
+}
+
+std::uint64_t Interpreter::do_load(std::uint64_t addr, cache::Owner owner,
+                                   std::size_t idx, std::uint64_t& cost,
+                                   SpecCtx* spec) {
+  if (spec) {
+    // Store-to-load forwarding from the transient store buffer: no cache
+    // traffic, no events.
+    auto it = spec->writes.find(Memory::align(addr));
+    if (it != spec->writes.end()) return it->second;
+    idx = spec->branch_idx;
+  }
+  const auto h = hierarchy_.load(addr, owner);
+  cost += h.latency;
+  auto& ctr = profile_.per_instr[idx];
+  if (h.l1_hit) {
+    ctr.bump(HpcEvent::kL1dLoadHit);
+    profile_.totals.bump(HpcEvent::kL1dLoadHit);
+  } else {
+    ctr.bump(HpcEvent::kL1dLoadMiss);
+    profile_.totals.bump(HpcEvent::kL1dLoadMiss);
+    if (h.llc_hit) {
+      ctr.bump(HpcEvent::kLlcLoadHit);
+      profile_.totals.bump(HpcEvent::kLlcLoadHit);
+    } else {
+      ctr.bump(HpcEvent::kLlcLoadMiss);
+      profile_.totals.bump(HpcEvent::kLlcLoadMiss);
+      ctr.bump(HpcEvent::kCacheMiss);
+      profile_.totals.bump(HpcEvent::kCacheMiss);
+    }
+  }
+  auto& lines =
+      spec ? profile_.transient_line_addrs[idx] : profile_.line_addrs[idx];
+  lines.insert(hierarchy_.llc().line_addr(addr));
+  return memory_.read(addr);
+}
+
+void Interpreter::do_store(std::uint64_t addr, std::uint64_t value,
+                           cache::Owner owner, std::size_t idx,
+                           std::uint64_t& cost, SpecCtx* spec) {
+  if (spec) {
+    spec->writes[Memory::align(addr)] = value;
+    return;
+  }
+  const auto h = hierarchy_.store(addr, owner);
+  cost += h.latency;
+  auto& ctr = profile_.per_instr[idx];
+  if (h.l1_hit) {
+    ctr.bump(HpcEvent::kL1dStoreHit);
+    profile_.totals.bump(HpcEvent::kL1dStoreHit);
+  } else if (h.llc_hit) {
+    ctr.bump(HpcEvent::kLlcStoreHit);
+    profile_.totals.bump(HpcEvent::kLlcStoreHit);
+  } else {
+    ctr.bump(HpcEvent::kLlcStoreMiss);
+    profile_.totals.bump(HpcEvent::kLlcStoreMiss);
+    ctr.bump(HpcEvent::kCacheMiss);
+    profile_.totals.bump(HpcEvent::kCacheMiss);
+  }
+  profile_.line_addrs[idx].insert(hierarchy_.llc().line_addr(addr));
+  memory_.write(addr, value);
+}
+
+void Interpreter::take_samples_up_to(std::uint64_t cycles) {
+  if (options_.sample_interval == 0) return;
+  while (next_sample_at_ <= cycles) {
+    trace::HpcCounters snap = profile_.totals;
+    if (options_.sample_noise > 0.0) {
+      for (auto& count : snap.counts) {
+        // Multiplicative jitter plus an occasional interrupt-burst spike.
+        const double jitter =
+            1.0 + options_.sample_noise * (noise_rng_.uniform01() * 2.0 - 1.0);
+        double v = static_cast<double>(count) * jitter;
+        if (noise_rng_.chance(0.02))
+          v += noise_rng_.uniform_real(1.0, 32.0);
+        count = v <= 0.0 ? 0 : static_cast<std::uint64_t>(v);
+      }
+    }
+    profile_.samples.push_back(snap);
+    // Observe the LLC occupancy state (AO, IO) of Definition 3 live.
+    const double ao = hierarchy_.llc().occupancy(cache::Owner::kAttacker);
+    const double total = hierarchy_.llc().total_occupancy();
+    profile_.occupancy_samples.emplace_back(ao, total - ao);
+    next_sample_at_ += options_.sample_interval;
+  }
+}
+
+void Interpreter::run_transient(const Program& program, std::uint64_t wrong_pc,
+                                std::size_t branch_idx) {
+  SpecCtx spec;
+  spec.regs = regs_;
+  spec.flags = flags_;
+  spec.branch_idx = branch_idx;
+  const cache::Owner owner = owner_for(wrong_pc);
+
+  std::uint64_t pc = wrong_pc;
+  std::uint64_t scratch_cost = 0;  // transient latency overlaps resolution
+  for (std::uint32_t n = 0; n < options_.spec_window; ++n) {
+    const std::size_t idx = program.index_of(pc);
+    if (idx == Program::npos) return;
+    const Instruction& insn = program.at(idx);
+    if (stops_speculation(insn.op)) return;
+
+    std::uint64_t next_pc = pc + isa::kInstrSize;
+
+    auto read_operand = [&](const Operand& o) -> std::uint64_t {
+      switch (o.kind) {
+        case Operand::Kind::kImm: return static_cast<std::uint64_t>(o.imm);
+        case Operand::Kind::kReg: return spec.regs[o.reg];
+        case Operand::Kind::kMem:
+          return do_load(effective_addr(o.mem, spec.regs), owner, idx,
+                         scratch_cost, &spec);
+        case Operand::Kind::kNone: return 0;
+      }
+      return 0;
+    };
+    auto write_operand = [&](const Operand& o, std::uint64_t v) {
+      if (o.is_reg()) {
+        spec.regs[o.reg] = v;
+      } else if (o.is_mem()) {
+        do_store(effective_addr(o.mem, spec.regs), v, owner, idx,
+                 scratch_cost, &spec);
+      }
+    };
+
+    switch (insn.op) {
+      case Opcode::kMov:
+        write_operand(insn.dst, read_operand(insn.src));
+        break;
+      case Opcode::kLea:
+        spec.regs[insn.dst.reg] = effective_addr(insn.src.mem, spec.regs);
+        break;
+      case Opcode::kPush: {
+        const std::uint64_t v = read_operand(insn.dst);
+        spec.regs[Reg::RSP] -= 8;
+        do_store(spec.regs[Reg::RSP], v, owner, idx, scratch_cost, &spec);
+        break;
+      }
+      case Opcode::kPop: {
+        const std::uint64_t v = do_load(spec.regs[Reg::RSP], owner, idx,
+                                        scratch_cost, &spec);
+        spec.regs[Reg::RSP] += 8;
+        write_operand(insn.dst, v);
+        break;
+      }
+      case Opcode::kCmp: {
+        const std::uint64_t a = read_operand(insn.dst);
+        const std::uint64_t b = read_operand(insn.src);
+        spec.flags.eq = a == b;
+        spec.flags.ult = a < b;
+        spec.flags.slt =
+            static_cast<std::int64_t>(a) < static_cast<std::int64_t>(b);
+        break;
+      }
+      case Opcode::kTest: {
+        const std::uint64_t r = read_operand(insn.dst) & read_operand(insn.src);
+        spec.flags.eq = r == 0;
+        spec.flags.ult = false;
+        spec.flags.slt = static_cast<std::int64_t>(r) < 0;
+        break;
+      }
+      case Opcode::kJmp:
+        next_pc = insn.target;
+        break;
+      case Opcode::kCall:
+        spec.regs[Reg::RSP] -= 8;
+        do_store(spec.regs[Reg::RSP], pc + isa::kInstrSize, owner, idx,
+                 scratch_cost, &spec);
+        next_pc = insn.target;
+        break;
+      case Opcode::kRet: {
+        const std::uint64_t ra = do_load(spec.regs[Reg::RSP], owner, idx,
+                                         scratch_cost, &spec);
+        spec.regs[Reg::RSP] += 8;
+        if (ra == 0) return;  // would leave the program: end the window
+        next_pc = ra;
+        break;
+      }
+      case Opcode::kPrefetch:
+        do_load(effective_addr(insn.dst.mem, spec.regs), owner, idx,
+                scratch_cost, &spec);
+        break;
+      case Opcode::kNop:
+        break;
+      default: {
+        if (is_alu(insn.op)) {
+          const std::uint64_t a = read_operand(insn.dst);
+          const std::uint64_t b = read_operand(insn.src);
+          write_operand(insn.dst, alu(insn.op, a, b, spec.flags));
+        } else if (is_unary_alu(insn.op)) {
+          const std::uint64_t a = read_operand(insn.dst);
+          write_operand(insn.dst, alu(insn.op, a, 0, spec.flags));
+        } else if (isa::is_cond_branch(insn.op)) {
+          // No nested speculation: resolve with the shadow flags.
+          if (eval_condition(insn.op, spec.flags)) next_pc = insn.target;
+        }
+        break;
+      }
+    }
+    pc = next_pc;
+  }
+}
+
+RunResult Interpreter::run(const Program& program) {
+  program.validate();
+
+  regs_ = RegFile{};
+  regs_[Reg::RSP] = options_.stack_base;
+  flags_ = Flags{};
+  memory_ = Memory{};
+  for (const auto& [addr, value] : program.initial_data())
+    memory_.write(addr, value);
+  hierarchy_.clear();
+  predictor_.reset();
+  cycles_ = 0;
+  next_sample_at_ = options_.sample_interval;
+  noise_rng_.reseed(options_.noise_seed);
+
+  profile_ = trace::ExecutionProfile{};
+  profile_.program_name = program.name();
+  profile_.sample_interval = options_.sample_interval;
+  profile_.resize(program.size());
+
+  std::uint64_t pc = program.entry();
+  std::uint64_t retired = 0;
+  profile_.exit = trace::ExitReason::kInstrLimit;
+
+  while (retired < options_.max_retired) {
+    const std::size_t idx = program.index_of(pc);
+    if (idx == Program::npos) {
+      profile_.exit = trace::ExitReason::kBadInstruction;
+      break;
+    }
+    const Instruction& insn = program.at(idx);
+    const cache::Owner owner = owner_for(pc);
+
+    if (options_.count_fetch_events) {
+      const auto f = hierarchy_.fetch(pc, owner);
+      if (!f.l1_hit) {
+        profile_.per_instr[idx].bump(HpcEvent::kL1iLoadMiss);
+        profile_.totals.bump(HpcEvent::kL1iLoadMiss);
+        if (!f.llc_hit) {
+          profile_.per_instr[idx].bump(HpcEvent::kCacheMiss);
+          profile_.totals.bump(HpcEvent::kCacheMiss);
+        }
+      }
+    }
+    if (profile_.first_cycle[idx] == 0) profile_.first_cycle[idx] = cycles_ + 1;
+
+    std::uint64_t cost = 1;
+    std::uint64_t next_pc = pc + isa::kInstrSize;
+    bool halt = false;
+
+    auto read_operand = [&](const Operand& o) -> std::uint64_t {
+      switch (o.kind) {
+        case Operand::Kind::kImm: return static_cast<std::uint64_t>(o.imm);
+        case Operand::Kind::kReg: return regs_[o.reg];
+        case Operand::Kind::kMem:
+          return do_load(effective_addr(o.mem, regs_), owner, idx, cost,
+                         nullptr);
+        case Operand::Kind::kNone: return 0;
+      }
+      return 0;
+    };
+    auto write_operand = [&](const Operand& o, std::uint64_t v) {
+      if (o.is_reg()) {
+        regs_[o.reg] = v;
+      } else if (o.is_mem()) {
+        do_store(effective_addr(o.mem, regs_), v, owner, idx, cost, nullptr);
+      }
+    };
+
+    switch (insn.op) {
+      case Opcode::kMov:
+        write_operand(insn.dst, read_operand(insn.src));
+        break;
+      case Opcode::kLea:
+        regs_[insn.dst.reg] = effective_addr(insn.src.mem, regs_);
+        break;
+      case Opcode::kPush: {
+        // x86 pushes the pre-decrement value (matters for `push rsp`).
+        const std::uint64_t v = read_operand(insn.dst);
+        regs_[Reg::RSP] -= 8;
+        do_store(regs_[Reg::RSP], v, owner, idx, cost, nullptr);
+        break;
+      }
+      case Opcode::kPop: {
+        const std::uint64_t v =
+            do_load(regs_[Reg::RSP], owner, idx, cost, nullptr);
+        regs_[Reg::RSP] += 8;
+        write_operand(insn.dst, v);
+        break;
+      }
+      case Opcode::kCmp: {
+        const std::uint64_t a = read_operand(insn.dst);
+        const std::uint64_t b = read_operand(insn.src);
+        flags_.eq = a == b;
+        flags_.ult = a < b;
+        flags_.slt =
+            static_cast<std::int64_t>(a) < static_cast<std::int64_t>(b);
+        break;
+      }
+      case Opcode::kTest: {
+        const std::uint64_t r = read_operand(insn.dst) & read_operand(insn.src);
+        flags_.eq = r == 0;
+        flags_.ult = false;
+        flags_.slt = static_cast<std::int64_t>(r) < 0;
+        break;
+      }
+      case Opcode::kJmp:
+        predictor_.note_unconditional(pc);
+        next_pc = insn.target;
+        break;
+      case Opcode::kCall:
+        if (predictor_.note_unconditional(pc)) {
+          profile_.per_instr[idx].bump(HpcEvent::kBranchLoadMiss);
+          profile_.totals.bump(HpcEvent::kBranchLoadMiss);
+        }
+        regs_[Reg::RSP] -= 8;
+        do_store(regs_[Reg::RSP], pc + isa::kInstrSize, owner, idx, cost,
+                 nullptr);
+        next_pc = insn.target;
+        break;
+      case Opcode::kRet: {
+        const std::uint64_t ra =
+            do_load(regs_[Reg::RSP], owner, idx, cost, nullptr);
+        regs_[Reg::RSP] += 8;
+        if (ra == 0) {
+          // Returning from the outermost frame: clean termination.
+          halt = true;
+          profile_.exit = trace::ExitReason::kHalted;
+        } else {
+          next_pc = ra;
+        }
+        break;
+      }
+      case Opcode::kClflush: {
+        const std::uint64_t ea = effective_addr(insn.dst.mem, regs_);
+        const auto h = hierarchy_.flush(ea);
+        cost += h.latency;
+        profile_.line_addrs[idx].insert(hierarchy_.llc().line_addr(ea));
+        if (h.flushed_line_was_present) {
+          // The flush forces the next access to miss; we account it as a
+          // cache-miss event so flush-only blocks are visible to HPCs.
+          profile_.per_instr[idx].bump(HpcEvent::kCacheMiss);
+          profile_.totals.bump(HpcEvent::kCacheMiss);
+        }
+        break;
+      }
+      case Opcode::kPrefetch:
+        do_load(effective_addr(insn.dst.mem, regs_), owner, idx, cost,
+                nullptr);
+        cost = 1;  // prefetch is non-blocking: events yes, latency no
+        break;
+      case Opcode::kMfence:
+      case Opcode::kLfence:
+        cost += 4;
+        break;
+      case Opcode::kRdtscp:
+        regs_[insn.dst.reg] = cycles_ + cost;
+        cost += 10;
+        break;
+      case Opcode::kNop:
+        break;
+      case Opcode::kHlt:
+        halt = true;
+        profile_.exit = trace::ExitReason::kHalted;
+        break;
+      default: {
+        if (is_alu(insn.op)) {
+          const std::uint64_t a = read_operand(insn.dst);
+          const std::uint64_t b = read_operand(insn.src);
+          write_operand(insn.dst, alu(insn.op, a, b, flags_));
+        } else if (is_unary_alu(insn.op)) {
+          const std::uint64_t a = read_operand(insn.dst);
+          write_operand(insn.dst, alu(insn.op, a, 0, flags_));
+        } else if (isa::is_cond_branch(insn.op)) {
+          const bool taken = eval_condition(insn.op, flags_);
+          const auto pred = predictor_.predict(pc);
+          if (pred.btb_cold) {
+            profile_.per_instr[idx].bump(HpcEvent::kBranchLoadMiss);
+            profile_.totals.bump(HpcEvent::kBranchLoadMiss);
+          }
+          if (pred.taken != taken) {
+            profile_.per_instr[idx].bump(HpcEvent::kBranchMiss);
+            profile_.totals.bump(HpcEvent::kBranchMiss);
+            cost += options_.mispredict_penalty;
+            if (options_.speculation) {
+              const std::uint64_t wrong_pc =
+                  pred.taken ? insn.target : pc + isa::kInstrSize;
+              run_transient(program, wrong_pc, idx);
+            }
+          }
+          predictor_.update(pc, taken);
+          if (taken) next_pc = insn.target;
+        } else {
+          throw std::logic_error("Interpreter: unhandled opcode");
+        }
+        break;
+      }
+    }
+
+    ++retired;
+    cycles_ += cost;
+    take_samples_up_to(cycles_);
+    if (halt) break;
+    pc = next_pc;
+  }
+
+  profile_.cycles = cycles_;
+  profile_.retired = retired;
+
+  RunResult result;
+  result.profile = std::move(profile_);
+  result.regs = regs_;
+  result.flags = flags_;
+  result.memory = std::move(memory_);
+  result.cycles = cycles_;
+  return result;
+}
+
+}  // namespace scag::cpu

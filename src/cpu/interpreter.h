@@ -1,0 +1,110 @@
+// The CPU interpreter: executes a Program against the cache hierarchy,
+// modeling timing (rdtscp reads the simulated cycle counter) and transient
+// execution after branch mispredictions. It is the substitute for "run the
+// PoC on an i7-6700 under perf/Intel PT": the ExecutionProfile it produces
+// is the runtime information SCAGuard's modeling stage consumes, and the
+// timing model is faithful enough that the attack PoCs genuinely work
+// (they recover the victim's secret through the cache channel).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "cache/hierarchy.h"
+#include "cpu/machine.h"
+#include "support/rng.h"
+#include "cpu/predictor.h"
+#include "isa/program.h"
+#include "trace/profile.h"
+
+namespace scag::cpu {
+
+struct ExecOptions {
+  /// Retired-instruction budget; execution stops when exhausted.
+  std::uint64_t max_retired = 4'000'000;
+
+  /// Transient execution after mispredictions (required for Spectre PoCs).
+  bool speculation = true;
+  /// Maximum transiently executed instructions per misprediction.
+  std::uint32_t spec_window = 48;
+  /// Cycles lost on a misprediction (pipeline flush).
+  std::uint32_t mispredict_penalty = 15;
+
+  /// If nonzero, snapshot cumulative HPC counters every N cycles (the HPC
+  /// time series the ML baselines sample, a la NIGHTs-WATCH).
+  std::uint64_t sample_interval = 0;
+
+  /// Relative measurement noise on the sampled counter snapshots,
+  /// emulating the jitter of reading real HPCs on a live system
+  /// (interrupts, co-running processes, counter multiplexing). Applied to
+  /// the samples only — per-instruction attribution stays exact.
+  double sample_noise = 0.0;
+  std::uint64_t noise_seed = 0x5eed;
+
+  cache::HierarchyConfig cache_config{};
+
+  /// Count instruction-fetch events (L1I misses). Fetch latency is assumed
+  /// hidden by the pipeline and never added to the cycle count.
+  bool count_fetch_events = true;
+
+  /// Code address ranges [lo, hi) whose data accesses are attributed to the
+  /// victim (for occupancy studies). Everything else is the attacker.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> victim_ranges;
+
+  /// Initial stack pointer.
+  std::uint64_t stack_base = 0x7ff0'0000;
+};
+
+struct RunResult {
+  trace::ExecutionProfile profile;
+  RegFile regs;
+  Flags flags;
+  Memory memory;           // final memory image (tests read attack results)
+  std::uint64_t cycles = 0;
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(ExecOptions options = {});
+
+  /// Executes `program` from its entry point until halt/limit.
+  RunResult run(const isa::Program& program);
+
+  /// Access to the hierarchy after run() (occupancy inspection).
+  const cache::CacheHierarchy& hierarchy() const { return hierarchy_; }
+
+ private:
+  struct SpecCtx;  // transient-execution context
+
+  // Effective address of a memory operand under the given register file.
+  std::uint64_t effective_addr(const isa::MemRef& m, const RegFile& regs) const;
+
+  // Data access helpers that raise HPC events into profile_ at instr `idx`.
+  std::uint64_t do_load(std::uint64_t addr, cache::Owner owner,
+                        std::size_t idx, std::uint64_t& cost, SpecCtx* spec);
+  void do_store(std::uint64_t addr, std::uint64_t value, cache::Owner owner,
+                std::size_t idx, std::uint64_t& cost, SpecCtx* spec);
+
+  // Executes the transient window after a misprediction at branch `idx`.
+  void run_transient(const isa::Program& program, std::uint64_t wrong_pc,
+                     std::size_t branch_idx);
+
+  cache::Owner owner_for(std::uint64_t code_addr) const;
+  void take_samples_up_to(std::uint64_t cycles);
+
+  ExecOptions options_;
+  cache::CacheHierarchy hierarchy_;
+  BranchPredictor predictor_;
+  Rng noise_rng_;
+
+  // Live state during run().
+  RegFile regs_;
+  Flags flags_;
+  Memory memory_;
+  trace::ExecutionProfile profile_;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t next_sample_at_ = 0;
+};
+
+}  // namespace scag::cpu

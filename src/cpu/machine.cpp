@@ -1,0 +1,4 @@
+#include "cpu/machine.h"
+
+// Machine state is header-only today; this TU anchors the library target.
+namespace scag::cpu {}

@@ -1,0 +1,56 @@
+// Architectural machine state: registers, flags, sparse memory.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "isa/reg.h"
+
+namespace scag::cpu {
+
+/// The 16 GP registers, all 64-bit.
+struct RegFile {
+  std::array<std::uint64_t, isa::kNumRegs> values{};
+
+  std::uint64_t& operator[](isa::Reg r) {
+    return values[static_cast<std::size_t>(r)];
+  }
+  std::uint64_t operator[](isa::Reg r) const {
+    return values[static_cast<std::size_t>(r)];
+  }
+};
+
+/// Condition state, stored pre-digested rather than as raw x86 flag bits:
+/// eq  — last result was zero / operands equal
+/// ult — unsigned below (carry/borrow)
+/// slt — signed less (SF != OF)
+struct Flags {
+  bool eq = false;
+  bool ult = false;
+  bool slt = false;
+};
+
+/// Sparse 64-bit-word memory. Addresses are byte addresses; accesses are
+/// aligned down to 8 bytes (the mini-ISA has no sub-word loads, and the
+/// cache simulator works on 64-byte lines anyway).
+class Memory {
+ public:
+  std::uint64_t read(std::uint64_t addr) const {
+    auto it = words_.find(align(addr));
+    return it == words_.end() ? 0 : it->second;
+  }
+
+  void write(std::uint64_t addr, std::uint64_t value) {
+    words_[align(addr)] = value;
+  }
+
+  std::size_t footprint_words() const { return words_.size(); }
+
+  static std::uint64_t align(std::uint64_t addr) { return addr & ~7ULL; }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> words_;
+};
+
+}  // namespace scag::cpu

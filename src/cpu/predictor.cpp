@@ -1,0 +1,33 @@
+#include "cpu/predictor.h"
+
+namespace scag::cpu {
+
+BranchPredictor::Prediction BranchPredictor::predict(std::uint64_t addr) {
+  Prediction p;
+  p.btb_cold = btb_.insert(addr).second;
+  auto it = counters_.find(addr);
+  // Static prediction for a cold branch: not taken (forward-branch bias).
+  const std::uint8_t state = it == counters_.end() ? 1 : it->second;
+  p.taken = state >= 2;
+  return p;
+}
+
+bool BranchPredictor::note_unconditional(std::uint64_t addr) {
+  return btb_.insert(addr).second;
+}
+
+void BranchPredictor::update(std::uint64_t addr, bool taken) {
+  std::uint8_t& state = counters_.try_emplace(addr, 1).first->second;
+  if (taken) {
+    if (state < 3) ++state;
+  } else {
+    if (state > 0) --state;
+  }
+}
+
+void BranchPredictor::reset() {
+  counters_.clear();
+  btb_.clear();
+}
+
+}  // namespace scag::cpu

@@ -1,0 +1,38 @@
+// Branch predictor: per-branch 2-bit saturating counters plus a cold-miss
+// BTB model. Mispredictions open the transient-execution window that makes
+// Spectre-style PoCs actually leak in the simulator, and they raise the
+// "Branch Miss" / "Branch Load Miss" HPC events of Table I.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace scag::cpu {
+
+class BranchPredictor {
+ public:
+  struct Prediction {
+    bool taken = false;
+    bool btb_cold = false;  // first time this branch address is seen
+  };
+
+  /// Predicts the direction of the conditional branch at `addr`.
+  Prediction predict(std::uint64_t addr);
+
+  /// Records a cold-miss lookup for a non-conditional control transfer
+  /// (jmp/call/ret). Returns true if the target was not yet in the BTB.
+  bool note_unconditional(std::uint64_t addr);
+
+  /// Trains the predictor with the actual outcome.
+  void update(std::uint64_t addr, bool taken);
+
+  void reset();
+
+ private:
+  // 2-bit saturating counter per branch address: 0,1 -> not-taken; 2,3 -> taken.
+  std::unordered_map<std::uint64_t, std::uint8_t> counters_;
+  std::unordered_set<std::uint64_t> btb_;
+};
+
+}  // namespace scag::cpu

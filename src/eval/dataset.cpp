@@ -1,0 +1,127 @@
+#include "eval/dataset.h"
+
+#include <stdexcept>
+
+#include "attacks/registry.h"
+#include "benign/registry.h"
+#include "mutation/mutator.h"
+
+namespace scag::eval {
+
+namespace {
+
+cpu::ExecOptions exec_options(std::uint64_t sample_interval,
+                              double sample_noise) {
+  cpu::ExecOptions opts;
+  opts.sample_interval = sample_interval;
+  opts.sample_noise = sample_noise;  // live-system HPC jitter
+  return opts;
+}
+
+/// Runs a candidate mutant and checks it still recovers the secret.
+bool attack_still_works(const isa::Program& program,
+                        const attacks::PocConfig& poc_config) {
+  cpu::Interpreter interp;
+  const cpu::RunResult r = interp.run(program);
+  return r.profile.exit == trace::ExitReason::kHalted &&
+         r.memory.read(poc_config.layout.recovered_addr) == poc_config.secret;
+}
+
+/// Produces one validated attack variant of `spec`.
+Sample make_attack_sample(const attacks::PocSpec& spec, Rng& rng,
+                          const DatasetConfig& config, bool obfuscate,
+                          std::size_t index) {
+  for (int attempt = 0; attempt < config.max_mutation_tries; ++attempt) {
+    attacks::PocConfig poc_config;
+    poc_config.secret = 1 + rng.below(15);  // 1..15 (Spectre slot-0 rule)
+    poc_config.rounds = 3 + static_cast<int>(rng.below(4));
+    poc_config.trainings = 5 + static_cast<int>(rng.below(3));
+    isa::Program base = spec.build(poc_config);
+    Rng mut_rng = rng.split();
+    isa::Program variant = obfuscate
+                               ? mutation::obfuscate(base, mut_rng)
+                               : mutation::mutate(base, mut_rng);
+    if (!attack_still_works(variant, poc_config)) continue;
+
+    Sample sample;
+    sample.name = spec.name + (obfuscate ? "+obf-" : "+mut-") +
+                  std::to_string(index);
+    sample.family = spec.family;
+    sample.obfuscated = obfuscate;
+    sample.profile = profile_program(variant, config.sample_interval,
+                                     config.sample_noise);
+    sample.program = std::move(variant);
+    return sample;
+  }
+  throw std::runtime_error("dataset: could not produce a working mutant of " +
+                           spec.name);
+}
+
+}  // namespace
+
+trace::ExecutionProfile profile_program(const isa::Program& program,
+                                        std::uint64_t sample_interval,
+                                        double sample_noise) {
+  cpu::ExecOptions opts = exec_options(sample_interval, sample_noise);
+  // Distinct noise stream per program so jitter is not shared.
+  for (char ch : program.name()) opts.noise_seed = opts.noise_seed * 131 + static_cast<unsigned char>(ch);
+  cpu::Interpreter interp(opts);
+  return interp.run(program).profile;
+}
+
+std::vector<const Sample*> Dataset::of_family(core::Family f,
+                                              bool include_obfuscated) const {
+  std::vector<const Sample*> out;
+  const auto& pool = f == core::Family::kBenign ? benign : attacks;
+  for (const Sample& s : pool)
+    if (s.family == f) out.push_back(&s);
+  if (include_obfuscated)
+    for (const Sample& s : obfuscated)
+      if (s.family == f) out.push_back(&s);
+  return out;
+}
+
+Dataset generate_dataset(const DatasetConfig& config) {
+  Dataset ds;
+  Rng rng(config.seed);
+
+  // ---- Attack mutants: cycle each family's collected PoCs (Table II).
+  const core::Family families[] = {
+      core::Family::kFlushReload, core::Family::kPrimeProbe,
+      core::Family::kSpectreFR, core::Family::kSpectrePP};
+  for (core::Family family : families) {
+    const auto pocs = attacks::pocs_of_family(family);
+    for (std::size_t i = 0; i < config.samples_per_type; ++i) {
+      const attacks::PocSpec& spec = pocs[i % pocs.size()];
+      ds.attacks.push_back(
+          make_attack_sample(spec, rng, config, /*obfuscate=*/false, i));
+    }
+  }
+
+  // ---- Obfuscated variants of FR-F and PP-F (E4).
+  for (core::Family family :
+       {core::Family::kFlushReload, core::Family::kPrimeProbe}) {
+    const auto pocs = attacks::pocs_of_family(family);
+    for (std::size_t i = 0; i < config.obfuscated_per_family; ++i) {
+      const attacks::PocSpec& spec = pocs[i % pocs.size()];
+      ds.obfuscated.push_back(
+          make_attack_sample(spec, rng, config, /*obfuscate=*/true, i));
+    }
+  }
+
+  // ---- Benign programs (Table III).
+  for (std::size_t i = 0; i < config.samples_per_type; ++i) {
+    Sample sample;
+    Rng gen_rng = rng.split();
+    sample.program = benign::generate_benign(i, gen_rng);
+    sample.name = sample.program.name();
+    sample.family = core::Family::kBenign;
+    sample.profile = profile_program(sample.program, config.sample_interval,
+                                     config.sample_noise);
+    ds.benign.push_back(std::move(sample));
+  }
+
+  return ds;
+}
+
+}  // namespace scag::eval

@@ -1,0 +1,70 @@
+// Dataset generation: the Table II / Table III corpus.
+//
+//   - per attack type, `samples_per_type` validated mutants of the type's
+//     collected PoCs (mutation must preserve the attack: each mutant is
+//     re-executed and must still recover the planted secret, mirroring the
+//     paper's "we retain the attack functionality during mutation")
+//   - obfuscated variants of FR-F and PP-F for E4
+//   - `samples_per_type` benign programs from the benign generators
+//
+// Every sample is executed once (with HPC sampling enabled) and carries its
+// profile; SCAGuard modeling, SCADET, and the learning baselines all reuse
+// that single execution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/family.h"
+#include "cpu/interpreter.h"
+#include "isa/program.h"
+#include "support/rng.h"
+#include "trace/profile.h"
+
+namespace scag::eval {
+
+struct Sample {
+  std::string name;
+  core::Family family = core::Family::kBenign;  // ground truth
+  bool obfuscated = false;
+  isa::Program program;
+  trace::ExecutionProfile profile;
+};
+
+struct DatasetConfig {
+  /// Samples per attack type and benign count (paper: 400).
+  std::size_t samples_per_type = 400;
+  /// Obfuscated variants per source family for E4 (paper: 400 each for
+  /// FR-F and PP-F).
+  std::size_t obfuscated_per_family = 400;
+  std::uint64_t seed = 2023;
+  /// HPC sampling period for the learning baselines' time series.
+  std::uint64_t sample_interval = 2000;
+  /// Relative jitter applied to the sampled counters (live-system HPC
+  /// noise; see cpu::ExecOptions::sample_noise).
+  double sample_noise = 0.1;
+  /// Retries for producing a still-functional mutant.
+  int max_mutation_tries = 8;
+};
+
+struct Dataset {
+  std::vector<Sample> attacks;     // 4 types x samples_per_type
+  std::vector<Sample> obfuscated;  // FR-F and PP-F obfuscated variants
+  std::vector<Sample> benign;      // samples_per_type benign programs
+
+  std::vector<const Sample*> of_family(core::Family f,
+                                       bool include_obfuscated = false) const;
+};
+
+/// Generates the full corpus. Deterministic in `config.seed`.
+Dataset generate_dataset(const DatasetConfig& config = {});
+
+/// Executes a program with the dataset's standard options and returns its
+/// profile (used for PoC model building so repository models see the same
+/// conditions as samples).
+trace::ExecutionProfile profile_program(const isa::Program& program,
+                                        std::uint64_t sample_interval,
+                                        double sample_noise = 0.1);
+
+}  // namespace scag::eval

@@ -1,0 +1,419 @@
+#include "eval/experiments.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "attacks/registry.h"
+#include "baselines/learning.h"
+#include "baselines/scadet.h"
+#include "benign/registry.h"
+#include "cfg/cfg.h"
+
+namespace scag::eval {
+
+using core::Family;
+
+core::ModelConfig experiment_model_config() {
+  return core::ModelConfig{};
+}
+
+core::DtwConfig experiment_dtw_config() {
+  return core::calibrated_dtw_config();
+}
+
+// ---------- Table IV --------------------------------------------------------
+
+namespace {
+
+/// Ground-truth attack-relevant blocks: blocks containing at least one
+/// instruction the PoC generator marked, restricted to executed blocks
+/// (the paper's manual ground truth is identified on the running attack).
+std::set<cfg::BlockId> ground_truth_blocks(
+    const cfg::Cfg& cfg, const trace::ExecutionProfile& profile) {
+  std::set<cfg::BlockId> out;
+  const isa::Program& program = cfg.program();
+  for (std::uint64_t addr : program.relevant_marks()) {
+    const std::size_t idx = program.index_of(addr);
+    if (idx == isa::Program::npos) continue;
+    if (!profile.executed(idx)) continue;
+    // The manual ground truth marks the attack *steps* — the cache
+    // operations — not the timing reads or loop plumbing around them
+    // (timing-only blocks carry no memory addresses, so no address-based
+    // identification scheme could ever find them).
+    const isa::Instruction& insn = program.at(idx);
+    if (!isa::accesses_cache(insn)) continue;
+    out.insert(cfg.block_of_instr(idx));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<BbIdentRow> run_bb_identification(const Dataset& dataset,
+                                              std::size_t max_per_family) {
+  const core::ModelBuilder builder(experiment_model_config());
+  std::map<Family, BbIdentRow> rows;
+  std::map<Family, std::size_t> used;
+
+  for (const Sample& sample : dataset.attacks) {
+    if (used[sample.family] >= max_per_family) continue;
+    ++used[sample.family];
+
+    const cfg::Cfg cfg = cfg::Cfg::build(sample.program);
+    core::ModelArtifacts artifacts;
+    builder.build_from_profile(cfg, sample.profile, sample.family,
+                               &artifacts);
+
+    const std::set<cfg::BlockId> truth = ground_truth_blocks(cfg, sample.profile);
+    std::set<cfg::BlockId> identified(artifacts.relevant.begin(),
+                                      artifacts.relevant.end());
+    std::size_t hit = 0;
+    for (cfg::BlockId b : truth) hit += identified.count(b);
+
+    BbIdentRow& row = rows[sample.family];
+    row.family = std::string(core::family_abbrev(sample.family));
+    row.bb += artifacts.num_blocks;
+    row.tab += truth.size();
+    row.iab += identified.size();
+    row.itab += hit;
+  }
+
+  std::vector<BbIdentRow> out;
+  for (Family f : {Family::kFlushReload, Family::kPrimeProbe,
+                   Family::kSpectreFR, Family::kSpectrePP}) {
+    auto it = rows.find(f);
+    if (it != rows.end()) out.push_back(it->second);
+  }
+  return out;
+}
+
+// ---------- Table V ---------------------------------------------------------
+
+std::vector<ScenarioRow> run_scenarios(std::uint64_t seed) {
+  const core::ModelBuilder builder(experiment_model_config());
+  const core::DtwConfig dtw = experiment_dtw_config();
+
+  auto model_of = [&builder](const char* poc_name) {
+    const attacks::PocSpec& spec = attacks::poc_by_name(poc_name);
+    return builder.build(spec.build(attacks::PocConfig{}), spec.family);
+  };
+
+  const core::AttackModel fr = model_of("FR-IAIK");
+  const core::AttackModel fr2 = model_of("FR-Nepoche");
+  const core::AttackModel er = model_of("ER-IAIK");
+  const core::AttackModel pp = model_of("PP-IAIK");
+  const core::AttackModel sfr = model_of("Spectre-FR-Ideal");
+
+  Rng rng(seed);
+  const isa::Program benign_prog = benign::generate_benign(0, rng);
+  const core::AttackModel ben = builder.build(benign_prog, Family::kBenign);
+
+  auto sim = [&dtw](const core::AttackModel& a, const core::AttackModel& b) {
+    return core::similarity(a.sequence, b.sequence, dtw);
+  };
+
+  return {
+      {"S1", "Flush+Reload vs another implementation",
+       "Different implementations of the same attack", sim(fr, fr2)},
+      {"S2", "Flush+Reload vs Evict+Reload",
+       "Different variants of the same attack", sim(fr, er)},
+      {"S3", "Flush+Reload vs Prime+Probe",
+       "Different attacks exploiting the same vulnerability", sim(fr, pp)},
+      {"S4", "Flush+Reload vs its Spectre variant",
+       "Different variants exploiting different vulnerabilities",
+       sim(fr, sfr)},
+      {"S5", "Flush+Reload vs benign program",
+       "An attack program and a benign program", sim(fr, ben)},
+  };
+}
+
+// ---------- Table VI --------------------------------------------------------
+
+std::string_view approach_name(Approach a) {
+  switch (a) {
+    case Approach::kSvmNw: return "SVM-NW";
+    case Approach::kLrNw: return "LR-NW";
+    case Approach::kKnnMlfm: return "KNN-MLFM";
+    case Approach::kScadet: return "SCADET";
+    case Approach::kScaguard: return "SCAGUARD";
+  }
+  return "<bad-approach>";
+}
+
+std::string_view task_name(Task t) {
+  switch (t) {
+    case Task::kE1: return "E1: Mutated variants";
+    case Task::kE2: return "E2: Spectre-like variants";
+    case Task::kE3_1: return "E3-1: PP-F (FR known)";
+    case Task::kE3_2: return "E3-2: FR-F (PP known)";
+    case Task::kE4: return "E4: Obfuscated variants";
+  }
+  return "<bad-task>";
+}
+
+namespace {
+
+/// The designated repository PoC for each family (the paper enrolls "only
+/// one PoC for each attack type").
+const char* designated_poc(Family f) {
+  switch (f) {
+    case Family::kFlushReload: return "FR-IAIK";
+    case Family::kPrimeProbe: return "PP-IAIK";
+    case Family::kSpectreFR: return "Spectre-FR-Ideal";
+    case Family::kSpectrePP: return "Spectre-PP-Trippel";
+    default: return nullptr;
+  }
+}
+
+/// One classification task: which families are known (trained/enrolled),
+/// and the labeled test set. `truth_map` remaps a test sample's true family
+/// onto the label that counts as correct (e.g. S-FR -> FR-F in E2).
+struct TaskSpec {
+  std::vector<Family> known_families;
+  std::vector<std::pair<const Sample*, Family>> test;  // sample, truth
+  std::vector<Family> metric_classes;
+  /// Training samples for the learning baselines (the "known" corpus).
+  std::vector<const Sample*> train;
+  std::vector<Family> train_labels;
+};
+
+/// Splits each family's samples into halves: the first half is available
+/// for training, the second for testing (deterministic split; samples were
+/// generated in seeded order).
+template <typename Pred>
+void split_family(const Dataset& ds, Family f, Pred use_obfuscated,
+                  std::vector<const Sample*>& train_half,
+                  std::vector<const Sample*>& test_half) {
+  const auto pool = ds.of_family(f, use_obfuscated(f));
+  const std::size_t half = pool.size() / 2;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    (i < half ? train_half : test_half).push_back(pool[i]);
+  }
+}
+
+TaskSpec build_task(const Dataset& ds, Task task) {
+  TaskSpec spec;
+  auto no_obf = [](Family) { return false; };
+
+  // Benign halves are shared by all tasks: train on the first half,
+  // test false positives on the second half.
+  std::vector<const Sample*> benign_train, benign_test;
+  split_family(ds, Family::kBenign, no_obf, benign_train, benign_test);
+
+  auto add_train = [&spec](const std::vector<const Sample*>& samples,
+                           Family label) {
+    for (const Sample* s : samples) {
+      spec.train.push_back(s);
+      spec.train_labels.push_back(label);
+    }
+  };
+  auto add_test = [&spec](const std::vector<const Sample*>& samples,
+                          Family truth) {
+    for (const Sample* s : samples) spec.test.emplace_back(s, truth);
+  };
+
+  switch (task) {
+    case Task::kE1: {
+      spec.known_families = {Family::kFlushReload, Family::kPrimeProbe,
+                             Family::kSpectreFR, Family::kSpectrePP};
+      spec.metric_classes = spec.known_families;
+      for (Family f : spec.known_families) {
+        std::vector<const Sample*> tr, te;
+        split_family(ds, f, no_obf, tr, te);
+        add_train(tr, f);
+        add_test(te, f);
+      }
+      break;
+    }
+    case Task::kE2: {
+      spec.known_families = {Family::kFlushReload, Family::kPrimeProbe};
+      spec.metric_classes = spec.known_families;
+      for (Family f : spec.known_families) {
+        std::vector<const Sample*> tr, te;
+        split_family(ds, f, no_obf, tr, te);
+        add_train(tr, f);
+      }
+      // Spectre-like variants count as their non-spectre counterpart.
+      add_test(ds.of_family(Family::kSpectreFR), Family::kFlushReload);
+      add_test(ds.of_family(Family::kSpectrePP), Family::kPrimeProbe);
+      break;
+    }
+    case Task::kE3_1: {
+      spec.known_families = {Family::kFlushReload};
+      spec.metric_classes = {Family::kFlushReload};
+      std::vector<const Sample*> tr, te;
+      split_family(ds, Family::kFlushReload, no_obf, tr, te);
+      add_train(tr, Family::kFlushReload);
+      // Detecting a PP sample via the FR models counts as correct.
+      add_test(ds.of_family(Family::kPrimeProbe), Family::kFlushReload);
+      break;
+    }
+    case Task::kE3_2: {
+      spec.known_families = {Family::kPrimeProbe};
+      spec.metric_classes = {Family::kPrimeProbe};
+      std::vector<const Sample*> tr, te;
+      split_family(ds, Family::kPrimeProbe, no_obf, tr, te);
+      add_train(tr, Family::kPrimeProbe);
+      add_test(ds.of_family(Family::kFlushReload), Family::kPrimeProbe);
+      break;
+    }
+    case Task::kE4: {
+      spec.known_families = {Family::kFlushReload, Family::kPrimeProbe};
+      spec.metric_classes = spec.known_families;
+      for (Family f : spec.known_families) {
+        std::vector<const Sample*> tr, te;
+        split_family(ds, f, no_obf, tr, te);
+        add_train(tr, f);
+      }
+      for (const Sample& s : ds.obfuscated)
+        spec.test.emplace_back(&s, s.family);
+      break;
+    }
+  }
+
+  add_train(benign_train, Family::kBenign);
+  add_test(benign_test, Family::kBenign);
+  return spec;
+}
+
+Prf evaluate_predictions(
+    const TaskSpec& spec,
+    const std::vector<Family>& predictions) {
+  ConfusionMatrix cm;
+  for (std::size_t i = 0; i < spec.test.size(); ++i)
+    cm.add(spec.test[i].second, predictions[i]);
+  return cm.macro(spec.metric_classes);
+}
+
+}  // namespace
+
+core::Detector make_scaguard(const std::vector<Family>& families,
+                             double threshold) {
+  core::Detector detector(experiment_model_config(), experiment_dtw_config(),
+                          threshold);
+  for (Family f : families) {
+    const char* name = designated_poc(f);
+    if (name == nullptr) throw std::invalid_argument("make_scaguard: benign");
+    const attacks::PocSpec& spec = attacks::poc_by_name(name);
+    detector.enroll(spec.build(attacks::PocConfig{}), f);
+  }
+  return detector;
+}
+
+core::Family scaguard_classify(const core::Detector& detector,
+                               const Sample& sample) {
+  const cfg::Cfg cfg = cfg::Cfg::build(sample.program);
+  const core::AttackModel model = detector.builder().build_from_profile(
+      cfg, sample.profile, sample.family);
+  return detector.scan(model.sequence).verdict;
+}
+
+Table6 run_classification(const Dataset& dataset, std::uint64_t seed) {
+  Table6 table;
+  Rng rng(seed);
+
+  for (Task task : {Task::kE1, Task::kE2, Task::kE3_1, Task::kE3_2,
+                    Task::kE4}) {
+    const TaskSpec spec = build_task(dataset, task);
+
+    // ---- Learning baselines.
+    for (auto [approach, kind] :
+         {std::pair{Approach::kSvmNw, baselines::LearnerKind::kSvmNw},
+          std::pair{Approach::kLrNw, baselines::LearnerKind::kLrNw},
+          std::pair{Approach::kKnnMlfm, baselines::LearnerKind::kKnnMlfm}}) {
+      baselines::LearningDetector detector(kind);
+      std::vector<trace::ExecutionProfile> train_profiles;
+      train_profiles.reserve(spec.train.size());
+      for (const Sample* s : spec.train) train_profiles.push_back(s->profile);
+      Rng train_rng = rng.split();
+      detector.train(train_profiles, spec.train_labels, train_rng);
+
+      std::vector<Family> predictions;
+      predictions.reserve(spec.test.size());
+      for (const auto& [sample, truth] : spec.test) {
+        (void)truth;
+        Family predicted = detector.classify(sample->profile);
+        // A learning model can only emit labels it was trained with; any
+        // attack label counts toward the sample's remapped truth class if
+        // they match.
+        predictions.push_back(predicted);
+      }
+      table.results[approach][task] = evaluate_predictions(spec, predictions);
+    }
+
+    // ---- SCADET.
+    {
+      std::vector<Family> predictions;
+      predictions.reserve(spec.test.size());
+      for (const auto& [sample, truth] : spec.test) {
+        (void)truth;
+        const cfg::Cfg cfg = cfg::Cfg::build(sample->program);
+        const baselines::ScadetResult r =
+            baselines::scadet_detect(cfg, sample->profile);
+        predictions.push_back(r.verdict);
+      }
+      table.results[Approach::kScadet][task] =
+          evaluate_predictions(spec, predictions);
+    }
+
+    // ---- SCAGuard.
+    {
+      const core::Detector detector = make_scaguard(spec.known_families);
+      std::vector<Family> predictions;
+      predictions.reserve(spec.test.size());
+      for (const auto& [sample, truth] : spec.test) {
+        (void)truth;
+        predictions.push_back(scaguard_classify(detector, *sample));
+      }
+      table.results[Approach::kScaguard][task] =
+          evaluate_predictions(spec, predictions);
+    }
+  }
+  return table;
+}
+
+// ---------- Fig. 5 ----------------------------------------------------------
+
+std::vector<ThresholdPoint> run_threshold_sweep(
+    const Dataset& dataset, const std::vector<double>& thresholds) {
+  const TaskSpec spec = build_task(dataset, Task::kE1);
+  core::Detector detector =
+      make_scaguard({Family::kFlushReload, Family::kPrimeProbe,
+                     Family::kSpectreFR, Family::kSpectrePP});
+
+  // Score each test sample once; re-thresholding is then free.
+  struct Scored {
+    Family truth;
+    Family best_family = Family::kBenign;
+    double best_score = 0.0;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(spec.test.size());
+  for (const auto& [sample, truth] : spec.test) {
+    const cfg::Cfg cfg = cfg::Cfg::build(sample->program);
+    const core::AttackModel model = detector.builder().build_from_profile(
+        cfg, sample->profile, sample->family);
+    const core::Detection det = detector.scan(model.sequence);
+    Scored s;
+    s.truth = truth;
+    if (!det.scores.empty()) {
+      s.best_family = det.scores.front().family;
+      s.best_score = det.scores.front().score;
+    }
+    scored.push_back(s);
+  }
+
+  std::vector<ThresholdPoint> out;
+  for (double threshold : thresholds) {
+    ConfusionMatrix cm;
+    for (const Scored& s : scored) {
+      const Family predicted =
+          s.best_score >= threshold ? s.best_family : Family::kBenign;
+      cm.add(s.truth, predicted);
+    }
+    out.push_back({threshold, cm.macro(spec.metric_classes)});
+  }
+  return out;
+}
+
+}  // namespace scag::eval

@@ -1,0 +1,93 @@
+// Experiment runners for every table and figure of the paper's evaluation.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "eval/dataset.h"
+#include "eval/metrics.h"
+
+namespace scag::eval {
+
+/// Canonical configurations shared by ALL experiments (fixed once; see
+/// DESIGN.md on calibration).
+core::ModelConfig experiment_model_config();
+core::DtwConfig experiment_dtw_config();
+inline constexpr double kThreshold = 0.45;  // paper Section V
+
+// ---------- Table IV: attack-relevant BB identification -------------------
+
+struct BbIdentRow {
+  std::string family;   // FR-F, PP-F, S-FR, S-PP
+  std::uint64_t bb = 0;    // #BB   : total basic blocks
+  std::uint64_t tab = 0;   // #TAB  : ground-truth attack-relevant blocks
+  std::uint64_t iab = 0;   // #IAB  : identified attack-relevant blocks
+  std::uint64_t itab = 0;  // #ITAB : ground-truth blocks identified
+  double accuracy() const {
+    return tab == 0 ? 0.0
+                    : static_cast<double>(itab) / static_cast<double>(tab);
+  }
+};
+
+/// Aggregates identification counts per family over up to `max_per_family`
+/// attack samples from the dataset.
+std::vector<BbIdentRow> run_bb_identification(
+    const Dataset& dataset,
+    std::size_t max_per_family = static_cast<std::size_t>(-1));
+
+// ---------- Table V: similarity of 5 typical scenarios --------------------
+
+struct ScenarioRow {
+  std::string id;
+  std::string scenario;
+  std::string description;
+  double score = 0.0;
+};
+
+/// S1..S5 on freshly built PoC models (plus one benign program).
+std::vector<ScenarioRow> run_scenarios(std::uint64_t seed = 7);
+
+// ---------- Table VI: classification E1..E4 vs baselines -------------------
+
+enum class Approach { kSvmNw, kLrNw, kKnnMlfm, kScadet, kScaguard };
+std::string_view approach_name(Approach a);
+
+enum class Task { kE1, kE2, kE3_1, kE3_2, kE4 };
+std::string_view task_name(Task t);
+
+struct Table6 {
+  /// prf[approach][task]
+  std::map<Approach, std::map<Task, Prf>> results;
+};
+
+/// Runs all five tasks for all five approaches on the dataset.
+/// SCAGuard enrolls one PoC per *known* attack type; the learning baselines
+/// train (with internal 10-fold CV model selection) on the known half of
+/// the corpus; SCADET applies its fixed rules.
+Table6 run_classification(const Dataset& dataset, std::uint64_t seed = 11);
+
+// ---------- Fig. 5: threshold sweep ----------------------------------------
+
+struct ThresholdPoint {
+  double threshold = 0.0;
+  Prf prf;
+};
+
+/// SCAGuard-only E1-style classification swept over the threshold.
+std::vector<ThresholdPoint> run_threshold_sweep(
+    const Dataset& dataset, const std::vector<double>& thresholds);
+
+// ---------- Shared helpers --------------------------------------------------
+
+/// Builds the SCAGuard repository from the base PoCs of `families`
+/// (one designated PoC per family, as in the paper's protocol).
+core::Detector make_scaguard(const std::vector<core::Family>& families,
+                             double threshold = kThreshold);
+
+/// SCAGuard classification of one sample (reusing its collected profile).
+core::Family scaguard_classify(const core::Detector& detector,
+                               const Sample& sample);
+
+}  // namespace scag::eval

@@ -1,0 +1,57 @@
+#include "eval/metrics.h"
+
+namespace scag::eval {
+
+void ConfusionMatrix::add(core::Family truth, core::Family predicted) {
+  m_[static_cast<int>(truth)][static_cast<int>(predicted)] += 1;
+  ++total_;
+}
+
+std::uint64_t ConfusionMatrix::count(core::Family truth,
+                                     core::Family predicted) const {
+  return m_[static_cast<int>(truth)][static_cast<int>(predicted)];
+}
+
+Prf ConfusionMatrix::prf(core::Family cls) const {
+  const int c = static_cast<int>(cls);
+  std::uint64_t tp = m_[c][c], fp = 0, fn = 0;
+  for (int other = 0; other < kNumClasses; ++other) {
+    if (other == c) continue;
+    fp += m_[other][c];
+    fn += m_[c][other];
+  }
+  Prf out;
+  out.precision = (tp + fp) == 0
+                      ? 0.0
+                      : static_cast<double>(tp) / static_cast<double>(tp + fp);
+  out.recall = (tp + fn) == 0
+                   ? 0.0
+                   : static_cast<double>(tp) / static_cast<double>(tp + fn);
+  out.f1 = f1_score(out.precision, out.recall);
+  return out;
+}
+
+Prf ConfusionMatrix::macro(const std::vector<core::Family>& classes) const {
+  Prf acc;
+  if (classes.empty()) return acc;
+  for (core::Family c : classes) {
+    const Prf p = prf(c);
+    acc.precision += p.precision;
+    acc.recall += p.recall;
+    acc.f1 += p.f1;
+  }
+  const double n = static_cast<double>(classes.size());
+  acc.precision /= n;
+  acc.recall /= n;
+  acc.f1 /= n;
+  return acc;
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t correct = 0;
+  for (int c = 0; c < kNumClasses; ++c) correct += m_[c][c];
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+}  // namespace scag::eval

@@ -1,0 +1,39 @@
+// Classification metrics: confusion matrix over Family labels and the
+// macro-averaged precision/recall/F1 the paper reports in Table VI.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/family.h"
+#include "support/stats.h"
+
+namespace scag::eval {
+
+inline constexpr int kNumClasses = static_cast<int>(core::Family::kCount);
+
+class ConfusionMatrix {
+ public:
+  /// Records one (truth, prediction) pair.
+  void add(core::Family truth, core::Family predicted);
+
+  std::uint64_t count(core::Family truth, core::Family predicted) const;
+  std::uint64_t total() const { return total_; }
+
+  /// Precision/recall/F1 of one class (one-vs-rest).
+  Prf prf(core::Family cls) const;
+
+  /// Macro average over the given classes (the paper averages over the
+  /// attack classes present in each task; benign only contributes false
+  /// positives).
+  Prf macro(const std::vector<core::Family>& classes) const;
+
+  /// Fraction of exactly-correct predictions.
+  double accuracy() const;
+
+ private:
+  std::array<std::array<std::uint64_t, kNumClasses>, kNumClasses> m_{};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace scag::eval

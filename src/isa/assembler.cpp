@@ -1,0 +1,203 @@
+#include "isa/assembler.h"
+
+#include <cstdlib>
+#include <optional>
+
+#include "isa/builder.h"
+#include "support/strings.h"
+
+namespace scag::isa {
+namespace {
+
+// Parses an integer literal (decimal or 0x-hex, optional leading '-').
+std::optional<std::int64_t> parse_int(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  bool neg = false;
+  std::size_t i = 0;
+  if (s[0] == '-') {
+    neg = true;
+    i = 1;
+  }
+  if (i >= s.size()) return std::nullopt;
+  int base = 10;
+  if (s.size() - i > 2 && s[i] == '0' && (s[i + 1] == 'x' || s[i + 1] == 'X')) {
+    base = 16;
+    i += 2;
+  }
+  std::int64_t value = 0;
+  bool any = false;
+  for (; i < s.size(); ++i) {
+    const char c = s[i];
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (base == 16 && c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else if (base == 16 && c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+    else return std::nullopt;
+    value = value * base + digit;
+    any = true;
+  }
+  if (!any) return std::nullopt;
+  return neg ? -value : value;
+}
+
+// Parses a memory operand body (without brackets): base+index*scale+disp.
+std::optional<MemRef> parse_mem_body(std::string_view body) {
+  MemRef m;
+  // Tokenize on '+' / '-' keeping the sign with the term.
+  std::vector<std::string> terms;
+  std::string cur;
+  for (char c : body) {
+    if (c == '+' || c == '-') {
+      if (!cur.empty()) terms.push_back(cur);
+      cur.clear();
+      if (c == '-') cur = "-";
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) terms.push_back(cur);
+  if (terms.empty()) return std::nullopt;
+
+  bool saw_disp = false;
+  for (const std::string& term : terms) {
+    const std::size_t star = term.find('*');
+    if (star != std::string::npos) {
+      auto r = parse_reg(term.substr(0, star));
+      auto sc = parse_int(term.substr(star + 1));
+      if (!r || !sc || (*sc != 1 && *sc != 2 && *sc != 4 && *sc != 8))
+        return std::nullopt;
+      if (m.index != MemRef::kNoReg) return std::nullopt;
+      m.index = static_cast<int>(*r);
+      m.scale = static_cast<std::uint8_t>(*sc);
+    } else if (auto r = parse_reg(term)) {
+      if (m.base == MemRef::kNoReg) {
+        m.base = static_cast<int>(*r);
+      } else if (m.index == MemRef::kNoReg) {
+        m.index = static_cast<int>(*r);
+        m.scale = 1;
+      } else {
+        return std::nullopt;
+      }
+    } else if (auto v = parse_int(term)) {
+      if (saw_disp) return std::nullopt;
+      m.disp = *v;
+      saw_disp = true;
+    } else {
+      return std::nullopt;
+    }
+  }
+  return m;
+}
+
+std::optional<Operand> parse_operand(std::string_view tok) {
+  std::string s = trim(tok);
+  if (s.empty()) return std::nullopt;
+  if (s.front() == '[') {
+    if (s.back() != ']') return std::nullopt;
+    auto m = parse_mem_body(std::string_view(s).substr(1, s.size() - 2));
+    if (!m) return std::nullopt;
+    return Operand::of_mem(*m);
+  }
+  if (auto r = parse_reg(s)) return Operand::of_reg(*r);
+  if (auto v = parse_int(s)) return Operand::of_imm(*v);
+  return std::nullopt;
+}
+
+// Strips a trailing comment starting at ';' or '#'.
+std::string strip_comment(std::string_view line) {
+  const std::size_t pos = line.find_first_of(";#");
+  return trim(pos == std::string_view::npos ? line : line.substr(0, pos));
+}
+
+}  // namespace
+
+Program assemble(std::string_view source, std::string program_name,
+                 std::uint64_t code_base) {
+  ProgramBuilder b(std::move(program_name), code_base);
+  std::size_t lineno = 0;
+  bool have_entry = false;
+  std::string entry_label;
+
+  for (const std::string& raw : split(source, '\n')) {
+    ++lineno;
+    std::string line = strip_comment(raw);
+    if (line.empty()) continue;
+
+    // Directives.
+    if (line[0] == '.') {
+      const auto parts = split_ws(line);
+      if (parts[0] == ".entry") {
+        if (parts.size() != 2) throw AsmError(lineno, ".entry needs a label");
+        entry_label = parts[1];
+        have_entry = true;
+      } else if (parts[0] == ".word") {
+        if (parts.size() != 3) throw AsmError(lineno, ".word needs addr value");
+        auto addr = parse_int(parts[1]);
+        auto val = parse_int(parts[2]);
+        if (!addr || !val) throw AsmError(lineno, "bad .word operands");
+        b.data_word(static_cast<std::uint64_t>(*addr),
+                    static_cast<std::uint64_t>(*val));
+      } else {
+        throw AsmError(lineno, "unknown directive " + parts[0]);
+      }
+      continue;
+    }
+
+    // Label definition.
+    if (line.back() == ':') {
+      const std::string name = trim(line.substr(0, line.size() - 1));
+      if (name.empty() || split_ws(name).size() != 1)
+        throw AsmError(lineno, "bad label");
+      try {
+        b.label(name);
+      } catch (const std::invalid_argument& e) {
+        throw AsmError(lineno, e.what());
+      }
+      continue;
+    }
+
+    // Instruction: mnemonic [op1[, op2]]
+    const std::size_t sp = line.find_first_of(" \t");
+    const std::string mnemonic =
+        to_lower(sp == std::string::npos ? line : line.substr(0, sp));
+    const std::string rest =
+        sp == std::string::npos ? "" : trim(line.substr(sp));
+    const auto op = parse_opcode(mnemonic);
+    if (!op) throw AsmError(lineno, "unknown mnemonic " + mnemonic);
+
+    if (is_control_flow(*op) && *op != Opcode::kRet) {
+      if (rest.empty() || split_ws(rest).size() != 1)
+        throw AsmError(lineno, mnemonic + " needs exactly one label target");
+      b.branch(*op, rest);
+      continue;
+    }
+
+    Operand dst, src;
+    if (!rest.empty()) {
+      const auto ops = split(rest, ',');
+      if (ops.size() > 2) throw AsmError(lineno, "too many operands");
+      auto d = parse_operand(ops[0]);
+      if (!d) throw AsmError(lineno, "bad operand: " + trim(ops[0]));
+      dst = *d;
+      if (ops.size() == 2) {
+        auto s2 = parse_operand(ops[1]);
+        if (!s2) throw AsmError(lineno, "bad operand: " + trim(ops[1]));
+        src = *s2;
+      }
+    }
+    try {
+      b.emit(*op, dst, src);
+    } catch (const std::exception& e) {
+      throw AsmError(lineno, e.what());
+    }
+  }
+
+  if (have_entry) b.entry(entry_label);
+  try {
+    return b.build();
+  } catch (const std::exception& e) {
+    throw AsmError(lineno, e.what());
+  }
+}
+
+}  // namespace scag::isa

@@ -1,0 +1,41 @@
+// Text assembler: parses a small Intel-syntax assembly dialect into a
+// Program. Used by tests, the examples, and anywhere a program is easier to
+// express as text than through the builder API.
+//
+// Dialect, one statement per line:
+//   ; comment                          # comment
+//   label:
+//   mov rax, [rbx+rcx*8+16]
+//   add [rax], 5
+//   clflush [rdi]
+//   rdtscp r8
+//   jne label
+//   .entry label            ; optional entry directive
+//   .word 0x10000 42        ; initial data word at address
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "isa/program.h"
+
+namespace scag::isa {
+
+/// Parse error with 1-based line number context.
+class AsmError : public std::runtime_error {
+ public:
+  AsmError(std::size_t line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Assembles source text into a Program. Throws AsmError on syntax errors.
+Program assemble(std::string_view source, std::string program_name = "asm",
+                 std::uint64_t code_base = kDefaultCodeBase);
+
+}  // namespace scag::isa

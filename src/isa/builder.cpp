@@ -1,0 +1,95 @@
+#include "isa/builder.h"
+
+#include <stdexcept>
+
+#include "support/strings.h"
+
+namespace scag::isa {
+
+ProgramBuilder::ProgramBuilder(std::string name, std::uint64_t code_base)
+    : program_(std::move(name), code_base) {}
+
+ProgramBuilder& ProgramBuilder::label(const std::string& name) {
+  auto [it, inserted] =
+      program_.labels().emplace(name, program_.address_of(program_.size()));
+  (void)it;
+  if (!inserted)
+    throw std::invalid_argument("ProgramBuilder: duplicate label " + name);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::emit(Opcode op, Operand dst, Operand src) {
+  if (is_control_flow(op) && op != Opcode::kRet)
+    throw std::invalid_argument(
+        "ProgramBuilder::emit: use branch() for control flow");
+  Instruction insn;
+  insn.op = op;
+  insn.dst = dst;
+  insn.src = src;
+  const std::uint64_t addr = program_.append(insn);
+  if (marking_) program_.relevant_marks().insert(addr);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::branch(Opcode op, const std::string& target) {
+  if (!is_control_flow(op) || op == Opcode::kRet)
+    throw std::invalid_argument("ProgramBuilder::branch: not a branch opcode");
+  Instruction insn;
+  insn.op = op;
+  fixups_.push_back({program_.size(), target});
+  const std::uint64_t addr = program_.append(insn);
+  if (marking_) program_.relevant_marks().insert(addr);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::data_word(std::uint64_t addr,
+                                          std::uint64_t value) {
+  program_.initial_data()[addr] = value;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::data_region(std::uint64_t addr,
+                                            std::uint64_t bytes,
+                                            std::uint64_t fill_word) {
+  for (std::uint64_t a = addr; a < addr + bytes; a += 8)
+    program_.initial_data()[a] = fill_word;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::mark_relevant(bool enabled) {
+  marking_ = enabled;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::relevant(Opcode op, Operand dst, Operand src) {
+  const bool prev = marking_;
+  marking_ = true;
+  emit(op, dst, src);
+  marking_ = prev;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::entry(const std::string& label_name) {
+  entry_label_ = label_name;
+  return *this;
+}
+
+Program ProgramBuilder::build() {
+  if (built_) throw std::logic_error("ProgramBuilder::build: already built");
+  built_ = true;
+  for (const auto& fix : fixups_) {
+    auto it = program_.labels().find(fix.label);
+    if (it == program_.labels().end())
+      throw std::runtime_error("ProgramBuilder: undefined label " + fix.label);
+    program_.at(fix.instr_index).target = it->second;
+  }
+  if (!entry_label_.empty()) {
+    program_.set_entry(program_.label(entry_label_));
+  } else {
+    program_.set_entry(program_.code_base());
+  }
+  program_.validate();
+  return std::move(program_);
+}
+
+}  // namespace scag::isa

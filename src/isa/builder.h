@@ -1,0 +1,137 @@
+// ProgramBuilder: a small assembler-like DSL for constructing Programs in
+// C++. All PoC attack generators and benign workload generators use it.
+//
+//   ProgramBuilder b("flush_reload");
+//   b.label("flush_loop");
+//   b.mark_relevant(true);
+//   b.clflush(mem(Reg::RBX));
+//   b.mark_relevant(false);
+//   ...
+//   b.jne("flush_loop");
+//   Program p = b.build();
+//
+// Forward references to labels are allowed; they are resolved in build().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace scag::isa {
+
+/// Shorthand operand constructors (usable with `using namespace scag::isa`).
+inline Operand reg(Reg r) { return Operand::of_reg(r); }
+inline Operand imm(std::int64_t v) { return Operand::of_imm(v); }
+inline Operand mem(Reg base, std::int64_t disp = 0) {
+  MemRef m;
+  m.base = static_cast<int>(base);
+  m.disp = disp;
+  return Operand::of_mem(m);
+}
+inline Operand mem_idx(Reg base, Reg index, std::uint8_t scale = 1,
+                       std::int64_t disp = 0) {
+  MemRef m;
+  m.base = static_cast<int>(base);
+  m.index = static_cast<int>(index);
+  m.scale = scale;
+  m.disp = disp;
+  return Operand::of_mem(m);
+}
+inline Operand mem_abs(std::int64_t addr) {
+  MemRef m;
+  m.disp = addr;
+  return Operand::of_mem(m);
+}
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name,
+                          std::uint64_t code_base = kDefaultCodeBase);
+
+  /// Places a label at the current position. Labels must be unique.
+  ProgramBuilder& label(const std::string& name);
+
+  /// Generic emit. Control-flow instructions must use the label overloads.
+  ProgramBuilder& emit(Opcode op, Operand dst = Operand::none(),
+                       Operand src = Operand::none());
+
+  // -- Convenience emitters (non-control-flow) --------------------------
+  ProgramBuilder& mov(Operand dst, Operand src) { return emit(Opcode::kMov, dst, src); }
+  ProgramBuilder& lea(Operand dst, Operand src) { return emit(Opcode::kLea, dst, src); }
+  ProgramBuilder& add(Operand dst, Operand src) { return emit(Opcode::kAdd, dst, src); }
+  ProgramBuilder& sub(Operand dst, Operand src) { return emit(Opcode::kSub, dst, src); }
+  ProgramBuilder& imul(Operand dst, Operand src) { return emit(Opcode::kImul, dst, src); }
+  ProgramBuilder& xor_(Operand dst, Operand src) { return emit(Opcode::kXor, dst, src); }
+  ProgramBuilder& and_(Operand dst, Operand src) { return emit(Opcode::kAnd, dst, src); }
+  ProgramBuilder& or_(Operand dst, Operand src) { return emit(Opcode::kOr, dst, src); }
+  ProgramBuilder& shl(Operand dst, Operand src) { return emit(Opcode::kShl, dst, src); }
+  ProgramBuilder& shr(Operand dst, Operand src) { return emit(Opcode::kShr, dst, src); }
+  ProgramBuilder& inc(Operand dst) { return emit(Opcode::kInc, dst); }
+  ProgramBuilder& dec(Operand dst) { return emit(Opcode::kDec, dst); }
+  ProgramBuilder& cmp(Operand a, Operand b) { return emit(Opcode::kCmp, a, b); }
+  ProgramBuilder& test(Operand a, Operand b) { return emit(Opcode::kTest, a, b); }
+  ProgramBuilder& push(Operand src) { return emit(Opcode::kPush, src); }
+  ProgramBuilder& pop(Operand dst) { return emit(Opcode::kPop, dst); }
+  ProgramBuilder& clflush(Operand m) { return emit(Opcode::kClflush, m); }
+  ProgramBuilder& prefetch(Operand m) { return emit(Opcode::kPrefetch, m); }
+  ProgramBuilder& mfence() { return emit(Opcode::kMfence); }
+  ProgramBuilder& lfence() { return emit(Opcode::kLfence); }
+  ProgramBuilder& rdtscp(Reg dst) { return emit(Opcode::kRdtscp, reg(dst)); }
+  ProgramBuilder& nop() { return emit(Opcode::kNop); }
+  ProgramBuilder& hlt() { return emit(Opcode::kHlt); }
+  ProgramBuilder& ret() { return emit(Opcode::kRet); }
+
+  // -- Control flow to labels (forward references allowed) --------------
+  ProgramBuilder& jmp(const std::string& target) { return branch(Opcode::kJmp, target); }
+  ProgramBuilder& je(const std::string& target) { return branch(Opcode::kJe, target); }
+  ProgramBuilder& jne(const std::string& target) { return branch(Opcode::kJne, target); }
+  ProgramBuilder& jl(const std::string& target) { return branch(Opcode::kJl, target); }
+  ProgramBuilder& jle(const std::string& target) { return branch(Opcode::kJle, target); }
+  ProgramBuilder& jg(const std::string& target) { return branch(Opcode::kJg, target); }
+  ProgramBuilder& jge(const std::string& target) { return branch(Opcode::kJge, target); }
+  ProgramBuilder& jb(const std::string& target) { return branch(Opcode::kJb, target); }
+  ProgramBuilder& jbe(const std::string& target) { return branch(Opcode::kJbe, target); }
+  ProgramBuilder& ja(const std::string& target) { return branch(Opcode::kJa, target); }
+  ProgramBuilder& jae(const std::string& target) { return branch(Opcode::kJae, target); }
+  ProgramBuilder& call(const std::string& target) { return branch(Opcode::kCall, target); }
+  ProgramBuilder& branch(Opcode op, const std::string& target);
+
+  // -- Data image --------------------------------------------------------
+  /// Sets a 64-bit word in the initial data image.
+  ProgramBuilder& data_word(std::uint64_t addr, std::uint64_t value);
+  /// Declares a zero-filled region (records addresses for documentation;
+  /// memory reads default to zero anyway).
+  ProgramBuilder& data_region(std::uint64_t addr, std::uint64_t bytes,
+                              std::uint64_t fill_word = 0);
+
+  // -- Ground-truth annotation -------------------------------------------
+  /// While enabled, every emitted instruction is marked attack-relevant.
+  ProgramBuilder& mark_relevant(bool enabled);
+  /// RAII-free scoped variant for one instruction.
+  ProgramBuilder& relevant(Opcode op, Operand dst = Operand::none(),
+                           Operand src = Operand::none());
+
+  /// Sets the entry point to a label (defaults to the first instruction).
+  ProgramBuilder& entry(const std::string& label_name);
+
+  std::size_t current_index() const { return program_.size(); }
+
+  /// Resolves all label references, validates, and returns the Program.
+  /// The builder must not be reused afterwards.
+  Program build();
+
+ private:
+  Program program_;
+  struct Fixup {
+    std::size_t instr_index;
+    std::string label;
+  };
+  std::vector<Fixup> fixups_;
+  std::string entry_label_;
+  bool marking_ = false;
+  bool built_ = false;
+};
+
+}  // namespace scag::isa

@@ -1,0 +1,65 @@
+#include "isa/export.h"
+
+#include <map>
+#include <set>
+
+#include "support/strings.h"
+
+namespace scag::isa {
+
+std::string export_assembly(const Program& program,
+                            const ExportOptions& options) {
+  program.validate();
+
+  // Collect every address that needs a label: branch targets and the entry.
+  // Keep user-provided label names where they exist.
+  std::map<std::uint64_t, std::string> label_at;
+  for (const auto& [name, addr] : program.labels()) label_at[addr] = name;
+  auto ensure_label = [&label_at](std::uint64_t addr) {
+    auto it = label_at.find(addr);
+    if (it == label_at.end())
+      it = label_at.emplace(addr, strfmt("L_%llx",
+                                         static_cast<unsigned long long>(addr)))
+               .first;
+    return it->second;
+  };
+  ensure_label(program.entry());
+  for (const auto& insn : program.instructions()) {
+    if (is_control_flow(insn.op) && insn.op != Opcode::kRet)
+      ensure_label(insn.target);
+  }
+
+  std::string out;
+  out += "; exported from program '" + program.name() + "'\n";
+  if (options.include_data) {
+    for (const auto& [addr, value] : program.initial_data()) {
+      out += strfmt(".word 0x%llx 0x%llx\n",
+                    static_cast<unsigned long long>(addr),
+                    static_cast<unsigned long long>(value));
+    }
+  }
+  out += ".entry " + label_at.at(program.entry()) + "\n";
+
+  for (const auto& insn : program.instructions()) {
+    auto lbl = label_at.find(insn.address);
+    if (lbl != label_at.end()) out += lbl->second + ":\n";
+
+    std::string line = "  ";
+    if (is_control_flow(insn.op) && insn.op != Opcode::kRet) {
+      line += std::string(opcode_name(insn.op)) + " " +
+              label_at.at(insn.target);
+    } else {
+      line += to_string(insn);
+    }
+    if (options.address_comments)
+      line += strfmt("   ; 0x%llx",
+                     static_cast<unsigned long long>(insn.address));
+    if (options.relevance_comments &&
+        program.relevant_marks().count(insn.address))
+      line += "   ; attack-relevant";
+    out += line + "\n";
+  }
+  return out;
+}
+
+}  // namespace scag::isa

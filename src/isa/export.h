@@ -1,0 +1,28 @@
+// Program -> assembly text exporter. Unlike Program::disassemble (which is
+// for humans and prints branch targets as hex addresses), this emits text
+// in the assembler's own dialect — labels for every branch target, .entry,
+// and .word directives — so the output re-assembles into an equivalent
+// Program. Round-trip: assemble(export_assembly(p)) has identical
+// instructions, entry point, and data image (addresses included).
+#pragma once
+
+#include <string>
+
+#include "isa/program.h"
+
+namespace scag::isa {
+
+struct ExportOptions {
+  /// Emit the initial data image as .word directives.
+  bool include_data = true;
+  /// Annotate each instruction with its original address as a comment.
+  bool address_comments = false;
+  /// Mark ground-truth attack-relevant instructions with a comment.
+  bool relevance_comments = false;
+};
+
+/// Renders a Program as re-assemblable text.
+std::string export_assembly(const Program& program,
+                            const ExportOptions& options = {});
+
+}  // namespace scag::isa

@@ -1,0 +1,95 @@
+#include "isa/instruction.h"
+
+#include "support/strings.h"
+
+namespace scag::isa {
+
+std::string to_string(const Operand& o) {
+  switch (o.kind) {
+    case Operand::Kind::kNone:
+      return "";
+    case Operand::Kind::kReg:
+      return std::string(reg_name(o.reg));
+    case Operand::Kind::kImm:
+      return std::to_string(o.imm);
+    case Operand::Kind::kMem: {
+      std::string s = "[";
+      bool any = false;
+      if (o.mem.base != MemRef::kNoReg) {
+        s += reg_name(static_cast<Reg>(o.mem.base));
+        any = true;
+      }
+      if (o.mem.index != MemRef::kNoReg) {
+        if (any) s += "+";
+        s += reg_name(static_cast<Reg>(o.mem.index));
+        if (o.mem.scale != 1) s += "*" + std::to_string(o.mem.scale);
+        any = true;
+      }
+      if (o.mem.disp != 0 || !any) {
+        if (any && o.mem.disp >= 0) s += "+";
+        s += std::to_string(o.mem.disp);
+      }
+      s += "]";
+      return s;
+    }
+  }
+  return "<bad-operand>";
+}
+
+std::string to_string(const Instruction& insn) {
+  std::string s(opcode_name(insn.op));
+  if (is_control_flow(insn.op) && insn.op != Opcode::kRet) {
+    // Print resolved targets as hex addresses.
+    return s + " " + strfmt("0x%llx",
+                            static_cast<unsigned long long>(insn.target));
+  }
+  if (!insn.dst.is_none()) {
+    s += " " + to_string(insn.dst);
+    if (!insn.src.is_none()) s += ", " + to_string(insn.src);
+  }
+  return s;
+}
+
+bool reads_memory(const Instruction& insn) {
+  switch (insn.op) {
+    case Opcode::kLea:
+    case Opcode::kClflush:
+    case Opcode::kNop:
+      return false;
+    case Opcode::kPop:
+    case Opcode::kRet:
+    case Opcode::kPrefetch:
+      return true;
+    case Opcode::kMov:
+      return insn.src.is_mem();
+    default:
+      // ALU/compare ops read a memory source operand; a memory destination
+      // of a read-modify-write op is also read.
+      if (insn.src.is_mem()) return true;
+      if (insn.dst.is_mem() && insn.op != Opcode::kMov) return true;
+      return false;
+  }
+}
+
+bool writes_memory(const Instruction& insn) {
+  switch (insn.op) {
+    case Opcode::kPush:
+    case Opcode::kCall:
+      return true;
+    case Opcode::kLea:
+    case Opcode::kClflush:
+    case Opcode::kCmp:
+    case Opcode::kTest:
+    case Opcode::kPrefetch:
+      return false;
+    default:
+      return writes_dst(insn.op) && insn.dst.is_mem();
+  }
+}
+
+bool accesses_cache(const Instruction& insn) {
+  return reads_memory(insn) || writes_memory(insn) ||
+         insn.op == Opcode::kClflush || insn.op == Opcode::kPrefetch;
+}
+
+}  // namespace scag::isa

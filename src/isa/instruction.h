@@ -1,0 +1,98 @@
+// Operand and Instruction: the unit everything downstream consumes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "isa/opcode.h"
+#include "isa/reg.h"
+
+namespace scag::isa {
+
+/// A memory operand: effective address = base + index*scale + disp.
+/// base/index may be absent (kNoReg).
+struct MemRef {
+  static constexpr int kNoReg = -1;
+
+  int base = kNoReg;    // Reg as int, or kNoReg
+  int index = kNoReg;   // Reg as int, or kNoReg
+  std::uint8_t scale = 1;  // 1, 2, 4, or 8
+  std::int64_t disp = 0;
+
+  bool operator==(const MemRef&) const = default;
+};
+
+/// Tagged-union operand. A plain struct with a kind tag is simpler and
+/// faster here than std::variant and keeps Instruction trivially copyable.
+struct Operand {
+  enum class Kind : std::uint8_t { kNone, kReg, kImm, kMem };
+
+  Kind kind = Kind::kNone;
+  Reg reg = Reg::RAX;     // valid when kind == kReg
+  std::int64_t imm = 0;   // valid when kind == kImm
+  MemRef mem;             // valid when kind == kMem
+
+  static Operand none() { return {}; }
+  static Operand of_reg(Reg r) {
+    Operand o;
+    o.kind = Kind::kReg;
+    o.reg = r;
+    return o;
+  }
+  static Operand of_imm(std::int64_t v) {
+    Operand o;
+    o.kind = Kind::kImm;
+    o.imm = v;
+    return o;
+  }
+  static Operand of_mem(MemRef m) {
+    Operand o;
+    o.kind = Kind::kMem;
+    o.mem = m;
+    return o;
+  }
+
+  bool is_none() const { return kind == Kind::kNone; }
+  bool is_reg() const { return kind == Kind::kReg; }
+  bool is_imm() const { return kind == Kind::kImm; }
+  bool is_mem() const { return kind == Kind::kMem; }
+
+  bool operator==(const Operand&) const = default;
+};
+
+/// One instruction. `address` is assigned when the instruction is placed
+/// into a Program (each instruction occupies kInstrSize bytes).
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  Operand dst;  // first operand (destination for writing ops)
+  Operand src;  // second operand
+  std::uint64_t address = 0;
+
+  /// For control-flow instructions: the resolved absolute target address.
+  /// Unused (0) for fall-through-only instructions and kRet.
+  std::uint64_t target = 0;
+
+  bool operator==(const Instruction&) const = default;
+};
+
+/// Byte footprint of every instruction in the mini-ISA (fixed width).
+inline constexpr std::uint64_t kInstrSize = 4;
+
+/// Pretty-prints an operand in AT&T-free Intel-ish syntax,
+/// e.g. "rax", "42", "[rbx+rcx*8+16]".
+std::string to_string(const Operand& o);
+
+/// Pretty-prints a full instruction, e.g. "mov rax, [rbx+8]".
+std::string to_string(const Instruction& insn);
+
+/// True if the instruction loads from memory (architecturally).
+bool reads_memory(const Instruction& insn);
+
+/// True if the instruction stores to memory (architecturally).
+bool writes_memory(const Instruction& insn);
+
+/// True if the instruction touches the cache hierarchy at all
+/// (loads, stores, clflush, prefetch). lea does NOT access memory.
+bool accesses_cache(const Instruction& insn);
+
+}  // namespace scag::isa

@@ -1,0 +1,92 @@
+#include "isa/normalize.h"
+
+namespace scag::isa {
+namespace {
+
+const char* operand_token(const Operand& o) {
+  switch (o.kind) {
+    case Operand::Kind::kNone: return nullptr;
+    case Operand::Kind::kReg: return "reg";
+    case Operand::Kind::kImm: return "imm";
+    case Operand::Kind::kMem: return "mem";
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string normalize(const Instruction& insn) {
+  std::string s(opcode_name(insn.op));
+  if (is_control_flow(insn.op)) {
+    // Branch targets are addresses; rule (2) maps them to "mem" except for
+    // ret which has no operand.
+    if (insn.op != Opcode::kRet) s += " mem";
+    return s;
+  }
+  if (const char* d = operand_token(insn.dst)) {
+    s += " ";
+    s += d;
+    if (const char* t = operand_token(insn.src)) {
+      s += ", ";
+      s += t;
+    }
+  }
+  return s;
+}
+
+std::vector<std::string> normalize(const std::vector<Instruction>& seq) {
+  std::vector<std::string> out;
+  out.reserve(seq.size());
+  for (const auto& insn : seq) out.push_back(normalize(insn));
+  return out;
+}
+
+std::vector<std::string> semantic_tokens(const std::vector<Instruction>& seq) {
+  std::vector<std::string> out;
+  for (const Instruction& insn : seq) {
+    switch (insn.op) {
+      case Opcode::kClflush: out.emplace_back("flush"); continue;
+      case Opcode::kRdtscp: out.emplace_back("time"); continue;
+      case Opcode::kMfence:
+      case Opcode::kLfence: out.emplace_back("fence"); continue;
+      case Opcode::kCall: out.emplace_back("call"); continue;
+      case Opcode::kRet: out.emplace_back("ret"); continue;
+      case Opcode::kJmp: out.emplace_back("jmp"); continue;
+      case Opcode::kPrefetch: out.emplace_back("load"); continue;
+      default: break;
+    }
+    if (is_cond_branch(insn.op)) {
+      out.emplace_back("br");
+      continue;
+    }
+    const bool r = reads_memory(insn);
+    const bool w = writes_memory(insn);
+    if (r && w) out.emplace_back("rmw");
+    else if (r) out.emplace_back("load");
+    else if (w) out.emplace_back("store");
+    // Pure register/immediate arithmetic: no token.
+  }
+  return out;
+}
+
+double semantic_token_weight(const std::string& token) {
+  if (token == "flush" || token == "time") return 1.0;
+  if (token == "load" || token == "store" || token == "rmw") return 0.6;
+  if (token == "fence" || token == "call" || token == "ret") return 0.4;
+  return 0.3;  // br, jmp
+}
+
+double semantic_subst_cost(const std::string& a, const std::string& b) {
+  if (a == b) return 0.0;
+  auto memish = [](const std::string& t) {
+    return t == "load" || t == "store" || t == "rmw";
+  };
+  auto flowish = [](const std::string& t) {
+    return t == "br" || t == "jmp" || t == "call" || t == "ret";
+  };
+  if (memish(a) && memish(b)) return 0.2;
+  if (flowish(a) && flowish(b)) return 0.15;
+  return (semantic_token_weight(a) + semantic_token_weight(b)) / 2.0;
+}
+
+}  // namespace scag::isa

@@ -1,0 +1,42 @@
+// Instruction normalization (paper Section III-B1).
+//
+// To compare instruction sequences across compilers/variants, SCAGuard
+// erases the concrete choices a compiler (or a mutation) makes:
+//   (1) immediate data        -> "imm"
+//   (2) accessed memory addrs -> "mem"
+//   (3) registers             -> "reg"
+// e.g.  mov -0x18(rbp), rax   becomes   "mov mem, reg".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/instruction.h"
+
+namespace scag::isa {
+
+/// Normalizes a single instruction into its canonical token string.
+std::string normalize(const Instruction& insn);
+
+/// Normalizes a sequence; the result is the alphabet the Levenshtein
+/// distance of Section III-B1 operates on.
+std::vector<std::string> normalize(const std::vector<Instruction>& seq);
+
+/// Coarser, cache-semantics-focused alphabet used by the calibrated
+/// distance mode (see core::DistanceConfig): each instruction maps to one
+/// of {flush, time, fence, load, store, rmw, br, call, ret, jmp} or to
+/// nothing (pure register arithmetic carries no cache semantics). Tiny
+/// mini-ISA basic blocks make the full-token Levenshtein over-sensitive to
+/// coding style; this alphabet keeps exactly the tokens a cache attack is
+/// made of.
+std::vector<std::string> semantic_tokens(const std::vector<Instruction>& seq);
+
+/// Edit weight of a semantic token (flush/time are the strongest attack
+/// markers, plain control flow the weakest).
+double semantic_token_weight(const std::string& token);
+
+/// Substitution cost between two semantic tokens (0 if equal; reduced for
+/// related pairs such as load/store/rmw).
+double semantic_subst_cost(const std::string& a, const std::string& b);
+
+}  // namespace scag::isa

@@ -1,0 +1,14 @@
+#include "isa/opcode.h"
+
+namespace scag::isa {
+
+std::optional<Opcode> parse_opcode(std::string_view mnemonic) {
+  for (std::uint8_t i = 0; i < static_cast<std::uint8_t>(Opcode::kCount);
+       ++i) {
+    const auto op = static_cast<Opcode>(i);
+    if (opcode_name(op) == mnemonic) return op;
+  }
+  return std::nullopt;
+}
+
+}  // namespace scag::isa

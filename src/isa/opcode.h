@@ -1,0 +1,134 @@
+// Opcodes of the mini-x86 ISA.
+//
+// The set covers what real CSCA PoCs use: data movement, ALU ops, compares,
+// conditional/unconditional control flow, cache maintenance (clflush),
+// fences, and timestamp reads (rdtscp). This is the vocabulary both the
+// attack/benign program generators and the interpreter agree on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace scag::isa {
+
+enum class Opcode : std::uint8_t {
+  // Data movement.
+  kMov,      // mov dst, src
+  kLea,      // lea dst, mem  (address computation, no memory access)
+  kPush,     // push src
+  kPop,      // pop dst
+  // ALU.
+  kAdd, kSub, kImul, kXor, kAnd, kOr, kShl, kShr,
+  kInc, kDec, kNeg, kNot,
+  // Compare / test (set flags only).
+  kCmp, kTest,
+  // Control flow.
+  kJmp,
+  kJe, kJne, kJl, kJle, kJg, kJge,   // signed conditions
+  kJb, kJbe, kJa, kJae,              // unsigned conditions
+  kCall, kRet,
+  // Cache & timing.
+  kClflush,  // clflush mem : evict the line from the whole hierarchy
+  kMfence, kLfence,  // serialize (lfence also closes speculation windows)
+  kRdtscp,   // rdtscp dst : read the cycle counter
+  kPrefetch, // prefetch mem : load into cache without architectural effect
+  // Misc.
+  kNop,
+  kHlt,      // stop execution
+  kCount,
+};
+
+constexpr std::string_view opcode_name(Opcode op);
+
+/// Parses a mnemonic ("mov", "jne"); nullopt if unknown.
+std::optional<Opcode> parse_opcode(std::string_view mnemonic);
+
+/// True for any control-transfer instruction (jumps, call, ret).
+constexpr bool is_control_flow(Opcode op) {
+  return op >= Opcode::kJmp && op <= Opcode::kRet;
+}
+
+/// True for conditional jumps only.
+constexpr bool is_cond_branch(Opcode op) {
+  return op >= Opcode::kJe && op <= Opcode::kJae;
+}
+
+/// True for instructions that terminate a basic block.
+constexpr bool ends_basic_block(Opcode op) {
+  return is_control_flow(op) || op == Opcode::kHlt;
+}
+
+/// True if the opcode writes its destination register operand.
+constexpr bool writes_dst(Opcode op);
+
+constexpr std::string_view opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::kMov: return "mov";
+    case Opcode::kLea: return "lea";
+    case Opcode::kPush: return "push";
+    case Opcode::kPop: return "pop";
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kImul: return "imul";
+    case Opcode::kXor: return "xor";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kShl: return "shl";
+    case Opcode::kShr: return "shr";
+    case Opcode::kInc: return "inc";
+    case Opcode::kDec: return "dec";
+    case Opcode::kNeg: return "neg";
+    case Opcode::kNot: return "not";
+    case Opcode::kCmp: return "cmp";
+    case Opcode::kTest: return "test";
+    case Opcode::kJmp: return "jmp";
+    case Opcode::kJe: return "je";
+    case Opcode::kJne: return "jne";
+    case Opcode::kJl: return "jl";
+    case Opcode::kJle: return "jle";
+    case Opcode::kJg: return "jg";
+    case Opcode::kJge: return "jge";
+    case Opcode::kJb: return "jb";
+    case Opcode::kJbe: return "jbe";
+    case Opcode::kJa: return "ja";
+    case Opcode::kJae: return "jae";
+    case Opcode::kCall: return "call";
+    case Opcode::kRet: return "ret";
+    case Opcode::kClflush: return "clflush";
+    case Opcode::kMfence: return "mfence";
+    case Opcode::kLfence: return "lfence";
+    case Opcode::kRdtscp: return "rdtscp";
+    case Opcode::kPrefetch: return "prefetch";
+    case Opcode::kNop: return "nop";
+    case Opcode::kHlt: return "hlt";
+    case Opcode::kCount: break;
+  }
+  return "<bad-opcode>";
+}
+
+constexpr bool writes_dst(Opcode op) {
+  switch (op) {
+    case Opcode::kMov:
+    case Opcode::kLea:
+    case Opcode::kPop:
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kImul:
+    case Opcode::kXor:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kInc:
+    case Opcode::kDec:
+    case Opcode::kNeg:
+    case Opcode::kNot:
+    case Opcode::kRdtscp:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace scag::isa

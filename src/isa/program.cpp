@@ -1,0 +1,68 @@
+#include "isa/program.h"
+
+#include <stdexcept>
+
+#include "support/strings.h"
+
+namespace scag::isa {
+
+std::uint64_t Program::append(Instruction insn) {
+  const std::uint64_t addr = address_of(code_.size());
+  insn.address = addr;
+  code_.push_back(insn);
+  return addr;
+}
+
+std::size_t Program::index_of(std::uint64_t addr) const {
+  if (addr < code_base_) return npos;
+  const std::uint64_t off = addr - code_base_;
+  if (off % kInstrSize != 0) return npos;
+  const std::uint64_t idx = off / kInstrSize;
+  if (idx >= code_.size()) return npos;
+  return static_cast<std::size_t>(idx);
+}
+
+void Program::validate() const {
+  if (code_.empty()) throw std::runtime_error("Program::validate: empty program");
+  if (!contains(entry_))
+    throw std::runtime_error("Program::validate: entry not in code range");
+  for (std::size_t i = 0; i < code_.size(); ++i) {
+    const Instruction& insn = code_[i];
+    if (insn.address != address_of(i))
+      throw std::runtime_error(
+          strfmt("Program::validate: bad address at index %zu", i));
+    if (is_control_flow(insn.op) && insn.op != Opcode::kRet) {
+      if (!contains(insn.target))
+        throw std::runtime_error(strfmt(
+            "Program::validate: %s at 0x%llx targets 0x%llx outside program",
+            std::string(opcode_name(insn.op)).c_str(),
+            static_cast<unsigned long long>(insn.address),
+            static_cast<unsigned long long>(insn.target)));
+    }
+    if (insn.op == Opcode::kClflush || insn.op == Opcode::kPrefetch) {
+      if (!insn.dst.is_mem())
+        throw std::runtime_error(
+            "Program::validate: clflush/prefetch needs a memory operand");
+    }
+    if (insn.dst.is_mem() && insn.src.is_mem())
+      throw std::runtime_error(
+          "Program::validate: mem-to-mem operands are not encodable");
+  }
+}
+
+std::string Program::disassemble() const {
+  std::string out;
+  // Reverse label map for annotation.
+  std::map<std::uint64_t, std::string> by_addr;
+  for (const auto& [name, addr] : labels_) by_addr[addr] = name;
+  for (const auto& insn : code_) {
+    auto it = by_addr.find(insn.address);
+    if (it != by_addr.end()) out += it->second + ":\n";
+    out += strfmt("  0x%06llx:  %s\n",
+                  static_cast<unsigned long long>(insn.address),
+                  to_string(insn).c_str());
+  }
+  return out;
+}
+
+}  // namespace scag::isa

@@ -1,0 +1,160 @@
+#include "isa/random_program.h"
+
+#include "isa/builder.h"
+
+namespace scag::isa {
+
+namespace {
+
+/// Data registers the generator computes with. RSP is reserved for the
+/// stack; RCX/R13/R14 are reserved as loop counters (one per nesting
+/// level) so loops always terminate.
+constexpr Reg kDataRegs[] = {Reg::RAX, Reg::RBX, Reg::RDX, Reg::RSI,
+                             Reg::RDI, Reg::RBP, Reg::R8,  Reg::R9,
+                             Reg::R10, Reg::R11, Reg::R12, Reg::R15};
+constexpr Reg kLoopRegs[] = {Reg::RCX, Reg::R13, Reg::R14};
+
+class Generator {
+ public:
+  Generator(Rng& rng, const RandomProgramOptions& options)
+      : rng_(rng), options_(options), b_("fuzz") {}
+
+  Program generate() {
+    // Sandbox contents.
+    Rng data_rng = rng_.split();
+    for (std::uint32_t i = 0; i < options_.data_words; ++i)
+      b_.data_word(options_.data_base + i * 8, data_rng.next());
+
+    b_.entry("main");
+    // Leaf subroutines first (so main can call them by label).
+    for (std::uint32_t s = 0; s < options_.subroutines; ++s) {
+      b_.label("sub" + std::to_string(s));
+      const std::uint32_t len = 1 + static_cast<std::uint32_t>(rng_.below(5));
+      for (std::uint32_t i = 0; i < len; ++i) emit_simple();
+      b_.ret();
+    }
+
+    b_.label("main");
+    for (std::uint32_t i = 0; i < options_.statements; ++i) emit_statement(0);
+    // Make the outcome observable: dump the data registers.
+    for (std::size_t i = 0; i < std::size(kDataRegs); ++i)
+      b_.mov(mem_abs(static_cast<std::int64_t>(out_base() + i * 8)),
+             reg(kDataRegs[i]));
+    b_.hlt();
+    return b_.build();
+  }
+
+  std::uint64_t out_base() const {
+    return options_.data_base + options_.data_words * 8 + 0x1000;
+  }
+
+ private:
+  Reg data_reg() { return kDataRegs[rng_.below(std::size(kDataRegs))]; }
+
+  Operand sandbox_mem() {
+    // Mostly sandbox-absolute; sometimes register-indexed (masked index
+    // keeps most accesses inside, but stray addresses are harmless in the
+    // sparse memory model).
+    const std::uint64_t slot = rng_.below(options_.data_words);
+    if (rng_.chance(0.7)) {
+      return mem_abs(
+          static_cast<std::int64_t>(options_.data_base + slot * 8));
+    }
+    return mem_idx(Reg::R12, data_reg(), static_cast<std::uint8_t>(8),
+                   static_cast<std::int64_t>(options_.data_base));
+  }
+
+  void emit_simple() {
+    switch (rng_.below(10)) {
+      case 0: b_.mov(reg(data_reg()), imm(static_cast<std::int64_t>(rng_.below(1 << 20)))); break;
+      case 1: b_.mov(reg(data_reg()), reg(data_reg())); break;
+      case 2: b_.add(reg(data_reg()), imm(static_cast<std::int64_t>(rng_.below(999)))); break;
+      case 3: b_.sub(reg(data_reg()), reg(data_reg())); break;
+      case 4: b_.imul(reg(data_reg()), imm(1 + static_cast<std::int64_t>(rng_.below(64)))); break;
+      case 5: b_.xor_(reg(data_reg()), reg(data_reg())); break;
+      case 6: b_.and_(reg(data_reg()), imm(static_cast<std::int64_t>(rng_.below(4096)))); break;
+      case 7: b_.shr(reg(data_reg()), imm(static_cast<std::int64_t>(rng_.below(31)))); break;
+      case 8: {
+        // Bounded-index load: mask the index register first.
+        const Reg idx = data_reg();
+        b_.and_(reg(idx), imm(static_cast<std::int64_t>(options_.data_words - 1)));
+        b_.mov(reg(data_reg()),
+               mem_idx(Reg::R13, idx, 8,
+                       static_cast<std::int64_t>(options_.data_base)));
+        break;
+      }
+      default:
+        b_.mov(sandbox_mem(), reg(data_reg()));
+        break;
+    }
+  }
+
+  void emit_if(std::uint32_t depth) {
+    const std::string skip = fresh_label("skip");
+    const std::string join = fresh_label("join");
+    b_.cmp(reg(data_reg()), imm(static_cast<std::int64_t>(rng_.below(1000))));
+    switch (rng_.below(4)) {
+      case 0: b_.jl(skip); break;
+      case 1: b_.jge(skip); break;
+      case 2: b_.je(skip); break;
+      default: b_.ja(skip); break;
+    }
+    const std::uint32_t then_len = 1 + static_cast<std::uint32_t>(rng_.below(4));
+    for (std::uint32_t i = 0; i < then_len; ++i) emit_statement(depth + 1);
+    b_.jmp(join);
+    b_.label(skip);
+    const std::uint32_t else_len = static_cast<std::uint32_t>(rng_.below(3));
+    for (std::uint32_t i = 0; i < else_len; ++i) emit_statement(depth + 1);
+    b_.label(join);
+  }
+
+  void emit_loop(std::uint32_t depth) {
+    const Reg counter = kLoopRegs[loop_depth_];
+    ++loop_depth_;
+    const std::string head = fresh_label("loop");
+    b_.mov(reg(counter),
+           imm(1 + static_cast<std::int64_t>(rng_.below(options_.max_loop_iters))));
+    b_.label(head);
+    const std::uint32_t body = 1 + static_cast<std::uint32_t>(rng_.below(4));
+    for (std::uint32_t i = 0; i < body; ++i) emit_statement(depth + 1);
+    b_.dec(reg(counter));
+    b_.jne(head);
+    --loop_depth_;
+  }
+
+  void emit_statement(std::uint32_t depth) {
+    const bool can_nest = depth < 3;
+    const bool can_loop =
+        can_nest && loop_depth_ < std::min<std::uint32_t>(
+                        options_.max_loop_depth, std::size(kLoopRegs));
+    const std::uint64_t roll = rng_.below(12);
+    if (roll == 0 && can_loop) {
+      emit_loop(depth);
+    } else if (roll <= 2 && can_nest) {
+      emit_if(depth);
+    } else if (roll == 3 && options_.subroutines > 0) {
+      b_.call("sub" + std::to_string(rng_.below(options_.subroutines)));
+    } else {
+      emit_simple();
+    }
+  }
+
+  std::string fresh_label(const char* stem) {
+    return std::string(stem) + "_" + std::to_string(label_seq_++);
+  }
+
+  Rng& rng_;
+  RandomProgramOptions options_;
+  ProgramBuilder b_;
+  std::uint32_t loop_depth_ = 0;
+  std::uint32_t label_seq_ = 0;
+};
+
+}  // namespace
+
+Program random_program(Rng& rng, const RandomProgramOptions& options) {
+  Generator gen(rng, options);
+  return gen.generate();
+}
+
+}  // namespace scag::isa

@@ -1,0 +1,30 @@
+// Random well-formed program generation, for property-based/differential
+// testing: every generated program terminates (loops are counted, calls
+// are to leaf subroutines only), so it can be executed and compared
+// before/after transformations such as mutation.
+#pragma once
+
+#include "isa/program.h"
+#include "support/rng.h"
+
+namespace scag::isa {
+
+struct RandomProgramOptions {
+  /// Top-level statements to generate.
+  std::uint32_t statements = 30;
+  /// Maximum loop nesting depth (loop counters come from a fixed pool).
+  std::uint32_t max_loop_depth = 2;
+  /// Maximum iterations per generated loop.
+  std::uint32_t max_loop_iters = 12;
+  /// Number of leaf subroutines callable from the main body.
+  std::uint32_t subroutines = 2;
+  /// Base of the data sandbox the program reads/writes.
+  std::uint64_t data_base = 0xD000'0000;
+  /// Words in the sandbox.
+  std::uint32_t data_words = 256;
+};
+
+/// Generates a random terminating program. Deterministic in `rng`.
+Program random_program(Rng& rng, const RandomProgramOptions& options = {});
+
+}  // namespace scag::isa

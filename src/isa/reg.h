@@ -1,0 +1,38 @@
+// General-purpose registers of the mini-x86 ISA.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace scag::isa {
+
+/// The 16 general-purpose registers of x86-64. The interpreter treats them
+/// all as 64-bit; sub-register aliasing is not modeled because the detector
+/// normalizes registers away anyway (Section III-B1 of the paper).
+enum class Reg : std::uint8_t {
+  RAX, RBX, RCX, RDX, RSI, RDI, RBP, RSP,
+  R8, R9, R10, R11, R12, R13, R14, R15,
+  kCount,
+};
+
+inline constexpr std::size_t kNumRegs = static_cast<std::size_t>(Reg::kCount);
+
+constexpr std::string_view reg_name(Reg r) {
+  constexpr std::array<std::string_view, kNumRegs> names = {
+      "rax", "rbx", "rcx", "rdx", "rsi", "rdi", "rbp", "rsp",
+      "r8",  "r9",  "r10", "r11", "r12", "r13", "r14", "r15"};
+  return names[static_cast<std::size_t>(r)];
+}
+
+/// Parses a register name ("rax", "r15"); nullopt if unknown.
+inline std::optional<Reg> parse_reg(std::string_view s) {
+  for (std::size_t i = 0; i < kNumRegs; ++i) {
+    if (reg_name(static_cast<Reg>(i)) == s) return static_cast<Reg>(i);
+  }
+  return std::nullopt;
+}
+
+}  // namespace scag::isa

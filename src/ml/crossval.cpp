@@ -1,0 +1,66 @@
+#include "ml/crossval.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace scag::ml {
+
+double kfold_accuracy(
+    const std::function<std::unique_ptr<Classifier>()>& make_model,
+    const std::vector<FeatureVector>& xs, const std::vector<int>& ys,
+    int num_classes, int folds, Rng& rng) {
+  if (folds < 2) throw std::invalid_argument("kfold_accuracy: folds < 2");
+  std::vector<std::size_t> order(xs.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+
+  std::size_t correct = 0, total = 0;
+  for (int f = 0; f < folds; ++f) {
+    std::vector<FeatureVector> train_x, test_x;
+    std::vector<int> train_y, test_y;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const std::size_t idx = order[i];
+      if (static_cast<int>(i % static_cast<std::size_t>(folds)) == f) {
+        test_x.push_back(xs[idx]);
+        test_y.push_back(ys[idx]);
+      } else {
+        train_x.push_back(xs[idx]);
+        train_y.push_back(ys[idx]);
+      }
+    }
+    if (train_x.empty() || test_x.empty()) continue;
+    auto model = make_model();
+    Rng fold_rng = rng.split();
+    model->fit(train_x, train_y, num_classes, fold_rng);
+    for (std::size_t i = 0; i < test_x.size(); ++i) {
+      if (model->predict(test_x[i]) == test_y[i]) ++correct;
+      ++total;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(correct) /
+                                static_cast<double>(total);
+}
+
+std::unique_ptr<Classifier> select_and_train(
+    const std::vector<std::function<std::unique_ptr<Classifier>()>>& candidates,
+    const std::vector<FeatureVector>& xs, const std::vector<int>& ys,
+    int num_classes, int folds, Rng& rng) {
+  if (candidates.empty())
+    throw std::invalid_argument("select_and_train: no candidates");
+  double best_acc = -1.0;
+  std::size_t best = 0;
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    Rng cv_rng = rng.split();
+    const double acc =
+        kfold_accuracy(candidates[c], xs, ys, num_classes, folds, cv_rng);
+    if (acc > best_acc) {
+      best_acc = acc;
+      best = c;
+    }
+  }
+  auto model = candidates[best]();
+  model->fit(xs, ys, num_classes, rng);
+  return model;
+}
+
+}  // namespace scag::ml

@@ -1,0 +1,27 @@
+// K-fold cross-validation and small grid search: the paper trains the
+// learning baselines with "10-fold cross validation to obtain the best
+// model with the fine-tuned parameters".
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "ml/knn.h"
+#include "ml/linear.h"
+
+namespace scag::ml {
+
+/// Mean accuracy of `make_model()` over k folds.
+double kfold_accuracy(
+    const std::function<std::unique_ptr<Classifier>()>& make_model,
+    const std::vector<FeatureVector>& xs, const std::vector<int>& ys,
+    int num_classes, int folds, Rng& rng);
+
+/// Picks the best candidate by k-fold accuracy, then refits it on ALL data.
+/// `candidates` are factories for differently-parameterized models.
+std::unique_ptr<Classifier> select_and_train(
+    const std::vector<std::function<std::unique_ptr<Classifier>()>>& candidates,
+    const std::vector<FeatureVector>& xs, const std::vector<int>& ys,
+    int num_classes, int folds, Rng& rng);
+
+}  // namespace scag::ml

@@ -1,0 +1,82 @@
+#include "ml/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/stats.h"
+
+namespace scag::ml {
+
+namespace {
+// Per event: mean, stddev, max of per-interval deltas, plus whole-run rate.
+constexpr std::size_t kPerEvent = 4;
+constexpr std::size_t kGlobal = 2;  // instructions-per-cycle, sample count
+}  // namespace
+
+std::size_t feature_dim() {
+  return trace::kNumHpcEvents * kPerEvent + kGlobal;
+}
+
+FeatureVector extract_features(const trace::ExecutionProfile& profile) {
+  FeatureVector out;
+  out.reserve(feature_dim());
+
+  const double cycles = std::max<double>(1.0, static_cast<double>(profile.cycles));
+
+  for (std::size_t e = 0; e < trace::kNumHpcEvents; ++e) {
+    std::vector<double> deltas;
+    deltas.reserve(profile.samples.size());
+    std::uint64_t prev = 0;
+    for (const trace::HpcCounters& snap : profile.samples) {
+      const std::uint64_t cur = snap.counts[e];
+      deltas.push_back(static_cast<double>(cur - prev));
+      prev = cur;
+    }
+    const Summary s = summarize(deltas);
+    out.push_back(s.mean);
+    out.push_back(s.stddev);
+    out.push_back(s.max);
+    // Whole-run rate per kilo-cycle (robust to run length).
+    out.push_back(1000.0 * static_cast<double>(profile.totals.counts[e]) /
+                  cycles);
+  }
+  out.push_back(static_cast<double>(profile.retired) / cycles);
+  out.push_back(static_cast<double>(profile.samples.size()));
+  return out;
+}
+
+void Standardizer::fit(const std::vector<FeatureVector>& xs) {
+  if (xs.empty()) return;
+  const std::size_t d = xs[0].size();
+  mean_.assign(d, 0.0);
+  scale_.assign(d, 1.0);
+  for (const FeatureVector& x : xs)
+    for (std::size_t i = 0; i < d; ++i) mean_[i] += x[i];
+  for (double& m : mean_) m /= static_cast<double>(xs.size());
+  std::vector<double> var(d, 0.0);
+  for (const FeatureVector& x : xs)
+    for (std::size_t i = 0; i < d; ++i)
+      var[i] += (x[i] - mean_[i]) * (x[i] - mean_[i]);
+  for (std::size_t i = 0; i < d; ++i) {
+    const double sd = std::sqrt(var[i] / static_cast<double>(xs.size()));
+    scale_[i] = sd > 1e-12 ? sd : 1.0;
+  }
+}
+
+FeatureVector Standardizer::transform(const FeatureVector& x) const {
+  if (mean_.empty()) return x;
+  FeatureVector out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    out[i] = (x[i] - mean_[i]) / scale_[i];
+  return out;
+}
+
+std::vector<FeatureVector> Standardizer::transform_all(
+    const std::vector<FeatureVector>& xs) const {
+  std::vector<FeatureVector> out;
+  out.reserve(xs.size());
+  for (const FeatureVector& x : xs) out.push_back(transform(x));
+  return out;
+}
+
+}  // namespace scag::ml

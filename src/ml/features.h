@@ -1,0 +1,37 @@
+// HPC time-series feature extraction for the learning-based baselines
+// (SVM-NW, LR-NW, KNN-MLFM). NIGHTs-WATCH-style detectors sample the HPCs
+// periodically while the program runs and classify the resulting feature
+// vector; we extract, per Table-I event, summary statistics of the
+// per-interval deltas plus whole-run rates.
+#pragma once
+
+#include <vector>
+
+#include "trace/profile.h"
+
+namespace scag::ml {
+
+using FeatureVector = std::vector<double>;
+
+/// Features from a sampled execution profile. Requires the profile to have
+/// been collected with a nonzero sample_interval; a profile with no samples
+/// yields whole-run rates only (padded to the same dimensionality).
+FeatureVector extract_features(const trace::ExecutionProfile& profile);
+
+/// Dimensionality of extract_features' output.
+std::size_t feature_dim();
+
+/// Z-score standardization fitted on a training set.
+class Standardizer {
+ public:
+  void fit(const std::vector<FeatureVector>& xs);
+  FeatureVector transform(const FeatureVector& x) const;
+  std::vector<FeatureVector> transform_all(
+      const std::vector<FeatureVector>& xs) const;
+
+ private:
+  FeatureVector mean_;
+  FeatureVector scale_;
+};
+
+}  // namespace scag::ml

@@ -1,0 +1,39 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace scag::ml {
+
+void Knn::fit(const std::vector<FeatureVector>& xs, const std::vector<int>& ys,
+              int num_classes, Rng& /*rng*/) {
+  if (xs.size() != ys.size() || xs.empty())
+    throw std::invalid_argument("Knn::fit: bad training set");
+  xs_ = xs;
+  ys_ = ys;
+  num_classes_ = num_classes;
+}
+
+int Knn::predict(const FeatureVector& x) const {
+  const std::size_t k =
+      std::min<std::size_t>(static_cast<std::size_t>(k_), xs_.size());
+  // Partial selection of the k smallest squared distances.
+  std::vector<std::pair<double, int>> dist;
+  dist.reserve(xs_.size());
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    double d2 = 0.0;
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      const double diff = x[j] - xs_[i][j];
+      d2 += diff * diff;
+    }
+    dist.emplace_back(d2, ys_[i]);
+  }
+  std::partial_sort(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k),
+                    dist.end());
+  std::vector<int> votes(static_cast<std::size_t>(num_classes_), 0);
+  for (std::size_t i = 0; i < k; ++i) ++votes[static_cast<std::size_t>(dist[i].second)];
+  return static_cast<int>(
+      std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+}  // namespace scag::ml

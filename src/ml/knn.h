@@ -1,0 +1,24 @@
+// K-nearest-neighbors classifier (Euclidean), backing KNN-MLFM.
+#pragma once
+
+#include "ml/linear.h"
+
+namespace scag::ml {
+
+class Knn : public Classifier {
+ public:
+  explicit Knn(int k = 5) : k_(k) {}
+  void fit(const std::vector<FeatureVector>& xs, const std::vector<int>& ys,
+           int num_classes, Rng& rng) override;
+  int predict(const FeatureVector& x) const override;
+
+  int k() const { return k_; }
+
+ private:
+  int k_;
+  int num_classes_ = 0;
+  std::vector<FeatureVector> xs_;
+  std::vector<int> ys_;
+};
+
+}  // namespace scag::ml

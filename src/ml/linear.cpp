@@ -1,0 +1,174 @@
+#include "ml/linear.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace scag::ml {
+
+namespace {
+
+double dot(const FeatureVector& a, const FeatureVector& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+void check_inputs(const std::vector<FeatureVector>& xs,
+                  const std::vector<int>& ys, int num_classes) {
+  if (xs.size() != ys.size())
+    throw std::invalid_argument("fit: xs/ys size mismatch");
+  if (xs.empty()) throw std::invalid_argument("fit: empty training set");
+  for (int y : ys)
+    if (y < 0 || y >= num_classes)
+      throw std::invalid_argument("fit: label out of range");
+}
+
+}  // namespace
+
+void LinearSvm::fit(const std::vector<FeatureVector>& xs,
+                    const std::vector<int>& ys, int num_classes, Rng& rng) {
+  check_inputs(xs, ys, num_classes);
+  const std::size_t d = xs[0].size();
+  w_.assign(num_classes, FeatureVector(d, 0.0));
+  b_.assign(num_classes, 0.0);
+
+  std::vector<std::size_t> order(xs.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int c = 0; c < num_classes; ++c) {
+    FeatureVector& w = w_[c];
+    double& b = b_[c];
+    std::size_t t = 0;
+    for (std::uint32_t epoch = 0; epoch < config_.epochs; ++epoch) {
+      rng.shuffle(order);
+      for (std::size_t idx : order) {
+        ++t;
+        const double eta = 1.0 / (config_.lambda * static_cast<double>(t));
+        const double y = ys[idx] == c ? 1.0 : -1.0;
+        const double score = dot(w, xs[idx]) + b;
+        // Pegasos update: shrink, then step on margin violations.
+        const double shrink = 1.0 - eta * config_.lambda;
+        for (double& wi : w) wi *= shrink;
+        if (y * score < 1.0) {
+          for (std::size_t i = 0; i < d; ++i) w[i] += eta * y * xs[idx][i];
+          b += eta * y;
+        }
+      }
+    }
+  }
+}
+
+int LinearSvm::predict(const FeatureVector& x) const {
+  int best = 0;
+  double best_score = -1e300;
+  for (std::size_t c = 0; c < w_.size(); ++c) {
+    const double s = dot(w_[c], x) + b_[c];
+    if (s > best_score) {
+      best_score = s;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+double LinearSvm::margin(const FeatureVector& x, int c) const {
+  return dot(w_.at(c), x) + b_.at(c);
+}
+
+void LinearRegressionClassifier::fit(const std::vector<FeatureVector>& xs,
+                                     const std::vector<int>& ys,
+                                     int num_classes, Rng& rng) {
+  check_inputs(xs, ys, num_classes);
+  const std::size_t d = xs[0].size();
+  w_.assign(num_classes, FeatureVector(d, 0.0));
+  b_.assign(num_classes, 0.0);
+
+  std::vector<std::size_t> order(xs.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int cls = 0; cls < num_classes; ++cls) {
+    FeatureVector& w = w_[cls];
+    double& b = b_[cls];
+    for (std::uint32_t epoch = 0; epoch < config_.epochs; ++epoch) {
+      rng.shuffle(order);
+      const double eta =
+          config_.lr / (1.0 + 0.2 * static_cast<double>(epoch));
+      for (std::size_t idx : order) {
+        const double y = ys[idx] == cls ? 1.0 : -1.0;
+        const double err = (dot(w, xs[idx]) + b) - y;  // squared loss
+        for (std::size_t i = 0; i < d; ++i)
+          w[i] -= eta * (err * xs[idx][i] + config_.lambda * w[i]);
+        b -= eta * err;
+      }
+    }
+  }
+}
+
+int LinearRegressionClassifier::predict(const FeatureVector& x) const {
+  int best = 0;
+  double best_score = -1e300;
+  for (std::size_t c = 0; c < w_.size(); ++c) {
+    const double s = dot(w_[c], x) + b_[c];
+    if (s > best_score) {
+      best_score = s;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+double LinearRegressionClassifier::score(const FeatureVector& x, int c) const {
+  return dot(w_.at(c), x) + b_.at(c);
+}
+
+void LogisticRegression::fit(const std::vector<FeatureVector>& xs,
+                             const std::vector<int>& ys, int num_classes,
+                             Rng& rng) {
+  check_inputs(xs, ys, num_classes);
+  const std::size_t d = xs[0].size();
+  w_.assign(num_classes, FeatureVector(d, 0.0));
+  b_.assign(num_classes, 0.0);
+
+  std::vector<std::size_t> order(xs.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int c = 0; c < num_classes; ++c) {
+    FeatureVector& w = w_[c];
+    double& b = b_[c];
+    for (std::uint32_t epoch = 0; epoch < config_.epochs; ++epoch) {
+      rng.shuffle(order);
+      const double eta =
+          config_.lr / (1.0 + 0.1 * static_cast<double>(epoch));
+      for (std::size_t idx : order) {
+        const double y = ys[idx] == c ? 1.0 : 0.0;
+        const double z = dot(w, xs[idx]) + b;
+        const double p = 1.0 / (1.0 + std::exp(-z));
+        const double g = p - y;
+        for (std::size_t i = 0; i < d; ++i)
+          w[i] -= eta * (g * xs[idx][i] + config_.lambda * w[i]);
+        b -= eta * g;
+      }
+    }
+  }
+}
+
+int LogisticRegression::predict(const FeatureVector& x) const {
+  int best = 0;
+  double best_p = -1.0;
+  for (std::size_t c = 0; c < w_.size(); ++c) {
+    const double p = probability(x, static_cast<int>(c));
+    if (p > best_p) {
+      best_p = p;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+double LogisticRegression::probability(const FeatureVector& x, int c) const {
+  const double z = dot(w_.at(c), x) + b_.at(c);
+  return 1.0 / (1.0 + std::exp(-z));
+}
+
+}  // namespace scag::ml

@@ -1,0 +1,81 @@
+// Linear classifiers trained from scratch: a Pegasos-style SGD linear SVM
+// and logistic regression, each wrapped into one-vs-rest multiclass form.
+// These back the SVM-NW and LR-NW baselines of the paper's Table VI.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/features.h"
+#include "support/rng.h"
+
+namespace scag::ml {
+
+/// Common multiclass interface.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+  /// Trains on standardized features with labels in [0, num_classes).
+  virtual void fit(const std::vector<FeatureVector>& xs,
+                   const std::vector<int>& ys, int num_classes, Rng& rng) = 0;
+  virtual int predict(const FeatureVector& x) const = 0;
+};
+
+struct LinearConfig {
+  double lambda = 1e-4;   // regularization (SVM) / L2 (logreg)
+  double lr = 0.05;       // base learning rate (logreg)
+  std::uint32_t epochs = 40;
+};
+
+/// One-vs-rest linear SVM trained with Pegasos (hinge loss, SGD).
+class LinearSvm : public Classifier {
+ public:
+  explicit LinearSvm(LinearConfig config = {}) : config_(config) {}
+  void fit(const std::vector<FeatureVector>& xs, const std::vector<int>& ys,
+           int num_classes, Rng& rng) override;
+  int predict(const FeatureVector& x) const override;
+  /// Decision margin of class c (for tests/inspection).
+  double margin(const FeatureVector& x, int c) const;
+
+ private:
+  LinearConfig config_;
+  std::vector<FeatureVector> w_;  // one weight vector per class
+  std::vector<double> b_;
+};
+
+/// One-vs-rest ordinary linear regression (least squares on +/-1 targets,
+/// SGD). This is the weak "regression as classifier" the NIGHTs-WATCH
+/// paper used for its LR variant — noticeably less robust than the SVM.
+class LinearRegressionClassifier : public Classifier {
+ public:
+  explicit LinearRegressionClassifier(LinearConfig config = {})
+      : config_(config) {}
+  void fit(const std::vector<FeatureVector>& xs, const std::vector<int>& ys,
+           int num_classes, Rng& rng) override;
+  int predict(const FeatureVector& x) const override;
+  /// Raw regression output for class c.
+  double score(const FeatureVector& x, int c) const;
+
+ private:
+  LinearConfig config_;
+  std::vector<FeatureVector> w_;
+  std::vector<double> b_;
+};
+
+/// One-vs-rest logistic regression with SGD.
+class LogisticRegression : public Classifier {
+ public:
+  explicit LogisticRegression(LinearConfig config = {}) : config_(config) {}
+  void fit(const std::vector<FeatureVector>& xs, const std::vector<int>& ys,
+           int num_classes, Rng& rng) override;
+  int predict(const FeatureVector& x) const override;
+  /// P(class c | x).
+  double probability(const FeatureVector& x, int c) const;
+
+ private:
+  LinearConfig config_;
+  std::vector<FeatureVector> w_;
+  std::vector<double> b_;
+};
+
+}  // namespace scag::ml

@@ -1,0 +1,411 @@
+#include "mutation/mutator.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "isa/builder.h"
+
+namespace scag::mutation {
+
+using isa::Instruction;
+using isa::MemRef;
+using isa::Opcode;
+using isa::Operand;
+using isa::Program;
+using isa::Reg;
+
+namespace {
+
+/// Mutable intermediate representation: instruction + target as an index.
+struct MutInstr {
+  Instruction insn;
+  std::ptrdiff_t target_idx = -1;  // branch target as original index
+  bool relevant = false;
+  /// Junk inserted by this pass (never marked relevant, never mutated again).
+  bool synthetic = false;
+};
+
+bool sets_flags(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd: case Opcode::kSub: case Opcode::kImul:
+    case Opcode::kXor: case Opcode::kAnd: case Opcode::kOr:
+    case Opcode::kShl: case Opcode::kShr: case Opcode::kInc:
+    case Opcode::kDec: case Opcode::kNeg: case Opcode::kNot:
+    case Opcode::kCmp: case Opcode::kTest:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// True if the flags produced before position i may still be consumed at or
+/// after i. Conservative: any control transfer before the next flag
+/// definition counts as "live" (the flags may be consumed at the target).
+bool flags_live_at(const std::vector<MutInstr>& code, std::size_t i) {
+  for (std::size_t j = i; j < code.size(); ++j) {
+    const Opcode op = code[j].insn.op;
+    if (isa::is_cond_branch(op)) return true;
+    if (sets_flags(op)) return false;
+    if (isa::is_control_flow(op) || op == Opcode::kHlt) return true;
+  }
+  return false;
+}
+
+void collect_regs(const Operand& o, std::set<Reg>& out) {
+  if (o.is_reg()) out.insert(o.reg);
+  if (o.is_mem()) {
+    if (o.mem.base != MemRef::kNoReg) out.insert(static_cast<Reg>(o.mem.base));
+    if (o.mem.index != MemRef::kNoReg)
+      out.insert(static_cast<Reg>(o.mem.index));
+  }
+}
+
+/// Registers read by an instruction (approximate but conservative enough
+/// for swap legality: we treat the destination register as read too for
+/// read-modify-write opcodes, and always for mem operands).
+void reg_uses(const Instruction& insn, std::set<Reg>& reads,
+              std::set<Reg>& writes) {
+  // Address registers of any mem operand are reads.
+  collect_regs(insn.dst, reads);
+  collect_regs(insn.src, reads);
+  if (isa::writes_dst(insn.op) && insn.dst.is_reg()) {
+    writes.insert(insn.dst.reg);
+    if (insn.op == Opcode::kMov || insn.op == Opcode::kLea ||
+        insn.op == Opcode::kPop || insn.op == Opcode::kRdtscp) {
+      // Pure writes: the destination register value is not read.
+      reads.erase(insn.dst.reg);
+      // ...unless it also appears in the source operand (re-inserted above
+      // by collect_regs on src / its own mem base).
+      collect_regs(insn.src, reads);
+      if (insn.dst.is_mem()) collect_regs(insn.dst, reads);
+    }
+  }
+  if (insn.op == Opcode::kPush || insn.op == Opcode::kPop ||
+      insn.op == Opcode::kCall || insn.op == Opcode::kRet) {
+    reads.insert(Reg::RSP);
+    writes.insert(Reg::RSP);
+  }
+}
+
+bool touches_memory(const Instruction& insn) {
+  return isa::accesses_cache(insn) || insn.op == Opcode::kClflush;
+}
+
+/// Legality of swapping code[i] and code[i+1].
+bool can_swap(const std::vector<MutInstr>& code, std::size_t i) {
+  const Instruction& a = code[i].insn;
+  const Instruction& b = code[i + 1].insn;
+  if (isa::is_control_flow(a.op) || isa::is_control_flow(b.op)) return false;
+  if (a.op == Opcode::kHlt || b.op == Opcode::kHlt) return false;
+  if (a.op == Opcode::kRdtscp || b.op == Opcode::kRdtscp) return false;
+  if (touches_memory(a) && touches_memory(b)) return false;
+  // Data dependencies.
+  std::set<Reg> ra, wa, rb, wb;
+  reg_uses(a, ra, wa);
+  reg_uses(b, rb, wb);
+  for (Reg r : wa)
+    if (rb.count(r) || wb.count(r)) return false;
+  for (Reg r : wb)
+    if (ra.count(r)) return false;
+  // Flag order: if both define flags, the final definition changes; only
+  // allow when those flags are dead afterwards. A single definer moving by
+  // one slot is harmless because the neighbor does not consume flags.
+  if (sets_flags(a.op) && sets_flags(b.op) && flags_live_at(code, i + 2))
+    return false;
+  if (isa::is_cond_branch(b.op) || isa::is_cond_branch(a.op)) return false;
+  return true;
+}
+
+/// Junk snippets that never set flags (safe anywhere).
+/// Scratch registers for junk: anything but RSP (stack discipline).
+Reg junk_scratch(Rng& rng) {
+  static constexpr Reg kPool[] = {Reg::RAX, Reg::RBX, Reg::RCX, Reg::RDX,
+                                  Reg::RSI, Reg::RDI, Reg::R13, Reg::R14};
+  return kPool[rng.below(8)];
+}
+
+/// Allocates junk-load addresses: every snippet touches its own cache line
+/// so junk never creates cross-block set sharing (but it does shift the HPC
+/// profile, as real polymorphic junk with memory operands does).
+struct JunkCtx {
+  std::uint64_t next_line;
+};
+
+std::vector<Instruction> flagless_junk(Rng& rng, JunkCtx& ctx) {
+  using isa::imm;
+  using isa::mem;
+  using isa::reg;
+  (void)ctx;
+  std::vector<Instruction> out;
+  const Reg scratch = junk_scratch(rng);
+  switch (rng.below(4)) {
+    case 0:
+      out.push_back({Opcode::kNop, {}, {}, 0, 0});
+      out.push_back({Opcode::kNop, {}, {}, 0, 0});
+      break;
+    case 1:
+      out.push_back({Opcode::kMov, reg(scratch), reg(scratch), 0, 0});
+      break;
+    case 2:
+      out.push_back({Opcode::kNop, {}, {}, 0, 0});
+      out.push_back({Opcode::kMov, reg(scratch), reg(scratch), 0, 0});
+      break;
+    default:
+      // lea r, [r+0] : identity, no memory access, no flags.
+      out.push_back({Opcode::kLea, reg(scratch), mem(scratch, 0), 0, 0});
+      break;
+  }
+  return out;
+}
+
+/// Junk that may set flags (only inserted where flags are dead).
+std::vector<Instruction> flagged_junk(Rng& rng, JunkCtx& ctx) {
+  using isa::imm;
+  using isa::mem_abs;
+  using isa::reg;
+  std::vector<Instruction> out;
+  const Reg scratch = junk_scratch(rng);
+  switch (rng.below(4)) {
+    case 0:
+      out.push_back({Opcode::kAdd, reg(scratch), imm(0), 0, 0});
+      break;
+    case 1:
+      out.push_back({Opcode::kOr, reg(scratch), imm(0), 0, 0});
+      break;
+    case 2:
+      // Double negation: net no-op, sets (dead) flags.
+      out.push_back({Opcode::kNeg, reg(scratch), {}, 0, 0});
+      out.push_back({Opcode::kNeg, reg(scratch), {}, 0, 0});
+      break;
+    default: {
+      // Memory junk: reads a snippet-private line, clobbers only (dead)
+      // flags. Perturbs the HPC profile the way real memory-operand junk
+      // does without creating cross-block cache-set sharing.
+      const std::uint64_t addr = ctx.next_line;
+      ctx.next_line += 64;
+      out.push_back({Opcode::kCmp, reg(scratch),
+                     mem_abs(static_cast<std::int64_t>(addr)), 0, 0});
+      break;
+    }
+  }
+  return out;
+}
+
+void apply_reg_rename(std::vector<MutInstr>& code, Rng& rng) {
+  // Permute a random subset of GP registers; RSP keeps stack semantics.
+  std::vector<Reg> pool;
+  for (std::size_t r = 0; r < isa::kNumRegs; ++r) {
+    const Reg rr = static_cast<Reg>(r);
+    if (rr != Reg::RSP) pool.push_back(rr);
+  }
+  std::vector<Reg> image = pool;
+  rng.shuffle(image);
+  std::map<Reg, Reg> perm;
+  for (std::size_t i = 0; i < pool.size(); ++i) perm[pool[i]] = image[i];
+  perm[Reg::RSP] = Reg::RSP;
+
+  auto map_operand = [&perm](Operand& o) {
+    if (o.is_reg()) o.reg = perm[o.reg];
+    if (o.is_mem()) {
+      if (o.mem.base != MemRef::kNoReg)
+        o.mem.base = static_cast<int>(perm[static_cast<Reg>(o.mem.base)]);
+      if (o.mem.index != MemRef::kNoReg)
+        o.mem.index = static_cast<int>(perm[static_cast<Reg>(o.mem.index)]);
+    }
+  };
+  for (MutInstr& mi : code) {
+    map_operand(mi.insn.dst);
+    map_operand(mi.insn.src);
+  }
+}
+
+void apply_substitutions(std::vector<MutInstr>& code, Rng& rng,
+                         double prob) {
+  using isa::imm;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    MutInstr& mi = code[i];
+    if (mi.synthetic || !rng.chance(prob)) continue;
+    Instruction& insn = mi.insn;
+    // inc r <-> add r, 1 and dec r <-> sub r, 1: the carry flag differs, so
+    // require the flags to be dead... except for the ubiquitous
+    // `dec; jne` loop idiom, where only ZF is consumed and both forms agree.
+    const bool next_is_eq_branch =
+        i + 1 < code.size() && (code[i + 1].insn.op == Opcode::kJe ||
+                                code[i + 1].insn.op == Opcode::kJne);
+    const bool flag_safe = !flags_live_at(code, i + 1) || next_is_eq_branch;
+    if (insn.op == Opcode::kInc && insn.dst.is_reg() && flag_safe) {
+      insn.op = Opcode::kAdd;
+      insn.src = imm(1);
+    } else if (insn.op == Opcode::kDec && insn.dst.is_reg() && flag_safe) {
+      insn.op = Opcode::kSub;
+      insn.src = imm(1);
+    } else if (insn.op == Opcode::kAdd && insn.dst.is_reg() &&
+               insn.src.is_imm() && insn.src.imm == 1 && flag_safe) {
+      insn.op = Opcode::kInc;
+      insn.src = Operand::none();
+    } else if (insn.op == Opcode::kXor && insn.dst.is_reg() &&
+               insn.src.is_reg() && insn.dst.reg == insn.src.reg &&
+               !flags_live_at(code, i + 1)) {
+      insn.op = Opcode::kMov;
+      insn.src = imm(0);
+    } else if (insn.op == Opcode::kMov && insn.dst.is_reg() &&
+               insn.src.is_imm() && insn.src.imm == 0 &&
+               !flags_live_at(code, i + 1)) {
+      insn.op = Opcode::kXor;
+      insn.src = Operand::of_reg(insn.dst.reg);
+    } else if (insn.op == Opcode::kImul && insn.dst.is_reg() &&
+               insn.src.is_imm() && insn.src.imm > 0 &&
+               (insn.src.imm & (insn.src.imm - 1)) == 0 && flag_safe) {
+      // imul r, 2^k -> shl r, k
+      std::int64_t k = 0, v = insn.src.imm;
+      while (v > 1) {
+        v >>= 1;
+        ++k;
+      }
+      insn.op = Opcode::kShl;
+      insn.src = imm(k);
+    }
+  }
+}
+
+void apply_swaps(std::vector<MutInstr>& code, Rng& rng, double prob) {
+  for (std::size_t i = 0; i + 1 < code.size(); ++i) {
+    if (code[i].synthetic || code[i + 1].synthetic) continue;
+    // Swapping moves branch targets' anchors: forbid if either position is
+    // a branch target (checked by the caller via the anchor set).
+    if (!rng.chance(prob)) continue;
+    if (can_swap(code, i)) {
+      std::swap(code[i], code[i + 1]);
+      ++i;  // do not re-swap the same pair back
+    }
+  }
+}
+
+}  // namespace
+
+MutationConfig obfuscation_preset() {
+  MutationConfig config;
+  config.reg_rename_prob = 1.0;
+  config.subst_prob = 0.7;
+  config.swap_prob = 0.35;
+  config.junk_snippets = 16;
+  config.dead_blocks = 8;
+  return config;
+}
+
+isa::Program mutate(const isa::Program& program, Rng& rng,
+                    const MutationConfig& config) {
+  program.validate();
+
+  // Lift to the mutable IR.
+  std::vector<MutInstr> code;
+  code.reserve(program.size());
+  std::set<std::size_t> anchors;  // indices that are branch targets / entry
+  anchors.insert(program.index_of(program.entry()));
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    MutInstr mi;
+    mi.insn = program.at(i);
+    mi.relevant = program.relevant_marks().count(mi.insn.address) > 0;
+    if (isa::is_control_flow(mi.insn.op) && mi.insn.op != Opcode::kRet) {
+      mi.target_idx =
+          static_cast<std::ptrdiff_t>(program.index_of(mi.insn.target));
+      anchors.insert(static_cast<std::size_t>(mi.target_idx));
+    }
+    code.push_back(mi);
+  }
+
+  // Swaps must not move an anchored instruction (a branch target): extend
+  // can_swap's veto by temporarily marking anchored slots synthetic.
+  // (Simpler: run swaps first on a copy of the anchor set.)
+  {
+    std::vector<MutInstr> swapped = code;
+    for (std::size_t i = 0; i + 1 < swapped.size(); ++i) {
+      if (anchors.count(i) || anchors.count(i + 1)) continue;
+      if (!rng.chance(config.swap_prob)) continue;
+      if (can_swap(swapped, i)) {
+        // Swapping payloads keeps indices (and thus targets) stable.
+        std::swap(swapped[i], swapped[i + 1]);
+        ++i;
+      }
+    }
+    code = std::move(swapped);
+  }
+
+  apply_substitutions(code, rng, config.subst_prob);
+  if (rng.chance(config.reg_rename_prob)) apply_reg_rename(code, rng);
+  (void)apply_swaps;  // index-preserving variant used above
+
+  // Insertion plan: junk scheduled *before* original index k keeps all
+  // branch targets valid because labels are re-anchored to the original
+  // instruction, not to the junk.
+  JunkCtx junk_ctx{0xE000'0000ULL + (rng.below(0x1000'0000) & ~0x3fULL)};
+  std::multimap<std::size_t, std::vector<Instruction>> insertions;
+  std::uint32_t placed = 0, attempts = 0;
+  while (placed < config.junk_snippets && attempts < 200) {
+    ++attempts;
+    const std::size_t pos = static_cast<std::size_t>(rng.below(code.size()));
+    // Flags-setting junk requires dead flags at the insertion point.
+    const bool want_flagged = rng.chance(0.6);
+    if (want_flagged && flags_live_at(code, pos)) continue;
+    insertions.emplace(pos, want_flagged ? flagged_junk(rng, junk_ctx)
+                                         : flagless_junk(rng, junk_ctx));
+    ++placed;
+  }
+
+  // Dead blocks: "jmp over" junk, creating extra basic blocks that never
+  // execute. Placed before a random original instruction.
+  std::multimap<std::size_t, std::vector<Instruction>> dead_blocks;
+  for (std::uint32_t d = 0; d < config.dead_blocks; ++d) {
+    const std::size_t pos = static_cast<std::size_t>(rng.below(code.size()));
+    std::vector<Instruction> junk = flagged_junk(rng, junk_ctx);
+    auto more = flagless_junk(rng, junk_ctx);
+    junk.insert(junk.end(), more.begin(), more.end());
+    dead_blocks.emplace(pos, std::move(junk));
+  }
+
+  // Re-emit through the builder.
+  isa::ProgramBuilder b(program.name() + "+mut", program.code_base());
+  for (const auto& [addr, value] : program.initial_data())
+    b.data_word(addr, value);
+
+  auto label_of = [](std::size_t idx) { return "L" + std::to_string(idx); };
+  std::size_t dead_seq = 0;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (anchors.count(i)) b.label(label_of(i));
+    // Dead blocks first (they sit between the label and... no: after the
+    // label so control arriving at Li skips them via the jmp).
+    auto [dlo, dhi] = dead_blocks.equal_range(i);
+    for (auto it = dlo; it != dhi; ++it) {
+      const std::string skip = "dead_skip_" + std::to_string(dead_seq++);
+      b.branch(Opcode::kJmp, skip);
+      for (const Instruction& j : it->second) b.emit(j.op, j.dst, j.src);
+      b.label(skip);
+    }
+    auto [jlo, jhi] = insertions.equal_range(i);
+    for (auto it = jlo; it != jhi; ++it)
+      for (const Instruction& j : it->second) b.emit(j.op, j.dst, j.src);
+
+    const MutInstr& mi = code[i];
+    b.mark_relevant(mi.relevant);
+    if (isa::is_control_flow(mi.insn.op) && mi.insn.op != Opcode::kRet) {
+      b.branch(mi.insn.op, label_of(static_cast<std::size_t>(mi.target_idx)));
+    } else {
+      b.emit(mi.insn.op, mi.insn.dst, mi.insn.src);
+    }
+    b.mark_relevant(false);
+  }
+  b.entry(label_of(program.index_of(program.entry())));
+  isa::Program out = b.build();
+  return out;
+}
+
+isa::Program obfuscate(const isa::Program& program, Rng& rng) {
+  MutationConfig config = obfuscation_preset();
+  isa::Program out = mutate(program, rng, config);
+  out.set_name(program.name() + "+obf");
+  return out;
+}
+
+}  // namespace scag::mutation

@@ -1,0 +1,49 @@
+// Semantic-preserving code mutation and polymorphic obfuscation — the
+// substitutes for mutate_cpp (dataset variant generation, Table II's 400
+// mutants per attack type) and polymorph-lib (evaluation E4).
+//
+// All transformations preserve program behavior; in particular, mutated
+// attack PoCs still recover the secret (tests assert this):
+//   - consistent register renaming (RSP excluded)
+//   - equivalence substitutions (inc <-> add 1, xor r,r <-> mov r,0, ...)
+//     applied only where the changed flag effects are provably dead
+//   - reordering of adjacent independent instructions
+//   - executed junk insertion (nop sleds, reg self-moves, push/pop pairs)
+//     at points where flags are provably dead
+//   - dead-code blocks jumped over (jmp L; <junk>; L:) and never-taken
+//     opaque branches, which add basic blocks without executing them
+#pragma once
+
+#include <cstdint>
+
+#include "isa/program.h"
+#include "support/rng.h"
+
+namespace scag::mutation {
+
+struct MutationConfig {
+  /// Probability of applying a whole-program register permutation.
+  double reg_rename_prob = 0.8;
+  /// Per-eligible-site probability of an equivalence substitution.
+  double subst_prob = 0.5;
+  /// Per-adjacent-pair probability of swapping independent instructions.
+  double swap_prob = 0.25;
+  /// Number of executed junk snippets to insert at safe points.
+  std::uint32_t junk_snippets = 4;
+  /// Number of dead-code blocks (jumped over / never-taken branch).
+  std::uint32_t dead_blocks = 2;
+};
+
+/// A heavier preset emulating polymorphic obfuscation: targets roughly
+/// +70% basic blocks per sample (the paper reports +70.49% for E4).
+MutationConfig obfuscation_preset();
+
+/// Applies a randomized semantic-preserving mutation. The result validates
+/// and carries remapped labels and ground-truth relevance marks.
+isa::Program mutate(const isa::Program& program, Rng& rng,
+                    const MutationConfig& config = {});
+
+/// Convenience: mutate with the obfuscation preset.
+isa::Program obfuscate(const isa::Program& program, Rng& rng);
+
+}  // namespace scag::mutation

@@ -1,0 +1,89 @@
+#include "support/rng.h"
+
+#include <cmath>
+
+namespace scag {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+  // Guard against the all-zero state, which is a fixed point of xoshiro.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform: lo > hi");
+  const std::uint64_t span = hi - lo;
+  if (span == std::numeric_limits<std::uint64_t>::max()) return next();
+  return lo + below(span + 1);
+}
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("Rng::below: n == 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::uniform01() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  return lo + (hi - lo) * uniform01();
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Rng::gaussian(double mean, double stddev) {
+  // Irwin-Hall approximation: sum of 12 uniforms has variance 1, mean 6.
+  double acc = 0.0;
+  for (int i = 0; i < 12; ++i) acc += uniform01();
+  return mean + stddev * (acc - 6.0);
+}
+
+Rng Rng::split() {
+  Rng child(0);
+  std::uint64_t sm = next();
+  for (auto& word : child.s_) word = splitmix64(sm);
+  if ((child.s_[0] | child.s_[1] | child.s_[2] | child.s_[3]) == 0)
+    child.s_[0] = 1;
+  return child;
+}
+
+}  // namespace scag

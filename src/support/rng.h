@@ -1,0 +1,83 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// Every stochastic component in SCAGuard (dataset mutation, benign workload
+// generation, ML training shuffles, ...) draws from an explicitly seeded Rng
+// so that the whole evaluation pipeline is reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace scag {
+
+/// xoshiro256** PRNG with a SplitMix64 seeding sequence.
+///
+/// Satisfies the UniformRandomBitGenerator requirements so it can be used
+/// with <random> distributions, but also offers the convenience helpers the
+/// codebase actually needs (bounded ints, doubles, bernoulli, shuffle, pick).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5ca6'0a2d'd00d'f00dULL) { reseed(seed); }
+
+  /// Re-initializes the full 256-bit state from a 64-bit seed.
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Approximately normal deviate (sum of uniforms; adequate for jitter).
+  double gaussian(double mean, double stddev);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    if (v.size() < 2) return;
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i + 1));
+      using std::swap;
+      swap(v[i], v[j]);
+    }
+  }
+
+  /// Uniformly picks one element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    if (v.empty()) throw std::invalid_argument("Rng::pick: empty vector");
+    return v[static_cast<std::size_t>(below(v.size()))];
+  }
+
+  /// Derives an independent child generator; useful to give each dataset
+  /// sample its own stream so insertion order does not perturb siblings.
+  Rng split();
+
+ private:
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace scag

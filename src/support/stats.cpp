@@ -1,0 +1,67 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace scag {
+
+double mean_of(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double stddev_of(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean_of(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  s.mean = mean_of(xs);
+  s.stddev = stddev_of(xs);
+  auto [mn, mx] = std::minmax_element(xs.begin(), xs.end());
+  s.min = *mn;
+  s.max = *mx;
+  s.sum = std::accumulate(xs.begin(), xs.end(), 0.0);
+  return s;
+}
+
+double percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (q < 0.0 || q > 1.0)
+    throw std::invalid_argument("percentile: q out of [0,1]");
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double pearson(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size() || a.size() < 2) return 0.0;
+  const double ma = mean_of(a), mb = mean_of(b);
+  double num = 0.0, da = 0.0, db = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += (a[i] - ma) * (b[i] - mb);
+    da += (a[i] - ma) * (a[i] - ma);
+    db += (b[i] - mb) * (b[i] - mb);
+  }
+  if (da == 0.0 || db == 0.0) return 0.0;
+  return num / std::sqrt(da * db);
+}
+
+double f1_score(double precision, double recall) {
+  if (precision + recall == 0.0) return 0.0;
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+}  // namespace scag

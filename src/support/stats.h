@@ -1,0 +1,45 @@
+// Small descriptive-statistics helpers shared by the evaluation harness,
+// feature extraction for the ML baselines, and the benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace scag {
+
+/// Summary of a sample of doubles.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+};
+
+/// Computes mean of a sample; 0 for an empty sample.
+double mean_of(const std::vector<double>& xs);
+
+/// Computes population standard deviation; 0 for samples of size < 2.
+double stddev_of(const std::vector<double>& xs);
+
+/// Computes the full summary in one pass.
+Summary summarize(const std::vector<double>& xs);
+
+/// Linear-interpolated percentile, q in [0,1]. Sorts a copy.
+double percentile(std::vector<double> xs, double q);
+
+/// Pearson correlation of two equally sized samples; 0 if degenerate.
+double pearson(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Precision/recall/F1 bundle used throughout the evaluation.
+struct Prf {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// F1 from precision and recall; 0 when both are 0.
+double f1_score(double precision, double recall);
+
+}  // namespace scag

@@ -1,0 +1,34 @@
+// String utilities used by the assembler, normalizer, and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scag {
+
+/// Splits on a single character; empty fields are kept.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Splits on runs of whitespace; no empty fields.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Strips leading/trailing whitespace.
+std::string trim(std::string_view s);
+
+/// Joins with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lower-casing.
+std::string to_lower(std::string_view s);
+
+/// True if s starts with prefix.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// printf-style helper returning std::string.
+std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Formats a double as a percentage with two decimals, e.g. "96.64%".
+std::string pct(double fraction);
+
+}  // namespace scag

@@ -1,0 +1,63 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace scag {
+
+void Table::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void Table::row(std::vector<std::string> cells) {
+  lines_.push_back({false, std::move(cells)});
+}
+
+void Table::separator() { lines_.push_back({true, {}}); }
+
+std::string Table::render() const {
+  // Column widths over header and all rows.
+  std::size_t ncols = header_.size();
+  for (const auto& l : lines_) ncols = std::max(ncols, l.cells.size());
+  std::vector<std::size_t> width(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      width[i] = std::max(width[i], cells[i].size());
+  };
+  widen(header_);
+  for (const auto& l : lines_)
+    if (!l.is_separator) widen(l.cells);
+
+  auto rule = [&] {
+    std::string s = "+";
+    for (std::size_t w : width) s += std::string(w + 2, '-') + "+";
+    s += "\n";
+    return s;
+  };
+  auto fmt_row = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t i = 0; i < ncols; ++i) {
+      std::string c = i < cells.size() ? cells[i] : "";
+      s += " " + c + std::string(width[i] - c.size(), ' ') + " |";
+    }
+    s += "\n";
+    return s;
+  };
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  out += rule();
+  if (!header_.empty()) {
+    out += fmt_row(header_);
+    out += rule();
+  }
+  for (const auto& l : lines_) {
+    out += l.is_separator ? rule() : fmt_row(l.cells);
+  }
+  out += rule();
+  return out;
+}
+
+void Table::print() const { std::fputs(render().c_str(), stdout); }
+
+}  // namespace scag

@@ -1,0 +1,41 @@
+// ASCII table printer: the benchmark binaries print the paper's tables with
+// it so the output can be compared against the paper side by side.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace scag {
+
+/// A simple column-aligned ASCII table with an optional title.
+///
+///   Table t("TABLE V");
+///   t.header({"No.", "Scenario", "Score"});
+///   t.row({"S1", "FR vs FR'", "94.31%"});
+///   std::cout << t.render();
+class Table {
+ public:
+  explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+  void header(std::vector<std::string> cells);
+  void row(std::vector<std::string> cells);
+  /// Inserts a horizontal separator line at this position.
+  void separator();
+
+  /// Renders the full table as a string (with trailing newline).
+  std::string render() const;
+
+  /// Convenience: renders and writes to stdout.
+  void print() const;
+
+ private:
+  struct Line {
+    bool is_separator = false;
+    std::vector<std::string> cells;
+  };
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Line> lines_;
+};
+
+}  // namespace scag

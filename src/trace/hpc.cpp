@@ -1,0 +1,23 @@
+#include "trace/hpc.h"
+
+namespace scag::trace {
+
+std::string_view hpc_event_name(HpcEvent e) {
+  switch (e) {
+    case HpcEvent::kL1dLoadMiss: return "L1D Load Miss";
+    case HpcEvent::kL1dLoadHit: return "L1D Load Hit";
+    case HpcEvent::kL1dStoreHit: return "L1D Store Hit";
+    case HpcEvent::kL1iLoadMiss: return "L1I Load Miss";
+    case HpcEvent::kLlcLoadMiss: return "LLC Load Miss";
+    case HpcEvent::kLlcLoadHit: return "LLC Load Hit";
+    case HpcEvent::kLlcStoreMiss: return "LLC Store Miss";
+    case HpcEvent::kLlcStoreHit: return "LLC Store Hit";
+    case HpcEvent::kBranchMiss: return "Branch Miss";
+    case HpcEvent::kBranchLoadMiss: return "Branch Load Miss";
+    case HpcEvent::kCacheMiss: return "Cache Miss";
+    case HpcEvent::kCount: break;
+  }
+  return "<bad-event>";
+}
+
+}  // namespace scag::trace

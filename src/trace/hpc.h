@@ -1,0 +1,78 @@
+// Hardware performance counter (HPC) events — Table I of the paper.
+//
+// The CPU interpreter raises these events while executing a program; the
+// detector sums the 11 countable events per basic block to get the "HPC
+// value" used for attack-relevant BB identification (Section III-A1). The
+// 12th entry of Table I, the timestamp, is not a counter: it is carried
+// per-record as the simulated cycle at which an instruction first retired.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace scag::trace {
+
+enum class HpcEvent : std::uint8_t {
+  kL1dLoadMiss,   // L1 Data Cache Load Miss
+  kL1dLoadHit,    // L1 Data Cache Load Hit
+  kL1dStoreHit,   // L1 Data Cache Store Hit
+  kL1iLoadMiss,   // L1 Instruction Cache Load Miss
+  kLlcLoadMiss,   // LLC Load Miss
+  kLlcLoadHit,    // LLC Load Hit
+  kLlcStoreMiss,  // LLC Store Miss
+  kLlcStoreHit,   // LLC Store Hit
+  kBranchMiss,    // Branch Miss (misprediction)
+  kBranchLoadMiss,// Branch Load Miss (BTB cold miss)
+  kCacheMiss,     // Cache Miss (any access that goes to memory; clflush of
+                  // a present line also counts — it forces the next miss)
+  kCount,
+};
+
+inline constexpr std::size_t kNumHpcEvents =
+    static_cast<std::size_t>(HpcEvent::kCount);
+
+std::string_view hpc_event_name(HpcEvent e);
+
+/// A bank of the 11 countable HPC events.
+struct HpcCounters {
+  std::array<std::uint64_t, kNumHpcEvents> counts{};
+
+  std::uint64_t& operator[](HpcEvent e) {
+    return counts[static_cast<std::size_t>(e)];
+  }
+  std::uint64_t operator[](HpcEvent e) const {
+    return counts[static_cast<std::size_t>(e)];
+  }
+
+  void bump(HpcEvent e, std::uint64_t by = 1) {
+    counts[static_cast<std::size_t>(e)] += by;
+  }
+
+  HpcCounters& operator+=(const HpcCounters& other) {
+    for (std::size_t i = 0; i < kNumHpcEvents; ++i)
+      counts[i] += other.counts[i];
+    return *this;
+  }
+
+  /// Element-wise difference (for sampled time series deltas). Saturates at
+  /// zero defensively; counters are monotone so this never triggers.
+  HpcCounters delta_from(const HpcCounters& earlier) const {
+    HpcCounters d;
+    for (std::size_t i = 0; i < kNumHpcEvents; ++i)
+      d.counts[i] =
+          counts[i] >= earlier.counts[i] ? counts[i] - earlier.counts[i] : 0;
+    return d;
+  }
+
+  /// Sum over all 11 events: the per-BB "HPC value" of Section III-A1.
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (std::uint64_t c : counts) t += c;
+    return t;
+  }
+
+  bool operator==(const HpcCounters&) const = default;
+};
+
+}  // namespace scag::trace

@@ -1,0 +1,14 @@
+#include "trace/profile.h"
+
+namespace scag::trace {
+
+std::string_view exit_reason_name(ExitReason r) {
+  switch (r) {
+    case ExitReason::kHalted: return "halted";
+    case ExitReason::kInstrLimit: return "instruction-limit";
+    case ExitReason::kBadInstruction: return "bad-instruction";
+  }
+  return "<bad-exit-reason>";
+}
+
+}  // namespace scag::trace

@@ -1,0 +1,85 @@
+// ExecutionProfile: the runtime information SCAGuard's modeling stage
+// consumes. It is our substitute for "perf-intel-pt + Intel PT" (paper
+// Section III-A1): per-instruction HPC event counts, first-retirement
+// timestamps, and the set of memory line addresses each instruction touched.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+#include "trace/hpc.h"
+
+namespace scag::trace {
+
+enum class ExitReason : std::uint8_t {
+  kHalted,          // hlt, or ret from the outermost frame
+  kInstrLimit,      // ran into the retired-instruction budget
+  kBadInstruction,  // jumped outside the program / malformed state
+};
+
+std::string_view exit_reason_name(ExitReason r);
+
+/// Aggregated per-instruction runtime profile of one execution.
+/// All vectors are indexed by instruction index within the Program.
+struct ExecutionProfile {
+  /// Program this profile was collected from (by name, for diagnostics).
+  std::string program_name;
+
+  /// HPC events attributed per instruction. Events raised by transient
+  /// (squashed) execution are attributed to the mispredicted branch, which
+  /// is the retired instruction a sampling profiler would blame.
+  std::vector<HpcCounters> per_instr;
+
+  /// Cycle of first retirement + 1 (0 = instruction never executed).
+  std::vector<std::uint64_t> first_cycle;
+
+  /// Distinct cache-line-aligned data addresses touched per instruction
+  /// (loads, stores, and flushed addresses — the paper explicitly includes
+  /// flushed addresses in the "accessed memory addresses"). Architectural
+  /// (retired) accesses only: this mirrors Intel PT, which records the
+  /// retired instruction stream.
+  std::vector<std::set<std::uint64_t>> line_addrs;
+
+  /// Lines touched only by squashed (transient) execution, attributed to
+  /// the mispredicted branch. Kept separate because an address trace based
+  /// on retired instructions would not contain them; the cache events they
+  /// raise ARE counted in per_instr (HPCs observe transient misses).
+  std::vector<std::set<std::uint64_t>> transient_line_addrs;
+
+  /// Periodic whole-program counter snapshots (for the HPC-time-series
+  /// features of the ML baselines). samples[i] is the cumulative counter
+  /// bank at cycle (i+1)*sample_interval.
+  std::vector<HpcCounters> samples;
+  std::uint64_t sample_interval = 0;
+
+  /// LLC occupancy time series (paper Definition 3 observed live):
+  /// (AO, IO) at each sampling point. Requires victim_ranges (or just
+  /// attacker attribution) and a nonzero sample_interval.
+  std::vector<std::pair<double, double>> occupancy_samples;
+
+  HpcCounters totals;
+  std::uint64_t cycles = 0;
+  std::uint64_t retired = 0;
+  ExitReason exit = ExitReason::kHalted;
+
+  /// Prepares the per-instruction vectors for `n` instructions.
+  void resize(std::size_t n) {
+    per_instr.assign(n, {});
+    first_cycle.assign(n, 0);
+    line_addrs.assign(n, {});
+    transient_line_addrs.assign(n, {});
+  }
+
+  /// Sum of the 11 HPC events of instruction `idx` ("HPC value").
+  std::uint64_t hpc_value(std::size_t idx) const {
+    return per_instr.at(idx).total();
+  }
+
+  /// True if the instruction retired at least once.
+  bool executed(std::size_t idx) const { return first_cycle.at(idx) != 0; }
+};
+
+}  // namespace scag::trace

@@ -1,0 +1,123 @@
+// Tests for the related-work detectors: anomaly (benign-only training) and
+// the phased two-stage pipeline.
+#include <gtest/gtest.h>
+
+#include "attacks/registry.h"
+#include "baselines/anomaly.h"
+#include "benign/registry.h"
+#include "cpu/interpreter.h"
+#include "mutation/mutator.h"
+
+namespace scag::baselines {
+namespace {
+
+trace::ExecutionProfile profile_of(const isa::Program& p) {
+  cpu::ExecOptions opts;
+  opts.sample_interval = 2000;
+  opts.sample_noise = 0.1;
+  cpu::Interpreter interp(opts);
+  return interp.run(p).profile;
+}
+
+std::vector<trace::ExecutionProfile> benign_profiles(int n, Rng& rng) {
+  std::vector<trace::ExecutionProfile> out;
+  for (int i = 0; i < n; ++i) {
+    Rng gen = rng.split();
+    out.push_back(
+        profile_of(benign::generate_benign(static_cast<std::size_t>(i), gen)));
+  }
+  return out;
+}
+
+TEST(Anomaly, TrainRejectsEmpty) {
+  AnomalyDetector d;
+  EXPECT_THROW(d.train({}), std::invalid_argument);
+}
+
+TEST(Anomaly, ScoreBeforeTrainThrows) {
+  AnomalyDetector d;
+  trace::ExecutionProfile p;
+  EXPECT_THROW(d.score(p), std::logic_error);
+}
+
+TEST(Anomaly, FlagsMostAttacksWithoutAttackTraining) {
+  Rng rng(5);
+  AnomalyDetector d;
+  d.train(benign_profiles(30, rng));
+
+  int flagged = 0, total = 0;
+  for (const auto& spec : attacks::all_pocs()) {
+    attacks::PocConfig config;
+    config.secret = 1 + rng.below(15);
+    flagged += d.is_anomalous(profile_of(spec.build(config)));
+    ++total;
+  }
+  EXPECT_GE(flagged, total / 2) << "anomaly detector misses too much";
+}
+
+TEST(Anomaly, BenignFalsePositiveRateIsNonTrivialButBounded) {
+  // The paper's point: single-source anomaly detection pays FPs.
+  Rng rng(6);
+  AnomalyDetector d;
+  d.train(benign_profiles(30, rng));
+  int fp = 0, total = 0;
+  for (int i = 30; i < 60; ++i) {
+    Rng gen = rng.split();
+    fp += d.is_anomalous(
+        profile_of(benign::generate_benign(static_cast<std::size_t>(i), gen)));
+    ++total;
+  }
+  EXPECT_LT(fp, total / 2);  // not useless...
+}
+
+TEST(Phased, GateThenClassify) {
+  Rng rng(7);
+  PhasedDetector d;
+  std::vector<trace::ExecutionProfile> attack_profiles;
+  std::vector<core::Family> labels;
+  for (int i = 0; i < 16; ++i) {
+    attacks::PocConfig config;
+    config.secret = 1 + rng.below(15);
+    const char* name = i % 2 ? "FR-IAIK" : "PP-IAIK";
+    Rng mut = rng.split();
+    attack_profiles.push_back(profile_of(
+        mutation::mutate(attacks::poc_by_name(name).build(config), mut)));
+    labels.push_back(i % 2 ? core::Family::kFlushReload
+                           : core::Family::kPrimeProbe);
+  }
+  Rng train_rng(8);
+  d.train(benign_profiles(24, rng), attack_profiles, labels, train_rng);
+
+  // A fresh PP mutant: if the gate fires, the classifier should name PP.
+  attacks::PocConfig config;
+  config.secret = 3;
+  Rng mut = rng.split();
+  const auto verdict = d.classify(profile_of(
+      mutation::mutate(attacks::poc_by_name("PP-Jzhang").build(config), mut)));
+  if (verdict != core::Family::kBenign) {
+    EXPECT_EQ(verdict, core::Family::kPrimeProbe);
+  }
+}
+
+TEST(Phased, CleanBenignPassesGate) {
+  Rng rng(9);
+  PhasedDetector d;
+  std::vector<trace::ExecutionProfile> attack_profiles;
+  std::vector<core::Family> labels;
+  for (int i = 0; i < 6; ++i) {
+    attacks::PocConfig config;
+    config.secret = 2;
+    attack_profiles.push_back(
+        profile_of(attacks::poc_by_name("FR-IAIK").build(config)));
+    labels.push_back(core::Family::kFlushReload);
+  }
+  Rng train_rng(10);
+  d.train(benign_profiles(24, rng), attack_profiles, labels, train_rng);
+  // A bland arithmetic workload should pass the gate.
+  Rng gen(11);
+  const auto verdict = d.classify(profile_of(benign::fibonacci_dp(gen)));
+  EXPECT_EQ(verdict, core::Family::kBenign);
+}
+
+}  // namespace
+}  // namespace scag::baselines

@@ -1,0 +1,155 @@
+// End-to-end tests for the attack PoCs: every PoC must genuinely recover
+// the planted secret through the cache timing channel, for every secret
+// value, and must degrade gracefully (not crash) in odd configurations.
+#include <gtest/gtest.h>
+
+#include "attacks/registry.h"
+#include "cpu/interpreter.h"
+
+namespace scag {
+namespace {
+
+using attacks::Layout;
+using attacks::PocConfig;
+using attacks::PocSpec;
+
+std::uint64_t run_and_recover(const isa::Program& poc, const Layout& layout) {
+  cpu::Interpreter interp;
+  const cpu::RunResult result = interp.run(poc);
+  EXPECT_EQ(result.profile.exit, trace::ExitReason::kHalted)
+      << poc.name() << " did not halt cleanly";
+  return result.memory.read(layout.recovered_addr);
+}
+
+// ---- Every PoC x every secret value -------------------------------------
+
+struct PocSecretCase {
+  std::string poc_name;
+  std::uint64_t secret;
+};
+
+class PocRecoversSecret
+    : public ::testing::TestWithParam<PocSecretCase> {};
+
+TEST_P(PocRecoversSecret, RecoversPlantedSecret) {
+  const PocSecretCase& param = GetParam();
+  PocConfig config;
+  config.secret = param.secret;
+  const PocSpec& spec = attacks::poc_by_name(param.poc_name);
+  const isa::Program poc = spec.build(config);
+  EXPECT_EQ(run_and_recover(poc, config.layout), param.secret)
+      << param.poc_name << " failed to recover secret " << param.secret;
+}
+
+std::vector<PocSecretCase> all_poc_secret_cases() {
+  std::vector<PocSecretCase> cases;
+  for (const PocSpec& spec : attacks::all_pocs()) {
+    // Spectre PoCs use slot 0 for training, so their secret domain is 1..15.
+    const std::uint64_t lo = 1;
+    for (std::uint64_t s = lo; s < Layout::kNumSlots; s += 2)
+      cases.push_back({spec.name, s});
+  }
+  return cases;
+}
+
+std::string poc_case_name(
+    const ::testing::TestParamInfo<PocSecretCase>& info) {
+  std::string n = info.param.poc_name;
+  for (char& c : n)
+    if (c == '-' || c == '+') c = '_';
+  return n + "_secret" + std::to_string(info.param.secret);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPocs, PocRecoversSecret,
+                         ::testing::ValuesIn(all_poc_secret_cases()),
+                         poc_case_name);
+
+// ---- Structural properties ------------------------------------------------
+
+TEST(PocRegistry, HasElevenPocs) {
+  EXPECT_EQ(attacks::all_pocs().size(), 11u);
+}
+
+TEST(PocRegistry, FamilyPartition) {
+  EXPECT_EQ(attacks::pocs_of_family(core::Family::kFlushReload).size(), 5u);
+  EXPECT_EQ(attacks::pocs_of_family(core::Family::kPrimeProbe).size(), 2u);
+  EXPECT_EQ(attacks::pocs_of_family(core::Family::kSpectreFR).size(), 3u);
+  EXPECT_EQ(attacks::pocs_of_family(core::Family::kSpectrePP).size(), 1u);
+}
+
+TEST(PocRegistry, UnknownNameThrows) {
+  EXPECT_THROW(attacks::poc_by_name("NoSuchAttack"), std::out_of_range);
+}
+
+TEST(PocRegistry, AllProgramsValidate) {
+  for (const PocSpec& spec : attacks::all_pocs()) {
+    const isa::Program p = spec.build(PocConfig{});
+    EXPECT_NO_THROW(p.validate()) << spec.name;
+    EXPECT_FALSE(p.relevant_marks().empty())
+        << spec.name << " has no ground-truth marks";
+  }
+}
+
+TEST(PocBehavior, MoreRoundsStillRecover) {
+  PocConfig config;
+  config.secret = 11;
+  config.rounds = 8;
+  for (const PocSpec& spec : attacks::all_pocs()) {
+    const isa::Program poc = spec.build(config);
+    EXPECT_EQ(run_and_recover(poc, config.layout), config.secret)
+        << spec.name;
+  }
+}
+
+TEST(PocBehavior, SpectreNeedsSpeculation) {
+  // With transient execution disabled the Spectre PoCs must NOT leak:
+  // the histogram over slots 1..15 stays empty and argmax returns slot 1.
+  PocConfig config;
+  config.secret = 9;
+  cpu::ExecOptions opts;
+  opts.speculation = false;
+  for (const char* name :
+       {"Spectre-FR-Ideal", "Spectre-FR-Good", "Spectre-FR-Interleaved"}) {
+    const isa::Program poc = attacks::poc_by_name(name).build(config);
+    cpu::Interpreter interp(opts);
+    const cpu::RunResult result = interp.run(poc);
+    EXPECT_NE(result.memory.read(config.layout.recovered_addr),
+              config.secret)
+        << name << " leaked without speculation";
+  }
+}
+
+TEST(PocBehavior, ClassicAttacksWorkWithoutSpeculation) {
+  PocConfig config;
+  config.secret = 5;
+  cpu::ExecOptions opts;
+  opts.speculation = false;
+  for (const char* name :
+       {"FR-IAIK", "FR-Mastik", "FR-Nepoche", "FF-IAIK", "ER-IAIK",
+        "PP-IAIK", "PP-Jzhang"}) {
+    const isa::Program poc = attacks::poc_by_name(name).build(config);
+    cpu::Interpreter interp(opts);
+    const cpu::RunResult result = interp.run(poc);
+    EXPECT_EQ(result.memory.read(config.layout.recovered_addr),
+              config.secret)
+        << name;
+  }
+}
+
+// ---- Extension: Evict+Time (not in the Table II registry) -----------------
+
+TEST(EvictTime, RecoversSecretAcrossValues) {
+  for (std::uint64_t secret = 1; secret < Layout::kNumSlots; secret += 3) {
+    PocConfig config;
+    config.secret = secret;
+    EXPECT_EQ(run_and_recover(attacks::evict_time(config), config.layout),
+              secret);
+  }
+}
+
+TEST(EvictTime, NotPartOfTheTableTwoRegistry) {
+  EXPECT_THROW(attacks::poc_by_name("Evict+Time"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace scag

@@ -1,0 +1,196 @@
+// Tests for the baseline detectors: SCADET rules and the learning wrappers.
+#include <gtest/gtest.h>
+
+#include "attacks/registry.h"
+#include "baselines/learning.h"
+#include "baselines/scadet.h"
+#include "benign/registry.h"
+#include "cfg/cfg.h"
+#include "cpu/interpreter.h"
+#include "isa/assembler.h"
+#include "mutation/mutator.h"
+
+namespace scag::baselines {
+namespace {
+
+using attacks::PocConfig;
+
+trace::ExecutionProfile profile_of(const isa::Program& p,
+                                   std::uint64_t sample_interval = 0) {
+  cpu::ExecOptions opts;
+  opts.sample_interval = sample_interval;
+  cpu::Interpreter interp(opts);
+  return interp.run(p).profile;
+}
+
+ScadetResult run_scadet(const isa::Program& p) {
+  const cfg::Cfg cfg = cfg::Cfg::build(p);
+  return scadet_detect(cfg, profile_of(p));
+}
+
+// ---- SCADET ------------------------------------------------------------------
+
+TEST(Scadet, DetectsCleanPrimeProbe) {
+  const auto r = run_scadet(attacks::poc_by_name("PP-IAIK").build(PocConfig{}));
+  EXPECT_TRUE(r.detected) << r.reason;
+  EXPECT_EQ(r.verdict, core::Family::kPrimeProbe);
+}
+
+TEST(Scadet, IgnoresFlushReloadFamily) {
+  for (const char* name : {"FR-IAIK", "FR-Mastik", "FR-Nepoche", "FF-IAIK"}) {
+    const auto r = run_scadet(attacks::poc_by_name(name).build(PocConfig{}));
+    EXPECT_FALSE(r.detected) << name << ": " << r.reason;
+  }
+}
+
+TEST(Scadet, IgnoresBenignPrograms) {
+  Rng rng(21);
+  for (std::size_t i = 0; i < benign::all_benign_templates().size(); ++i) {
+    const isa::Program p = benign::generate_benign(i, rng);
+    const auto r = run_scadet(p);
+    EXPECT_FALSE(r.detected) << p.name() << ": " << r.reason;
+  }
+}
+
+TEST(Scadet, BrittleUnderObfuscation) {
+  // The designated rules are exact patterns: heavy junk breaks most of
+  // them (this is exactly the weakness Table VI documents).
+  Rng rng(23);
+  int detected = 0;
+  const int trials = 12;
+  for (int k = 0; k < trials; ++k) {
+    const isa::Program poc = attacks::poc_by_name("PP-IAIK").build(PocConfig{});
+    Rng mut_rng = rng.split();
+    const isa::Program obf = mutation::obfuscate(poc, mut_rng);
+    detected += run_scadet(obf).detected;
+  }
+  EXPECT_LT(detected, trials / 2);
+}
+
+TEST(Scadet, RequiresTimingNearProbe) {
+  // A prime-style double walk WITHOUT any rdtscp must not match.
+  const isa::Program p = isa::assemble(R"(
+      mov rcx, 2
+      round:
+      mov rsi, 0x40000
+      mov rdx, 0
+      walk:
+      mov rbx, [rsi]
+      add rsi, 65536
+      inc rdx
+      cmp rdx, 16
+      jl walk
+      dec rcx
+      jne round
+      hlt
+  )");
+  const auto r = run_scadet(p);
+  EXPECT_FALSE(r.detected) << r.reason;
+}
+
+TEST(Scadet, MinWaysThresholdRespected) {
+  // Walks of fewer than min_ways same-set lines are not prime walks.
+  const isa::Program p = isa::assemble(R"(
+      rdtscp r8
+      mov rcx, 2
+      round:
+      mov rsi, 0x40000
+      mov rdx, 0
+      walk:
+      mov rbx, [rsi]
+      add rsi, 65536
+      inc rdx
+      cmp rdx, 4
+      jl walk
+      dec rcx
+      jne round
+      rdtscp r9
+      hlt
+  )");
+  const auto r = run_scadet(p);
+  EXPECT_FALSE(r.detected);
+}
+
+// ---- Learning detectors ----------------------------------------------------------
+
+TEST(Learning, NamesAreStable) {
+  EXPECT_EQ(learner_name(LearnerKind::kSvmNw), "SVM-NW");
+  EXPECT_EQ(learner_name(LearnerKind::kLrNw), "LR-NW");
+  EXPECT_EQ(learner_name(LearnerKind::kKnnMlfm), "KNN-MLFM");
+}
+
+TEST(Learning, ClassifyBeforeTrainThrows) {
+  LearningDetector d(LearnerKind::kSvmNw);
+  trace::ExecutionProfile p;
+  EXPECT_THROW(d.classify(p), std::logic_error);
+}
+
+TEST(Learning, TrainRejectsEmptyOrMismatched) {
+  LearningDetector d(LearnerKind::kKnnMlfm);
+  Rng rng(1);
+  std::vector<trace::ExecutionProfile> profiles(2);
+  std::vector<core::Family> labels = {core::Family::kBenign};
+  EXPECT_THROW(d.train(profiles, labels, rng), std::invalid_argument);
+}
+
+class LearnerSeparatesAttackFromBenign
+    : public ::testing::TestWithParam<LearnerKind> {};
+
+TEST_P(LearnerSeparatesAttackFromBenign, OnSmallCorpus) {
+  // Train on a handful of FR samples vs benign samples, then classify
+  // held-out ones. All three learners must beat chance comfortably on
+  // this clean task.
+  Rng rng(29);
+  std::vector<trace::ExecutionProfile> profiles;
+  std::vector<core::Family> labels;
+  std::vector<std::pair<trace::ExecutionProfile, core::Family>> held_out;
+
+  for (int i = 0; i < 12; ++i) {
+    PocConfig config;
+    config.secret = 1 + rng.below(15);
+    const isa::Program poc =
+        attacks::poc_by_name(i % 2 ? "FR-IAIK" : "FR-Nepoche").build(config);
+    Rng mut_rng = rng.split();
+    const isa::Program mut = mutation::mutate(poc, mut_rng);
+    auto profile = profile_of(mut, 2000);
+    if (i < 9) {
+      profiles.push_back(std::move(profile));
+      labels.push_back(core::Family::kFlushReload);
+    } else {
+      held_out.emplace_back(std::move(profile), core::Family::kFlushReload);
+    }
+  }
+  for (int i = 0; i < 12; ++i) {
+    Rng gen = rng.split();
+    const isa::Program p = benign::generate_benign(static_cast<std::size_t>(i), gen);
+    auto profile = profile_of(p, 2000);
+    if (i < 9) {
+      profiles.push_back(std::move(profile));
+      labels.push_back(core::Family::kBenign);
+    } else {
+      held_out.emplace_back(std::move(profile), core::Family::kBenign);
+    }
+  }
+
+  LearningDetector detector(GetParam(), /*cv_folds=*/3);
+  Rng train_rng(31);
+  detector.train(profiles, labels, train_rng);
+  int correct = 0;
+  for (const auto& [profile, truth] : held_out)
+    correct += detector.classify(profile) == truth;
+  EXPECT_GE(correct, 4) << learner_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLearners, LearnerSeparatesAttackFromBenign,
+                         ::testing::Values(LearnerKind::kSvmNw,
+                                           LearnerKind::kLrNw,
+                                           LearnerKind::kKnnMlfm),
+                         [](const auto& info) {
+                           std::string n(learner_name(info.param));
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace scag::baselines

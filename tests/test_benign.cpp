@@ -1,0 +1,103 @@
+// Tests for the benign workload generators.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "benign/registry.h"
+#include "cpu/interpreter.h"
+
+namespace scag::benign {
+namespace {
+
+class BenignTemplate : public ::testing::TestWithParam<BenignSpec> {};
+
+TEST_P(BenignTemplate, BuildsValidatesAndHalts) {
+  Rng rng(101);
+  const isa::Program p = GetParam().build(rng);
+  EXPECT_NO_THROW(p.validate());
+  cpu::Interpreter interp;
+  const cpu::RunResult r = interp.run(p);
+  EXPECT_EQ(r.profile.exit, trace::ExitReason::kHalted)
+      << GetParam().name << " retired=" << r.profile.retired;
+  EXPECT_GT(r.profile.retired, 100u) << "suspiciously small workload";
+  EXPECT_LT(r.profile.retired, 500'000u) << "workload too large for dataset";
+}
+
+TEST_P(BenignTemplate, HasNoGroundTruthAttackMarks) {
+  Rng rng(102);
+  const isa::Program p = GetParam().build(rng);
+  EXPECT_TRUE(p.relevant_marks().empty());
+}
+
+TEST_P(BenignTemplate, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  const isa::Program p1 = GetParam().build(a);
+  const isa::Program p2 = GetParam().build(b);
+  ASSERT_EQ(p1.size(), p2.size());
+  for (std::size_t i = 0; i < p1.size(); ++i)
+    EXPECT_EQ(p1.at(i), p2.at(i)) << "instruction " << i;
+  EXPECT_EQ(p1.initial_data(), p2.initial_data());
+}
+
+TEST_P(BenignTemplate, DifferentSeedsGiveDifferentPrograms) {
+  Rng a(1), b(2);
+  const isa::Program p1 = GetParam().build(a);
+  const isa::Program p2 = GetParam().build(b);
+  bool differs = p1.size() != p2.size();
+  if (!differs) {
+    for (std::size_t i = 0; i < p1.size() && !differs; ++i)
+      differs = !(p1.at(i) == p2.at(i));
+  }
+  differs = differs || p1.initial_data() != p2.initial_data();
+  EXPECT_TRUE(differs) << GetParam().name << " ignores its rng";
+}
+
+std::string template_name(const ::testing::TestParamInfo<BenignSpec>& info) {
+  std::string n = info.param.name;
+  for (char& c : n)
+    if (c == '-') c = '_';
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTemplates, BenignTemplate,
+                         ::testing::ValuesIn(all_benign_templates()),
+                         template_name);
+
+TEST(BenignRegistry, HasAllFourCategories) {
+  std::set<std::string> categories;
+  for (const BenignSpec& spec : all_benign_templates())
+    categories.insert(spec.category);
+  EXPECT_EQ(categories, (std::set<std::string>{"SPEC2006", "LeetCode",
+                                               "Encryption", "Server"}));
+}
+
+TEST(BenignRegistry, GenerateCyclesTemplatesWithUniqueNames) {
+  Rng rng(5);
+  std::set<std::string> names;
+  const std::size_t n = all_benign_templates().size() + 3;
+  for (std::size_t i = 0; i < n; ++i) {
+    const isa::Program p = generate_benign(i, rng);
+    EXPECT_TRUE(names.insert(p.name()).second) << p.name();
+  }
+}
+
+TEST(BenignRegistry, MemoryIntensityVaries) {
+  // The paper stresses "different degrees of memory accesses": the corpus
+  // must span at least an order of magnitude in cache-miss rate.
+  Rng rng(9);
+  std::vector<double> miss_rates;
+  for (std::size_t i = 0; i < all_benign_templates().size(); ++i) {
+    const isa::Program p = generate_benign(i, rng);
+    cpu::Interpreter interp;
+    const cpu::RunResult r = interp.run(p);
+    miss_rates.push_back(
+        static_cast<double>(r.profile.totals[trace::HpcEvent::kCacheMiss]) /
+        static_cast<double>(r.profile.retired));
+  }
+  const auto [lo, hi] = std::minmax_element(miss_rates.begin(),
+                                            miss_rates.end());
+  EXPECT_GT(*hi, *lo * 10.0);
+}
+
+}  // namespace
+}  // namespace scag::benign

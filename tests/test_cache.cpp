@@ -1,0 +1,316 @@
+// Unit and property tests for the cache simulator and hierarchy.
+#include <gtest/gtest.h>
+
+#include "cache/cache.h"
+#include "cache/hierarchy.h"
+
+namespace scag::cache {
+namespace {
+
+// ---- Single-level cache ------------------------------------------------------
+
+TEST(Cache, MissThenHit) {
+  Cache c({4, 2, 64});
+  EXPECT_FALSE(c.access(0x1000, AccessType::kLoad, Owner::kAttacker).hit);
+  EXPECT_TRUE(c.access(0x1000, AccessType::kLoad, Owner::kAttacker).hit);
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, SameLineDifferentOffsetsHit) {
+  Cache c({4, 2, 64});
+  c.access(0x1000, AccessType::kLoad, Owner::kAttacker);
+  EXPECT_TRUE(c.access(0x103F, AccessType::kLoad, Owner::kAttacker).hit);
+  EXPECT_FALSE(c.access(0x1040, AccessType::kLoad, Owner::kAttacker).hit);
+}
+
+TEST(Cache, SetIndexMapping) {
+  Cache c({4, 2, 64});
+  EXPECT_EQ(c.set_index(0x0000), 0u);
+  EXPECT_EQ(c.set_index(0x0040), 1u);
+  EXPECT_EQ(c.set_index(0x00C0), 3u);
+  EXPECT_EQ(c.set_index(0x0100), 0u);  // wraps at num_sets
+  EXPECT_EQ(c.line_addr(0x1234), 0x1200u);
+}
+
+TEST(Cache, LruEvictsOldest) {
+  Cache c({1, 2, 64});  // one set, two ways
+  c.access(0x0000, AccessType::kLoad, Owner::kAttacker);   // A
+  c.access(0x1000, AccessType::kLoad, Owner::kAttacker);   // B
+  c.access(0x0000, AccessType::kLoad, Owner::kAttacker);   // touch A
+  const auto out = c.access(0x2000, AccessType::kLoad, Owner::kAttacker);
+  EXPECT_TRUE(out.evicted);
+  EXPECT_EQ(out.evicted_line_addr, 0x1000u);  // B was LRU
+  EXPECT_TRUE(c.probe(0x0000));
+  EXPECT_FALSE(c.probe(0x1000));
+}
+
+TEST(Cache, FlushRemovesLine) {
+  Cache c({4, 2, 64});
+  c.access(0x1000, AccessType::kLoad, Owner::kAttacker);
+  EXPECT_TRUE(c.flush(0x1000));
+  EXPECT_FALSE(c.probe(0x1000));
+  EXPECT_FALSE(c.flush(0x1000));  // already gone
+}
+
+TEST(Cache, ProbeDoesNotTouchLru) {
+  Cache c({1, 2, 64});
+  c.access(0x0000, AccessType::kLoad, Owner::kAttacker);
+  c.access(0x1000, AccessType::kLoad, Owner::kAttacker);
+  // Probing A must not make it MRU.
+  c.probe(0x0000);
+  c.access(0x2000, AccessType::kLoad, Owner::kAttacker);
+  EXPECT_FALSE(c.probe(0x0000));  // A was still LRU and got evicted
+}
+
+TEST(Cache, FillAllReachesFullOccupancy) {
+  Cache c({8, 4, 64});
+  c.fill_all(Owner::kOther);
+  EXPECT_DOUBLE_EQ(c.total_occupancy(), 1.0);
+  EXPECT_DOUBLE_EQ(c.occupancy(Owner::kOther), 1.0);
+  EXPECT_DOUBLE_EQ(c.occupancy(Owner::kAttacker), 0.0);
+}
+
+TEST(Cache, OwnerTracksMostRecentToucher) {
+  Cache c({4, 2, 64});
+  c.access(0x1000, AccessType::kLoad, Owner::kVictim);
+  EXPECT_GT(c.occupancy(Owner::kVictim), 0.0);
+  c.access(0x1000, AccessType::kLoad, Owner::kAttacker);
+  EXPECT_DOUBLE_EQ(c.occupancy(Owner::kVictim), 0.0);
+  EXPECT_GT(c.occupancy(Owner::kAttacker), 0.0);
+}
+
+TEST(Cache, SetOccupancyCountsPerSet) {
+  Cache c({4, 4, 64});
+  // Three same-set lines (stride = num_sets * line = 256).
+  c.access(0x0000, AccessType::kLoad, Owner::kAttacker);
+  c.access(0x0100, AccessType::kLoad, Owner::kAttacker);
+  c.access(0x0200, AccessType::kLoad, Owner::kVictim);
+  EXPECT_EQ(c.set_occupancy(0x0000, Owner::kAttacker), 2u);
+  EXPECT_EQ(c.set_occupancy(0x0000, Owner::kVictim), 1u);
+  EXPECT_EQ(c.set_occupancy(0x0040, Owner::kAttacker), 0u);
+}
+
+TEST(Cache, InvalidConfigThrows) {
+  EXPECT_THROW(Cache({0, 2, 64}), std::invalid_argument);
+  EXPECT_THROW(Cache({4, 0, 64}), std::invalid_argument);
+  EXPECT_THROW(Cache({4, 2, 48}), std::invalid_argument);  // not pow2
+}
+
+// Property: walking exactly `ways` distinct same-set lines evicts every
+// previous occupant of the set, across geometries.
+struct Geometry {
+  std::uint32_t sets, ways;
+};
+
+class EvictionSweep : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(EvictionSweep, FullSetWalkEvictsPriorContents) {
+  const auto [sets, ways] = GetParam();
+  Cache c({sets, ways, 64});
+  const std::uint64_t stride = static_cast<std::uint64_t>(sets) * 64;
+  // Resident line in set 0.
+  c.access(0xA000'0000, AccessType::kLoad, Owner::kVictim);
+  const std::uint32_t victim_set = c.set_index(0xA000'0000);
+  // Walk `ways` distinct lines of that set.
+  for (std::uint32_t w = 0; w < ways; ++w) {
+    const std::uint64_t addr = static_cast<std::uint64_t>(victim_set) * 64 +
+                               static_cast<std::uint64_t>(w) * stride;
+    c.access(addr, AccessType::kLoad, Owner::kAttacker);
+  }
+  EXPECT_FALSE(c.probe(0xA000'0000));
+  // And all walked lines are resident.
+  for (std::uint32_t w = 0; w < ways; ++w) {
+    const std::uint64_t addr = static_cast<std::uint64_t>(victim_set) * 64 +
+                               static_cast<std::uint64_t>(w) * stride;
+    EXPECT_TRUE(c.probe(addr));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, EvictionSweep,
+                         ::testing::Values(Geometry{1, 2}, Geometry{4, 4},
+                                           Geometry{64, 8}, Geometry{1024, 16},
+                                           Geometry{16, 1}, Geometry{3, 5}),
+                         [](const auto& info) {
+                           return "s" + std::to_string(info.param.sets) + "w" +
+                                  std::to_string(info.param.ways);
+                         });
+
+// ---- Replacement policies -------------------------------------------------------
+
+TEST(Policy, FifoIgnoresHits) {
+  CacheConfig cfg{1, 2, 64};
+  cfg.policy = ReplacementPolicy::kFifo;
+  Cache c(cfg);
+  c.access(0x0000, AccessType::kLoad, Owner::kAttacker);  // A first in
+  c.access(0x1000, AccessType::kLoad, Owner::kAttacker);  // B second
+  c.access(0x0000, AccessType::kLoad, Owner::kAttacker);  // touch A (no-op)
+  c.access(0x2000, AccessType::kLoad, Owner::kAttacker);  // evicts A anyway
+  EXPECT_FALSE(c.probe(0x0000));
+  EXPECT_TRUE(c.probe(0x1000));
+}
+
+TEST(Policy, PlruRequiresPowerOfTwoWays) {
+  CacheConfig cfg{4, 3, 64};
+  cfg.policy = ReplacementPolicy::kPlru;
+  EXPECT_THROW(Cache{cfg}, std::invalid_argument);
+}
+
+TEST(Policy, PlruNeverEvictsMostRecent) {
+  CacheConfig cfg{1, 4, 64};
+  cfg.policy = ReplacementPolicy::kPlru;
+  Cache c(cfg);
+  // Fill the set, then alternate hits; the just-touched line must survive
+  // every subsequent single eviction.
+  for (int i = 0; i < 4; ++i)
+    c.access(static_cast<std::uint64_t>(i) * 0x1000, AccessType::kLoad,
+             Owner::kAttacker);
+  for (int round = 0; round < 8; ++round) {
+    const std::uint64_t hot = static_cast<std::uint64_t>(round % 4) * 0x1000;
+    if (!c.probe(hot)) c.access(hot, AccessType::kLoad, Owner::kAttacker);
+    c.access(hot, AccessType::kLoad, Owner::kAttacker);
+    c.access(0x9000 + static_cast<std::uint64_t>(round) * 0x1000,
+             AccessType::kLoad, Owner::kAttacker);  // forces one eviction
+    EXPECT_TRUE(c.probe(hot)) << "round " << round;
+  }
+}
+
+TEST(Policy, RandomIsDeterministicPerCacheInstance) {
+  CacheConfig cfg{1, 4, 64};
+  cfg.policy = ReplacementPolicy::kRandom;
+  auto run = [&cfg] {
+    Cache c(cfg);
+    std::vector<bool> present;
+    for (int i = 0; i < 32; ++i)
+      c.access(static_cast<std::uint64_t>(i) * 0x1000, AccessType::kLoad,
+               Owner::kAttacker);
+    for (int i = 24; i < 32; ++i)
+      present.push_back(c.probe(static_cast<std::uint64_t>(i) * 0x1000));
+    return present;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Policy, AllPoliciesFillInvalidWaysFirst) {
+  for (ReplacementPolicy policy :
+       {ReplacementPolicy::kLru, ReplacementPolicy::kFifo,
+        ReplacementPolicy::kPlru, ReplacementPolicy::kRandom}) {
+    CacheConfig cfg{1, 4, 64};
+    cfg.policy = policy;
+    Cache c(cfg);
+    for (int i = 0; i < 4; ++i) {
+      const auto out = c.access(static_cast<std::uint64_t>(i) * 0x1000,
+                                AccessType::kLoad, Owner::kAttacker);
+      EXPECT_FALSE(out.evicted) << static_cast<int>(policy) << " way " << i;
+    }
+    // Every filled line is present.
+    for (int i = 0; i < 4; ++i)
+      EXPECT_TRUE(c.probe(static_cast<std::uint64_t>(i) * 0x1000));
+  }
+}
+
+// ---- Hierarchy ---------------------------------------------------------------
+
+TEST(Hierarchy, LatencyLadder) {
+  CacheHierarchy h;
+  const auto miss = h.load(0x5000, Owner::kAttacker);
+  EXPECT_FALSE(miss.l1_hit);
+  EXPECT_FALSE(miss.llc_hit);
+  EXPECT_EQ(miss.latency, h.config().lat_memory);
+
+  const auto hit = h.load(0x5000, Owner::kAttacker);
+  EXPECT_TRUE(hit.l1_hit);
+  EXPECT_EQ(hit.latency, h.config().lat_l1_hit);
+}
+
+TEST(Hierarchy, LlcHitAfterL1Eviction) {
+  CacheHierarchy h;
+  h.load(0x5000, Owner::kAttacker);
+  // Thrash the L1 set of 0x5000 with same-L1-set lines that map to
+  // DIFFERENT LLC sets, so only L1 loses the line.
+  const auto& l1 = h.config().l1d;
+  const auto& llc = h.config().llc;
+  const std::uint64_t l1_stride =
+      static_cast<std::uint64_t>(l1.num_sets) * l1.line_size;
+  const std::uint64_t llc_span =
+      static_cast<std::uint64_t>(llc.num_sets) * llc.line_size;
+  for (std::uint32_t i = 1; i <= l1.ways; ++i) {
+    // Offset by llc_span multiples + l1_stride to stay in the same L1 set
+    // but spread across LLC sets.
+    h.load(0x5000 + i * (llc_span + l1_stride), Owner::kAttacker);
+  }
+  EXPECT_FALSE(h.probe_l1d(0x5000));
+  EXPECT_TRUE(h.probe_llc(0x5000));
+  const auto r = h.load(0x5000, Owner::kAttacker);
+  EXPECT_FALSE(r.l1_hit);
+  EXPECT_TRUE(r.llc_hit);
+  EXPECT_EQ(r.latency, h.config().lat_llc_hit);
+}
+
+TEST(Hierarchy, FlushClearsAllLevels) {
+  CacheHierarchy h;
+  h.load(0x6000, Owner::kAttacker);
+  const auto f1 = h.flush(0x6000);
+  EXPECT_TRUE(f1.flushed_line_was_present);
+  EXPECT_EQ(f1.latency, h.config().lat_flush_present);
+  EXPECT_FALSE(h.probe_l1d(0x6000));
+  EXPECT_FALSE(h.probe_llc(0x6000));
+  const auto f2 = h.flush(0x6000);
+  EXPECT_FALSE(f2.flushed_line_was_present);
+  EXPECT_EQ(f2.latency, h.config().lat_flush_absent);
+}
+
+TEST(Hierarchy, FlushLatencyAsymmetryEnablesFlushFlush) {
+  // Flush+Flush depends on flushing a present line being slower.
+  CacheHierarchy h;
+  EXPECT_GT(h.config().lat_flush_present, h.config().lat_flush_absent);
+}
+
+TEST(Hierarchy, InclusiveLlcBackInvalidatesL1) {
+  CacheHierarchy h;
+  h.load(0x7000, Owner::kVictim);
+  ASSERT_TRUE(h.probe_l1d(0x7000));
+  // Evict that line from the LLC by walking llc.ways same-LLC-set lines.
+  const auto& llc = h.config().llc;
+  const std::uint64_t stride =
+      static_cast<std::uint64_t>(llc.num_sets) * llc.line_size;
+  for (std::uint32_t w = 1; w <= llc.ways; ++w)
+    h.load(0x7000 + w * stride, Owner::kAttacker);
+  EXPECT_FALSE(h.probe_llc(0x7000));
+  EXPECT_FALSE(h.probe_l1d(0x7000)) << "inclusive back-invalidation failed";
+}
+
+TEST(Hierarchy, FetchUsesInstructionCache) {
+  CacheHierarchy h;
+  const auto f1 = h.fetch(0x400000, Owner::kAttacker);
+  EXPECT_FALSE(f1.l1_hit);
+  const auto f2 = h.fetch(0x400000, Owner::kAttacker);
+  EXPECT_TRUE(f2.l1_hit);
+  // Data-side lookups do not hit the I-cache entry... but they share the
+  // LLC (unified), so an LLC hit is expected.
+  const auto d = h.load(0x400000, Owner::kAttacker);
+  EXPECT_FALSE(d.l1_hit);
+  EXPECT_TRUE(d.llc_hit);
+}
+
+TEST(Hierarchy, StoreCostsIncludeBufferLatency) {
+  CacheHierarchy h;
+  h.load(0x8000, Owner::kAttacker);
+  const auto s = h.store(0x8000, Owner::kAttacker);
+  EXPECT_TRUE(s.l1_hit);
+  EXPECT_EQ(s.latency,
+            h.config().lat_l1_hit + h.config().lat_store_buffer);
+}
+
+TEST(Hierarchy, ClearEmptiesEverything) {
+  CacheHierarchy h;
+  h.load(0x9000, Owner::kAttacker);
+  h.fetch(0x400000, Owner::kAttacker);
+  h.clear();
+  EXPECT_FALSE(h.probe_l1d(0x9000));
+  EXPECT_FALSE(h.probe_llc(0x9000));
+  EXPECT_DOUBLE_EQ(h.llc().total_occupancy(), 0.0);
+}
+
+}  // namespace
+}  // namespace scag::cache

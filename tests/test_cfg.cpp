@@ -1,0 +1,297 @@
+// Tests for CFG recovery and the graph algorithms behind Algorithm 1.
+#include <gtest/gtest.h>
+
+#include "cfg/cfg.h"
+#include "cfg/graph_algos.h"
+#include "isa/assembler.h"
+#include "support/rng.h"
+
+namespace scag::cfg {
+namespace {
+
+using isa::assemble;
+using isa::Program;
+
+// ---- CFG construction ----------------------------------------------------------
+
+TEST(CfgBuild, StraightLineIsOneBlock) {
+  const Program p = assemble("nop\nnop\nmov rax, 1\nhlt\n");
+  const Cfg cfg = Cfg::build(p);
+  EXPECT_EQ(cfg.num_blocks(), 1u);
+  EXPECT_EQ(cfg.block(0).count, 4u);
+  EXPECT_TRUE(cfg.successors(0).empty());
+}
+
+TEST(CfgBuild, CondBranchSplitsThreeWays) {
+  const Program p = assemble(R"(
+      cmp rax, 1
+      je yes
+      mov rbx, 2
+      hlt
+      yes:
+      mov rbx, 1
+      hlt
+  )");
+  const Cfg cfg = Cfg::build(p);
+  ASSERT_EQ(cfg.num_blocks(), 3u);
+  const BlockId entry = cfg.entry_block();
+  EXPECT_EQ(cfg.successors(entry).size(), 2u);
+  // Both successors terminate.
+  for (BlockId s : cfg.successors(entry))
+    EXPECT_TRUE(cfg.successors(s).empty());
+}
+
+TEST(CfgBuild, LoopHasBackEdge) {
+  const Program p = assemble(R"(
+      mov rcx, 4
+      loop:
+      dec rcx
+      jne loop
+      hlt
+  )");
+  const Cfg cfg = Cfg::build(p);
+  const BlockId loop = cfg.block_at_address(p.label("loop"));
+  ASSERT_NE(loop, kNoBlock);
+  bool self_edge = false;
+  for (BlockId s : cfg.successors(loop)) self_edge |= s == loop;
+  EXPECT_TRUE(self_edge);
+}
+
+TEST(CfgBuild, CallHasTargetAndFallthroughEdges) {
+  const Program p = assemble(R"(
+      .entry main
+      fn:
+        ret
+      main:
+        call fn
+        hlt
+  )");
+  const Cfg cfg = Cfg::build(p);
+  const BlockId main_block = cfg.block_at_address(p.label("main"));
+  const BlockId fn_block = cfg.block_at_address(p.label("fn"));
+  ASSERT_NE(main_block, kNoBlock);
+  const auto& succs = cfg.successors(main_block);
+  EXPECT_EQ(succs.size(), 2u);  // callee + return point
+  EXPECT_NE(std::find(succs.begin(), succs.end(), fn_block), succs.end());
+  EXPECT_TRUE(cfg.successors(fn_block).empty());  // ret
+}
+
+TEST(CfgBuild, PredecessorsMirrorSuccessors) {
+  const Program p = assemble(R"(
+      cmp rax, 0
+      je a
+      jmp b
+      a:
+      nop
+      b:
+      hlt
+  )");
+  const Cfg cfg = Cfg::build(p);
+  for (BlockId b = 0; b < cfg.num_blocks(); ++b) {
+    for (BlockId s : cfg.successors(b)) {
+      const auto& preds = cfg.predecessors(s);
+      EXPECT_NE(std::find(preds.begin(), preds.end(), b), preds.end());
+    }
+  }
+}
+
+TEST(CfgBuild, BlockOfInstrCoversEveryInstruction) {
+  const Program p = assemble(R"(
+      mov rcx, 2
+      x:
+      dec rcx
+      jne x
+      hlt
+  )");
+  const Cfg cfg = Cfg::build(p);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const BlockId b = cfg.block_of_instr(i);
+    ASSERT_NE(b, kNoBlock);
+    EXPECT_GE(i, cfg.block(b).first);
+    EXPECT_LE(i, cfg.block(b).last());
+  }
+}
+
+TEST(CfgBuild, DotOutputMentionsAllBlocks) {
+  const Program p = assemble("cmp rax, 0\nje x\nnop\nx:\nhlt\n");
+  const Cfg cfg = Cfg::build(p);
+  const std::string dot = cfg.to_dot();
+  for (BlockId b = 0; b < cfg.num_blocks(); ++b)
+    EXPECT_NE(dot.find("b" + std::to_string(b)), std::string::npos);
+}
+
+// ---- Back-edge removal -----------------------------------------------------------
+
+TEST(BackEdges, SelfLoopRemoved) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 1);
+  const auto removed = remove_back_edges(g, 0);
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0], (std::pair<std::uint32_t, std::uint32_t>{1, 1}));
+  EXPECT_FALSE(has_cycle(g));
+}
+
+TEST(BackEdges, PaperFig3Cycle) {
+  // a -> b -> c -> d -> a : the backward edge d->a is removed.
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  const auto removed = remove_back_edges(g, 0);
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0], (std::pair<std::uint32_t, std::uint32_t>{3, 0}));
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_FALSE(g.has_edge(3, 0));
+}
+
+TEST(BackEdges, ForwardDagUntouched) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  EXPECT_TRUE(remove_back_edges(g, 0).empty());
+}
+
+TEST(BackEdges, UnreachableComponentsProcessed) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.add_edge(3, 2);  // cycle unreachable from root 0
+  remove_back_edges(g, 0);
+  EXPECT_FALSE(has_cycle(g));
+}
+
+TEST(BackEdges, RandomGraphsBecomeAcyclicProperty) {
+  Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint32_t n = 2 + static_cast<std::uint32_t>(rng.below(30));
+    Digraph g(n);
+    const std::uint32_t edges = static_cast<std::uint32_t>(rng.below(4 * n));
+    for (std::uint32_t e = 0; e < edges; ++e)
+      g.add_edge(static_cast<std::uint32_t>(rng.below(n)),
+                 static_cast<std::uint32_t>(rng.below(n)));
+    remove_back_edges(g, 0);
+    EXPECT_FALSE(has_cycle(g)) << "trial " << trial;
+  }
+}
+
+// ---- Path enumeration --------------------------------------------------------------
+
+TEST(Paths, EnumeratesBothRoutes) {
+  // 0 -> 1 -> 2 and 0 -> 2 (the paper's Fig. 3 (c) a..c situation).
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  const std::vector<bool> blocked(3, false);
+  const auto paths = paths_avoiding(g, 0, 2, blocked);
+  ASSERT_EQ(paths.size(), 2u);
+}
+
+TEST(Paths, BlockedInteriorSkipped) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 3);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  std::vector<bool> blocked(4, false);
+  blocked[1] = true;  // node 1 may not be an interior node
+  const auto paths = paths_avoiding(g, 0, 3, blocked);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], (std::vector<std::uint32_t>{0, 2, 3}));
+}
+
+TEST(Paths, BlockedEndpointsAreExempt) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  std::vector<bool> blocked = {true, true};
+  EXPECT_EQ(paths_avoiding(g, 0, 1, blocked).size(), 1u);
+}
+
+TEST(Paths, MaxPathsCapRespected) {
+  // A ladder graph with exponentially many paths.
+  const std::uint32_t rungs = 16;
+  Digraph g(2 * rungs + 2);
+  for (std::uint32_t i = 0; i < rungs; ++i) {
+    const std::uint32_t from = i == 0 ? 0 : 2 * i;
+    g.add_edge(from, 2 * i + 1);
+    g.add_edge(from, 2 * i + 2);
+    if (i + 1 < rungs) {
+      g.add_edge(2 * i + 1, 2 * (i + 1));
+      g.add_edge(2 * i + 2, 2 * (i + 1));
+    } else {
+      g.add_edge(2 * i + 1, 2 * rungs + 1);
+      g.add_edge(2 * i + 2, 2 * rungs + 1);
+    }
+  }
+  PathLimits limits;
+  limits.max_paths = 100;
+  const std::vector<bool> blocked(g.size(), false);
+  const auto paths = paths_avoiding(g, 0, 2 * rungs + 1, blocked, limits);
+  EXPECT_EQ(paths.size(), 100u);
+}
+
+TEST(Paths, SameNodeYieldsNothing) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  const std::vector<bool> blocked(2, false);
+  EXPECT_TRUE(paths_avoiding(g, 0, 0, blocked).empty());
+}
+
+// ---- Maximum spanning forest --------------------------------------------------------
+
+TEST(Mst, PicksHeaviestEdges) {
+  // Triangle with weights 1, 2, 3: the MST keeps 3 and 2.
+  std::vector<WeightedEdge> edges = {
+      {0, 1, 1.0, 0}, {1, 2, 2.0, 1}, {0, 2, 3.0, 2}};
+  const auto chosen = max_spanning_forest(3, edges);
+  ASSERT_EQ(chosen.size(), 2u);
+  double total = 0;
+  for (std::size_t i : chosen) total += edges[i].weight;
+  EXPECT_DOUBLE_EQ(total, 5.0);
+}
+
+TEST(Mst, ForestOnDisconnectedComponents) {
+  std::vector<WeightedEdge> edges = {{0, 1, 1.0, 0}, {2, 3, 1.0, 1}};
+  const auto chosen = max_spanning_forest(4, edges);
+  EXPECT_EQ(chosen.size(), 2u);
+}
+
+TEST(Mst, DeterministicTieBreaking) {
+  std::vector<WeightedEdge> edges = {
+      {0, 1, 5.0, 0}, {1, 2, 5.0, 1}, {0, 2, 5.0, 2}};
+  const auto a = max_spanning_forest(3, edges);
+  const auto b = max_spanning_forest(3, edges);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(Mst, PaperFig3Example) {
+  // Fig. 3 (d)->(e): pair edges a->c (MAX via direct), a->e (3 via b),
+  // c->e (1 via d'): the MST keeps the MAX edge and the weight-3 edge.
+  constexpr double kMax = 1e18;
+  std::vector<WeightedEdge> edges = {
+      {0, 1, kMax, 0},  // a -> c, direct
+      {0, 2, 3.0, 1},   // a -> e, via b (HPC 3)
+      {1, 2, 1.0, 2},   // c -> e, via d (HPC 1)
+  };
+  const auto chosen = max_spanning_forest(3, edges);
+  ASSERT_EQ(chosen.size(), 2u);
+  EXPECT_EQ(edges[chosen[0]].payload, 0u);
+  EXPECT_EQ(edges[chosen[1]].payload, 1u);
+}
+
+TEST(Digraph, AddEdgeValidatesAndDeduplicates) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.adj[0].size(), 1u);
+  EXPECT_THROW(g.add_edge(0, 5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace scag::cfg

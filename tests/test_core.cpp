@@ -1,0 +1,452 @@
+// Tests for the SCAGuard core: per-BB aggregation, attack-relevant BB
+// identification, Algorithm 1 (including the paper's Fig. 3 example), CST
+// measurement, the distance functions, DTW, and the detector.
+#include <gtest/gtest.h>
+
+#include "core/attack_graph.h"
+#include "core/bb_profile.h"
+#include "core/cst.h"
+#include "core/detector.h"
+#include "core/distance.h"
+#include "core/dtw.h"
+#include "core/relevant.h"
+#include "isa/normalize.h"
+#include "cpu/interpreter.h"
+#include "isa/assembler.h"
+
+namespace scag::core {
+namespace {
+
+using cfg::BlockId;
+using isa::assemble;
+
+// ---- bb_profile -----------------------------------------------------------------
+
+TEST(BbProfile, AggregatesHpcLinesAndTimestamps) {
+  const isa::Program p = assemble(R"(
+      mov rcx, 4
+      loop:
+      mov rax, [0x10000]
+      clflush [0x10040]
+      mov [0x10080], rax
+      dec rcx
+      jne loop
+      hlt
+  )");
+  cpu::Interpreter interp;
+  const auto run = interp.run(p);
+  const cfg::Cfg cfg = cfg::Cfg::build(p);
+  const auto stats = aggregate_by_block(cfg, run.profile);
+  ASSERT_EQ(stats.size(), cfg.num_blocks());
+
+  const BlockId loop = cfg.block_at_address(p.label("loop"));
+  ASSERT_NE(loop, cfg::kNoBlock);
+  EXPECT_TRUE(stats[loop].executed());
+  EXPECT_GT(stats[loop].hpc_value, 0u);
+  EXPECT_EQ(stats[loop].lines.size(), 3u);
+  EXPECT_TRUE(stats[loop].lines.count(0x10000));
+  EXPECT_TRUE(stats[loop].lines.count(0x10040));
+  EXPECT_TRUE(stats[loop].lines.count(0x10080));
+
+  // Access records carry the operation kind.
+  bool saw_load = false, saw_flush = false, saw_store = false;
+  for (const AccessRecord& rec : stats[loop].accesses) {
+    saw_load |= rec.op == CacheOp::kLoad && rec.line_addr == 0x10000;
+    saw_flush |= rec.op == CacheOp::kFlush && rec.line_addr == 0x10040;
+    saw_store |= rec.op == CacheOp::kStore && rec.line_addr == 0x10080;
+  }
+  EXPECT_TRUE(saw_load);
+  EXPECT_TRUE(saw_flush);
+  EXPECT_TRUE(saw_store);
+}
+
+TEST(BbProfile, MismatchedProfileRejected) {
+  const isa::Program p = assemble("nop\nhlt\n");
+  const cfg::Cfg cfg = cfg::Cfg::build(p);
+  trace::ExecutionProfile bogus;
+  bogus.resize(99);
+  EXPECT_THROW(aggregate_by_block(cfg, bogus), std::invalid_argument);
+}
+
+// ---- Relevant-BB identification ----------------------------------------------------
+
+TEST(Relevant, StepOneRequiresExecutionAndHpc) {
+  std::vector<BbStats> stats(3);
+  stats[0].first_cycle = 1;
+  stats[0].hpc_value = 5;  // executed, events
+  stats[1].first_cycle = 0;
+  stats[1].hpc_value = 5;  // never executed
+  stats[2].first_cycle = 2;
+  stats[2].hpc_value = 0;  // executed, no events
+  const auto r = identify_relevant_blocks(stats);
+  EXPECT_EQ(r.potential, (std::vector<BlockId>{0}));
+}
+
+TEST(Relevant, StepTwoKeepsOverlappingSets) {
+  // Blocks 0 and 1 share a cache set; block 2 touches a private set.
+  RelevantConfig config;
+  config.set_mapping = {16, 4, 64};
+  std::vector<BbStats> stats(3);
+  for (auto& s : stats) {
+    s.first_cycle = 1;
+    s.hpc_value = 1;
+  }
+  stats[0].lines = {0x0000};          // set 0
+  stats[1].lines = {0x0400, 0x0040};  // set 0 (alias) + set 1
+  stats[2].lines = {0x0080};          // set 2, alone
+  const auto r = identify_relevant_blocks(stats, config);
+  EXPECT_EQ(r.relevant, (std::vector<BlockId>{0, 1}));
+  EXPECT_EQ(r.shared_sets, (std::set<std::uint32_t>{0}));
+}
+
+TEST(Relevant, NoSharingMeansNothingRelevant) {
+  RelevantConfig config;
+  config.set_mapping = {16, 4, 64};
+  std::vector<BbStats> stats(2);
+  for (auto& s : stats) {
+    s.first_cycle = 1;
+    s.hpc_value = 1;
+  }
+  stats[0].lines = {0x0000};
+  stats[1].lines = {0x0040};
+  const auto r = identify_relevant_blocks(stats, config);
+  EXPECT_TRUE(r.relevant.empty());
+  EXPECT_EQ(r.potential.size(), 2u);
+}
+
+// ---- Algorithm 1 on the paper's Fig. 3 example --------------------------------------
+
+// Fig. 3 (a): nodes a,b,c,d,e,f,g with the cycle a->b->c->d->a, where
+// a, c, e are attack-relevant and HPC values are b=3, d=1, f=2, g=0
+// (values chosen to match the (c) sub-figure's spirit: the a->b->e path
+// has the highest average HPC).
+struct Fig3 {
+  cfg::Cfg cfg;  // unused: we drive build_attack_graph's pieces directly
+};
+
+TEST(AttackGraph, PaperFig3Shape) {
+  // Build the CFG as a real program so the whole pipeline is exercised:
+  //   a: -> b or c ; b: -> c or e ; c: -> d ; d: -> a (back edge) or f;
+  //   f: -> e; e: end
+  const isa::Program p = assemble(R"(
+      .entry a
+      a:
+        mov rax, [0x20000]
+        cmp rax, 1
+        je c
+      b:
+        mov rbx, [0x30000]
+        cmp rbx, 2
+        je e
+      c:
+        mov rcx, [0x20040]
+        cmp rcx, 3
+        jne d
+      d:
+        nop
+        cmp rax, 4
+        je a
+      f:
+        nop
+        jmp e
+      e:
+        mov rdx, [0x20000]
+        hlt
+  )");
+  cpu::Interpreter interp;
+  const auto run = interp.run(p);
+  const cfg::Cfg cfg = cfg::Cfg::build(p);
+  auto stats = aggregate_by_block(cfg, run.profile);
+
+  const BlockId a = cfg.block_at_address(p.label("a"));
+  const BlockId b = cfg.block_at_address(p.label("b"));
+  const BlockId c = cfg.block_at_address(p.label("c"));
+  const BlockId e = cfg.block_at_address(p.label("e"));
+
+  // Mark a, c, e relevant (as in the figure) and give b a high HPC value.
+  std::vector<BlockId> relevant = {a, c, e};
+  stats[b].hpc_value = 30;
+
+  const AttackGraph g = build_attack_graph(cfg, stats, relevant);
+  // All relevant nodes are in the graph.
+  EXPECT_TRUE(g.in_graph[a]);
+  EXPECT_TRUE(g.in_graph[c]);
+  EXPECT_TRUE(g.in_graph[e]);
+  // The direct edge a->c (weight MAX) must be kept.
+  EXPECT_TRUE(g.graph.has_edge(a, c));
+  // The high-HPC interior node b is restored on the path to e.
+  EXPECT_TRUE(g.in_graph[b]);
+  EXPECT_TRUE(g.graph.has_edge(a, b));
+  EXPECT_TRUE(g.graph.has_edge(b, e));
+}
+
+TEST(AttackGraph, FewerThanTwoRelevantNodesMakesEmptyGraph) {
+  const isa::Program p = assemble("mov rax, [0x1000]\nhlt\n");
+  cpu::Interpreter interp;
+  const auto run = interp.run(p);
+  const cfg::Cfg cfg = cfg::Cfg::build(p);
+  const auto stats = aggregate_by_block(cfg, run.profile);
+  const AttackGraph g = build_attack_graph(cfg, stats, {0});
+  EXPECT_EQ(g.node_count(), 1u);  // just the single relevant node
+  for (const auto& adj : g.graph.adj) EXPECT_TRUE(adj.empty());
+}
+
+// ---- CST measurement -----------------------------------------------------------------
+
+TEST(Cst, ScenarioStartsFullOfOtherData) {
+  const Cst cst = measure_cst({});
+  EXPECT_DOUBLE_EQ(cst.before.ao, 0.0);
+  EXPECT_DOUBLE_EQ(cst.before.io, 1.0);
+  EXPECT_EQ(cst.before, cst.after);  // no accesses, no change
+  EXPECT_DOUBLE_EQ(cst.change(), 0.0);
+}
+
+TEST(Cst, LoadsRaiseAoAndLowerIo) {
+  CstConfig config;  // 64 sets x 8 ways = 512 lines
+  std::vector<AccessRecord> accesses;
+  for (int i = 0; i < 64; ++i)
+    accesses.push_back({CacheOp::kLoad, static_cast<std::uint64_t>(i) * 64});
+  const Cst cst = measure_cst(accesses, config);
+  EXPECT_DOUBLE_EQ(cst.after.ao, 64.0 / 512.0);
+  EXPECT_DOUBLE_EQ(cst.after.io, 1.0 - 64.0 / 512.0);
+  EXPECT_NEAR(cst.change(), 64.0 / 512.0, 1e-12);
+}
+
+TEST(Cst, FlushOfAbsentLinesChangesNothing) {
+  std::vector<AccessRecord> accesses = {{CacheOp::kFlush, 0x1000},
+                                        {CacheOp::kFlush, 0x2000}};
+  const Cst cst = measure_cst(accesses);
+  EXPECT_DOUBLE_EQ(cst.change(), 0.0);
+}
+
+TEST(Cst, FlushAfterLoadRemovesOwnLine) {
+  std::vector<AccessRecord> accesses = {{CacheOp::kLoad, 0x1000},
+                                        {CacheOp::kFlush, 0x1000}};
+  const Cst cst = measure_cst(accesses);
+  EXPECT_DOUBLE_EQ(cst.after.ao, 0.0);
+  // One "other" line was evicted by the load and never comes back.
+  EXPECT_LT(cst.after.io, 1.0);
+}
+
+TEST(Cst, AoPlusIoNeverExceedsOne) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<AccessRecord> accesses;
+    for (int i = 0; i < 200; ++i) {
+      const auto op = static_cast<CacheOp>(rng.below(3));
+      accesses.push_back({op, rng.below(1 << 20) * 64});
+    }
+    const Cst cst = measure_cst(accesses);
+    EXPECT_LE(cst.after.ao + cst.after.io, 1.0 + 1e-12);
+    EXPECT_GE(cst.after.ao, 0.0);
+    EXPECT_GE(cst.after.io, 0.0);
+  }
+}
+
+// ---- Distances ------------------------------------------------------------------------
+
+TEST(Levenshtein, KnownValues) {
+  using V = std::vector<std::string>;
+  EXPECT_EQ(levenshtein(V{}, V{}), 0u);
+  EXPECT_EQ(levenshtein(V{"a"}, V{}), 1u);
+  EXPECT_EQ(levenshtein(V{"a", "b", "c"}, V{"a", "x", "c"}), 1u);
+  EXPECT_EQ(levenshtein(V{"a", "b"}, V{"b", "a"}), 2u);
+  EXPECT_EQ(levenshtein(V{"k", "i", "t", "t", "e", "n"},
+                        V{"s", "i", "t", "t", "i", "n", "g"}),
+            3u);
+}
+
+TEST(Levenshtein, SymmetricProperty) {
+  Rng rng(7);
+  const std::vector<std::string> alphabet = {"mov", "add", "cmp", "jl"};
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::string> a, b;
+    for (std::uint64_t i = 0; i < rng.below(10); ++i)
+      a.push_back(rng.pick(alphabet));
+    for (std::uint64_t i = 0; i < rng.below(10); ++i)
+      b.push_back(rng.pick(alphabet));
+    EXPECT_EQ(levenshtein(a, b), levenshtein(b, a));
+  }
+}
+
+TEST(WeightedLevenshtein, ZeroForIdentical) {
+  const std::vector<std::string> seq = {"flush", "load", "br"};
+  EXPECT_DOUBLE_EQ(weighted_levenshtein(seq, seq), 0.0);
+}
+
+TEST(WeightedLevenshtein, InsertionCostsTokenWeight) {
+  const std::vector<std::string> a = {"load"};
+  const std::vector<std::string> b = {"load", "time"};
+  EXPECT_DOUBLE_EQ(weighted_levenshtein(a, b),
+                   isa::semantic_token_weight("time"));
+}
+
+TEST(CstDistance, BoundsAndIdentity) {
+  CstBbsElement x;
+  x.norm_instrs = {"mov reg, mem", "add reg, imm"};
+  x.sem_tokens = {"load"};
+  x.cst.before = {0.0, 1.0};
+  x.cst.after = {0.1, 0.9};
+  EXPECT_DOUBLE_EQ(cst_distance(x, x), 0.0);
+
+  CstBbsElement y;
+  y.norm_instrs = {"clflush mem"};
+  y.sem_tokens = {"flush"};
+  y.cst.before = {0.0, 1.0};
+  y.cst.after = {0.5, 0.5};
+  const double d = cst_distance(x, y);
+  EXPECT_GT(d, 0.0);
+  EXPECT_LE(d, 1.0);
+  EXPECT_DOUBLE_EQ(d, cst_distance(y, x));
+}
+
+TEST(CstDistance, CspComponentMatchesPaperFormula) {
+  CstBbsElement a, b;
+  a.cst.before = {0.0, 1.0};
+  a.cst.after = {0.2, 0.8};  // P1 = (0.2 + 0.2) / 2 = 0.2
+  b.cst.before = {0.0, 1.0};
+  b.cst.after = {0.5, 0.5};  // P2 = 0.5
+  EXPECT_NEAR(csp_distance(a.cst, b.cst), 0.3, 1e-12);
+}
+
+// ---- DTW -------------------------------------------------------------------------------
+
+TEST(Dtw, IdenticalSequencesHaveZeroDistance) {
+  const auto cost = [](std::size_t i, std::size_t j) {
+    return i == j ? 0.0 : 1.0;
+  };
+  const DtwResult r = dtw(5, 5, cost);
+  EXPECT_DOUBLE_EQ(r.distance, 0.0);
+  EXPECT_EQ(r.path_length, 5u);
+}
+
+TEST(Dtw, WarpsRepeatedElements) {
+  // a = [0 1 2], b = [0 1 1 1 2]: perfect alignment despite stretching.
+  const std::vector<int> a = {0, 1, 2}, b = {0, 1, 1, 1, 2};
+  const DtwResult r = dtw(a.size(), b.size(), [&](std::size_t i, std::size_t j) {
+    return a[i] == b[j] ? 0.0 : 1.0;
+  });
+  EXPECT_DOUBLE_EQ(r.distance, 0.0);
+}
+
+TEST(Dtw, EmptySequenceConvention) {
+  const auto cost = [](std::size_t, std::size_t) { return 0.0; };
+  EXPECT_DOUBLE_EQ(dtw(0, 0, cost).distance, 0.0);
+  EXPECT_DOUBLE_EQ(dtw(0, 4, cost).distance, 4.0);
+  EXPECT_DOUBLE_EQ(dtw(3, 0, cost).distance, 3.0);
+}
+
+TEST(Dtw, WindowNeverBeatsUnconstrained) {
+  Rng rng(13);
+  std::vector<double> a, b;
+  for (int i = 0; i < 12; ++i) a.push_back(rng.uniform01());
+  for (int i = 0; i < 9; ++i) b.push_back(rng.uniform01());
+  const auto cost = [&](std::size_t i, std::size_t j) {
+    return std::abs(a[i] - b[j]);
+  };
+  DtwConfig unconstrained;
+  DtwConfig banded;
+  banded.window = 2;
+  EXPECT_LE(dtw(a.size(), b.size(), cost, unconstrained).distance,
+            dtw(a.size(), b.size(), cost, banded).distance + 1e-12);
+}
+
+TEST(Similarity, ScoreInUnitIntervalAndMonotone) {
+  CstBbsElement near_a, near_b, far;
+  near_a.sem_tokens = {"flush", "br"};
+  near_a.norm_instrs = {"clflush mem", "jl mem"};
+  near_b = near_a;
+  far.sem_tokens = {"store", "store", "store"};
+  far.norm_instrs = {"mov mem, reg", "mov mem, reg", "mov mem, reg"};
+  far.cst.after = {0.9, 0.1};
+  far.cst.before = {0.0, 1.0};
+
+  const CstBbs seq_a = {near_a, near_a};
+  const CstBbs seq_b = {near_b, near_b};
+  const CstBbs seq_far = {far, far, far, far};
+  const DtwConfig cal = calibrated_dtw_config();
+  const double same = similarity(seq_a, seq_b, cal);
+  const double diff = similarity(seq_a, seq_far, cal);
+  EXPECT_DOUBLE_EQ(same, 1.0);
+  EXPECT_GT(same, diff);
+  EXPECT_GT(diff, 0.0);
+  EXPECT_LE(diff, 1.0);
+}
+
+TEST(Similarity, PaperFormulaWhenGammaIsOne) {
+  CstBbsElement x;
+  x.sem_tokens = {"load"};
+  x.norm_instrs = {"mov reg, mem"};
+  CstBbs a = {x}, empty;
+  DtwConfig plain;  // gamma = 1, cost_scale = 1, accumulated
+  // D = 1 (one unmatched element) -> similarity = 1/(1+1).
+  EXPECT_DOUBLE_EQ(similarity(a, empty, plain), 0.5);
+}
+
+// ---- Detector ---------------------------------------------------------------------------
+
+TEST(Detector, EnrollRejectsBenign) {
+  Detector d;
+  const isa::Program p = assemble("nop\nhlt\n");
+  EXPECT_THROW(d.enroll(p, Family::kBenign), std::invalid_argument);
+}
+
+TEST(Detector, EmptyRepositoryScansBenign) {
+  Detector d;
+  const Detection det = d.scan(assemble("mov rax, [0x1000]\nhlt\n"));
+  EXPECT_FALSE(det.is_attack());
+  EXPECT_EQ(det.verdict, Family::kBenign);
+  EXPECT_TRUE(det.scores.empty());
+}
+
+TEST(Detector, SelfScanIsPerfectMatch) {
+  AttackModel m;
+  m.name = "synthetic";
+  m.family = Family::kFlushReload;
+  CstBbsElement e;
+  e.sem_tokens = {"flush", "br"};
+  e.norm_instrs = {"clflush mem", "jl mem"};
+  m.sequence = {e, e, e};
+
+  Detector d(ModelConfig{}, calibrated_dtw_config(), 0.45);
+  d.enroll(m);
+  const Detection det = d.scan(m.sequence);
+  EXPECT_TRUE(det.is_attack());
+  EXPECT_EQ(det.verdict, Family::kFlushReload);
+  EXPECT_DOUBLE_EQ(det.best_score, 1.0);
+}
+
+TEST(Detector, ThresholdGatesVerdict) {
+  AttackModel m;
+  m.family = Family::kPrimeProbe;
+  CstBbsElement e;
+  e.sem_tokens = {"load", "br"};
+  m.sequence = {e, e};
+
+  CstBbs target;  // empty: similarity will be tiny but nonzero
+  Detector strict(ModelConfig{}, calibrated_dtw_config(), 0.45);
+  strict.enroll(m);
+  EXPECT_FALSE(strict.scan(target).is_attack());
+
+  Detector lax(ModelConfig{}, calibrated_dtw_config(), 0.0);
+  lax.enroll(m);
+  EXPECT_TRUE(lax.scan(target).is_attack());
+}
+
+TEST(Detector, ScoresSortedDescending) {
+  Detector d(ModelConfig{}, calibrated_dtw_config(), 0.45);
+  CstBbsElement flushy, loady;
+  flushy.sem_tokens = {"flush", "time"};
+  loady.sem_tokens = {"load", "br"};
+  AttackModel m1{"fr", Family::kFlushReload, {flushy, flushy}};
+  AttackModel m2{"pp", Family::kPrimeProbe, {loady, loady}};
+  d.enroll(m1);
+  d.enroll(m2);
+  const Detection det = d.scan(CstBbs{flushy, flushy});
+  ASSERT_EQ(det.scores.size(), 2u);
+  EXPECT_GE(det.scores[0].score, det.scores[1].score);
+  EXPECT_EQ(det.scores[0].model_name, "fr");
+}
+
+}  // namespace
+}  // namespace scag::core

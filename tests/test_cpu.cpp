@@ -1,0 +1,551 @@
+// Tests for the CPU interpreter: architectural semantics, flags/branches,
+// timing visibility, HPC event attribution, branch prediction, transient
+// execution, sampling, and execution limits.
+#include <gtest/gtest.h>
+
+#include "cpu/interpreter.h"
+#include "cpu/predictor.h"
+#include "isa/assembler.h"
+#include "isa/builder.h"
+
+namespace scag::cpu {
+namespace {
+
+using isa::Opcode;
+using isa::Program;
+using isa::Reg;
+using isa::assemble;
+using trace::HpcEvent;
+
+RunResult run_asm(const std::string& src, ExecOptions opts = {}) {
+  Interpreter interp(opts);
+  return interp.run(assemble(src));
+}
+
+// ---- ALU and data movement ---------------------------------------------------
+
+struct AluCase {
+  std::string src;
+  Reg out_reg;
+  std::uint64_t expected;
+  std::string name;
+};
+
+class AluSemantics : public ::testing::TestWithParam<AluCase> {};
+
+TEST_P(AluSemantics, ComputesExpectedValue) {
+  const AluCase& c = GetParam();
+  const RunResult r = run_asm(c.src + "\nhlt\n");
+  EXPECT_EQ(r.regs[c.out_reg], c.expected) << c.src;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, AluSemantics,
+    ::testing::Values(
+        AluCase{"mov rax, 7", Reg::RAX, 7, "mov_imm"},
+        AluCase{"mov rax, 7\nmov rbx, rax", Reg::RBX, 7, "mov_reg"},
+        AluCase{"mov rax, 5\nadd rax, 3", Reg::RAX, 8, "add"},
+        AluCase{"mov rax, 5\nsub rax, 9", Reg::RAX,
+                static_cast<std::uint64_t>(-4), "sub_wraps"},
+        AluCase{"mov rax, 6\nimul rax, 7", Reg::RAX, 42, "imul"},
+        AluCase{"mov rax, 12\nxor rax, 10", Reg::RAX, 6, "xor"},
+        AluCase{"mov rax, 12\nand rax, 10", Reg::RAX, 8, "and"},
+        AluCase{"mov rax, 12\nor rax, 3", Reg::RAX, 15, "or"},
+        AluCase{"mov rax, 3\nshl rax, 4", Reg::RAX, 48, "shl"},
+        AluCase{"mov rax, 48\nshr rax, 4", Reg::RAX, 3, "shr"},
+        AluCase{"mov rax, 41\ninc rax", Reg::RAX, 42, "inc"},
+        AluCase{"mov rax, 43\ndec rax", Reg::RAX, 42, "dec"},
+        AluCase{"mov rax, 5\nneg rax", Reg::RAX,
+                static_cast<std::uint64_t>(-5), "neg"},
+        AluCase{"mov rax, 0\nnot rax", Reg::RAX, ~0ULL, "not"},
+        AluCase{"lea rax, [0x1234]", Reg::RAX, 0x1234, "lea_abs"},
+        AluCase{"mov rbx, 0x100\nlea rax, [rbx+rbx*2+4]", Reg::RAX, 0x304,
+                "lea_expr"}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(Machine, MemoryRoundTrip) {
+  const RunResult r = run_asm(R"(
+      mov rax, 123
+      mov [0x10000], rax
+      mov rbx, [0x10000]
+      add [0x10000], rbx
+      mov rcx, [0x10000]
+      hlt
+  )");
+  EXPECT_EQ(r.regs[Reg::RBX], 123u);
+  EXPECT_EQ(r.regs[Reg::RCX], 246u);
+  EXPECT_EQ(r.memory.read(0x10000), 246u);
+}
+
+TEST(Machine, InitialDataVisible) {
+  const RunResult r = run_asm(R"(
+      .word 0x9000 77
+      mov rax, [0x9000]
+      hlt
+  )");
+  EXPECT_EQ(r.regs[Reg::RAX], 77u);
+}
+
+TEST(Machine, PushPopAndPushRsp) {
+  const RunResult r = run_asm(R"(
+      mov rax, 11
+      push rax
+      mov rax, 22
+      pop rbx
+      push rsp
+      pop rsp
+      hlt
+  )");
+  EXPECT_EQ(r.regs[Reg::RBX], 11u);
+  // push rsp / pop rsp must be a net no-op (pre-decrement value pushed).
+  ExecOptions defaults;
+  EXPECT_EQ(r.regs[Reg::RSP], defaults.stack_base);
+}
+
+TEST(Machine, CallRetNesting) {
+  const RunResult r = run_asm(R"(
+      .entry main
+      helper2:
+        mov rcx, 3
+        ret
+      helper1:
+        call helper2
+        add rcx, 10
+        ret
+      main:
+        call helper1
+        add rcx, 100
+        hlt
+  )");
+  EXPECT_EQ(r.regs[Reg::RCX], 113u);
+  EXPECT_EQ(r.profile.exit, trace::ExitReason::kHalted);
+}
+
+TEST(Machine, RetFromMainHaltsCleanly) {
+  const RunResult r = run_asm("mov rax, 1\nret\n");
+  EXPECT_EQ(r.profile.exit, trace::ExitReason::kHalted);
+}
+
+// ---- Conditional branches ------------------------------------------------------
+
+struct BranchCase {
+  std::string cmp;     // sets flags
+  std::string branch;  // conditional jump mnemonic
+  bool taken;
+  std::string name;
+};
+
+class BranchSemantics : public ::testing::TestWithParam<BranchCase> {};
+
+TEST_P(BranchSemantics, TakesOrFallsThrough) {
+  const BranchCase& c = GetParam();
+  // rax = 1 if branch taken else 2.
+  const std::string src = c.cmp + "\n" + c.branch + " taken\n" +
+                          "mov rax, 2\nhlt\ntaken:\nmov rax, 1\nhlt\n";
+  const RunResult r = run_asm(src);
+  EXPECT_EQ(r.regs[Reg::RAX], c.taken ? 1u : 2u) << src;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Conditions, BranchSemantics,
+    ::testing::Values(
+        BranchCase{"mov rbx, 5\ncmp rbx, 5", "je", true, "je_eq"},
+        BranchCase{"mov rbx, 5\ncmp rbx, 6", "je", false, "je_ne"},
+        BranchCase{"mov rbx, 5\ncmp rbx, 6", "jne", true, "jne"},
+        BranchCase{"mov rbx, -1\ncmp rbx, 0", "jl", true, "jl_signed"},
+        BranchCase{"mov rbx, -1\ncmp rbx, 0", "jb", false, "jb_unsigned"},
+        BranchCase{"mov rbx, 1\ncmp rbx, 2", "jb", true, "jb_below"},
+        BranchCase{"mov rbx, 3\ncmp rbx, 2", "ja", true, "ja_above"},
+        BranchCase{"mov rbx, 2\ncmp rbx, 2", "jae", true, "jae_equal"},
+        BranchCase{"mov rbx, 2\ncmp rbx, 2", "jbe", true, "jbe_equal"},
+        BranchCase{"mov rbx, 2\ncmp rbx, 2", "jge", true, "jge_equal"},
+        BranchCase{"mov rbx, 2\ncmp rbx, 2", "jle", true, "jle_equal"},
+        BranchCase{"mov rbx, 3\ncmp rbx, 2", "jg", true, "jg"},
+        BranchCase{"mov rbx, 0\ntest rbx, rbx", "je", true, "test_zero"},
+        BranchCase{"mov rbx, -1\ntest rbx, rbx", "jl", true, "test_sign"}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(Branches, DecJneLoopRunsExactly) {
+  const RunResult r = run_asm(R"(
+      mov rcx, 10
+      mov rax, 0
+      loop:
+      inc rax
+      dec rcx
+      jne loop
+      hlt
+  )");
+  EXPECT_EQ(r.regs[Reg::RAX], 10u);
+}
+
+// ---- Timing ---------------------------------------------------------------------
+
+TEST(Timing, RdtscpIsMonotonic) {
+  const RunResult r = run_asm(R"(
+      rdtscp r8
+      nop
+      rdtscp r9
+      hlt
+  )");
+  EXPECT_GT(r.regs[Reg::R9], r.regs[Reg::R8]);
+}
+
+TEST(Timing, CachedReloadIsMeasurablyFaster) {
+  // The core primitive of every timing attack in this repo.
+  const RunResult r = run_asm(R"(
+      mov rax, [0x20000]   ; cold: DRAM
+      rdtscp r8
+      mov rax, [0x20000]   ; hot: L1
+      rdtscp r9
+      sub r9, r8
+      clflush [0x20000]
+      rdtscp r10
+      mov rax, [0x20000]   ; flushed: DRAM again
+      rdtscp r11
+      sub r11, r10
+      hlt
+  )");
+  const std::uint64_t hot = r.regs[Reg::R9];
+  const std::uint64_t cold = r.regs[Reg::R11];
+  EXPECT_LT(hot, 60u);
+  EXPECT_GT(cold, 150u);
+}
+
+TEST(Timing, FlushLatencyRevealsPresence) {
+  // The Flush+Flush primitive.
+  const RunResult r = run_asm(R"(
+      mov rax, [0x30000]
+      rdtscp r8
+      clflush [0x30000]    ; present: slow
+      rdtscp r9
+      sub r9, r8
+      rdtscp r10
+      clflush [0x30000]    ; absent: fast
+      rdtscp r11
+      sub r11, r10
+      hlt
+  )");
+  EXPECT_GT(r.regs[Reg::R9], r.regs[Reg::R11]);
+}
+
+// ---- HPC events ---------------------------------------------------------------
+
+TEST(Hpc, LoadEventsAttributedToInstruction) {
+  const Program p = assemble(R"(
+      mov rax, [0x40000]
+      mov rbx, [0x40000]
+      hlt
+  )");
+  Interpreter interp;
+  const RunResult r = interp.run(p);
+  EXPECT_EQ(r.profile.per_instr[0][HpcEvent::kL1dLoadMiss], 1u);
+  EXPECT_EQ(r.profile.per_instr[0][HpcEvent::kLlcLoadMiss], 1u);
+  // Two cache-miss events: the cold instruction fetch and the data load.
+  EXPECT_EQ(r.profile.per_instr[0][HpcEvent::kCacheMiss], 2u);
+  EXPECT_EQ(r.profile.per_instr[0][HpcEvent::kL1iLoadMiss], 1u);
+  EXPECT_EQ(r.profile.per_instr[1][HpcEvent::kL1dLoadHit], 1u);
+  EXPECT_EQ(r.profile.per_instr[1][HpcEvent::kL1dLoadMiss], 0u);
+}
+
+TEST(Hpc, StoreEvents) {
+  const Program p = assemble(R"(
+      mov [0x50000], rax
+      mov [0x50000], rbx
+      hlt
+  )");
+  Interpreter interp;
+  const RunResult r = interp.run(p);
+  EXPECT_EQ(r.profile.per_instr[0][HpcEvent::kLlcStoreMiss], 1u);
+  EXPECT_EQ(r.profile.per_instr[1][HpcEvent::kL1dStoreHit], 1u);
+}
+
+TEST(Hpc, FlushOfPresentLineCountsCacheMiss) {
+  const Program p = assemble(R"(
+      mov rax, [0x60000]
+      clflush [0x60000]
+      clflush [0x60000]
+      hlt
+  )");
+  Interpreter interp;
+  const RunResult r = interp.run(p);
+  EXPECT_EQ(r.profile.per_instr[1][HpcEvent::kCacheMiss], 1u);
+  EXPECT_EQ(r.profile.per_instr[2][HpcEvent::kCacheMiss], 0u);
+}
+
+TEST(Hpc, LineAddressesRecorded) {
+  const Program p = assemble(R"(
+      mov rax, [0x70008]
+      clflush [0x70040]
+      hlt
+  )");
+  Interpreter interp;
+  const RunResult r = interp.run(p);
+  EXPECT_TRUE(r.profile.line_addrs[0].count(0x70000));  // line-aligned
+  EXPECT_TRUE(r.profile.line_addrs[1].count(0x70040));  // flushed addr too
+}
+
+TEST(Hpc, BranchEventsOnColdAndMispredicted) {
+  const Program p = assemble(R"(
+      mov rcx, 8
+      loop:
+      dec rcx
+      jne loop
+      hlt
+  )");
+  Interpreter interp;
+  const RunResult r = interp.run(p);
+  const std::size_t jne_idx = 2;
+  EXPECT_EQ(r.profile.per_instr[jne_idx][HpcEvent::kBranchLoadMiss], 1u);
+  // Cold predictor says not-taken; the branch is taken 7 times then falls
+  // through: at least the first and last resolutions mispredict.
+  EXPECT_GE(r.profile.per_instr[jne_idx][HpcEvent::kBranchMiss], 2u);
+  EXPECT_LE(r.profile.per_instr[jne_idx][HpcEvent::kBranchMiss], 4u);
+}
+
+TEST(Hpc, FirstCycleTimestampsAreOrdered) {
+  const Program p = assemble("nop\nnop\nnop\nhlt\n");
+  Interpreter interp;
+  const RunResult r = interp.run(p);
+  EXPECT_GT(r.profile.first_cycle[0], 0u);
+  EXPECT_LT(r.profile.first_cycle[0], r.profile.first_cycle[1]);
+  EXPECT_LT(r.profile.first_cycle[1], r.profile.first_cycle[2]);
+}
+
+TEST(Hpc, TotalsMatchPerInstrSums) {
+  const Program p = assemble(R"(
+      mov rcx, 50
+      loop:
+      mov rax, [0x80000]
+      mov [0x80040], rax
+      dec rcx
+      jne loop
+      hlt
+  )");
+  Interpreter interp;
+  const RunResult r = interp.run(p);
+  trace::HpcCounters sum;
+  for (const auto& c : r.profile.per_instr) sum += c;
+  EXPECT_EQ(sum, r.profile.totals);
+}
+
+// ---- Speculation ---------------------------------------------------------------
+
+TEST(Speculation, TransientLoadLeavesCacheFootprint) {
+  // Train a bounds check, then trigger it out of bounds; the wrong-path
+  // load must cache the probe line even though it never retires.
+  const std::string gadget = R"(
+      .entry main
+      .word 0x91000 8
+      gadget:
+        cmp rdi, [0x91000]
+        jae out
+        mov rax, [0x90000]
+      out:
+        ret
+      main:
+        mov rcx, 6
+        train:
+        mov rdi, 0
+        call gadget
+        dec rcx
+        jne train
+        clflush [0x90000]
+        mfence
+        mov rdi, 100       ; out of bounds
+        call gadget
+        lfence
+        rdtscp r8
+        mov rax, [0x90000]
+        rdtscp r9
+        sub r9, r8
+        hlt
+  )";
+  ExecOptions with_spec;
+  const RunResult leak = Interpreter(with_spec).run(assemble(gadget));
+  EXPECT_LT(leak.regs[Reg::R9], 100u) << "transient load did not cache line";
+
+  ExecOptions no_spec;
+  no_spec.speculation = false;
+  const RunResult safe = Interpreter(no_spec).run(assemble(gadget));
+  EXPECT_GT(safe.regs[Reg::R9], 100u) << "line cached without speculation";
+}
+
+TEST(Speculation, TransientStoresNeverCommit) {
+  const std::string src = R"(
+      .entry main
+      main:
+        mov rcx, 6
+        train:
+        mov rdi, 0
+        cmp rdi, 1
+        jae skip
+        nop
+      skip:
+        dec rcx
+        jne train
+        mov rdi, 5        ; now the jae is taken but predicted not-taken
+        cmp rdi, 1
+        jae done
+        mov [0x95000], rdi   ; wrong path: must not commit
+      done:
+        mov rax, [0x95000]
+        hlt
+  )";
+  const RunResult r = Interpreter().run(assemble(src));
+  EXPECT_EQ(r.regs[Reg::RAX], 0u) << "transient store leaked to memory";
+  EXPECT_EQ(r.memory.read(0x95000), 0u);
+}
+
+TEST(Speculation, ArchitecturalStateUnchangedBySquash) {
+  const std::string src = R"(
+      .entry main
+      main:
+        mov rcx, 6
+        mov rbx, 42
+        train:
+        mov rdi, 0
+        cmp rdi, 1
+        jae skip
+        nop
+      skip:
+        dec rcx
+        jne train
+        mov rdi, 5
+        cmp rdi, 1
+        jae done
+        mov rbx, 999      ; wrong path
+      done:
+        hlt
+  )";
+  const RunResult r = Interpreter().run(assemble(src));
+  EXPECT_EQ(r.regs[Reg::RBX], 42u);
+}
+
+// ---- Sampling & limits -----------------------------------------------------------
+
+TEST(Sampling, PeriodicSnapshotsAreMonotone) {
+  ExecOptions opts;
+  opts.sample_interval = 100;
+  const RunResult r = run_asm(R"(
+      mov rcx, 200
+      loop:
+      mov rax, [0xA0000]
+      dec rcx
+      jne loop
+      hlt
+  )", opts);
+  ASSERT_GT(r.profile.samples.size(), 2u);
+  for (std::size_t i = 1; i < r.profile.samples.size(); ++i) {
+    EXPECT_GE(r.profile.samples[i][HpcEvent::kL1dLoadHit],
+              r.profile.samples[i - 1][HpcEvent::kL1dLoadHit]);
+  }
+}
+
+TEST(Sampling, NoiseIsDeterministicPerSeed) {
+  ExecOptions opts;
+  opts.sample_interval = 50;
+  opts.sample_noise = 0.2;
+  opts.noise_seed = 77;
+  const std::string src = R"(
+      mov rcx, 100
+      loop:
+      mov rax, [0xB0000]
+      dec rcx
+      jne loop
+      hlt
+  )";
+  const RunResult a = Interpreter(opts).run(assemble(src));
+  const RunResult b = Interpreter(opts).run(assemble(src));
+  ASSERT_EQ(a.profile.samples.size(), b.profile.samples.size());
+  for (std::size_t i = 0; i < a.profile.samples.size(); ++i)
+    EXPECT_EQ(a.profile.samples[i], b.profile.samples[i]);
+}
+
+TEST(Limits, InstructionBudgetStopsRunaway) {
+  ExecOptions opts;
+  opts.max_retired = 1000;
+  const RunResult r = run_asm("loop:\njmp loop\n", opts);
+  EXPECT_EQ(r.profile.exit, trace::ExitReason::kInstrLimit);
+  EXPECT_EQ(r.profile.retired, 1000u);
+}
+
+TEST(Limits, JumpOutsideProgramReported) {
+  // ret to a garbage address left on the stack.
+  const RunResult r = run_asm(R"(
+      mov rax, 0x12345678
+      push rax
+      ret
+  )");
+  EXPECT_EQ(r.profile.exit, trace::ExitReason::kBadInstruction);
+}
+
+TEST(OwnerAttribution, VictimRangesTagCacheLines) {
+  // Code inside victim_ranges owns the lines it touches; everything else
+  // is the attacker. Observable through the hierarchy's owner occupancy.
+  const Program p = assemble(R"(
+      .entry main
+      victim_fn:
+        mov rax, [0x70000]
+        ret
+      main:
+        mov rbx, [0x80000]
+        call victim_fn
+        hlt
+  )");
+  ExecOptions opts;
+  opts.victim_ranges.push_back(
+      {p.label("victim_fn"), p.label("main")});
+  Interpreter interp(opts);
+  interp.run(p);
+  const auto& llc = interp.hierarchy().llc();
+  EXPECT_GT(llc.occupancy(cache::Owner::kVictim), 0.0);
+  EXPECT_GT(llc.occupancy(cache::Owner::kAttacker), 0.0);
+}
+
+TEST(OwnerAttribution, OccupancySamplesRecorded) {
+  ExecOptions opts;
+  opts.sample_interval = 100;
+  const RunResult r = Interpreter(opts).run(assemble(R"(
+      mov rcx, 64
+      loop:
+      mov rax, [rcx*8+0x90000]
+      dec rcx
+      jne loop
+      hlt
+  )"));
+  ASSERT_FALSE(r.profile.occupancy_samples.empty());
+  // AO grows as the loop streams lines in, and AO + IO <= 1 throughout.
+  const auto& first = r.profile.occupancy_samples.front();
+  const auto& last = r.profile.occupancy_samples.back();
+  EXPECT_GE(last.first, first.first);
+  for (const auto& [ao, io] : r.profile.occupancy_samples) {
+    EXPECT_GE(ao, 0.0);
+    EXPECT_LE(ao + io, 1.0 + 1e-12);
+  }
+}
+
+// ---- Branch predictor unit tests ----------------------------------------------
+
+TEST(Predictor, WarmsUpTowardTaken) {
+  BranchPredictor p;
+  EXPECT_TRUE(p.predict(0x100).btb_cold);
+  EXPECT_FALSE(p.predict(0x100).btb_cold);
+  EXPECT_FALSE(p.predict(0x100).taken);  // static not-taken
+  p.update(0x100, true);
+  p.update(0x100, true);
+  EXPECT_TRUE(p.predict(0x100).taken);
+  p.update(0x100, false);
+  p.update(0x100, false);
+  EXPECT_FALSE(p.predict(0x100).taken);
+}
+
+TEST(Predictor, BranchesAreIndependent) {
+  BranchPredictor p;
+  p.update(0x100, true);
+  p.update(0x100, true);
+  EXPECT_TRUE(p.predict(0x100).taken);
+  EXPECT_FALSE(p.predict(0x200).taken);
+}
+
+}  // namespace
+}  // namespace scag::cpu

@@ -1,0 +1,197 @@
+// Tests for dominator analysis and natural-loop discovery.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cfg/dominators.h"
+#include "isa/assembler.h"
+
+namespace scag::cfg {
+namespace {
+
+using isa::assemble;
+using isa::Program;
+
+// Cfg keeps a pointer to its Program, so both live behind stable storage.
+struct Built {
+  std::unique_ptr<Program> program;
+  std::unique_ptr<Cfg> cfg;
+  static Built from(const char* src) {
+    Built b;
+    b.program = std::make_unique<Program>(assemble(src));
+    b.cfg = std::make_unique<Cfg>(Cfg::build(*b.program));
+    return b;
+  }
+};
+
+TEST(Dominators, StraightLineChain) {
+  // One block only: entry dominates itself.
+  const auto built = Built::from("nop\nnop\nhlt\n");
+  const DominatorTree dom(*built.cfg);
+  const BlockId entry = built.cfg->entry_block();
+  EXPECT_EQ(dom.idom(entry), entry);
+  EXPECT_TRUE(dom.dominates(entry, entry));
+}
+
+TEST(Dominators, DiamondJoinsAtEntry) {
+  const auto built = Built::from(R"(
+      entry:
+        cmp rax, 0
+        je right
+      left:
+        nop
+        jmp join
+      right:
+        nop
+      join:
+        hlt
+  )");
+  const DominatorTree dom(*built.cfg);
+  const Program& p = *built.program;
+  const BlockId entry = built.cfg->block_at_address(p.label("entry"));
+  const BlockId left = built.cfg->block_at_address(p.label("left"));
+  const BlockId right = built.cfg->block_at_address(p.label("right"));
+  const BlockId join = built.cfg->block_at_address(p.label("join"));
+
+  EXPECT_EQ(dom.idom(left), entry);
+  EXPECT_EQ(dom.idom(right), entry);
+  // Neither branch dominates the join; its idom is the entry.
+  EXPECT_EQ(dom.idom(join), entry);
+  EXPECT_TRUE(dom.dominates(entry, join));
+  EXPECT_FALSE(dom.dominates(left, join));
+  EXPECT_FALSE(dom.dominates(right, join));
+  EXPECT_FALSE(dom.dominates(left, right));
+}
+
+TEST(Dominators, NestedStructure) {
+  const auto built = Built::from(R"(
+      a:
+        cmp rax, 0
+        je d
+      b:
+        nop
+      c:
+        cmp rbx, 0
+        je c2
+      c1:
+        nop
+      c2:
+        nop
+      d:
+        hlt
+  )");
+  const DominatorTree dom(*built.cfg);
+  const Program& p = *built.program;
+  const BlockId a = built.cfg->block_at_address(p.label("a"));
+  const BlockId b = built.cfg->block_at_address(p.label("b"));
+  const BlockId c1 = built.cfg->block_at_address(p.label("c1"));
+  const BlockId c2 = built.cfg->block_at_address(p.label("c2"));
+  const BlockId d = built.cfg->block_at_address(p.label("d"));
+  EXPECT_TRUE(dom.dominates(a, c1));
+  EXPECT_TRUE(dom.dominates(b, c1));
+  EXPECT_TRUE(dom.dominates(b, c2));
+  EXPECT_FALSE(dom.dominates(c1, c2));
+  EXPECT_FALSE(dom.dominates(b, d));  // d reachable from a directly
+}
+
+TEST(Dominators, UnreachableBlocksReported) {
+  const auto built = Built::from(R"(
+      .entry main
+      dead:
+        nop
+        hlt
+      main:
+        hlt
+  )");
+  const DominatorTree dom(*built.cfg);
+  const BlockId dead =
+      built.cfg->block_at_address(built.program->label("dead"));
+  EXPECT_FALSE(dom.reachable(dead));
+  EXPECT_TRUE(dom.reachable(built.cfg->entry_block()));
+  EXPECT_FALSE(dom.dominates(built.cfg->entry_block(), dead));
+}
+
+TEST(Loops, SimpleCountedLoop) {
+  const auto built = Built::from(R"(
+      mov rcx, 4
+      loop:
+      dec rcx
+      jne loop
+      hlt
+  )");
+  const DominatorTree dom(*built.cfg);
+  const auto loops = find_natural_loops(*built.cfg, dom);
+  ASSERT_EQ(loops.size(), 1u);
+  const BlockId header =
+      built.cfg->block_at_address(built.program->label("loop"));
+  EXPECT_EQ(loops[0].header, header);
+  EXPECT_EQ(loops[0].latch, header);  // self-loop block
+  EXPECT_TRUE(loops[0].contains(header));
+}
+
+TEST(Loops, NestedLoopsDiscovered) {
+  const auto built = Built::from(R"(
+      mov rcx, 3
+      outer:
+      mov rdx, 3
+      inner:
+      dec rdx
+      jne inner
+      dec rcx
+      jne outer
+      hlt
+  )");
+  const DominatorTree dom(*built.cfg);
+  const auto loops = find_natural_loops(*built.cfg, dom);
+  ASSERT_EQ(loops.size(), 2u);
+  const BlockId outer =
+      built.cfg->block_at_address(built.program->label("outer"));
+  const BlockId inner =
+      built.cfg->block_at_address(built.program->label("inner"));
+  // Identify which is which by header.
+  const NaturalLoop& inner_loop =
+      loops[0].header == inner ? loops[0] : loops[1];
+  const NaturalLoop& outer_loop =
+      loops[0].header == outer ? loops[0] : loops[1];
+  EXPECT_EQ(inner_loop.header, inner);
+  EXPECT_EQ(outer_loop.header, outer);
+  // The inner loop body is strictly contained in the outer loop body.
+  for (BlockId b : inner_loop.body) EXPECT_TRUE(outer_loop.contains(b));
+  EXPECT_GT(outer_loop.body.size(), inner_loop.body.size());
+}
+
+TEST(Loops, AcyclicCfgHasNone) {
+  const auto built = Built::from(R"(
+      cmp rax, 0
+      je x
+      nop
+      x:
+      hlt
+  )");
+  const DominatorTree dom(*built.cfg);
+  EXPECT_TRUE(find_natural_loops(*built.cfg, dom).empty());
+}
+
+TEST(Loops, AttackPocLoopsFound) {
+  // Smoke: the FR PoC has its flush/reload/round loops discovered.
+  const auto poc = isa::assemble(R"(
+      mov rcx, 3
+      round:
+      mov rdi, 0
+      flush:
+      clflush [rdi]
+      inc rdi
+      cmp rdi, 16
+      jl flush
+      dec rcx
+      jne round
+      hlt
+  )");
+  const Cfg cfg = Cfg::build(poc);
+  const DominatorTree dom(cfg);
+  const auto loops = find_natural_loops(cfg, dom);
+  EXPECT_EQ(loops.size(), 2u);
+}
+
+}  // namespace
+}  // namespace scag::cfg

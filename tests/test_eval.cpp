@@ -1,0 +1,277 @@
+// Tests for the evaluation harness: metrics, dataset generation, task
+// construction, and the experiment runners at reduced scale.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "eval/dataset.h"
+#include "eval/experiments.h"
+#include "eval/metrics.h"
+
+namespace scag::eval {
+namespace {
+
+using core::Family;
+
+// ---- Metrics ------------------------------------------------------------------
+
+TEST(Metrics, PerfectPredictions) {
+  ConfusionMatrix cm;
+  cm.add(Family::kFlushReload, Family::kFlushReload);
+  cm.add(Family::kBenign, Family::kBenign);
+  const Prf p = cm.prf(Family::kFlushReload);
+  EXPECT_DOUBLE_EQ(p.precision, 1.0);
+  EXPECT_DOUBLE_EQ(p.recall, 1.0);
+  EXPECT_DOUBLE_EQ(p.f1, 1.0);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+}
+
+TEST(Metrics, FalsePositiveLowersPrecisionOnly) {
+  ConfusionMatrix cm;
+  cm.add(Family::kFlushReload, Family::kFlushReload);
+  cm.add(Family::kBenign, Family::kFlushReload);  // benign flagged FR
+  const Prf p = cm.prf(Family::kFlushReload);
+  EXPECT_DOUBLE_EQ(p.precision, 0.5);
+  EXPECT_DOUBLE_EQ(p.recall, 1.0);
+}
+
+TEST(Metrics, FalseNegativeLowersRecallOnly) {
+  ConfusionMatrix cm;
+  cm.add(Family::kFlushReload, Family::kFlushReload);
+  cm.add(Family::kFlushReload, Family::kBenign);  // missed attack
+  const Prf p = cm.prf(Family::kFlushReload);
+  EXPECT_DOUBLE_EQ(p.precision, 1.0);
+  EXPECT_DOUBLE_EQ(p.recall, 0.5);
+}
+
+TEST(Metrics, MacroAveragesOverRequestedClasses) {
+  ConfusionMatrix cm;
+  cm.add(Family::kFlushReload, Family::kFlushReload);   // FR perfect
+  cm.add(Family::kPrimeProbe, Family::kBenign);         // PP missed
+  const Prf macro = cm.macro({Family::kFlushReload, Family::kPrimeProbe});
+  EXPECT_DOUBLE_EQ(macro.precision, 0.5);
+  EXPECT_DOUBLE_EQ(macro.recall, 0.5);
+}
+
+TEST(Metrics, EmptyClassListGivesZeros) {
+  ConfusionMatrix cm;
+  cm.add(Family::kBenign, Family::kBenign);
+  const Prf macro = cm.macro({});
+  EXPECT_DOUBLE_EQ(macro.precision, 0.0);
+}
+
+TEST(Metrics, ZeroDenominatorsAreZeroNotNan) {
+  ConfusionMatrix cm;  // empty
+  const Prf p = cm.prf(Family::kFlushReload);
+  EXPECT_DOUBLE_EQ(p.precision, 0.0);
+  EXPECT_DOUBLE_EQ(p.recall, 0.0);
+  EXPECT_DOUBLE_EQ(p.f1, 0.0);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+}
+
+// ---- Dataset ------------------------------------------------------------------
+
+DatasetConfig tiny_config() {
+  DatasetConfig c;
+  c.samples_per_type = 8;
+  c.obfuscated_per_family = 4;
+  return c;
+}
+
+TEST(Dataset, CountsMatchConfig) {
+  const Dataset ds = generate_dataset(tiny_config());
+  EXPECT_EQ(ds.attacks.size(), 4u * 8u);
+  EXPECT_EQ(ds.obfuscated.size(), 2u * 4u);
+  EXPECT_EQ(ds.benign.size(), 8u);
+}
+
+TEST(Dataset, EveryAttackSampleHasProfileAndFamily) {
+  const Dataset ds = generate_dataset(tiny_config());
+  std::set<Family> families;
+  for (const Sample& s : ds.attacks) {
+    families.insert(s.family);
+    EXPECT_FALSE(s.obfuscated);
+    EXPECT_EQ(s.profile.exit, trace::ExitReason::kHalted) << s.name;
+    EXPECT_EQ(s.profile.per_instr.size(), s.program.size());
+    EXPECT_GT(s.profile.samples.size(), 0u) << "sampling not enabled";
+  }
+  EXPECT_EQ(families.size(), 4u);
+}
+
+TEST(Dataset, ObfuscatedSamplesMarkedAndGrown) {
+  const Dataset ds = generate_dataset(tiny_config());
+  for (const Sample& s : ds.obfuscated) {
+    EXPECT_TRUE(s.obfuscated);
+    EXPECT_TRUE(s.family == Family::kFlushReload ||
+                s.family == Family::kPrimeProbe);
+  }
+}
+
+TEST(Dataset, DeterministicForSeed) {
+  const Dataset a = generate_dataset(tiny_config());
+  const Dataset b = generate_dataset(tiny_config());
+  ASSERT_EQ(a.attacks.size(), b.attacks.size());
+  for (std::size_t i = 0; i < a.attacks.size(); ++i) {
+    EXPECT_EQ(a.attacks[i].name, b.attacks[i].name);
+    EXPECT_EQ(a.attacks[i].program.size(), b.attacks[i].program.size());
+    EXPECT_EQ(a.attacks[i].profile.cycles, b.attacks[i].profile.cycles);
+  }
+}
+
+TEST(Dataset, DifferentSeedsDiffer) {
+  DatasetConfig c1 = tiny_config(), c2 = tiny_config();
+  c2.seed = 999;
+  const Dataset a = generate_dataset(c1);
+  const Dataset b = generate_dataset(c2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.attacks.size() && !any_diff; ++i)
+    any_diff = a.attacks[i].program.size() != b.attacks[i].program.size() ||
+               a.attacks[i].profile.cycles != b.attacks[i].profile.cycles;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Dataset, OfFamilyFilters) {
+  const Dataset ds = generate_dataset(tiny_config());
+  EXPECT_EQ(ds.of_family(Family::kFlushReload).size(), 8u);
+  EXPECT_EQ(ds.of_family(Family::kFlushReload, true).size(), 12u);
+  EXPECT_EQ(ds.of_family(Family::kBenign).size(), 8u);
+}
+
+// ---- Experiment runners at small scale ---------------------------------------
+
+class ExperimentsAtSmallScale : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetConfig c;
+    c.samples_per_type = 20;
+    c.obfuscated_per_family = 10;
+    dataset_ = new Dataset(generate_dataset(c));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static const Dataset& dataset() { return *dataset_; }
+
+ private:
+  static const Dataset* dataset_;
+};
+
+const Dataset* ExperimentsAtSmallScale::dataset_ = nullptr;
+
+TEST_F(ExperimentsAtSmallScale, BbIdentificationAboveNinetyPercentForFr) {
+  const auto rows = run_bb_identification(dataset(), 10);
+  ASSERT_EQ(rows.size(), 4u);
+  for (const auto& row : rows) {
+    EXPECT_GT(row.bb, row.iab) << row.family;
+    EXPECT_GE(row.iab, row.itab) << row.family;
+    EXPECT_GE(row.tab, row.itab) << row.family;
+    EXPECT_GT(row.accuracy(), 0.6) << row.family;
+  }
+  EXPECT_GT(rows[0].accuracy(), 0.9);  // FR-F
+}
+
+TEST_F(ExperimentsAtSmallScale, ScenarioOrderingMatchesPaper) {
+  const auto rows = run_scenarios();
+  ASSERT_EQ(rows.size(), 5u);
+  // All attacker-only scenarios score far above the benign one, and the
+  // same-family comparisons (S1, S2) dominate the cross-vulnerability ones
+  // (S3, S4). The paper additionally has S3 > S4; in our reproduction the
+  // Spectre-FR PoC embeds FR's literal recovery loops, so S4 can edge past
+  // S3 (see EXPERIMENTS.md).
+  EXPECT_GT(rows[0].score, 0.66);                    // S1
+  EXPECT_GT(rows[1].score, 0.66);                    // S2
+  EXPECT_GT(rows[2].score, 0.66);                    // S3
+  EXPECT_GT(rows[3].score, 0.60);                    // S4
+  EXPECT_LT(rows[4].score, 0.16);                    // S5 (paper: 15.10%)
+  EXPECT_GT(rows[0].score, rows[2].score);           // S1 > S3
+  EXPECT_GT(rows[1].score, rows[3].score);           // S2 > S4
+  EXPECT_GT(rows[3].score, rows[4].score);           // S4 >> S5
+}
+
+TEST_F(ExperimentsAtSmallScale, ScaguardWinsTableSixHeadline) {
+  const Table6 t = run_classification(dataset());
+  const auto& sg = t.results.at(Approach::kScaguard);
+  // >90% precision on every "new variant" task (the paper's headline).
+  EXPECT_GT(sg.at(Task::kE1).precision, 0.90);
+  EXPECT_GT(sg.at(Task::kE2).precision, 0.90);
+  EXPECT_GT(sg.at(Task::kE3_1).precision, 0.90);
+  EXPECT_GT(sg.at(Task::kE3_2).precision, 0.90);
+  EXPECT_GT(sg.at(Task::kE4).precision, 0.70);
+  // SCADET fails on cross-family variants (Table VI: zeros).
+  const auto& sc = t.results.at(Approach::kScadet);
+  EXPECT_DOUBLE_EQ(sc.at(Task::kE3_1).recall, 0.0);
+  EXPECT_DOUBLE_EQ(sc.at(Task::kE3_2).recall, 0.0);
+  // SCAGuard beats SCADET everywhere.
+  for (Task task : {Task::kE1, Task::kE2, Task::kE3_1, Task::kE3_2,
+                    Task::kE4}) {
+    EXPECT_GT(sg.at(task).f1, sc.at(task).f1);
+  }
+}
+
+TEST_F(ExperimentsAtSmallScale, ThresholdSweepHasPaperPlateau) {
+  const auto points =
+      run_threshold_sweep(dataset(), {0.05, 0.30, 0.45, 0.60, 0.95});
+  ASSERT_EQ(points.size(), 5u);
+  // Thresholds in the 30%-60% band keep precision/recall high (Fig. 5).
+  for (std::size_t i = 1; i <= 3; ++i) {
+    EXPECT_GT(points[i].prf.precision, 0.85) << points[i].threshold;
+    EXPECT_GT(points[i].prf.recall, 0.85) << points[i].threshold;
+  }
+  // An extreme threshold kills recall.
+  EXPECT_LT(points[4].prf.recall, points[2].prf.recall);
+  // A lax threshold cannot beat the plateau's precision.
+  EXPECT_LE(points[0].prf.precision, points[2].prf.precision + 1e-9);
+}
+
+TEST_F(ExperimentsAtSmallScale, ScaguardHelperClassifiesKnownPoc) {
+  const core::Detector d = make_scaguard({Family::kFlushReload});
+  const Sample& fr = *dataset().of_family(Family::kFlushReload).front();
+  EXPECT_EQ(scaguard_classify(d, fr), Family::kFlushReload);
+  const Sample& ben = *dataset().of_family(Family::kBenign).front();
+  EXPECT_EQ(scaguard_classify(d, ben), Family::kBenign);
+}
+
+TEST_F(ExperimentsAtSmallScale, BenignNeverInMetricClasses) {
+  // The macro average is over attack classes only; benign contributes
+  // false positives, not a class of its own. Verify via the sweep's
+  // extreme threshold: at 0.99 recall collapses but precision cannot be
+  // pulled up by benign true negatives.
+  const auto points = run_threshold_sweep(dataset(), {0.99});
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_LT(points[0].prf.recall, 0.9);
+}
+
+TEST_F(ExperimentsAtSmallScale, ClassificationIsDeterministic) {
+  const Table6 a = run_classification(dataset(), 11);
+  const Table6 b = run_classification(dataset(), 11);
+  for (const auto& [approach, tasks] : a.results) {
+    for (const auto& [task, prf] : tasks) {
+      const Prf& other = b.results.at(approach).at(task);
+      EXPECT_DOUBLE_EQ(prf.f1, other.f1)
+          << approach_name(approach) << " " << task_name(task);
+    }
+  }
+}
+
+TEST_F(ExperimentsAtSmallScale, ThresholdSweepRecallIsMonotoneNonIncreasing) {
+  std::vector<double> thresholds;
+  for (double x = 0.1; x <= 0.91; x += 0.1) thresholds.push_back(x);
+  const auto points = run_threshold_sweep(dataset(), thresholds);
+  for (std::size_t i = 1; i < points.size(); ++i)
+    EXPECT_LE(points[i].prf.recall, points[i - 1].prf.recall + 1e-12)
+        << "threshold " << points[i].threshold;
+}
+
+TEST(ExperimentConfigs, CalibrationIsTheDocumentedOne) {
+  const core::DtwConfig dtw = experiment_dtw_config();
+  EXPECT_EQ(dtw.distance.alphabet, core::IsAlphabet::kSemanticWeighted);
+  EXPECT_EQ(dtw.normalization, core::DtwNormalization::kPathAveraged);
+  EXPECT_DOUBLE_EQ(dtw.cost_scale, 4.0);
+  EXPECT_DOUBLE_EQ(dtw.gamma, 3.5);
+  EXPECT_DOUBLE_EQ(dtw.length_penalty, 0.25);
+  EXPECT_DOUBLE_EQ(kThreshold, 0.45);
+}
+
+}  // namespace
+}  // namespace scag::eval

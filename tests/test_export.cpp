@@ -1,0 +1,112 @@
+// Tests for the assembly exporter: round-trip through the assembler must
+// reproduce the program exactly, for hand-written programs, every attack
+// PoC, and randomly generated programs.
+#include <gtest/gtest.h>
+
+#include "attacks/registry.h"
+#include "isa/assembler.h"
+#include "isa/builder.h"
+#include "isa/export.h"
+#include "isa/random_program.h"
+
+namespace scag::isa {
+namespace {
+
+void expect_equivalent(const Program& a, const Program& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.entry(), b.entry());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a.at(i), b.at(i)) << "instruction " << i;
+  EXPECT_EQ(a.initial_data(), b.initial_data());
+}
+
+TEST(Export, RoundTripSimpleProgram) {
+  const Program original = assemble(R"(
+      .word 0x9000 17
+      .entry main
+      helper:
+        mov rax, [rbx+rcx*4+-16]
+        ret
+      main:
+        mov rbx, 0x9000
+        mov rcx, 4
+        call helper
+        loop:
+        dec rcx
+        jne loop
+        hlt
+  )");
+  const Program round = assemble(export_assembly(original));
+  expect_equivalent(original, round);
+}
+
+TEST(Export, PreservesUserLabels) {
+  const Program p = assemble("main:\nnop\njmp main\n.entry main\n");
+  const std::string text = export_assembly(p);
+  EXPECT_NE(text.find("main:"), std::string::npos);
+  EXPECT_NE(text.find("jmp main"), std::string::npos);
+}
+
+class PocExportRoundTrip
+    : public ::testing::TestWithParam<attacks::PocSpec> {};
+
+TEST_P(PocExportRoundTrip, ReassemblesIdentically) {
+  const Program poc = GetParam().build(attacks::PocConfig{});
+  const Program round = assemble(export_assembly(poc), poc.name());
+  expect_equivalent(poc, round);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPocs, PocExportRoundTrip,
+                         ::testing::ValuesIn(attacks::all_pocs()),
+                         [](const auto& info) {
+                           std::string n = info.param.name;
+                           for (char& c : n)
+                             if (c == '-' || c == '+') c = '_';
+                           return n;
+                         });
+
+TEST(Export, RoundTripRandomPrograms) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    const Program original = random_program(rng);
+    const Program round = assemble(export_assembly(original));
+    ASSERT_EQ(original.size(), round.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < original.size(); ++i)
+      ASSERT_EQ(original.at(i), round.at(i))
+          << "seed " << seed << " instruction " << i;
+  }
+}
+
+TEST(Export, OptionsControlComments) {
+  ProgramBuilder b("t");
+  b.mark_relevant(true);
+  b.clflush(mem(Reg::RAX));
+  b.mark_relevant(false);
+  b.hlt();
+  const Program p = b.build();
+
+  ExportOptions plain;
+  EXPECT_EQ(export_assembly(p, plain).find("attack-relevant"),
+            std::string::npos);
+
+  ExportOptions annotated;
+  annotated.relevance_comments = true;
+  annotated.address_comments = true;
+  const std::string text = export_assembly(p, annotated);
+  EXPECT_NE(text.find("attack-relevant"), std::string::npos);
+  EXPECT_NE(text.find("; 0x"), std::string::npos);
+}
+
+TEST(Export, DataCanBeOmitted) {
+  ProgramBuilder b("t");
+  b.data_word(0x5000, 9);
+  b.hlt();
+  const Program p = b.build();
+  ExportOptions no_data;
+  no_data.include_data = false;
+  EXPECT_EQ(export_assembly(p, no_data).find(".word"), std::string::npos);
+  EXPECT_NE(export_assembly(p).find(".word"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scag::isa

@@ -1,0 +1,120 @@
+// Property-based / differential tests over randomly generated programs:
+//   - the generator only produces valid, terminating programs;
+//   - the interpreter is deterministic;
+//   - mutation is an observational no-op: original and mutant end with the
+//     same data-register dump and sandbox memory;
+//   - the modeling pipeline never crashes on arbitrary (benign) programs.
+#include <gtest/gtest.h>
+
+#include "core/model.h"
+#include "cpu/interpreter.h"
+#include "eval/experiments.h"
+#include "isa/random_program.h"
+#include "mutation/mutator.h"
+
+namespace scag {
+namespace {
+
+using isa::RandomProgramOptions;
+
+constexpr std::uint64_t kDumpWords = 12;  // registers dumped by the fuzzer
+
+std::uint64_t dump_base(const RandomProgramOptions& options) {
+  return options.data_base + options.data_words * 8 + 0x1000;
+}
+
+class FuzzSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSeeds, GeneratedProgramIsValidAndTerminates) {
+  Rng rng(GetParam());
+  const isa::Program p = isa::random_program(rng);
+  EXPECT_NO_THROW(p.validate());
+  cpu::ExecOptions opts;
+  opts.max_retired = 500'000;
+  cpu::Interpreter interp(opts);
+  const cpu::RunResult r = interp.run(p);
+  EXPECT_EQ(r.profile.exit, trace::ExitReason::kHalted)
+      << "seed " << GetParam() << " retired=" << r.profile.retired;
+}
+
+TEST_P(FuzzSeeds, InterpreterIsDeterministic) {
+  Rng rng(GetParam());
+  const isa::Program p = isa::random_program(rng);
+  cpu::Interpreter a, b;
+  const cpu::RunResult ra = a.run(p);
+  const cpu::RunResult rb = b.run(p);
+  EXPECT_EQ(ra.cycles, rb.cycles);
+  EXPECT_EQ(ra.profile.retired, rb.profile.retired);
+  for (std::size_t i = 0; i < isa::kNumRegs; ++i)
+    EXPECT_EQ(ra.regs.values[i], rb.regs.values[i]);
+  EXPECT_EQ(ra.profile.totals, rb.profile.totals);
+}
+
+TEST_P(FuzzSeeds, MutationPreservesObservableBehavior) {
+  Rng rng(GetParam());
+  RandomProgramOptions options;
+  const isa::Program original = isa::random_program(rng, options);
+
+  cpu::Interpreter ref_interp;
+  const cpu::RunResult ref = ref_interp.run(original);
+  ASSERT_EQ(ref.profile.exit, trace::ExitReason::kHalted);
+
+  for (int variant = 0; variant < 3; ++variant) {
+    Rng mut_rng(GetParam() * 31 + static_cast<std::uint64_t>(variant));
+    const isa::Program mutant = mutation::mutate(original, mut_rng);
+    cpu::Interpreter interp;
+    const cpu::RunResult got = interp.run(mutant);
+    EXPECT_EQ(got.profile.exit, trace::ExitReason::kHalted)
+        << "seed " << GetParam() << " variant " << variant;
+    // The register dump the fuzz program writes at exit must match.
+    for (std::uint64_t w = 0; w < kDumpWords; ++w) {
+      EXPECT_EQ(got.memory.read(dump_base(options) + w * 8),
+                ref.memory.read(dump_base(options) + w * 8))
+          << "seed " << GetParam() << " variant " << variant << " word " << w;
+    }
+    // And the sandbox region must match word for word.
+    for (std::uint32_t w = 0; w < options.data_words; ++w) {
+      ASSERT_EQ(got.memory.read(options.data_base + w * 8),
+                ref.memory.read(options.data_base + w * 8))
+          << "seed " << GetParam() << " variant " << variant << " word " << w;
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, ModelingPipelineNeverCrashes) {
+  Rng rng(GetParam() + 1000);
+  const isa::Program p = isa::random_program(rng);
+  const core::ModelBuilder builder(eval::experiment_model_config());
+  core::ModelArtifacts artifacts;
+  EXPECT_NO_THROW(builder.build(p, core::Family::kBenign, &artifacts));
+  EXPECT_LE(artifacts.relevant.size(), artifacts.potential.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(FuzzGenerator, ProgramsDifferAcrossSeeds) {
+  Rng a(1), b(2);
+  const isa::Program p1 = isa::random_program(a);
+  const isa::Program p2 = isa::random_program(b);
+  bool differ = p1.size() != p2.size();
+  for (std::size_t i = 0; !differ && i < p1.size(); ++i)
+    differ = !(p1.at(i) == p2.at(i));
+  EXPECT_TRUE(differ);
+}
+
+TEST(FuzzGenerator, RespectsStatementBudget) {
+  Rng rng(7);
+  RandomProgramOptions small;
+  small.statements = 5;
+  small.subroutines = 0;
+  RandomProgramOptions big;
+  big.statements = 120;
+  big.subroutines = 0;
+  const isa::Program ps = isa::random_program(rng, small);
+  const isa::Program pb = isa::random_program(rng, big);
+  EXPECT_LT(ps.size(), pb.size());
+}
+
+}  // namespace
+}  // namespace scag

@@ -1,0 +1,361 @@
+// Unit tests for the ISA layer: opcodes, instructions, normalization,
+// programs, the builder DSL, and the text assembler.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "isa/builder.h"
+#include "isa/normalize.h"
+#include "isa/program.h"
+
+namespace scag::isa {
+namespace {
+
+// ---- Opcodes ---------------------------------------------------------------
+
+TEST(Opcode, NameParseRoundTrip) {
+  for (std::uint8_t i = 0; i < static_cast<std::uint8_t>(Opcode::kCount);
+       ++i) {
+    const Opcode op = static_cast<Opcode>(i);
+    const auto parsed = parse_opcode(opcode_name(op));
+    ASSERT_TRUE(parsed.has_value()) << opcode_name(op);
+    EXPECT_EQ(*parsed, op);
+  }
+}
+
+TEST(Opcode, ParseUnknownFails) {
+  EXPECT_FALSE(parse_opcode("frobnicate").has_value());
+  EXPECT_FALSE(parse_opcode("").has_value());
+}
+
+TEST(Opcode, ControlFlowClassification) {
+  EXPECT_TRUE(is_control_flow(Opcode::kJmp));
+  EXPECT_TRUE(is_control_flow(Opcode::kJne));
+  EXPECT_TRUE(is_control_flow(Opcode::kCall));
+  EXPECT_TRUE(is_control_flow(Opcode::kRet));
+  EXPECT_FALSE(is_control_flow(Opcode::kMov));
+  EXPECT_FALSE(is_control_flow(Opcode::kClflush));
+
+  EXPECT_TRUE(is_cond_branch(Opcode::kJa));
+  EXPECT_FALSE(is_cond_branch(Opcode::kJmp));
+  EXPECT_FALSE(is_cond_branch(Opcode::kRet));
+
+  EXPECT_TRUE(ends_basic_block(Opcode::kHlt));
+  EXPECT_TRUE(ends_basic_block(Opcode::kRet));
+  EXPECT_FALSE(ends_basic_block(Opcode::kMfence));
+}
+
+TEST(Reg, NameParseRoundTrip) {
+  for (std::size_t i = 0; i < kNumRegs; ++i) {
+    const Reg r = static_cast<Reg>(i);
+    const auto parsed = parse_reg(reg_name(r));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, r);
+  }
+  EXPECT_FALSE(parse_reg("r16").has_value());
+  EXPECT_FALSE(parse_reg("eax").has_value());
+}
+
+// ---- Instruction helpers -----------------------------------------------------
+
+TEST(Instruction, MemoryClassification) {
+  Instruction load{Opcode::kMov, reg(Reg::RAX), mem(Reg::RBX), 0, 0};
+  EXPECT_TRUE(reads_memory(load));
+  EXPECT_FALSE(writes_memory(load));
+  EXPECT_TRUE(accesses_cache(load));
+
+  Instruction store{Opcode::kMov, mem(Reg::RBX), reg(Reg::RAX), 0, 0};
+  EXPECT_FALSE(reads_memory(store));
+  EXPECT_TRUE(writes_memory(store));
+
+  Instruction rmw{Opcode::kAdd, mem(Reg::RBX), imm(1), 0, 0};
+  EXPECT_TRUE(reads_memory(rmw));
+  EXPECT_TRUE(writes_memory(rmw));
+
+  Instruction lea_i{Opcode::kLea, reg(Reg::RAX), mem(Reg::RBX, 8), 0, 0};
+  EXPECT_FALSE(reads_memory(lea_i));
+  EXPECT_FALSE(writes_memory(lea_i));
+  EXPECT_FALSE(accesses_cache(lea_i));
+
+  Instruction flush{Opcode::kClflush, mem(Reg::RAX), {}, 0, 0};
+  EXPECT_FALSE(reads_memory(flush));
+  EXPECT_FALSE(writes_memory(flush));
+  EXPECT_TRUE(accesses_cache(flush));
+
+  Instruction push_i{Opcode::kPush, reg(Reg::RAX), {}, 0, 0};
+  EXPECT_TRUE(writes_memory(push_i));
+  Instruction pop_i{Opcode::kPop, reg(Reg::RAX), {}, 0, 0};
+  EXPECT_TRUE(reads_memory(pop_i));
+
+  Instruction cmp_mem{Opcode::kCmp, reg(Reg::RAX), mem(Reg::RBX), 0, 0};
+  EXPECT_TRUE(reads_memory(cmp_mem));
+  EXPECT_FALSE(writes_memory(cmp_mem));
+}
+
+TEST(Instruction, ToStringFormats) {
+  Instruction i1{Opcode::kMov, reg(Reg::RAX),
+                 mem_idx(Reg::RBX, Reg::RCX, 8, 16), 0, 0};
+  EXPECT_EQ(to_string(i1), "mov rax, [rbx+rcx*8+16]");
+
+  Instruction i2{Opcode::kMov, reg(Reg::RAX), mem(Reg::RBX, -8), 0, 0};
+  EXPECT_EQ(to_string(i2), "mov rax, [rbx-8]");
+
+  Instruction i3{Opcode::kNop, {}, {}, 0, 0};
+  EXPECT_EQ(to_string(i3), "nop");
+
+  Instruction i4{Opcode::kJne, {}, {}, 0x400010, 0x400000};
+  EXPECT_EQ(to_string(i4), "jne 0x400000");
+
+  Instruction i5{Opcode::kMov, reg(Reg::R8), imm(-5), 0, 0};
+  EXPECT_EQ(to_string(i5), "mov r8, -5");
+}
+
+// ---- Normalization (paper Section III-B1) -----------------------------------
+
+TEST(Normalize, PaperRules) {
+  // mov -0x18(rbp), rax  ->  "mov mem, reg"
+  Instruction i{Opcode::kMov, mem(Reg::RBP, -0x18), reg(Reg::RAX), 0, 0};
+  EXPECT_EQ(normalize(i), "mov mem, reg");
+  // Immediates -> imm.
+  Instruction j{Opcode::kAdd, reg(Reg::RCX), imm(4096), 0, 0};
+  EXPECT_EQ(normalize(j), "add reg, imm");
+  // Branch targets are addresses -> mem.
+  Instruction k{Opcode::kJle, {}, {}, 0, 0x400000};
+  EXPECT_EQ(normalize(k), "jle mem");
+  Instruction r{Opcode::kRet, {}, {}, 0, 0};
+  EXPECT_EQ(normalize(r), "ret");
+  Instruction f{Opcode::kClflush, mem(Reg::RDI), {}, 0, 0};
+  EXPECT_EQ(normalize(f), "clflush mem");
+}
+
+TEST(Normalize, RegistersAreIndistinguishable) {
+  Instruction a{Opcode::kMov, reg(Reg::RAX), reg(Reg::RBX), 0, 0};
+  Instruction b{Opcode::kMov, reg(Reg::R13), reg(Reg::R14), 0, 0};
+  EXPECT_EQ(normalize(a), normalize(b));
+}
+
+TEST(Normalize, SequencePreservesLength) {
+  std::vector<Instruction> seq = {
+      {Opcode::kMov, reg(Reg::RAX), imm(1), 0, 0},
+      {Opcode::kNop, {}, {}, 0, 0},
+  };
+  EXPECT_EQ(normalize(seq).size(), 2u);
+}
+
+TEST(SemanticTokens, AttackVocabulary) {
+  std::vector<Instruction> seq = {
+      {Opcode::kClflush, mem(Reg::RAX), {}, 0, 0},
+      {Opcode::kRdtscp, reg(Reg::R8), {}, 0, 0},
+      {Opcode::kMov, reg(Reg::RBX), mem(Reg::RSI), 0, 0},
+      {Opcode::kMov, mem(Reg::RSI), reg(Reg::RBX), 0, 0},
+      {Opcode::kAdd, reg(Reg::RAX), imm(1), 0, 0},  // no token
+      {Opcode::kMfence, {}, {}, 0, 0},
+      {Opcode::kJl, {}, {}, 0, 0x400000},
+      {Opcode::kAdd, mem(Reg::RDI), imm(1), 0, 0},  // rmw
+  };
+  const auto tokens = semantic_tokens(seq);
+  const std::vector<std::string> expected = {"flush", "time",  "load", "store",
+                                             "fence", "br",    "rmw"};
+  EXPECT_EQ(tokens, expected);
+}
+
+TEST(SemanticTokens, WeightsAndCosts) {
+  EXPECT_DOUBLE_EQ(semantic_token_weight("flush"), 1.0);
+  EXPECT_DOUBLE_EQ(semantic_token_weight("time"), 1.0);
+  EXPECT_LT(semantic_token_weight("br"), semantic_token_weight("load"));
+  EXPECT_DOUBLE_EQ(semantic_subst_cost("load", "load"), 0.0);
+  EXPECT_LT(semantic_subst_cost("load", "store"),
+            semantic_subst_cost("load", "flush"));
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(semantic_subst_cost("flush", "br"),
+                   semantic_subst_cost("br", "flush"));
+}
+
+// ---- Program ----------------------------------------------------------------
+
+TEST(Program, AddressingAndIndexOf) {
+  Program p("t", 0x1000);
+  p.append({Opcode::kNop, {}, {}, 0, 0});
+  p.append({Opcode::kHlt, {}, {}, 0, 0});
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.address_of(0), 0x1000u);
+  EXPECT_EQ(p.address_of(1), 0x1000u + kInstrSize);
+  EXPECT_EQ(p.index_of(0x1000), 0u);
+  EXPECT_EQ(p.index_of(0x1004), 1u);
+  EXPECT_EQ(p.index_of(0x1002), Program::npos);  // misaligned
+  EXPECT_EQ(p.index_of(0x0fff), Program::npos);  // below base
+  EXPECT_EQ(p.index_of(0x1008), Program::npos);  // past end
+}
+
+TEST(Program, ValidateCatchesBadTarget) {
+  Program p("t");
+  Instruction j{Opcode::kJmp, {}, {}, 0, 0xdeadbeef};
+  p.append(j);
+  EXPECT_THROW(p.validate(), std::runtime_error);
+}
+
+TEST(Program, ValidateCatchesEmptyAndMemMem) {
+  Program empty("e");
+  EXPECT_THROW(empty.validate(), std::runtime_error);
+
+  Program p("m");
+  p.append({Opcode::kMov, mem(Reg::RAX), mem(Reg::RBX), 0, 0});
+  EXPECT_THROW(p.validate(), std::runtime_error);
+}
+
+// ---- ProgramBuilder ----------------------------------------------------------
+
+TEST(Builder, ForwardAndBackwardLabels) {
+  ProgramBuilder b("t");
+  b.jmp("end");               // forward reference
+  b.label("loop");
+  b.nop();
+  b.jne("loop");              // backward reference
+  b.label("end");
+  b.hlt();
+  const Program p = b.build();
+  EXPECT_EQ(p.at(0).target, p.label("end"));
+  EXPECT_EQ(p.at(2).target, p.label("loop"));
+}
+
+TEST(Builder, UndefinedLabelThrows) {
+  ProgramBuilder b("t");
+  b.jmp("nowhere");
+  b.hlt();
+  EXPECT_THROW(b.build(), std::runtime_error);
+}
+
+TEST(Builder, DuplicateLabelThrows) {
+  ProgramBuilder b("t");
+  b.label("x");
+  b.nop();
+  EXPECT_THROW(b.label("x"), std::invalid_argument);
+}
+
+TEST(Builder, EntryDefaultsAndOverrides) {
+  ProgramBuilder b("t");
+  b.nop();
+  b.label("start");
+  b.hlt();
+  b.entry("start");
+  const Program p = b.build();
+  EXPECT_EQ(p.entry(), p.label("start"));
+}
+
+TEST(Builder, RelevantMarks) {
+  ProgramBuilder b("t");
+  b.nop();
+  b.mark_relevant(true);
+  b.clflush(mem(Reg::RAX));
+  b.mark_relevant(false);
+  b.hlt();
+  const Program p = b.build();
+  EXPECT_EQ(p.relevant_marks().size(), 1u);
+  EXPECT_TRUE(p.relevant_marks().count(p.address_of(1)));
+}
+
+TEST(Builder, DataWordsAndRegions) {
+  ProgramBuilder b("t");
+  b.data_word(0x1000, 7);
+  b.data_region(0x2000, 32, 9);  // 4 words
+  b.hlt();
+  const Program p = b.build();
+  EXPECT_EQ(p.initial_data().at(0x1000), 7u);
+  EXPECT_EQ(p.initial_data().at(0x2000), 9u);
+  EXPECT_EQ(p.initial_data().at(0x2018), 9u);
+  EXPECT_EQ(p.initial_data().count(0x2020), 0u);
+}
+
+TEST(Builder, BuildTwiceThrows) {
+  ProgramBuilder b("t");
+  b.hlt();
+  b.build();
+  EXPECT_THROW(b.build(), std::logic_error);
+}
+
+TEST(Builder, EmitRejectsBranches) {
+  ProgramBuilder b("t");
+  EXPECT_THROW(b.emit(Opcode::kJmp), std::invalid_argument);
+  EXPECT_THROW(b.branch(Opcode::kMov, "x"), std::invalid_argument);
+}
+
+// ---- Assembler ---------------------------------------------------------------
+
+TEST(Assembler, ParsesRepresentativeProgram) {
+  const Program p = assemble(R"(
+      ; a tiny flush+time snippet
+      .word 0x10000 42
+      start:
+        mov rax, [rbx+rcx*8+16]
+        clflush [rax]
+        rdtscp r8
+        cmp r8, 100       # threshold
+        jb start
+        hlt
+      .entry start
+  )");
+  EXPECT_EQ(p.size(), 6u);
+  EXPECT_EQ(p.at(0).op, Opcode::kMov);
+  EXPECT_EQ(p.at(0).src.mem.scale, 8);
+  EXPECT_EQ(p.at(0).src.mem.disp, 16);
+  EXPECT_EQ(p.at(1).op, Opcode::kClflush);
+  EXPECT_EQ(p.at(4).op, Opcode::kJb);
+  EXPECT_EQ(p.at(4).target, p.label("start"));
+  EXPECT_EQ(p.initial_data().at(0x10000), 42u);
+}
+
+TEST(Assembler, ParsesOperandShapes) {
+  const Program p = assemble(R"(
+      mov rax, 0x10
+      mov rbx, -5
+      mov rcx, [0x2000]
+      mov rdx, [rsi]
+      mov r8, [rsi+32]
+      mov r9, [rsi+rdi]
+      mov r10, [rsi+rdi*4]
+      mov r11, [rsi+rdi*2+-8]
+      hlt
+  )");
+  EXPECT_EQ(p.at(0).src.imm, 0x10);
+  EXPECT_EQ(p.at(1).src.imm, -5);
+  EXPECT_EQ(p.at(2).src.mem.disp, 0x2000);
+  EXPECT_EQ(p.at(2).src.mem.base, MemRef::kNoReg);
+  EXPECT_EQ(p.at(6).src.mem.scale, 4);
+  EXPECT_EQ(p.at(7).src.mem.disp, -8);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  try {
+    assemble("nop\nbogus rax\nhlt\n");
+    FAIL() << "expected AsmError";
+  } catch (const AsmError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(Assembler, RejectsBadSyntax) {
+  EXPECT_THROW(assemble("mov rax rbx\nhlt"), AsmError);   // missing comma
+  EXPECT_THROW(assemble("jmp\nhlt"), AsmError);           // missing target
+  EXPECT_THROW(assemble("jmp a b\nhlt"), AsmError);       // too many targets
+  EXPECT_THROW(assemble("mov [rax], [rbx]\nhlt"), AsmError);  // mem-mem
+  EXPECT_THROW(assemble(".entry\nhlt"), AsmError);
+  EXPECT_THROW(assemble(".word 12\nhlt"), AsmError);
+  EXPECT_THROW(assemble("mov rax, [rbx+rcx*3]\nhlt"), AsmError);  // bad scale
+}
+
+TEST(Assembler, DisassembleReparses) {
+  ProgramBuilder b("t");
+  b.label("top");
+  b.mov(reg(Reg::RAX), mem_idx(Reg::RBX, Reg::RCX, 8, 64));
+  b.add(reg(Reg::RAX), imm(3));
+  b.jne("top");
+  b.hlt();
+  const Program p = b.build();
+  // The disassembly is for humans (hex addresses on branches), but the
+  // instruction text lines for non-branches re-assemble cleanly.
+  const std::string text = p.disassemble();
+  EXPECT_NE(text.find("mov rax, [rbx+rcx*8+64]"), std::string::npos);
+  EXPECT_NE(text.find("top:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scag::isa

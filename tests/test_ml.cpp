@@ -1,0 +1,233 @@
+// Tests for the from-scratch ML stack: features, standardization, SVM,
+// linear/logistic regression, KNN, and cross-validation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/crossval.h"
+#include "ml/features.h"
+#include "ml/knn.h"
+#include "ml/linear.h"
+
+namespace scag::ml {
+namespace {
+
+// ---- Synthetic data helpers ----------------------------------------------------
+
+/// Two Gaussian blobs in d dimensions, linearly separable.
+void make_blobs(Rng& rng, std::size_t n_per_class, std::size_t d,
+                double separation, std::vector<FeatureVector>& xs,
+                std::vector<int>& ys) {
+  for (int cls = 0; cls < 2; ++cls) {
+    for (std::size_t i = 0; i < n_per_class; ++i) {
+      FeatureVector x(d);
+      for (std::size_t k = 0; k < d; ++k)
+        x[k] = rng.gaussian(cls == 0 ? -separation : separation, 1.0);
+      xs.push_back(std::move(x));
+      ys.push_back(cls);
+    }
+  }
+}
+
+double accuracy(const Classifier& model, const std::vector<FeatureVector>& xs,
+                const std::vector<int>& ys) {
+  std::size_t ok = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    ok += model.predict(xs[i]) == ys[i];
+  return static_cast<double>(ok) / static_cast<double>(xs.size());
+}
+
+// ---- Features --------------------------------------------------------------------
+
+TEST(Features, DimensionIsStable) {
+  trace::ExecutionProfile p;
+  p.cycles = 1000;
+  p.retired = 500;
+  const FeatureVector x = extract_features(p);
+  EXPECT_EQ(x.size(), feature_dim());
+}
+
+TEST(Features, RatesScaleWithCounts) {
+  trace::ExecutionProfile a, b;
+  a.cycles = b.cycles = 1000;
+  a.retired = b.retired = 100;
+  a.totals.bump(trace::HpcEvent::kL1dLoadMiss, 10);
+  b.totals.bump(trace::HpcEvent::kL1dLoadMiss, 20);
+  const FeatureVector xa = extract_features(a);
+  const FeatureVector xb = extract_features(b);
+  // The rate feature of event 0 is at offset 3 (mean, std, max, rate).
+  EXPECT_DOUBLE_EQ(xb[3], 2.0 * xa[3]);
+}
+
+TEST(Features, SampleDeltasSummarized) {
+  trace::ExecutionProfile p;
+  p.cycles = 300;
+  p.sample_interval = 100;
+  trace::HpcCounters s1, s2, s3;
+  s1.bump(trace::HpcEvent::kCacheMiss, 4);
+  s2 = s1;
+  s2.bump(trace::HpcEvent::kCacheMiss, 6);
+  s3 = s2;
+  p.samples = {s1, s2, s3};
+  const FeatureVector x = extract_features(p);
+  // Deltas for kCacheMiss are {4, 6, 0}: mean 10/3, max 6.
+  const std::size_t base =
+      static_cast<std::size_t>(trace::HpcEvent::kCacheMiss) * 4;
+  EXPECT_NEAR(x[base + 0], 10.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(x[base + 2], 6.0);
+}
+
+TEST(Standardizer, ZeroMeanUnitVariance) {
+  Rng rng(1);
+  std::vector<FeatureVector> xs;
+  for (int i = 0; i < 500; ++i)
+    xs.push_back({rng.gaussian(10, 3), rng.gaussian(-5, 0.5)});
+  Standardizer s;
+  s.fit(xs);
+  const auto t = s.transform_all(xs);
+  double m0 = 0, m1 = 0;
+  for (const auto& x : t) {
+    m0 += x[0];
+    m1 += x[1];
+  }
+  EXPECT_NEAR(m0 / 500, 0.0, 1e-9);
+  EXPECT_NEAR(m1 / 500, 0.0, 1e-9);
+}
+
+TEST(Standardizer, ConstantFeatureDoesNotDivideByZero) {
+  std::vector<FeatureVector> xs = {{1.0, 5.0}, {2.0, 5.0}, {3.0, 5.0}};
+  Standardizer s;
+  s.fit(xs);
+  const FeatureVector t = s.transform({2.0, 5.0});
+  EXPECT_TRUE(std::isfinite(t[1]));
+  EXPECT_DOUBLE_EQ(t[1], 0.0);
+}
+
+// ---- Classifiers -----------------------------------------------------------------
+
+TEST(LinearSvm, SeparatesBlobs) {
+  Rng rng(2);
+  std::vector<FeatureVector> xs;
+  std::vector<int> ys;
+  make_blobs(rng, 100, 6, 2.0, xs, ys);
+  LinearSvm svm;
+  Rng fit_rng(3);
+  svm.fit(xs, ys, 2, fit_rng);
+  EXPECT_GT(accuracy(svm, xs, ys), 0.97);
+}
+
+TEST(LinearSvm, MulticlassOneVsRest) {
+  Rng rng(4);
+  std::vector<FeatureVector> xs;
+  std::vector<int> ys;
+  // Three blobs at distinct corners.
+  const double centers[3][2] = {{5, 0}, {-5, 0}, {0, 5}};
+  for (int cls = 0; cls < 3; ++cls)
+    for (int i = 0; i < 80; ++i) {
+      xs.push_back({rng.gaussian(centers[cls][0], 1.0),
+                    rng.gaussian(centers[cls][1], 1.0)});
+      ys.push_back(cls);
+    }
+  LinearSvm svm;
+  Rng fit_rng(5);
+  svm.fit(xs, ys, 3, fit_rng);
+  EXPECT_GT(accuracy(svm, xs, ys), 0.95);
+}
+
+TEST(LogisticRegression, SeparatesBlobsWithProbabilities) {
+  Rng rng(6);
+  std::vector<FeatureVector> xs;
+  std::vector<int> ys;
+  make_blobs(rng, 100, 4, 2.0, xs, ys);
+  LogisticRegression lr;
+  Rng fit_rng(7);
+  lr.fit(xs, ys, 2, fit_rng);
+  EXPECT_GT(accuracy(lr, xs, ys), 0.97);
+  // Probabilities are proper.
+  for (int c = 0; c < 2; ++c) {
+    const double p = lr.probability(xs[0], c);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(LinearRegressionClassifier, WorksButIsWeakerOnHardData) {
+  Rng rng(8);
+  std::vector<FeatureVector> xs;
+  std::vector<int> ys;
+  make_blobs(rng, 150, 4, 2.0, xs, ys);
+  LinearRegressionClassifier lin;
+  Rng fit_rng(9);
+  lin.fit(xs, ys, 2, fit_rng);
+  EXPECT_GT(accuracy(lin, xs, ys), 0.9);
+}
+
+TEST(Knn, ExactNeighborsVote) {
+  std::vector<FeatureVector> xs = {{0, 0}, {0, 1}, {10, 10}, {10, 11}, {10, 9}};
+  std::vector<int> ys = {0, 0, 1, 1, 1};
+  Knn knn(3);
+  Rng rng(10);
+  knn.fit(xs, ys, 2, rng);
+  EXPECT_EQ(knn.predict({0.2, 0.5}), 0);
+  EXPECT_EQ(knn.predict({9.5, 10.0}), 1);
+}
+
+TEST(Knn, KLargerThanTrainingSetIsClamped) {
+  std::vector<FeatureVector> xs = {{0.0}, {1.0}};
+  std::vector<int> ys = {0, 1};
+  Knn knn(99);
+  Rng rng(11);
+  knn.fit(xs, ys, 2, rng);
+  EXPECT_NO_THROW(knn.predict({0.4}));
+}
+
+TEST(Classifiers, RejectBadTrainingSets) {
+  LinearSvm svm;
+  Rng rng(12);
+  std::vector<FeatureVector> xs = {{1.0}};
+  std::vector<int> bad_labels = {5};
+  EXPECT_THROW(svm.fit(xs, bad_labels, 2, rng), std::invalid_argument);
+  std::vector<FeatureVector> empty;
+  std::vector<int> no_labels;
+  EXPECT_THROW(svm.fit(empty, no_labels, 2, rng), std::invalid_argument);
+}
+
+// ---- Cross-validation ---------------------------------------------------------------
+
+TEST(CrossVal, HighAccuracyOnSeparableData) {
+  Rng rng(13);
+  std::vector<FeatureVector> xs;
+  std::vector<int> ys;
+  make_blobs(rng, 60, 4, 3.0, xs, ys);
+  Rng cv_rng(14);
+  const double acc = kfold_accuracy(
+      [] { return std::make_unique<LinearSvm>(); }, xs, ys, 2, 5, cv_rng);
+  EXPECT_GT(acc, 0.95);
+}
+
+TEST(CrossVal, RejectsSingleFold) {
+  Rng rng(15);
+  std::vector<FeatureVector> xs = {{0.0}, {1.0}};
+  std::vector<int> ys = {0, 1};
+  EXPECT_THROW(kfold_accuracy([] { return std::make_unique<LinearSvm>(); },
+                              xs, ys, 2, 1, rng),
+               std::invalid_argument);
+}
+
+TEST(CrossVal, SelectAndTrainPicksWorkingCandidate) {
+  Rng rng(16);
+  std::vector<FeatureVector> xs;
+  std::vector<int> ys;
+  make_blobs(rng, 60, 3, 3.0, xs, ys);
+  // One degenerate candidate (k too large smooths everything), one good.
+  std::vector<std::function<std::unique_ptr<Classifier>()>> candidates = {
+      [] { return std::make_unique<Knn>(1); },
+      [] { return std::make_unique<Knn>(119); },
+  };
+  Rng sel_rng(17);
+  auto model = select_and_train(candidates, xs, ys, 2, 5, sel_rng);
+  EXPECT_GT(accuracy(*model, xs, ys), 0.95);
+}
+
+}  // namespace
+}  // namespace scag::ml

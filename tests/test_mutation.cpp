@@ -1,0 +1,195 @@
+// Tests for the mutation/obfuscation engine: semantic preservation on
+// every attack PoC, BB growth under obfuscation, structural invariants.
+#include <gtest/gtest.h>
+
+#include "attacks/registry.h"
+#include "cfg/cfg.h"
+#include "cpu/interpreter.h"
+#include "isa/assembler.h"
+#include "mutation/mutator.h"
+
+namespace scag::mutation {
+namespace {
+
+using attacks::PocConfig;
+using attacks::PocSpec;
+
+std::uint64_t recover(const isa::Program& p, const PocConfig& config) {
+  cpu::Interpreter interp;
+  return interp.run(p).memory.read(config.layout.recovered_addr);
+}
+
+// ---- Semantic preservation across all PoCs ------------------------------------
+
+class MutationPreservesAttack : public ::testing::TestWithParam<PocSpec> {};
+
+TEST_P(MutationPreservesAttack, MutantsStillRecoverSecret) {
+  Rng rng(4242);
+  int working = 0;
+  const int trials = 12;
+  for (int k = 0; k < trials; ++k) {
+    PocConfig config;
+    config.secret = 1 + rng.below(15);
+    const isa::Program poc = GetParam().build(config);
+    Rng mut_rng = rng.split();
+    const isa::Program mutant = mutate(poc, mut_rng);
+    EXPECT_NO_THROW(mutant.validate());
+    working += recover(mutant, config) == config.secret;
+  }
+  // Mutation may rarely disturb a timing threshold; the dataset generator
+  // validates-and-retries. Here we require a high success rate.
+  EXPECT_GE(working, trials - 2) << GetParam().name;
+}
+
+TEST_P(MutationPreservesAttack, ObfuscationPreservesAttackMostly) {
+  Rng rng(777);
+  PocConfig config;
+  config.secret = 9;
+  int working = 0;
+  const int trials = 6;
+  for (int k = 0; k < trials; ++k) {
+    const isa::Program poc = GetParam().build(config);
+    Rng mut_rng = rng.split();
+    const isa::Program obf = obfuscate(poc, mut_rng);
+    working += recover(obf, config) == config.secret;
+  }
+  EXPECT_GE(working, trials - 2) << GetParam().name;
+}
+
+std::string poc_name(const ::testing::TestParamInfo<PocSpec>& info) {
+  std::string n = info.param.name;
+  for (char& c : n)
+    if (c == '-' || c == '+') c = '_';
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPocs, MutationPreservesAttack,
+                         ::testing::ValuesIn(attacks::all_pocs()), poc_name);
+
+// ---- Structural properties ------------------------------------------------------
+
+TEST(Obfuscation, GrowsBasicBlocksRoughlySeventyPercent) {
+  // The paper reports +70.49% BBs per obfuscated sample on average.
+  Rng rng(31);
+  double total_growth = 0.0;
+  int n = 0;
+  for (const PocSpec& spec : attacks::all_pocs()) {
+    const isa::Program poc = spec.build(PocConfig{});
+    const isa::Program obf = obfuscate(poc, rng);
+    const auto before = cfg::Cfg::build(poc).num_blocks();
+    const auto after = cfg::Cfg::build(obf).num_blocks();
+    total_growth += static_cast<double>(after) / static_cast<double>(before) - 1.0;
+    ++n;
+  }
+  const double avg = total_growth / n;
+  EXPECT_GT(avg, 0.5);
+  EXPECT_LT(avg, 1.2);
+}
+
+TEST(Mutation, PreservesGroundTruthMarkCount) {
+  Rng rng(53);
+  const isa::Program poc = attacks::poc_by_name("FR-IAIK").build(PocConfig{});
+  const isa::Program mut = mutate(poc, rng);
+  // Junk is never marked; every original mark survives (possibly at a new
+  // address).
+  EXPECT_EQ(mut.relevant_marks().size(), poc.relevant_marks().size());
+}
+
+TEST(Mutation, RenamesRegistersConsistently) {
+  // A toy program whose output is register-permutation invariant.
+  const isa::Program p = isa::assemble(R"(
+      mov rax, 5
+      mov rbx, 7
+      imul rax, rbx
+      mov [0x10000], rax
+      hlt
+  )");
+  MutationConfig config;
+  config.reg_rename_prob = 1.0;
+  config.subst_prob = 0.0;
+  config.swap_prob = 0.0;
+  config.junk_snippets = 0;
+  config.dead_blocks = 0;
+  Rng rng(61);
+  const isa::Program mut = mutate(p, rng, config);
+  cpu::Interpreter interp;
+  EXPECT_EQ(interp.run(mut).memory.read(0x10000), 35u);
+}
+
+TEST(Mutation, SubstitutionsPreserveDecJneLoops) {
+  const isa::Program p = isa::assemble(R"(
+      mov rcx, 20
+      mov rax, 0
+      loop:
+      inc rax
+      dec rcx
+      jne loop
+      mov [0x20000], rax
+      hlt
+  )");
+  MutationConfig config;
+  config.reg_rename_prob = 0.0;
+  config.subst_prob = 1.0;
+  config.swap_prob = 0.0;
+  config.junk_snippets = 0;
+  config.dead_blocks = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    const isa::Program mut = mutate(p, rng, config);
+    cpu::Interpreter interp;
+    EXPECT_EQ(interp.run(mut).memory.read(0x20000), 20u) << "seed " << seed;
+  }
+}
+
+TEST(Mutation, DeterministicForSameSeed) {
+  const isa::Program poc = attacks::poc_by_name("PP-IAIK").build(PocConfig{});
+  Rng a(99), b(99);
+  const isa::Program m1 = mutate(poc, a);
+  const isa::Program m2 = mutate(poc, b);
+  ASSERT_EQ(m1.size(), m2.size());
+  for (std::size_t i = 0; i < m1.size(); ++i) EXPECT_EQ(m1.at(i), m2.at(i));
+}
+
+TEST(Mutation, ActuallyChangesTheProgram) {
+  const isa::Program poc = attacks::poc_by_name("FR-IAIK").build(PocConfig{});
+  Rng rng(3);
+  const isa::Program mut = mutate(poc, rng);
+  bool differs = mut.size() != poc.size();
+  for (std::size_t i = 0; !differs && i < poc.size(); ++i)
+    differs = !(mut.at(i).op == poc.at(i).op && mut.at(i).dst == poc.at(i).dst &&
+                mut.at(i).src == poc.at(i).src);
+  EXPECT_TRUE(differs);
+}
+
+TEST(Mutation, KeepsDataImage) {
+  const isa::Program poc = attacks::poc_by_name("FR-IAIK").build(PocConfig{});
+  Rng rng(5);
+  const isa::Program mut = mutate(poc, rng);
+  for (const auto& [addr, value] : poc.initial_data())
+    EXPECT_EQ(mut.initial_data().at(addr), value);
+}
+
+TEST(Mutation, BenignProgramsSurviveToo) {
+  const isa::Program p = isa::assemble(R"(
+      mov rcx, 30
+      mov rax, 0
+      loop:
+      add rax, rcx
+      mov [0x30000], rax
+      dec rcx
+      jne loop
+      hlt
+  )");
+  cpu::Interpreter ref;
+  const std::uint64_t expected = ref.run(p).memory.read(0x30000);
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(seed);
+    const isa::Program mut = mutate(p, rng);
+    cpu::Interpreter interp;
+    EXPECT_EQ(interp.run(mut).memory.read(0x30000), expected)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace scag::mutation

@@ -1,0 +1,148 @@
+// Tests for model repository serialization: round-trip fidelity (including
+// byte-identical similarity scores), format errors, and file I/O.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "attacks/registry.h"
+#include "core/serialize.h"
+#include "eval/experiments.h"
+
+namespace scag::core {
+namespace {
+
+std::vector<AttackModel> poc_models() {
+  const ModelBuilder builder(eval::experiment_model_config());
+  std::vector<AttackModel> models;
+  for (const char* name : {"FR-IAIK", "PP-IAIK", "Spectre-FR-Ideal"}) {
+    const attacks::PocSpec& spec = attacks::poc_by_name(name);
+    models.push_back(builder.build(spec.build(attacks::PocConfig{}),
+                                   spec.family));
+  }
+  return models;
+}
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  const std::vector<AttackModel> models = poc_models();
+  const std::string text = save_models_to_string(models);
+  const std::vector<AttackModel> loaded = load_models_from_string(text);
+
+  ASSERT_EQ(loaded.size(), models.size());
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    EXPECT_EQ(loaded[m].name, models[m].name);
+    EXPECT_EQ(loaded[m].family, models[m].family);
+    ASSERT_EQ(loaded[m].sequence.size(), models[m].sequence.size());
+    for (std::size_t i = 0; i < models[m].sequence.size(); ++i) {
+      const CstBbsElement& a = models[m].sequence[i];
+      const CstBbsElement& b = loaded[m].sequence[i];
+      EXPECT_EQ(a.block, b.block);
+      EXPECT_EQ(a.first_cycle, b.first_cycle);
+      EXPECT_EQ(a.norm_instrs, b.norm_instrs);
+      EXPECT_EQ(a.sem_tokens, b.sem_tokens);
+      // Bit-exact cache states (stored as IEEE-754 bit patterns).
+      EXPECT_EQ(a.cst.before.ao, b.cst.before.ao);
+      EXPECT_EQ(a.cst.after.io, b.cst.after.io);
+    }
+  }
+}
+
+TEST(Serialize, RoundTripReproducesSimilarityScores) {
+  const std::vector<AttackModel> models = poc_models();
+  const auto loaded =
+      load_models_from_string(save_models_to_string(models));
+  const DtwConfig dtw = eval::experiment_dtw_config();
+  for (std::size_t i = 0; i < models.size(); ++i)
+    for (std::size_t j = 0; j < models.size(); ++j)
+      EXPECT_DOUBLE_EQ(
+          similarity(models[i].sequence, models[j].sequence, dtw),
+          similarity(loaded[i].sequence, loaded[j].sequence, dtw));
+}
+
+TEST(Serialize, EmptyRepository) {
+  const auto loaded =
+      load_models_from_string(save_models_to_string({}));
+  EXPECT_TRUE(loaded.empty());
+}
+
+TEST(Serialize, ModelWithEmptySequence) {
+  AttackModel empty;
+  empty.name = "empty";
+  empty.family = Family::kPrimeProbe;
+  const auto loaded =
+      load_models_from_string(save_models_to_string({empty}));
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_TRUE(loaded[0].sequence.empty());
+}
+
+TEST(Serialize, RejectsMissingHeader) {
+  EXPECT_THROW(load_models_from_string("model x FR-F 0\nend\n"),
+               SerializeError);
+}
+
+TEST(Serialize, RejectsUnknownFamily) {
+  EXPECT_THROW(
+      load_models_from_string("scaguard-models v1\nmodel x NOPE 0\nend\n"),
+      SerializeError);
+}
+
+TEST(Serialize, RejectsTruncatedModel) {
+  const std::string text =
+      "scaguard-models v1\n"
+      "model x FR-F 2\n"
+      "elem 1 5 0000000000000000 3ff0000000000000 0000000000000000 "
+      "3ff0000000000000\n"
+      "norm mov reg, mem\n"
+      "sem load\n";  // second element + end missing
+  EXPECT_THROW(load_models_from_string(text), SerializeError);
+}
+
+TEST(Serialize, RejectsBadFloatField) {
+  const std::string text =
+      "scaguard-models v1\n"
+      "model x FR-F 1\n"
+      "elem 1 5 zzzz 3ff0000000000000 0 0\n"
+      "norm \n"
+      "sem \n"
+      "end\n";
+  EXPECT_THROW(load_models_from_string(text), SerializeError);
+}
+
+TEST(Serialize, ErrorsCarryLineNumbers) {
+  try {
+    load_models_from_string("scaguard-models v1\nbogus\n");
+    FAIL();
+  } catch (const SerializeError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "scag_repo_test.txt").string();
+  const std::vector<AttackModel> models = poc_models();
+  save_models_to_file(path, models);
+  const auto loaded = load_models_from_file(path);
+  EXPECT_EQ(loaded.size(), models.size());
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_models_from_file("/nonexistent/scag.repo"),
+               std::runtime_error);
+}
+
+TEST(Serialize, DetectorWorksWithLoadedRepository) {
+  const auto loaded =
+      load_models_from_string(save_models_to_string(poc_models()));
+  Detector detector(eval::experiment_model_config(),
+                    eval::experiment_dtw_config(), eval::kThreshold);
+  for (const AttackModel& m : loaded) detector.enroll(m);
+  const Detection det = detector.scan(
+      attacks::poc_by_name("FR-Nepoche").build(attacks::PocConfig{}));
+  EXPECT_TRUE(det.is_attack());
+  EXPECT_EQ(det.verdict, Family::kFlushReload);
+}
+
+}  // namespace
+}  // namespace scag::core

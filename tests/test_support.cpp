@@ -1,0 +1,255 @@
+// Unit tests for the support library: RNG, statistics, strings, tables.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/strings.h"
+#include "support/table.h"
+
+namespace scag {
+namespace {
+
+// ---- Rng -------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  const std::uint64_t first = a.next();
+  a.next();
+  a.reseed(7);
+  EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowZeroThrows) {
+  Rng rng(3);
+  EXPECT_THROW(rng.below(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.uniform(10, 13);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 13u);
+    saw_lo |= v == 10;
+    saw_hi |= v == 13;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformBadRangeThrows) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform(5, 4), std::invalid_argument);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng rng(9);
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_LT(lo, 0.05);
+  EXPECT_GT(hi, 0.95);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  std::map<std::uint64_t, int> counts;
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(8)];
+  for (const auto& [v, c] : counts) {
+    (void)v;
+    EXPECT_NEAR(c, n / 8, n / 80);  // within 10%
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto orig = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, PickFromEmptyThrows) {
+  Rng rng(19);
+  std::vector<int> empty;
+  EXPECT_THROW(rng.pick(empty), std::invalid_argument);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += parent.next() == child.next();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, GaussianMeanAndSpread) {
+  Rng rng(29);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.gaussian(5.0, 2.0));
+  EXPECT_NEAR(mean_of(xs), 5.0, 0.1);
+  EXPECT_NEAR(stddev_of(xs), 2.0, 0.1);
+}
+
+// ---- stats -----------------------------------------------------------------
+
+TEST(Stats, MeanOfEmptyIsZero) { EXPECT_EQ(mean_of({}), 0.0); }
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 5.0);
+  EXPECT_DOUBLE_EQ(stddev_of(xs), 2.0);
+}
+
+TEST(Stats, SummarizeTracksMinMaxSum) {
+  const Summary s = summarize({3.0, -1.0, 10.0});
+  EXPECT_EQ(s.n, 3u);
+  EXPECT_DOUBLE_EQ(s.min, -1.0);
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+  EXPECT_DOUBLE_EQ(s.sum, 12.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 2.0);
+}
+
+TEST(Stats, PercentileRejectsBadInput) {
+  EXPECT_THROW(percentile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 1.5), std::invalid_argument);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> a = {1, 2, 3, 4};
+  const std::vector<double> b = {2, 4, 6, 8};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+  const std::vector<double> c = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(a, c), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerateIsZero) {
+  EXPECT_EQ(pearson({1, 1, 1}, {1, 2, 3}), 0.0);
+  EXPECT_EQ(pearson({1, 2}, {1, 2, 3}), 0.0);
+}
+
+TEST(Stats, F1Score) {
+  EXPECT_DOUBLE_EQ(f1_score(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(f1_score(0.0, 0.0), 0.0);
+  EXPECT_NEAR(f1_score(0.5, 1.0), 2.0 / 3.0, 1e-12);
+}
+
+// ---- strings ---------------------------------------------------------------
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitWsSkipsRuns) {
+  const auto parts = split_ws("  mov   rax,  rbx \t ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "mov");
+  EXPECT_EQ(parts[1], "rax,");
+  EXPECT_EQ(parts[2], "rbx");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(Strings, ToLowerAndStartsWith) {
+  EXPECT_EQ(to_lower("MoV RaX"), "mov rax");
+  EXPECT_TRUE(starts_with("clflush [rax]", "clflush"));
+  EXPECT_FALSE(starts_with("cl", "clflush"));
+}
+
+TEST(Strings, StrfmtAndPct) {
+  EXPECT_EQ(strfmt("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(pct(0.9664), "96.64%");
+  EXPECT_EQ(pct(0.0), "0.00%");
+}
+
+// ---- Table -----------------------------------------------------------------
+
+TEST(Table, RendersAlignedColumns) {
+  Table t("TITLE");
+  t.header({"A", "Long header"});
+  t.row({"xx", "y"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("TITLE"), std::string::npos);
+  EXPECT_NE(out.find("| A "), std::string::npos);
+  EXPECT_NE(out.find("Long header"), std::string::npos);
+  std::size_t width = 0;
+  for (const auto& line : split(out, '\n')) {
+    if (line.empty() || line == "TITLE") continue;
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << out;
+  }
+}
+
+TEST(Table, HandlesRaggedRows) {
+  Table t;
+  t.header({"a", "b", "c"});
+  t.row({"1"});
+  t.separator();
+  t.row({"1", "2", "3"});
+  EXPECT_NO_THROW(t.render());
+}
+
+}  // namespace
+}  // namespace scag

@@ -1,0 +1,84 @@
+// Tests for the trace layer: HPC counter arithmetic and profile helpers.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string_view>
+
+#include "trace/hpc.h"
+#include "trace/profile.h"
+
+namespace scag::trace {
+namespace {
+
+TEST(HpcCounters, BumpAndTotal) {
+  HpcCounters c;
+  EXPECT_EQ(c.total(), 0u);
+  c.bump(HpcEvent::kL1dLoadMiss);
+  c.bump(HpcEvent::kCacheMiss, 3);
+  EXPECT_EQ(c[HpcEvent::kL1dLoadMiss], 1u);
+  EXPECT_EQ(c[HpcEvent::kCacheMiss], 3u);
+  EXPECT_EQ(c.total(), 4u);
+}
+
+TEST(HpcCounters, AddAssignAccumulates) {
+  HpcCounters a, b;
+  a.bump(HpcEvent::kLlcLoadHit, 2);
+  b.bump(HpcEvent::kLlcLoadHit, 5);
+  b.bump(HpcEvent::kBranchMiss, 1);
+  a += b;
+  EXPECT_EQ(a[HpcEvent::kLlcLoadHit], 7u);
+  EXPECT_EQ(a[HpcEvent::kBranchMiss], 1u);
+}
+
+TEST(HpcCounters, DeltaFromSaturates) {
+  HpcCounters now, earlier;
+  now.bump(HpcEvent::kL1dLoadHit, 10);
+  earlier.bump(HpcEvent::kL1dLoadHit, 4);
+  earlier.bump(HpcEvent::kBranchMiss, 2);  // never happens in practice
+  const HpcCounters d = now.delta_from(earlier);
+  EXPECT_EQ(d[HpcEvent::kL1dLoadHit], 6u);
+  EXPECT_EQ(d[HpcEvent::kBranchMiss], 0u);  // clamped, not underflowed
+}
+
+TEST(HpcCounters, EqualityIsElementwise) {
+  HpcCounters a, b;
+  EXPECT_EQ(a, b);
+  a.bump(HpcEvent::kL1iLoadMiss);
+  EXPECT_NE(a, b);
+}
+
+TEST(HpcEvents, AllElevenHaveDistinctNames) {
+  std::set<std::string_view> names;
+  for (std::size_t e = 0; e < kNumHpcEvents; ++e)
+    names.insert(hpc_event_name(static_cast<HpcEvent>(e)));
+  EXPECT_EQ(names.size(), kNumHpcEvents);
+  EXPECT_EQ(kNumHpcEvents, 11u);  // Table I: 11 countable events
+}
+
+TEST(Profile, ResizeInitializesAllVectors) {
+  ExecutionProfile p;
+  p.resize(5);
+  EXPECT_EQ(p.per_instr.size(), 5u);
+  EXPECT_EQ(p.first_cycle.size(), 5u);
+  EXPECT_EQ(p.line_addrs.size(), 5u);
+  EXPECT_EQ(p.transient_line_addrs.size(), 5u);
+  EXPECT_FALSE(p.executed(0));
+  EXPECT_EQ(p.hpc_value(0), 0u);
+}
+
+TEST(Profile, HpcValueSumsElevenEvents) {
+  ExecutionProfile p;
+  p.resize(1);
+  p.per_instr[0].bump(HpcEvent::kL1dLoadMiss, 2);
+  p.per_instr[0].bump(HpcEvent::kBranchMiss, 3);
+  EXPECT_EQ(p.hpc_value(0), 5u);
+}
+
+TEST(Profile, ExitReasonNames) {
+  EXPECT_EQ(exit_reason_name(ExitReason::kHalted), "halted");
+  EXPECT_EQ(exit_reason_name(ExitReason::kInstrLimit), "instruction-limit");
+  EXPECT_EQ(exit_reason_name(ExitReason::kBadInstruction), "bad-instruction");
+}
+
+}  // namespace
+}  // namespace scag::trace

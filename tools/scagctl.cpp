@@ -1,0 +1,215 @@
+// scagctl — command-line front end for the SCAGuard library.
+//
+//   scagctl list                         known attack PoCs & benign templates
+//   scagctl build-repo <out.repo>        model all PoCs into a repository file
+//   scagctl scan <repo> <prog.s>...      scan assembly programs against a repo
+//   scagctl model <prog.s>               print a program's CST-BBS model
+//   scagctl demo <poc-name> [secret]     run a PoC and show the recovery
+//   scagctl export <poc-name> [out.s]    dump a PoC as re-assemblable .s
+//   scagctl cfg <prog.s>                 print a program's CFG as graphviz
+//
+// The deployment flow matches the paper's discussion section: build the
+// repository once (offline), then scan untrusted programs before they are
+// admitted to the cluster.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "attacks/registry.h"
+#include "benign/registry.h"
+#include "cfg/cfg.h"
+#include "core/detector.h"
+#include "core/serialize.h"
+#include "cpu/interpreter.h"
+#include "eval/experiments.h"
+#include "isa/assembler.h"
+#include "isa/export.h"
+#include "support/strings.h"
+#include "support/table.h"
+
+using namespace scag;
+
+namespace {
+
+int usage() {
+  std::fputs(
+      "usage:\n"
+      "  scagctl list\n"
+      "  scagctl build-repo <out.repo>\n"
+      "  scagctl scan <repo> <prog.s>...\n"
+      "  scagctl model <prog.s>\n"
+      "  scagctl demo <poc-name> [secret 1..15]\n"
+      "  scagctl export <poc-name> [out.s]\n"
+      "  scagctl cfg <prog.s>\n",
+      stderr);
+  return 2;
+}
+
+isa::Program load_asm(const char* path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error(std::string("cannot open ") + path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return isa::assemble(ss.str(), path);
+}
+
+int cmd_list() {
+  Table attacks_table("Attack PoCs (Table II)");
+  attacks_table.header({"Name", "Family"});
+  for (const auto& spec : attacks::all_pocs())
+    attacks_table.row({spec.name, std::string(core::family_name(spec.family))});
+  attacks_table.print();
+
+  Table benign_table("\nBenign templates (Table III)");
+  benign_table.header({"Name", "Category"});
+  for (const auto& spec : benign::all_benign_templates())
+    benign_table.row({spec.name, spec.category});
+  benign_table.print();
+  return 0;
+}
+
+int cmd_build_repo(const char* out_path) {
+  const core::ModelBuilder builder(eval::experiment_model_config());
+  std::vector<core::AttackModel> models;
+  for (const auto& spec : attacks::all_pocs()) {
+    std::printf("modeling %s...\n", spec.name.c_str());
+    models.push_back(
+        builder.build(spec.build(attacks::PocConfig{}), spec.family));
+  }
+  core::save_models_to_file(out_path, models);
+  std::printf("wrote %zu models to %s\n", models.size(), out_path);
+  return 0;
+}
+
+int cmd_scan(const char* repo_path, int nfiles, char** files) {
+  core::Detector detector(eval::experiment_model_config(),
+                          eval::experiment_dtw_config(), eval::kThreshold);
+  for (core::AttackModel& m : core::load_models_from_file(repo_path))
+    detector.enroll(std::move(m));
+  std::printf("repository: %zu models, threshold %s\n\n",
+              detector.repository_size(), pct(detector.threshold()).c_str());
+
+  Table report("Scan report");
+  report.header({"Program", "Verdict", "Best match", "Score"});
+  int attacks_found = 0;
+  for (int i = 0; i < nfiles; ++i) {
+    const core::Detection det = detector.scan(load_asm(files[i]));
+    attacks_found += det.is_attack();
+    report.row({files[i],
+                det.is_attack()
+                    ? std::string(core::family_name(det.verdict))
+                    : "benign",
+                det.scores.empty() ? "-" : det.scores.front().model_name,
+                pct(det.best_score)});
+  }
+  report.print();
+  return attacks_found > 0 ? 1 : 0;  // nonzero exit if anything was flagged
+}
+
+int cmd_model(const char* path) {
+  const isa::Program program = load_asm(path);
+  const core::ModelBuilder builder(eval::experiment_model_config());
+  core::ModelArtifacts artifacts;
+  const core::AttackModel model =
+      builder.build(program, core::Family::kBenign, &artifacts);
+
+  std::printf("%s: %zu instructions, %zu basic blocks\n", path,
+              program.size(), artifacts.num_blocks);
+  std::printf("potential attack-relevant blocks: %zu, identified: %zu\n",
+              artifacts.potential.size(), artifacts.relevant.size());
+  if (model.sequence.empty()) {
+    std::puts("CST-BBS is empty: no cross-block cache-set sharing found.");
+    return 0;
+  }
+  Table t("CST-BBS");
+  t.header({"Block", "First cycle", "AO->AO'", "IO->IO'", "P", "Tokens"});
+  for (const core::CstBbsElement& e : model.sequence) {
+    t.row({std::to_string(e.block), std::to_string(e.first_cycle - 1),
+           strfmt("%.3f->%.3f", e.cst.before.ao, e.cst.after.ao),
+           strfmt("%.3f->%.3f", e.cst.before.io, e.cst.after.io),
+           strfmt("%.3f", e.cst.change()), join(e.sem_tokens, " ")});
+  }
+  t.print();
+  return 0;
+}
+
+int cmd_demo(const char* name, const char* secret_arg) {
+  attacks::PocConfig config;
+  if (secret_arg != nullptr) {
+    config.secret = static_cast<std::uint64_t>(std::strtoull(secret_arg, nullptr, 10));
+    if (config.secret < 1 || config.secret > 15) {
+      std::fputs("secret must be in 1..15\n", stderr);
+      return 2;
+    }
+  }
+  const attacks::PocSpec& spec = attacks::poc_by_name(name);
+  const isa::Program poc = spec.build(config);
+  cpu::Interpreter interp;
+  const cpu::RunResult run = interp.run(poc);
+  const std::uint64_t recovered =
+      run.memory.read(config.layout.recovered_addr);
+  std::printf("%s (%s)\n", spec.name.c_str(),
+              std::string(core::family_name(spec.family)).c_str());
+  std::printf("  victim secret : %llu\n",
+              static_cast<unsigned long long>(config.secret));
+  std::printf("  recovered     : %llu  (%s)\n",
+              static_cast<unsigned long long>(recovered),
+              recovered == config.secret ? "attack works" : "attack failed");
+  std::printf("  retired %llu instructions in %llu cycles\n",
+              static_cast<unsigned long long>(run.profile.retired),
+              static_cast<unsigned long long>(run.cycles));
+  return 0;
+}
+
+int cmd_cfg(const char* path) {
+  const isa::Program program = load_asm(path);
+  const cfg::Cfg cfg = cfg::Cfg::build(program);
+  std::fputs(cfg.to_dot().c_str(), stdout);
+  return 0;
+}
+
+int cmd_export(const char* name, const char* out_path) {
+  const attacks::PocSpec& spec = attacks::poc_by_name(name);
+  isa::ExportOptions options;
+  options.relevance_comments = true;
+  const std::string text =
+      isa::export_assembly(spec.build(attacks::PocConfig{}), options);
+  if (out_path == nullptr) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", out_path);
+      return 1;
+    }
+    out << text;
+    std::printf("wrote %s (%zu bytes)\n", out_path, text.size());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    if (std::strcmp(argv[1], "list") == 0) return cmd_list();
+    if (std::strcmp(argv[1], "build-repo") == 0 && argc == 3)
+      return cmd_build_repo(argv[2]);
+    if (std::strcmp(argv[1], "scan") == 0 && argc >= 4)
+      return cmd_scan(argv[2], argc - 3, argv + 3);
+    if (std::strcmp(argv[1], "model") == 0 && argc == 3)
+      return cmd_model(argv[2]);
+    if (std::strcmp(argv[1], "demo") == 0 && (argc == 3 || argc == 4))
+      return cmd_demo(argv[2], argc == 4 ? argv[3] : nullptr);
+    if (std::strcmp(argv[1], "export") == 0 && (argc == 3 || argc == 4))
+      return cmd_export(argv[2], argc == 4 ? argv[3] : nullptr);
+    if (std::strcmp(argv[1], "cfg") == 0 && argc == 3)
+      return cmd_cfg(argv[2]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "scagctl: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
