@@ -20,6 +20,7 @@
 
 #include "attacks/registry.h"
 #include "benign/registry.h"
+#include "core/batch_detector.h"
 #include "core/detector.h"
 #include "eval/experiments.h"
 #include "isa/assembler.h"
@@ -31,15 +32,35 @@ using namespace scag;
 
 namespace {
 
-void scan_and_report(const core::Detector& detector,
-                     const std::string& name, const isa::Program& program,
+/// The installation queue: programs are collected first, then scanned in
+/// one shot through the parallel batch engine.
+struct Queue {
+  std::vector<std::string> names;
+  std::vector<isa::Program> programs;
+
+  void add(std::string name, isa::Program program) {
+    names.push_back(std::move(name));
+    programs.push_back(std::move(program));
+  }
+};
+
+void scan_and_report(const core::Detector& detector, const Queue& queue,
                      Table& report) {
-  const core::Detection det = detector.scan(program);
-  std::string best = "-";
-  if (!det.scores.empty())
-    best = det.scores.front().model_name + " @ " + pct(det.best_score);
-  report.row({name, det.is_attack() ? "ATTACK" : "admit",
-              std::string(core::family_abbrev(det.verdict)), best});
+  // All queued programs are modeled and compared concurrently; the
+  // Detections are bit-identical to serial Detector::scan calls.
+  const core::BatchDetector batch(detector, core::BatchConfig{});
+  std::printf("Scanning %zu program(s) on %zu thread(s)...\n",
+              queue.programs.size(), batch.threads());
+  const std::vector<core::Detection> detections =
+      batch.scan_programs(queue.programs);
+  for (std::size_t i = 0; i < detections.size(); ++i) {
+    const core::Detection& det = detections[i];
+    std::string best = "-";
+    if (!det.scores.empty())
+      best = det.scores.front().model_name + " @ " + pct(det.best_score);
+    report.row({queue.names[i], det.is_attack() ? "ATTACK" : "admit",
+                std::string(core::family_abbrev(det.verdict)), best});
+  }
 }
 
 }  // namespace
@@ -59,6 +80,7 @@ int main(int argc, char** argv) {
   report.header({"Program", "Verdict", "Family", "Best match"});
 
   if (argc > 1) {
+    Queue queue;
     for (int i = 1; i < argc; ++i) {
       std::ifstream in(argv[i]);
       if (!in) {
@@ -68,13 +90,13 @@ int main(int argc, char** argv) {
       std::stringstream ss;
       ss << in.rdbuf();
       try {
-        scan_and_report(detector, argv[i],
-                        isa::assemble(ss.str(), argv[i]), report);
+        queue.add(argv[i], isa::assemble(ss.str(), argv[i]));
       } catch (const isa::AsmError& e) {
         std::fprintf(stderr, "%s: %s\n", argv[i], e.what());
         return 1;
       }
     }
+    scan_and_report(detector, queue, report);
     report.print();
     return 0;
   }
@@ -86,22 +108,21 @@ int main(int argc, char** argv) {
   attacks::PocConfig config;
   config.secret = 1 + rng.below(15);
 
+  Queue queue;
   {  // A mutated Evict+Reload nobody enrolled.
     Rng mut = rng.split();
-    scan_and_report(detector, "update-helper (ER mutant)",
-                    mutation::mutate(attacks::er_iaik(config), mut), report);
+    queue.add("update-helper (ER mutant)",
+              mutation::mutate(attacks::er_iaik(config), mut));
   }
   {  // An obfuscated Prime+Probe.
     Rng mut = rng.split();
-    scan_and_report(detector, "telemetry-agent (PP obfusc.)",
-                    mutation::obfuscate(attacks::pp_jzhang(config), mut),
-                    report);
+    queue.add("telemetry-agent (PP obfusc.)",
+              mutation::obfuscate(attacks::pp_jzhang(config), mut));
   }
   {  // A Spectre variant.
     Rng mut = rng.split();
-    scan_and_report(detector, "codec-plugin (Spectre-FR)",
-                    mutation::mutate(attacks::spectre_fr_good(config), mut),
-                    report);
+    queue.add("codec-plugin (Spectre-FR)",
+              mutation::mutate(attacks::spectre_fr_good(config), mut));
   }
   // Legitimate software, including the hard cases.
   const char* legit[] = {"aes-ttables", "hashtable-server", "timed-lookup",
@@ -110,9 +131,10 @@ int main(int argc, char** argv) {
     for (const auto& spec : benign::all_benign_templates()) {
       if (spec.name != name) continue;
       Rng gen = rng.split();
-      scan_and_report(detector, name, spec.build(gen), report);
+      queue.add(name, spec.build(gen));
     }
   }
+  scan_and_report(detector, queue, report);
   report.print();
   std::puts("\n(ATTACK = similarity above the 45% threshold; admit = below.)");
   return 0;

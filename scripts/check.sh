@@ -8,6 +8,10 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
 
+# Data-race check of the parallel batch-scan engine (separate build tree;
+# skips itself where TSan cannot run).
+scripts/check_tsan.sh
+
 N="${1:-60}"   # samples per attack type for the bench pass
 for b in build/bench/bench_*; do
   [ -x "$b" ] || continue

@@ -1,0 +1,133 @@
+#include "core/batch_detector.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace scag::core {
+
+BatchDetector::BatchDetector(const Detector& detector, BatchConfig config)
+    : detector_(detector), config_(config), pool_(config.threads) {}
+
+BatchStats BatchDetector::stats() const {
+  BatchStats s;
+  s.pairs = pairs_.load(std::memory_order_relaxed);
+  s.exact = exact_.load(std::memory_order_relaxed);
+  s.lb_skipped = lb_skipped_.load(std::memory_order_relaxed);
+  s.early_abandoned = early_abandoned_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void BatchDetector::reset_stats() const {
+  pairs_.store(0, std::memory_order_relaxed);
+  exact_.store(0, std::memory_order_relaxed);
+  lb_skipped_.store(0, std::memory_order_relaxed);
+  early_abandoned_.store(0, std::memory_order_relaxed);
+}
+
+Detection BatchDetector::scan_one_pruned(const CstBbs& target) const {
+  const std::vector<AttackModel>& repo = detector_.repository();
+  const DtwConfig& dtw = detector_.dtw_config();
+  std::vector<ModelScore> scores;
+  scores.reserve(repo.size());
+  // The cutoff ratchets up with the best exact score seen so far. Models
+  // are visited in enrollment order by exactly one thread, so the pruning
+  // decisions are deterministic and independent of scheduling.
+  double best = 0.0;
+  std::uint64_t exact = 0, lb = 0, ea = 0;
+  for (const AttackModel& model : repo) {
+    const double cutoff = std::max(best, detector_.threshold());
+    const BoundedScore bs =
+        bounded_similarity(target, model.sequence, cutoff, dtw);
+    switch (bs.pruned) {
+      case PruneKind::kNone:
+        ++exact;
+        best = std::max(best, bs.score);
+        break;
+      case PruneKind::kLowerBound: ++lb; break;
+      case PruneKind::kEarlyAbandon: ++ea; break;
+    }
+    ModelScore s;
+    s.model_name = model.name;
+    s.family = model.family;
+    s.score = bs.score;
+    s.pruned = bs.pruned != PruneKind::kNone;
+    scores.push_back(std::move(s));
+  }
+  exact_.fetch_add(exact, std::memory_order_relaxed);
+  lb_skipped_.fetch_add(lb, std::memory_order_relaxed);
+  early_abandoned_.fetch_add(ea, std::memory_order_relaxed);
+  return Detector::finalize(std::move(scores), detector_.threshold());
+}
+
+std::vector<Detection> BatchDetector::scan_all(
+    const std::vector<CstBbs>& targets) const {
+  const std::vector<AttackModel>& repo = detector_.repository();
+  const std::size_t n = targets.size();
+  const std::size_t m = repo.size();
+  std::vector<Detection> out(n);
+  pairs_.fetch_add(static_cast<std::uint64_t>(n) * m,
+                   std::memory_order_relaxed);
+
+  if (config_.prune) {
+    // One work unit per target row: the best-so-far cutoff is a per-row
+    // sequential ratchet, so a row must not be split across lanes.
+    pool_.parallel_for(
+        n, [&](std::size_t t) { out[t] = scan_one_pruned(targets[t]); });
+    return out;
+  }
+
+  // Equivalence mode: work-steal over the flattened N x M score matrix.
+  // Each (target, model) score is written to a slot determined only by its
+  // indices; the per-target reduction below is serial and shared with the
+  // serial Detector, so the result is bit-identical at any thread count.
+  std::vector<ModelScore> matrix(n * m);
+  const DtwConfig& dtw = detector_.dtw_config();
+  pool_.parallel_for(
+      n * m,
+      [&](std::size_t k) {
+        const std::size_t t = k / m;
+        const std::size_t j = k % m;
+        ModelScore& s = matrix[k];
+        s.model_name = repo[j].name;
+        s.family = repo[j].family;
+        s.score = similarity(targets[t], repo[j].sequence, dtw);
+      },
+      config_.grain);
+  exact_.fetch_add(static_cast<std::uint64_t>(n) * m,
+                   std::memory_order_relaxed);
+
+  for (std::size_t t = 0; t < n; ++t) {
+    std::vector<ModelScore> row(
+        std::make_move_iterator(matrix.begin() + t * m),
+        std::make_move_iterator(matrix.begin() + (t + 1) * m));
+    out[t] = Detector::finalize(std::move(row), detector_.threshold());
+  }
+  return out;
+}
+
+std::vector<Detection> BatchDetector::scan_modeled(
+    std::size_t count,
+    const std::function<CstBbs(std::size_t)>& make_target) const {
+  std::vector<CstBbs> targets(count);
+  pool_.parallel_for(count,
+                     [&](std::size_t i) { targets[i] = make_target(i); });
+  return scan_all(targets);
+}
+
+std::vector<Detection> BatchDetector::scan_programs(
+    const std::vector<isa::Program>& targets) const {
+  const ModelBuilder& builder = detector_.builder();
+  return scan_modeled(targets.size(), [&](std::size_t i) {
+    // An instruction-less program has no behavior to model (the pipeline
+    // rejects it); treat it as an empty CST-BBS so it scores ~0 / benign
+    // instead of aborting the whole batch.
+    if (targets[i].size() == 0) return CstBbs{};
+    return builder.build(targets[i]).sequence;
+  });
+}
+
+Detection BatchDetector::scan(const CstBbs& target) const {
+  return scan_all({target}).front();
+}
+
+}  // namespace scag::core

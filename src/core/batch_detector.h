@@ -1,0 +1,97 @@
+// Parallel batch-scan engine: scans N targets against the M models of a
+// Detector's repository concurrently, with optional DTW pruning.
+//
+// Guarantees (verified by tests/test_parallel_scan.cpp):
+//   - With pruning disabled (the default), scan_all returns Detections
+//     that are bit-identical to calling Detector::scan on each target
+//     serially — same verdicts, same scores, same ordering — at any
+//     thread count, on every run. Work distribution is dynamic, but every
+//     score lands in a slot determined only by (target, model) index and
+//     the reduction reuses Detector::finalize.
+//   - With pruning enabled, comparisons that provably cannot reach the
+//     detection threshold or beat the target's best score so far are
+//     skipped (O(n+m) lower bound) or truncated (early-abandoned DP). The
+//     verdict is still always identical to the serial path, and whenever
+//     the verdict is an attack, best_score and the best-matching model
+//     are identical too. Only sub-best entries may carry an upper bound
+//     instead of the exact score; those are flagged ModelScore::pruned.
+//     Pruning decisions depend only on the enrollment order, never on
+//     thread scheduling, so pruned runs are also deterministic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/detector.h"
+#include "support/thread_pool.h"
+
+namespace scag::core {
+
+struct BatchConfig {
+  /// Parallel lanes; 0 = all hardware threads, 1 = serial (still goes
+  /// through the engine, useful for equivalence testing).
+  std::size_t threads = 0;
+  /// Enable the DTW fast paths (lower-bound skip + early abandon).
+  bool prune = false;
+  /// Pairs per work chunk when pruning is off (pruning works per target
+  /// row so its best-so-far cutoff stays deterministic).
+  std::size_t grain = 16;
+};
+
+/// Cumulative pruning counters across all scans of one BatchDetector.
+struct BatchStats {
+  std::uint64_t pairs = 0;            // (target, model) comparisons issued
+  std::uint64_t exact = 0;            // computed by the full DP
+  std::uint64_t lb_skipped = 0;       // skipped by the O(n+m) lower bound
+  std::uint64_t early_abandoned = 0;  // DP abandoned mid-way
+};
+
+class BatchDetector {
+ public:
+  /// Borrows `detector` (repository, DTW config, threshold); it must
+  /// outlive the BatchDetector and not be mutated while scans run.
+  explicit BatchDetector(const Detector& detector, BatchConfig config = {});
+
+  const BatchConfig& config() const { return config_; }
+  const Detector& detector() const { return detector_; }
+  std::size_t threads() const { return pool_.size(); }
+
+  /// Scans pre-modeled targets; result[i] is the Detection of targets[i].
+  std::vector<Detection> scan_all(const std::vector<CstBbs>& targets) const;
+
+  /// Full pipeline per program: modeling is parallelized across targets,
+  /// then the score matrix is scanned. Equivalent to Detector::scan on
+  /// each program, except that an instruction-less program (which the
+  /// pipeline rejects) is modeled as an empty CST-BBS and scans benign.
+  std::vector<Detection> scan_programs(
+      const std::vector<isa::Program>& targets) const;
+
+  /// Builds `count` targets with `make_target(i)` (run concurrently on the
+  /// engine's pool — it must be thread-safe for distinct i), then scans
+  /// them. Lets callers feed models built from pre-collected profiles
+  /// without materializing the sequences first.
+  std::vector<Detection> scan_modeled(
+      std::size_t count,
+      const std::function<CstBbs(std::size_t)>& make_target) const;
+
+  /// Single-target convenience; equivalent to Detector::scan.
+  Detection scan(const CstBbs& target) const;
+
+  BatchStats stats() const;
+  void reset_stats() const;
+
+ private:
+  Detection scan_one_pruned(const CstBbs& target) const;
+
+  const Detector& detector_;
+  BatchConfig config_;
+  mutable support::ThreadPool pool_;
+  mutable std::atomic<std::uint64_t> pairs_{0};
+  mutable std::atomic<std::uint64_t> exact_{0};
+  mutable std::atomic<std::uint64_t> lb_skipped_{0};
+  mutable std::atomic<std::uint64_t> early_abandoned_{0};
+};
+
+}  // namespace scag::core

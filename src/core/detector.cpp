@@ -23,22 +23,31 @@ Detection Detector::scan(const isa::Program& target) const {
 }
 
 Detection Detector::scan(const CstBbs& target_sequence) const {
-  Detection det;
-  det.scores.reserve(repository_.size());
+  std::vector<ModelScore> scores;
+  scores.reserve(repository_.size());
   for (const AttackModel& model : repository_) {
     ModelScore s;
     s.model_name = model.name;
     s.family = model.family;
     s.score = similarity(target_sequence, model.sequence, dtw_);
-    det.scores.push_back(s);
+    scores.push_back(s);
   }
-  std::sort(det.scores.begin(), det.scores.end(),
-            [](const ModelScore& a, const ModelScore& b) {
-              return a.score > b.score;
-            });
+  return finalize(std::move(scores), threshold_);
+}
+
+Detection Detector::finalize(std::vector<ModelScore> scores,
+                             double threshold) {
+  Detection det;
+  det.scores = std::move(scores);
+  // stable_sort: equal scores keep enrollment order, so the reduction is
+  // deterministic regardless of how the scores were produced.
+  std::stable_sort(det.scores.begin(), det.scores.end(),
+                   [](const ModelScore& a, const ModelScore& b) {
+                     return a.score > b.score;
+                   });
   if (!det.scores.empty()) {
     det.best_score = det.scores.front().score;
-    if (det.best_score >= threshold_) det.verdict = det.scores.front().family;
+    if (det.best_score >= threshold) det.verdict = det.scores.front().family;
   }
   return det;
 }

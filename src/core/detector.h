@@ -20,10 +20,15 @@ struct ModelScore {
   std::string model_name;
   Family family = Family::kBenign;
   double score = 0.0;
+  /// Set only by the pruning batch-scan path (core/batch_detector.h): the
+  /// comparison was cut short and `score` is an upper bound on the exact
+  /// similarity, itself below the pruning cutoff. The serial Detector
+  /// always computes exactly and leaves this false.
+  bool pruned = false;
 };
 
 struct Detection {
-  /// All per-model scores, sorted descending.
+  /// All per-model scores, sorted descending (ties keep enrollment order).
   std::vector<ModelScore> scores;
   /// Family of the best-scoring model if above threshold, else kBenign.
   Family verdict = Family::kBenign;
@@ -45,6 +50,7 @@ class Detector {
   double threshold() const { return threshold_; }
   void set_threshold(double t) { threshold_ = t; }
   const ModelBuilder& builder() const { return builder_; }
+  const DtwConfig& dtw_config() const { return dtw_; }
 
   /// Adds a PoC to the repository (modeling it with the pipeline).
   void enroll(const isa::Program& poc, Family family);
@@ -60,6 +66,13 @@ class Detector {
 
   /// Comparison only, for a target already modeled.
   Detection scan(const CstBbs& target_sequence) const;
+
+  /// The deterministic reduction shared by the serial and batch scan
+  /// paths: takes per-model scores in enrollment order, sorts them
+  /// descending with a stable tie-break (enrollment order), and derives
+  /// verdict/best_score. Keeping this in one place is what lets
+  /// BatchDetector guarantee bit-identical Detections.
+  static Detection finalize(std::vector<ModelScore> scores, double threshold);
 
  private:
   ModelBuilder builder_;

@@ -6,12 +6,166 @@
 #include <vector>
 
 #include "core/distance.h"
+#include "isa/normalize.h"
 
 namespace scag::core {
 
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Relative slack applied to every pruning comparison so floating-point
+/// rounding in the bounds can only make pruning *less* aggressive, never
+/// discard a pair whose exact score reaches the cutoff.
+constexpr double kPruneSlack = 1e-9;
+
+/// The length-mismatch penalty factor (>= 1) applied by cst_bbs_distance.
+double penalty_factor(std::size_t n, std::size_t m, const DtwConfig& config) {
+  if (config.length_penalty <= 0.0 || n == 0 || m == 0) return 1.0;
+  const double lo = static_cast<double>(std::min(n, m));
+  const double hi = static_cast<double>(std::max(n, m));
+  return 1.0 + config.length_penalty * (1.0 - lo / hi);
+}
+
+/// Accumulated cost -> reported distance (normalization + length penalty),
+/// bit-identical to the historical cst_bbs_distance arithmetic.
+double finish_distance(const DtwResult& r, std::size_t n, std::size_t m,
+                       const DtwConfig& config) {
+  double d = r.distance;
+  if (config.normalization == DtwNormalization::kPathAveraged &&
+      r.path_length > 0)
+    d /= static_cast<double>(r.path_length);
+  if (config.length_penalty > 0.0 && n > 0 && m > 0) {
+    const double lo = static_cast<double>(std::min(n, m));
+    const double hi = static_cast<double>(std::max(n, m));
+    d *= 1.0 + config.length_penalty * (1.0 - lo / hi);
+  }
+  return d;
+}
+
+double similarity_from_distance(double d, const DtwConfig& config) {
+  const double scaled = config.cost_scale * d;
+  if (config.gamma == 1.0) return 1.0 / (1.0 + scaled);
+  return 1.0 / (1.0 + std::pow(scaled, config.gamma));
+}
+
+/// Largest distance whose similarity still reaches `min_similarity`
+/// (slightly inflated, see kPruneSlack). +inf when pruning is impossible.
+double distance_cutoff(double min_similarity, const DtwConfig& config) {
+  if (min_similarity <= 0.0) return kInf;
+  if (config.cost_scale <= 0.0 || config.gamma <= 0.0) return kInf;
+  if (min_similarity >= 1.0) return 0.0;
+  const double x = 1.0 / min_similarity - 1.0;  // (cost_scale*D)^gamma <= x
+  const double d =
+      (config.gamma == 1.0 ? x : std::pow(x, 1.0 / config.gamma)) /
+      config.cost_scale;
+  return d * (1.0 + kPruneSlack);
+}
+
+/// Scalar per-element features the lower bound runs its envelopes over.
+struct EnvelopeFeatures {
+  std::vector<double> csp;    // Cst::change(), metric |x - y|
+  std::vector<double> count;  // instruction/token count (alphabet histogram)
+  std::vector<double> mass;   // semantic weight mass (kSemanticWeighted)
+  double csp_lo = kInf, csp_hi = -kInf;
+  double count_lo = kInf, count_hi = -kInf;
+  double mass_hi = 0.0;
+};
+
+EnvelopeFeatures envelope_features(const CstBbs& s, const DistanceConfig& dc) {
+  EnvelopeFeatures f;
+  f.csp.reserve(s.size());
+  f.count.reserve(s.size());
+  f.mass.reserve(s.size());
+  for (const CstBbsElement& e : s) {
+    const double c = e.cst.change();
+    double cnt = 0.0, mass = 0.0;
+    if (dc.alphabet == IsAlphabet::kFullTokens) {
+      cnt = static_cast<double>(e.norm_instrs.size());
+    } else {
+      cnt = static_cast<double>(e.sem_tokens.size());
+      for (const std::string& t : e.sem_tokens)
+        mass += isa::semantic_token_weight(t);
+    }
+    f.csp.push_back(c);
+    f.count.push_back(cnt);
+    f.mass.push_back(mass);
+    f.csp_lo = std::min(f.csp_lo, c);
+    f.csp_hi = std::max(f.csp_hi, c);
+    f.count_lo = std::min(f.count_lo, cnt);
+    f.count_hi = std::max(f.count_hi, cnt);
+    f.mass_hi = std::max(f.mass_hi, mass);
+  }
+  return f;
+}
+
+/// Distance from value x to the interval [lo, hi] (0 inside).
+double interval_gap(double x, double lo, double hi) {
+  if (x > hi) return x - hi;
+  if (x < lo) return lo - x;
+  return 0.0;
+}
+
+/// Per-element lower bound on the instruction-sequence distance D_IS
+/// between an element with (count, mass) and ANY element of the other
+/// sequence, using only the other side's envelope. Sound because every
+/// edit operation changes the token count by at most one and costs at
+/// least the cheapest token (weighted mode) or exactly one (full-token
+/// mode), while the normalizing denominator is at most the envelope max.
+double is_gap(double count, double mass, const EnvelopeFeatures& other,
+              const DistanceConfig& dc) {
+  const double count_gap =
+      interval_gap(count, other.count_lo, other.count_hi);
+  if (count_gap <= 0.0) return 0.0;
+  if (dc.alphabet == IsAlphabet::kFullTokens) {
+    // lev >= |len difference|; denominator max(len_a, len_b).
+    const double denom = std::max(count, other.count_hi);
+    return denom > 0.0 ? count_gap / denom : 0.0;
+  }
+  // Weighted mode: each insert/delete costs >= the minimum token weight,
+  // and min(1, .) caps the normalized distance at 1.
+  const double denom = std::max(mass, other.mass_hi);
+  if (denom <= 0.0) return 0.0;
+  return std::min(1.0, isa::semantic_min_token_weight() * count_gap / denom);
+}
+
+/// O(n+m) lower bound on the *accumulated* DTW cost between a and b.
+double accumulated_cost_lower_bound(const CstBbs& a, const CstBbs& b,
+                                    const DtwConfig& config) {
+  const std::size_t n = a.size(), m = b.size();
+  const DistanceConfig& dc = config.distance;
+
+  // LB_Kim: the warping path always pays the (first, first) cost, and —
+  // when the path has more than one cell — the (last, last) cost too.
+  double kim = cst_distance(a.front(), b.front(), dc);
+  if (n + m > 2) kim += cst_distance(a.back(), b.back(), dc);
+
+  // Envelope bounds: the path visits every row and every column at least
+  // once, and visited cells are distinct, so per-row (per-column) minimum
+  // costs sum into the accumulated cost.
+  const EnvelopeFeatures fa = envelope_features(a, dc);
+  const EnvelopeFeatures fb = envelope_features(b, dc);
+  const double is_w = dc.is_weight;
+  const double csp_w = 1.0 - dc.is_weight;
+
+  double rows = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    rows += csp_w * interval_gap(fa.csp[i], fb.csp_lo, fb.csp_hi) +
+            is_w * is_gap(fa.count[i], fa.mass[i], fb, dc);
+  }
+  double cols = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    cols += csp_w * interval_gap(fb.csp[j], fa.csp_lo, fa.csp_hi) +
+            is_w * is_gap(fb.count[j], fb.mass[j], fa, dc);
+  }
+  return std::max({kim, rows, cols});
+}
+
+}  // namespace
+
 DtwResult dtw(std::size_t n, std::size_t m,
               const std::function<double(std::size_t, std::size_t)>& cost,
-              const DtwConfig& config) {
+              const DtwConfig& config, double abandon_above) {
   DtwResult result;
   if (n == 0 && m == 0) return result;
   if (n == 0 || m == 0) {
@@ -20,7 +174,7 @@ DtwResult dtw(std::size_t n, std::size_t m,
     return result;
   }
 
-  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const bool may_abandon = std::isfinite(abandon_above);
   // dp[i][j] = min accumulated cost aligning a[0..i) with b[0..j).
   // steps[i][j] = warping-path length achieving it.
   const std::size_t w =
@@ -36,6 +190,7 @@ DtwResult dtw(std::size_t n, std::size_t m,
     std::fill(cur.begin(), cur.end(), kInf);
     const std::size_t j_lo = i > w ? i - w : 1;
     const std::size_t j_hi = std::min(m, i + w);
+    double row_min = kInf;
     for (std::size_t j = j_lo; j <= j_hi; ++j) {
       const double c = cost(i - 1, j - 1);
       double best = prev[j - 1];        // diagonal
@@ -50,6 +205,16 @@ DtwResult dtw(std::size_t n, std::size_t m,
       }
       cur[j] = best + c;
       cur_steps[j] = steps + 1;
+      row_min = std::min(row_min, cur[j]);
+    }
+    // Early abandon: any path to (n, m) passes through row i at an in-band
+    // cell, and future costs are non-negative, so the final accumulated
+    // cost is at least row_min.
+    if (may_abandon && row_min > abandon_above) {
+      result.distance = row_min;
+      result.path_length = 0;
+      result.abandoned = true;
+      return result;
     }
     std::swap(prev, cur);
     std::swap(prev_steps, cur_steps);
@@ -67,23 +232,80 @@ double cst_bbs_distance(const CstBbs& a, const CstBbs& b,
             return cst_distance(a[i], b[j], config.distance);
           },
           config);
-  double d = r.distance;
-  if (config.normalization == DtwNormalization::kPathAveraged &&
-      r.path_length > 0)
-    d /= static_cast<double>(r.path_length);
-  if (config.length_penalty > 0.0 && !a.empty() && !b.empty()) {
-    const double lo = static_cast<double>(std::min(a.size(), b.size()));
-    const double hi = static_cast<double>(std::max(a.size(), b.size()));
-    d *= 1.0 + config.length_penalty * (1.0 - lo / hi);
-  }
-  return d;
+  return finish_distance(r, a.size(), b.size(), config);
+}
+
+double cst_bbs_distance_lower_bound(const CstBbs& a, const CstBbs& b,
+                                    const DtwConfig& config) {
+  const std::size_t n = a.size(), m = b.size();
+  // Degenerate alignments are O(1) to evaluate exactly.
+  if (n == 0 || m == 0) return cst_bbs_distance(a, b, config);
+
+  double d = accumulated_cost_lower_bound(a, b, config);
+  if (config.normalization == DtwNormalization::kPathAveraged)
+    d /= static_cast<double>(n + m - 1);  // the longest possible path
+  return d * penalty_factor(n, m, config);
 }
 
 double similarity(const CstBbs& a, const CstBbs& b, const DtwConfig& config) {
-  const double d = cst_bbs_distance(a, b, config);
-  const double scaled = config.cost_scale * d;
-  if (config.gamma == 1.0) return 1.0 / (1.0 + scaled);
-  return 1.0 / (1.0 + std::pow(scaled, config.gamma));
+  return similarity_from_distance(cst_bbs_distance(a, b, config), config);
+}
+
+double similarity_upper_bound(const CstBbs& a, const CstBbs& b,
+                              const DtwConfig& config) {
+  const double d_lb = cst_bbs_distance_lower_bound(a, b, config);
+  // Deflate slightly so the bound stays above the exact similarity even
+  // under floating-point rounding.
+  return similarity_from_distance(d_lb * (1.0 - kPruneSlack), config);
+}
+
+BoundedScore bounded_similarity(const CstBbs& a, const CstBbs& b,
+                                double min_similarity,
+                                const DtwConfig& config) {
+  BoundedScore out;
+  const std::size_t n = a.size(), m = b.size();
+  const double d_cut = distance_cutoff(min_similarity, config);
+  // No usable cutoff, or a pair too small for the shortcuts to pay off.
+  if (!std::isfinite(d_cut) || n == 0 || m == 0 || n * m <= 16) {
+    out.score = similarity(a, b, config);
+    return out;
+  }
+
+  // Stage 1: O(n+m) lower bound.
+  const double d_lb = cst_bbs_distance_lower_bound(a, b, config);
+  if (d_lb * (1.0 - kPruneSlack) > d_cut) {
+    out.score = similarity_from_distance(d_lb * (1.0 - kPruneSlack), config);
+    out.pruned = PruneKind::kLowerBound;
+    return out;
+  }
+
+  // Stage 2: exact DP with early abandon. Translate the distance cutoff
+  // back into accumulated-cost space, conservatively (the true path is at
+  // most n+m-1 cells long, the penalty factor is exact).
+  const double pf = penalty_factor(n, m, config);
+  double acc_limit = d_cut / pf;
+  if (config.normalization == DtwNormalization::kPathAveraged)
+    acc_limit *= static_cast<double>(n + m - 1);
+  acc_limit *= 1.0 + kPruneSlack;
+
+  const DtwResult r =
+      dtw(n, m,
+          [&a, &b, &config](std::size_t i, std::size_t j) {
+            return cst_distance(a[i], b[j], config.distance);
+          },
+          config, acc_limit);
+  if (r.abandoned) {
+    double d_ab = r.distance;  // row minimum: accumulated-cost lower bound
+    if (config.normalization == DtwNormalization::kPathAveraged)
+      d_ab /= static_cast<double>(n + m - 1);
+    d_ab *= pf;
+    out.score = similarity_from_distance(d_ab * (1.0 - kPruneSlack), config);
+    out.pruned = PruneKind::kEarlyAbandon;
+    return out;
+  }
+  out.score = similarity_from_distance(finish_distance(r, n, m, config),
+                                       config);
+  return out;
 }
 
 DtwConfig calibrated_dtw_config() {

@@ -4,10 +4,19 @@
 // per-pair distance along the optimal warping path. The accumulated
 // distance D in [0, inf) is converted to a similarity score 1/(1+D) in
 // (0, 1]: the larger the score, the more similar the behaviors.
+//
+// Batch scanning additions: a cheap O(n+m) lower bound on the DTW distance
+// (`cst_bbs_distance_lower_bound`), the matching similarity upper bound,
+// and `bounded_similarity`, which skips or truncates the O(n*m) dynamic
+// program for pairs that provably cannot reach a similarity cutoff. The
+// contract (verified by tests/test_dtw_properties.cpp): a pair whose exact
+// similarity is >= the cutoff is never pruned and its returned score is
+// bit-identical to `similarity`.
 #pragma once
 
 #include <cstddef>
 #include <functional>
+#include <limits>
 
 #include "core/distance.h"
 #include "core/model.h"
@@ -27,7 +36,10 @@ struct DtwConfig {
   /// Per-element distance configuration (alphabet selection).
   DistanceConfig distance{};
   DtwNormalization normalization = DtwNormalization::kAccumulated;
-  /// Sakoe-Chiba band half-width; 0 = unconstrained alignment.
+  /// Sakoe-Chiba band half-width; 0 = unconstrained alignment. A band
+  /// narrower than the length difference of the two sequences is widened
+  /// to |n - m| so the end cell stays reachable (the distance is always
+  /// finite).
   std::size_t window = 0;
   /// Multiplies the (possibly path-averaged) cost before the similarity
   /// conversion. Together with `gamma` this is the calibration that maps
@@ -51,22 +63,73 @@ DtwConfig calibrated_dtw_config();
 struct DtwResult {
   double distance = 0.0;     // accumulated cost along the optimal path
   std::size_t path_length = 0;
+  /// True when the dynamic program was abandoned early because every
+  /// in-band cell of some row exceeded `abandon_above`; `distance` is then
+  /// that row minimum — a lower bound on the true accumulated cost — and
+  /// `path_length` is 0.
+  bool abandoned = false;
 };
 
 /// Generic DTW between index spaces [0,n) and [0,m) with an arbitrary
 /// cost function. Empty-sequence convention: aligning against an empty
 /// sequence costs 1 per element (the maximum per-element distance).
+///
+/// `abandon_above`: early-abandon threshold on the accumulated cost. If
+/// after some row every reachable prefix cost already exceeds it, the
+/// result is returned with `abandoned = true` (costs are non-negative, so
+/// the final cost could only have been larger). The default (+inf) never
+/// abandons and computes the exact distance.
 DtwResult dtw(std::size_t n, std::size_t m,
               const std::function<double(std::size_t, std::size_t)>& cost,
-              const DtwConfig& config = {});
+              const DtwConfig& config = {},
+              double abandon_above = std::numeric_limits<double>::infinity());
 
 /// Accumulated DTW distance between two CST-BBSes using the combined
 /// CST distance of Section III-B1.
 double cst_bbs_distance(const CstBbs& a, const CstBbs& b,
                         const DtwConfig& config = {});
 
+/// O(n+m) lower bound on cst_bbs_distance: the maximum of
+///   - an LB_Kim-style bound (the warping path always aligns the two first
+///     elements and the two last elements, so those exact costs are paid),
+///   - envelope bounds on the two scalar per-element features that
+///     the combined CST distance is built from: the cache-state change
+///     (CSP component) and an instruction-count/alphabet-histogram gap
+///     (IS component). Every row/column of the cost matrix is visited by
+///     the path at least once, so the per-row minimum costs sum into the
+///     accumulated cost.
+/// Never exceeds the exact distance (tests/test_dtw_properties.cpp).
+double cst_bbs_distance_lower_bound(const CstBbs& a, const CstBbs& b,
+                                    const DtwConfig& config = {});
+
 /// Similarity score in (0, 1]: 1 / (1 + cost_scale * D).
 double similarity(const CstBbs& a, const CstBbs& b,
                   const DtwConfig& config = {});
+
+/// Upper bound on `similarity`, derived from cst_bbs_distance_lower_bound.
+double similarity_upper_bound(const CstBbs& a, const CstBbs& b,
+                              const DtwConfig& config = {});
+
+/// Which shortcut (if any) decided a bounded comparison.
+enum class PruneKind : std::uint8_t {
+  kNone,          // exact similarity was computed
+  kLowerBound,    // the O(n+m) bound already proved score < cutoff
+  kEarlyAbandon,  // the DP was abandoned mid-way
+};
+
+struct BoundedScore {
+  /// Exact similarity when `pruned == PruneKind::kNone`; otherwise an
+  /// upper bound on it that is itself below the cutoff.
+  double score = 0.0;
+  PruneKind pruned = PruneKind::kNone;
+};
+
+/// Exact similarity unless it provably falls below `min_similarity`
+/// (cutoff), in which case the comparison may stop early and return an
+/// upper bound flagged with the pruning mechanism. min_similarity <= 0
+/// disables pruning and always computes exactly.
+BoundedScore bounded_similarity(const CstBbs& a, const CstBbs& b,
+                                double min_similarity,
+                                const DtwConfig& config = {});
 
 }  // namespace scag::core

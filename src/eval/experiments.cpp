@@ -21,6 +21,13 @@ core::DtwConfig experiment_dtw_config() {
   return core::calibrated_dtw_config();
 }
 
+core::BatchConfig experiment_batch_config() {
+  core::BatchConfig config;
+  config.threads = 0;   // all hardware threads
+  config.prune = false; // bit-identical to the serial reference
+  return config;
+}
+
 // ---------- Table IV --------------------------------------------------------
 
 namespace {
@@ -308,6 +315,19 @@ core::Family scaguard_classify(const core::Detector& detector,
   return detector.scan(model.sequence).verdict;
 }
 
+std::vector<core::Detection> scaguard_scan_batch(
+    const core::Detector& detector,
+    const std::vector<const Sample*>& samples) {
+  const core::BatchDetector batch(detector, experiment_batch_config());
+  return batch.scan_modeled(samples.size(), [&](std::size_t i) {
+    const Sample& sample = *samples[i];
+    const cfg::Cfg cfg = cfg::Cfg::build(sample.program);
+    return detector.builder()
+        .build_from_profile(cfg, sample.profile, sample.family)
+        .sequence;
+  });
+}
+
 Table6 run_classification(const Dataset& dataset, std::uint64_t seed) {
   Table6 table;
   Rng rng(seed);
@@ -356,15 +376,23 @@ Table6 run_classification(const Dataset& dataset, std::uint64_t seed) {
           evaluate_predictions(spec, predictions);
     }
 
-    // ---- SCAGuard.
+    // ---- SCAGuard (batch path: modeling and scanning parallelized;
+    // pruning stays off so the verdicts match the serial reference
+    // bit-for-bit).
     {
       const core::Detector detector = make_scaguard(spec.known_families);
-      std::vector<Family> predictions;
-      predictions.reserve(spec.test.size());
+      std::vector<const Sample*> samples;
+      samples.reserve(spec.test.size());
       for (const auto& [sample, truth] : spec.test) {
         (void)truth;
-        predictions.push_back(scaguard_classify(detector, *sample));
+        samples.push_back(sample);
       }
+      const std::vector<core::Detection> detections =
+          scaguard_scan_batch(detector, samples);
+      std::vector<Family> predictions;
+      predictions.reserve(detections.size());
+      for (const core::Detection& det : detections)
+        predictions.push_back(det.verdict);
       table.results[Approach::kScaguard][task] =
           evaluate_predictions(spec, predictions);
     }
@@ -381,21 +409,27 @@ std::vector<ThresholdPoint> run_threshold_sweep(
       make_scaguard({Family::kFlushReload, Family::kPrimeProbe,
                      Family::kSpectreFR, Family::kSpectrePP});
 
-  // Score each test sample once; re-thresholding is then free.
+  // Score each test sample once (through the batch engine; the sweep needs
+  // every exact score, so pruning stays off); re-thresholding is then free.
   struct Scored {
     Family truth;
     Family best_family = Family::kBenign;
     double best_score = 0.0;
   };
+  std::vector<const Sample*> samples;
+  samples.reserve(spec.test.size());
+  for (const auto& [sample, truth] : spec.test) {
+    (void)truth;
+    samples.push_back(sample);
+  }
+  const std::vector<core::Detection> detections =
+      scaguard_scan_batch(detector, samples);
   std::vector<Scored> scored;
   scored.reserve(spec.test.size());
-  for (const auto& [sample, truth] : spec.test) {
-    const cfg::Cfg cfg = cfg::Cfg::build(sample->program);
-    const core::AttackModel model = detector.builder().build_from_profile(
-        cfg, sample->profile, sample->family);
-    const core::Detection det = detector.scan(model.sequence);
+  for (std::size_t i = 0; i < spec.test.size(); ++i) {
+    const core::Detection& det = detections[i];
     Scored s;
-    s.truth = truth;
+    s.truth = spec.test[i].second;
     if (!det.scores.empty()) {
       s.best_family = det.scores.front().family;
       s.best_score = det.scores.front().score;

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/batch_detector.h"
 #include "core/detector.h"
 #include "eval/dataset.h"
 #include "eval/metrics.h"
@@ -15,6 +16,10 @@ namespace scag::eval {
 /// DESIGN.md on calibration).
 core::ModelConfig experiment_model_config();
 core::DtwConfig experiment_dtw_config();
+/// Batch-scan engine configuration for dataset runs: all hardware threads,
+/// pruning OFF so every reported number stays bit-identical to the serial
+/// reference path (the parallel engine's equivalence guarantee).
+core::BatchConfig experiment_batch_config();
 inline constexpr double kThreshold = 0.45;  // paper Section V
 
 // ---------- Table IV: attack-relevant BB identification -------------------
@@ -89,5 +94,12 @@ core::Detector make_scaguard(const std::vector<core::Family>& families,
 /// SCAGuard classification of one sample (reusing its collected profile).
 core::Family scaguard_classify(const core::Detector& detector,
                                const Sample& sample);
+
+/// Batch variant: models every sample concurrently (reusing the collected
+/// profiles) and scans them through the parallel engine. Detections are
+/// bit-identical to calling scaguard_classify per sample.
+std::vector<core::Detection> scaguard_scan_batch(
+    const core::Detector& detector,
+    const std::vector<const Sample*>& samples);
 
 }  // namespace scag::eval

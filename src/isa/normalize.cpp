@@ -73,8 +73,10 @@ double semantic_token_weight(const std::string& token) {
   if (token == "flush" || token == "time") return 1.0;
   if (token == "load" || token == "store" || token == "rmw") return 0.6;
   if (token == "fence" || token == "call" || token == "ret") return 0.4;
-  return 0.3;  // br, jmp
+  return 0.3;  // br, jmp — also the floor semantic_min_token_weight reports
 }
+
+double semantic_min_token_weight() { return 0.3; }
 
 double semantic_subst_cost(const std::string& a, const std::string& b) {
   if (a == b) return 0.0;

@@ -39,4 +39,10 @@ double semantic_token_weight(const std::string& token);
 /// related pairs such as load/store/rmw).
 double semantic_subst_cost(const std::string& a, const std::string& b);
 
+/// The smallest value semantic_token_weight can return. Every insert or
+/// delete in the weighted edit distance costs at least this much, which is
+/// what makes token-count gaps a sound DTW lower-bound ingredient
+/// (core::cst_bbs_distance_lower_bound).
+double semantic_min_token_weight();
+
 }  // namespace scag::isa

@@ -1,0 +1,96 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+
+namespace scag::support {
+
+std::size_t ThreadPool::hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = hardware_threads();
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::drain(Job& job) {
+  const std::size_t grain = std::max<std::size_t>(1, job.grain);
+  for (;;) {
+    const std::size_t begin = job.cursor.fetch_add(grain);
+    if (begin >= job.n) return;
+    const std::size_t end = std::min(job.n, begin + grain);
+    try {
+      for (std::size_t i = begin; i < end; ++i) (*job.fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job.error_mu);
+      if (!job.error) job.error = std::current_exception();
+      // Skip the remaining work: move the cursor past the end.
+      job.cursor.store(job.n);
+      return;
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [&] {
+        return stop_ || (job_ != nullptr && generation_ != seen_generation);
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;
+      job->lanes_active.fetch_add(1);
+    }
+    drain(*job);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (job->lanes_active.fetch_sub(1) == 1) done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
+  if (n == 0) return;
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+
+  Job job;
+  job.n = n;
+  job.grain = grain;
+  job.fn = &fn;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &job;
+    ++generation_;
+  }
+  wake_.notify_all();
+
+  drain(job);  // the calling thread is a lane too
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock, [&] { return job.lanes_active.load() == 0; });
+    job_ = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace scag::support

@@ -1,0 +1,78 @@
+// A small reusable thread pool with dynamically load-balanced index
+// parallelism. Built for the batch-scan engine (core::BatchDetector) but
+// generic: any embarrassingly parallel loop over [0, n) can use it.
+//
+// Design notes:
+//   - Workers are spawned once and persist; each parallel_for publishes one
+//     job and wakes them. Work is claimed in `grain`-sized chunks from a
+//     shared atomic cursor, so fast workers steal the tail of slow workers'
+//     ranges (dynamic scheduling ~ work stealing over a single deque).
+//   - The calling thread participates, so a pool of size 1 still makes
+//     progress and `threads == 1` degenerates to a serial loop.
+//   - Exceptions thrown by `fn` are captured (first one wins), the job is
+//     drained, and the exception is rethrown on the calling thread.
+//   - parallel_for calls on the same pool are serialized by a mutex; the
+//     pool itself is safe to share between threads.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace scag::support {
+
+class ThreadPool {
+ public:
+  /// threads == 0 picks hardware_threads(). The pool spawns threads-1
+  /// workers; the caller of parallel_for is the remaining lane.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallel lanes (workers + the calling thread).
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// Runs fn(i) for every i in [0, n), distributing `grain`-sized chunks
+  /// across all lanes. Blocks until every index is processed. Rethrows the
+  /// first exception thrown by fn.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 1);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static std::size_t hardware_threads();
+
+ private:
+  struct Job {
+    std::size_t n = 0;
+    std::size_t grain = 1;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<std::size_t> lanes_active{0};
+    std::exception_ptr error;        // guarded by error_mu
+    std::mutex error_mu;
+  };
+
+  void worker_loop();
+  /// Claims and runs chunks of `job` until the cursor is exhausted.
+  static void drain(Job& job);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;                    // guards job_/generation_/stop_
+  std::condition_variable wake_;     // workers wait here for a new job
+  std::condition_variable done_;     // parallel_for waits here for drain
+  Job* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+
+  std::mutex run_mu_;                // serializes parallel_for calls
+};
+
+}  // namespace scag::support

@@ -1,0 +1,250 @@
+// Property tests for the DTW similarity layer (core/dtw.h), over CST-BBS
+// sequences produced by the real modeling pipeline from attack PoCs,
+// benign templates, and randomized programs (isa::random_program):
+//   - self-similarity is exactly 1 and maximal;
+//   - similarity is symmetric;
+//   - cst_bbs_distance_lower_bound never exceeds the exact distance (and
+//     similarity_upper_bound never falls below the exact similarity);
+//   - bounded_similarity with ANY cutoff never changes a score that passes
+//     the cutoff — unpruned results are bit-identical to similarity(), and
+//     pruned pairs really are below the cutoff;
+//   - a Sakoe-Chiba band narrower than the length difference of the two
+//     sequences is widened to stay feasible, so the distance is finite
+//     (regression for the DtwConfig::window edge case).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "attacks/registry.h"
+#include "benign/registry.h"
+#include "core/dtw.h"
+#include "core/model.h"
+#include "isa/random_program.h"
+#include "support/rng.h"
+
+namespace scag::core {
+namespace {
+
+/// The configuration axes the properties must hold on: the paper-literal
+/// default, the calibrated benchmark configuration, and variations of
+/// band, normalization, alphabet, and length penalty.
+std::vector<DtwConfig> property_configs() {
+  std::vector<DtwConfig> configs;
+  configs.push_back(DtwConfig{});           // paper-literal
+  configs.push_back(calibrated_dtw_config());
+
+  DtwConfig banded = calibrated_dtw_config();
+  banded.window = 2;                        // much narrower than many pairs
+  configs.push_back(banded);
+
+  DtwConfig accumulated;                    // full tokens, tight band,
+  accumulated.window = 3;                   // length penalty on accumulated
+  accumulated.length_penalty = 0.5;
+  configs.push_back(accumulated);
+
+  DtwConfig averaged;                       // path-averaged full tokens
+  averaged.normalization = DtwNormalization::kPathAveraged;
+  averaged.cost_scale = 2.0;
+  configs.push_back(averaged);
+  return configs;
+}
+
+class DtwProperties : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new std::vector<CstBbs>();
+    const ModelBuilder builder;
+
+    // Real attack and benign shapes: long, structured sequences.
+    const attacks::PocConfig poc;
+    corpus_->push_back(builder.build(attacks::fr_iaik(poc)).sequence);
+    corpus_->push_back(builder.build(attacks::pp_iaik(poc)).sequence);
+    corpus_->push_back(builder.build(attacks::ff_iaik(poc)).sequence);
+    corpus_->push_back(builder.build(attacks::spectre_fr_ideal(poc)).sequence);
+    Rng benign_rng(99);
+    corpus_->push_back(
+        builder.build(benign::aes_ttables(benign_rng)).sequence);
+    corpus_->push_back(
+        builder.build(benign::flush_writeback(benign_rng)).sequence);
+
+    // Randomized programs: arbitrary (often short or empty) sequences.
+    Rng rng(1234);
+    for (int k = 0; k < 8; ++k) {
+      Rng gen = rng.split();
+      isa::RandomProgramOptions options;
+      options.statements = 20 + 5 * k;
+      corpus_->push_back(
+          builder.build(isa::random_program(gen, options)).sequence);
+    }
+    corpus_->push_back(CstBbs{});  // explicit empty sequence
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    corpus_ = nullptr;
+  }
+
+  static std::vector<CstBbs>* corpus_;
+};
+
+std::vector<CstBbs>* DtwProperties::corpus_ = nullptr;
+
+TEST_F(DtwProperties, SelfSimilarityIsOneAndMaximal) {
+  for (const DtwConfig& config : property_configs()) {
+    for (std::size_t i = 0; i < corpus_->size(); ++i) {
+      const CstBbs& s = (*corpus_)[i];
+      if (s.empty()) continue;  // empty-vs-empty handled below
+      EXPECT_EQ(similarity(s, s, config), 1.0) << "sequence " << i;
+      for (std::size_t j = 0; j < corpus_->size(); ++j) {
+        EXPECT_LE(similarity(s, (*corpus_)[j], config), 1.0)
+            << "pair " << i << "," << j;
+      }
+    }
+    EXPECT_EQ(similarity(CstBbs{}, CstBbs{}, config), 1.0);  // D = 0
+  }
+}
+
+TEST_F(DtwProperties, SimilarityIsSymmetric) {
+  for (const DtwConfig& config : property_configs()) {
+    for (std::size_t i = 0; i < corpus_->size(); ++i) {
+      for (std::size_t j = i + 1; j < corpus_->size(); ++j) {
+        const double ab = similarity((*corpus_)[i], (*corpus_)[j], config);
+        const double ba = similarity((*corpus_)[j], (*corpus_)[i], config);
+        // The DP transposes, so summation order may differ by rounding.
+        EXPECT_NEAR(ab, ba, 1e-9) << "pair " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST_F(DtwProperties, LowerBoundNeverExceedsExactDistance) {
+  for (const DtwConfig& config : property_configs()) {
+    for (std::size_t i = 0; i < corpus_->size(); ++i) {
+      for (std::size_t j = 0; j < corpus_->size(); ++j) {
+        const CstBbs& a = (*corpus_)[i];
+        const CstBbs& b = (*corpus_)[j];
+        const double exact = cst_bbs_distance(a, b, config);
+        const double lb = cst_bbs_distance_lower_bound(a, b, config);
+        EXPECT_LE(lb, exact * (1.0 + 1e-12) + 1e-12)
+            << "pair " << i << "," << j;
+        EXPECT_GE(lb, 0.0) << "pair " << i << "," << j;
+        // And the matching similarity upper bound stays above the exact
+        // similarity.
+        EXPECT_GE(similarity_upper_bound(a, b, config) + 1e-12,
+                  similarity(a, b, config))
+            << "pair " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST_F(DtwProperties, BoundedSimilarityNeverChangesPassingScores) {
+  const double cutoffs[] = {0.05, 0.2, 0.35, 0.45, 0.6, 0.75, 0.9};
+  for (const DtwConfig& config : property_configs()) {
+    for (std::size_t i = 0; i < corpus_->size(); ++i) {
+      for (std::size_t j = 0; j < corpus_->size(); ++j) {
+        const CstBbs& a = (*corpus_)[i];
+        const CstBbs& b = (*corpus_)[j];
+        const double exact = similarity(a, b, config);
+        for (double cutoff : cutoffs) {
+          const BoundedScore bs = bounded_similarity(a, b, cutoff, config);
+          if (bs.pruned == PruneKind::kNone) {
+            // Not pruned: the score is the exact similarity, bit for bit.
+            EXPECT_EQ(bs.score, exact)
+                << "pair " << i << "," << j << " cutoff " << cutoff;
+          } else {
+            // Pruned: only allowed when the exact score misses the cutoff,
+            // and the reported value is an upper bound below the cutoff.
+            EXPECT_LT(exact, cutoff)
+                << "pair " << i << "," << j << " cutoff " << cutoff
+                << ": pruned a passing score";
+            EXPECT_LT(bs.score, cutoff)
+                << "pair " << i << "," << j << " cutoff " << cutoff;
+            EXPECT_GE(bs.score + 1e-12, exact)
+                << "pair " << i << "," << j << " cutoff " << cutoff
+                << ": bound fell below the exact score";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(DtwProperties, ZeroCutoffDisablesPruning) {
+  const DtwConfig config = calibrated_dtw_config();
+  for (std::size_t i = 0; i < corpus_->size(); ++i) {
+    for (std::size_t j = 0; j < corpus_->size(); ++j) {
+      const BoundedScore bs =
+          bounded_similarity((*corpus_)[i], (*corpus_)[j], 0.0, config);
+      EXPECT_EQ(bs.pruned, PruneKind::kNone);
+      EXPECT_EQ(bs.score, similarity((*corpus_)[i], (*corpus_)[j], config));
+    }
+  }
+}
+
+// Regression: a Sakoe-Chiba band narrower than |n - m| must be widened so
+// the end cell stays reachable — the distance is finite, never inf/NaN.
+TEST_F(DtwProperties, WindowNarrowerThanLengthDifferenceStaysFinite) {
+  // Raw dtw(): 3 x 12 with window 1 (length difference 9).
+  const auto cost = [](std::size_t i, std::size_t j) {
+    return std::abs(static_cast<double>(i) - static_cast<double>(j)) / 12.0;
+  };
+  DtwConfig narrow;
+  narrow.window = 1;
+  const DtwResult r = dtw(3, 12, cost, narrow);
+  EXPECT_TRUE(std::isfinite(r.distance));
+  EXPECT_FALSE(r.abandoned);
+  EXPECT_GE(r.path_length, 12u);  // a path covers max(n, m) cells at least
+
+  // A band can only restrict the alignment, never improve it.
+  const DtwResult unconstrained = dtw(3, 12, cost, DtwConfig{});
+  EXPECT_GE(r.distance, unconstrained.distance - 1e-12);
+
+  // Same property through the full sequence-level API, on every corpus
+  // pair with a length mismatch larger than the band.
+  DtwConfig banded = calibrated_dtw_config();
+  banded.window = 1;
+  for (std::size_t i = 0; i < corpus_->size(); ++i) {
+    for (std::size_t j = 0; j < corpus_->size(); ++j) {
+      const CstBbs& a = (*corpus_)[i];
+      const CstBbs& b = (*corpus_)[j];
+      const std::size_t diff =
+          a.size() > b.size() ? a.size() - b.size() : b.size() - a.size();
+      if (diff <= banded.window) continue;
+      const double d = cst_bbs_distance(a, b, banded);
+      ASSERT_TRUE(std::isfinite(d)) << "pair " << i << "," << j;
+      const double s = similarity(a, b, banded);
+      EXPECT_GT(s, 0.0) << "pair " << i << "," << j;
+      EXPECT_LE(s, 1.0) << "pair " << i << "," << j;
+    }
+  }
+}
+
+TEST_F(DtwProperties, EmptySequenceConventions) {
+  const auto never = [](std::size_t, std::size_t) -> double {
+    ADD_FAILURE() << "cost function called for an empty alignment";
+    return 0.0;
+  };
+  const DtwResult both = dtw(0, 0, never);
+  EXPECT_EQ(both.distance, 0.0);
+  EXPECT_EQ(both.path_length, 0u);
+
+  const DtwResult one = dtw(0, 5, never);
+  EXPECT_EQ(one.distance, 5.0);  // 1 per unmatched element
+  EXPECT_EQ(one.path_length, 5u);
+
+  // Sequence-level: empty-vs-nonempty goes through the exact path even
+  // under a cutoff (degenerate alignments are O(1) already).
+  const DtwConfig config = calibrated_dtw_config();
+  for (const CstBbs& s : *corpus_) {
+    const BoundedScore bs = bounded_similarity(CstBbs{}, s, 0.45, config);
+    EXPECT_EQ(bs.pruned, PruneKind::kNone);
+    EXPECT_EQ(bs.score, similarity(CstBbs{}, s, config));
+  }
+}
+
+}  // namespace
+}  // namespace scag::core

@@ -3,12 +3,16 @@
 //   - the interpreter is deterministic;
 //   - mutation is an observational no-op: original and mutant end with the
 //     same data-register dump and sandbox memory;
-//   - the modeling pipeline never crashes on arbitrary (benign) programs.
+//   - the modeling pipeline never crashes on arbitrary (benign) programs;
+//   - the parallel batch-scan engine survives degenerate inputs (empty and
+//     single-instruction programs, empty CST-BBS targets).
 #include <gtest/gtest.h>
 
+#include "core/batch_detector.h"
 #include "core/model.h"
 #include "cpu/interpreter.h"
 #include "eval/experiments.h"
+#include "isa/assembler.h"
 #include "isa/random_program.h"
 #include "mutation/mutator.h"
 
@@ -92,6 +96,45 @@ TEST_P(FuzzSeeds, ModelingPipelineNeverCrashes) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,
                          ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(FuzzBatchScan, DegenerateProgramsScanCleanly) {
+  const core::Detector detector = eval::make_scaguard(
+      {core::Family::kFlushReload, core::Family::kPrimeProbe});
+  core::BatchConfig config;
+  config.threads = 2;
+  const core::BatchDetector batch(detector, config);
+
+  std::vector<isa::Program> programs;
+  programs.push_back(isa::Program{});            // no instructions at all
+  programs.push_back(isa::assemble("hlt\n"));
+  programs.push_back(isa::assemble("nop\nhlt\n"));
+  programs.push_back(isa::assemble("clflush [0x1000]\nhlt\n"));
+  programs.push_back(isa::assemble("mov rax, [0x2000]\nrdtscp r8\nhlt\n"));
+
+  std::vector<core::Detection> detections;
+  ASSERT_NO_THROW(detections = batch.scan_programs(programs));
+  ASSERT_EQ(detections.size(), programs.size());
+  for (std::size_t i = 0; i < detections.size(); ++i) {
+    EXPECT_FALSE(detections[i].is_attack()) << "program " << i;
+    EXPECT_EQ(detections[i].scores.size(), detector.repository_size())
+        << "program " << i;
+  }
+
+  // Empty CST-BBS targets straight through the comparison stage, with and
+  // without pruning.
+  const std::vector<core::CstBbs> empties(3);
+  for (bool prune : {false, true}) {
+    core::BatchConfig pc;
+    pc.threads = 2;
+    pc.prune = prune;
+    const core::BatchDetector engine(detector, pc);
+    std::vector<core::Detection> dets;
+    ASSERT_NO_THROW(dets = engine.scan_all(empties)) << "prune " << prune;
+    ASSERT_EQ(dets.size(), empties.size());
+    for (const core::Detection& d : dets)
+      EXPECT_FALSE(d.is_attack()) << "prune " << prune;
+  }
+}
 
 TEST(FuzzGenerator, ProgramsDifferAcrossSeeds) {
   Rng a(1), b(2);

@@ -1,0 +1,282 @@
+// The parallel batch-scan engine's contract (see core/batch_detector.h):
+//   - support::ThreadPool runs every index exactly once and propagates
+//     exceptions;
+//   - BatchDetector with pruning disabled returns Detections bit-identical
+//     to the serial Detector at 1, 2, and 8 threads, over the full
+//     attack + benign registries, on every run (determinism);
+//   - BatchDetector with pruning enabled preserves the verdict always and
+//     the best match exactly whenever the verdict is an attack, and every
+//     pruned entry's exact score is indeed below the pruning cutoff.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "attacks/registry.h"
+#include "benign/registry.h"
+#include "core/batch_detector.h"
+#include "core/detector.h"
+#include "support/thread_pool.h"
+
+namespace scag::core {
+namespace {
+
+// ---- ThreadPool ------------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  support::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, SingleLaneDegeneratesToSerial) {
+  support::ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<int> order;
+  pool.parallel_for(8, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));  // no lock needed: one lane
+  });
+  std::vector<int> expected(8);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, CoarseGrainAndEmptyRangeWork) {
+  support::ThreadPool pool(3);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "fn called for n=0"; });
+  std::vector<std::atomic<int>> hits(10);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); },
+                    /*grain=*/64);  // grain larger than n
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  support::ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [](std::size_t i) {
+                          if (i == 37) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool survives an exception and stays usable.
+  std::atomic<int> n{0};
+  pool.parallel_for(50, [&](std::size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 50);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  support::ThreadPool pool(2);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> n{0};
+    pool.parallel_for(64, [&](std::size_t) { n.fetch_add(1); });
+    ASSERT_EQ(n.load(), 64) << "round " << round;
+  }
+}
+
+// ---- BatchDetector vs serial Detector -------------------------------------
+
+/// Shared corpus: a detector with ALL collected PoCs enrolled, and targets
+/// covering the full attack registry plus every benign template.
+class ParallelScan : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    detector_ = new Detector(ModelConfig{}, calibrated_dtw_config(), 0.45);
+    for (const attacks::PocSpec& spec : attacks::all_pocs())
+      detector_->enroll(spec.build(attacks::PocConfig{}), spec.family);
+
+    targets_ = new std::vector<CstBbs>();
+    const ModelBuilder& builder = detector_->builder();
+    for (const attacks::PocSpec& spec : attacks::all_pocs()) {
+      targets_->push_back(
+          builder.build(spec.build(attacks::PocConfig{})).sequence);
+    }
+    Rng rng(2026);
+    for (const benign::BenignSpec& spec : benign::all_benign_templates()) {
+      Rng gen = rng.split();
+      targets_->push_back(builder.build(spec.build(gen)).sequence);
+    }
+  }
+  static void TearDownTestSuite() {
+    delete detector_;
+    detector_ = nullptr;
+    delete targets_;
+    targets_ = nullptr;
+  }
+
+  static std::vector<Detection> serial_reference() {
+    std::vector<Detection> out;
+    out.reserve(targets_->size());
+    for (const CstBbs& t : *targets_) out.push_back(detector_->scan(t));
+    return out;
+  }
+
+  static void expect_identical(const Detection& got, const Detection& want,
+                               const std::string& context) {
+    EXPECT_EQ(got.verdict, want.verdict) << context;
+    EXPECT_EQ(got.best_score, want.best_score) << context;
+    ASSERT_EQ(got.scores.size(), want.scores.size()) << context;
+    for (std::size_t j = 0; j < want.scores.size(); ++j) {
+      EXPECT_EQ(got.scores[j].model_name, want.scores[j].model_name)
+          << context << " rank " << j;
+      EXPECT_EQ(got.scores[j].family, want.scores[j].family)
+          << context << " rank " << j;
+      EXPECT_EQ(got.scores[j].score, want.scores[j].score)
+          << context << " rank " << j;  // bit-identical, no tolerance
+      EXPECT_FALSE(got.scores[j].pruned) << context << " rank " << j;
+    }
+  }
+
+  static Detector* detector_;
+  static std::vector<CstBbs>* targets_;
+};
+
+Detector* ParallelScan::detector_ = nullptr;
+std::vector<CstBbs>* ParallelScan::targets_ = nullptr;
+
+TEST_F(ParallelScan, MatchesSerialAtEveryThreadCount) {
+  const std::vector<Detection> want = serial_reference();
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    BatchConfig config;
+    config.threads = threads;
+    const BatchDetector batch(*detector_, config);
+    const std::vector<Detection> got = batch.scan_all(*targets_);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      expect_identical(got[i], want[i],
+                       "threads=" + std::to_string(threads) + " target " +
+                           std::to_string(i));
+    }
+  }
+}
+
+TEST_F(ParallelScan, DeterministicAcrossRuns) {
+  BatchConfig config;
+  config.threads = 8;
+  const BatchDetector batch(*detector_, config);
+  // Two full runs through the engine must agree with each other (and with
+  // the serial path, covered above) despite dynamic work distribution.
+  const std::vector<Detection> first = batch.scan_all(*targets_);
+  const std::vector<Detection> second = batch.scan_all(*targets_);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i)
+    expect_identical(second[i], first[i], "rerun target " + std::to_string(i));
+}
+
+TEST_F(ParallelScan, PrunedScanPreservesVerdictAndBestMatch) {
+  const std::vector<Detection> want = serial_reference();
+  BatchConfig config;
+  config.threads = 8;
+  config.prune = true;
+  const BatchDetector batch(*detector_, config);
+  const std::vector<Detection> got = batch.scan_all(*targets_);
+  ASSERT_EQ(got.size(), want.size());
+
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    const std::string context = "target " + std::to_string(i);
+    EXPECT_EQ(got[i].verdict, want[i].verdict) << context;
+    if (want[i].is_attack()) {
+      // The best match survives pruning bit-exactly.
+      EXPECT_EQ(got[i].best_score, want[i].best_score) << context;
+      ASSERT_FALSE(got[i].scores.empty());
+      EXPECT_EQ(got[i].scores.front().model_name,
+                want[i].scores.front().model_name)
+          << context;
+      EXPECT_FALSE(got[i].scores.front().pruned) << context;
+    }
+    // Per-model invariants, matched by name against the serial scores.
+    const double cutoff =
+        std::max(detector_->threshold(), want[i].best_score);
+    for (const ModelScore& s : got[i].scores) {
+      const auto it = std::find_if(
+          want[i].scores.begin(), want[i].scores.end(),
+          [&](const ModelScore& w) { return w.model_name == s.model_name; });
+      ASSERT_NE(it, want[i].scores.end()) << context;
+      if (s.pruned) {
+        // Pruning is sound: the exact score really is below the cutoff,
+        // and so is the reported upper bound.
+        EXPECT_LT(it->score, cutoff) << context << " model " << s.model_name;
+        EXPECT_LT(s.score, cutoff) << context << " model " << s.model_name;
+        EXPECT_GE(s.score, it->score - 1e-12)
+            << context << " model " << s.model_name
+            << ": reported bound fell below the exact score";
+      } else {
+        EXPECT_EQ(s.score, it->score) << context << " model " << s.model_name;
+      }
+    }
+  }
+
+  const BatchStats stats = batch.stats();
+  EXPECT_EQ(stats.pairs, targets_->size() * detector_->repository_size());
+  EXPECT_EQ(stats.exact + stats.lb_skipped + stats.early_abandoned,
+            stats.pairs);
+}
+
+TEST_F(ParallelScan, PrunedScanIsDeterministic) {
+  BatchConfig config;
+  config.threads = 8;
+  config.prune = true;
+  const BatchDetector batch(*detector_, config);
+  const std::vector<Detection> first = batch.scan_all(*targets_);
+  const std::vector<Detection> second = batch.scan_all(*targets_);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].verdict, second[i].verdict);
+    EXPECT_EQ(first[i].best_score, second[i].best_score);
+    ASSERT_EQ(first[i].scores.size(), second[i].scores.size());
+    for (std::size_t j = 0; j < first[i].scores.size(); ++j) {
+      EXPECT_EQ(first[i].scores[j].score, second[i].scores[j].score);
+      EXPECT_EQ(first[i].scores[j].pruned, second[i].scores[j].pruned);
+    }
+  }
+  // Pruning decisions are scheduling-independent, so the counters agree
+  // between the two identical runs.
+  const BatchStats stats = batch.stats();
+  EXPECT_EQ(stats.lb_skipped % 2, 0u);
+  EXPECT_EQ(stats.early_abandoned % 2, 0u);
+  EXPECT_EQ(stats.exact % 2, 0u);
+}
+
+TEST_F(ParallelScan, ScanProgramsMatchesSerialFullPipeline) {
+  std::vector<isa::Program> programs;
+  programs.push_back(attacks::fr_iaik(attacks::PocConfig{}));
+  programs.push_back(attacks::pp_jzhang(attacks::PocConfig{}));
+  Rng rng(7);
+  programs.push_back(benign::generate_benign(0, rng));
+  programs.push_back(benign::generate_benign(1, rng));
+
+  std::vector<Detection> want;
+  for (const isa::Program& p : programs) want.push_back(detector_->scan(p));
+
+  BatchConfig config;
+  config.threads = 4;
+  const BatchDetector batch(*detector_, config);
+  const std::vector<Detection> got = batch.scan_programs(programs);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i)
+    expect_identical(got[i], want[i], "program " + std::to_string(i));
+}
+
+TEST(BatchDetectorEdge, EmptyRepositoryAndEmptyTargetList) {
+  const Detector detector(ModelConfig{}, calibrated_dtw_config(), 0.45);
+  const BatchDetector batch(detector, BatchConfig{.threads = 2});
+  EXPECT_TRUE(batch.scan_all({}).empty());
+  const std::vector<Detection> dets =
+      batch.scan_all(std::vector<CstBbs>(3));  // 3 empty targets, 0 models
+  ASSERT_EQ(dets.size(), 3u);
+  for (const Detection& d : dets) {
+    EXPECT_FALSE(d.is_attack());
+    EXPECT_TRUE(d.scores.empty());
+    EXPECT_EQ(d.best_score, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace scag::core
