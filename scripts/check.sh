@@ -12,6 +12,18 @@ ctest --test-dir build --output-on-failure
 # skips itself where TSan cannot run).
 scripts/check_tsan.sh
 
+# Memory-safety/UB check of the serializer fuzz, golden-format, and
+# metrics suites (separate build tree; skips itself where ASan cannot
+# run).
+scripts/check_asan.sh
+
+# The metrics layer must also compile (and its tests pass) when compiled
+# out with -DSCAG_METRICS_OFF.
+cmake -B build-metrics-off -G Ninja -DSCAG_METRICS_OFF=ON
+cmake --build build-metrics-off --target test_metrics scagctl
+build-metrics-off/tests/test_metrics
+build-metrics-off/tools/scagctl metrics-demo
+
 N="${1:-60}"   # samples per attack type for the bench pass
 for b in build/bench/bench_*; do
   [ -x "$b" ] || continue

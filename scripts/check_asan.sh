@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# AddressSanitizer + UndefinedBehaviorSanitizer pass over the
+# serialization and metrics test binaries (the fuzz suite feeds mutated
+# repository text to the parser, so memory errors would surface here
+# first). Uses a dedicated build tree so the regular build stays
+# uninstrumented.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=build-asan
+ASAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g -O1"
+
+# ASan needs a runtime the kernel/container actually supports (shadow
+# memory mmap, ptrace for leak detection). Probe with a trivial program
+# first and skip gracefully where it cannot run, so this script stays
+# usable in constrained CI sandboxes.
+probe_dir="$(mktemp -d)"
+trap 'rm -rf "$probe_dir"' EXIT
+cat > "$probe_dir/probe.cpp" <<'EOF'
+#include <vector>
+int main() {
+  std::vector<int> v(8, 1);
+  int sum = 0;
+  for (int x : v) sum += x;
+  return sum == 8 ? 0 : 1;
+}
+EOF
+if ! c++ $ASAN_FLAGS "$probe_dir/probe.cpp" -o "$probe_dir/probe" 2>/dev/null \
+   || ! ASAN_OPTIONS=detect_leaks=0 "$probe_dir/probe" >/dev/null 2>&1; then
+  echo "check_asan: AddressSanitizer unavailable in this environment; skipping."
+  exit 0
+fi
+
+cmake -B "$BUILD" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="$ASAN_FLAGS" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+cmake --build "$BUILD" --target test_serialize test_fuzz test_metrics -j"$(nproc)"
+
+# Leak detection needs ptrace, which many containers deny; the point here
+# is bounds/UB checking of the parser and metrics hot paths.
+export ASAN_OPTIONS="detect_leaks=0 halt_on_error=1"
+export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1"
+"$BUILD/tests/test_serialize"
+"$BUILD/tests/test_fuzz"
+"$BUILD/tests/test_metrics"
+echo "ASAN CHECKS PASSED"

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "support/strings.h"
+#include "support/trace.h"
 
 namespace scag::cfg {
 
@@ -12,6 +13,7 @@ using isa::Opcode;
 using isa::Program;
 
 Cfg Cfg::build(const Program& program) {
+  support::TraceScope span("cfg.build");
   program.validate();
   const std::size_t n = program.size();
 

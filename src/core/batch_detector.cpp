@@ -3,7 +3,31 @@
 #include <algorithm>
 #include <utility>
 
+#include "support/metrics.h"
+#include "support/trace.h"
+
 namespace scag::core {
+
+namespace {
+
+/// Registry mirrors of the per-engine BatchStats counters, so a fleet of
+/// BatchDetectors reports through one process-wide substrate.
+struct BatchCounters {
+  support::Counter& pairs;
+  support::Counter& exact;
+  support::Counter& lb_skipped;
+  support::Counter& early_abandoned;
+
+  static BatchCounters& global() {
+    support::Registry& r = support::Registry::global();
+    static BatchCounters c{r.counter("batch.pairs"), r.counter("batch.exact"),
+                           r.counter("batch.lb_skipped"),
+                           r.counter("batch.early_abandoned")};
+    return c;
+  }
+};
+
+}  // namespace
 
 BatchDetector::BatchDetector(const Detector& detector, BatchConfig config)
     : detector_(detector), config_(config), pool_(config.threads) {}
@@ -25,6 +49,9 @@ void BatchDetector::reset_stats() const {
 }
 
 Detection BatchDetector::scan_one_pruned(const CstBbs& target) const {
+  static support::Histogram& h_latency =
+      support::Registry::global().histogram("batch.target_latency_ns");
+  support::ScopedTimer timer(h_latency);
   const std::vector<AttackModel>& repo = detector_.repository();
   const DtwConfig& dtw = detector_.dtw_config();
   std::vector<ModelScore> scores;
@@ -56,6 +83,10 @@ Detection BatchDetector::scan_one_pruned(const CstBbs& target) const {
   exact_.fetch_add(exact, std::memory_order_relaxed);
   lb_skipped_.fetch_add(lb, std::memory_order_relaxed);
   early_abandoned_.fetch_add(ea, std::memory_order_relaxed);
+  BatchCounters& bc = BatchCounters::global();
+  bc.exact.add(exact);
+  bc.lb_skipped.add(lb);
+  bc.early_abandoned.add(ea);
   return Detector::finalize(std::move(scores), detector_.threshold());
 }
 
@@ -67,6 +98,11 @@ std::vector<Detection> BatchDetector::scan_all(
   std::vector<Detection> out(n);
   pairs_.fetch_add(static_cast<std::uint64_t>(n) * m,
                    std::memory_order_relaxed);
+  BatchCounters::global().pairs.add(static_cast<std::uint64_t>(n) * m);
+  static support::Histogram& h_latency =
+      support::Registry::global().histogram("batch.scan_latency_ns");
+  support::TraceScope span("batch.scan_all");
+  support::ScopedTimer timer(h_latency);
 
   if (config_.prune) {
     // One work unit per target row: the best-so-far cutoff is a per-row
@@ -95,6 +131,7 @@ std::vector<Detection> BatchDetector::scan_all(
       config_.grain);
   exact_.fetch_add(static_cast<std::uint64_t>(n) * m,
                    std::memory_order_relaxed);
+  BatchCounters::global().exact.add(static_cast<std::uint64_t>(n) * m);
 
   for (std::size_t t = 0; t < n; ++t) {
     std::vector<ModelScore> row(

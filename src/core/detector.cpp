@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "support/metrics.h"
+#include "support/trace.h"
+
 namespace scag::core {
 
 void Detector::enroll(const isa::Program& poc, Family family) {
@@ -23,6 +26,17 @@ Detection Detector::scan(const isa::Program& target) const {
 }
 
 Detection Detector::scan(const CstBbs& target_sequence) const {
+  static support::Counter& c_requests =
+      support::Registry::global().counter("scan.requests");
+  static support::Counter& c_pairs =
+      support::Registry::global().counter("scan.pairs");
+  static support::Histogram& h_latency =
+      support::Registry::global().histogram("scan.latency_ns");
+  support::TraceScope span("scan.dtw");
+  support::ScopedTimer timer(h_latency);
+  c_requests.add();
+  c_pairs.add(repository_.size());
+
   std::vector<ModelScore> scores;
   scores.reserve(repository_.size());
   for (const AttackModel& model : repository_) {

@@ -7,6 +7,7 @@
 
 #include "core/distance.h"
 #include "isa/normalize.h"
+#include "support/metrics.h"
 
 namespace scag::core {
 
@@ -166,6 +167,19 @@ double accumulated_cost_lower_bound(const CstBbs& a, const CstBbs& b,
 DtwResult dtw(std::size_t n, std::size_t m,
               const std::function<double(std::size_t, std::size_t)>& cost,
               const DtwConfig& config, double abandon_above) {
+  // Pruning-stat substrate for every perf PR: how many DP invocations,
+  // how many matrix cells they actually filled, how many were cut short.
+  // Accumulated locally and flushed once per call so the inner loop stays
+  // free of atomics.
+  static support::Counter& c_calls =
+      support::Registry::global().counter("dtw.calls");
+  static support::Counter& c_cells =
+      support::Registry::global().counter("dtw.dp_cells");
+  static support::Counter& c_abandoned =
+      support::Registry::global().counter("dtw.abandoned");
+  c_calls.add();
+  std::uint64_t cells = 0;
+
   DtwResult result;
   if (n == 0 && m == 0) return result;
   if (n == 0 || m == 0) {
@@ -190,6 +204,7 @@ DtwResult dtw(std::size_t n, std::size_t m,
     std::fill(cur.begin(), cur.end(), kInf);
     const std::size_t j_lo = i > w ? i - w : 1;
     const std::size_t j_hi = std::min(m, i + w);
+    cells += j_hi - j_lo + 1;
     double row_min = kInf;
     for (std::size_t j = j_lo; j <= j_hi; ++j) {
       const double c = cost(i - 1, j - 1);
@@ -214,6 +229,8 @@ DtwResult dtw(std::size_t n, std::size_t m,
       result.distance = row_min;
       result.path_length = 0;
       result.abandoned = true;
+      c_cells.add(cells);
+      c_abandoned.add();
       return result;
     }
     std::swap(prev, cur);
@@ -221,6 +238,7 @@ DtwResult dtw(std::size_t n, std::size_t m,
   }
   result.distance = prev[m];
   result.path_length = prev_steps[m];
+  c_cells.add(cells);
   return result;
 }
 

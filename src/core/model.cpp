@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "isa/normalize.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 namespace scag::core {
 
@@ -22,6 +24,10 @@ AttackModel ModelBuilder::build(const isa::Program& program, Family family,
 AttackModel ModelBuilder::build_from_profile(
     const cfg::Cfg& cfg, const trace::ExecutionProfile& profile, Family family,
     ModelArtifacts* artifacts) const {
+  static support::Histogram& h_latency =
+      support::Registry::global().histogram("model.build_latency_ns");
+  support::TraceScope span("model.cst_bbs");
+  support::ScopedTimer timer(h_latency);
   const std::vector<BbStats> stats = aggregate_by_block(cfg, profile);
   const RelevantResult rel = identify_relevant_blocks(stats, config_.relevant);
   const AttackGraph graph =

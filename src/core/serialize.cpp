@@ -1,10 +1,14 @@
 #include "core/serialize.h"
 
 #include <bit>
+#include <cctype>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 
+#include "support/metrics.h"
 #include "support/strings.h"
 
 namespace scag::core {
@@ -43,9 +47,53 @@ std::uint64_t to_u64(const std::string& s, std::size_t line) {
   }
 }
 
+bool contains_ws(const std::string& s) {
+  for (char c : s)
+    if (std::isspace(static_cast<unsigned char>(c))) return true;
+  return false;
+}
+
+bool contains_linebreak(const std::string& s) {
+  return s.find('\n') != std::string::npos ||
+         s.find('\r') != std::string::npos;
+}
+
+/// Rejects models the line-oriented grammar cannot represent. Each rule
+/// mirrors a way load_models would otherwise mis-parse the output:
+/// whitespace in a name breaks the `model` record's field count, '|' in a
+/// norm token shifts the split, edge whitespace is eaten by trim(), and
+/// whitespace in (or empty) sem tokens changes the token count.
+void validate_for_save(const AttackModel& m) {
+  if (m.name.empty())
+    throw SerializeError("cannot serialize model with an empty name");
+  if (contains_ws(m.name))
+    throw SerializeError("cannot serialize model name containing whitespace: "
+                         "'" + m.name + "'");
+  for (const CstBbsElement& e : m.sequence) {
+    for (const std::string& t : e.norm_instrs) {
+      if (t.empty() || t.find('|') != std::string::npos ||
+          contains_linebreak(t) || trim(t) != t)
+        throw SerializeError(
+            "cannot serialize norm token '" + t + "' of model '" + m.name +
+            "' (tokens must be non-empty, free of '|' and line breaks, "
+            "with no leading/trailing whitespace)");
+    }
+    for (const std::string& t : e.sem_tokens) {
+      if (t.empty() || contains_ws(t))
+        throw SerializeError(
+            "cannot serialize sem token '" + t + "' of model '" + m.name +
+            "' (tokens must be non-empty and whitespace-free)");
+    }
+  }
+}
+
 }  // namespace
 
 void save_models(std::ostream& out, const std::vector<AttackModel>& models) {
+  for (const AttackModel& m : models) validate_for_save(m);
+  static support::Counter& saved =
+      support::Registry::global().counter("serialize.models_saved");
+  saved.add(models.size());
   out << kMagic << "\n";
   for (const AttackModel& m : models) {
     out << "model " << m.name << " " << family_abbrev(m.family) << " "
@@ -69,13 +117,37 @@ std::string save_models_to_string(const std::vector<AttackModel>& models) {
 
 void save_models_to_file(const std::string& path,
                          const std::vector<AttackModel>& models) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open for writing: " + path);
-  save_models(out, models);
+  // Write-to-temp + rename: the destination either keeps its old content
+  // or receives the complete new repository, never a truncated one.
+  const std::string tmp = path + ".tmp";
+  try {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot open for writing: " + tmp);
+    save_models(out, models);
+    out.flush();
+    if (!out.good())
+      throw std::runtime_error("write failed (disk full or I/O error): " +
+                               tmp);
+    out.close();
+    if (out.fail()) throw std::runtime_error("close failed: " + tmp);
+  } catch (...) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    throw;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    throw std::runtime_error("cannot rename " + tmp + " to " + path + ": " +
+                             ec.message());
+  }
 }
 
 std::vector<AttackModel> load_models(std::istream& in) {
   std::vector<AttackModel> models;
+  std::set<std::string> seen_names;
   std::string line;
   std::size_t lineno = 0;
 
@@ -98,10 +170,18 @@ std::vector<AttackModel> load_models(std::istream& in) {
       throw SerializeError(lineno, "expected 'model <name> <family> <n>'");
     AttackModel model;
     model.name = head[1];
+    if (!seen_names.insert(model.name).second)
+      throw SerializeError(lineno, "duplicate model name '" + model.name +
+                                       "'");
     const auto family = parse_family(head[2]);
     if (!family) throw SerializeError(lineno, "unknown family " + head[2]);
     model.family = *family;
     const std::uint64_t count = to_u64(head[3], lineno);
+    if (count > kMaxModelElements)
+      throw SerializeError(
+          lineno, "element count " + head[3] + " of model '" + model.name +
+                      "' exceeds the limit of " +
+                      std::to_string(kMaxModelElements));
 
     for (std::uint64_t i = 0; i < count; ++i) {
       if (!next_line()) throw SerializeError(lineno, "truncated element");
@@ -137,6 +217,9 @@ std::vector<AttackModel> load_models(std::istream& in) {
       throw SerializeError(lineno, "expected 'end' after model " + model.name);
     models.push_back(std::move(model));
   }
+  static support::Counter& loaded =
+      support::Registry::global().counter("serialize.models_loaded");
+  loaded.add(models.size());
   return models;
 }
 

@@ -24,25 +24,44 @@
 
 namespace scag::core {
 
-/// Thrown on malformed repository files, with 1-based line context.
+/// Thrown on malformed repository files (with 1-based line context when
+/// parsing) and on unserializable models at save time (line() == 0).
 class SerializeError : public std::runtime_error {
  public:
   SerializeError(std::size_t line, const std::string& message)
       : std::runtime_error("line " + std::to_string(line) + ": " + message),
         line_(line) {}
+  explicit SerializeError(const std::string& message)
+      : std::runtime_error(message), line_(0) {}
   std::size_t line() const { return line_; }
 
  private:
   std::size_t line_;
 };
 
-/// Writes models in the repository format.
+/// Hard cap on the per-model element count accepted by load_models;
+/// larger counts are rejected at the `model` line with a clear error
+/// instead of surfacing later as a misleading "truncated element".
+inline constexpr std::uint64_t kMaxModelElements = 1u << 20;
+
+/// Writes models in the repository format. The line-oriented grammar
+/// cannot represent every string, so unserializable models are rejected
+/// with SerializeError *before* anything is written: model names must be
+/// non-empty and whitespace-free, `norm` tokens must be free of '|' and
+/// line breaks with no leading/trailing whitespace, and `sem` tokens must
+/// be non-empty and whitespace-free. Everything save_models accepts,
+/// load_models round-trips byte-identically.
 void save_models(std::ostream& out, const std::vector<AttackModel>& models);
 std::string save_models_to_string(const std::vector<AttackModel>& models);
+/// Atomic variant: writes to `path + ".tmp"`, verifies the stream state
+/// after flushing, and renames over `path` only on success — a crashed or
+/// failed writer (disk full, I/O error) never leaves a truncated
+/// repository behind, and the previous file survives intact.
 void save_models_to_file(const std::string& path,
                          const std::vector<AttackModel>& models);
 
-/// Parses a repository. Throws SerializeError on malformed input.
+/// Parses a repository. Throws SerializeError on malformed input,
+/// duplicate model names, or element counts above kMaxModelElements.
 std::vector<AttackModel> load_models(std::istream& in);
 std::vector<AttackModel> load_models_from_string(const std::string& text);
 std::vector<AttackModel> load_models_from_file(const std::string& path);

@@ -3,6 +3,9 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "support/metrics.h"
+#include "support/trace.h"
+
 namespace scag::cpu {
 
 using isa::Instruction;
@@ -320,6 +323,9 @@ void Interpreter::run_transient(const Program& program, std::uint64_t wrong_pc,
 }
 
 RunResult Interpreter::run(const Program& program) {
+  // The "interpret" stage covers the cache simulation too: every memory
+  // access goes through the simulated hierarchy inline.
+  support::TraceScope span("interpret");
   program.validate();
 
   regs_ = RegFile{};
@@ -527,6 +533,19 @@ RunResult Interpreter::run(const Program& program) {
 
   profile_.cycles = cycles_;
   profile_.retired = retired;
+
+  static support::Counter& c_runs =
+      support::Registry::global().counter("interp.runs");
+  static support::Counter& c_retired =
+      support::Registry::global().counter("interp.retired");
+  static support::Counter& c_cycles =
+      support::Registry::global().counter("interp.cycles");
+  static support::Counter& c_cache_misses =
+      support::Registry::global().counter("cache.misses");
+  c_runs.add();
+  c_retired.add(retired);
+  c_cycles.add(cycles_);
+  c_cache_misses.add(profile_.totals[trace::HpcEvent::kCacheMiss]);
 
   RunResult result;
   result.profile = std::move(profile_);

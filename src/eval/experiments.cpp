@@ -8,6 +8,8 @@
 #include "baselines/scadet.h"
 #include "benign/registry.h"
 #include "cfg/cfg.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 namespace scag::eval {
 
@@ -318,6 +320,10 @@ core::Family scaguard_classify(const core::Detector& detector,
 std::vector<core::Detection> scaguard_scan_batch(
     const core::Detector& detector,
     const std::vector<const Sample*>& samples) {
+  static support::Counter& c_samples =
+      support::Registry::global().counter("eval.samples_scanned");
+  support::TraceScope span("eval.scan_batch");
+  c_samples.add(samples.size());
   const core::BatchDetector batch(detector, experiment_batch_config());
   return batch.scan_modeled(samples.size(), [&](std::size_t i) {
     const Sample& sample = *samples[i];
@@ -334,6 +340,9 @@ Table6 run_classification(const Dataset& dataset, std::uint64_t seed) {
 
   for (Task task : {Task::kE1, Task::kE2, Task::kE3_1, Task::kE3_2,
                     Task::kE4}) {
+    const std::string_view tn = task_name(task);
+    support::TraceScope task_span("eval.task." +
+                                  std::string(tn.substr(0, tn.find(':'))));
     const TaskSpec spec = build_task(dataset, task);
 
     // ---- Learning baselines.

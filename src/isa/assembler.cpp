@@ -5,6 +5,7 @@
 
 #include "isa/builder.h"
 #include "support/strings.h"
+#include "support/trace.h"
 
 namespace scag::isa {
 namespace {
@@ -113,6 +114,7 @@ std::string strip_comment(std::string_view line) {
 
 Program assemble(std::string_view source, std::string program_name,
                  std::uint64_t code_base) {
+  support::TraceScope span("assemble");
   ProgramBuilder b(std::move(program_name), code_base);
   std::size_t lineno = 0;
   bool have_entry = false;

@@ -1,0 +1,194 @@
+#include "support/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+
+#include "support/strings.h"
+#include "support/table.h"
+
+namespace scag::support {
+
+std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot rendering (compiled in both modes).
+
+std::uint64_t HistogramSample::percentile_ns(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count) + 0.5);
+  std::uint64_t seen = 0;
+  for (const Bucket& b : buckets) {
+    seen += b.count;
+    if (seen >= rank) return std::min(b.upper_ns, max_ns);
+  }
+  return max_ns;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (i > 0) out += ',';
+    out += json_quote(counters[i].name) + ':' +
+           std::to_string(counters[i].value);
+  }
+  out += "},\"histograms\":{";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSample& h = histograms[i];
+    if (i > 0) out += ',';
+    out += json_quote(h.name);
+    out += strfmt(":{\"count\":%llu,\"sum_ns\":%llu,\"min_ns\":%llu,"
+                  "\"max_ns\":%llu,\"mean_ns\":%.1f,\"p50_ns\":%llu,"
+                  "\"p90_ns\":%llu,\"p99_ns\":%llu,\"buckets\":[",
+                  static_cast<unsigned long long>(h.count),
+                  static_cast<unsigned long long>(h.sum_ns),
+                  static_cast<unsigned long long>(h.min_ns),
+                  static_cast<unsigned long long>(h.max_ns), h.mean_ns(),
+                  static_cast<unsigned long long>(h.percentile_ns(0.50)),
+                  static_cast<unsigned long long>(h.percentile_ns(0.90)),
+                  static_cast<unsigned long long>(h.percentile_ns(0.99)));
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) out += ',';
+      out += strfmt("{\"le_ns\":%llu,\"count\":%llu}",
+                    static_cast<unsigned long long>(h.buckets[b].upper_ns),
+                    static_cast<unsigned long long>(h.buckets[b].count));
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsSnapshot::to_table() const {
+  std::string out;
+  if (!counters.empty()) {
+    Table t("Counters");
+    t.header({"Name", "Value"});
+    for (const CounterSample& c : counters)
+      t.row({c.name, std::to_string(c.value)});
+    out += t.render();
+  }
+  if (!histograms.empty()) {
+    if (!out.empty()) out += '\n';
+    Table t("Latency histograms");
+    t.header({"Name", "Count", "Mean", "P50", "P90", "P99", "Max"});
+    auto us = [](double ns) { return strfmt("%.1fus", ns / 1000.0); };
+    for (const HistogramSample& h : histograms) {
+      t.row({h.name, std::to_string(h.count), us(h.mean_ns()),
+             us(static_cast<double>(h.percentile_ns(0.50))),
+             us(static_cast<double>(h.percentile_ns(0.90))),
+             us(static_cast<double>(h.percentile_ns(0.99))),
+             us(static_cast<double>(h.max_ns))});
+    }
+    out += t.render();
+  }
+  if (out.empty()) out = "(no metrics recorded)\n";
+  return out;
+}
+
+#ifndef SCAG_METRICS_OFF
+
+namespace {
+std::atomic<bool> g_enabled{true};
+
+/// Values in [2^(k-1), 2^k) land in bucket k; 0 lands in bucket 0.
+std::size_t bucket_index(std::uint64_t ns) {
+  const std::size_t w = static_cast<std::size_t>(std::bit_width(ns));
+  return std::min(w, Histogram::kNumBuckets - 1);
+}
+}  // namespace
+
+bool metrics_enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_metrics_enabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void Histogram::record_ns(std::uint64_t ns) {
+  if (!metrics_enabled()) return;
+  buckets_[bucket_index(ns)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (ns < cur &&
+         !min_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (ns > cur &&
+         !max_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+HistogramSample Histogram::sample(std::string name) const {
+  HistogramSample s;
+  s.name = std::move(name);
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum_ns = sum_.load(std::memory_order_relaxed);
+  s.min_ns = s.count == 0 ? 0 : min_.load(std::memory_order_relaxed);
+  s.max_ns = max_.load(std::memory_order_relaxed);
+  for (std::size_t k = 0; k < kNumBuckets; ++k) {
+    const std::uint64_t c = buckets_[k].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    const std::uint64_t upper =
+        k >= 63 ? ~std::uint64_t{0} : (std::uint64_t{1} << k) - 1;
+    s.buckets.push_back({upper, c});
+  }
+  return s;
+}
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  return *it->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_)
+    snap.counters.push_back({name, c->value()});
+  for (const auto& [name, h] : histograms_)
+    snap.histograms.push_back(h->sample(name));
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+#endif  // SCAG_METRICS_OFF
+
+}  // namespace scag::support

@@ -1,0 +1,214 @@
+// Production metrics for the scan pipeline: a process-wide registry of
+// monotonic counters, fixed-bucket latency histograms, and RAII scoped
+// timers with nanosecond resolution.
+//
+// Design goals (see docs/library-guide.md "Metrics & tracing"):
+//   - Thread-safe: counters and histogram buckets are relaxed atomics, so
+//     the batch-scan worker threads record without coordination.
+//   - Low-overhead: hot call sites resolve their instrument once into a
+//     function-local static reference; recording is then one predictable
+//     branch (the runtime enable flag) plus one atomic add. Registered
+//     instruments are never removed, so cached references stay valid for
+//     the process lifetime.
+//   - Removable: compiling with -DSCAG_METRICS_OFF (CMake option
+//     SCAG_METRICS_OFF) replaces every class with an inline no-op; call
+//     sites compile unchanged and the instrumentation costs nothing.
+//
+// Usage:
+//   static support::Counter& cells =
+//       support::Registry::global().counter("dtw.dp_cells");
+//   cells.add(row_cells);
+//
+//   static support::Histogram& lat =
+//       support::Registry::global().histogram("scan.latency_ns");
+//   { support::ScopedTimer t(lat); do_scan(); }
+//
+// Snapshots export to JSON and to a human-readable table regardless of
+// mode (in no-op mode they are empty).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scag::support {
+
+/// Monotonic nanoseconds from a steady (never-adjusted) clock.
+std::uint64_t monotonic_ns();
+
+// ---------------------------------------------------------------------------
+// Snapshot types: plain data, identical in both modes.
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct HistogramSample {
+  struct Bucket {
+    std::uint64_t upper_ns = 0;  // inclusive upper bound of the bucket
+    std::uint64_t count = 0;
+  };
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum_ns = 0;
+  std::uint64_t min_ns = 0;
+  std::uint64_t max_ns = 0;
+  std::vector<Bucket> buckets;  // non-empty buckets only, ascending
+
+  double mean_ns() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum_ns) / static_cast<double>(count);
+  }
+  /// Bucket-upper-bound estimate of the q-quantile (q in [0, 1]).
+  std::uint64_t percentile_ns(double q) const;
+};
+
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;      // sorted by name
+  std::vector<HistogramSample> histograms;  // sorted by name
+
+  /// {"counters": {...}, "histograms": {...}} — see the library guide for
+  /// the schema.
+  std::string to_json() const;
+  /// Column-aligned tables for terminal output.
+  std::string to_table() const;
+};
+
+#ifdef SCAG_METRICS_OFF
+
+// ---------------------------------------------------------------------------
+// No-op mode: every operation is an empty inline, snapshots are empty.
+
+inline bool metrics_enabled() { return false; }
+inline void set_metrics_enabled(bool) {}
+
+class Counter {
+ public:
+  void add(std::uint64_t = 1) {}
+  std::uint64_t value() const { return 0; }
+  void reset() {}
+};
+
+class Histogram {
+ public:
+  void record_ns(std::uint64_t) {}
+  void reset() {}
+  HistogramSample sample(std::string name) const {
+    HistogramSample s;
+    s.name = std::move(name);
+    return s;
+  }
+};
+
+class Registry {
+ public:
+  static Registry& global() {
+    static Registry r;
+    return r;
+  }
+  static constexpr bool compiled_in() { return false; }
+  Counter& counter(std::string_view) { return counter_; }
+  Histogram& histogram(std::string_view) { return histogram_; }
+  MetricsSnapshot snapshot() const { return {}; }
+  void reset() {}
+
+ private:
+  Counter counter_;
+  Histogram histogram_;
+};
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram&) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+};
+
+#else  // SCAG_METRICS_OFF not defined: the real implementation.
+
+/// Runtime gate shared by every instrument: when false, recording is
+/// skipped after one relaxed atomic load. Defaults to true.
+bool metrics_enabled();
+void set_metrics_enabled(bool enabled);
+
+/// A monotonically increasing counter. add() is wait-free.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (metrics_enabled()) value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A fixed-bucket latency histogram over nanoseconds. Buckets are powers
+/// of two: bucket k holds values in [2^(k-1), 2^k), i.e. upper bound
+/// 2^k - 1; values beyond the last bucket clamp into it. Recording is two
+/// relaxed atomic adds plus bounded min/max updates.
+class Histogram {
+ public:
+  static constexpr std::size_t kNumBuckets = 40;  // 2^39 ns ~ 9.2 minutes
+
+  void record_ns(std::uint64_t ns);
+  void reset();
+  HistogramSample sample(std::string name) const;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// The process-wide instrument registry. Lookups take a mutex — resolve
+/// once and cache the reference (instruments are never deallocated):
+///   static Counter& c = Registry::global().counter("scan.pairs");
+class Registry {
+ public:
+  static Registry& global();
+  static constexpr bool compiled_in() { return true; }
+
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Consistent-enough snapshot (each value is read atomically).
+  MetricsSnapshot snapshot() const;
+  /// Zeroes every registered instrument (names stay registered).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Records the elapsed wall time into a histogram on destruction. When
+/// metrics are disabled at construction time, the clock is never read.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& h)
+      : histogram_(&h), start_ns_(metrics_enabled() ? monotonic_ns() : 0) {}
+  ~ScopedTimer() {
+    if (start_ns_ != 0) histogram_->record_ns(monotonic_ns() - start_ns_);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::uint64_t start_ns_;
+};
+
+#endif  // SCAG_METRICS_OFF
+
+}  // namespace scag::support

@@ -78,4 +78,26 @@ std::string pct(double fraction) {
   return strfmt("%.2f%%", fraction * 100.0);
 }
 
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          out += strfmt("\\u%04x", static_cast<unsigned>(c));
+        else
+          out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
 }  // namespace scag

@@ -31,4 +31,8 @@ std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 /// Formats a double as a percentage with two decimals, e.g. "96.64%".
 std::string pct(double fraction);
 
+/// Quotes and escapes a string as a JSON string literal, e.g. `a"b` ->
+/// `"a\"b"`. Control characters are emitted as \u00XX.
+std::string json_quote(std::string_view s);
+
 }  // namespace scag

@@ -1,0 +1,158 @@
+#include "support/trace.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/strings.h"
+#include "support/table.h"
+
+namespace scag::support {
+
+namespace {
+
+struct StageAggregate {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t min_ns = ~std::uint64_t{0};
+  std::uint64_t max_ns = 0;
+};
+
+std::map<std::string, StageAggregate> aggregate(
+    const std::vector<TraceSpan>& spans) {
+  std::map<std::string, StageAggregate> stages;
+  for (const TraceSpan& s : spans) {
+    StageAggregate& a = stages[s.name];
+    ++a.count;
+    a.total_ns += s.dur_ns;
+    a.min_ns = std::min(a.min_ns, s.dur_ns);
+    a.max_ns = std::max(a.max_ns, s.dur_ns);
+  }
+  return stages;
+}
+
+}  // namespace
+
+// Shared by both modes (the no-op tracer just renders an empty span list).
+std::string Tracer::to_json() const {
+  const std::vector<TraceSpan> all = spans();
+  std::string out = "{\"spans\":[";
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const TraceSpan& s = all[i];
+    if (i > 0) out += ',';
+    out += strfmt("{\"name\":%s,\"start_ns\":%llu,\"dur_ns\":%llu,"
+                  "\"depth\":%u,\"thread\":%u}",
+                  json_quote(s.name).c_str(),
+                  static_cast<unsigned long long>(s.start_ns),
+                  static_cast<unsigned long long>(s.dur_ns), s.depth,
+                  s.thread);
+  }
+  out += strfmt("],\"dropped\":%llu,\"stages\":{",
+                static_cast<unsigned long long>(dropped()));
+  const auto stages = aggregate(all);
+  std::size_t i = 0;
+  for (const auto& [name, a] : stages) {
+    if (i++ > 0) out += ',';
+    out += json_quote(name);
+    out += strfmt(":{\"count\":%llu,\"total_ns\":%llu,\"min_ns\":%llu,"
+                  "\"max_ns\":%llu}",
+                  static_cast<unsigned long long>(a.count),
+                  static_cast<unsigned long long>(a.total_ns),
+                  static_cast<unsigned long long>(a.min_ns),
+                  static_cast<unsigned long long>(a.max_ns));
+  }
+  out += "}}";
+  return out;
+}
+
+std::string Tracer::to_table() const {
+  const auto stages = aggregate(spans());
+  if (stages.empty()) return "(no spans recorded)\n";
+  Table t("Pipeline stages");
+  t.header({"Stage", "Count", "Total", "Mean", "Min", "Max"});
+  auto ms = [](double ns) { return strfmt("%.3fms", ns / 1e6); };
+  for (const auto& [name, a] : stages) {
+    t.row({name, std::to_string(a.count),
+           ms(static_cast<double>(a.total_ns)),
+           ms(static_cast<double>(a.total_ns) / static_cast<double>(a.count)),
+           ms(static_cast<double>(a.min_ns)),
+           ms(static_cast<double>(a.max_ns))});
+  }
+  std::string out = t.render();
+  if (dropped() > 0)
+    out += strfmt("(%llu span(s) dropped past the span cap)\n",
+                  static_cast<unsigned long long>(dropped()));
+  return out;
+}
+
+#ifndef SCAG_METRICS_OFF
+
+namespace {
+thread_local std::uint32_t tls_depth = 0;
+thread_local std::uint32_t tls_thread_index = ~std::uint32_t{0};
+
+std::uint32_t thread_index() {
+  static std::atomic<std::uint32_t> next{0};
+  if (tls_thread_index == ~std::uint32_t{0})
+    tls_thread_index = next.fetch_add(1, std::memory_order_relaxed);
+  return tls_thread_index;
+}
+}  // namespace
+
+Tracer& Tracer::global() {
+  static Tracer t;
+  return t;
+}
+
+void Tracer::record(std::string_view name, std::uint64_t start_ns,
+                    std::uint64_t dur_ns, std::uint32_t depth) {
+  const std::uint32_t thread = thread_index();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= kMaxSpans) {
+    ++dropped_;
+    return;
+  }
+  TraceSpan s;
+  s.name.assign(name);
+  s.start_ns = start_ns >= epoch_ns_ ? start_ns - epoch_ns_ : 0;
+  s.dur_ns = dur_ns;
+  s.depth = depth;
+  s.thread = thread;
+  spans_.push_back(std::move(s));
+}
+
+std::vector<TraceSpan> Tracer::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  dropped_ = 0;
+  epoch_ns_ = monotonic_ns();
+}
+
+TraceScope::TraceScope(std::string_view name) {
+  Tracer& tracer = Tracer::global();
+  if (!tracer.enabled()) return;
+  active_ = true;
+  name_.assign(name);
+  depth_ = tls_depth++;
+  start_ns_ = monotonic_ns();
+}
+
+TraceScope::~TraceScope() {
+  if (!active_) return;
+  const std::uint64_t end_ns = monotonic_ns();
+  --tls_depth;
+  Tracer::global().record(name_, start_ns_, end_ns - start_ns_, depth_);
+}
+
+#endif  // SCAG_METRICS_OFF
+
+}  // namespace scag::support

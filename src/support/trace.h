@@ -1,0 +1,119 @@
+// Span tracing for the scan pipeline: RAII scopes record per-stage wall
+// times (assemble -> CFG -> interpret (incl. cache sim) -> CST-BBS build ->
+// DTW scan), nested per thread, into a process-wide tracer.
+//
+// Tracing is OFF by default (unlike metrics counters) because spans
+// allocate: enable it around the region of interest with
+// `Tracer::global().set_enabled(true)`. A disabled TraceScope costs one
+// relaxed atomic load. Compiling with -DSCAG_METRICS_OFF turns the whole
+// layer into inline no-ops.
+//
+//   {
+//     support::TraceScope span("cfg.build");
+//     ...;
+//   }  // span recorded on scope exit
+//
+// Exports: to_json() (raw spans + per-stage aggregates) and to_table()
+// (human-readable per-stage summary). Span storage is capped; spans past
+// the cap are counted in dropped() instead of growing without bound.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/metrics.h"
+
+namespace scag::support {
+
+/// One completed span. Times are nanoseconds relative to the tracer's
+/// epoch (its construction or last clear()).
+struct TraceSpan {
+  std::string name;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t depth = 0;   // nesting level on the recording thread
+  std::uint32_t thread = 0;  // dense per-process thread index
+};
+
+#ifdef SCAG_METRICS_OFF
+
+class Tracer {
+ public:
+  static Tracer& global() {
+    static Tracer t;
+    return t;
+  }
+  bool enabled() const { return false; }
+  void set_enabled(bool) {}
+  std::vector<TraceSpan> spans() const { return {}; }
+  std::uint64_t dropped() const { return 0; }
+  void clear() {}
+  std::string to_json() const;
+  std::string to_table() const;
+};
+
+class TraceScope {
+ public:
+  explicit TraceScope(std::string_view) {}
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+};
+
+#else
+
+class Tracer {
+ public:
+  /// Spans kept in memory; more are dropped (and counted).
+  static constexpr std::size_t kMaxSpans = 1 << 16;
+
+  static Tracer& global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Called by TraceScope; start_ns is an absolute monotonic_ns() reading.
+  void record(std::string_view name, std::uint64_t start_ns,
+              std::uint64_t dur_ns, std::uint32_t depth);
+
+  std::vector<TraceSpan> spans() const;
+  std::uint64_t dropped() const;
+  /// Drops all spans and restarts the epoch.
+  void clear();
+
+  /// {"spans": [...], "dropped": n, "stages": {name: aggregate}}.
+  std::string to_json() const;
+  /// Per-stage aggregate table (count, total, mean, min, max).
+  std::string to_table() const;
+
+ private:
+  Tracer() : epoch_ns_(monotonic_ns()) {}
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::uint64_t epoch_ns_;
+  std::vector<TraceSpan> spans_;
+  std::uint64_t dropped_ = 0;
+};
+
+class TraceScope {
+ public:
+  explicit TraceScope(std::string_view name);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  std::string name_;
+  std::uint64_t start_ns_ = 0;
+  std::uint32_t depth_ = 0;
+  bool active_ = false;
+};
+
+#endif  // SCAG_METRICS_OFF
+
+}  // namespace scag::support

@@ -8,8 +8,11 @@
 //     single-instruction programs, empty CST-BBS targets).
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "core/batch_detector.h"
 #include "core/model.h"
+#include "core/serialize.h"
 #include "cpu/interpreter.h"
 #include "eval/experiments.h"
 #include "isa/assembler.h"
@@ -134,6 +137,65 @@ TEST(FuzzBatchScan, DegenerateProgramsScanCleanly) {
     for (const core::Detection& d : dets)
       EXPECT_FALSE(d.is_attack()) << "prune " << prune;
   }
+}
+
+// Feeds mutated repository text to the serializer: every mutation of a
+// valid repository must either load cleanly or throw SerializeError --
+// never crash, hang, or leak another exception type.
+TEST(FuzzSerialize, MutatedRepositoriesNeverCrashTheLoader) {
+  const core::Detector detector = eval::make_scaguard(
+      {core::Family::kFlushReload, core::Family::kPrimeProbe});
+  const std::string valid =
+      core::save_models_to_string(detector.repository());
+  ASSERT_FALSE(valid.empty());
+
+  const std::string noise_chars =
+      "model elem norm sem end 0123456789abcdefgz|.\n\t ";
+  Rng rng(0xf002);
+  int loaded_ok = 0, rejected = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    std::string text = valid;
+    const std::size_t n_mutations = 1 + rng.below(4);
+    for (std::size_t m = 0; m < n_mutations && !text.empty(); ++m) {
+      const std::size_t pos = rng.below(text.size());
+      switch (rng.below(5)) {
+        case 0:  // flip a byte
+          text[pos] = noise_chars[static_cast<std::size_t>(
+              rng.below(noise_chars.size()))];
+          break;
+        case 1:  // delete a byte
+          text.erase(pos, 1);
+          break;
+        case 2:  // insert a byte
+          text.insert(pos, 1, noise_chars[static_cast<std::size_t>(
+                                  rng.below(noise_chars.size()))]);
+          break;
+        case 3:  // truncate
+          text.resize(pos);
+          break;
+        case 4: {  // duplicate a whole line
+          const std::size_t bol = text.rfind('\n', pos);
+          const std::size_t start = bol == std::string::npos ? 0 : bol + 1;
+          std::size_t end = text.find('\n', pos);
+          if (end == std::string::npos) end = text.size();
+          text.insert(start, text.substr(start, end - start) + "\n");
+          break;
+        }
+      }
+    }
+    try {
+      const auto models = core::load_models_from_string(text);
+      ++loaded_ok;
+      // Anything that loads must also re-save (save validates).
+      EXPECT_NO_THROW(core::save_models_to_string(models)) << "iter " << iter;
+    } catch (const core::SerializeError&) {
+      ++rejected;  // the only acceptable failure mode
+    }
+  }
+  // The loader must actually be exercising both paths: most mutants are
+  // rejected, but e.g. whitespace-only edits still load.
+  EXPECT_GT(rejected, 0);
+  EXPECT_EQ(loaded_ok + rejected, 400);
 }
 
 TEST(FuzzGenerator, ProgramsDifferAcrossSeeds) {

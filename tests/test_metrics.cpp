@@ -1,0 +1,352 @@
+// Tests for the support metrics layer (counters, histograms, scoped
+// timers, registry snapshots) and the span tracer. Links against
+// scag_support only, so the suite also builds in a -DSCAG_METRICS_OFF
+// tree; assertions branch on Registry::compiled_in() where behavior
+// legitimately differs between modes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/metrics.h"
+#include "support/trace.h"
+
+namespace scag::support {
+namespace {
+
+// Minimal structural JSON validator: checks balanced braces/brackets and
+// well-formed strings/escapes. Enough to catch broken hand-rolled
+// emitters (unescaped quotes, trailing commas are NOT checked).
+bool json_balanced(const std::string& s) {
+  std::vector<char> stack;
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // skip escaped char
+      } else if (c == '"') {
+        in_string = false;
+      } else if (c == '\n' || c == '\r') {
+        return false;  // raw control characters must be escaped
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': stack.push_back('}'); break;
+      case '[': stack.push_back(']'); break;
+      case '}':
+      case ']':
+        if (stack.empty() || stack.back() != c) return false;
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Registry::global().reset();
+    set_metrics_enabled(true);
+  }
+  void TearDown() override {
+    set_metrics_enabled(true);
+    Registry::global().reset();
+    Tracer::global().set_enabled(false);
+    Tracer::global().clear();
+  }
+};
+
+TEST_F(MetricsTest, CounterAccumulates) {
+  Counter& c = Registry::global().counter("test.counter_accumulates");
+  c.add();
+  c.add(41);
+  if (Registry::compiled_in()) {
+    EXPECT_EQ(c.value(), 42u);
+  } else {
+    EXPECT_EQ(c.value(), 0u);
+  }
+}
+
+TEST_F(MetricsTest, CounterRespectsRuntimeGate) {
+  Counter& c = Registry::global().counter("test.counter_gate");
+  set_metrics_enabled(false);
+  c.add(100);
+  EXPECT_EQ(c.value(), 0u);
+  set_metrics_enabled(true);
+  c.add(7);
+  EXPECT_EQ(c.value(), Registry::compiled_in() ? 7u : 0u);
+}
+
+TEST_F(MetricsTest, RegistryReturnsSameInstrumentForSameName) {
+  Counter& a = Registry::global().counter("test.same_name");
+  Counter& b = Registry::global().counter("test.same_name");
+  EXPECT_EQ(&a, &b);
+  Histogram& ha = Registry::global().histogram("test.same_hist");
+  Histogram& hb = Registry::global().histogram("test.same_hist");
+  EXPECT_EQ(&ha, &hb);
+}
+
+TEST_F(MetricsTest, HistogramRecordsAndSamples) {
+  Histogram& h = Registry::global().histogram("test.hist_basic");
+  h.record_ns(1);
+  h.record_ns(100);
+  h.record_ns(1'000'000);
+  if (!Registry::compiled_in()) return;
+
+  const MetricsSnapshot snap = Registry::global().snapshot();
+  const HistogramSample* found = nullptr;
+  for (const HistogramSample& s : snap.histograms)
+    if (s.name == "test.hist_basic") found = &s;
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->count, 3u);
+  EXPECT_EQ(found->sum_ns, 1'000'101u);
+  EXPECT_EQ(found->min_ns, 1u);
+  EXPECT_EQ(found->max_ns, 1'000'000u);
+  EXPECT_DOUBLE_EQ(found->mean_ns(), 1'000'101.0 / 3.0);
+  // Three distinct power-of-two buckets, ascending, counts sum to 3.
+  ASSERT_EQ(found->buckets.size(), 3u);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < found->buckets.size(); ++i) {
+    total += found->buckets[i].count;
+    if (i > 0) {
+      EXPECT_GT(found->buckets[i].upper_ns, found->buckets[i - 1].upper_ns);
+    }
+  }
+  EXPECT_EQ(total, 3u);
+}
+
+TEST_F(MetricsTest, HistogramPercentiles) {
+  if (!Registry::compiled_in()) return;
+  Histogram& h = Registry::global().histogram("test.hist_pct");
+  for (int i = 0; i < 90; ++i) h.record_ns(10);    // bucket upper 15
+  for (int i = 0; i < 10; ++i) h.record_ns(1000);  // bucket upper 1023
+  const HistogramSample s = h.sample("test.hist_pct");
+  EXPECT_EQ(s.percentile_ns(0.5), 15u);
+  // Bucket upper bounds are clamped to the observed max (1000 < 1023).
+  EXPECT_EQ(s.percentile_ns(0.99), 1000u);
+  EXPECT_EQ(s.percentile_ns(0.0), 15u);
+  EXPECT_EQ(s.percentile_ns(1.0), 1000u);
+  // Degenerate sample.
+  HistogramSample empty;
+  EXPECT_EQ(empty.percentile_ns(0.5), 0u);
+  EXPECT_DOUBLE_EQ(empty.mean_ns(), 0.0);
+}
+
+TEST_F(MetricsTest, HistogramClampsOverflowIntoLastBucket) {
+  if (!Registry::compiled_in()) return;
+  Histogram& h = Registry::global().histogram("test.hist_clamp");
+  h.record_ns(~std::uint64_t{0});  // far beyond 2^39 ns
+  const HistogramSample s = h.sample("test.hist_clamp");
+  ASSERT_EQ(s.buckets.size(), 1u);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.max_ns, ~std::uint64_t{0});
+}
+
+TEST_F(MetricsTest, ScopedTimerRecordsElapsed) {
+  Histogram& h = Registry::global().histogram("test.timer");
+  {
+    ScopedTimer t(h);
+    // A little real work so the duration is non-zero.
+    volatile std::uint64_t x = 0;
+    for (int i = 0; i < 1000; ++i) x = x + static_cast<std::uint64_t>(i);
+    (void)x;
+  }
+  if (!Registry::compiled_in()) return;
+  const HistogramSample s = h.sample("test.timer");
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_GT(s.sum_ns, 0u);
+}
+
+TEST_F(MetricsTest, ScopedTimerSkipsClockWhenDisabled) {
+  if (!Registry::compiled_in()) return;
+  Histogram& h = Registry::global().histogram("test.timer_off");
+  set_metrics_enabled(false);
+  { ScopedTimer t(h); }
+  set_metrics_enabled(true);
+  EXPECT_EQ(h.sample("test.timer_off").count, 0u);
+}
+
+TEST_F(MetricsTest, ResetZeroesButKeepsNames) {
+  Counter& c = Registry::global().counter("test.reset_me");
+  Registry::global().histogram("test.reset_hist").record_ns(5);
+  c.add(3);
+  Registry::global().reset();
+  EXPECT_EQ(c.value(), 0u);
+  if (!Registry::compiled_in()) return;
+  // Names survive a reset so cached references stay valid and snapshots
+  // keep a stable schema.
+  const MetricsSnapshot snap = Registry::global().snapshot();
+  bool saw_counter = false, saw_hist = false;
+  for (const CounterSample& s : snap.counters)
+    if (s.name == "test.reset_me") {
+      saw_counter = true;
+      EXPECT_EQ(s.value, 0u);
+    }
+  for (const HistogramSample& s : snap.histograms)
+    if (s.name == "test.reset_hist") {
+      saw_hist = true;
+      EXPECT_EQ(s.count, 0u);
+    }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_hist);
+}
+
+TEST_F(MetricsTest, ConcurrentCountingIsExact) {
+  Counter& c = Registry::global().counter("test.concurrent");
+  Histogram& h = Registry::global().histogram("test.concurrent_hist");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        h.record_ns(64);
+      }
+    });
+  for (std::thread& t : threads) t.join();
+  if (!Registry::compiled_in()) {
+    EXPECT_EQ(c.value(), 0u);
+    return;
+  }
+  EXPECT_EQ(c.value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.sample("test.concurrent_hist").count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST_F(MetricsTest, ConcurrentRegistryLookupsAreSafe) {
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  Counter* expected = &Registry::global().counter("test.lookup_race");
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        Counter& c = Registry::global().counter("test.lookup_race");
+        if (&c != expected) mismatches.fetch_add(1);
+        c.add();
+      }
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST_F(MetricsTest, SnapshotJsonIsWellFormed) {
+  Registry::global().counter("test.json \"quoted\"\n").add(1);
+  Registry::global().histogram("test.json_hist").record_ns(42);
+  const std::string json = Registry::global().snapshot().to_json();
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  if (Registry::compiled_in()) {
+    // The hostile name must appear escaped, never raw.
+    EXPECT_EQ(json.find("test.json \"quoted\""), std::string::npos);
+    EXPECT_NE(json.find("test.json \\\"quoted\\\"\\n"), std::string::npos);
+  }
+}
+
+TEST_F(MetricsTest, SnapshotTableRenders) {
+  Registry::global().counter("test.table").add(5);
+  const std::string table = Registry::global().snapshot().to_table();
+  EXPECT_FALSE(table.empty());
+  if (Registry::compiled_in()) {
+    EXPECT_NE(table.find("test.table"), std::string::npos);
+  }
+}
+
+TEST_F(MetricsTest, EmptySnapshotTableSaysSo) {
+  Registry::global().reset();
+  const MetricsSnapshot empty;
+  EXPECT_NE(empty.to_table().find("no metrics"), std::string::npos);
+  EXPECT_TRUE(json_balanced(empty.to_json()));
+}
+
+// ---------------------------------------------------------------------------
+// Tracer.
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::global().clear();
+    Tracer::global().set_enabled(true);
+  }
+  void TearDown() override {
+    Tracer::global().set_enabled(false);
+    Tracer::global().clear();
+  }
+};
+
+TEST_F(TracerTest, RecordsNestedSpans) {
+  {
+    TraceScope outer("outer");
+    TraceScope inner("inner");
+  }
+  const std::vector<TraceSpan> spans = Tracer::global().spans();
+  if (!Registry::compiled_in()) {
+    EXPECT_TRUE(spans.empty());
+    return;
+  }
+  ASSERT_EQ(spans.size(), 2u);
+  // Inner scope exits (and records) first.
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].depth, 1u);
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[1].depth, 0u);
+  EXPECT_GE(spans[1].dur_ns, spans[0].dur_ns);
+}
+
+TEST_F(TracerTest, DisabledScopesRecordNothing) {
+  Tracer::global().set_enabled(false);
+  { TraceScope s("ignored"); }
+  EXPECT_TRUE(Tracer::global().spans().empty());
+  EXPECT_EQ(Tracer::global().dropped(), 0u);
+}
+
+TEST_F(TracerTest, ClearDropsSpans) {
+  { TraceScope s("to_clear"); }
+  Tracer::global().clear();
+  EXPECT_TRUE(Tracer::global().spans().empty());
+}
+
+TEST_F(TracerTest, JsonAndTableAreWellFormed) {
+  { TraceScope s("stage.one"); }
+  { TraceScope s("stage.one"); }
+  { TraceScope s("stage.two"); }
+  const std::string json = Tracer::global().to_json();
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+  EXPECT_NE(json.find("\"stages\""), std::string::npos);
+  const std::string table = Tracer::global().to_table();
+  EXPECT_FALSE(table.empty());
+  if (Registry::compiled_in()) {
+    EXPECT_NE(json.find("stage.one"), std::string::npos);
+    EXPECT_NE(table.find("stage.two"), std::string::npos);
+  }
+}
+
+TEST_F(TracerTest, ConcurrentSpansGetDistinctThreadIndices) {
+  if (!Registry::compiled_in()) return;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([] {
+      for (int i = 0; i < 50; ++i) TraceScope s("worker.span");
+    });
+  for (std::thread& t : threads) t.join();
+  const std::vector<TraceSpan> spans = Tracer::global().spans();
+  EXPECT_EQ(spans.size(), static_cast<std::size_t>(kThreads) * 50);
+  for (const TraceSpan& s : spans) EXPECT_EQ(s.depth, 0u);
+}
+
+}  // namespace
+}  // namespace scag::support

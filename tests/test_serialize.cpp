@@ -4,10 +4,16 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <limits>
+#include <string>
+#include <vector>
 
 #include "attacks/registry.h"
 #include "core/serialize.h"
 #include "eval/experiments.h"
+#include "support/rng.h"
 
 namespace scag::core {
 namespace {
@@ -130,6 +136,314 @@ TEST(Serialize, FileRoundTrip) {
 TEST(Serialize, MissingFileThrows) {
   EXPECT_THROW(load_models_from_file("/nonexistent/scag.repo"),
                std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Save-time validation: the line-oriented grammar cannot represent every
+// string, so save_models must reject hostile models up front instead of
+// writing a repository that loads back corrupted (or not at all).
+
+AttackModel one_elem_model(std::string name, std::vector<std::string> norm,
+                           std::vector<std::string> sem) {
+  AttackModel m;
+  m.name = std::move(name);
+  m.family = Family::kFlushReload;
+  CstBbsElement e;
+  e.block = 1;
+  e.first_cycle = 2;
+  e.cst.before.ao = 1.0;
+  e.cst.after.io = 0.5;
+  e.norm_instrs = std::move(norm);
+  e.sem_tokens = std::move(sem);
+  m.sequence.push_back(std::move(e));
+  return m;
+}
+
+TEST(SerializeSave, RejectsEmptyModelName) {
+  EXPECT_THROW(save_models_to_string({one_elem_model("", {}, {})}),
+               SerializeError);
+}
+
+TEST(SerializeSave, RejectsWhitespaceInModelName) {
+  for (const char* name : {"has space", "has\ttab", "has\nnewline", " edge"}) {
+    EXPECT_THROW(save_models_to_string({one_elem_model(name, {}, {})}),
+                 SerializeError)
+        << "name: " << name;
+  }
+}
+
+TEST(SerializeSave, RejectsHostileNormTokens) {
+  for (const char* tok : {"", "a|b", " edge", "edge ", "line\nbreak"}) {
+    EXPECT_THROW(save_models_to_string({one_elem_model("m", {tok}, {})}),
+                 SerializeError)
+        << "token: " << tok;
+  }
+}
+
+TEST(SerializeSave, RejectsHostileSemTokens) {
+  for (const char* tok : {"", "two words", "tab\there"}) {
+    EXPECT_THROW(save_models_to_string({one_elem_model("m", {}, {tok})}),
+                 SerializeError)
+        << "token: " << tok;
+  }
+}
+
+TEST(SerializeSave, AcceptsInteriorWhitespaceInNormTokens) {
+  // Norm tokens are split on '|', so interior spaces are representable
+  // ("mov reg, mem" is the normal shape) -- only edge whitespace and '|'
+  // corrupt the record.
+  const auto models = {one_elem_model("m", {"mov reg, mem"}, {"load"})};
+  const auto loaded = load_models_from_string(save_models_to_string(models));
+  ASSERT_EQ(loaded.size(), 1u);
+  ASSERT_EQ(loaded[0].sequence[0].norm_instrs.size(), 1u);
+  EXPECT_EQ(loaded[0].sequence[0].norm_instrs[0], "mov reg, mem");
+}
+
+TEST(SerializeSave, SaveTimeErrorsCarryLineZero) {
+  try {
+    save_models_to_string({one_elem_model("bad name", {}, {})});
+    FAIL();
+  } catch (const SerializeError& e) {
+    EXPECT_EQ(e.line(), 0u);
+    EXPECT_NE(std::string(e.what()).find("bad name"), std::string::npos);
+  }
+}
+
+// Seeded property test: random models (some with hostile names/tokens)
+// either fail save_models up front, or round-trip byte-identically.
+TEST(SerializeSave, HostileRoundTripProperty) {
+  Rng rng(20260806);
+  const std::string name_chars = "abcXYZ019-_. \t|";
+  const std::string token_chars = "abz09,+<>| \t";
+
+  auto random_string = [&](const std::string& chars, std::size_t max_len) {
+    std::string s;
+    const std::size_t len = rng.below(max_len + 1);
+    for (std::size_t i = 0; i < len; ++i)
+      s += chars[static_cast<std::size_t>(rng.below(chars.size()))];
+    return s;
+  };
+  auto has_ws = [](const std::string& s) {
+    return s.find_first_of(" \t\n\r") != std::string::npos;
+  };
+  // Mirror of the documented validation rules, derived independently.
+  auto serializable = [&](const AttackModel& m) {
+    if (m.name.empty() || has_ws(m.name)) return false;
+    for (const CstBbsElement& e : m.sequence) {
+      for (const std::string& t : e.norm_instrs) {
+        if (t.empty() || t.find('|') != std::string::npos) return false;
+        if (t.front() == ' ' || t.front() == '\t' || t.back() == ' ' ||
+            t.back() == '\t')
+          return false;
+      }
+      for (const std::string& t : e.sem_tokens)
+        if (t.empty() || has_ws(t)) return false;
+    }
+    return true;
+  };
+
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<AttackModel> models;
+    const std::size_t n_models = 1 + rng.below(3);
+    bool all_ok = true;
+    for (std::size_t mi = 0; mi < n_models; ++mi) {
+      AttackModel m;
+      // '#' + index keeps names unique and non-empty without affecting
+      // whether the random part is hostile.
+      m.name = random_string(name_chars, 8) + "#" + std::to_string(mi);
+      m.family = static_cast<Family>(rng.below(4));
+      const std::size_t n_elems = rng.below(4);
+      for (std::size_t ei = 0; ei < n_elems; ++ei) {
+        CstBbsElement e;
+        e.block = static_cast<cfg::BlockId>(rng.below(100));
+        e.first_cycle = rng.next();
+        e.cst.before.ao = rng.uniform01();
+        e.cst.before.io = rng.chance(0.1) ? 0.0 : rng.uniform01();
+        e.cst.after.ao = rng.uniform_real(-4.0, 4.0);
+        e.cst.after.io = rng.chance(0.05)
+                             ? std::numeric_limits<double>::quiet_NaN()
+                             : rng.uniform01();
+        const std::size_t n_norm = rng.below(3);
+        for (std::size_t t = 0; t < n_norm; ++t)
+          e.norm_instrs.push_back(random_string(token_chars, 6));
+        const std::size_t n_sem = rng.below(3);
+        for (std::size_t t = 0; t < n_sem; ++t)
+          e.sem_tokens.push_back(random_string(token_chars, 6));
+        m.sequence.push_back(std::move(e));
+      }
+      all_ok = all_ok && serializable(m);
+      models.push_back(std::move(m));
+    }
+
+    if (!all_ok) {
+      EXPECT_THROW(save_models_to_string(models), SerializeError)
+          << "iter " << iter;
+      continue;
+    }
+    const std::string text = save_models_to_string(models);
+    const std::vector<AttackModel> loaded = load_models_from_string(text);
+    ASSERT_EQ(loaded.size(), models.size()) << "iter " << iter;
+    // Byte-identical re-save implies a lossless round trip (NaN cache
+    // states included: the format stores IEEE-754 bit patterns).
+    EXPECT_EQ(save_models_to_string(loaded), text) << "iter " << iter;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Load-time hardening.
+
+TEST(SerializeLoad, RejectsDuplicateModelNames) {
+  const std::string text =
+      "scaguard-models v1\n"
+      "model dup FR-F 0\n"
+      "end\n"
+      "model dup PP-F 0\n"
+      "end\n";
+  try {
+    load_models_from_string(text);
+    FAIL();
+  } catch (const SerializeError& e) {
+    EXPECT_EQ(e.line(), 4u);  // the second `model` line
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos);
+  }
+}
+
+TEST(SerializeLoad, RejectsOversizedElementCountAtModelLine) {
+  const std::string text = "scaguard-models v1\nmodel big FR-F " +
+                           std::to_string(kMaxModelElements + 1) + "\n";
+  try {
+    load_models_from_string(text);
+    FAIL();
+  } catch (const SerializeError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_NE(std::string(e.what()).find("exceeds"), std::string::npos);
+  }
+}
+
+TEST(SerializeLoad, RejectsAbsurdElementCountWithoutScanning) {
+  // A count near 2^63 must fail instantly at the `model` line, not after
+  // looping through billions of next_line() calls.
+  EXPECT_THROW(load_models_from_string(
+                   "scaguard-models v1\nmodel big FR-F 5000000000\n"),
+               SerializeError);
+}
+
+// ---------------------------------------------------------------------------
+// Atomic file writes.
+
+TEST(SerializeFile, FailedSaveLeavesDestinationIntact) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "scag_atomic_test.repo")
+          .string();
+  save_models_to_file(path, {one_elem_model("good", {"mov"}, {"load"})});
+  std::ifstream in(path);
+  const std::string before((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+  in.close();
+
+  EXPECT_THROW(save_models_to_file(path, {one_elem_model("bad name", {}, {})}),
+               SerializeError);
+
+  std::ifstream in2(path);
+  const std::string after((std::istreambuf_iterator<char>(in2)),
+                          std::istreambuf_iterator<char>());
+  EXPECT_EQ(after, before);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeFile, SaveToUnwritableDirectoryThrows) {
+  const std::string path = "/nonexistent_scag_dir/models.repo";
+  EXPECT_THROW(save_models_to_file(path, {}), std::runtime_error);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(SerializeFile, OverwritesExistingFileAtomically) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "scag_overwrite_test.repo")
+          .string();
+  save_models_to_file(path, {one_elem_model("first", {}, {})});
+  save_models_to_file(path, {one_elem_model("second", {}, {})});
+  const auto loaded = load_models_from_file(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].name, "second");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Golden file: pins the `scaguard-models v1` on-disk format byte-exact.
+// If this test fails, the format changed -- bump the version string and
+// add a migration path instead of silently breaking saved repositories.
+
+const char kGoldenText[] =
+    "scaguard-models v1\n"
+    "model golden-a FR-F 2\n"
+    "elem 3 17 3ff0000000000000 3fe0000000000000 3fd0000000000000 "
+    "0000000000000000\n"
+    "norm mov reg, mem|clflush mem\n"
+    "sem load flush\n"
+    "elem 4 99 0000000000000000 0000000000000000 3fe8000000000000 "
+    "3ff0000000000000\n"
+    "norm \n"
+    "sem \n"
+    "end\n"
+    "model golden-b S-PP 0\n"
+    "end\n";
+
+std::vector<AttackModel> golden_models() {
+  AttackModel a;
+  a.name = "golden-a";
+  a.family = Family::kFlushReload;
+  CstBbsElement e0;
+  e0.block = 3;
+  e0.first_cycle = 17;
+  e0.cst.before.ao = 1.0;    // 3ff0000000000000
+  e0.cst.before.io = 0.5;    // 3fe0000000000000
+  e0.cst.after.ao = 0.25;    // 3fd0000000000000
+  e0.cst.after.io = 0.0;     // 0000000000000000
+  e0.norm_instrs = {"mov reg, mem", "clflush mem"};
+  e0.sem_tokens = {"load", "flush"};
+  CstBbsElement e1;
+  e1.block = 4;
+  e1.first_cycle = 99;
+  e1.cst.after.ao = 0.75;    // 3fe8000000000000
+  e1.cst.after.io = 1.0;
+  a.sequence = {e0, e1};
+
+  AttackModel b;
+  b.name = "golden-b";
+  b.family = Family::kSpectrePP;
+  return {a, b};
+}
+
+TEST(SerializeGolden, SaveMatchesGoldenBytes) {
+  EXPECT_EQ(save_models_to_string(golden_models()), kGoldenText);
+}
+
+TEST(SerializeGolden, GoldenBytesLoadBack) {
+  const std::vector<AttackModel> loaded = load_models_from_string(kGoldenText);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].name, "golden-a");
+  EXPECT_EQ(loaded[0].family, Family::kFlushReload);
+  ASSERT_EQ(loaded[0].sequence.size(), 2u);
+  EXPECT_EQ(loaded[0].sequence[0].block, 3u);
+  EXPECT_EQ(loaded[0].sequence[0].first_cycle, 17u);
+  EXPECT_EQ(loaded[0].sequence[0].cst.before.ao, 1.0);
+  EXPECT_EQ(loaded[0].sequence[0].cst.before.io, 0.5);
+  EXPECT_EQ(loaded[0].sequence[0].cst.after.ao, 0.25);
+  EXPECT_EQ(loaded[0].sequence[0].cst.after.io, 0.0);
+  EXPECT_EQ(loaded[0].sequence[0].norm_instrs,
+            (std::vector<std::string>{"mov reg, mem", "clflush mem"}));
+  EXPECT_EQ(loaded[0].sequence[0].sem_tokens,
+            (std::vector<std::string>{"load", "flush"}));
+  EXPECT_TRUE(loaded[0].sequence[1].norm_instrs.empty());
+  EXPECT_TRUE(loaded[0].sequence[1].sem_tokens.empty());
+  EXPECT_EQ(loaded[1].name, "golden-b");
+  EXPECT_EQ(loaded[1].family, Family::kSpectrePP);
+  EXPECT_TRUE(loaded[1].sequence.empty());
+  // And the round trip reproduces the golden bytes exactly.
+  EXPECT_EQ(save_models_to_string(loaded), kGoldenText);
 }
 
 TEST(Serialize, DetectorWorksWithLoadedRepository) {

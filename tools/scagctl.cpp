@@ -2,15 +2,19 @@
 //
 //   scagctl list                         known attack PoCs & benign templates
 //   scagctl build-repo <out.repo>        model all PoCs into a repository file
-//   scagctl scan <repo> <prog.s>...      scan assembly programs against a repo
+//   scagctl scan [--stats[=out.json]] <repo> <prog.s>...
+//                                        scan assembly programs against a repo
 //   scagctl model <prog.s>               print a program's CST-BBS model
 //   scagctl demo <poc-name> [secret]     run a PoC and show the recovery
 //   scagctl export <poc-name> [out.s]    dump a PoC as re-assemblable .s
 //   scagctl cfg <prog.s>                 print a program's CFG as graphviz
+//   scagctl metrics-demo                 smoke-run the metrics/tracing layer
 //
 // The deployment flow matches the paper's discussion section: build the
 // repository once (offline), then scan untrusted programs before they are
-// admitted to the cluster.
+// admitted to the cluster. `scan --stats` prints per-stage span timings and
+// the pipeline counters (DTW pruning, DP cells, cache misses) after the
+// report; `--stats=out.json` additionally writes them as JSON.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -19,14 +23,18 @@
 #include "attacks/registry.h"
 #include "benign/registry.h"
 #include "cfg/cfg.h"
+#include "core/batch_detector.h"
 #include "core/detector.h"
 #include "core/serialize.h"
 #include "cpu/interpreter.h"
 #include "eval/experiments.h"
 #include "isa/assembler.h"
 #include "isa/export.h"
+#include "support/metrics.h"
+#include "support/rng.h"
 #include "support/strings.h"
 #include "support/table.h"
+#include "support/trace.h"
 
 using namespace scag;
 
@@ -37,13 +45,38 @@ int usage() {
       "usage:\n"
       "  scagctl list\n"
       "  scagctl build-repo <out.repo>\n"
-      "  scagctl scan <repo> <prog.s>...\n"
+      "  scagctl scan [--stats[=out.json]] <repo> <prog.s>...\n"
       "  scagctl model <prog.s>\n"
       "  scagctl demo <poc-name> [secret 1..15]\n"
       "  scagctl export <poc-name> [out.s]\n"
-      "  scagctl cfg <prog.s>\n",
+      "  scagctl cfg <prog.s>\n"
+      "  scagctl metrics-demo\n",
       stderr);
   return 2;
+}
+
+/// Combined metrics + span JSON document (the schema is documented in
+/// docs/library-guide.md "Metrics & tracing").
+std::string stats_json() {
+  return "{\"metrics\":" + support::Registry::global().snapshot().to_json() +
+         ",\"trace\":" + support::Tracer::global().to_json() + "}";
+}
+
+void print_stats(const char* json_path) {
+  std::fputs("\n", stdout);
+  std::fputs(support::Tracer::global().to_table().c_str(), stdout);
+  std::fputs("\n", stdout);
+  std::fputs(support::Registry::global().snapshot().to_table().c_str(),
+             stdout);
+  if (json_path != nullptr && json_path[0] != '\0') {
+    std::ofstream out(json_path, std::ios::trunc);
+    if (!out) throw std::runtime_error(std::string("cannot open ") + json_path);
+    out << stats_json() << "\n";
+    out.flush();
+    if (!out.good())
+      throw std::runtime_error(std::string("write failed: ") + json_path);
+    std::printf("wrote stats JSON to %s\n", json_path);
+  }
 }
 
 isa::Program load_asm(const char* path) {
@@ -82,7 +115,14 @@ int cmd_build_repo(const char* out_path) {
   return 0;
 }
 
-int cmd_scan(const char* repo_path, int nfiles, char** files) {
+int cmd_scan(const char* repo_path, int nfiles, char** files,
+             bool with_stats, const char* stats_json_path) {
+  if (with_stats) {
+    support::set_metrics_enabled(true);
+    support::Tracer::global().set_enabled(true);
+    support::Tracer::global().clear();
+    support::Registry::global().reset();
+  }
   core::Detector detector(eval::experiment_model_config(),
                           eval::experiment_dtw_config(), eval::kThreshold);
   for (core::AttackModel& m : core::load_models_from_file(repo_path))
@@ -104,7 +144,58 @@ int cmd_scan(const char* repo_path, int nfiles, char** files) {
                 pct(det.best_score)});
   }
   report.print();
+  if (with_stats) print_stats(stats_json_path);
   return attacks_found > 0 ? 1 : 0;  // nonzero exit if anything was flagged
+}
+
+/// Self-contained smoke path for the metrics/tracing layer: exercises the
+/// full pipeline (assemble is skipped — programs come from the builder
+/// DSL) on a tiny repository and prints the span table, the metric tables,
+/// and the combined JSON document.
+int cmd_metrics_demo() {
+  support::set_metrics_enabled(true);
+  support::Tracer::global().set_enabled(true);
+  support::Tracer::global().clear();
+  support::Registry::global().reset();
+
+  core::Detector detector(eval::experiment_model_config(),
+                          eval::experiment_dtw_config(), eval::kThreshold);
+  for (const char* name : {"FR-IAIK", "PP-IAIK"}) {
+    const attacks::PocSpec& spec = attacks::poc_by_name(name);
+    detector.enroll(spec.build(attacks::PocConfig{}), spec.family);
+  }
+
+  std::vector<isa::Program> targets;
+  targets.push_back(
+      attacks::poc_by_name("FR-Nepoche").build(attacks::PocConfig{}));
+  Rng rng(1);
+  targets.push_back(benign::generate_benign(0, rng));
+
+  core::BatchConfig batch_config;
+  batch_config.prune = true;
+  const core::BatchDetector batch(detector, batch_config);
+  const std::vector<core::Detection> detections =
+      batch.scan_programs(targets);
+
+  Table report("metrics-demo scan");
+  report.header({"Program", "Verdict", "Score"});
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    report.row({targets[i].name(),
+                detections[i].is_attack()
+                    ? std::string(core::family_name(detections[i].verdict))
+                    : "benign",
+                pct(detections[i].best_score)});
+  }
+  report.print();
+
+  print_stats(nullptr);
+  std::fputs("\n", stdout);
+  std::puts(stats_json().c_str());
+  if (!support::Registry::compiled_in())
+    std::puts("note: compiled with SCAG_METRICS_OFF - all instruments are "
+              "no-ops");
+  std::puts("metrics-demo: done");
+  return 0;
 }
 
 int cmd_model(const char* path) {
@@ -197,8 +288,25 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "list") == 0) return cmd_list();
     if (std::strcmp(argv[1], "build-repo") == 0 && argc == 3)
       return cmd_build_repo(argv[2]);
-    if (std::strcmp(argv[1], "scan") == 0 && argc >= 4)
-      return cmd_scan(argv[2], argc - 3, argv + 3);
+    if (std::strcmp(argv[1], "scan") == 0) {
+      int i = 2;
+      bool with_stats = false;
+      const char* stats_json_path = nullptr;
+      if (i < argc && starts_with(argv[i], "--stats")) {
+        with_stats = true;
+        if (starts_with(argv[i], "--stats="))
+          stats_json_path = argv[i] + std::strlen("--stats=");
+        else if (std::strcmp(argv[i], "--stats") != 0)
+          return usage();
+        ++i;
+      }
+      if (argc - i >= 2)
+        return cmd_scan(argv[i], argc - i - 1, argv + i + 1, with_stats,
+                        stats_json_path);
+      return usage();
+    }
+    if (std::strcmp(argv[1], "metrics-demo") == 0 && argc == 2)
+      return cmd_metrics_demo();
     if (std::strcmp(argv[1], "model") == 0 && argc == 3)
       return cmd_model(argv[2]);
     if (std::strcmp(argv[1], "demo") == 0 && (argc == 3 || argc == 4))
@@ -208,7 +316,12 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "cfg") == 0 && argc == 3)
       return cmd_cfg(argv[2]);
   } catch (const std::exception& e) {
+    // One-line error and a clean nonzero exit for malformed repositories,
+    // bad .s files, and I/O failures — never a std::terminate abort.
     std::fprintf(stderr, "scagctl: %s\n", e.what());
+    return 1;
+  } catch (...) {
+    std::fputs("scagctl: unknown error\n", stderr);
     return 1;
   }
   return usage();
