@@ -1,0 +1,246 @@
+// Scan-throughput benchmark for the compiled CST-BBS kernel
+// (core/compiled.h): N dataset targets x the full 11-PoC repository,
+// single-threaded, comparing
+//   - pass A: the string-kernel scan path (Detector::set_use_compiled(false)),
+//   - pass B: the compiled fast path (interned ids, precomputed features,
+//     memoized element distances),
+//   - pass C: pruned BatchDetector at 1 thread (compiled + DTW pruning),
+// and writing a machine-readable JSON report (default BENCH_scan.json) with
+// throughput, DP-cell counts, memo hit rates, compile time, prune rates,
+// and the measured speedup.
+//
+// Exits non-zero on an equivalence violation (pass B must be bit-identical
+// to pass A) or — when metrics are compiled in — on a steady-state
+// allocation in the compiled element-distance inner loop (detected via the
+// "compiled.scratch_grows" counter: after a warm-up pass over all targets,
+// the thread-local DP scratch must never grow again).
+//
+//     bench_scan_throughput [samples_per_type] [out.json]
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "attacks/registry.h"
+#include "bench_common.h"
+#include "cfg/cfg.h"
+#include "core/batch_detector.h"
+#include "core/detector.h"
+#include "eval/experiments.h"
+#include "support/metrics.h"
+
+namespace scag {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::uint64_t counter_value(const char* name) {
+  return support::Registry::global().counter(name).value();
+}
+
+bool identical(const std::vector<core::Detection>& got,
+               const std::vector<core::Detection>& want) {
+  if (got.size() != want.size()) return false;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    if (got[i].verdict != want[i].verdict ||
+        got[i].best_score != want[i].best_score ||
+        got[i].scores.size() != want[i].scores.size())
+      return false;
+    for (std::size_t j = 0; j < want[i].scores.size(); ++j) {
+      if (got[i].scores[j].model_name != want[i].scores[j].model_name ||
+          got[i].scores[j].score != want[i].scores[j].score)
+        return false;
+    }
+  }
+  return true;
+}
+
+int run(int argc, char** argv) {
+  const std::size_t per_type = bench::samples_from_argv(argc, argv, 60);
+  const std::string json_path = argc > 2 ? argv[2] : "BENCH_scan.json";
+  support::set_metrics_enabled(true);
+
+  core::Detector detector(eval::experiment_model_config(),
+                          eval::experiment_dtw_config(), eval::kThreshold);
+  for (const attacks::PocSpec& spec : attacks::all_pocs())
+    detector.enroll(spec.build(attacks::PocConfig{}), spec.family);
+  const std::uint64_t enroll_compile_ns = counter_value("compiled.compile_ns");
+
+  const eval::Dataset dataset = bench::make_dataset(per_type);
+  std::vector<const eval::Sample*> samples;
+  for (const eval::Sample& s : dataset.attacks) samples.push_back(&s);
+  for (const eval::Sample& s : dataset.obfuscated) samples.push_back(&s);
+  for (const eval::Sample& s : dataset.benign) samples.push_back(&s);
+
+  std::printf("Modeling %zu targets...\n", samples.size());
+  std::vector<core::CstBbs> targets(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const cfg::Cfg cfg = cfg::Cfg::build(samples[i]->program);
+    targets[i] = detector.builder()
+                     .build_from_profile(cfg, samples[i]->profile,
+                                         samples[i]->family)
+                     .sequence;
+  }
+  const std::size_t n_models = detector.repository_size();
+  std::printf("Scanning %zu targets x %zu models, single thread\n\n",
+              targets.size(), n_models);
+
+  int failures = 0;
+
+  // Pass A: the string kernels (the pre-compiled-path scan loop).
+  detector.set_use_compiled(false);
+  std::uint64_t cells0 = counter_value("dtw.dp_cells");
+  auto t0 = Clock::now();
+  std::vector<core::Detection> string_dets;
+  string_dets.reserve(targets.size());
+  for (const core::CstBbs& t : targets) string_dets.push_back(detector.scan(t));
+  const double string_s = seconds_since(t0);
+  const std::uint64_t string_cells = counter_value("dtw.dp_cells") - cells0;
+  std::printf("%-24s %8.3f s  %10.1f targets/s\n", "string kernels", string_s,
+              targets.size() / string_s);
+
+  // Pass B: the compiled fast path. One warm-up pass grows the thread-local
+  // DP scratch to its high-water mark; the timed pass must then run with
+  // zero steady-state allocations in the element-distance inner loop
+  // ("compiled.scratch_grows" stays flat — growth is counted at the
+  // allocation site).
+  detector.set_use_compiled(true);
+  for (const core::CstBbs& t : targets) (void)detector.scan(t);
+  const std::uint64_t grows_before = counter_value("compiled.scratch_grows");
+  const std::uint64_t hits0 = counter_value("compiled.memo_hits");
+  const std::uint64_t misses0 = counter_value("compiled.memo_misses");
+  const std::uint64_t compile_ns0 = counter_value("compiled.compile_ns");
+  cells0 = counter_value("dtw.dp_cells");
+  t0 = Clock::now();
+  std::vector<core::Detection> compiled_dets;
+  compiled_dets.reserve(targets.size());
+  for (const core::CstBbs& t : targets)
+    compiled_dets.push_back(detector.scan(t));
+  const double compiled_s = seconds_since(t0);
+  const std::uint64_t compiled_cells = counter_value("dtw.dp_cells") - cells0;
+  const std::uint64_t scratch_grows =
+      counter_value("compiled.scratch_grows") - grows_before;
+  const std::uint64_t memo_hits = counter_value("compiled.memo_hits") - hits0;
+  const std::uint64_t memo_misses =
+      counter_value("compiled.memo_misses") - misses0;
+  const std::uint64_t target_compile_ns =
+      counter_value("compiled.compile_ns") - compile_ns0;
+  const double speedup = compiled_s > 0.0 ? string_s / compiled_s : 0.0;
+  std::printf("%-24s %8.3f s  %10.1f targets/s  speedup %.2fx\n",
+              "compiled kernel", compiled_s, targets.size() / compiled_s,
+              speedup);
+
+  const bool equivalent = identical(compiled_dets, string_dets);
+  if (!equivalent) {
+    std::printf("MISMATCH: compiled scan is not bit-identical to the string "
+                "scan\n");
+    ++failures;
+  }
+  if (support::Registry::compiled_in() && scratch_grows != 0) {
+    std::printf("ALLOCATION: scratch grew %llu time(s) after warm-up — the "
+                "element-distance inner loop is not allocation-free\n",
+                static_cast<unsigned long long>(scratch_grows));
+    ++failures;
+  }
+
+  // Pass C: compiled + DTW pruning (1 thread so the comparison stays a
+  // single-core story), for the prune-rate section of the report.
+  core::BatchConfig bc;
+  bc.threads = 1;
+  bc.prune = true;
+  const core::BatchDetector batch(detector, bc);
+  t0 = Clock::now();
+  const std::vector<core::Detection> pruned_dets = batch.scan_all(targets);
+  const double pruned_s = seconds_since(t0);
+  const core::BatchStats prune = batch.stats();
+  bool verdicts_ok = pruned_dets.size() == string_dets.size();
+  for (std::size_t i = 0; verdicts_ok && i < string_dets.size(); ++i)
+    verdicts_ok = pruned_dets[i].verdict == string_dets[i].verdict;
+  if (!verdicts_ok) {
+    std::printf("MISMATCH: pruned scan changed a verdict\n");
+    ++failures;
+  }
+  std::printf("%-24s %8.3f s  %10.1f targets/s  speedup %.2fx\n",
+              "compiled + pruning", pruned_s, targets.size() / pruned_s,
+              pruned_s > 0.0 ? string_s / pruned_s : 0.0);
+
+  const std::uint64_t memo_total = memo_hits + memo_misses;
+  const double hit_rate =
+      memo_total == 0 ? 0.0
+                      : static_cast<double>(memo_hits) /
+                            static_cast<double>(memo_total);
+  const double prune_rate =
+      prune.pairs == 0
+          ? 0.0
+          : static_cast<double>(prune.lb_skipped + prune.early_abandoned) /
+                static_cast<double>(prune.pairs);
+  std::printf("\nmemo: %llu hits / %llu misses (%.1f%% hit rate); "
+              "dp cells %llu -> %llu; compile %llu ns (enroll) + %llu ns "
+              "(targets, timed pass); prune rate %.1f%%\n",
+              static_cast<unsigned long long>(memo_hits),
+              static_cast<unsigned long long>(memo_misses), 100.0 * hit_rate,
+              static_cast<unsigned long long>(string_cells),
+              static_cast<unsigned long long>(compiled_cells),
+              static_cast<unsigned long long>(enroll_compile_ns),
+              static_cast<unsigned long long>(target_compile_ns),
+              100.0 * prune_rate);
+
+  // Machine-readable report. Flat schema, one metric per line, so shell
+  // smoke tests can grep for individual fields.
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"targets\": %zu,\n", targets.size());
+    std::fprintf(f, "  \"models\": %zu,\n", n_models);
+    std::fprintf(f, "  \"string\": {\"seconds\": %.6f, \"targets_per_sec\": "
+                    "%.2f, \"dp_cells\": %llu},\n",
+                 string_s, targets.size() / string_s,
+                 static_cast<unsigned long long>(string_cells));
+    std::fprintf(f, "  \"compiled\": {\"seconds\": %.6f, \"targets_per_sec\": "
+                    "%.2f, \"dp_cells\": %llu},\n",
+                 compiled_s, targets.size() / compiled_s,
+                 static_cast<unsigned long long>(compiled_cells));
+    std::fprintf(f, "  \"pruned\": {\"seconds\": %.6f, \"targets_per_sec\": "
+                    "%.2f, \"pairs\": %llu, \"exact\": %llu, \"lb_skipped\": "
+                    "%llu, \"early_abandoned\": %llu, \"prune_rate\": %.4f},\n",
+                 pruned_s, targets.size() / pruned_s,
+                 static_cast<unsigned long long>(prune.pairs),
+                 static_cast<unsigned long long>(prune.exact),
+                 static_cast<unsigned long long>(prune.lb_skipped),
+                 static_cast<unsigned long long>(prune.early_abandoned),
+                 prune_rate);
+    std::fprintf(f, "  \"memo_hits\": %llu,\n",
+                 static_cast<unsigned long long>(memo_hits));
+    std::fprintf(f, "  \"memo_misses\": %llu,\n",
+                 static_cast<unsigned long long>(memo_misses));
+    std::fprintf(f, "  \"memo_hit_rate\": %.4f,\n", hit_rate);
+    std::fprintf(f, "  \"compile_ns\": %llu,\n",
+                 static_cast<unsigned long long>(enroll_compile_ns +
+                                                 target_compile_ns));
+    std::fprintf(f, "  \"steady_state_allocs\": %llu,\n",
+                 static_cast<unsigned long long>(scratch_grows));
+    std::fprintf(f, "  \"speedup\": %.3f,\n", speedup);
+    std::fprintf(f, "  \"equivalent\": %s\n", equivalent ? "true" : "false");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::printf("cannot write %s\n", json_path.c_str());
+    ++failures;
+  }
+
+  if (failures > 0) {
+    std::printf("\nFAILED: %d violation(s)\n", failures);
+    return 1;
+  }
+  std::printf("\ncompiled path bit-identical to the string path\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace scag
+
+int main(int argc, char** argv) { return scag::run(argc, argv); }

@@ -24,13 +24,25 @@ cmake --build build-metrics-off --target test_metrics scagctl
 build-metrics-off/tests/test_metrics
 build-metrics-off/tools/scagctl metrics-demo
 
+# Compiled-kernel smoke: the throughput bench must verify bit-identical
+# scans (nonzero exit otherwise) and its JSON report must show the memo
+# cache and the compile timer actually populated.
+build/bench/bench_scan_throughput 4 build/BENCH_scan.json
+grep -Eq '"memo_hits": *[1-9][0-9]*' build/BENCH_scan.json
+grep -Eq '"compile_ns": *[1-9][0-9]*' build/BENCH_scan.json
+grep -Eq '"steady_state_allocs": *0' build/BENCH_scan.json
+grep -Eq '"equivalent": *true' build/BENCH_scan.json
+
 N="${1:-60}"   # samples per attack type for the bench pass
 for b in build/bench/bench_*; do
   [ -x "$b" ] || continue
   echo "===== $b ====="
   case "$(basename "$b")" in
-    bench_micro) "$b" --benchmark_min_time=0.05s ;;
+    # Plain double (seconds): the suffixed "0.05s" form is only understood
+    # by google-benchmark >= 1.8, the bare form by every version.
+    bench_micro) "$b" --benchmark_min_time=0.05 ;;
     bench_table1*|bench_table5*|bench_timecost) "$b" ;;
+    bench_scan_throughput) "$b" "$N" build/BENCH_scan.json ;;
     *) "$b" "$N" ;;
   esac
 done

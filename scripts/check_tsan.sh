@@ -33,9 +33,11 @@ cmake -B "$BUILD" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="$TSAN_FLAGS" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-cmake --build "$BUILD" --target test_parallel_scan test_dtw_properties -j"$(nproc)"
+cmake --build "$BUILD" --target test_parallel_scan test_dtw_properties \
+  test_compiled_kernel -j"$(nproc)"
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 "$BUILD/tests/test_parallel_scan"
 "$BUILD/tests/test_dtw_properties"
+"$BUILD/tests/test_compiled_kernel"
 echo "TSAN CHECKS PASSED"

@@ -54,6 +54,16 @@ Detection BatchDetector::scan_one_pruned(const CstBbs& target) const {
   support::ScopedTimer timer(h_latency);
   const std::vector<AttackModel>& repo = detector_.repository();
   const DtwConfig& dtw = detector_.dtw_config();
+  const bool compiled = detector_.use_compiled() && !repo.empty();
+  const CompiledRepository& crepo = detector_.compiled_repository();
+  CompiledTarget ctarget;
+  ElementDistanceMemo memo;
+  ElementDistanceMemo::Stats memo_stats;
+  if (compiled) {
+    ctarget = crepo.compile_target(target);
+    memo = ElementDistanceMemo(ctarget.unique_elements,
+                               crepo.unique_elements());
+  }
   std::vector<ModelScore> scores;
   scores.reserve(repo.size());
   // The cutoff ratchets up with the best exact score seen so far. Models
@@ -61,10 +71,13 @@ Detection BatchDetector::scan_one_pruned(const CstBbs& target) const {
   // decisions are deterministic and independent of scheduling.
   double best = 0.0;
   std::uint64_t exact = 0, lb = 0, ea = 0;
-  for (const AttackModel& model : repo) {
+  for (std::size_t j = 0; j < repo.size(); ++j) {
+    const AttackModel& model = repo[j];
     const double cutoff = std::max(best, detector_.threshold());
     const BoundedScore bs =
-        bounded_similarity(target, model.sequence, cutoff, dtw);
+        compiled ? compiled_bounded_similarity(ctarget, crepo, j, memo, cutoff,
+                                               dtw, &memo_stats)
+                 : bounded_similarity(target, model.sequence, cutoff, dtw);
     switch (bs.pruned) {
       case PruneKind::kNone:
         ++exact;
@@ -80,6 +93,7 @@ Detection BatchDetector::scan_one_pruned(const CstBbs& target) const {
     s.pruned = bs.pruned != PruneKind::kNone;
     scores.push_back(std::move(s));
   }
+  if (compiled) flush_memo_stats(memo_stats);
   exact_.fetch_add(exact, std::memory_order_relaxed);
   lb_skipped_.fetch_add(lb, std::memory_order_relaxed);
   early_abandoned_.fetch_add(ea, std::memory_order_relaxed);
@@ -118,17 +132,46 @@ std::vector<Detection> BatchDetector::scan_all(
   // serial Detector, so the result is bit-identical at any thread count.
   std::vector<ModelScore> matrix(n * m);
   const DtwConfig& dtw = detector_.dtw_config();
-  pool_.parallel_for(
-      n * m,
-      [&](std::size_t k) {
-        const std::size_t t = k / m;
-        const std::size_t j = k % m;
-        ModelScore& s = matrix[k];
-        s.model_name = repo[j].name;
-        s.family = repo[j].family;
-        s.score = similarity(targets[t], repo[j].sequence, dtw);
-      },
-      config_.grain);
+  if (detector_.use_compiled() && m > 0) {
+    // Compile every target once up front (parallel across targets), then
+    // share each target's memo across all of its matrix cells. The memo's
+    // relaxed-atomic cells make that safe: element distances are pure, so
+    // racing fills store identical bits.
+    const CompiledRepository& crepo = detector_.compiled_repository();
+    std::vector<CompiledTarget> ctargets(n);
+    std::vector<ElementDistanceMemo> memos(n);
+    pool_.parallel_for(n, [&](std::size_t t) {
+      ctargets[t] = crepo.compile_target(targets[t]);
+      memos[t] = ElementDistanceMemo(ctargets[t].unique_elements,
+                                     crepo.unique_elements());
+    });
+    pool_.parallel_for(
+        n * m,
+        [&](std::size_t k) {
+          const std::size_t t = k / m;
+          const std::size_t j = k % m;
+          ModelScore& s = matrix[k];
+          s.model_name = repo[j].name;
+          s.family = repo[j].family;
+          ElementDistanceMemo::Stats stats;
+          s.score =
+              compiled_similarity(ctargets[t], crepo, j, memos[t], dtw, &stats);
+          flush_memo_stats(stats);
+        },
+        config_.grain);
+  } else {
+    pool_.parallel_for(
+        n * m,
+        [&](std::size_t k) {
+          const std::size_t t = k / m;
+          const std::size_t j = k % m;
+          ModelScore& s = matrix[k];
+          s.model_name = repo[j].name;
+          s.family = repo[j].family;
+          s.score = similarity(targets[t], repo[j].sequence, dtw);
+        },
+        config_.grain);
+  }
   exact_.fetch_add(static_cast<std::uint64_t>(n) * m,
                    std::memory_order_relaxed);
   BatchCounters::global().exact.add(static_cast<std::uint64_t>(n) * m);

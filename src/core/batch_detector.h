@@ -17,6 +17,11 @@
 //     instead of the exact score; those are flagged ModelScore::pruned.
 //     Pruning decisions depend only on the enrollment order, never on
 //     thread scheduling, so pruned runs are also deterministic.
+//
+// Both modes run through the Detector's compiled fast path
+// (core/compiled.h) when it is enabled (the default); the compiled
+// kernels are themselves bit-identical to the string kernels, so the
+// guarantees above hold regardless of Detector::use_compiled().
 #pragma once
 
 #include <atomic>

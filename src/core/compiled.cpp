@@ -1,0 +1,467 @@
+#include "core/compiled.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "core/cst.h"
+#include "core/dtw_internal.h"
+#include "isa/normalize.h"
+#include "support/metrics.h"
+
+namespace scag::core {
+
+namespace {
+
+constexpr double kNanSentinel = std::numeric_limits<double>::quiet_NaN();
+
+struct CompiledCounters {
+  support::Counter& models;
+  support::Counter& targets;
+  support::Counter& compile_ns;
+  support::Counter& memo_hits;
+  support::Counter& memo_misses;
+  support::Counter& scratch_grows;
+
+  static CompiledCounters& global() {
+    support::Registry& r = support::Registry::global();
+    static CompiledCounters c{r.counter("compiled.models"),
+                              r.counter("compiled.targets"),
+                              r.counter("compiled.compile_ns"),
+                              r.counter("compiled.memo_hits"),
+                              r.counter("compiled.memo_misses"),
+                              r.counter("compiled.scratch_grows")};
+    return c;
+  }
+};
+
+/// RAII compile timer feeding the "compiled.compile_ns" counter.
+class CompileTimer {
+ public:
+  CompileTimer() : start_(support::metrics_enabled() ? support::monotonic_ns() : 0) {}
+  ~CompileTimer() {
+    if (start_ != 0)
+      CompiledCounters::global().compile_ns.add(support::monotonic_ns() -
+                                                start_);
+  }
+  CompileTimer(const CompileTimer&) = delete;
+  CompileTimer& operator=(const CompileTimer&) = delete;
+
+ private:
+  std::uint64_t start_;
+};
+
+/// Thread-local DP scratch rows: zero allocations in the element-distance
+/// inner loop once warm. Growth events are counted so the throughput
+/// bench can assert the steady state ("compiled.scratch_grows" plateaus).
+struct Scratch {
+  std::vector<std::size_t> irow;
+  std::vector<double> dprev, dcur;
+};
+
+Scratch& tls_scratch() {
+  thread_local Scratch s;
+  return s;
+}
+
+template <class Vec>
+void ensure_size(Vec& v, std::size_t need) {
+  if (need > v.capacity()) CompiledCounters::global().scratch_grows.add();
+  if (v.size() < need) v.resize(need);
+}
+
+/// Unit-cost Levenshtein over interned token ids; bit-identical to
+/// core::levenshtein over the corresponding strings (identical strings <=>
+/// identical ids).
+std::size_t lev_ids(const TokenId* a, std::size_t na, const TokenId* b,
+                    std::size_t nb) {
+  // Ensure the inner dimension is the shorter sequence (same tie-break as
+  // the string kernel: a is "longer" when lengths are equal).
+  const TokenId* lp = a;
+  std::size_t ln = na;
+  const TokenId* sp = b;
+  std::size_t sn = nb;
+  if (na < nb) {
+    lp = b;
+    ln = nb;
+    sp = a;
+    sn = na;
+  }
+  if (sn == 0) return ln;
+
+  std::vector<std::size_t>& row = tls_scratch().irow;
+  ensure_size(row, sn + 1);
+  for (std::size_t j = 0; j <= sn; ++j) row[j] = j;
+  for (std::size_t i = 1; i <= ln; ++i) {
+    std::size_t prev_diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= sn; ++j) {
+      const std::size_t del = row[j] + 1;
+      const std::size_t ins = row[j - 1] + 1;
+      const std::size_t sub = prev_diag + (lp[i - 1] == sp[j - 1] ? 0 : 1);
+      prev_diag = row[j];
+      row[j] = std::min({del, ins, sub});
+    }
+  }
+  return row[sn];
+}
+
+/// Weighted Levenshtein over interned ids with table-driven weights and
+/// substitution costs; replicates core::weighted_levenshtein /
+/// isa::semantic_subst_cost expression for expression.
+double wlev_ids(const TokenId* a, std::size_t n, const TokenId* b,
+                std::size_t m, const double* w, const std::uint8_t* cls) {
+  constexpr auto kMem = static_cast<std::uint8_t>(isa::SemanticClass::kMemory);
+  constexpr auto kFlow =
+      static_cast<std::uint8_t>(isa::SemanticClass::kControlFlow);
+  Scratch& s = tls_scratch();
+  ensure_size(s.dprev, m + 1);
+  ensure_size(s.dcur, m + 1);
+  double* prev = s.dprev.data();
+  double* cur = s.dcur.data();
+
+  prev[0] = 0.0;
+  for (std::size_t j = 1; j <= m; ++j) prev[j] = prev[j - 1] + w[b[j - 1]];
+  for (std::size_t i = 1; i <= n; ++i) {
+    const TokenId x = a[i - 1];
+    const double wx = w[x];
+    cur[0] = prev[0] + wx;
+    for (std::size_t j = 1; j <= m; ++j) {
+      const TokenId y = b[j - 1];
+      const double del = prev[j] + wx;
+      const double ins = cur[j - 1] + w[y];
+      double sub_cost;
+      if (x == y) {
+        sub_cost = 0.0;
+      } else if (cls[x] == kMem && cls[y] == kMem) {
+        sub_cost = 0.2;
+      } else if (cls[x] == kFlow && cls[y] == kFlow) {
+        sub_cost = 0.15;
+      } else {
+        sub_cost = (wx + w[y]) / 2.0;
+      }
+      const double sub = prev[j - 1] + sub_cost;
+      cur[j] = std::min({del, ins, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+/// == cst_distance(a_elem, b_elem, dc) over compiled data, uncached.
+double raw_element_distance(const CompiledSeq& a, std::size_t i,
+                            const CompiledSeq& b, std::size_t j,
+                            const double* w, const std::uint8_t* cls,
+                            const DistanceConfig& dc) {
+  double is = 0.0;
+  switch (dc.alphabet) {
+    case IsAlphabet::kFullTokens: {
+      const std::size_t na = a.token_count(i), nb = b.token_count(j);
+      const std::size_t longest = std::max(na, nb);
+      if (longest != 0) {
+        is = static_cast<double>(
+                 lev_ids(a.token_begin(i), na, b.token_begin(j), nb)) /
+             static_cast<double>(longest);
+      }
+      break;
+    }
+    case IsAlphabet::kSemanticWeighted: {
+      const double denom = std::max(a.features.mass[i], b.features.mass[j]);
+      if (denom != 0.0) {
+        is = std::min(1.0, wlev_ids(a.token_begin(i), a.token_count(i),
+                                    b.token_begin(j), b.token_count(j), w,
+                                    cls) /
+                               denom);
+      }
+      break;
+    }
+  }
+  return dc.is_weight * is +
+         (1.0 - dc.is_weight) * abs_diff(a.features.csp[i], b.features.csp[j]);
+}
+
+/// Bundles the per-(target, model) query state so the DTW cost lambda
+/// stays a two-index functor.
+struct PairContext {
+  const CompiledTarget& target;
+  const CompiledRepository& repo;
+  std::size_t model_index;
+  ElementDistanceMemo& memo;
+  const DistanceConfig& dc;
+  ElementDistanceMemo::Stats* stats;
+
+  double operator()(std::size_t i, std::size_t j) const {
+    return compiled_element_distance(target, i, repo, model_index, j, memo,
+                                     dc, stats);
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TokenInterner
+
+TokenId TokenInterner::intern(const std::string& token) {
+  const auto [it, inserted] =
+      ids_.try_emplace(token, static_cast<TokenId>(weight_.size()));
+  if (inserted) {
+    weight_.push_back(weight_of(token));
+    cls_.push_back(class_of(token));
+  }
+  return it->second;
+}
+
+TokenId TokenInterner::find(const std::string& token) const {
+  const auto it = ids_.find(token);
+  return it == ids_.end() ? kNoToken : it->second;
+}
+
+double TokenInterner::weight_of(const std::string& token) {
+  return isa::semantic_token_weight(token);
+}
+
+std::uint8_t TokenInterner::class_of(const std::string& token) {
+  return static_cast<std::uint8_t>(isa::semantic_token_class(token));
+}
+
+// ---------------------------------------------------------------------------
+// CompiledRepository
+
+std::size_t CompiledRepository::ElemKeyHash::operator()(
+    const ElemKey& k) const {
+  // FNV-1a over the token ids and the change bit pattern.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const TokenId t : k.tokens) mix(t);
+  mix(k.change_bits);
+  return static_cast<std::size_t>(h);
+}
+
+void CompiledRepository::add(const CstBbs& sequence) {
+  CompileTimer timer;
+  CompiledSeq c;
+  c.offsets.reserve(sequence.size() + 1);
+  c.elem.reserve(sequence.size());
+  for (const CstBbsElement& e : sequence) {
+    const std::vector<std::string>& toks =
+        dc_.alphabet == IsAlphabet::kFullTokens ? e.norm_instrs
+                                                : e.sem_tokens;
+    for (const std::string& t : toks) c.tokens.push_back(interner_.intern(t));
+    c.offsets.push_back(static_cast<std::uint32_t>(c.tokens.size()));
+
+    ElemKey key;
+    key.tokens.assign(c.tokens.end() - static_cast<std::ptrdiff_t>(toks.size()),
+                      c.tokens.end());
+    key.change_bits = std::bit_cast<std::uint64_t>(e.cst.change());
+    const auto [it, inserted] = elem_ids_.try_emplace(
+        std::move(key), static_cast<std::uint32_t>(elem_ids_.size()));
+    c.elem.push_back(it->second);
+  }
+  c.features = compute_sequence_features(sequence, dc_);
+  models_.push_back(std::move(c));
+  CompiledCounters::global().models.add();
+}
+
+CompiledTarget CompiledRepository::compile_target(
+    const CstBbs& sequence) const {
+  CompileTimer timer;
+  CompiledTarget t;
+  const bool weighted = dc_.alphabet == IsAlphabet::kSemanticWeighted;
+  if (weighted) {
+    t.weight = interner_.weights();
+    t.cls = interner_.classes();
+  }
+  // Local extensions: unseen tokens get ids after the frozen interner's,
+  // unseen elements get target-side dedup ids. The shared repository is
+  // never written, so concurrent target compiles are race-free.
+  std::unordered_map<std::string, TokenId> local_ids;
+  ElemRegistry local_elems;
+
+  CompiledSeq& c = t.seq;
+  c.offsets.reserve(sequence.size() + 1);
+  c.elem.reserve(sequence.size());
+  for (const CstBbsElement& e : sequence) {
+    const std::vector<std::string>& toks =
+        dc_.alphabet == IsAlphabet::kFullTokens ? e.norm_instrs
+                                                : e.sem_tokens;
+    for (const std::string& tok : toks) {
+      TokenId id = interner_.find(tok);
+      if (id == TokenInterner::kNoToken) {
+        const auto [it, inserted] = local_ids.try_emplace(
+            tok,
+            static_cast<TokenId>(interner_.size() + local_ids.size()));
+        id = it->second;
+        if (inserted && weighted) {
+          t.weight.push_back(TokenInterner::weight_of(tok));
+          t.cls.push_back(TokenInterner::class_of(tok));
+        }
+      }
+      c.tokens.push_back(id);
+    }
+    c.offsets.push_back(static_cast<std::uint32_t>(c.tokens.size()));
+
+    ElemKey key;
+    key.tokens.assign(c.tokens.end() - static_cast<std::ptrdiff_t>(toks.size()),
+                      c.tokens.end());
+    key.change_bits = std::bit_cast<std::uint64_t>(e.cst.change());
+    const auto [it, inserted] = local_elems.try_emplace(
+        std::move(key), static_cast<std::uint32_t>(local_elems.size()));
+    c.elem.push_back(it->second);
+  }
+  t.unique_elements = static_cast<std::uint32_t>(local_elems.size());
+  c.features = compute_sequence_features(sequence, dc_);
+  CompiledCounters::global().targets.add();
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// ElementDistanceMemo
+
+ElementDistanceMemo::ElementDistanceMemo(std::uint32_t target_unique,
+                                         std::uint32_t repo_unique)
+    : stride_(repo_unique),
+      cells_(static_cast<std::size_t>(target_unique) * repo_unique) {
+  for (std::atomic<double>& c : cells_)
+    c.store(kNanSentinel, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Query kernels
+
+double compiled_element_distance(const CompiledTarget& target, std::size_t i,
+                                 const CompiledRepository& repo,
+                                 std::size_t model_index, std::size_t k,
+                                 ElementDistanceMemo& memo,
+                                 const DistanceConfig& config,
+                                 ElementDistanceMemo::Stats* memo_stats) {
+  const CompiledSeq& a = target.seq;
+  const CompiledSeq& b = repo.model(model_index);
+  const std::uint32_t tu = a.elem[i];
+  const std::uint32_t ru = b.elem[k];
+  double v = memo.load(tu, ru);
+  if (!std::isnan(v)) {
+    if (memo_stats != nullptr) ++memo_stats->hits;
+    return v;
+  }
+  v = raw_element_distance(a, i, b, k, target.weight.data(),
+                           target.cls.data(), config);
+  memo.store(tu, ru, v);
+  if (memo_stats != nullptr) ++memo_stats->misses;
+  return v;
+}
+
+double compiled_cst_bbs_distance(const CompiledTarget& target,
+                                 const CompiledRepository& repo,
+                                 std::size_t model_index,
+                                 ElementDistanceMemo& memo,
+                                 const DtwConfig& config,
+                                 ElementDistanceMemo::Stats* memo_stats) {
+  const CompiledSeq& b = repo.model(model_index);
+  const std::size_t n = target.seq.size(), m = b.size();
+  const PairContext cost{target, repo,       model_index,
+                         memo,   config.distance, memo_stats};
+  const DtwResult r = dtw(n, m, cost, config);
+  return detail::finish_distance(r, n, m, config);
+}
+
+double compiled_cst_bbs_distance_lower_bound(
+    const CompiledTarget& target, const CompiledRepository& repo,
+    std::size_t model_index, ElementDistanceMemo& memo,
+    const DtwConfig& config, ElementDistanceMemo::Stats* memo_stats) {
+  const CompiledSeq& a = target.seq;
+  const CompiledSeq& b = repo.model(model_index);
+  const std::size_t n = a.size(), m = b.size();
+  // Degenerate alignments are O(1) to evaluate exactly.
+  if (n == 0 || m == 0)
+    return compiled_cst_bbs_distance(target, repo, model_index, memo, config,
+                                     memo_stats);
+
+  // LB_Kim: the warping path always pays the (first, first) cost, and —
+  // when the path has more than one cell — the (last, last) cost too.
+  double kim = compiled_element_distance(target, 0, repo, model_index, 0,
+                                         memo, config.distance, memo_stats);
+  if (n + m > 2)
+    kim += compiled_element_distance(target, n - 1, repo, model_index, m - 1,
+                                     memo, config.distance, memo_stats);
+
+  double d = std::max(kim, detail::envelope_lower_bound(
+                               a.features, b.features, config.distance));
+  if (config.normalization == DtwNormalization::kPathAveraged)
+    d /= static_cast<double>(n + m - 1);  // the longest possible path
+  return d * detail::penalty_factor(n, m, config);
+}
+
+double compiled_similarity(const CompiledTarget& target,
+                           const CompiledRepository& repo,
+                           std::size_t model_index, ElementDistanceMemo& memo,
+                           const DtwConfig& config,
+                           ElementDistanceMemo::Stats* memo_stats) {
+  return detail::similarity_from_distance(
+      compiled_cst_bbs_distance(target, repo, model_index, memo, config,
+                                memo_stats),
+      config);
+}
+
+BoundedScore compiled_bounded_similarity(
+    const CompiledTarget& target, const CompiledRepository& repo,
+    std::size_t model_index, ElementDistanceMemo& memo, double min_similarity,
+    const DtwConfig& config, ElementDistanceMemo::Stats* memo_stats) {
+  BoundedScore out;
+  const CompiledSeq& b = repo.model(model_index);
+  const std::size_t n = target.seq.size(), m = b.size();
+  const double d_cut = detail::distance_cutoff(min_similarity, config);
+  // No usable cutoff, or a pair too small for the shortcuts to pay off.
+  if (!std::isfinite(d_cut) || n == 0 || m == 0 || n * m <= 16) {
+    out.score = compiled_similarity(target, repo, model_index, memo, config,
+                                    memo_stats);
+    return out;
+  }
+
+  // Stage 1: O(n+m) lower bound (envelope features precomputed at compile
+  // time — nothing is rebuilt per pair).
+  const double d_lb = compiled_cst_bbs_distance_lower_bound(
+      target, repo, model_index, memo, config, memo_stats);
+  if (d_lb * (1.0 - detail::kPruneSlack) > d_cut) {
+    out.score = detail::similarity_from_distance(
+        d_lb * (1.0 - detail::kPruneSlack), config);
+    out.pruned = PruneKind::kLowerBound;
+    return out;
+  }
+
+  // Stage 2: exact DP with early abandon. Translate the distance cutoff
+  // back into accumulated-cost space, conservatively (the true path is at
+  // most n+m-1 cells long, the penalty factor is exact).
+  const double pf = detail::penalty_factor(n, m, config);
+  double acc_limit = d_cut / pf;
+  if (config.normalization == DtwNormalization::kPathAveraged)
+    acc_limit *= static_cast<double>(n + m - 1);
+  acc_limit *= 1.0 + detail::kPruneSlack;
+
+  const PairContext cost{target, repo,       model_index,
+                         memo,   config.distance, memo_stats};
+  const DtwResult r = dtw(n, m, cost, config, acc_limit);
+  if (r.abandoned) {
+    double d_ab = r.distance;  // row minimum: accumulated-cost lower bound
+    if (config.normalization == DtwNormalization::kPathAveraged)
+      d_ab /= static_cast<double>(n + m - 1);
+    d_ab *= pf;
+    out.score = detail::similarity_from_distance(
+        d_ab * (1.0 - detail::kPruneSlack), config);
+    out.pruned = PruneKind::kEarlyAbandon;
+    return out;
+  }
+  out.score = detail::similarity_from_distance(
+      detail::finish_distance(r, n, m, config), config);
+  return out;
+}
+
+void flush_memo_stats(const ElementDistanceMemo::Stats& stats) {
+  CompiledCounters& c = CompiledCounters::global();
+  if (stats.hits != 0) c.memo_hits.add(stats.hits);
+  if (stats.misses != 0) c.memo_misses.add(stats.misses);
+}
+
+}  // namespace scag::core

@@ -1,0 +1,229 @@
+// Compiled CST-BBS representation: the scan-time fast path.
+//
+// The string-based distance kernels (core/distance.h) pay per DP cell for
+// work that never changes between pairs: hashing/comparing token strings,
+// looking up semantic weights by string, re-deriving Cst::change(), and
+// recomputing the lower-bound envelope features for every (target, model)
+// pair. Signature scanners avoid this by *compiling* signatures once at
+// enrollment; this module does the same for CST-BBS models:
+//
+//   - TokenInterner: token string -> dense uint32 id, with per-id weight
+//     and SemanticClass tables replicated from isa::semantic_token_weight /
+//     semantic_token_class at intern time.
+//   - CompiledSeq: flat SoA arrays per sequence — interned token ids
+//     (offset/length spans), precomputed Cst::change(), semantic token
+//     mass, a dedup id per element, and the SequenceFeatures the DTW lower
+//     bound needs — all computed once instead of per pair.
+//   - CompiledRepository: the frozen compiled form of a Detector's model
+//     repository, grown incrementally at enrollment. compile_target() is
+//     const and thread-safe: unseen target tokens extend the id space
+//     locally (per target) without mutating the shared interner.
+//   - ElementDistanceMemo: a per-scan memo of unique-element-pair
+//     distances. Normalization erases registers/immediates, so distinct
+//     blocks frequently share identical content within a sequence and
+//     across the repository; every unique (target element, repo element)
+//     pair pays for its weighted Levenshtein once per scan.
+//
+// Hard contract (tests/test_compiled_kernel.cpp): every distance,
+// similarity, lower bound, pruning decision, and Detector/BatchDetector
+// verdict produced through the compiled path is BIT-IDENTICAL to the
+// string path. The kernels replicate the exact floating-point expression
+// trees of core/distance.cpp and share the finishing arithmetic with
+// dtw.cpp via core/dtw_internal.h.
+//
+// Constraint: a compiled form is specific to its DistanceConfig alphabet.
+// DtwConfigs passed to the query functions may vary normalization, band,
+// scale, gamma, penalty, and is_weight — but one ElementDistanceMemo must
+// only ever see one DistanceConfig (element distances depend on it).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dtw.h"
+#include "core/model.h"
+
+namespace scag::core {
+
+using TokenId = std::uint32_t;
+
+/// Flat SoA form of one CST-BBS. Token ids of element i are
+/// tokens[offsets[i] .. offsets[i+1]). features.csp/count/mass double as
+/// the per-element kernel inputs (change, token count, weight mass).
+struct CompiledSeq {
+  std::vector<TokenId> tokens;
+  std::vector<std::uint32_t> offsets{0};  // size() + 1 entries
+  std::vector<std::uint32_t> elem;        // dedup id per element
+  SequenceFeatures features;
+
+  std::size_t size() const { return elem.size(); }
+  const TokenId* token_begin(std::size_t i) const {
+    return tokens.data() + offsets[i];
+  }
+  std::size_t token_count(std::size_t i) const {
+    return offsets[i + 1] - offsets[i];
+  }
+};
+
+/// A target compiled against a CompiledRepository. Unseen tokens got local
+/// ids appended after the repository's; `weight`/`cls` are the combined
+/// per-id tables covering both (empty in kFullTokens mode, where equality
+/// on ids is all the kernel needs).
+struct CompiledTarget {
+  CompiledSeq seq;
+  std::uint32_t unique_elements = 0;  // target-side dedup space size
+  std::vector<double> weight;
+  std::vector<std::uint8_t> cls;
+};
+
+/// Maps token strings to dense ids and element contents to dedup ids.
+/// Mutated only while models are added; all lookups used during scans are
+/// const.
+class TokenInterner {
+ public:
+  TokenId intern(const std::string& token);
+  /// kNoToken when the token was never interned.
+  static constexpr TokenId kNoToken = std::numeric_limits<TokenId>::max();
+  TokenId find(const std::string& token) const;
+  std::size_t size() const { return weight_.size(); }
+
+  const std::vector<double>& weights() const { return weight_; }
+  const std::vector<std::uint8_t>& classes() const { return cls_; }
+
+  /// Per-token attributes for a string that is not interned here (used by
+  /// CompiledTarget's local extension).
+  static double weight_of(const std::string& token);
+  static std::uint8_t class_of(const std::string& token);
+
+ private:
+  std::unordered_map<std::string, TokenId> ids_;
+  std::vector<double> weight_;
+  std::vector<std::uint8_t> cls_;
+};
+
+/// The compiled form of a Detector's repository plus the shared interner
+/// and element-dedup registry. Grown by add() at enrollment; immutable
+/// (and safe to share across scan threads) afterwards.
+class CompiledRepository {
+ public:
+  explicit CompiledRepository(DistanceConfig dc = {}) : dc_(dc) {}
+
+  const DistanceConfig& distance_config() const { return dc_; }
+  std::size_t num_models() const { return models_.size(); }
+  const CompiledSeq& model(std::size_t j) const { return models_[j]; }
+  const TokenInterner& interner() const { return interner_; }
+  /// Size of the repository-side element dedup space (= the memo's inner
+  /// dimension).
+  std::uint32_t unique_elements() const {
+    return static_cast<std::uint32_t>(elem_ids_.size());
+  }
+
+  /// Compiles and appends one model sequence (enrollment path; also the
+  /// serialize reload path via Detector::enroll).
+  void add(const CstBbs& sequence);
+
+  /// Compiles a scan target against the frozen repository. const and
+  /// thread-safe: never mutates shared state.
+  CompiledTarget compile_target(const CstBbs& sequence) const;
+
+ private:
+  struct ElemKey {
+    std::vector<TokenId> tokens;
+    std::uint64_t change_bits = 0;
+    bool operator==(const ElemKey&) const = default;
+  };
+  struct ElemKeyHash {
+    std::size_t operator()(const ElemKey& k) const;
+  };
+  using ElemRegistry = std::unordered_map<ElemKey, std::uint32_t, ElemKeyHash>;
+
+  DistanceConfig dc_;
+  TokenInterner interner_;
+  ElemRegistry elem_ids_;
+  std::vector<CompiledSeq> models_;
+};
+
+/// Per-scan memo of unique-element-pair distances, keyed by
+/// (target dedup id, repository dedup id). Cells are relaxed atomics with
+/// a NaN empty sentinel: the element distance is a deterministic pure
+/// function, so concurrent fills by several scan threads store identical
+/// bits (at worst duplicating a computation).
+class ElementDistanceMemo {
+ public:
+  ElementDistanceMemo() = default;
+  ElementDistanceMemo(std::uint32_t target_unique, std::uint32_t repo_unique);
+  ElementDistanceMemo(ElementDistanceMemo&&) noexcept = default;
+  ElementDistanceMemo& operator=(ElementDistanceMemo&&) noexcept = default;
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  double load(std::uint32_t tu, std::uint32_t ru) const {
+    return cells_[static_cast<std::size_t>(tu) * stride_ + ru].load(
+        std::memory_order_relaxed);
+  }
+  void store(std::uint32_t tu, std::uint32_t ru, double d) {
+    cells_[static_cast<std::size_t>(tu) * stride_ + ru].store(
+        d, std::memory_order_relaxed);
+  }
+
+ private:
+  std::size_t stride_ = 0;
+  std::vector<std::atomic<double>> cells_;
+};
+
+// ---------------------------------------------------------------------------
+// Compiled query kernels. All are bit-identical to their string
+// counterparts in core/dtw.h for the same inputs; `memo_stats` (optional)
+// accumulates memo hit/miss counts which the Detector paths flush to the
+// metrics registry ("compiled.memo_hits" / "compiled.memo_misses").
+
+/// == cst_distance(target[i], model j's element[k], config) — memoized.
+double compiled_element_distance(const CompiledTarget& target, std::size_t i,
+                                 const CompiledRepository& repo,
+                                 std::size_t model_index, std::size_t k,
+                                 ElementDistanceMemo& memo,
+                                 const DistanceConfig& config,
+                                 ElementDistanceMemo::Stats* memo_stats);
+
+/// == cst_bbs_distance(target, model, config).
+double compiled_cst_bbs_distance(const CompiledTarget& target,
+                                 const CompiledRepository& repo,
+                                 std::size_t model_index,
+                                 ElementDistanceMemo& memo,
+                                 const DtwConfig& config,
+                                 ElementDistanceMemo::Stats* memo_stats);
+
+/// == cst_bbs_distance_lower_bound(target, model, config), with both
+/// sides' envelope features precomputed at compile time.
+double compiled_cst_bbs_distance_lower_bound(
+    const CompiledTarget& target, const CompiledRepository& repo,
+    std::size_t model_index, ElementDistanceMemo& memo,
+    const DtwConfig& config, ElementDistanceMemo::Stats* memo_stats);
+
+/// == similarity(target, model, config).
+double compiled_similarity(const CompiledTarget& target,
+                           const CompiledRepository& repo,
+                           std::size_t model_index, ElementDistanceMemo& memo,
+                           const DtwConfig& config,
+                           ElementDistanceMemo::Stats* memo_stats = nullptr);
+
+/// == bounded_similarity(target, model, min_similarity, config): same
+/// scores AND the same PruneKind decisions.
+BoundedScore compiled_bounded_similarity(
+    const CompiledTarget& target, const CompiledRepository& repo,
+    std::size_t model_index, ElementDistanceMemo& memo, double min_similarity,
+    const DtwConfig& config,
+    ElementDistanceMemo::Stats* memo_stats = nullptr);
+
+/// Flushes memo statistics to the metrics registry counters
+/// "compiled.memo_hits" / "compiled.memo_misses".
+void flush_memo_stats(const ElementDistanceMemo::Stats& stats);
+
+}  // namespace scag::core

@@ -11,13 +11,14 @@ namespace scag::core {
 void Detector::enroll(const isa::Program& poc, Family family) {
   if (family == Family::kBenign)
     throw std::invalid_argument("Detector::enroll: enroll attack PoCs only");
-  repository_.push_back(builder_.build(poc, family));
+  enroll(builder_.build(poc, family));
 }
 
 void Detector::enroll(AttackModel model) {
   if (model.family == Family::kBenign)
     throw std::invalid_argument("Detector::enroll: enroll attack models only");
   repository_.push_back(std::move(model));
+  compiled_.add(repository_.back().sequence);
 }
 
 Detection Detector::scan(const isa::Program& target) const {
@@ -39,12 +40,27 @@ Detection Detector::scan(const CstBbs& target_sequence) const {
 
   std::vector<ModelScore> scores;
   scores.reserve(repository_.size());
-  for (const AttackModel& model : repository_) {
-    ModelScore s;
-    s.model_name = model.name;
-    s.family = model.family;
-    s.score = similarity(target_sequence, model.sequence, dtw_);
-    scores.push_back(s);
+  if (use_compiled_ && !repository_.empty()) {
+    const CompiledTarget target = compiled_.compile_target(target_sequence);
+    ElementDistanceMemo memo(target.unique_elements,
+                             compiled_.unique_elements());
+    ElementDistanceMemo::Stats stats;
+    for (std::size_t j = 0; j < repository_.size(); ++j) {
+      ModelScore s;
+      s.model_name = repository_[j].name;
+      s.family = repository_[j].family;
+      s.score = compiled_similarity(target, compiled_, j, memo, dtw_, &stats);
+      scores.push_back(std::move(s));
+    }
+    flush_memo_stats(stats);
+  } else {
+    for (const AttackModel& model : repository_) {
+      ModelScore s;
+      s.model_name = model.name;
+      s.family = model.family;
+      s.score = similarity(target_sequence, model.sequence, dtw_);
+      scores.push_back(std::move(s));
+    }
   }
   return finalize(std::move(scores), threshold_);
 }

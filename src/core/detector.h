@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "core/compiled.h"
 #include "core/dtw.h"
 #include "core/model.h"
 
@@ -45,12 +46,24 @@ class Detector {
                     double threshold = 0.45)
       : builder_(std::move(model_config)),
         dtw_(dtw_config),
-        threshold_(threshold) {}
+        threshold_(threshold),
+        compiled_(dtw_config.distance) {}
 
   double threshold() const { return threshold_; }
   void set_threshold(double t) { threshold_ = t; }
   const ModelBuilder& builder() const { return builder_; }
   const DtwConfig& dtw_config() const { return dtw_; }
+
+  /// Whether scans run through the compiled fast path (core/compiled.h).
+  /// On by default; the string path is kept as an escape hatch
+  /// (`scagctl scan --no-compiled`) and as the equivalence-test oracle.
+  /// Both produce bit-identical Detections.
+  bool use_compiled() const { return use_compiled_; }
+  void set_use_compiled(bool on) { use_compiled_ = on; }
+
+  /// The compiled form of the repository, grown alongside it at
+  /// enrollment. BatchDetector compiles its targets against this.
+  const CompiledRepository& compiled_repository() const { return compiled_; }
 
   /// Adds a PoC to the repository (modeling it with the pipeline).
   void enroll(const isa::Program& poc, Family family);
@@ -78,7 +91,9 @@ class Detector {
   ModelBuilder builder_;
   DtwConfig dtw_;
   double threshold_;
+  bool use_compiled_ = true;
   std::vector<AttackModel> repository_;
+  CompiledRepository compiled_;
 };
 
 }  // namespace scag::core

@@ -14,7 +14,10 @@ std::size_t levenshtein(const std::vector<std::string>& a,
   const std::size_t n = shorter.size();
   if (n == 0) return longer.size();
 
-  std::vector<std::size_t> row(n + 1);
+  // Reused scratch row: this runs once per DP cell of the enclosing DTW,
+  // so a fresh heap allocation per call dominated small-block distances.
+  thread_local std::vector<std::size_t> row;
+  row.resize(n + 1);
   for (std::size_t j = 0; j <= n; ++j) row[j] = j;
   for (std::size_t i = 1; i <= longer.size(); ++i) {
     std::size_t prev_diag = row[0];
@@ -34,7 +37,11 @@ std::size_t levenshtein(const std::vector<std::string>& a,
 double weighted_levenshtein(const std::vector<std::string>& a,
                             const std::vector<std::string>& b) {
   const std::size_t n = a.size(), m = b.size();
-  std::vector<double> prev(m + 1), cur(m + 1);
+  thread_local std::vector<double> prev_scratch, cur_scratch;
+  prev_scratch.resize(m + 1);
+  cur_scratch.resize(m + 1);
+  auto& prev = prev_scratch;
+  auto& cur = cur_scratch;
   prev[0] = 0.0;
   for (std::size_t j = 1; j <= m; ++j)
     prev[j] = prev[j - 1] + isa::semantic_token_weight(b[j - 1]);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/distance.h"
+#include "core/dtw_internal.h"
 #include "isa/normalize.h"
 #include "support/metrics.h"
 
@@ -13,68 +14,27 @@ namespace scag::core {
 
 namespace {
 
-constexpr double kInf = std::numeric_limits<double>::infinity();
+/// O(n+m) lower bound on the *accumulated* DTW cost between a and b.
+double accumulated_cost_lower_bound(const CstBbs& a, const CstBbs& b,
+                                    const SequenceFeatures& fa,
+                                    const SequenceFeatures& fb,
+                                    const DtwConfig& config) {
+  const std::size_t n = a.size(), m = b.size();
+  const DistanceConfig& dc = config.distance;
 
-/// Relative slack applied to every pruning comparison so floating-point
-/// rounding in the bounds can only make pruning *less* aggressive, never
-/// discard a pair whose exact score reaches the cutoff.
-constexpr double kPruneSlack = 1e-9;
+  // LB_Kim: the warping path always pays the (first, first) cost, and —
+  // when the path has more than one cell — the (last, last) cost too.
+  double kim = cst_distance(a.front(), b.front(), dc);
+  if (n + m > 2) kim += cst_distance(a.back(), b.back(), dc);
 
-/// The length-mismatch penalty factor (>= 1) applied by cst_bbs_distance.
-double penalty_factor(std::size_t n, std::size_t m, const DtwConfig& config) {
-  if (config.length_penalty <= 0.0 || n == 0 || m == 0) return 1.0;
-  const double lo = static_cast<double>(std::min(n, m));
-  const double hi = static_cast<double>(std::max(n, m));
-  return 1.0 + config.length_penalty * (1.0 - lo / hi);
+  return std::max(kim, detail::envelope_lower_bound(fa, fb, dc));
 }
 
-/// Accumulated cost -> reported distance (normalization + length penalty),
-/// bit-identical to the historical cst_bbs_distance arithmetic.
-double finish_distance(const DtwResult& r, std::size_t n, std::size_t m,
-                       const DtwConfig& config) {
-  double d = r.distance;
-  if (config.normalization == DtwNormalization::kPathAveraged &&
-      r.path_length > 0)
-    d /= static_cast<double>(r.path_length);
-  if (config.length_penalty > 0.0 && n > 0 && m > 0) {
-    const double lo = static_cast<double>(std::min(n, m));
-    const double hi = static_cast<double>(std::max(n, m));
-    d *= 1.0 + config.length_penalty * (1.0 - lo / hi);
-  }
-  return d;
-}
+}  // namespace
 
-double similarity_from_distance(double d, const DtwConfig& config) {
-  const double scaled = config.cost_scale * d;
-  if (config.gamma == 1.0) return 1.0 / (1.0 + scaled);
-  return 1.0 / (1.0 + std::pow(scaled, config.gamma));
-}
-
-/// Largest distance whose similarity still reaches `min_similarity`
-/// (slightly inflated, see kPruneSlack). +inf when pruning is impossible.
-double distance_cutoff(double min_similarity, const DtwConfig& config) {
-  if (min_similarity <= 0.0) return kInf;
-  if (config.cost_scale <= 0.0 || config.gamma <= 0.0) return kInf;
-  if (min_similarity >= 1.0) return 0.0;
-  const double x = 1.0 / min_similarity - 1.0;  // (cost_scale*D)^gamma <= x
-  const double d =
-      (config.gamma == 1.0 ? x : std::pow(x, 1.0 / config.gamma)) /
-      config.cost_scale;
-  return d * (1.0 + kPruneSlack);
-}
-
-/// Scalar per-element features the lower bound runs its envelopes over.
-struct EnvelopeFeatures {
-  std::vector<double> csp;    // Cst::change(), metric |x - y|
-  std::vector<double> count;  // instruction/token count (alphabet histogram)
-  std::vector<double> mass;   // semantic weight mass (kSemanticWeighted)
-  double csp_lo = kInf, csp_hi = -kInf;
-  double count_lo = kInf, count_hi = -kInf;
-  double mass_hi = 0.0;
-};
-
-EnvelopeFeatures envelope_features(const CstBbs& s, const DistanceConfig& dc) {
-  EnvelopeFeatures f;
+SequenceFeatures compute_sequence_features(const CstBbs& s,
+                                           const DistanceConfig& dc) {
+  SequenceFeatures f;
   f.csp.reserve(s.size());
   f.count.reserve(s.size());
   f.mass.reserve(s.size());
@@ -100,146 +60,15 @@ EnvelopeFeatures envelope_features(const CstBbs& s, const DistanceConfig& dc) {
   return f;
 }
 
-/// Distance from value x to the interval [lo, hi] (0 inside).
-double interval_gap(double x, double lo, double hi) {
-  if (x > hi) return x - hi;
-  if (x < lo) return lo - x;
-  return 0.0;
-}
-
-/// Per-element lower bound on the instruction-sequence distance D_IS
-/// between an element with (count, mass) and ANY element of the other
-/// sequence, using only the other side's envelope. Sound because every
-/// edit operation changes the token count by at most one and costs at
-/// least the cheapest token (weighted mode) or exactly one (full-token
-/// mode), while the normalizing denominator is at most the envelope max.
-double is_gap(double count, double mass, const EnvelopeFeatures& other,
-              const DistanceConfig& dc) {
-  const double count_gap =
-      interval_gap(count, other.count_lo, other.count_hi);
-  if (count_gap <= 0.0) return 0.0;
-  if (dc.alphabet == IsAlphabet::kFullTokens) {
-    // lev >= |len difference|; denominator max(len_a, len_b).
-    const double denom = std::max(count, other.count_hi);
-    return denom > 0.0 ? count_gap / denom : 0.0;
-  }
-  // Weighted mode: each insert/delete costs >= the minimum token weight,
-  // and min(1, .) caps the normalized distance at 1.
-  const double denom = std::max(mass, other.mass_hi);
-  if (denom <= 0.0) return 0.0;
-  return std::min(1.0, isa::semantic_min_token_weight() * count_gap / denom);
-}
-
-/// O(n+m) lower bound on the *accumulated* DTW cost between a and b.
-double accumulated_cost_lower_bound(const CstBbs& a, const CstBbs& b,
-                                    const DtwConfig& config) {
-  const std::size_t n = a.size(), m = b.size();
-  const DistanceConfig& dc = config.distance;
-
-  // LB_Kim: the warping path always pays the (first, first) cost, and —
-  // when the path has more than one cell — the (last, last) cost too.
-  double kim = cst_distance(a.front(), b.front(), dc);
-  if (n + m > 2) kim += cst_distance(a.back(), b.back(), dc);
-
-  // Envelope bounds: the path visits every row and every column at least
-  // once, and visited cells are distinct, so per-row (per-column) minimum
-  // costs sum into the accumulated cost.
-  const EnvelopeFeatures fa = envelope_features(a, dc);
-  const EnvelopeFeatures fb = envelope_features(b, dc);
-  const double is_w = dc.is_weight;
-  const double csp_w = 1.0 - dc.is_weight;
-
-  double rows = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    rows += csp_w * interval_gap(fa.csp[i], fb.csp_lo, fb.csp_hi) +
-            is_w * is_gap(fa.count[i], fa.mass[i], fb, dc);
-  }
-  double cols = 0.0;
-  for (std::size_t j = 0; j < m; ++j) {
-    cols += csp_w * interval_gap(fb.csp[j], fa.csp_lo, fa.csp_hi) +
-            is_w * is_gap(fb.count[j], fb.mass[j], fa, dc);
-  }
-  return std::max({kim, rows, cols});
-}
-
-}  // namespace
-
 DtwResult dtw(std::size_t n, std::size_t m,
               const std::function<double(std::size_t, std::size_t)>& cost,
               const DtwConfig& config, double abandon_above) {
-  // Pruning-stat substrate for every perf PR: how many DP invocations,
-  // how many matrix cells they actually filled, how many were cut short.
-  // Accumulated locally and flushed once per call so the inner loop stays
-  // free of atomics.
-  static support::Counter& c_calls =
-      support::Registry::global().counter("dtw.calls");
-  static support::Counter& c_cells =
-      support::Registry::global().counter("dtw.dp_cells");
-  static support::Counter& c_abandoned =
-      support::Registry::global().counter("dtw.abandoned");
-  c_calls.add();
-  std::uint64_t cells = 0;
-
-  DtwResult result;
-  if (n == 0 && m == 0) return result;
-  if (n == 0 || m == 0) {
-    result.distance = static_cast<double>(n + m);  // all unmatched, cost 1
-    result.path_length = n + m;
-    return result;
-  }
-
-  const bool may_abandon = std::isfinite(abandon_above);
-  // dp[i][j] = min accumulated cost aligning a[0..i) with b[0..j).
-  // steps[i][j] = warping-path length achieving it.
-  const std::size_t w =
-      config.window == 0 ? std::max(n, m)
-                         : std::max(config.window,
-                                    n > m ? n - m : m - n);  // feasibility
-
-  std::vector<double> prev(m + 1, kInf), cur(m + 1, kInf);
-  std::vector<std::size_t> prev_steps(m + 1, 0), cur_steps(m + 1, 0);
-  prev[0] = 0.0;
-
-  for (std::size_t i = 1; i <= n; ++i) {
-    std::fill(cur.begin(), cur.end(), kInf);
-    const std::size_t j_lo = i > w ? i - w : 1;
-    const std::size_t j_hi = std::min(m, i + w);
-    cells += j_hi - j_lo + 1;
-    double row_min = kInf;
-    for (std::size_t j = j_lo; j <= j_hi; ++j) {
-      const double c = cost(i - 1, j - 1);
-      double best = prev[j - 1];        // diagonal
-      std::size_t steps = prev_steps[j - 1];
-      if (prev[j] < best) {             // insertion
-        best = prev[j];
-        steps = prev_steps[j];
-      }
-      if (cur[j - 1] < best) {          // deletion
-        best = cur[j - 1];
-        steps = cur_steps[j - 1];
-      }
-      cur[j] = best + c;
-      cur_steps[j] = steps + 1;
-      row_min = std::min(row_min, cur[j]);
-    }
-    // Early abandon: any path to (n, m) passes through row i at an in-band
-    // cell, and future costs are non-negative, so the final accumulated
-    // cost is at least row_min.
-    if (may_abandon && row_min > abandon_above) {
-      result.distance = row_min;
-      result.path_length = 0;
-      result.abandoned = true;
-      c_cells.add(cells);
-      c_abandoned.add();
-      return result;
-    }
-    std::swap(prev, cur);
-    std::swap(prev_steps, cur_steps);
-  }
-  result.distance = prev[m];
-  result.path_length = prev_steps[m];
-  c_cells.add(cells);
-  return result;
+  // Forward through a lambda so overload resolution picks the template
+  // (calling dtw(n, m, cost, ...) directly would recurse into this
+  // wrapper).
+  return dtw(
+      n, m, [&cost](std::size_t i, std::size_t j) { return cost(i, j); },
+      config, abandon_above);
 }
 
 double cst_bbs_distance(const CstBbs& a, const CstBbs& b,
@@ -250,23 +79,34 @@ double cst_bbs_distance(const CstBbs& a, const CstBbs& b,
             return cst_distance(a[i], b[j], config.distance);
           },
           config);
-  return finish_distance(r, a.size(), b.size(), config);
+  return detail::finish_distance(r, a.size(), b.size(), config);
 }
 
 double cst_bbs_distance_lower_bound(const CstBbs& a, const CstBbs& b,
+                                    const SequenceFeatures& fa,
+                                    const SequenceFeatures& fb,
                                     const DtwConfig& config) {
   const std::size_t n = a.size(), m = b.size();
   // Degenerate alignments are O(1) to evaluate exactly.
   if (n == 0 || m == 0) return cst_bbs_distance(a, b, config);
 
-  double d = accumulated_cost_lower_bound(a, b, config);
+  double d = accumulated_cost_lower_bound(a, b, fa, fb, config);
   if (config.normalization == DtwNormalization::kPathAveraged)
     d /= static_cast<double>(n + m - 1);  // the longest possible path
-  return d * penalty_factor(n, m, config);
+  return d * detail::penalty_factor(n, m, config);
+}
+
+double cst_bbs_distance_lower_bound(const CstBbs& a, const CstBbs& b,
+                                    const DtwConfig& config) {
+  if (a.empty() || b.empty()) return cst_bbs_distance(a, b, config);
+  const SequenceFeatures fa = compute_sequence_features(a, config.distance);
+  const SequenceFeatures fb = compute_sequence_features(b, config.distance);
+  return cst_bbs_distance_lower_bound(a, b, fa, fb, config);
 }
 
 double similarity(const CstBbs& a, const CstBbs& b, const DtwConfig& config) {
-  return similarity_from_distance(cst_bbs_distance(a, b, config), config);
+  return detail::similarity_from_distance(cst_bbs_distance(a, b, config),
+                                          config);
 }
 
 double similarity_upper_bound(const CstBbs& a, const CstBbs& b,
@@ -274,7 +114,8 @@ double similarity_upper_bound(const CstBbs& a, const CstBbs& b,
   const double d_lb = cst_bbs_distance_lower_bound(a, b, config);
   // Deflate slightly so the bound stays above the exact similarity even
   // under floating-point rounding.
-  return similarity_from_distance(d_lb * (1.0 - kPruneSlack), config);
+  return detail::similarity_from_distance(d_lb * (1.0 - detail::kPruneSlack),
+                                          config);
 }
 
 BoundedScore bounded_similarity(const CstBbs& a, const CstBbs& b,
@@ -282,7 +123,7 @@ BoundedScore bounded_similarity(const CstBbs& a, const CstBbs& b,
                                 const DtwConfig& config) {
   BoundedScore out;
   const std::size_t n = a.size(), m = b.size();
-  const double d_cut = distance_cutoff(min_similarity, config);
+  const double d_cut = detail::distance_cutoff(min_similarity, config);
   // No usable cutoff, or a pair too small for the shortcuts to pay off.
   if (!std::isfinite(d_cut) || n == 0 || m == 0 || n * m <= 16) {
     out.score = similarity(a, b, config);
@@ -291,8 +132,9 @@ BoundedScore bounded_similarity(const CstBbs& a, const CstBbs& b,
 
   // Stage 1: O(n+m) lower bound.
   const double d_lb = cst_bbs_distance_lower_bound(a, b, config);
-  if (d_lb * (1.0 - kPruneSlack) > d_cut) {
-    out.score = similarity_from_distance(d_lb * (1.0 - kPruneSlack), config);
+  if (d_lb * (1.0 - detail::kPruneSlack) > d_cut) {
+    out.score = detail::similarity_from_distance(
+        d_lb * (1.0 - detail::kPruneSlack), config);
     out.pruned = PruneKind::kLowerBound;
     return out;
   }
@@ -300,11 +142,11 @@ BoundedScore bounded_similarity(const CstBbs& a, const CstBbs& b,
   // Stage 2: exact DP with early abandon. Translate the distance cutoff
   // back into accumulated-cost space, conservatively (the true path is at
   // most n+m-1 cells long, the penalty factor is exact).
-  const double pf = penalty_factor(n, m, config);
+  const double pf = detail::penalty_factor(n, m, config);
   double acc_limit = d_cut / pf;
   if (config.normalization == DtwNormalization::kPathAveraged)
     acc_limit *= static_cast<double>(n + m - 1);
-  acc_limit *= 1.0 + kPruneSlack;
+  acc_limit *= 1.0 + detail::kPruneSlack;
 
   const DtwResult r =
       dtw(n, m,
@@ -317,12 +159,13 @@ BoundedScore bounded_similarity(const CstBbs& a, const CstBbs& b,
     if (config.normalization == DtwNormalization::kPathAveraged)
       d_ab /= static_cast<double>(n + m - 1);
     d_ab *= pf;
-    out.score = similarity_from_distance(d_ab * (1.0 - kPruneSlack), config);
+    out.score = detail::similarity_from_distance(
+        d_ab * (1.0 - detail::kPruneSlack), config);
     out.pruned = PruneKind::kEarlyAbandon;
     return out;
   }
-  out.score = similarity_from_distance(finish_distance(r, n, m, config),
-                                       config);
+  out.score = detail::similarity_from_distance(
+      detail::finish_distance(r, n, m, config), config);
   return out;
 }
 

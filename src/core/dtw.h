@@ -14,12 +14,16 @@
 // bit-identical to `similarity`.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <functional>
 #include <limits>
+#include <vector>
 
 #include "core/distance.h"
 #include "core/model.h"
+#include "support/metrics.h"
 
 namespace scag::core {
 
@@ -71,7 +75,7 @@ struct DtwResult {
 };
 
 /// Generic DTW between index spaces [0,n) and [0,m) with an arbitrary
-/// cost function. Empty-sequence convention: aligning against an empty
+/// cost functor. Empty-sequence convention: aligning against an empty
 /// sequence costs 1 per element (the maximum per-element distance).
 ///
 /// `abandon_above`: early-abandon threshold on the accumulated cost. If
@@ -79,6 +83,91 @@ struct DtwResult {
 /// result is returned with `abandoned = true` (costs are non-negative, so
 /// the final cost could only have been larger). The default (+inf) never
 /// abandons and computes the exact distance.
+///
+/// The cost parameter is a template so the compiled kernel's functor is
+/// invoked directly (no std::function indirect call per DP cell); a thin
+/// std::function overload below keeps the historical signature working.
+template <class CostFn>
+DtwResult dtw(std::size_t n, std::size_t m, CostFn&& cost,
+              const DtwConfig& config = {},
+              double abandon_above = std::numeric_limits<double>::infinity()) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Pruning-stat substrate for every perf PR: how many DP invocations,
+  // how many matrix cells they actually filled, how many were cut short.
+  // Accumulated locally and flushed once per call so the inner loop stays
+  // free of atomics.
+  static support::Counter& c_calls =
+      support::Registry::global().counter("dtw.calls");
+  static support::Counter& c_cells =
+      support::Registry::global().counter("dtw.dp_cells");
+  static support::Counter& c_abandoned =
+      support::Registry::global().counter("dtw.abandoned");
+  c_calls.add();
+  std::uint64_t cells = 0;
+
+  DtwResult result;
+  if (n == 0 && m == 0) return result;
+  if (n == 0 || m == 0) {
+    result.distance = static_cast<double>(n + m);  // all unmatched, cost 1
+    result.path_length = n + m;
+    return result;
+  }
+
+  const bool may_abandon = std::isfinite(abandon_above);
+  // dp[i][j] = min accumulated cost aligning a[0..i) with b[0..j).
+  // steps[i][j] = warping-path length achieving it.
+  const std::size_t w =
+      config.window == 0 ? std::max(n, m)
+                         : std::max(config.window,
+                                    n > m ? n - m : m - n);  // feasibility
+
+  std::vector<double> prev(m + 1, kInf), cur(m + 1, kInf);
+  std::vector<std::size_t> prev_steps(m + 1, 0), cur_steps(m + 1, 0);
+  prev[0] = 0.0;
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    const std::size_t j_lo = i > w ? i - w : 1;
+    const std::size_t j_hi = std::min(m, i + w);
+    cells += j_hi - j_lo + 1;
+    double row_min = kInf;
+    for (std::size_t j = j_lo; j <= j_hi; ++j) {
+      const double c = cost(i - 1, j - 1);
+      double best = prev[j - 1];        // diagonal
+      std::size_t steps = prev_steps[j - 1];
+      if (prev[j] < best) {             // insertion
+        best = prev[j];
+        steps = prev_steps[j];
+      }
+      if (cur[j - 1] < best) {          // deletion
+        best = cur[j - 1];
+        steps = cur_steps[j - 1];
+      }
+      cur[j] = best + c;
+      cur_steps[j] = steps + 1;
+      row_min = std::min(row_min, cur[j]);
+    }
+    // Early abandon: any path to (n, m) passes through row i at an in-band
+    // cell, and future costs are non-negative, so the final accumulated
+    // cost is at least row_min.
+    if (may_abandon && row_min > abandon_above) {
+      result.distance = row_min;
+      result.path_length = 0;
+      result.abandoned = true;
+      c_cells.add(cells);
+      c_abandoned.add();
+      return result;
+    }
+    std::swap(prev, cur);
+    std::swap(prev_steps, cur_steps);
+  }
+  result.distance = prev[m];
+  result.path_length = prev_steps[m];
+  c_cells.add(cells);
+  return result;
+}
+
+/// ABI/test-compatibility wrapper around the template above.
 DtwResult dtw(std::size_t n, std::size_t m,
               const std::function<double(std::size_t, std::size_t)>& cost,
               const DtwConfig& config = {},
@@ -88,6 +177,25 @@ DtwResult dtw(std::size_t n, std::size_t m,
 /// CST distance of Section III-B1.
 double cst_bbs_distance(const CstBbs& a, const CstBbs& b,
                         const DtwConfig& config = {});
+
+/// Scalar per-element features the DTW lower bound runs its envelopes
+/// over. Computing them is O(sequence length); they depend only on the
+/// sequence and the alphabet, so callers scanning one sequence against a
+/// whole repository should compute them once per sequence (the compiled
+/// representation of core/compiled.h stores them at enrollment).
+struct SequenceFeatures {
+  std::vector<double> csp;    // Cst::change(), metric |x - y|
+  std::vector<double> count;  // instruction/token count (alphabet histogram)
+  std::vector<double> mass;   // semantic weight mass (kSemanticWeighted)
+  double csp_lo = std::numeric_limits<double>::infinity();
+  double csp_hi = -std::numeric_limits<double>::infinity();
+  double count_lo = std::numeric_limits<double>::infinity();
+  double count_hi = -std::numeric_limits<double>::infinity();
+  double mass_hi = 0.0;
+};
+
+SequenceFeatures compute_sequence_features(const CstBbs& s,
+                                           const DistanceConfig& config);
 
 /// O(n+m) lower bound on cst_bbs_distance: the maximum of
 ///   - an LB_Kim-style bound (the warping path always aligns the two first
@@ -100,6 +208,16 @@ double cst_bbs_distance(const CstBbs& a, const CstBbs& b,
 ///     accumulated cost.
 /// Never exceeds the exact distance (tests/test_dtw_properties.cpp).
 double cst_bbs_distance_lower_bound(const CstBbs& a, const CstBbs& b,
+                                    const DtwConfig& config = {});
+
+/// Same bound with caller-precomputed features (bit-identical to the
+/// overload above). `fa`/`fb` must come from compute_sequence_features on
+/// `a`/`b` with the same alphabet as `config.distance`; reusing them
+/// across a batch removes the O(repo x targets) per-pair feature
+/// recomputation the two-argument overload pays.
+double cst_bbs_distance_lower_bound(const CstBbs& a, const CstBbs& b,
+                                    const SequenceFeatures& fa,
+                                    const SequenceFeatures& fb,
                                     const DtwConfig& config = {});
 
 /// Similarity score in (0, 1]: 1 / (1 + cost_scale * D).

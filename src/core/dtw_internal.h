@@ -1,0 +1,123 @@
+// Internal arithmetic shared by the string DTW path (dtw.cpp) and the
+// compiled kernel (compiled.cpp).
+//
+// The compiled path's hard contract is bit-identical scores, so every
+// floating-point expression that turns an accumulated DTW cost into a
+// distance, a similarity, or a pruning decision lives here exactly once.
+// Not installed; include only from core/*.cpp.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#include "core/dtw.h"
+#include "isa/normalize.h"
+
+namespace scag::core::detail {
+
+/// Relative slack applied to every pruning comparison so floating-point
+/// rounding in the bounds can only make pruning *less* aggressive, never
+/// discard a pair whose exact score reaches the cutoff.
+inline constexpr double kPruneSlack = 1e-9;
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// The length-mismatch penalty factor (>= 1) applied by cst_bbs_distance.
+inline double penalty_factor(std::size_t n, std::size_t m,
+                             const DtwConfig& config) {
+  if (config.length_penalty <= 0.0 || n == 0 || m == 0) return 1.0;
+  const double lo = static_cast<double>(std::min(n, m));
+  const double hi = static_cast<double>(std::max(n, m));
+  return 1.0 + config.length_penalty * (1.0 - lo / hi);
+}
+
+/// Accumulated cost -> reported distance (normalization + length penalty),
+/// bit-identical to the historical cst_bbs_distance arithmetic.
+inline double finish_distance(const DtwResult& r, std::size_t n,
+                              std::size_t m, const DtwConfig& config) {
+  double d = r.distance;
+  if (config.normalization == DtwNormalization::kPathAveraged &&
+      r.path_length > 0)
+    d /= static_cast<double>(r.path_length);
+  if (config.length_penalty > 0.0 && n > 0 && m > 0) {
+    const double lo = static_cast<double>(std::min(n, m));
+    const double hi = static_cast<double>(std::max(n, m));
+    d *= 1.0 + config.length_penalty * (1.0 - lo / hi);
+  }
+  return d;
+}
+
+inline double similarity_from_distance(double d, const DtwConfig& config) {
+  const double scaled = config.cost_scale * d;
+  if (config.gamma == 1.0) return 1.0 / (1.0 + scaled);
+  return 1.0 / (1.0 + std::pow(scaled, config.gamma));
+}
+
+/// Largest distance whose similarity still reaches `min_similarity`
+/// (slightly inflated, see kPruneSlack). +inf when pruning is impossible.
+inline double distance_cutoff(double min_similarity, const DtwConfig& config) {
+  if (min_similarity <= 0.0) return kInf;
+  if (config.cost_scale <= 0.0 || config.gamma <= 0.0) return kInf;
+  if (min_similarity >= 1.0) return 0.0;
+  const double x = 1.0 / min_similarity - 1.0;  // (cost_scale*D)^gamma <= x
+  const double d =
+      (config.gamma == 1.0 ? x : std::pow(x, 1.0 / config.gamma)) /
+      config.cost_scale;
+  return d * (1.0 + kPruneSlack);
+}
+
+/// Distance from value x to the interval [lo, hi] (0 inside).
+inline double interval_gap(double x, double lo, double hi) {
+  if (x > hi) return x - hi;
+  if (x < lo) return lo - x;
+  return 0.0;
+}
+
+/// Per-element lower bound on the instruction-sequence distance D_IS
+/// between an element with (count, mass) and ANY element of the other
+/// sequence, using only the other side's envelope. Sound because every
+/// edit operation changes the token count by at most one and costs at
+/// least the cheapest token (weighted mode) or exactly one (full-token
+/// mode), while the normalizing denominator is at most the envelope max.
+inline double is_gap(double count, double mass, const SequenceFeatures& other,
+                     const DistanceConfig& dc) {
+  const double count_gap =
+      interval_gap(count, other.count_lo, other.count_hi);
+  if (count_gap <= 0.0) return 0.0;
+  if (dc.alphabet == IsAlphabet::kFullTokens) {
+    // lev >= |len difference|; denominator max(len_a, len_b).
+    const double denom = std::max(count, other.count_hi);
+    return denom > 0.0 ? count_gap / denom : 0.0;
+  }
+  // Weighted mode: each insert/delete costs >= the minimum token weight,
+  // and min(1, .) caps the normalized distance at 1.
+  const double denom = std::max(mass, other.mass_hi);
+  if (denom <= 0.0) return 0.0;
+  return std::min(1.0, isa::semantic_min_token_weight() * count_gap / denom);
+}
+
+/// Envelope part of the accumulated-cost lower bound: the warping path
+/// visits every row and every column at least once, and visited cells are
+/// distinct, so per-row (per-column) minimum costs sum into the
+/// accumulated cost. Returns max(row sum, column sum).
+inline double envelope_lower_bound(const SequenceFeatures& fa,
+                                   const SequenceFeatures& fb,
+                                   const DistanceConfig& dc) {
+  const double is_w = dc.is_weight;
+  const double csp_w = 1.0 - dc.is_weight;
+  double rows = 0.0;
+  for (std::size_t i = 0; i < fa.csp.size(); ++i) {
+    rows += csp_w * interval_gap(fa.csp[i], fb.csp_lo, fb.csp_hi) +
+            is_w * is_gap(fa.count[i], fa.mass[i], fb, dc);
+  }
+  double cols = 0.0;
+  for (std::size_t j = 0; j < fb.csp.size(); ++j) {
+    cols += csp_w * interval_gap(fb.csp[j], fa.csp_lo, fa.csp_hi) +
+            is_w * is_gap(fb.count[j], fb.mass[j], fa, dc);
+  }
+  return std::max(rows, cols);
+}
+
+}  // namespace scag::core::detail

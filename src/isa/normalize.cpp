@@ -78,16 +78,21 @@ double semantic_token_weight(const std::string& token) {
 
 double semantic_min_token_weight() { return 0.3; }
 
+SemanticClass semantic_token_class(const std::string& token) {
+  if (token == "load" || token == "store" || token == "rmw")
+    return SemanticClass::kMemory;
+  if (token == "br" || token == "jmp" || token == "call" || token == "ret")
+    return SemanticClass::kControlFlow;
+  return SemanticClass::kOther;
+}
+
 double semantic_subst_cost(const std::string& a, const std::string& b) {
   if (a == b) return 0.0;
-  auto memish = [](const std::string& t) {
-    return t == "load" || t == "store" || t == "rmw";
-  };
-  auto flowish = [](const std::string& t) {
-    return t == "br" || t == "jmp" || t == "call" || t == "ret";
-  };
-  if (memish(a) && memish(b)) return 0.2;
-  if (flowish(a) && flowish(b)) return 0.15;
+  const SemanticClass ca = semantic_token_class(a);
+  const SemanticClass cb = semantic_token_class(b);
+  if (ca == SemanticClass::kMemory && cb == SemanticClass::kMemory) return 0.2;
+  if (ca == SemanticClass::kControlFlow && cb == SemanticClass::kControlFlow)
+    return 0.15;
   return (semantic_token_weight(a) + semantic_token_weight(b)) / 2.0;
 }
 

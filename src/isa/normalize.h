@@ -8,6 +8,7 @@
 // e.g.  mov -0x18(rbp), rax   becomes   "mov mem, reg".
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -35,8 +36,16 @@ std::vector<std::string> semantic_tokens(const std::vector<Instruction>& seq);
 /// markers, plain control flow the weakest).
 double semantic_token_weight(const std::string& token);
 
+/// Coarse class of a semantic token. The substitution-cost rule only needs
+/// this class plus the token weights, which is what lets the compiled
+/// kernel (core/compiled.h) replace per-cell string comparisons with
+/// interned per-id attributes without changing a single bit of the result.
+enum class SemanticClass : std::uint8_t { kMemory, kControlFlow, kOther };
+SemanticClass semantic_token_class(const std::string& token);
+
 /// Substitution cost between two semantic tokens (0 if equal; reduced for
-/// related pairs such as load/store/rmw).
+/// related pairs such as load/store/rmw). Fully determined by token
+/// equality, semantic_token_class, and semantic_token_weight.
 double semantic_subst_cost(const std::string& a, const std::string& b);
 
 /// The smallest value semantic_token_weight can return. Every insert or

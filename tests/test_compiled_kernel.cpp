@@ -1,0 +1,367 @@
+// Equivalence suite for the compiled CST-BBS kernel (core/compiled.h).
+//
+// The compiled fast path — interned token ids, precomputed features, and
+// the memoized element-distance cache — promises BIT-IDENTICAL results to
+// the string kernels. That contract is checked here the hard way:
+// EXPECT_EQ on doubles (never EXPECT_NEAR), over sequences produced by
+// the real modeling pipeline (attack PoCs, benign templates, mutated PoC
+// variants, randomized programs), hand-built hostile sequences whose
+// tokens the repository has never interned, both alphabets, and every
+// configuration axis the DTW property suite covers:
+//   - element distances, DTW distances, similarities;
+//   - both lower-bound overloads and similarity upper bounds;
+//   - bounded_similarity: same scores AND the same PruneKind decisions;
+//   - Detector::scan with use_compiled() on vs off;
+//   - BatchDetector scan_all, pruned and non-pruned, vs the string path;
+//   - a serialize round trip feeding the compiled enrollment path;
+//   - memo hit accounting (a scan with repeated blocks must hit).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "attacks/registry.h"
+#include "benign/registry.h"
+#include "core/batch_detector.h"
+#include "core/compiled.h"
+#include "core/detector.h"
+#include "core/dtw.h"
+#include "core/model.h"
+#include "core/serialize.h"
+#include "eval/experiments.h"
+#include "isa/normalize.h"
+#include "isa/random_program.h"
+#include "mutation/mutator.h"
+#include "support/metrics.h"
+#include "support/rng.h"
+
+namespace scag::core {
+namespace {
+
+/// Same axes as tests/test_dtw_properties.cpp: paper-literal, calibrated,
+/// banded, accumulated with penalty, path-averaged full tokens.
+std::vector<DtwConfig> equivalence_configs() {
+  std::vector<DtwConfig> configs;
+  configs.push_back(DtwConfig{});
+  configs.push_back(calibrated_dtw_config());
+
+  DtwConfig banded = calibrated_dtw_config();
+  banded.window = 2;
+  configs.push_back(banded);
+
+  DtwConfig accumulated;
+  accumulated.window = 3;
+  accumulated.length_penalty = 0.5;
+  configs.push_back(accumulated);
+
+  DtwConfig averaged;
+  averaged.normalization = DtwNormalization::kPathAveraged;
+  averaged.cost_scale = 2.0;
+  configs.push_back(averaged);
+  return configs;
+}
+
+/// A sequence the modeling pipeline would never emit: hand-built blocks
+/// with tokens the repository interner has never seen (the shape a hostile
+/// or newer-format deserialized target could take). The compiled path must
+/// extend the id space locally and still agree bit for bit.
+CstBbs hostile_sequence() {
+  CstBbs s;
+  CstBbsElement e1;
+  e1.norm_instrs = {"alien op1, op2", "mov reg, mem", "alien op1, op2"};
+  e1.sem_tokens = {"unknowable", "load", "unknowable"};
+  e1.cst.after.ao = 3;
+  s.push_back(e1);
+  CstBbsElement e2;
+  e2.norm_instrs = {"mov reg, mem"};
+  e2.sem_tokens = {"load"};
+  e2.cst.after.io = 5;
+  s.push_back(e2);
+  s.push_back(e1);  // repeated content: exercises target-side dedup
+  return s;
+}
+
+class CompiledKernel : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    models_ = new std::vector<CstBbs>();
+    targets_ = new std::vector<CstBbs>();
+    const ModelBuilder builder;
+    const attacks::PocConfig poc;
+
+    // Repository side: real attack models.
+    models_->push_back(builder.build(attacks::fr_iaik(poc)).sequence);
+    models_->push_back(builder.build(attacks::pp_iaik(poc)).sequence);
+    models_->push_back(builder.build(attacks::ff_iaik(poc)).sequence);
+    models_->push_back(builder.build(attacks::spectre_fr_ideal(poc)).sequence);
+
+    // Target side: the models themselves (self-scan), benign templates,
+    // mutated PoC variants, random programs, an empty sequence, and the
+    // hostile hand-built sequence.
+    *targets_ = *models_;
+    Rng benign_rng(99);
+    targets_->push_back(builder.build(benign::aes_ttables(benign_rng)).sequence);
+    targets_->push_back(
+        builder.build(benign::flush_writeback(benign_rng)).sequence);
+    Rng mut_rng(7);
+    targets_->push_back(
+        builder.build(mutation::mutate(attacks::fr_iaik(poc), mut_rng))
+            .sequence);
+    targets_->push_back(
+        builder.build(mutation::mutate(attacks::pp_iaik(poc), mut_rng))
+            .sequence);
+    Rng rng(1234);
+    for (int k = 0; k < 4; ++k) {
+      Rng gen = rng.split();
+      isa::RandomProgramOptions options;
+      options.statements = 20 + 10 * k;
+      targets_->push_back(
+          builder.build(isa::random_program(gen, options)).sequence);
+    }
+    targets_->push_back(CstBbs{});
+    targets_->push_back(hostile_sequence());
+  }
+  static void TearDownTestSuite() {
+    delete models_;
+    models_ = nullptr;
+    delete targets_;
+    targets_ = nullptr;
+  }
+
+  static std::vector<CstBbs>* models_;
+  static std::vector<CstBbs>* targets_;
+};
+
+std::vector<CstBbs>* CompiledKernel::models_ = nullptr;
+std::vector<CstBbs>* CompiledKernel::targets_ = nullptr;
+
+TEST_F(CompiledKernel, DistancesSimilaritiesAndBoundsAreBitIdentical) {
+  for (const DtwConfig& config : equivalence_configs()) {
+    CompiledRepository repo(config.distance);
+    for (const CstBbs& m : *models_) repo.add(m);
+    ASSERT_EQ(repo.num_models(), models_->size());
+
+    for (std::size_t t = 0; t < targets_->size(); ++t) {
+      const CstBbs& target = (*targets_)[t];
+      const CompiledTarget ct = repo.compile_target(target);
+      ASSERT_EQ(ct.seq.size(), target.size());
+      ElementDistanceMemo memo(ct.unique_elements, repo.unique_elements());
+
+      for (std::size_t j = 0; j < models_->size(); ++j) {
+        const CstBbs& model = (*models_)[j];
+
+        // Element distances (fresh memo misses AND repeat hits).
+        for (int pass = 0; pass < 2; ++pass) {
+          for (std::size_t i = 0; i < target.size(); ++i) {
+            for (std::size_t k = 0; k < model.size(); ++k) {
+              EXPECT_EQ(compiled_element_distance(ct, i, repo, j, k, memo,
+                                                  config.distance, nullptr),
+                        cst_distance(target[i], model[k], config.distance))
+                  << "target " << t << " model " << j << " elem " << i << ","
+                  << k;
+            }
+          }
+        }
+
+        EXPECT_EQ(
+            compiled_cst_bbs_distance(ct, repo, j, memo, config, nullptr),
+            cst_bbs_distance(target, model, config))
+            << "target " << t << " model " << j;
+        EXPECT_EQ(compiled_cst_bbs_distance_lower_bound(ct, repo, j, memo,
+                                                        config, nullptr),
+                  cst_bbs_distance_lower_bound(target, model, config))
+            << "target " << t << " model " << j;
+        EXPECT_EQ(compiled_similarity(ct, repo, j, memo, config),
+                  similarity(target, model, config))
+            << "target " << t << " model " << j;
+      }
+    }
+  }
+}
+
+TEST_F(CompiledKernel, BoundedSimilarityMatchesScoresAndPruneDecisions) {
+  const double cutoffs[] = {0.05, 0.2, 0.35, 0.45, 0.6, 0.75, 0.9};
+  for (const DtwConfig& config : equivalence_configs()) {
+    CompiledRepository repo(config.distance);
+    for (const CstBbs& m : *models_) repo.add(m);
+    for (std::size_t t = 0; t < targets_->size(); ++t) {
+      const CstBbs& target = (*targets_)[t];
+      const CompiledTarget ct = repo.compile_target(target);
+      for (double cutoff : cutoffs) {
+        // A fresh memo per cutoff keeps the comparison honest for the
+        // early-abandon branch too (memo state cannot change scores, but
+        // this also proves it does not change *decisions*).
+        ElementDistanceMemo memo(ct.unique_elements, repo.unique_elements());
+        for (std::size_t j = 0; j < models_->size(); ++j) {
+          const BoundedScore expect =
+              bounded_similarity(target, (*models_)[j], cutoff, config);
+          const BoundedScore got =
+              compiled_bounded_similarity(ct, repo, j, memo, cutoff, config);
+          EXPECT_EQ(got.score, expect.score)
+              << "target " << t << " model " << j << " cutoff " << cutoff;
+          EXPECT_EQ(got.pruned, expect.pruned)
+              << "target " << t << " model " << j << " cutoff " << cutoff;
+        }
+      }
+    }
+  }
+}
+
+/// The same Detector must produce identical Detections with the compiled
+/// path on (default) and off, for every target shape.
+TEST_F(CompiledKernel, DetectorScanIsBitIdenticalWithAndWithoutCompiled) {
+  Detector compiled(eval::experiment_model_config(),
+                    eval::experiment_dtw_config(), eval::kThreshold);
+  Detector plain(eval::experiment_model_config(), eval::experiment_dtw_config(),
+                 eval::kThreshold);
+  plain.set_use_compiled(false);
+  EXPECT_TRUE(compiled.use_compiled());
+  EXPECT_FALSE(plain.use_compiled());
+
+  const attacks::PocConfig poc;
+  for (const attacks::PocSpec& spec : attacks::all_pocs()) {
+    compiled.enroll(spec.build(poc), spec.family);
+    plain.enroll(spec.build(poc), spec.family);
+  }
+  ASSERT_EQ(compiled.compiled_repository().num_models(),
+            compiled.repository_size());
+
+  for (std::size_t t = 0; t < targets_->size(); ++t) {
+    const Detection a = compiled.scan((*targets_)[t]);
+    const Detection b = plain.scan((*targets_)[t]);
+    EXPECT_EQ(a.verdict, b.verdict) << "target " << t;
+    EXPECT_EQ(a.best_score, b.best_score) << "target " << t;
+    ASSERT_EQ(a.scores.size(), b.scores.size()) << "target " << t;
+    for (std::size_t j = 0; j < a.scores.size(); ++j) {
+      EXPECT_EQ(a.scores[j].model_name, b.scores[j].model_name)
+          << "target " << t << " rank " << j;
+      EXPECT_EQ(a.scores[j].score, b.scores[j].score)
+          << "target " << t << " rank " << j;
+    }
+  }
+}
+
+TEST_F(CompiledKernel, BatchDetectorMatchesStringPathPrunedAndNot) {
+  Detector detector(eval::experiment_model_config(),
+                    eval::experiment_dtw_config(), eval::kThreshold);
+  Detector oracle(eval::experiment_model_config(),
+                  eval::experiment_dtw_config(), eval::kThreshold);
+  oracle.set_use_compiled(false);
+  const attacks::PocConfig poc;
+  for (const attacks::PocSpec& spec : attacks::all_pocs()) {
+    detector.enroll(spec.build(poc), spec.family);
+    oracle.enroll(spec.build(poc), spec.family);
+  }
+
+  for (bool prune : {false, true}) {
+    BatchConfig bc;
+    bc.prune = prune;
+    const BatchDetector batch(detector, bc);
+    const std::vector<Detection> got = batch.scan_all(*targets_);
+    ASSERT_EQ(got.size(), targets_->size());
+    for (std::size_t t = 0; t < targets_->size(); ++t) {
+      const Detection expect = oracle.scan((*targets_)[t]);
+      EXPECT_EQ(got[t].verdict, expect.verdict)
+          << "target " << t << " prune " << prune;
+      if (!prune) {
+        // Non-pruned mode: full bit-identical Detections.
+        ASSERT_EQ(got[t].scores.size(), expect.scores.size());
+        EXPECT_EQ(got[t].best_score, expect.best_score) << "target " << t;
+        for (std::size_t j = 0; j < expect.scores.size(); ++j)
+          EXPECT_EQ(got[t].scores[j].score, expect.scores[j].score)
+              << "target " << t << " rank " << j;
+      } else if (got[t].is_attack()) {
+        // Pruned mode: attack verdicts keep exact best score and model.
+        EXPECT_EQ(got[t].best_score, expect.best_score) << "target " << t;
+        EXPECT_EQ(got[t].scores.front().model_name,
+                  expect.scores.front().model_name)
+            << "target " << t;
+      }
+    }
+  }
+}
+
+/// Models that went through a save/load round trip enroll through the same
+/// compiled path and must scan identically to the originals.
+TEST_F(CompiledKernel, SerializeRoundTripPreservesCompiledScans) {
+  const attacks::PocConfig poc;
+  const ModelBuilder builder(eval::experiment_model_config());
+  std::vector<AttackModel> originals;
+  for (const attacks::PocSpec& spec : attacks::all_pocs())
+    originals.push_back(builder.build(spec.build(poc), spec.family));
+
+  Detector direct(eval::experiment_model_config(),
+                  eval::experiment_dtw_config(), eval::kThreshold);
+  for (const AttackModel& m : originals) direct.enroll(m);
+
+  Detector reloaded(eval::experiment_model_config(),
+                    eval::experiment_dtw_config(), eval::kThreshold);
+  for (AttackModel& m :
+       load_models_from_string(save_models_to_string(originals)))
+    reloaded.enroll(std::move(m));
+
+  for (std::size_t t = 0; t < targets_->size(); ++t) {
+    const Detection a = direct.scan((*targets_)[t]);
+    const Detection b = reloaded.scan((*targets_)[t]);
+    EXPECT_EQ(a.verdict, b.verdict) << "target " << t;
+    EXPECT_EQ(a.best_score, b.best_score) << "target " << t;
+  }
+}
+
+TEST_F(CompiledKernel, MemoHitsOnRepeatedElementsAndCountersFlow) {
+  const DtwConfig config = calibrated_dtw_config();
+  CompiledRepository repo(config.distance);
+  for (const CstBbs& m : *models_) repo.add(m);
+
+  // The hostile sequence repeats a block verbatim; the repository models
+  // repeat normalized blocks too, so a full scan must hit the memo.
+  const CompiledTarget ct = repo.compile_target(hostile_sequence());
+  EXPECT_LT(ct.unique_elements, ct.seq.size());  // dedup found the repeat
+  ElementDistanceMemo memo(ct.unique_elements, repo.unique_elements());
+  ElementDistanceMemo::Stats stats;
+  for (std::size_t j = 0; j < repo.num_models(); ++j)
+    compiled_similarity(ct, repo, j, memo, config, &stats);
+  EXPECT_GT(stats.misses, 0u);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_LE(stats.misses,
+            static_cast<std::uint64_t>(ct.unique_elements) *
+                repo.unique_elements());
+
+  if (support::Registry::compiled_in()) {
+    support::set_metrics_enabled(true);
+    const auto counter_value = [](const char* name) {
+      return support::Registry::global().counter(name).value();
+    };
+    const std::uint64_t hits0 = counter_value("compiled.memo_hits");
+    const std::uint64_t misses0 = counter_value("compiled.memo_misses");
+    flush_memo_stats(stats);
+    EXPECT_EQ(counter_value("compiled.memo_hits"), hits0 + stats.hits);
+    EXPECT_EQ(counter_value("compiled.memo_misses"), misses0 + stats.misses);
+    EXPECT_GT(counter_value("compiled.models"), 0u);
+    EXPECT_GT(counter_value("compiled.targets"), 0u);
+  }
+}
+
+/// Interner sanity: ids are dense, stable, and carry the right attributes.
+TEST_F(CompiledKernel, InternerTablesMatchTokenAttributes) {
+  TokenInterner interner;
+  const std::vector<std::string> tokens = {"flush", "load",  "store", "rmw",
+                                           "fence", "call",  "ret",   "br",
+                                           "jmp",   "time",  "flush"};
+  for (const std::string& t : tokens) interner.intern(t);
+  EXPECT_EQ(interner.size(), 10u);  // "flush" interned once
+  EXPECT_EQ(interner.find("flush"), 0u);
+  EXPECT_EQ(interner.find("never-seen"), TokenInterner::kNoToken);
+  for (const std::string& t : tokens) {
+    const TokenId id = interner.find(t);
+    ASSERT_NE(id, TokenInterner::kNoToken);
+    EXPECT_EQ(interner.weights()[id], isa::semantic_token_weight(t)) << t;
+    EXPECT_EQ(interner.classes()[id],
+              static_cast<std::uint8_t>(isa::semantic_token_class(t)))
+        << t;
+  }
+}
+
+}  // namespace
+}  // namespace scag::core

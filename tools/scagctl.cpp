@@ -2,7 +2,7 @@
 //
 //   scagctl list                         known attack PoCs & benign templates
 //   scagctl build-repo <out.repo>        model all PoCs into a repository file
-//   scagctl scan [--stats[=out.json]] <repo> <prog.s>...
+//   scagctl scan [--stats[=out.json]] [--no-compiled] <repo> <prog.s>...
 //                                        scan assembly programs against a repo
 //   scagctl model <prog.s>               print a program's CST-BBS model
 //   scagctl demo <poc-name> [secret]     run a PoC and show the recovery
@@ -15,6 +15,9 @@
 // admitted to the cluster. `scan --stats` prints per-stage span timings and
 // the pipeline counters (DTW pruning, DP cells, cache misses) after the
 // report; `--stats=out.json` additionally writes them as JSON.
+// `--no-compiled` is the escape hatch back to the string-based scan
+// kernels; scores and verdicts are bit-identical either way (the compiled
+// fast path of core/compiled.h is just faster).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -45,7 +48,7 @@ int usage() {
       "usage:\n"
       "  scagctl list\n"
       "  scagctl build-repo <out.repo>\n"
-      "  scagctl scan [--stats[=out.json]] <repo> <prog.s>...\n"
+      "  scagctl scan [--stats[=out.json]] [--no-compiled] <repo> <prog.s>...\n"
       "  scagctl model <prog.s>\n"
       "  scagctl demo <poc-name> [secret 1..15]\n"
       "  scagctl export <poc-name> [out.s]\n"
@@ -116,7 +119,8 @@ int cmd_build_repo(const char* out_path) {
 }
 
 int cmd_scan(const char* repo_path, int nfiles, char** files,
-             bool with_stats, const char* stats_json_path) {
+             bool with_stats, const char* stats_json_path,
+             bool use_compiled) {
   if (with_stats) {
     support::set_metrics_enabled(true);
     support::Tracer::global().set_enabled(true);
@@ -125,6 +129,7 @@ int cmd_scan(const char* repo_path, int nfiles, char** files,
   }
   core::Detector detector(eval::experiment_model_config(),
                           eval::experiment_dtw_config(), eval::kThreshold);
+  detector.set_use_compiled(use_compiled);
   for (core::AttackModel& m : core::load_models_from_file(repo_path))
     detector.enroll(std::move(m));
   std::printf("repository: %zu models, threshold %s\n\n",
@@ -291,18 +296,24 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "scan") == 0) {
       int i = 2;
       bool with_stats = false;
+      bool use_compiled = true;
       const char* stats_json_path = nullptr;
-      if (i < argc && starts_with(argv[i], "--stats")) {
-        with_stats = true;
-        if (starts_with(argv[i], "--stats="))
-          stats_json_path = argv[i] + std::strlen("--stats=");
-        else if (std::strcmp(argv[i], "--stats") != 0)
+      for (; i < argc && starts_with(argv[i], "--"); ++i) {
+        if (std::strcmp(argv[i], "--no-compiled") == 0) {
+          use_compiled = false;
+        } else if (starts_with(argv[i], "--stats")) {
+          with_stats = true;
+          if (starts_with(argv[i], "--stats="))
+            stats_json_path = argv[i] + std::strlen("--stats=");
+          else if (std::strcmp(argv[i], "--stats") != 0)
+            return usage();
+        } else {
           return usage();
-        ++i;
+        }
       }
       if (argc - i >= 2)
         return cmd_scan(argv[i], argc - i - 1, argv + i + 1, with_stats,
-                        stats_json_path);
+                        stats_json_path, use_compiled);
       return usage();
     }
     if (std::strcmp(argv[1], "metrics-demo") == 0 && argc == 2)
