@@ -24,6 +24,63 @@ cmake --build build-metrics-off --target test_metrics scagctl
 build-metrics-off/tests/test_metrics
 build-metrics-off/tools/scagctl metrics-demo
 
+# Failpoint sweep smoke through the CLI: every library failpoint, armed
+# for real via --failpoints, must yield a clean one-line nonzero-exit
+# failure (or a successful degraded scan for the resilience sites) —
+# never a crash. The in-process harness (test_failpoints) covers the
+# semantics; this proves the end-user arming path works in a shipped
+# binary.
+build/tools/scagctl export FR-IAIK build/fp_smoke_poc.s
+build/tools/scagctl build-repo build/fp_smoke.repo
+for fp_spec in \
+    'serialize.load.open=error' \
+    'serialize.load.read=throw' \
+    'scagctl.load_target=throw' \
+    'detector.scan=throw' \
+    'cache.access=throw' \
+    'cpu.step=error@100'; do
+  if SCAG_FAILPOINTS="$fp_spec" \
+      build/tools/scagctl scan build/fp_smoke.repo build/fp_smoke_poc.s \
+      >build/fp_smoke.out 2>&1; then
+    echo "failpoint smoke: '$fp_spec' unexpectedly succeeded"; exit 1
+  fi
+  if grep -Eq 'terminate|Aborted|Segmentation' build/fp_smoke.out; then
+    echo "failpoint smoke: '$fp_spec' crashed:"; cat build/fp_smoke.out; exit 1
+  fi
+  grep -q 'scagctl: ' build/fp_smoke.out || {
+    echo "failpoint smoke: '$fp_spec' exited nonzero without a diagnostic"
+    cat build/fp_smoke.out; exit 1
+  }
+done
+# The degrading sites must NOT fail the scan: the pool falls back to a
+# serial drain, the compile step to the string kernels, and the verdict
+# (attack => exit 1) is unchanged.
+for fp_spec in 'pool.enqueue=throw' 'compiled.compile_target=throw'; do
+  SCAG_FAILPOINTS="$fp_spec" \
+    build/tools/scagctl scan build/fp_smoke.repo build/fp_smoke_poc.s \
+    >build/fp_smoke.out 2>&1 || [ $? -eq 1 ] || {
+      echo "failpoint smoke: '$fp_spec' broke the degraded scan"
+      cat build/fp_smoke.out; exit 1
+    }
+  grep -q "Verdict" build/fp_smoke.out || {
+    echo "failpoint smoke: '$fp_spec' produced no verdict"
+    cat build/fp_smoke.out; exit 1
+  }
+done
+
+# The fault-injection layer must also compile out cleanly with
+# -DSCAG_FAILPOINTS_OFF: same tests pass, --failpoints warns + ignores,
+# and the failpoint harness skips itself.
+cmake -B build-fp-off -G Ninja -DSCAG_FAILPOINTS_OFF=ON
+cmake --build build-fp-off --target test_failpoints test_parallel_scan \
+  test_golden scagctl
+build-fp-off/tests/test_failpoints
+build-fp-off/tests/test_parallel_scan
+# The golden fixture compares scores bit-exactly, so passing here proves
+# the compiled-out build is bit-identical to the instrumented one.
+build-fp-off/tests/test_golden
+build-fp-off/tools/scagctl --failpoints='cpu.step=throw' list >/dev/null
+
 # Compiled-kernel smoke: the throughput bench must verify bit-identical
 # scans (nonzero exit otherwise) and its JSON report must show the memo
 # cache and the compile timer actually populated.

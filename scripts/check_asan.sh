@@ -35,13 +35,17 @@ cmake -B "$BUILD" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="$ASAN_FLAGS" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
-cmake --build "$BUILD" --target test_serialize test_fuzz test_metrics -j"$(nproc)"
+cmake --build "$BUILD" --target test_serialize test_fuzz test_metrics \
+  test_failpoints test_scagctl_cli scagctl -j"$(nproc)"
 
 # Leak detection needs ptrace, which many containers deny; the point here
-# is bounds/UB checking of the parser and metrics hot paths.
+# is bounds/UB checking of the parser, metrics, and failure paths (the
+# fault-labeled suites route every error branch under the sanitizers).
 export ASAN_OPTIONS="detect_leaks=0 halt_on_error=1"
 export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1"
 "$BUILD/tests/test_serialize"
 "$BUILD/tests/test_fuzz"
 "$BUILD/tests/test_metrics"
+"$BUILD/tests/test_failpoints"
+"$BUILD/tests/test_scagctl_cli"
 echo "ASAN CHECKS PASSED"

@@ -34,10 +34,13 @@ cmake -B "$BUILD" -S . \
   -DCMAKE_CXX_FLAGS="$TSAN_FLAGS" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build "$BUILD" --target test_parallel_scan test_dtw_properties \
-  test_compiled_kernel -j"$(nproc)"
+  test_compiled_kernel test_failpoints -j"$(nproc)"
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 "$BUILD/tests/test_parallel_scan"
 "$BUILD/tests/test_dtw_properties"
 "$BUILD/tests/test_compiled_kernel"
+# The failpoint harness under TSan: arming/disarming races against the
+# wait-free hit() fast path and against pool workers mid-job.
+"$BUILD/tests/test_failpoints"
 echo "TSAN CHECKS PASSED"

@@ -1,5 +1,7 @@
 #include "cache/hierarchy.h"
 
+#include "support/failpoint.h"
+
 namespace scag::cache {
 
 CacheHierarchy::CacheHierarchy(const HierarchyConfig& config)
@@ -10,6 +12,11 @@ CacheHierarchy::CacheHierarchy(const HierarchyConfig& config)
 
 HierarchyOutcome CacheHierarchy::data_access(std::uint64_t addr,
                                              AccessType type, Owner owner) {
+  // Failpoint for the simulation loop: trace capture is the stage fed by
+  // the noisiest real-world inputs, so the failure-path harness injects
+  // faults here to prove modeling errors stay isolated per target.
+  static support::fp::Site& fp_access = support::fp::site("cache.access");
+  if (fp_access.hit()) throw support::fp::FailpointError("cache.access");
   HierarchyOutcome out;
   const AccessOutcome l1 = l1d_.access(addr, type, owner);
   if (l1.hit) {

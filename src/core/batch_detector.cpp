@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "support/failpoint.h"
 #include "support/metrics.h"
 #include "support/trace.h"
 
@@ -48,21 +49,40 @@ void BatchDetector::reset_stats() const {
   early_abandoned_.store(0, std::memory_order_relaxed);
 }
 
-Detection BatchDetector::scan_one_pruned(const CstBbs& target) const {
+namespace {
+
+/// Fallback counter shared by the batch scan paths: how many targets
+/// degraded from the compiled kernels to the string kernels.
+support::Counter& fallback_counter() {
+  static support::Counter& c =
+      support::Registry::global().counter("batch.compiled_fallback");
+  return c;
+}
+
+}  // namespace
+
+Detection BatchDetector::scan_one_pruned(const CstBbs& target,
+                                         std::uint64_t deadline_ns) const {
   static support::Histogram& h_latency =
       support::Registry::global().histogram("batch.target_latency_ns");
   support::ScopedTimer timer(h_latency);
   const std::vector<AttackModel>& repo = detector_.repository();
-  const DtwConfig& dtw = detector_.dtw_config();
-  const bool compiled = detector_.use_compiled() && !repo.empty();
+  DtwConfig dtw = detector_.dtw_config();
+  dtw.deadline_ns = deadline_ns;
+  bool compiled = detector_.use_compiled() && !repo.empty();
   const CompiledRepository& crepo = detector_.compiled_repository();
   CompiledTarget ctarget;
   ElementDistanceMemo memo;
   ElementDistanceMemo::Stats memo_stats;
   if (compiled) {
-    ctarget = crepo.compile_target(target);
-    memo = ElementDistanceMemo(ctarget.unique_elements,
-                               crepo.unique_elements());
+    try {
+      ctarget = crepo.compile_target(target);
+      memo = ElementDistanceMemo(ctarget.unique_elements,
+                                 crepo.unique_elements());
+    } catch (const support::fp::FailpointError&) {
+      fallback_counter().add();
+      compiled = false;  // degrade to the bit-identical string kernels
+    }
   }
   std::vector<ModelScore> scores;
   scores.reserve(repo.size());
@@ -72,6 +92,8 @@ Detection BatchDetector::scan_one_pruned(const CstBbs& target) const {
   double best = 0.0;
   std::uint64_t exact = 0, lb = 0, ea = 0;
   for (std::size_t j = 0; j < repo.size(); ++j) {
+    if (deadline_ns != 0 && support::monotonic_ns() >= deadline_ns)
+      throw ScanTimeoutError();
     const AttackModel& model = repo[j];
     const double cutoff = std::max(best, detector_.threshold());
     const BoundedScore bs =
@@ -140,10 +162,18 @@ std::vector<Detection> BatchDetector::scan_all(
     const CompiledRepository& crepo = detector_.compiled_repository();
     std::vector<CompiledTarget> ctargets(n);
     std::vector<ElementDistanceMemo> memos(n);
+    // A target whose compilation fails degrades to the string kernels
+    // (bit-identical scores) instead of aborting the whole batch.
+    std::vector<char> use_string(n, 0);
     pool_.parallel_for(n, [&](std::size_t t) {
-      ctargets[t] = crepo.compile_target(targets[t]);
-      memos[t] = ElementDistanceMemo(ctargets[t].unique_elements,
-                                     crepo.unique_elements());
+      try {
+        ctargets[t] = crepo.compile_target(targets[t]);
+        memos[t] = ElementDistanceMemo(ctargets[t].unique_elements,
+                                       crepo.unique_elements());
+      } catch (const support::fp::FailpointError&) {
+        fallback_counter().add();
+        use_string[t] = 1;
+      }
     });
     pool_.parallel_for(
         n * m,
@@ -153,6 +183,10 @@ std::vector<Detection> BatchDetector::scan_all(
           ModelScore& s = matrix[k];
           s.model_name = repo[j].name;
           s.family = repo[j].family;
+          if (use_string[t]) {
+            s.score = similarity(targets[t], repo[j].sequence, dtw);
+            return;
+          }
           ElementDistanceMemo::Stats stats;
           s.score =
               compiled_similarity(ctargets[t], crepo, j, memos[t], dtw, &stats);
@@ -208,6 +242,133 @@ std::vector<Detection> BatchDetector::scan_programs(
 
 Detection BatchDetector::scan(const CstBbs& target) const {
   return scan_all({target}).front();
+}
+
+Detection BatchDetector::scan_one_exact(const CstBbs& target,
+                                        std::uint64_t deadline_ns) const {
+  const std::vector<AttackModel>& repo = detector_.repository();
+  DtwConfig dtw = detector_.dtw_config();
+  dtw.deadline_ns = deadline_ns;
+  bool compiled = detector_.use_compiled() && !repo.empty();
+  const CompiledRepository& crepo = detector_.compiled_repository();
+  CompiledTarget ctarget;
+  ElementDistanceMemo memo;
+  ElementDistanceMemo::Stats memo_stats;
+  if (compiled) {
+    try {
+      ctarget = crepo.compile_target(target);
+      memo = ElementDistanceMemo(ctarget.unique_elements,
+                                 crepo.unique_elements());
+    } catch (const support::fp::FailpointError&) {
+      fallback_counter().add();
+      compiled = false;
+    }
+  }
+  std::vector<ModelScore> scores;
+  scores.reserve(repo.size());
+  for (std::size_t j = 0; j < repo.size(); ++j) {
+    if (deadline_ns != 0 && support::monotonic_ns() >= deadline_ns)
+      throw ScanTimeoutError();
+    ModelScore s;
+    s.model_name = repo[j].name;
+    s.family = repo[j].family;
+    s.score = compiled
+                  ? compiled_similarity(ctarget, crepo, j, memo, dtw,
+                                        &memo_stats)
+                  : similarity(target, repo[j].sequence, dtw);
+    scores.push_back(std::move(s));
+  }
+  if (compiled) flush_memo_stats(memo_stats);
+  exact_.fetch_add(repo.size(), std::memory_order_relaxed);
+  BatchCounters::global().exact.add(repo.size());
+  return Detector::finalize(std::move(scores), detector_.threshold());
+}
+
+ScanOutcome BatchDetector::scan_outcome_one(const CstBbs& target) const {
+  static support::Counter& c_errors =
+      support::Registry::global().counter("batch.outcome_errors");
+  static support::Counter& c_timeouts =
+      support::Registry::global().counter("batch.outcome_timeouts");
+  ScanOutcome o;
+  o.stage = "scan";
+  const std::uint64_t deadline_ns =
+      config_.scan.deadline_ms == 0
+          ? 0
+          : support::monotonic_ns() +
+                static_cast<std::uint64_t>(config_.scan.deadline_ms) *
+                    1'000'000ull;
+  try {
+    if (support::fp::hit("batch.scan_target"))
+      throw support::fp::FailpointError("batch.scan_target");
+    o.detection = config_.prune ? scan_one_pruned(target, deadline_ns)
+                                : scan_one_exact(target, deadline_ns);
+  } catch (const ScanTimeoutError&) {
+    o.status = ScanStatus::kTimedOut;
+    o.error = "scan deadline of " + std::to_string(config_.scan.deadline_ms) +
+              "ms exceeded";
+    c_timeouts.add();
+  } catch (const support::fp::FailpointError& e) {
+    o.status = ScanStatus::kError;
+    o.error = e.what();
+    o.failpoint = e.name();
+    c_errors.add();
+  } catch (const std::exception& e) {
+    o.status = ScanStatus::kError;
+    o.error = e.what();
+    c_errors.add();
+  }
+  return o;
+}
+
+std::vector<ScanOutcome> BatchDetector::scan_all_outcomes(
+    const std::vector<CstBbs>& targets) const {
+  const std::size_t n = targets.size();
+  std::vector<ScanOutcome> out(n);
+  pairs_.fetch_add(
+      static_cast<std::uint64_t>(n) * detector_.repository().size(),
+      std::memory_order_relaxed);
+  BatchCounters::global().pairs.add(
+      static_cast<std::uint64_t>(n) * detector_.repository().size());
+  support::TraceScope span("batch.scan_all_outcomes");
+  // One work unit per target: errors, timeouts, and pruning cutoffs are
+  // all per-target state, so a failing slot never perturbs its neighbors.
+  pool_.parallel_for(n,
+                     [&](std::size_t t) { out[t] = scan_outcome_one(targets[t]); });
+  return out;
+}
+
+std::vector<ScanOutcome> BatchDetector::scan_programs_outcomes(
+    const std::vector<isa::Program>& targets) const {
+  const std::size_t n = targets.size();
+  const ModelBuilder& builder = detector_.builder();
+  std::vector<ScanOutcome> out(n);
+  std::vector<CstBbs> sequences(n);
+  std::vector<char> modeled(n, 0);
+  support::TraceScope span("batch.scan_programs_outcomes");
+  pool_.parallel_for(n, [&](std::size_t i) {
+    try {
+      if (support::fp::hit("batch.model_target"))
+        throw support::fp::FailpointError("batch.model_target");
+      // Same convention as scan_programs: an instruction-less program
+      // models as an empty CST-BBS and scans benign.
+      if (targets[i].size() != 0)
+        sequences[i] = builder.build(targets[i]).sequence;
+      modeled[i] = 1;
+    } catch (const support::fp::FailpointError& e) {
+      out[i].status = ScanStatus::kError;
+      out[i].stage = "model";
+      out[i].error = e.what();
+      out[i].failpoint = e.name();
+    } catch (const std::exception& e) {
+      out[i].status = ScanStatus::kError;
+      out[i].stage = "model";
+      out[i].error = e.what();
+    }
+  });
+  pool_.parallel_for(n, [&](std::size_t i) {
+    if (modeled[i]) out[i] = scan_outcome_one(sequences[i]);
+  });
+  return out;
 }
 
 }  // namespace scag::core

@@ -34,6 +34,15 @@
 
 namespace scag::core {
 
+/// Per-scan resilience limits, honored by the outcome-returning APIs.
+struct ScanConfig {
+  /// Cooperative per-target deadline in milliseconds; 0 = none. Checked
+  /// once per DTW DP row and once per repository model, so an oversized or
+  /// hostile target returns a ScanStatus::kTimedOut outcome instead of
+  /// stalling its worker lane indefinitely.
+  std::uint32_t deadline_ms = 0;
+};
+
 struct BatchConfig {
   /// Parallel lanes; 0 = all hardware threads, 1 = serial (still goes
   /// through the engine, useful for equivalence testing).
@@ -43,6 +52,28 @@ struct BatchConfig {
   /// Pairs per work chunk when pruning is off (pruning works per target
   /// row so its best-so-far cutoff stays deterministic).
   std::size_t grain = 16;
+  /// Limits applied by scan_all_outcomes / scan_programs_outcomes.
+  ScanConfig scan;
+};
+
+/// How one target of an outcome batch ended.
+enum class ScanStatus : std::uint8_t {
+  kOk,        // detection is valid
+  kError,     // this target failed; the rest of the batch is unaffected
+  kTimedOut,  // the ScanConfig::deadline_ms budget ran out mid-scan
+};
+
+/// Per-item result of the degrading batch APIs: a verdict, or an isolated
+/// error carrying the failed stage and (when fault-injected) the failpoint
+/// that caused it. One poisoned target never kills its batch.
+struct ScanOutcome {
+  ScanStatus status = ScanStatus::kOk;
+  Detection detection;    // meaningful only when ok()
+  std::string stage;      // pipeline stage that failed: "model" | "scan"
+  std::string error;      // one-line cause, empty when ok()
+  std::string failpoint;  // name of the injected fault, if one caused this
+
+  bool ok() const { return status == ScanStatus::kOk; }
 };
 
 /// Cumulative pruning counters across all scans of one BatchDetector.
@@ -84,11 +115,29 @@ class BatchDetector {
   /// Single-target convenience; equivalent to Detector::scan.
   Detection scan(const CstBbs& target) const;
 
+  /// Degrading variant of scan_all: every target yields a ScanOutcome, a
+  /// per-target failure (hostile input, injected fault, deadline) is
+  /// isolated to its own slot, and the batch always returns. Verdicts are
+  /// produced by the same kernels as scan_all, so successful outcomes are
+  /// bit-identical to the abort-on-error APIs.
+  std::vector<ScanOutcome> scan_all_outcomes(
+      const std::vector<CstBbs>& targets) const;
+
+  /// Full degrading pipeline: models then scans each program, reporting
+  /// modeling failures with stage "model" and comparison failures with
+  /// stage "scan", per item.
+  std::vector<ScanOutcome> scan_programs_outcomes(
+      const std::vector<isa::Program>& targets) const;
+
   BatchStats stats() const;
   void reset_stats() const;
 
  private:
-  Detection scan_one_pruned(const CstBbs& target) const;
+  Detection scan_one_pruned(const CstBbs& target,
+                            std::uint64_t deadline_ns = 0) const;
+  Detection scan_one_exact(const CstBbs& target,
+                           std::uint64_t deadline_ns) const;
+  ScanOutcome scan_outcome_one(const CstBbs& target) const;
 
   const Detector& detector_;
   BatchConfig config_;

@@ -7,6 +7,7 @@
 #include "core/cst.h"
 #include "core/dtw_internal.h"
 #include "isa/normalize.h"
+#include "support/failpoint.h"
 #include "support/metrics.h"
 
 namespace scag::core {
@@ -267,6 +268,10 @@ void CompiledRepository::add(const CstBbs& sequence) {
 
 CompiledTarget CompiledRepository::compile_target(
     const CstBbs& sequence) const {
+  // Failpoint: scan paths catch this and fall back to the string kernels
+  // (bit-identical scores), so a broken fast path degrades, never aborts.
+  if (support::fp::hit("compiled.compile_target"))
+    throw support::fp::FailpointError("compiled.compile_target");
   CompileTimer timer;
   CompiledTarget t;
   const bool weighted = dc_.alphabet == IsAlphabet::kSemanticWeighted;

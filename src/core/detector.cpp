@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "support/failpoint.h"
 #include "support/metrics.h"
 #include "support/trace.h"
 
@@ -35,13 +36,30 @@ Detection Detector::scan(const CstBbs& target_sequence) const {
       support::Registry::global().histogram("scan.latency_ns");
   support::TraceScope span("scan.dtw");
   support::ScopedTimer timer(h_latency);
+  if (support::fp::hit("detector.scan"))
+    throw support::fp::FailpointError("detector.scan");
   c_requests.add();
   c_pairs.add(repository_.size());
 
+  // Target compilation is the one fast-path stage that can fail on its
+  // own (failpoint-injected today, defensive tomorrow); the string kernels
+  // are bit-identical, so degrade to them rather than failing the scan.
+  bool compiled_ok = use_compiled_ && !repository_.empty();
+  CompiledTarget target;
+  if (compiled_ok) {
+    try {
+      target = compiled_.compile_target(target_sequence);
+    } catch (const support::fp::FailpointError&) {
+      static support::Counter& fallbacks =
+          support::Registry::global().counter("scan.compiled_fallback");
+      fallbacks.add();
+      compiled_ok = false;
+    }
+  }
+
   std::vector<ModelScore> scores;
   scores.reserve(repository_.size());
-  if (use_compiled_ && !repository_.empty()) {
-    const CompiledTarget target = compiled_.compile_target(target_sequence);
+  if (compiled_ok) {
     ElementDistanceMemo memo(target.unique_elements,
                              compiled_.unique_elements());
     ElementDistanceMemo::Stats stats;

@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <functional>
 #include <limits>
+#include <stdexcept>
 #include <vector>
 
 #include "core/distance.h"
@@ -57,6 +58,22 @@ struct DtwConfig {
   /// a 2-element program warp cheaply onto an 18-element attack model):
   /// D *= 1 + length_penalty * (1 - min(n,m)/max(n,m)). 0 disables.
   double length_penalty = 0.0;
+  /// Cooperative scan deadline: absolute support::monotonic_ns() time at
+  /// which the dynamic program throws ScanTimeoutError instead of running
+  /// on (checked once per DP row). 0 disables; results are then untouched.
+  /// Callers normally set this through ScanConfig::deadline_ms
+  /// (core/batch_detector.h), which converts the per-target budget into an
+  /// absolute time and reports the throw as a timed_out ScanOutcome.
+  std::uint64_t deadline_ns = 0;
+};
+
+/// Thrown by the DTW dynamic program when DtwConfig::deadline_ns passes
+/// mid-scan. BatchDetector's outcome API converts it into a
+/// ScanStatus::kTimedOut per-item outcome; it is never thrown when no
+/// deadline is armed.
+class ScanTimeoutError : public std::runtime_error {
+ public:
+  ScanTimeoutError() : std::runtime_error("scan deadline exceeded") {}
 };
 
 /// The calibrated configuration used by the benchmark harness: semantic
@@ -126,6 +143,10 @@ DtwResult dtw(std::size_t n, std::size_t m, CostFn&& cost,
   prev[0] = 0.0;
 
   for (std::size_t i = 1; i <= n; ++i) {
+    // Cooperative deadline: one predictable branch per row when disarmed.
+    if (config.deadline_ns != 0 &&
+        support::monotonic_ns() >= config.deadline_ns)
+      throw ScanTimeoutError();
     std::fill(cur.begin(), cur.end(), kInf);
     const std::size_t j_lo = i > w ? i - w : 1;
     const std::size_t j_hi = std::min(m, i + w);

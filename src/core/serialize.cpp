@@ -2,12 +2,15 @@
 
 #include <bit>
 #include <cctype>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
+#include <thread>
 
+#include "support/failpoint.h"
 #include "support/metrics.h"
 #include "support/strings.h"
 
@@ -122,26 +125,34 @@ void save_models_to_file(const std::string& path,
   const std::string tmp = path + ".tmp";
   try {
     std::ofstream out(tmp, std::ios::trunc);
-    if (!out) throw std::runtime_error("cannot open for writing: " + tmp);
+    if (!out || support::fp::hit("serialize.save.open"))
+      throw IoError("cannot open for writing: " + tmp);
     save_models(out, models);
     out.flush();
-    if (!out.good())
-      throw std::runtime_error("write failed (disk full or I/O error): " +
-                               tmp);
+    if (!out.good() || support::fp::hit("serialize.save.write"))
+      throw IoError("write failed (disk full or I/O error): " + tmp);
     out.close();
-    if (out.fail()) throw std::runtime_error("close failed: " + tmp);
+    if (out.fail()) throw IoError("close failed: " + tmp);
   } catch (...) {
     std::error_code ignored;
     std::filesystem::remove(tmp, ignored);
     throw;
   }
+  // The injected rename fault is evaluated *before* the real rename so a
+  // firing failpoint leaves the destination untouched, like a real failure.
   std::error_code ec;
+  if (support::fp::hit("serialize.save.rename")) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    throw IoError("cannot rename " + tmp + " to " + path +
+                  ": injected fault (failpoint serialize.save.rename)");
+  }
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
     std::error_code ignored;
     std::filesystem::remove(tmp, ignored);
-    throw std::runtime_error("cannot rename " + tmp + " to " + path + ": " +
-                             ec.message());
+    throw IoError("cannot rename " + tmp + " to " + path + ": " +
+                  ec.message());
   }
 }
 
@@ -154,8 +165,16 @@ std::vector<AttackModel> load_models(std::istream& in) {
   auto next_line = [&in, &line, &lineno]() -> bool {
     while (std::getline(in, line)) {
       ++lineno;
+      if (support::fp::hit("serialize.load.read"))
+        throw IoError("read failed at line " + std::to_string(lineno) +
+                      ": injected fault (failpoint serialize.load.read)");
       if (!trim(line).empty()) return true;
     }
+    // Distinguish EOF from a mid-stream I/O failure: bad() means the
+    // underlying device errored, which is transient-class, not a parse
+    // problem with the content.
+    if (in.bad())
+      throw IoError("read failed after line " + std::to_string(lineno));
     return false;
   };
 
@@ -230,8 +249,31 @@ std::vector<AttackModel> load_models_from_string(const std::string& text) {
 
 std::vector<AttackModel> load_models_from_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  if (!in || support::fp::hit("serialize.load.open"))
+    throw IoError("cannot open for reading: " + path);
   return load_models(in);
+}
+
+std::vector<AttackModel> load_models_from_file(const std::string& path,
+                                               const RetryPolicy& policy) {
+  static support::Counter& retries =
+      support::Registry::global().counter("serialize.load_retries");
+  const std::uint32_t attempts = std::max<std::uint32_t>(1, policy.max_attempts);
+  double backoff_ms = policy.initial_backoff_ms;
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    try {
+      return load_models_from_file(path);
+    } catch (const IoError& e) {
+      if (attempt >= attempts)
+        throw IoError(std::string(e.what()) + " (after " +
+                      std::to_string(attempts) + " attempts)");
+      retries.add();
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          backoff_ms));
+      backoff_ms *= policy.multiplier;
+    }
+    // SerializeError deliberately escapes: malformed content is terminal.
+  }
 }
 
 }  // namespace scag::core

@@ -26,6 +26,7 @@ namespace scag::core {
 
 /// Thrown on malformed repository files (with 1-based line context when
 /// parsing) and on unserializable models at save time (line() == 0).
+/// Terminal: the file content itself is wrong, so retrying never helps.
 class SerializeError : public std::runtime_error {
  public:
   SerializeError(std::size_t line, const std::string& message)
@@ -37,6 +38,15 @@ class SerializeError : public std::runtime_error {
 
  private:
   std::size_t line_;
+};
+
+/// Thrown on I/O-level failures (open/read/write/rename), real or injected
+/// by a serialize.* failpoint. Transient-class: the retrying loader
+/// (load_models_from_file with a RetryPolicy) retries these and only
+/// these; parse errors stay SerializeError and are terminal.
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& message) : std::runtime_error(message) {}
 };
 
 /// Hard cap on the per-model element count accepted by load_models;
@@ -61,9 +71,29 @@ void save_models_to_file(const std::string& path,
                          const std::vector<AttackModel>& models);
 
 /// Parses a repository. Throws SerializeError on malformed input,
-/// duplicate model names, or element counts above kMaxModelElements.
+/// duplicate model names, or element counts above kMaxModelElements, and
+/// IoError when the stream itself fails mid-read.
 std::vector<AttackModel> load_models(std::istream& in);
 std::vector<AttackModel> load_models_from_string(const std::string& text);
 std::vector<AttackModel> load_models_from_file(const std::string& path);
+
+/// Bounded retry-with-backoff for transient repository-load faults.
+/// Deterministic: fixed attempt count, fixed backoff ladder
+/// (initial_backoff_ms * multiplier^attempt), no jitter.
+struct RetryPolicy {
+  std::uint32_t max_attempts = 3;      // total tries, including the first
+  std::uint32_t initial_backoff_ms = 2;
+  double multiplier = 2.0;
+};
+
+/// Like load_models_from_file, but retries IoError-class failures (open or
+/// stream read, including injected serialize.load.* faults) up to
+/// policy.max_attempts times with backoff. SerializeError is rethrown
+/// immediately — a malformed file never improves with retries. After the
+/// final attempt the IoError is rethrown annotated with the attempt count,
+/// so callers get one clear terminal error. Retries are counted in the
+/// metrics counter "serialize.load_retries".
+std::vector<AttackModel> load_models_from_file(const std::string& path,
+                                               const RetryPolicy& policy);
 
 }  // namespace scag::core

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "support/failpoint.h"
 #include "support/metrics.h"
 #include "support/trace.h"
 
@@ -349,7 +350,12 @@ RunResult Interpreter::run(const Program& program) {
   std::uint64_t retired = 0;
   profile_.exit = trace::ExitReason::kInstrLimit;
 
+  // Cached failpoint for the hottest loop in the codebase: unarmed cost is
+  // one relaxed add + one relaxed load per retired instruction.
+  static support::fp::Site& fp_step = support::fp::site("cpu.step");
+
   while (retired < options_.max_retired) {
+    if (fp_step.hit()) throw support::fp::FailpointError("cpu.step");
     const std::size_t idx = program.index_of(pc);
     if (idx == Program::npos) {
       profile_.exit = trace::ExitReason::kBadInstruction;

@@ -1,0 +1,288 @@
+#include "support/failpoint.h"
+
+#ifndef SCAG_FAILPOINTS_OFF
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+namespace scag::support::fp {
+
+namespace {
+
+/// The closed registry of failpoint names. Adding a failpoint to the code
+/// means adding its name here (hit() on an undeclared name throws), which
+/// in turn makes tests/test_failpoints.cpp sweep it: the harness arms
+/// every entry and fails if one never fires. Names prefixed "scagctl." sit
+/// in the CLI binary and are swept by the scagctl CLI tests instead (the
+/// library harness cannot reach them); see docs/testing-guide.md.
+constexpr std::string_view kSites[] = {
+    "cache.access",              // cache simulation: per data access
+    "cpu.step",                  // interpreter: per retired instruction
+    "serialize.save.open",       // repository save: opening the tmp file
+    "serialize.save.write",      // repository save: stream write/flush
+    "serialize.save.rename",     // repository save: tmp -> final rename
+    "serialize.load.open",       // repository load: opening the file
+    "serialize.load.read",       // repository load: per line read
+    "pool.enqueue",              // thread pool: publishing a parallel_for
+    "pool.worker",               // thread pool: a worker claiming a job
+    "compiled.compile_target",   // compiled kernel: target compilation
+    "detector.scan",             // serial Detector: per scan request
+    "batch.model_target",        // batch engine: per-target modeling
+    "batch.scan_target",         // batch engine: per-target comparison
+    "scagctl.load_target",       // scagctl: reading a target .s file
+};
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+struct SiteRegistry {
+  std::vector<std::unique_ptr<Site>> sites;  // declaration order
+  std::unordered_map<std::string_view, Site*> by_name;
+  std::mutex env_mu;
+  std::string armed_env;  // last $SCAG_FAILPOINTS value applied
+
+  SiteRegistry() {
+    sites.reserve(std::size(kSites));
+    for (std::string_view name : kSites) {
+      sites.push_back(std::make_unique<Site>(std::string(name)));
+      by_name.emplace(sites.back()->name(), sites.back().get());
+    }
+  }
+
+  static SiteRegistry& instance() {
+    static SiteRegistry r;
+    return r;
+  }
+
+  Site& resolve(std::string_view name) {
+    const auto it = by_name.find(name);
+    if (it == by_name.end())
+      throw std::logic_error("undeclared failpoint '" + std::string(name) +
+                             "' (declare it in support/failpoint.cpp kSites)");
+    return *it->second;
+  }
+};
+
+/// First-hit hook: apply $SCAG_FAILPOINTS exactly once per value, so any
+/// binary honors the variable without an explicit arm_from_env() call.
+std::once_flag g_env_once;
+
+void apply_env_once() { std::call_once(g_env_once, [] { arm_from_env(); }); }
+
+std::uint64_t parse_u64(std::string_view s, const char* what) {
+  if (s.empty()) throw std::invalid_argument(std::string(what) + " is empty");
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9')
+      throw std::invalid_argument(std::string(what) + " is not a number: '" +
+                                  std::string(s) + "'");
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+/// Parses one `name=kind[:millis][@every][%prob:seed][#max]` entry.
+void arm_entry(std::string_view entry) {
+  const std::size_t eq = entry.find('=');
+  if (eq == std::string_view::npos || eq == 0)
+    throw std::invalid_argument("failpoint entry needs 'name=action': '" +
+                                std::string(entry) + "'");
+  const std::string_view name = entry.substr(0, eq);
+  std::string_view action = entry.substr(eq + 1);
+
+  Spec spec;
+  // Peel trailer gates right-to-left so the kind token ends up alone.
+  if (const std::size_t hash = action.rfind('#');
+      hash != std::string_view::npos) {
+    spec.max_fires = parse_u64(action.substr(hash + 1), "max_fires");
+    action = action.substr(0, hash);
+  }
+  if (const std::size_t pct = action.rfind('%');
+      pct != std::string_view::npos) {
+    std::string_view prob = action.substr(pct + 1);
+    const std::size_t colon = prob.find(':');
+    if (colon == std::string_view::npos)
+      throw std::invalid_argument(
+          "probability gate needs '%prob:seed' (deterministic replay "
+          "requires an explicit seed): '" +
+          std::string(entry) + "'");
+    spec.seed = parse_u64(prob.substr(colon + 1), "seed");
+    const std::string p(prob.substr(0, colon));
+    char* end = nullptr;
+    spec.probability = std::strtod(p.c_str(), &end);
+    if (end != p.c_str() + p.size() || spec.probability < 0.0 ||
+        spec.probability > 1.0)
+      throw std::invalid_argument("bad probability '" + p + "'");
+    action = action.substr(0, pct);
+  }
+  if (const std::size_t at = action.rfind('@'); at != std::string_view::npos) {
+    spec.every = static_cast<std::uint32_t>(
+        parse_u64(action.substr(at + 1), "every"));
+    if (spec.every == 0) throw std::invalid_argument("every must be >= 1");
+    action = action.substr(0, at);
+  }
+  std::string_view kind = action;
+  if (const std::size_t colon = action.find(':');
+      colon != std::string_view::npos) {
+    kind = action.substr(0, colon);
+    spec.delay_ms = static_cast<std::uint32_t>(
+        parse_u64(action.substr(colon + 1), "delay millis"));
+  }
+  if (kind == "error") spec.kind = Kind::kError;
+  else if (kind == "throw") spec.kind = Kind::kThrow;
+  else if (kind == "delay") spec.kind = Kind::kDelay;
+  else
+    throw std::invalid_argument("unknown failpoint action '" +
+                                std::string(kind) +
+                                "' (expected error|throw|delay)");
+  arm(name, spec);
+}
+
+}  // namespace
+
+Site::Site(std::string name)
+    : name_(std::move(name)),
+      fired_counter_(&Registry::global().counter("fp.fired." + name_)) {}
+
+bool Site::fire() {
+  const std::uint64_t nth =
+      armed_evals_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::uint32_t every = every_.load(std::memory_order_relaxed);
+  if (every > 1 && nth % every != 0) return false;
+  const double p = probability_.load(std::memory_order_relaxed);
+  if (p < 1.0) {
+    const std::uint64_t seed = seed_.load(std::memory_order_relaxed);
+    // Hash seed and counter independently before combining: xoring raw
+    // values would make adjacent seeds mere permutations of each other's
+    // streams (identical fire totals over any window).
+    const double u = static_cast<double>(
+                         splitmix64(splitmix64(seed) ^ splitmix64(nth)) >> 11) *
+                     0x1.0p-53;
+    if (u >= p) return false;
+  }
+  const std::uint64_t cap = max_fires_.load(std::memory_order_relaxed);
+  if (cap != 0) {
+    // Claim a slot in the fire budget; losers pass the site untouched.
+    if (armed_fires_.fetch_add(1, std::memory_order_relaxed) >= cap) return false;
+  }
+  fired_.fetch_add(1, std::memory_order_relaxed);
+  fired_counter_->add();
+  switch (static_cast<Kind>(kind_.load(std::memory_order_relaxed))) {
+    case Kind::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(delay_ms_.load(std::memory_order_relaxed)));
+      return false;
+    case Kind::kThrow: throw FailpointError(name_);
+    case Kind::kError: return true;
+  }
+  return true;
+}
+
+bool hit(std::string_view name) {
+  apply_env_once();
+  return SiteRegistry::instance().resolve(name).hit();
+}
+
+Site& site(std::string_view name) {
+  apply_env_once();
+  return SiteRegistry::instance().resolve(name);
+}
+
+void arm(std::string_view name, const Spec& spec) {
+  Site& s = SiteRegistry::instance().resolve(name);
+  // Publish the spec fields before the release store of armed_: a hit that
+  // observes armed_ == true also observes the fresh spec.
+  s.armed_.store(false, std::memory_order_release);
+  s.kind_.store(static_cast<std::uint8_t>(spec.kind),
+                std::memory_order_relaxed);
+  s.delay_ms_.store(spec.delay_ms, std::memory_order_relaxed);
+  s.every_.store(spec.every == 0 ? 1 : spec.every, std::memory_order_relaxed);
+  s.probability_.store(spec.probability, std::memory_order_relaxed);
+  s.seed_.store(spec.seed, std::memory_order_relaxed);
+  s.max_fires_.store(spec.max_fires, std::memory_order_relaxed);
+  s.armed_evals_.store(0, std::memory_order_relaxed);
+  s.armed_fires_.store(0, std::memory_order_relaxed);
+  s.armed_.store(true, std::memory_order_release);
+}
+
+void disarm(std::string_view name) {
+  SiteRegistry::instance().resolve(name).armed_.store(
+      false, std::memory_order_release);
+}
+
+void disarm_all() {
+  for (const auto& s : SiteRegistry::instance().sites)
+    s->armed_.store(false, std::memory_order_release);
+}
+
+std::size_t arm_from_string(std::string_view specs) {
+  std::size_t armed = 0;
+  std::size_t pos = 0;
+  while (pos <= specs.size()) {
+    std::size_t sep = specs.find(';', pos);
+    if (sep == std::string_view::npos) sep = specs.size();
+    std::string_view entry = specs.substr(pos, sep - pos);
+    // Tolerate shell-style spacing around entries and separators.
+    while (!entry.empty() && (entry.front() == ' ' || entry.front() == '\t'))
+      entry.remove_prefix(1);
+    while (!entry.empty() && (entry.back() == ' ' || entry.back() == '\t'))
+      entry.remove_suffix(1);
+    if (!entry.empty()) {
+      arm_entry(entry);
+      ++armed;
+    }
+    pos = sep + 1;
+  }
+  return armed;
+}
+
+void arm_from_env() {
+  const char* env = std::getenv("SCAG_FAILPOINTS");
+  if (env == nullptr || env[0] == '\0') return;
+  SiteRegistry& r = SiteRegistry::instance();
+  std::lock_guard<std::mutex> lock(r.env_mu);
+  if (r.armed_env == env) return;  // idempotent per value
+  arm_from_string(env);
+  r.armed_env = env;
+}
+
+void reset_counters() {
+  for (const auto& s : SiteRegistry::instance().sites) {
+    s->evaluations_.store(0, std::memory_order_relaxed);
+    s->fired_.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<std::string> registered() {
+  std::vector<std::string> names;
+  names.reserve(std::size(kSites));
+  for (std::string_view name : kSites) names.emplace_back(name);
+  return names;
+}
+
+std::vector<SiteSnapshot> snapshot() {
+  std::vector<SiteSnapshot> out;
+  const SiteRegistry& r = SiteRegistry::instance();
+  out.reserve(r.sites.size());
+  for (const auto& s : r.sites) {
+    SiteSnapshot snap;
+    snap.name = s->name();
+    snap.evaluations = s->evaluations_.load(std::memory_order_relaxed);
+    snap.fired = s->fired_.load(std::memory_order_relaxed);
+    snap.armed = s->armed_.load(std::memory_order_relaxed);
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+}  // namespace scag::support::fp
+
+#endif  // SCAG_FAILPOINTS_OFF

@@ -1,0 +1,214 @@
+// Deterministic fault injection for the scan pipeline: a process-wide
+// registry of named failpoints compiled into every stage that touches
+// external input or shared state (serialization, the thread pool, the
+// detector scan paths, the cache/CPU simulation loops).
+//
+// A failpoint is a named site in the code:
+//
+//   if (support::fp::hit("serialize.load.read")) throw IoError(...);
+//
+// Unarmed, hit() costs one relaxed atomic increment and one relaxed load.
+// Armed (via code, the SCAG_FAILPOINTS environment variable, or
+// `scagctl --failpoints=...`), it can
+//   - return true, telling the call site to inject its natural error
+//     ("error" mode — the site decides what failing *means*: an IoError,
+//     a degraded serial fallback, a skipped worker),
+//   - throw FailpointError directly ("throw" mode),
+//   - sleep for a configured number of milliseconds ("delay" mode, used to
+//     exercise the cooperative scan deadline),
+// and each action can be gated to fire only on every Nth evaluation, with
+// a deterministic seeded probability, or at most a bounded number of times
+// — all deterministic, so failure-path tests replay exactly.
+//
+// Spec string grammar (entries joined with ';'):
+//
+//   name=kind[:millis][@every][%prob:seed][#max_fires]
+//
+//   serialize.load.read=throw          throw on every evaluation
+//   batch.scan_target=delay:50         sleep 50ms on every evaluation
+//   cpu.step=error@1000                inject an error every 1000th step
+//   cache.access=throw%0.01:42         ~1% of evaluations, seed 42
+//   serialize.load.open=error#1        fail once, then pass (retry tests)
+//
+// The registry is a closed set: every failpoint name is declared in
+// failpoint.cpp (kSites). hit() on an undeclared name aborts with
+// std::logic_error, so a site cannot silently escape the failure-path
+// harness (tests/test_failpoints.cpp arms every declared site in turn and
+// asserts each one actually fired). Fired counts are also exported as
+// support/metrics counters "fp.fired.<name>".
+//
+// Compiling with -DSCAG_FAILPOINTS_OFF (CMake option SCAG_FAILPOINTS_OFF)
+// replaces everything with inline no-ops; call sites compile unchanged and
+// behavior is bit-identical to never arming anything.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/metrics.h"
+
+namespace scag::support::fp {
+
+/// Thrown by "throw"-mode failpoints (and by call sites that translate
+/// "error" mode into an exception). The failpoint name is embedded so
+/// per-item scan errors can report their cause.
+class FailpointError : public std::runtime_error {
+ public:
+  explicit FailpointError(std::string_view name)
+      : std::runtime_error("failpoint '" + std::string(name) + "' fired"),
+        name_(name) {}
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+enum class Kind : std::uint8_t {
+  kError,  // hit() returns true; the call site injects its natural failure
+  kThrow,  // hit() throws FailpointError
+  kDelay,  // hit() sleeps delay_ms, then returns false
+};
+
+/// What an armed failpoint does and when it triggers. All trigger gates
+/// compose (every-Nth AND seeded-probability AND max-fires budget).
+struct Spec {
+  Kind kind = Kind::kError;
+  std::uint32_t delay_ms = 0;   // kDelay: how long to sleep
+  std::uint32_t every = 1;      // fire on every Nth evaluation (1 = all)
+  double probability = 1.0;     // seeded-deterministic firing probability
+  std::uint64_t seed = 0;       // stream seed for `probability`
+  std::uint64_t max_fires = 0;  // stop firing after this many (0 = no cap)
+};
+
+/// Counters of one registered failpoint, for harness assertions.
+struct SiteSnapshot {
+  std::string name;
+  std::uint64_t evaluations = 0;  // times control passed the site
+  std::uint64_t fired = 0;        // times an armed action triggered
+  bool armed = false;
+};
+
+#ifdef SCAG_FAILPOINTS_OFF
+
+// ---------------------------------------------------------------------------
+// No-op mode: behavior is bit-identical to an unarmed build; arming is
+// accepted and ignored so tools keep working.
+
+inline constexpr bool compiled_in() { return false; }
+
+class Site {
+ public:
+  bool hit() { return false; }
+};
+
+inline bool hit(std::string_view) { return false; }
+inline Site& site(std::string_view) {
+  static Site s;
+  return s;
+}
+inline void arm(std::string_view, const Spec&) {}
+inline void disarm(std::string_view) {}
+inline void disarm_all() {}
+inline std::size_t arm_from_string(std::string_view) { return 0; }
+inline void arm_from_env() {}
+inline void reset_counters() {}
+inline std::vector<std::string> registered() { return {}; }
+inline std::vector<SiteSnapshot> snapshot() { return {}; }
+
+#else  // SCAG_FAILPOINTS_OFF not defined: the real implementation.
+
+inline constexpr bool compiled_in() { return true; }
+
+/// One registered failpoint. Sites live for the process lifetime; hot call
+/// sites cache the reference once:
+///   static support::fp::Site& s = support::fp::site("cpu.step");
+///   if (s.hit()) ...
+/// hit() is wait-free while unarmed: one relaxed add + one load. Arming
+/// publishes the spec fields (each an atomic) before the release store of
+/// armed_, so concurrent hits see a consistent-enough spec without locks.
+class Site {
+ public:
+  explicit Site(std::string name);
+  Site(const Site&) = delete;
+  Site& operator=(const Site&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  bool hit() {
+    evaluations_.fetch_add(1, std::memory_order_relaxed);
+    if (!armed_.load(std::memory_order_acquire)) return false;
+    return fire();
+  }
+
+ private:
+  friend void arm(std::string_view, const Spec&);
+  friend void disarm(std::string_view);
+  friend void disarm_all();
+  friend void reset_counters();
+  friend std::vector<SiteSnapshot> snapshot();
+
+  /// Slow path: trigger gates + the armed action. Throws in kThrow mode.
+  bool fire();
+
+  const std::string name_;
+  std::atomic<std::uint64_t> evaluations_{0};
+  std::atomic<std::uint64_t> fired_{0};
+  std::atomic<bool> armed_{false};
+  // The armed spec, field-by-field atomic (see class comment).
+  std::atomic<std::uint8_t> kind_{0};
+  std::atomic<std::uint32_t> delay_ms_{0};
+  std::atomic<std::uint32_t> every_{1};
+  std::atomic<double> probability_{1.0};
+  std::atomic<std::uint64_t> seed_{0};
+  std::atomic<std::uint64_t> max_fires_{0};
+  // Trigger-gate state, reset on each arm().
+  std::atomic<std::uint64_t> armed_evals_{0};
+  std::atomic<std::uint64_t> armed_fires_{0};
+  /// Mirror of fired_ in the metrics registry ("fp.fired.<name>").
+  Counter* fired_counter_;
+};
+
+/// Evaluates the failpoint `name`. Returns true when the call site should
+/// inject its natural error; throws FailpointError in "throw" mode; sleeps
+/// in "delay" mode. Throws std::logic_error for names not declared in the
+/// registry (failpoint.cpp kSites).
+bool hit(std::string_view name);
+
+/// Resolves a declared failpoint for cached use on hot paths. Throws
+/// std::logic_error for undeclared names.
+Site& site(std::string_view name);
+
+/// Arms / disarms programmatically. Arming replaces any previous spec and
+/// resets the armed-evaluation and fire-budget gates (not the lifetime
+/// counters). Unknown names throw std::logic_error.
+void arm(std::string_view name, const Spec& spec);
+void disarm(std::string_view name);
+void disarm_all();
+
+/// Parses and arms a ';'-joined spec string (grammar above). Returns the
+/// number of entries armed; throws std::invalid_argument on syntax errors
+/// and std::logic_error on unknown failpoint names.
+std::size_t arm_from_string(std::string_view specs);
+
+/// Arms from $SCAG_FAILPOINTS if set. Called once automatically before the
+/// first hit, so exporting the variable affects any binary without code
+/// changes; calling it explicitly earlier is allowed and idempotent unless
+/// the variable changed.
+void arm_from_env();
+
+/// Zeroes every site's evaluation/fired counters (armed state unchanged).
+void reset_counters();
+
+/// All declared failpoint names, in declaration order.
+std::vector<std::string> registered();
+
+/// Counter snapshot of every declared site.
+std::vector<SiteSnapshot> snapshot();
+
+#endif  // SCAG_FAILPOINTS_OFF
+
+}  // namespace scag::support::fp

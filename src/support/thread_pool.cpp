@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "support/failpoint.h"
+#include "support/metrics.h"
+
 namespace scag::support {
 
 std::size_t ThreadPool::hardware_threads() {
@@ -57,7 +60,17 @@ void ThreadPool::worker_loop() {
       job = job_;
       job->lanes_active.fetch_add(1);
     }
-    drain(*job);
+    // Failpoint: a worker that fails to claim the job sits this one out
+    // (throw mode included — nothing may escape a worker thread). The
+    // remaining lanes (at minimum the calling thread) still drain every
+    // index, so the job completes — degraded throughput, same results.
+    bool participate;
+    try {
+      participate = !fp::hit("pool.worker");
+    } catch (const fp::FailpointError&) {
+      participate = false;
+    }
+    if (participate) drain(*job);
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (job->lanes_active.fetch_sub(1) == 1) done_.notify_all();
@@ -75,6 +88,24 @@ void ThreadPool::parallel_for(std::size_t n,
   job.n = n;
   job.grain = grain;
   job.fn = &fn;
+
+  // Failpoint: a failed publish degrades to a serial loop on the calling
+  // thread instead of failing the batch — the workers are simply never
+  // woken. Counted in "pool.degraded_serial".
+  bool publish;
+  try {
+    publish = !fp::hit("pool.enqueue");
+  } catch (const fp::FailpointError&) {
+    publish = false;
+  }
+  if (!publish) {
+    static Counter& degraded =
+        Registry::global().counter("pool.degraded_serial");
+    degraded.add();
+    drain(job);
+    if (job.error) std::rethrow_exception(job.error);
+    return;
+  }
 
   {
     std::lock_guard<std::mutex> lock(mu_);

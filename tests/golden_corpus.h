@@ -1,0 +1,90 @@
+// The golden end-to-end regression corpus, shared by the fixture
+// generator (tools/make_golden.cpp) and the drift test
+// (tests/test_golden.cpp). Both sides must build the exact same
+// repository and targets, so the definition lives here once.
+//
+// The corpus is deliberately tiny but end-to-end: a repository of one PoC
+// per attack family, and ten scan targets spanning enrolled attacks,
+// unseen-variant attacks, an unseen *family*, and seeded benign programs.
+// Verdicts and best scores over this corpus are stable across platforms
+// (every float is compared as its IEEE-754 bit pattern), so any drift in
+// the modeling pipeline, the DTW kernels, or the serializer shows up as a
+// one-line diff here before it shows up in the paper's tables.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attacks/registry.h"
+#include "benign/registry.h"
+#include "core/detector.h"
+#include "support/rng.h"
+
+namespace scag::golden {
+
+inline constexpr const char* kExpectedHeader = "scaguard-golden v1";
+inline constexpr std::uint64_t kBenignSeed = 7;
+
+/// Exact round-trippable text form of a double (IEEE-754 bits in hex).
+inline std::string score_bits(double v) {
+  static const char* hex = "0123456789abcdef";
+  std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i, bits >>= 4) out[i] = hex[bits & 0xf];
+  return out;
+}
+
+inline double bits_score(const std::string& s) {
+  std::uint64_t bits = 0;
+  for (char c : s) {
+    bits <<= 4;
+    if (c >= '0' && c <= '9') bits |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') bits |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else return -1.0;  // malformed; callers compare bit strings anyway
+  }
+  return std::bit_cast<double>(bits);
+}
+
+/// The canonical detector: one representative PoC per attack family,
+/// paper-calibrated DTW config and threshold.
+inline core::Detector make_detector() {
+  core::Detector detector(core::ModelConfig{}, core::calibrated_dtw_config(),
+                          0.45);
+  for (const char* name :
+       {"FR-IAIK", "PP-IAIK", "Spectre-FR-Ideal", "Spectre-PP-Trippel"}) {
+    const attacks::PocSpec& spec = attacks::poc_by_name(name);
+    detector.enroll(spec.build(attacks::PocConfig{}), spec.family);
+  }
+  return detector;
+}
+
+struct GoldenTarget {
+  std::string name;
+  isa::Program program;
+};
+
+/// The ten scan targets: four enrolled PoCs, three unseen attack
+/// variants, the unseen Evict+Time family, and two seeded benign
+/// programs (first two registry templates, Rng stream from kBenignSeed).
+inline std::vector<GoldenTarget> make_targets() {
+  std::vector<GoldenTarget> targets;
+  for (const char* name :
+       {"FR-IAIK", "PP-IAIK", "Spectre-FR-Ideal", "Spectre-PP-Trippel",
+        "FR-Mastik", "PP-Jzhang", "FF-IAIK"}) {
+    const attacks::PocSpec& spec = attacks::poc_by_name(name);
+    targets.push_back({spec.name, spec.build(attacks::PocConfig{})});
+  }
+  targets.push_back({"Evict-Time", attacks::evict_time()});
+  Rng rng(kBenignSeed);
+  const std::vector<benign::BenignSpec>& benign =
+      benign::all_benign_templates();
+  for (std::size_t i = 0; i < 2 && i < benign.size(); ++i) {
+    Rng gen = rng.split();
+    targets.push_back({"Benign/" + benign[i].name, benign[i].build(gen)});
+  }
+  return targets;
+}
+
+}  // namespace scag::golden

@@ -1,0 +1,37 @@
+// Deterministic seed handling for randomized tests (see
+// docs/testing-guide.md "Seeds and replay").
+//
+// Every randomized test derives its generator seed through test_seed():
+//   const std::uint64_t seed = scag::testutil::test_seed(2026);
+//   SCOPED_TRACE(scag::testutil::seed_note(seed));
+//   Rng rng(seed);
+// On failure, gtest prints the SCOPED_TRACE note, which includes the exact
+// SCAG_TEST_SEED=<n> incantation that replays the run byte-identically.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace scag::testutil {
+
+/// The seed a randomized test should use: $SCAG_TEST_SEED when set (and
+/// parseable), otherwise the test's fixed default. Keeping the default
+/// fixed makes CI deterministic; the env override exists to replay a seed
+/// printed by a failing run or to explore new ones locally.
+inline std::uint64_t test_seed(std::uint64_t default_seed) {
+  if (const char* env = std::getenv("SCAG_TEST_SEED")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') return static_cast<std::uint64_t>(v);
+  }
+  return default_seed;
+}
+
+/// One-line replay instruction for SCOPED_TRACE / failure messages.
+inline std::string seed_note(std::uint64_t seed) {
+  return "seed=" + std::to_string(seed) +
+         "; replay with SCAG_TEST_SEED=" + std::to_string(seed);
+}
+
+}  // namespace scag::testutil

@@ -17,6 +17,8 @@
 //   - memo hit accounting (a scan with repeated blocks must hit).
 #include <gtest/gtest.h>
 
+#include "seed_util.h"
+
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -111,7 +113,8 @@ class CompiledKernel : public ::testing::Test {
     targets_->push_back(
         builder.build(mutation::mutate(attacks::pp_iaik(poc), mut_rng))
             .sequence);
-    Rng rng(1234);
+    corpus_seed_ = testutil::test_seed(1234);
+    Rng rng(corpus_seed_);
     for (int k = 0; k < 4; ++k) {
       Rng gen = rng.split();
       isa::RandomProgramOptions options;
@@ -131,10 +134,16 @@ class CompiledKernel : public ::testing::Test {
 
   static std::vector<CstBbs>* models_;
   static std::vector<CstBbs>* targets_;
+  static std::uint64_t corpus_seed_;
+  // Fixture-lifetime trace: every failure in this suite reports the
+  // corpus seed and how to replay it.
+  ::testing::ScopedTrace seed_trace_{__FILE__, __LINE__,
+                                     testutil::seed_note(corpus_seed_)};
 };
 
 std::vector<CstBbs>* CompiledKernel::models_ = nullptr;
 std::vector<CstBbs>* CompiledKernel::targets_ = nullptr;
+std::uint64_t CompiledKernel::corpus_seed_ = 0;
 
 TEST_F(CompiledKernel, DistancesSimilaritiesAndBoundsAreBitIdentical) {
   for (const DtwConfig& config : equivalence_configs()) {

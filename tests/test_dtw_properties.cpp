@@ -13,6 +13,8 @@
 //     (regression for the DtwConfig::window edge case).
 #include <gtest/gtest.h>
 
+#include "seed_util.h"
+
 #include <cmath>
 #include <cstdlib>
 #include <limits>
@@ -72,7 +74,9 @@ class DtwProperties : public ::testing::Test {
         builder.build(benign::flush_writeback(benign_rng)).sequence);
 
     // Randomized programs: arbitrary (often short or empty) sequences.
-    Rng rng(1234);
+    // Seed overridable for replay/exploration (docs/testing-guide.md).
+    corpus_seed_ = testutil::test_seed(1234);
+    Rng rng(corpus_seed_);
     for (int k = 0; k < 8; ++k) {
       Rng gen = rng.split();
       isa::RandomProgramOptions options;
@@ -88,9 +92,15 @@ class DtwProperties : public ::testing::Test {
   }
 
   static std::vector<CstBbs>* corpus_;
+  static std::uint64_t corpus_seed_;
+  // Fixture-lifetime trace: every failure in this suite reports the
+  // corpus seed and how to replay it.
+  ::testing::ScopedTrace seed_trace_{__FILE__, __LINE__,
+                                     testutil::seed_note(corpus_seed_)};
 };
 
 std::vector<CstBbs>* DtwProperties::corpus_ = nullptr;
+std::uint64_t DtwProperties::corpus_seed_ = 0;
 
 TEST_F(DtwProperties, SelfSimilarityIsOneAndMaximal) {
   for (const DtwConfig& config : property_configs()) {

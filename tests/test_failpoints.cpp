@@ -1,0 +1,659 @@
+// Failure-path harness for the fault-injection layer (support/failpoint.h).
+//
+// The contract under test:
+//   - Every failpoint declared in the registry can actually fire: the
+//     sweep arms each site in turn (error mode and throw mode), pushes the
+//     full pipeline through it, and proves via hit counters that the site
+//     triggered. A declared-but-unreachable failpoint fails the sweep.
+//   - No single fault crashes the process or poisons unrelated work:
+//     faults surface as typed errors (IoError, FailpointError,
+//     ScanTimeoutError), per-item ScanOutcome slots, or documented
+//     degradations (serial pool drain, string-kernel fallback) — and the
+//     stages downstream of a faulted stage still run.
+//   - Trigger gates (@every, %probability:seed, #max_fires) are exact and
+//     deterministic, so any failure found here replays bit-identically.
+//   - The retrying loader retries IoError-class faults and only those.
+//
+// Randomized sections derive their seed via tests/seed_util.h: failures
+// print the SCAG_TEST_SEED=<n> replay line.
+//
+// Under -DSCAG_FAILPOINTS_OFF every test here SKIPs (the layer is
+// compiled out; behavior is covered by the ordinary suite instead).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "attacks/registry.h"
+#include "benign/registry.h"
+#include "core/batch_detector.h"
+#include "core/detector.h"
+#include "core/serialize.h"
+#include "seed_util.h"
+#include "support/failpoint.h"
+#include "support/metrics.h"
+#include "support/thread_pool.h"
+
+namespace scag::core {
+namespace {
+
+namespace fp = support::fp;
+
+std::uint64_t fired_count(const std::string& name) {
+  for (const fp::SiteSnapshot& s : fp::snapshot())
+    if (s.name == name) return s.fired;
+  ADD_FAILURE() << "failpoint '" << name << "' not in snapshot";
+  return 0;
+}
+
+std::uint64_t eval_count(const std::string& name) {
+  for (const fp::SiteSnapshot& s : fp::snapshot())
+    if (s.name == name) return s.evaluations;
+  ADD_FAILURE() << "failpoint '" << name << "' not in snapshot";
+  return 0;
+}
+
+/// What one end-to-end pipeline pass observed. The harness never lets an
+/// injected fault escape: each stage is isolated, failures are recorded,
+/// and the pass always completes.
+struct PipelineReport {
+  int stages_run = 0;
+  int stages_failed = 0;
+  std::vector<std::string> failures;  // "stage: what()" lines
+
+  void record(const std::string& stage, const std::exception& e) {
+    ++stages_failed;
+    failures.push_back(stage + ": " + e.what());
+  }
+};
+
+/// Shared unfaulted corpus, built once while nothing is armed: a detector
+/// with two PoCs enrolled, a pristine on-disk repository, pre-modeled scan
+/// targets, and the raw programs for the modeling stages.
+class FailpointPipeline : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    if (!fp::compiled_in()) return;
+    fp::disarm_all();
+
+    detector_ = new Detector(ModelConfig{}, calibrated_dtw_config(), 0.45);
+    const std::vector<attacks::PocSpec>& pocs = attacks::all_pocs();
+    for (std::size_t i = 0; i < 2; ++i)
+      detector_->enroll(pocs[i].build(attacks::PocConfig{}), pocs[i].family);
+
+    programs_ = new std::vector<isa::Program>();
+    programs_->push_back(pocs[0].build(attacks::PocConfig{}));
+    programs_->push_back(pocs[2].build(attacks::PocConfig{}));
+    Rng rng(2026);
+    const auto& benign = benign::all_benign_templates();
+    for (std::size_t i = 0; i < 2 && i < benign.size(); ++i) {
+      Rng gen = rng.split();
+      programs_->push_back(benign[i].build(gen));
+    }
+
+    targets_ = new std::vector<CstBbs>();
+    for (const isa::Program& p : *programs_)
+      targets_->push_back(detector_->builder().build(p).sequence);
+
+    // Per-process path: ctest -j builds this fixture in many processes
+    // at once.
+    pristine_repo_path_ =
+        new std::string(::testing::TempDir() + "scag_fp_pristine_" +
+                        std::to_string(getpid()) + ".repo");
+    save_models_to_file(*pristine_repo_path_, detector_->repository());
+  }
+
+  static void TearDownTestSuite() {
+    if (!fp::compiled_in()) return;
+    if (pristine_repo_path_) std::remove(pristine_repo_path_->c_str());
+    delete detector_;
+    delete programs_;
+    delete targets_;
+    delete pristine_repo_path_;
+    detector_ = nullptr;
+    programs_ = nullptr;
+    targets_ = nullptr;
+    pristine_repo_path_ = nullptr;
+  }
+
+  void SetUp() override {
+    if (!fp::compiled_in())
+      GTEST_SKIP() << "built with SCAG_FAILPOINTS_OFF";
+    fp::disarm_all();
+    fp::reset_counters();
+  }
+
+  void TearDown() override {
+    if (fp::compiled_in()) {
+      fp::disarm_all();
+      fp::reset_counters();
+    }
+  }
+
+  /// One full pass through every fault-instrumented stage. Each stage is
+  /// individually guarded so an armed failpoint in stage k never stops
+  /// stages k+1..n from running — exactly the isolation the subsystem
+  /// promises. Covers (by failpoint name):
+  ///   model:       cache.access, cpu.step
+  ///   save:        serialize.save.{open,write,rename}
+  ///   load:        serialize.load.{open,read}  (retrying loader)
+  ///   scan:        detector.scan, compiled.compile_target
+  ///   pool:        pool.enqueue, pool.worker   (slow job: workers wake)
+  ///   batch:       batch.model_target, batch.scan_target (+ all of the
+  ///                above again through the outcome APIs)
+  static PipelineReport run_pipeline() {
+    PipelineReport r;
+
+    // Stage: model a program from scratch (cpu + cache simulation).
+    ++r.stages_run;
+    try {
+      (void)detector_->builder().build((*programs_)[0]);
+    } catch (const std::exception& e) {
+      r.record("model", e);
+    }
+
+    // Stage: save the repository (atomic tmp+rename writer).
+    ++r.stages_run;
+    const std::string save_path = ::testing::TempDir() + "scag_fp_save_" +
+                                  std::to_string(getpid()) + ".repo";
+    try {
+      save_models_to_file(save_path, detector_->repository());
+    } catch (const std::exception& e) {
+      r.record("save", e);
+    }
+    std::remove(save_path.c_str());
+    std::remove((save_path + ".tmp").c_str());
+
+    // Stage: load the pristine repository through the retrying loader.
+    ++r.stages_run;
+    try {
+      (void)load_models_from_file(*pristine_repo_path_, RetryPolicy{});
+    } catch (const std::exception& e) {
+      r.record("load", e);
+    }
+
+    // Stage: serial detector scan of a pre-modeled target.
+    ++r.stages_run;
+    try {
+      (void)detector_->scan((*targets_)[0]);
+    } catch (const std::exception& e) {
+      r.record("scan", e);
+    }
+
+    // Stage: a deliberately slow pool job, so that the worker threads are
+    // guaranteed to wake and evaluate pool.worker (a fast job can be fully
+    // drained by the calling lane before a worker claims it).
+    ++r.stages_run;
+    try {
+      support::ThreadPool pool(4);
+      pool.parallel_for(
+          16,
+          [](std::size_t) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          },
+          /*grain=*/1);
+    } catch (const std::exception& e) {
+      r.record("pool", e);
+    }
+
+    // Stage: the degrading batch APIs — full pipeline per program. These
+    // must never throw; faults land in per-item outcome slots.
+    ++r.stages_run;
+    try {
+      BatchConfig config;
+      config.threads = 4;
+      const BatchDetector batch(*detector_, config);
+      const std::vector<ScanOutcome> by_program =
+          batch.scan_programs_outcomes(*programs_);
+      if (by_program.size() != programs_->size())
+        throw std::logic_error("scan_programs_outcomes dropped slots");
+      const std::vector<ScanOutcome> by_target =
+          batch.scan_all_outcomes(*targets_);
+      if (by_target.size() != targets_->size())
+        throw std::logic_error("scan_all_outcomes dropped slots");
+    } catch (const std::exception& e) {
+      r.record("batch", e);
+    }
+
+    return r;
+  }
+
+  /// Registry names the library-side pipeline can reach. scagctl.* sites
+  /// live in the CLI binary and are swept by tests/test_scagctl_cli.cpp.
+  static std::vector<std::string> sweepable_names() {
+    std::vector<std::string> names;
+    for (const std::string& n : fp::registered())
+      if (n.rfind("scagctl.", 0) != 0) names.push_back(n);
+    return names;
+  }
+
+  static Detector* detector_;
+  static std::vector<isa::Program>* programs_;
+  static std::vector<CstBbs>* targets_;
+  static std::string* pristine_repo_path_;
+};
+
+Detector* FailpointPipeline::detector_ = nullptr;
+std::vector<isa::Program>* FailpointPipeline::programs_ = nullptr;
+std::vector<CstBbs>* FailpointPipeline::targets_ = nullptr;
+std::string* FailpointPipeline::pristine_repo_path_ = nullptr;
+
+// ---- Registry basics -------------------------------------------------------
+
+TEST_F(FailpointPipeline, RegistryIsClosedAndNonEmpty) {
+  const std::vector<std::string> names = fp::registered();
+  ASSERT_GE(names.size(), 10u);
+  // Undeclared names are a programming error, not a silent no-op.
+  EXPECT_THROW((void)fp::hit("no.such.failpoint"), std::logic_error);
+  EXPECT_THROW((void)fp::site("no.such.failpoint"), std::logic_error);
+  EXPECT_THROW(fp::arm("no.such.failpoint", fp::Spec{}), std::logic_error);
+  // Snapshot covers exactly the registry.
+  const std::vector<fp::SiteSnapshot> snap = fp::snapshot();
+  ASSERT_EQ(snap.size(), names.size());
+  for (std::size_t i = 0; i < names.size(); ++i)
+    EXPECT_EQ(snap[i].name, names[i]);
+}
+
+TEST_F(FailpointPipeline, SpecStringParserAcceptsGrammarAndRejectsGarbage) {
+  EXPECT_EQ(fp::arm_from_string("cpu.step=error"), 1u);
+  EXPECT_EQ(fp::arm_from_string(
+                "cache.access=throw%0.5:42;serialize.load.read=delay:3@7#2"),
+            2u);
+  fp::disarm_all();
+  EXPECT_EQ(fp::arm_from_string(""), 0u);
+  EXPECT_EQ(fp::arm_from_string(" ; ; "), 0u);
+  EXPECT_THROW(fp::arm_from_string("cpu.step"), std::invalid_argument);
+  EXPECT_THROW(fp::arm_from_string("cpu.step=explode"),
+               std::invalid_argument);
+  EXPECT_THROW(fp::arm_from_string("cpu.step=error@zero"),
+               std::invalid_argument);
+  EXPECT_THROW(fp::arm_from_string("cpu.step=error%0.5"),
+               std::invalid_argument);  // probability requires :seed
+  EXPECT_THROW(fp::arm_from_string("not.a.site=error"), std::logic_error);
+}
+
+// ---- The exhaustive sweep --------------------------------------------------
+
+// Arms every registered (library-reachable) failpoint in turn, in both
+// error and throw mode, runs the full pipeline, and asserts that (a) the
+// process survives with per-stage isolation intact and (b) the armed site
+// actually fired — counters are the proof that no failpoint is dead code.
+TEST_F(FailpointPipeline, EverySiteFiresAndNothingCrashes) {
+  for (const std::string& name : sweepable_names()) {
+    for (const fp::Kind kind : {fp::Kind::kError, fp::Kind::kThrow}) {
+      SCOPED_TRACE("failpoint=" + name +
+                   (kind == fp::Kind::kError ? " kind=error" : " kind=throw"));
+      fp::disarm_all();
+      fp::reset_counters();
+      fp::Spec spec;
+      spec.kind = kind;
+      fp::arm(name, spec);
+
+      const PipelineReport report = run_pipeline();
+      fp::disarm_all();
+
+      // The pass completed every stage; faults were contained.
+      EXPECT_EQ(report.stages_run, 6);
+      // The site was both reached and triggered.
+      EXPECT_GT(eval_count(name), 0u) << "site never evaluated";
+      EXPECT_GT(fired_count(name), 0u)
+          << "site armed but never fired; failures: " +
+                 ::testing::PrintToString(report.failures);
+      // Counter sanity across the whole registry.
+      for (const fp::SiteSnapshot& s : fp::snapshot())
+        EXPECT_LE(s.fired, s.evaluations) << s.name;
+    }
+  }
+}
+
+// Seeded random pairs: two simultaneous faults must still be contained.
+// (One fault can mask the other's stage, so only survival and counter
+// consistency are asserted, not that both fired.)
+TEST_F(FailpointPipeline, RandomPairsOfFaultsAreContained) {
+  const std::uint64_t seed = testutil::test_seed(0x5ca6'f001);
+  SCOPED_TRACE(testutil::seed_note(seed));
+  std::mt19937_64 rng(seed);
+  const std::vector<std::string> names = sweepable_names();
+  ASSERT_GE(names.size(), 2u);
+
+  for (int round = 0; round < 8; ++round) {
+    std::uniform_int_distribution<std::size_t> pick(0, names.size() - 1);
+    const std::size_t a = pick(rng);
+    std::size_t b = pick(rng);
+    while (b == a) b = pick(rng);
+    SCOPED_TRACE("round " + std::to_string(round) + ": " + names[a] + " + " +
+                 names[b]);
+
+    fp::disarm_all();
+    fp::reset_counters();
+    fp::Spec spec;
+    spec.kind = (round % 2 == 0) ? fp::Kind::kError : fp::Kind::kThrow;
+    fp::arm(names[a], spec);
+    fp::arm(names[b], spec);
+
+    const PipelineReport report = run_pipeline();
+    fp::disarm_all();
+
+    EXPECT_EQ(report.stages_run, 6);
+    EXPECT_GT(fired_count(names[a]) + fired_count(names[b]), 0u);
+    for (const fp::SiteSnapshot& s : fp::snapshot())
+      EXPECT_LE(s.fired, s.evaluations) << s.name;
+  }
+}
+
+// ---- Trigger gates ---------------------------------------------------------
+
+TEST_F(FailpointPipeline, EveryNthGateFiresExactly) {
+  fp::Spec spec;
+  spec.kind = fp::Kind::kError;
+  spec.every = 10;
+  fp::arm("cpu.step", spec);
+  fp::Site& s = fp::site("cpu.step");
+  std::uint64_t fired = 0;
+  for (int i = 0; i < 100; ++i)
+    if (s.hit()) ++fired;
+  EXPECT_EQ(fired, 10u);
+  EXPECT_EQ(fired_count("cpu.step"), 10u);
+}
+
+TEST_F(FailpointPipeline, MaxFiresBudgetStopsExactly) {
+  fp::Spec spec;
+  spec.kind = fp::Kind::kError;
+  spec.max_fires = 3;
+  fp::arm("cache.access", spec);
+  fp::Site& s = fp::site("cache.access");
+  std::uint64_t fired = 0;
+  for (int i = 0; i < 50; ++i)
+    if (s.hit()) ++fired;
+  EXPECT_EQ(fired, 3u);
+  // Re-arming resets the budget.
+  fp::arm("cache.access", spec);
+  fired = 0;
+  for (int i = 0; i < 50; ++i)
+    if (s.hit()) ++fired;
+  EXPECT_EQ(fired, 3u);
+}
+
+TEST_F(FailpointPipeline, SeededProbabilityIsDeterministic) {
+  const auto run = [](std::uint64_t seed) {
+    fp::Spec spec;
+    spec.kind = fp::Kind::kError;
+    spec.probability = 0.3;
+    spec.seed = seed;
+    fp::arm("cpu.step", spec);
+    fp::Site& s = fp::site("cpu.step");
+    std::uint64_t fired = 0;
+    for (int i = 0; i < 2000; ++i)
+      if (s.hit()) ++fired;
+    fp::disarm("cpu.step");
+    return fired;
+  };
+  const std::uint64_t first = run(42);
+  const std::uint64_t replay = run(42);
+  EXPECT_EQ(first, replay) << "same seed must replay bit-identically";
+  EXPECT_GT(first, 0u);
+  EXPECT_LT(first, 2000u);
+  // ~30% of 2000 with generous slack: proves it is a rate, not a constant.
+  EXPECT_NEAR(static_cast<double>(first), 600.0, 200.0);
+  const std::uint64_t other = run(43);
+  EXPECT_NE(first, other) << "different seeds should explore differently "
+                             "(astronomically unlikely to collide)";
+}
+
+TEST_F(FailpointPipeline, DelayModeSleepsAndReturnsFalse) {
+  fp::Spec spec;
+  spec.kind = fp::Kind::kDelay;
+  spec.delay_ms = 20;
+  spec.max_fires = 1;
+  fp::arm("detector.scan", spec);
+  const std::uint64_t t0 = support::monotonic_ns();
+  const Detection d = detector_->scan((*targets_)[0]);  // must not throw
+  const std::uint64_t elapsed_ms = (support::monotonic_ns() - t0) / 1'000'000;
+  EXPECT_GE(elapsed_ms, 20u);
+  EXPECT_EQ(fired_count("detector.scan"), 1u);
+  EXPECT_EQ(d.scores.size(), detector_->repository_size());
+}
+
+// ---- Degradation semantics -------------------------------------------------
+
+// A failed pool publish degrades to a serial drain with identical results.
+TEST_F(FailpointPipeline, PoolEnqueueFaultDegradesToSerialSameResults) {
+  BatchConfig config;
+  config.threads = 4;
+  const BatchDetector batch(*detector_, config);
+  const std::vector<Detection> want = batch.scan_all(*targets_);
+
+  static support::Counter& degraded =
+      support::Registry::global().counter("pool.degraded_serial");
+  const std::uint64_t degraded_before = degraded.value();
+  fp::Spec spec;
+  spec.kind = fp::Kind::kThrow;
+  fp::arm("pool.enqueue", spec);
+  const std::vector<Detection> got = batch.scan_all(*targets_);
+  fp::disarm("pool.enqueue");
+
+  EXPECT_GT(degraded.value(), degraded_before);
+  EXPECT_GT(fired_count("pool.enqueue"), 0u);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].verdict, want[i].verdict) << i;
+    EXPECT_EQ(got[i].best_score, want[i].best_score) << i;
+  }
+}
+
+// Workers that fail to claim a job sit it out; the job still completes
+// because the calling lane drains every index.
+TEST_F(FailpointPipeline, PoolWorkerFaultStillCompletesEveryIndex) {
+  fp::Spec spec;
+  spec.kind = fp::Kind::kThrow;
+  fp::arm("pool.worker", spec);
+  support::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(hits.size(), [&](std::size_t i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    hits[i].fetch_add(1);
+  });
+  fp::disarm("pool.worker");
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  EXPECT_GT(fired_count("pool.worker"), 0u);
+}
+
+// A compile-step fault falls back to the string kernels, bit-identically.
+TEST_F(FailpointPipeline, CompiledFaultFallsBackBitIdentically) {
+  Detection want;
+  {
+    Detector reference(ModelConfig{}, calibrated_dtw_config(), 0.45);
+    const auto& pocs = attacks::all_pocs();
+    for (std::size_t i = 0; i < 2; ++i)
+      reference.enroll(pocs[i].build(attacks::PocConfig{}), pocs[i].family);
+    reference.set_use_compiled(false);
+    want = reference.scan((*targets_)[0]);
+  }
+  fp::Spec spec;
+  spec.kind = fp::Kind::kThrow;
+  fp::arm("compiled.compile_target", spec);
+  const Detection got = detector_->scan((*targets_)[0]);
+  fp::disarm("compiled.compile_target");
+
+  EXPECT_GT(fired_count("compiled.compile_target"), 0u);
+  EXPECT_EQ(got.verdict, want.verdict);
+  EXPECT_EQ(got.best_score, want.best_score);
+  ASSERT_EQ(got.scores.size(), want.scores.size());
+  for (std::size_t j = 0; j < want.scores.size(); ++j)
+    EXPECT_EQ(got.scores[j].score, want.scores[j].score) << "rank " << j;
+}
+
+// Per-item isolation: a fault on every 2nd modeling call errors exactly
+// those slots; the others match an unfaulted run bit-identically.
+TEST_F(FailpointPipeline, BatchOutcomesIsolatePerItem) {
+  BatchConfig config;
+  config.threads = 1;  // serial lanes: deterministic slot->evaluation order
+  const BatchDetector batch(*detector_, config);
+  const std::vector<ScanOutcome> want =
+      batch.scan_programs_outcomes(*programs_);
+  for (const ScanOutcome& o : want) ASSERT_TRUE(o.ok());
+
+  fp::Spec spec;
+  spec.kind = fp::Kind::kError;
+  spec.every = 2;
+  fp::arm("batch.model_target", spec);
+  const std::vector<ScanOutcome> got =
+      batch.scan_programs_outcomes(*programs_);
+  fp::disarm("batch.model_target");
+
+  ASSERT_EQ(got.size(), want.size());
+  std::size_t errored = 0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (got[i].ok()) {
+      EXPECT_EQ(got[i].detection.verdict, want[i].detection.verdict) << i;
+      EXPECT_EQ(got[i].detection.best_score, want[i].detection.best_score)
+          << i;
+    } else {
+      ++errored;
+      EXPECT_EQ(got[i].status, ScanStatus::kError) << i;
+      EXPECT_EQ(got[i].stage, "model") << i;
+      EXPECT_EQ(got[i].failpoint, "batch.model_target") << i;
+      EXPECT_FALSE(got[i].error.empty()) << i;
+    }
+  }
+  EXPECT_EQ(errored, got.size() / 2);
+}
+
+// The cooperative deadline turns a stalled target into a kTimedOut
+// outcome instead of hanging its lane.
+TEST_F(FailpointPipeline, DeadlineTurnsStallIntoTimedOutOutcome) {
+  static support::Counter& timeouts =
+      support::Registry::global().counter("batch.outcome_timeouts");
+  const std::uint64_t timeouts_before = timeouts.value();
+
+  BatchConfig config;
+  config.threads = 2;
+  config.scan.deadline_ms = 5;
+  const BatchDetector batch(*detector_, config);
+
+  // The injected 40ms stall sits between the deadline computation and the
+  // scan, so every target's budget is provably exhausted.
+  fp::Spec spec;
+  spec.kind = fp::Kind::kDelay;
+  spec.delay_ms = 40;
+  fp::arm("batch.scan_target", spec);
+  const std::vector<ScanOutcome> got = batch.scan_all_outcomes(*targets_);
+  fp::disarm("batch.scan_target");
+
+  ASSERT_EQ(got.size(), targets_->size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].status, ScanStatus::kTimedOut) << i;
+    EXPECT_NE(got[i].error.find("deadline"), std::string::npos) << i;
+  }
+  EXPECT_GE(timeouts.value(), timeouts_before + targets_->size());
+
+  // Without the stall the same config scans everything fine.
+  const std::vector<ScanOutcome> clean = batch.scan_all_outcomes(*targets_);
+  for (const ScanOutcome& o : clean) EXPECT_TRUE(o.ok());
+}
+
+// ---- The retrying loader ---------------------------------------------------
+
+TEST_F(FailpointPipeline, LoaderRetriesTransientFaultAndSucceeds) {
+  static support::Counter& retries =
+      support::Registry::global().counter("serialize.load_retries");
+  const std::uint64_t retries_before = retries.value();
+
+  // Fail the first open only; the retry must succeed.
+  ASSERT_EQ(fp::arm_from_string("serialize.load.open=error#1"), 1u);
+  const std::vector<AttackModel> models =
+      load_models_from_file(*pristine_repo_path_, RetryPolicy{});
+  fp::disarm_all();
+
+  EXPECT_EQ(models.size(), detector_->repository_size());
+  EXPECT_EQ(fired_count("serialize.load.open"), 1u);
+  EXPECT_EQ(retries.value(), retries_before + 1);
+}
+
+TEST_F(FailpointPipeline, LoaderGivesUpAfterMaxAttemptsWithAnnotatedError) {
+  ASSERT_EQ(fp::arm_from_string("serialize.load.open=error"), 1u);
+  try {
+    (void)load_models_from_file(*pristine_repo_path_, RetryPolicy{});
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("3 attempts"), std::string::npos)
+        << e.what();
+  }
+  fp::disarm_all();
+  EXPECT_EQ(fired_count("serialize.load.open"), 3u);
+}
+
+TEST_F(FailpointPipeline, LoaderNeverRetriesParseErrors) {
+  static support::Counter& retries =
+      support::Registry::global().counter("serialize.load_retries");
+  const std::uint64_t retries_before = retries.value();
+  const std::string path = ::testing::TempDir() + "scag_fp_malformed_" +
+                           std::to_string(getpid()) + ".repo";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not a repository\n", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW((void)load_models_from_file(path, RetryPolicy{}),
+               SerializeError);
+  std::remove(path.c_str());
+  EXPECT_EQ(retries.value(), retries_before)
+      << "SerializeError is terminal and must not be retried";
+}
+
+// A failed atomic save leaves no partial destination file behind and the
+// previous repository intact.
+TEST_F(FailpointPipeline, FailedSaveLeavesPreviousFileIntact) {
+  const std::string path = ::testing::TempDir() + "scag_fp_atomic_" +
+                           std::to_string(getpid()) + ".repo";
+  save_models_to_file(path, detector_->repository());
+  const std::vector<AttackModel> before =
+      load_models_from_file(path, RetryPolicy{});
+
+  for (const char* site :
+       {"serialize.save.open", "serialize.save.write",
+        "serialize.save.rename"}) {
+    SCOPED_TRACE(site);
+    fp::Spec spec;
+    spec.kind = fp::Kind::kError;
+    fp::arm(site, spec);
+    EXPECT_THROW(save_models_to_file(path, detector_->repository()), IoError);
+    fp::disarm(site);
+    // The previous contents still load and are unchanged.
+    const std::vector<AttackModel> after =
+        load_models_from_file(path, RetryPolicy{});
+    ASSERT_EQ(after.size(), before.size());
+    for (std::size_t i = 0; i < before.size(); ++i)
+      EXPECT_EQ(after[i].name, before[i].name);
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+// ---- Metrics mirror --------------------------------------------------------
+
+TEST_F(FailpointPipeline, FiredCountsMirrorIntoMetricsCounters) {
+  support::Counter& mirrored =
+      support::Registry::global().counter("fp.fired.cpu.step");
+  const std::uint64_t before = mirrored.value();
+  fp::Spec spec;
+  spec.kind = fp::Kind::kError;
+  spec.max_fires = 7;
+  fp::arm("cpu.step", spec);
+  fp::Site& s = fp::site("cpu.step");
+  for (int i = 0; i < 100; ++i) (void)s.hit();
+  fp::disarm("cpu.step");
+  EXPECT_EQ(mirrored.value(), before + 7);
+}
+
+}  // namespace
+}  // namespace scag::core

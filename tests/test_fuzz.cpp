@@ -18,6 +18,7 @@
 #include "isa/assembler.h"
 #include "isa/random_program.h"
 #include "mutation/mutator.h"
+#include "seed_util.h"
 
 namespace scag {
 namespace {
@@ -99,6 +100,39 @@ TEST_P(FuzzSeeds, ModelingPipelineNeverCrashes) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,
                          ::testing::Range<std::uint64_t>(1, 21));
+
+// Replay hook (docs/testing-guide.md "Seeds and replay"): exporting
+// SCAG_TEST_SEED re-runs every FuzzSeeds case on that exact seed, so a
+// seed printed by a failing run (it is part of the test name) can be
+// replayed in isolation: SCAG_TEST_SEED=<n> ./test_fuzz
+// --gtest_filter='Replay/*'. Without the variable this duplicates seed 1,
+// which gtest tolerates (distinct instantiation prefix).
+INSTANTIATE_TEST_SUITE_P(Replay, FuzzSeeds,
+                         ::testing::Values(scag::testutil::test_seed(1)));
+
+// The replay contract itself: the same seed must drive the whole
+// randomized pipeline — program generation, modeling, serialization — to
+// byte-identical results in two independent passes. If this breaks, seed
+// printing is worthless, so it is tested directly.
+TEST(SeedReplay, SameSeedReplaysByteIdentically) {
+  const std::uint64_t seed = scag::testutil::test_seed(0x5eed);
+  SCOPED_TRACE(scag::testutil::seed_note(seed));
+  const auto pass = [&]() -> std::string {
+    Rng rng(seed);
+    const isa::Program p = isa::random_program(rng);
+    const core::ModelBuilder builder;
+    core::AttackModel model;
+    model.name = "replay";
+    model.family = core::Family::kBenign;
+    model.sequence = builder.build(p).sequence;
+    return core::save_models_to_string({model});
+  };
+  const std::string first = pass();
+  const std::string second = pass();
+  EXPECT_EQ(first, second)
+      << "same-seed passes diverged; replaying reported seeds would not "
+         "reproduce failures";
+}
 
 TEST(FuzzBatchScan, DegenerateProgramsScanCleanly) {
   const core::Detector detector = eval::make_scaguard(

@@ -1,0 +1,120 @@
+// Golden end-to-end regression test: scans the fixed corpus of
+// tests/golden_corpus.h against the committed repository fixture and
+// compares every verdict and best score BIT-EXACTLY against
+// tests/data/golden_expected.txt.
+//
+// If this test fails, the end-to-end behavior of the pipeline changed.
+// That is either a bug (fix it) or an intentional improvement — in which
+// case regenerate the fixture, review the diff, and commit it with your
+// change:
+//
+//   build/tools/make_golden tests/data
+//
+// Never regenerate to silence a failure you cannot explain.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/family.h"
+#include "core/serialize.h"
+#include "golden_corpus.h"
+
+#ifndef SCAG_TEST_DATA_DIR
+#error "SCAG_TEST_DATA_DIR must point at tests/data (set by tests/CMakeLists.txt)"
+#endif
+
+namespace scag::core {
+namespace {
+
+constexpr const char* kRegenerate =
+    "\n  The golden fixture no longer matches the pipeline's behavior."
+    "\n  If this change is intentional, regenerate and review the diff:"
+    "\n    build/tools/make_golden tests/data"
+    "\n  (see docs/testing-guide.md \"Golden regression fixture\")";
+
+struct ExpectedLine {
+  std::string verdict;
+  std::string score_bits;
+};
+
+std::map<std::string, ExpectedLine> read_expected(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << path << kRegenerate;
+  std::map<std::string, ExpectedLine> expected;
+  std::string line;
+  bool header_ok = false, end_ok = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line == golden::kExpectedHeader) {
+      header_ok = true;
+      continue;
+    }
+    if (line == "end") {
+      end_ok = true;
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string tag, name;
+    ExpectedLine e;
+    fields >> tag >> name >> e.verdict >> e.score_bits;
+    EXPECT_EQ(tag, "target") << "malformed fixture line: " << line;
+    expected[name] = e;
+  }
+  EXPECT_TRUE(header_ok) << "fixture header missing" << kRegenerate;
+  EXPECT_TRUE(end_ok) << "fixture truncated (no 'end')" << kRegenerate;
+  return expected;
+}
+
+TEST(Golden, EndToEndVerdictsAndScoresMatchFixture) {
+  const std::string data_dir = SCAG_TEST_DATA_DIR;
+  const std::map<std::string, ExpectedLine> expected =
+      read_expected(data_dir + "/golden_expected.txt");
+  ASSERT_FALSE(expected.empty());
+
+  // The repository comes from the committed file, not from re-enrollment,
+  // so serializer drift is caught alongside modeling/scoring drift.
+  Detector detector(ModelConfig{}, calibrated_dtw_config(), 0.45);
+  for (AttackModel& m : load_models_from_file(data_dir + "/golden.repo"))
+    detector.enroll(std::move(m));
+  ASSERT_EQ(detector.repository_size(), 4u) << kRegenerate;
+
+  const std::vector<golden::GoldenTarget> targets = golden::make_targets();
+  ASSERT_EQ(targets.size(), expected.size())
+      << "target corpus and fixture disagree on size" << kRegenerate;
+
+  for (const golden::GoldenTarget& t : targets) {
+    SCOPED_TRACE("target " + t.name);
+    const auto it = expected.find(t.name);
+    ASSERT_NE(it, expected.end())
+        << "target missing from fixture" << kRegenerate;
+    const Detection d = detector.scan(t.program);
+    EXPECT_EQ(std::string(family_abbrev(d.verdict)), it->second.verdict)
+        << kRegenerate;
+    EXPECT_EQ(golden::score_bits(d.best_score), it->second.score_bits)
+        << "score drifted: got " << d.best_score << " ("
+        << golden::score_bits(d.best_score) << "), fixture has "
+        << golden::bits_score(it->second.score_bits) << kRegenerate;
+  }
+}
+
+// The committed repository itself must round-trip: guards against fixture
+// corruption (hand edits, bad merges) separately from behavior drift.
+TEST(Golden, FixtureRepositoryRoundTrips) {
+  const std::string path = std::string(SCAG_TEST_DATA_DIR) + "/golden.repo";
+  const std::vector<AttackModel> models = load_models_from_file(path);
+  ASSERT_EQ(models.size(), 4u) << kRegenerate;
+  const std::string text = save_models_to_string(models);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::ostringstream disk;
+  disk << in.rdbuf();
+  EXPECT_EQ(text, disk.str())
+      << "golden.repo is not in canonical serializer form" << kRegenerate;
+}
+
+}  // namespace
+}  // namespace scag::core

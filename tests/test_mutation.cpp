@@ -2,6 +2,8 @@
 // every attack PoC, BB growth under obfuscation, structural invariants.
 #include <gtest/gtest.h>
 
+#include "seed_util.h"
+
 #include "attacks/registry.h"
 #include "cfg/cfg.h"
 #include "cpu/interpreter.h"
@@ -24,7 +26,9 @@ std::uint64_t recover(const isa::Program& p, const PocConfig& config) {
 class MutationPreservesAttack : public ::testing::TestWithParam<PocSpec> {};
 
 TEST_P(MutationPreservesAttack, MutantsStillRecoverSecret) {
-  Rng rng(4242);
+  const std::uint64_t seed = testutil::test_seed(4242);
+  SCOPED_TRACE(testutil::seed_note(seed));
+  Rng rng(seed);
   int working = 0;
   const int trials = 12;
   for (int k = 0; k < trials; ++k) {
@@ -42,7 +46,9 @@ TEST_P(MutationPreservesAttack, MutantsStillRecoverSecret) {
 }
 
 TEST_P(MutationPreservesAttack, ObfuscationPreservesAttackMostly) {
-  Rng rng(777);
+  const std::uint64_t seed = testutil::test_seed(777);
+  SCOPED_TRACE(testutil::seed_note(seed));
+  Rng rng(seed);
   PocConfig config;
   config.secret = 9;
   int working = 0;

@@ -1,0 +1,60 @@
+// Regenerates the golden end-to-end regression fixture consumed by
+// tests/test_golden.cpp:
+//
+//   build/tools/make_golden tests/data
+//
+// writes <dir>/golden.repo (the canonical 4-model repository, in the
+// serializer's exact-bits format) and <dir>/golden_expected.txt (one line
+// per scan target: name, verdict family, best score as IEEE-754 hex
+// bits). Run it ONLY after an intentional behavior change, review the
+// diff, and commit the regenerated files together with the change that
+// caused it (see docs/testing-guide.md "Golden regression fixture").
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "../tests/golden_corpus.h"
+#include "core/family.h"
+#include "core/serialize.h"
+
+int main(int argc, char** argv) {
+  using namespace scag;
+  if (argc != 2) {
+    std::cerr << "usage: make_golden <output-dir>   (e.g. tests/data)\n";
+    return 2;
+  }
+  const std::string dir = argv[1];
+
+  const core::Detector detector = golden::make_detector();
+  core::save_models_to_file(dir + "/golden.repo", detector.repository());
+
+  const std::string expected_path = dir + "/golden_expected.txt";
+  std::ofstream out(expected_path + ".tmp");
+  out << golden::kExpectedHeader << "\n";
+  out << "# one line per target: name verdict best-score-ieee754-hex\n";
+  out << "# regenerate (after an INTENTIONAL change, review the diff!):\n";
+  out << "#   build/tools/make_golden tests/data\n";
+  for (const golden::GoldenTarget& t : golden::make_targets()) {
+    const core::Detection d = detector.scan(t.program);
+    out << "target " << t.name << " " << core::family_abbrev(d.verdict)
+        << " " << golden::score_bits(d.best_score) << "\n";
+    std::cout << t.name << " -> " << core::family_abbrev(d.verdict)
+              << " (score " << d.best_score << ")\n";
+  }
+  out << "end\n";
+  if (!out.flush()) {
+    std::cerr << "make_golden: write failed for " << expected_path << "\n";
+    return 1;
+  }
+  out.close();
+  if (std::rename((expected_path + ".tmp").c_str(), expected_path.c_str()) !=
+      0) {
+    std::cerr << "make_golden: rename failed for " << expected_path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << dir << "/golden.repo and " << expected_path
+            << "\n";
+  return 0;
+}

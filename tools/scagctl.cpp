@@ -23,6 +23,8 @@
 #include <fstream>
 #include <sstream>
 
+#include <filesystem>
+
 #include "attacks/registry.h"
 #include "benign/registry.h"
 #include "cfg/cfg.h"
@@ -33,6 +35,7 @@
 #include "eval/experiments.h"
 #include "isa/assembler.h"
 #include "isa/export.h"
+#include "support/failpoint.h"
 #include "support/metrics.h"
 #include "support/rng.h"
 #include "support/strings.h"
@@ -45,7 +48,7 @@ namespace {
 
 int usage() {
   std::fputs(
-      "usage:\n"
+      "usage: scagctl [--failpoints=<spec>] <command>\n"
       "  scagctl list\n"
       "  scagctl build-repo <out.repo>\n"
       "  scagctl scan [--stats[=out.json]] [--no-compiled] <repo> <prog.s>...\n"
@@ -53,7 +56,11 @@ int usage() {
       "  scagctl demo <poc-name> [secret 1..15]\n"
       "  scagctl export <poc-name> [out.s]\n"
       "  scagctl cfg <prog.s>\n"
-      "  scagctl metrics-demo\n",
+      "  scagctl metrics-demo\n"
+      "\n"
+      "--failpoints arms deterministic fault injection, e.g.\n"
+      "  --failpoints='serialize.load.read=throw;batch.scan_target=delay:50'\n"
+      "(equivalent to exporting SCAG_FAILPOINTS; see docs/testing-guide.md).\n",
       stderr);
   return 2;
 }
@@ -72,19 +79,35 @@ void print_stats(const char* json_path) {
   std::fputs(support::Registry::global().snapshot().to_table().c_str(),
              stdout);
   if (json_path != nullptr && json_path[0] != '\0') {
-    std::ofstream out(json_path, std::ios::trunc);
-    if (!out) throw std::runtime_error(std::string("cannot open ") + json_path);
-    out << stats_json() << "\n";
-    out.flush();
-    if (!out.good())
-      throw std::runtime_error(std::string("write failed: ") + json_path);
+    // Tmp + rename so a failed write never leaves a truncated JSON behind.
+    const std::string tmp = std::string(json_path) + ".tmp";
+    try {
+      std::ofstream out(tmp, std::ios::trunc);
+      if (!out) throw std::runtime_error("cannot open " + tmp);
+      out << stats_json() << "\n";
+      out.flush();
+      if (!out.good()) throw std::runtime_error("write failed: " + tmp);
+    } catch (...) {
+      std::error_code ignored;
+      std::filesystem::remove(tmp, ignored);
+      throw;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, json_path, ec);
+    if (ec) {
+      std::error_code ignored;
+      std::filesystem::remove(tmp, ignored);
+      throw std::runtime_error(std::string("cannot write ") + json_path +
+                               ": " + ec.message());
+    }
     std::printf("wrote stats JSON to %s\n", json_path);
   }
 }
 
 isa::Program load_asm(const char* path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error(std::string("cannot open ") + path);
+  if (!in || support::fp::hit("scagctl.load_target"))
+    throw std::runtime_error(std::string("cannot open ") + path);
   std::stringstream ss;
   ss << in.rdbuf();
   return isa::assemble(ss.str(), path);
@@ -130,7 +153,10 @@ int cmd_scan(const char* repo_path, int nfiles, char** files,
   core::Detector detector(eval::experiment_model_config(),
                           eval::experiment_dtw_config(), eval::kThreshold);
   detector.set_use_compiled(use_compiled);
-  for (core::AttackModel& m : core::load_models_from_file(repo_path))
+  // Bounded retry for transient I/O faults; malformed repositories are
+  // terminal on the first attempt (SerializeError is never retried).
+  for (core::AttackModel& m :
+       core::load_models_from_file(repo_path, core::RetryPolicy{}))
     detector.enroll(std::move(m));
   std::printf("repository: %zu models, threshold %s\n\n",
               detector.repository_size(), pct(detector.threshold()).c_str());
@@ -288,8 +314,24 @@ int cmd_export(const char* name, const char* out_path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
   try {
+    // Global options precede the command. --failpoints arms the fault-
+    // injection registry exactly like exporting SCAG_FAILPOINTS.
+    while (argc >= 2 && starts_with(argv[1], "--")) {
+      if (starts_with(argv[1], "--failpoints=")) {
+        const char* spec = argv[1] + std::strlen("--failpoints=");
+        if (!support::fp::compiled_in())
+          std::fputs("scagctl: note: built with SCAG_FAILPOINTS_OFF; "
+                     "--failpoints is ignored\n",
+                     stderr);
+        support::fp::arm_from_string(spec);
+        --argc;
+        ++argv;
+      } else {
+        return usage();
+      }
+    }
+    if (argc < 2) return usage();
     if (std::strcmp(argv[1], "list") == 0) return cmd_list();
     if (std::strcmp(argv[1], "build-repo") == 0 && argc == 3)
       return cmd_build_repo(argv[2]);
