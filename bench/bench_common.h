@@ -4,11 +4,19 @@
 //     bench_table6_classification [samples_per_type]
 // The default is the paper's 400 per attack type. Use a smaller value for
 // a quick run (e.g. 40).
+//
+// BenchTelemetry is the shared machine-readable report emitter: benches
+// that leave a BENCH_<name>.json behind (bench_scan_throughput,
+// bench_timecost) write it through this class so every report carries the
+// same "scag-bench-v1" envelope (see docs/observability.md).
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "eval/dataset.h"
 #include "support/strings.h"
@@ -39,5 +47,88 @@ inline eval::Dataset make_dataset(std::size_t samples_per_type) {
 inline std::string vs_paper(double ours, double paper) {
   return pct(ours) + " (paper " + pct(paper) + ")";
 }
+
+/// Machine-readable bench report with a stable envelope:
+///
+///   {
+///     "schema": "scag-bench-v1",
+///     "bench": "<name>",
+///     "metrics": {
+///       "<key>": <value>,   // one metric per line, insertion order
+///       ...
+///     }
+///   }
+///
+/// One metric per line keeps shell smoke tests trivial (`grep
+/// '"memo_hits": *[1-9]'`); string values go through json_quote so a
+/// hostile value can never break the document. Setting an existing key
+/// overwrites it in place. The schema is documented in
+/// docs/observability.md "Bench telemetry".
+class BenchTelemetry {
+ public:
+  explicit BenchTelemetry(std::string name) : name_(std::move(name)) {}
+
+  void set(const std::string& key, double v) {
+    add(key, strfmt("%.6f", v));
+  }
+  void set_u64(const std::string& key, std::uint64_t v) {
+    add(key, strfmt("%llu", static_cast<unsigned long long>(v)));
+  }
+  void set_bool(const std::string& key, bool v) {
+    add(key, v ? "true" : "false");
+  }
+  void set_str(const std::string& key, std::string_view v) {
+    add(key, json_quote(v));
+  }
+
+  std::string to_json() const {
+    std::string out = "{\n";
+    out += "  \"schema\": \"scag-bench-v1\",\n";
+    out += "  \"bench\": " + json_quote(name_) + ",\n";
+    out += "  \"metrics\": {\n";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      out += "    " + json_quote(metrics_[i].first) + ": " +
+             metrics_[i].second;
+      out += i + 1 < metrics_.size() ? ",\n" : "\n";
+    }
+    out += "  }\n}\n";
+    return out;
+  }
+
+  /// Tmp + rename so a failed run never leaves a truncated report; prints
+  /// a one-line confirmation (or complaint) either way.
+  bool write(const std::string& path) const {
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("cannot write %s\n", tmp.c_str());
+      return false;
+    }
+    const std::string doc = to_json();
+    const bool wrote = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    const bool closed = std::fclose(f) == 0;
+    if (!wrote || !closed || std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      std::printf("cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  void add(const std::string& key, std::string value) {
+    for (auto& kv : metrics_) {
+      if (kv.first == key) {
+        kv.second = std::move(value);
+        return;
+      }
+    }
+    metrics_.emplace_back(key, std::move(value));
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> metrics_;
+};
 
 }  // namespace scag::bench

@@ -189,48 +189,33 @@ int run(int argc, char** argv) {
               static_cast<unsigned long long>(target_compile_ns),
               100.0 * prune_rate);
 
-  // Machine-readable report. Flat schema, one metric per line, so shell
-  // smoke tests can grep for individual fields.
-  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
-    std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"targets\": %zu,\n", targets.size());
-    std::fprintf(f, "  \"models\": %zu,\n", n_models);
-    std::fprintf(f, "  \"string\": {\"seconds\": %.6f, \"targets_per_sec\": "
-                    "%.2f, \"dp_cells\": %llu},\n",
-                 string_s, targets.size() / string_s,
-                 static_cast<unsigned long long>(string_cells));
-    std::fprintf(f, "  \"compiled\": {\"seconds\": %.6f, \"targets_per_sec\": "
-                    "%.2f, \"dp_cells\": %llu},\n",
-                 compiled_s, targets.size() / compiled_s,
-                 static_cast<unsigned long long>(compiled_cells));
-    std::fprintf(f, "  \"pruned\": {\"seconds\": %.6f, \"targets_per_sec\": "
-                    "%.2f, \"pairs\": %llu, \"exact\": %llu, \"lb_skipped\": "
-                    "%llu, \"early_abandoned\": %llu, \"prune_rate\": %.4f},\n",
-                 pruned_s, targets.size() / pruned_s,
-                 static_cast<unsigned long long>(prune.pairs),
-                 static_cast<unsigned long long>(prune.exact),
-                 static_cast<unsigned long long>(prune.lb_skipped),
-                 static_cast<unsigned long long>(prune.early_abandoned),
-                 prune_rate);
-    std::fprintf(f, "  \"memo_hits\": %llu,\n",
-                 static_cast<unsigned long long>(memo_hits));
-    std::fprintf(f, "  \"memo_misses\": %llu,\n",
-                 static_cast<unsigned long long>(memo_misses));
-    std::fprintf(f, "  \"memo_hit_rate\": %.4f,\n", hit_rate);
-    std::fprintf(f, "  \"compile_ns\": %llu,\n",
-                 static_cast<unsigned long long>(enroll_compile_ns +
-                                                 target_compile_ns));
-    std::fprintf(f, "  \"steady_state_allocs\": %llu,\n",
-                 static_cast<unsigned long long>(scratch_grows));
-    std::fprintf(f, "  \"speedup\": %.3f,\n", speedup);
-    std::fprintf(f, "  \"equivalent\": %s\n", equivalent ? "true" : "false");
-    std::fprintf(f, "}\n");
-    std::fclose(f);
-    std::printf("wrote %s\n", json_path.c_str());
-  } else {
-    std::printf("cannot write %s\n", json_path.c_str());
-    ++failures;
-  }
+  // Machine-readable report through the shared scag-bench-v1 emitter
+  // (bench_common.h): flat keys, one metric per line, so shell smoke tests
+  // can grep for individual fields.
+  bench::BenchTelemetry telemetry("scan_throughput");
+  telemetry.set_u64("targets", targets.size());
+  telemetry.set_u64("models", n_models);
+  telemetry.set("string_seconds", string_s);
+  telemetry.set("string_targets_per_sec", targets.size() / string_s);
+  telemetry.set_u64("string_dp_cells", string_cells);
+  telemetry.set("compiled_seconds", compiled_s);
+  telemetry.set("compiled_targets_per_sec", targets.size() / compiled_s);
+  telemetry.set_u64("compiled_dp_cells", compiled_cells);
+  telemetry.set("pruned_seconds", pruned_s);
+  telemetry.set("pruned_targets_per_sec", targets.size() / pruned_s);
+  telemetry.set_u64("pairs", prune.pairs);
+  telemetry.set_u64("exact", prune.exact);
+  telemetry.set_u64("lb_skipped", prune.lb_skipped);
+  telemetry.set_u64("early_abandoned", prune.early_abandoned);
+  telemetry.set("prune_rate", prune_rate);
+  telemetry.set_u64("memo_hits", memo_hits);
+  telemetry.set_u64("memo_misses", memo_misses);
+  telemetry.set("memo_hit_rate", hit_rate);
+  telemetry.set_u64("compile_ns", enroll_compile_ns + target_compile_ns);
+  telemetry.set_u64("steady_state_allocs", scratch_grows);
+  telemetry.set("speedup", speedup);
+  telemetry.set_bool("equivalent", equivalent);
+  if (!telemetry.write(json_path)) ++failures;
 
   if (failures > 0) {
     std::printf("\nFAILED: %d violation(s)\n", failures);

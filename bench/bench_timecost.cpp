@@ -30,6 +30,10 @@ double ms_since(Clock::time_point start) {
 
 int main(int argc, char** argv) {
   const std::size_t repeats = bench::samples_from_argv(argc, argv, 200);
+  const std::string json_path =
+      argc > 2 ? argv[2] : "BENCH_timecost.json";
+  bench::BenchTelemetry telemetry("timecost");
+  telemetry.set_u64("detections", repeats);
 
   // Stage timing for SCAGuard on one representative target.
   const isa::Program target =
@@ -89,6 +93,12 @@ int main(int argc, char** argv) {
 
   std::printf("Detections per second (SCAGuard, end to end): %.0f\n",
               1000.0 / (total / repeats));
+  telemetry.set("collection_ms_per_detection", t_run / repeats);
+  telemetry.set("cfg_ms_per_detection", t_cfg / repeats);
+  telemetry.set("modeling_ms_per_detection", t_model / repeats);
+  telemetry.set("comparison_ms_per_detection", t_compare / repeats);
+  telemetry.set("total_ms_per_detection", total / repeats);
+  telemetry.set("detections_per_sec", 1000.0 / (total / repeats));
 
   // Comparison-stage throughput through the batch-scan engine: the same
   // target sequence scanned `repeats` times, serial vs parallel vs pruned.
@@ -127,7 +137,15 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(stats.lb_skipped +
                                         stats.early_abandoned),
         static_cast<unsigned long long>(stats.pairs));
+    telemetry.set("batch_serial_ms", serial_ms);
+    telemetry.set("batch_parallel_ms", parallel_ms);
+    telemetry.set("batch_pruned_ms", pruned_ms);
+    telemetry.set_u64("batch_threads", parallel.threads());
+    telemetry.set_u64("batch_pairs", stats.pairs);
+    telemetry.set_u64("batch_pairs_pruned",
+                      stats.lb_skipped + stats.early_abandoned);
   }
+  telemetry.write(json_path);
 
   std::puts(
       "\nNote: the paper's 636.96 s is dominated by collecting real HPC/PT\n"

@@ -18,10 +18,13 @@ scripts/check_tsan.sh
 scripts/check_asan.sh
 
 # The metrics layer must also compile (and its tests pass) when compiled
-# out with -DSCAG_METRICS_OFF.
+# out with -DSCAG_METRICS_OFF — including the explain layer, which shares
+# the Tracer plumbing and must keep producing full reports with metrics
+# compiled out.
 cmake -B build-metrics-off -G Ninja -DSCAG_METRICS_OFF=ON
-cmake --build build-metrics-off --target test_metrics scagctl
+cmake --build build-metrics-off --target test_metrics test_explain scagctl
 build-metrics-off/tests/test_metrics
+build-metrics-off/tests/test_explain
 build-metrics-off/tools/scagctl metrics-demo
 
 # Failpoint sweep smoke through the CLI: every library failpoint, armed
@@ -81,14 +84,35 @@ build-fp-off/tests/test_parallel_scan
 build-fp-off/tests/test_golden
 build-fp-off/tools/scagctl --failpoints='cpu.step=throw' list >/dev/null
 
+# Explainability smoke through the CLI: `scagctl explain` must render the
+# alignment evidence tables, `--explain=` must emit the versioned JSON
+# report, and a global `--trace=` must leave a Chrome-trace file that
+# Perfetto can load (schema details in docs/observability.md).
+build/tools/scagctl --trace=build/explain_smoke_trace.json \
+  explain --json=build/explain_smoke.json \
+  build/fp_smoke.repo build/fp_smoke_poc.s >build/explain_smoke.out
+grep -q 'Scan explanation' build/explain_smoke.out
+grep -q 'Rationale' build/explain_smoke.out
+grep -q '"schema":"scag-scan-report-v1"' build/explain_smoke.json
+grep -q '"traceEvents"' build/explain_smoke_trace.json
+grep -q '"explain.scan"' build/explain_smoke_trace.json
+# scan --explain= writes the same report without changing the verdict exit.
+if build/tools/scagctl scan --explain=build/scan_smoke.json \
+    build/fp_smoke.repo build/fp_smoke_poc.s >/dev/null; then
+  echo "explain smoke: scan of an attack PoC unexpectedly exited 0"; exit 1
+fi
+grep -q '"schema":"scag-scan-report-v1"' build/scan_smoke.json
+
 # Compiled-kernel smoke: the throughput bench must verify bit-identical
-# scans (nonzero exit otherwise) and its JSON report must show the memo
+# scans (nonzero exit otherwise) and its JSON report — written to the
+# repo root via the shared scag-bench-v1 emitter — must show the memo
 # cache and the compile timer actually populated.
-build/bench/bench_scan_throughput 4 build/BENCH_scan.json
-grep -Eq '"memo_hits": *[1-9][0-9]*' build/BENCH_scan.json
-grep -Eq '"compile_ns": *[1-9][0-9]*' build/BENCH_scan.json
-grep -Eq '"steady_state_allocs": *0' build/BENCH_scan.json
-grep -Eq '"equivalent": *true' build/BENCH_scan.json
+build/bench/bench_scan_throughput 4 BENCH_scan.json
+grep -q '"schema": "scag-bench-v1"' BENCH_scan.json
+grep -Eq '"memo_hits": *[1-9][0-9]*' BENCH_scan.json
+grep -Eq '"compile_ns": *[1-9][0-9]*' BENCH_scan.json
+grep -Eq '"steady_state_allocs": *0' BENCH_scan.json
+grep -Eq '"equivalent": *true' BENCH_scan.json
 
 N="${1:-60}"   # samples per attack type for the bench pass
 for b in build/bench/bench_*; do
@@ -98,8 +122,9 @@ for b in build/bench/bench_*; do
     # Plain double (seconds): the suffixed "0.05s" form is only understood
     # by google-benchmark >= 1.8, the bare form by every version.
     bench_micro) "$b" --benchmark_min_time=0.05 ;;
-    bench_table1*|bench_table5*|bench_timecost) "$b" ;;
-    bench_scan_throughput) "$b" "$N" build/BENCH_scan.json ;;
+    bench_table1*|bench_table5*) "$b" ;;
+    bench_timecost) "$b" "$N" BENCH_timecost.json ;;
+    bench_scan_throughput) "$b" "$N" BENCH_scan.json ;;
     *) "$b" "$N" ;;
   esac
 done

@@ -129,6 +129,13 @@ class BatchDetector {
   std::vector<ScanOutcome> scan_programs_outcomes(
       const std::vector<isa::Program>& targets) const;
 
+  /// Explains every target against the repository (core/explain.h).
+  /// Deliberately serial: explain is a diagnostic path with O(n*m) memory
+  /// per (target, model) pair, and its reports are consumed by humans and
+  /// files, not the hot scan loop. Defined in explain.cpp.
+  std::vector<ScanReport> explain_all(const std::vector<CstBbs>& targets,
+                                      const ExplainConfig& config) const;
+
   BatchStats stats() const;
   void reset_stats() const;
 

@@ -16,6 +16,9 @@
 
 namespace scag::core {
 
+struct ScanReport;     // core/explain.h
+struct ExplainConfig;  // core/explain.h
+
 /// Score of the target against one repository model.
 struct ModelScore {
   std::string model_name;
@@ -79,6 +82,17 @@ class Detector {
 
   /// Comparison only, for a target already modeled.
   Detection scan(const CstBbs& target_sequence) const;
+
+  /// Decision-level evidence for a scan (core/explain.h): the full DTW
+  /// alignment per model, each pair's D_IS/D_CSP cost decomposition,
+  /// pruning attribution, and a verdict rationale. Runs on the string
+  /// kernels (O(n*m) memory; a diagnostic path, not a scan path); every
+  /// score in the report equals the scan() score bit-exactly. Defined in
+  /// explain.cpp.
+  ScanReport explain(const CstBbs& target_sequence, std::string target_name,
+                     const ExplainConfig& config) const;
+  ScanReport explain(const isa::Program& target,
+                     const ExplainConfig& config) const;
 
   /// The deterministic reduction shared by the serial and batch scan
   /// paths: takes per-model scores in enrollment order, sorts them

@@ -1,0 +1,451 @@
+#include "core/explain.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "core/batch_detector.h"
+#include "core/distance.h"
+#include "core/dtw_internal.h"
+#include "support/metrics.h"
+#include "support/strings.h"
+#include "support/table.h"
+#include "support/trace.h"
+
+namespace scag::core {
+
+namespace {
+
+/// Predecessor of a DP cell, in the kernel's tie-break preference order.
+enum class Step : std::uint8_t {
+  kNone = 0,
+  kDiag,  // from (i-1, j-1): both sequences advance
+  kUp,    // from (i-1, j): target advances alone
+  kLeft,  // from (i, j-1): model advances alone
+};
+
+/// The effective Sakoe-Chiba half-width, exactly as dtw() widens it.
+std::size_t effective_band(std::size_t n, std::size_t m,
+                           const DtwConfig& config) {
+  if (n == 0 || m == 0) return 0;
+  return config.window == 0
+             ? std::max(n, m)
+             : std::max(config.window, n > m ? n - m : m - n);
+}
+
+/// Decomposed cost of aligning a[i] with b[j]. The combined value is the
+/// exact cst_distance expression, so it is bit-identical to what the scan
+/// kernel paid for this cell.
+AlignedPair make_pair(const CstBbs& a, const CstBbs& b, std::size_t i,
+                      std::size_t j, const DistanceConfig& dc) {
+  AlignedPair p;
+  p.target_index = i;
+  p.model_index = j;
+  p.target_block = a[i].block;
+  p.model_block = b[j].block;
+  p.is_distance = instruction_distance(a[i], b[j], dc);
+  p.csp_distance = csp_distance(a[i].cst, b[j].cst);
+  p.cost = dc.is_weight * p.is_distance +
+           (1.0 - dc.is_weight) * p.csp_distance;
+  return p;
+}
+
+AlignedPair make_gap(const CstBbs& s, std::size_t index, bool target_side) {
+  AlignedPair p;
+  if (target_side) {
+    p.target_index = index;
+    p.target_block = s[index].block;
+  } else {
+    p.model_index = index;
+    p.model_block = s[index].block;
+  }
+  p.cost = 1.0;  // the kernel's empty-sequence convention
+  return p;
+}
+
+/// Full-DP alignment plus the per-row in-band minima the early-abandon
+/// attribution needs. Replicates dtw() cell for cell: same band, same
+/// +inf borders, same strict-< tie-breaks (diagonal, then up, then left),
+/// same once-per-row deadline check — so the backtracked path reproduces
+/// the kernel's accumulated cost AND path length bit-exactly.
+DtwAlignment align_full(const CstBbs& a, const CstBbs& b,
+                        const DtwConfig& config,
+                        std::vector<double>* row_min_out) {
+  static support::Counter& c_cells =
+      support::Registry::global().counter("explain.dp_cells");
+
+  DtwAlignment out;
+  const std::size_t n = a.size(), m = b.size();
+  if (row_min_out != nullptr) row_min_out->clear();
+  if (n == 0 && m == 0) return out;
+  if (n == 0 || m == 0) {
+    // All unmatched, cost 1 per element; emitted in scan order so the
+    // forward accumulation still reproduces the kernel's distance.
+    out.result.distance = static_cast<double>(n + m);
+    out.result.path_length = n + m;
+    out.path.reserve(n + m);
+    for (std::size_t i = 0; i < n; ++i)
+      out.path.push_back(make_gap(a, i, /*target_side=*/true));
+    for (std::size_t j = 0; j < m; ++j)
+      out.path.push_back(make_gap(b, j, /*target_side=*/false));
+    return out;
+  }
+
+  const std::size_t w = effective_band(n, m, config);
+  const std::size_t stride = m + 1;
+  std::vector<double> dp((n + 1) * stride, detail::kInf);
+  std::vector<Step> pred((n + 1) * stride, Step::kNone);
+  dp[0] = 0.0;
+  if (row_min_out != nullptr) row_min_out->reserve(n);
+
+  std::uint64_t cells = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    if (config.deadline_ns != 0 &&
+        support::monotonic_ns() >= config.deadline_ns)
+      throw ScanTimeoutError();
+    const std::size_t j_lo = i > w ? i - w : 1;
+    const std::size_t j_hi = std::min(m, i + w);
+    cells += j_hi - j_lo + 1;
+    double row_min = detail::kInf;
+    for (std::size_t j = j_lo; j <= j_hi; ++j) {
+      const double c = cst_distance(a[i - 1], b[j - 1], config.distance);
+      double best = dp[(i - 1) * stride + (j - 1)];
+      Step step = Step::kDiag;
+      if (dp[(i - 1) * stride + j] < best) {
+        best = dp[(i - 1) * stride + j];
+        step = Step::kUp;
+      }
+      if (dp[i * stride + (j - 1)] < best) {
+        best = dp[i * stride + (j - 1)];
+        step = Step::kLeft;
+      }
+      dp[i * stride + j] = best + c;
+      pred[i * stride + j] = step;
+      row_min = std::min(row_min, dp[i * stride + j]);
+    }
+    if (row_min_out != nullptr) row_min_out->push_back(row_min);
+  }
+  c_cells.add(cells);
+
+  // Backtrack from (n, m). Every visited cell pays the cost of aligning
+  // (i-1, j-1); the predecessor decides which indices advance.
+  std::size_t i = n, j = m;
+  while (i > 0 || j > 0) {
+    const Step step = pred[i * stride + j];
+    out.path.push_back(make_pair(a, b, i - 1, j - 1, config.distance));
+    switch (step) {
+      case Step::kDiag: --i; --j; break;
+      case Step::kUp: --i; break;
+      case Step::kLeft: --j; break;
+      case Step::kNone: i = 0; j = 0; break;  // unreachable: (1,1) is kDiag
+    }
+  }
+  std::reverse(out.path.begin(), out.path.end());
+
+  // Re-accumulate forward: dp[cell] = dp[pred] + c along the path is the
+  // exact addition chain the kernel performed, so this sum — and therefore
+  // everything derived from it — is bit-identical to DtwResult::distance.
+  double acc = 0.0;
+  for (const AlignedPair& p : out.path) acc += p.cost;
+  out.result.distance = acc;
+  out.result.path_length = out.path.size();
+  return out;
+}
+
+std::string fmt_double(double v) { return strfmt("%.17g", v); }
+
+std::string json_index(std::size_t index) {
+  return index == kGapIndex
+             ? std::string("-1")
+             : std::to_string(static_cast<unsigned long long>(index));
+}
+
+std::string pair_json(const AlignedPair& p) {
+  return "{\"t\":" + json_index(p.target_index) +
+         ",\"m\":" + json_index(p.model_index) +
+         ",\"t_bb\":" + std::to_string(p.target_block) +
+         ",\"m_bb\":" + std::to_string(p.model_block) +
+         ",\"cost\":" + fmt_double(p.cost) +
+         ",\"cost_bits\":" + json_quote(ieee_hex_bits(p.cost)) +
+         ",\"is\":" + fmt_double(p.is_distance) +
+         ",\"csp\":" + fmt_double(p.csp_distance) + "}";
+}
+
+std::string index_cell(std::size_t index, cfg::BlockId block) {
+  if (index == kGapIndex) return "-";
+  return strfmt("%zu (bb %llu)", index,
+                static_cast<unsigned long long>(block));
+}
+
+std::string prune_cell(const PruneAttribution& p) {
+  if (p.lb_prunes) return "lb-skip (ub " + pct(p.score_upper_bound) + ")";
+  if (p.early_abandon_row >= 0)
+    return strfmt("abandon@row %lld",
+                  static_cast<long long>(p.early_abandon_row));
+  return "exact";
+}
+
+}  // namespace
+
+std::string ieee_hex_bits(double v) {
+  static const char* hex = "0123456789abcdef";
+  std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i, bits >>= 4) out[i] = hex[bits & 0xf];
+  return out;
+}
+
+DtwAlignment dtw_align(const CstBbs& a, const CstBbs& b,
+                       const DtwConfig& config) {
+  return align_full(a, b, config, nullptr);
+}
+
+ModelExplanation explain_pair(const CstBbs& target, const AttackModel& model,
+                              const DtwConfig& config, double cutoff_score) {
+  const CstBbs& seq = model.sequence;
+  const std::size_t n = target.size(), m = seq.size();
+
+  ModelExplanation e;
+  e.model_name = model.name;
+  e.family = model.family;
+  e.target_length = n;
+  e.model_length = m;
+
+  std::vector<double> row_min;
+  DtwAlignment align = align_full(target, seq, config, &row_min);
+  e.accumulated_cost = align.result.distance;
+  e.path_length = align.result.path_length;
+  e.path = std::move(align.path);
+  e.distance = detail::finish_distance(align.result, n, m, config);
+  e.score = detail::similarity_from_distance(e.distance, config);
+
+  // Pruning attribution: replicate bounded_similarity's decisions at the
+  // cutoff. The lower bound and the similarity bound it implies are
+  // reported unconditionally; the prune/abandon verdicts only where the
+  // batch path actually arms its shortcuts (a finite distance cutoff and
+  // a pair big enough that they pay off).
+  PruneAttribution& pr = e.prune;
+  pr.cutoff_score = cutoff_score;
+  pr.band_width = effective_band(n, m, config);
+  pr.lower_bound = cst_bbs_distance_lower_bound(target, seq, config);
+  pr.score_upper_bound = similarity_upper_bound(target, seq, config);
+  const double d_cut = detail::distance_cutoff(cutoff_score, config);
+  const bool shortcuts_armed =
+      std::isfinite(d_cut) && n > 0 && m > 0 && n * m > 16;
+  if (shortcuts_armed) {
+    if (pr.lower_bound * (1.0 - detail::kPruneSlack) > d_cut) {
+      pr.lb_prunes = true;
+    } else {
+      const double pf = detail::penalty_factor(n, m, config);
+      double acc_limit = d_cut / pf;
+      if (config.normalization == DtwNormalization::kPathAveraged)
+        acc_limit *= static_cast<double>(n + m - 1);
+      acc_limit *= 1.0 + detail::kPruneSlack;
+      for (std::size_t i = 0; i < row_min.size(); ++i) {
+        if (row_min[i] > acc_limit) {
+          pr.early_abandon_row = static_cast<std::ptrdiff_t>(i + 1);
+          break;
+        }
+      }
+    }
+  }
+  return e;
+}
+
+ScanReport explain_scan(const Detector& detector, const CstBbs& target,
+                        std::string target_name,
+                        const ExplainConfig& config) {
+  static support::Counter& c_requests =
+      support::Registry::global().counter("explain.requests");
+  support::TraceScope span("explain.scan");
+  c_requests.add();
+
+  ScanReport report;
+  report.target_name = std::move(target_name);
+  report.threshold = detector.threshold();
+  report.paths_included = config.include_paths;
+  const double cutoff =
+      config.cutoff < 0.0 ? detector.threshold() : config.cutoff;
+
+  report.models.reserve(detector.repository_size());
+  for (const AttackModel& model : detector.repository())
+    report.models.push_back(
+        explain_pair(target, model, detector.dtw_config(), cutoff));
+
+  // The verdict must match Detection bit-exactly, so it goes through the
+  // exact same reduction: Detector::finalize over the same scores in
+  // enrollment order, then the explanations are permuted to that order.
+  std::vector<ModelScore> scores;
+  scores.reserve(report.models.size());
+  for (const ModelExplanation& e : report.models) {
+    ModelScore s;
+    s.model_name = e.model_name;
+    s.family = e.family;
+    s.score = e.score;
+    scores.push_back(std::move(s));
+  }
+  const Detection det =
+      Detector::finalize(std::move(scores), detector.threshold());
+  report.verdict = det.verdict;
+  report.best_score = det.best_score;
+  std::stable_sort(report.models.begin(), report.models.end(),
+                   [](const ModelExplanation& a, const ModelExplanation& b) {
+                     return a.score > b.score;
+                   });
+
+  // Rationale: the top-k cheapest aligned (non-gap) pairs of the best
+  // model — the block-level matches the verdict rests on. Ties keep path
+  // order so the rationale is deterministic.
+  if (!report.models.empty() && config.top_k > 0) {
+    const ModelExplanation& best = report.models.front();
+    std::vector<const AlignedPair*> pairs;
+    for (const AlignedPair& p : best.path)
+      if (!p.is_gap()) pairs.push_back(&p);
+    std::stable_sort(pairs.begin(), pairs.end(),
+                     [](const AlignedPair* a, const AlignedPair* b) {
+                       return a->cost < b->cost;
+                     });
+    const std::size_t k = std::min(config.top_k, pairs.size());
+    report.rationale.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      RationaleEntry r;
+      r.model_name = best.model_name;
+      r.pair = *pairs[i];
+      r.share = best.accumulated_cost > 0.0
+                    ? r.pair.cost / best.accumulated_cost
+                    : 0.0;
+      report.rationale.push_back(std::move(r));
+    }
+  }
+  return report;
+}
+
+ScanReport explain_scan(const Detector& detector, const isa::Program& target,
+                        const ExplainConfig& config) {
+  const AttackModel m = detector.builder().build(target);
+  return explain_scan(detector, m.sequence, target.name(), config);
+}
+
+ScanReport Detector::explain(const CstBbs& target_sequence,
+                             std::string target_name,
+                             const ExplainConfig& config) const {
+  return explain_scan(*this, target_sequence, std::move(target_name), config);
+}
+
+ScanReport Detector::explain(const isa::Program& target,
+                             const ExplainConfig& config) const {
+  return explain_scan(*this, target, config);
+}
+
+std::vector<ScanReport> BatchDetector::explain_all(
+    const std::vector<CstBbs>& targets, const ExplainConfig& config) const {
+  // Serial on purpose: explain is a diagnostic path with O(n*m) memory per
+  // pair, and its consumers are humans/files, not the hot scan loop.
+  std::vector<ScanReport> out;
+  out.reserve(targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i)
+    out.push_back(explain_scan(detector_, targets[i],
+                               "target-" + std::to_string(i), config));
+  return out;
+}
+
+std::string ScanReport::to_json() const {
+  std::string out = "{\"schema\":\"scag-scan-report-v1\"";
+  out += ",\"target\":" + json_quote(target_name);
+  out += ",\"threshold\":" + fmt_double(threshold);
+  out += ",\"verdict\":" + json_quote(std::string(family_abbrev(verdict)));
+  out += std::string(",\"is_attack\":") + (is_attack() ? "true" : "false");
+  out += ",\"best_score\":" + fmt_double(best_score);
+  out += ",\"best_score_bits\":" + json_quote(ieee_hex_bits(best_score));
+  out += ",\"models\":[";
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    const ModelExplanation& e = models[i];
+    if (i > 0) out += ',';
+    out += "{\"model\":" + json_quote(e.model_name);
+    out += ",\"family\":" + json_quote(std::string(family_abbrev(e.family)));
+    out += ",\"score\":" + fmt_double(e.score);
+    out += ",\"score_bits\":" + json_quote(ieee_hex_bits(e.score));
+    out += ",\"distance\":" + fmt_double(e.distance);
+    out += ",\"accumulated_cost\":" + fmt_double(e.accumulated_cost);
+    out += ",\"accumulated_cost_bits\":" +
+           json_quote(ieee_hex_bits(e.accumulated_cost));
+    out += ",\"path_length\":" + std::to_string(e.path_length);
+    out += ",\"target_length\":" + std::to_string(e.target_length);
+    out += ",\"model_length\":" + std::to_string(e.model_length);
+    out += ",\"pruning\":{\"cutoff_score\":" +
+           fmt_double(e.prune.cutoff_score);
+    out += ",\"lower_bound\":" + fmt_double(e.prune.lower_bound);
+    out += ",\"score_upper_bound\":" + fmt_double(e.prune.score_upper_bound);
+    out += std::string(",\"lb_prunes\":") +
+           (e.prune.lb_prunes ? "true" : "false");
+    out += ",\"early_abandon_row\":" +
+           std::to_string(static_cast<long long>(e.prune.early_abandon_row));
+    out += ",\"band_width\":" + std::to_string(e.prune.band_width) + "}";
+    if (paths_included) {
+      out += ",\"path\":[";
+      for (std::size_t j = 0; j < e.path.size(); ++j) {
+        if (j > 0) out += ',';
+        out += pair_json(e.path[j]);
+      }
+      out += "]";
+    }
+    out += "}";
+  }
+  out += "],\"rationale\":[";
+  for (std::size_t i = 0; i < rationale.size(); ++i) {
+    const RationaleEntry& r = rationale[i];
+    if (i > 0) out += ',';
+    out += "{\"model\":" + json_quote(r.model_name);
+    out += ",\"t\":" + json_index(r.pair.target_index);
+    out += ",\"m\":" + json_index(r.pair.model_index);
+    out += ",\"t_bb\":" + std::to_string(r.pair.target_block);
+    out += ",\"m_bb\":" + std::to_string(r.pair.model_block);
+    out += ",\"cost\":" + fmt_double(r.pair.cost);
+    out += ",\"is\":" + fmt_double(r.pair.is_distance);
+    out += ",\"csp\":" + fmt_double(r.pair.csp_distance);
+    out += ",\"share\":" + fmt_double(r.share) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ScanReport::to_table() const {
+  std::string out = "Scan explanation: " +
+                    (target_name.empty() ? "(unnamed target)" : target_name) +
+                    "\n";
+  out += "verdict: " + std::string(family_name(verdict)) + " (best score " +
+         pct(best_score) + ", threshold " + pct(threshold) + ")\n";
+  if (models.empty()) {
+    out += "(empty repository: nothing to compare against)\n";
+    return out;
+  }
+
+  Table t("Model evidence");
+  t.header({"Model", "Family", "Score", "Distance", "Path", "Band",
+            "Pruning @" + pct(models.front().prune.cutoff_score)});
+  for (const ModelExplanation& e : models) {
+    t.row({e.model_name, std::string(family_abbrev(e.family)), pct(e.score),
+           strfmt("%.6f", e.distance), std::to_string(e.path_length),
+           std::to_string(e.prune.band_width), prune_cell(e.prune)});
+  }
+  out += t.render();
+
+  if (!rationale.empty()) {
+    Table r("Rationale: top aligned block pairs of " +
+            rationale.front().model_name);
+    r.header({"#", "Target elem", "Model elem", "Cost", "D_IS", "D_CSP",
+              "Share"});
+    for (std::size_t i = 0; i < rationale.size(); ++i) {
+      const RationaleEntry& e = rationale[i];
+      r.row({std::to_string(i + 1),
+             index_cell(e.pair.target_index, e.pair.target_block),
+             index_cell(e.pair.model_index, e.pair.model_block),
+             strfmt("%.6f", e.pair.cost), strfmt("%.6f", e.pair.is_distance),
+             strfmt("%.6f", e.pair.csp_distance), pct(e.share)});
+    }
+    out += r.render();
+  }
+  return out;
+}
+
+}  // namespace scag::core

@@ -1,0 +1,177 @@
+// Scan explainability (decision-level observability for the detector).
+//
+// The scan pipeline reduces a target to a single similarity score per
+// repository model; the paper's whole argument, however, rests on *which*
+// basic blocks of the target warp onto *which* blocks of the attack model
+// (CST-BBS + DTW, Sections III-B1/B2). This module reconstructs that
+// evidence on demand:
+//
+//   - dtw_align(): a full-DP DTW variant with backtracking. It replicates
+//     the scan kernel's dynamic program cell for cell — same band, same
+//     tie-breaks — and walks the predecessor matrix back from (n, m), so
+//     the reconstructed warping path's accumulated pair costs are
+//     BIT-IDENTICAL to the kernel's DtwResult::distance (the additions
+//     happen in the same order along the same path).
+//   - Each aligned pair's cost is decomposed into its instruction-
+//     Levenshtein (D_IS) and cache-state-pair (D_CSP) components, exactly
+//     as cst_distance combines them.
+//   - Per-model pruning attribution: the O(n+m) lower-bound value, the
+//     similarity upper bound it implies, whether it would prune at the
+//     detection threshold, the DP row where early abandon would have
+//     fired, and the effective Sakoe-Chiba band width.
+//   - A verdict rationale: the top-k cheapest aligned block pairs of the
+//     best-scoring model — the concrete block-level evidence an operator
+//     audits before trusting a detection.
+//
+// Explain always runs on the STRING kernels (core/distance.h + core/dtw.h);
+// the compiled fast path of core/compiled.h is untouched and stays
+// bit-identical, so every score reported here is EXPECT_EQ-equal to the
+// Detection the scan produced (tests/test_explain.cpp, both alphabets).
+// Cost: O(n*m) time AND memory per (target, model) pair — this is a
+// diagnostic path, not a scan path. It depends only on core (it builds
+// and runs under -DSCAG_METRICS_OFF).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+
+namespace scag::core {
+
+/// Index value marking the empty-sequence side of a gap pair (the DTW
+/// empty-sequence convention aligns every element of the non-empty side
+/// against nothing at cost 1).
+inline constexpr std::size_t kGapIndex =
+    std::numeric_limits<std::size_t>::max();
+
+/// One cell of the optimal warping path: target element `target_index`
+/// aligned with model element `model_index`. For non-gap pairs,
+///   cost == is_weight * is_distance + (1 - is_weight) * csp_distance
+/// bit-exactly (the decomposition recomputes the exact cst_distance
+/// expression); gap pairs carry cost 1 and zero components.
+struct AlignedPair {
+  std::size_t target_index = kGapIndex;
+  std::size_t model_index = kGapIndex;
+  /// Original basic-block ids of the aligned elements (0 for gap sides):
+  /// what an operator greps for in the target's CFG dump.
+  cfg::BlockId target_block = 0;
+  cfg::BlockId model_block = 0;
+  double cost = 0.0;          // combined per-element distance paid here
+  double is_distance = 0.0;   // D_IS (unweighted)
+  double csp_distance = 0.0;  // D_CSP (unweighted)
+
+  bool is_gap() const {
+    return target_index == kGapIndex || model_index == kGapIndex;
+  }
+};
+
+/// Why (or why not) the pruning batch path could have skipped this model.
+/// All values are recomputed deterministically from the pair itself; they
+/// mirror bounded_similarity's decisions at `cutoff_score`.
+struct PruneAttribution {
+  double cutoff_score = 0.0;       // min_similarity the attribution assumes
+  double lower_bound = 0.0;        // O(n+m) distance lower bound
+  double score_upper_bound = 1.0;  // similarity bound implied by it
+  /// True when the lower bound alone proves score < cutoff (the pair would
+  /// be skipped without running the DP).
+  bool lb_prunes = false;
+  /// 1-based DP row at which early abandon would fire at this cutoff
+  /// (every in-band cell of that row already exceeds the translated
+  /// accumulated-cost limit); -1 when the DP runs to completion.
+  std::ptrdiff_t early_abandon_row = -1;
+  std::size_t band_width = 0;  // effective Sakoe-Chiba half-width used
+};
+
+/// Full evidence for one (target, model) comparison.
+struct ModelExplanation {
+  std::string model_name;
+  Family family = Family::kBenign;
+  std::size_t target_length = 0;
+  std::size_t model_length = 0;
+  /// Raw accumulated cost along the optimal path; summing `path[i].cost`
+  /// in order reproduces it bit-exactly.
+  double accumulated_cost = 0.0;
+  std::size_t path_length = 0;
+  double distance = 0.0;  // == cst_bbs_distance(target, model, config)
+  double score = 0.0;     // == similarity(...) == the scan's ModelScore
+  std::vector<AlignedPair> path;
+  PruneAttribution prune;
+};
+
+/// One rationale line: an aligned block pair of the best-scoring model,
+/// with its share of the accumulated cost.
+struct RationaleEntry {
+  std::string model_name;
+  AlignedPair pair;
+  double share = 0.0;  // pair.cost / accumulated_cost (0 when cost is 0)
+};
+
+struct ExplainConfig {
+  /// Rationale size: the top_k cheapest aligned pairs of the best model.
+  std::size_t top_k = 3;
+  /// Emit the full per-pair path arrays in to_json(); the summary,
+  /// pruning attribution, and rationale are always emitted.
+  bool include_paths = true;
+  /// Pruning-attribution cutoff; negative means "the detector threshold".
+  double cutoff = -1.0;
+};
+
+/// The auditable record of one scan: every model's alignment evidence,
+/// ordered exactly like Detection::scores, plus the verdict rationale.
+struct ScanReport {
+  std::string target_name;
+  double threshold = 0.0;
+  Family verdict = Family::kBenign;
+  double best_score = 0.0;
+  std::vector<ModelExplanation> models;   // sorted like Detection::scores
+  std::vector<RationaleEntry> rationale;  // top-k pairs of models.front()
+  bool paths_included = true;
+
+  bool is_attack() const { return verdict != Family::kBenign; }
+
+  /// Schema "scag-scan-report-v1" (docs/observability.md). Names are
+  /// JSON-escaped; doubles are emitted as round-trippable %.17g plus an
+  /// IEEE-754 hex-bits twin for bit-exact downstream comparison.
+  std::string to_json() const;
+  /// Human-readable: verdict line, per-model summary table, rationale
+  /// table with the D_IS/D_CSP decomposition.
+  std::string to_table() const;
+};
+
+/// Exact round-trippable text form of a double (IEEE-754 bits, 16 hex
+/// digits). Shared by the JSON renderer and the golden explain fixture.
+std::string ieee_hex_bits(double v);
+
+/// Full-DP DTW with path reconstruction. `result` is bit-identical to
+/// dtw() over cst_distance for the same inputs (distance, path_length,
+/// abandoned always false); `path` is the optimal warping path in forward
+/// order, including gap pairs for the empty-sequence convention.
+struct DtwAlignment {
+  DtwResult result;
+  std::vector<AlignedPair> path;
+};
+
+DtwAlignment dtw_align(const CstBbs& a, const CstBbs& b,
+                       const DtwConfig& config = {});
+
+/// Evidence for one (target, model) pair. `cutoff_score` feeds the
+/// pruning attribution (pass the detection threshold for "would the batch
+/// scanner have pruned this comparison?").
+ModelExplanation explain_pair(const CstBbs& target, const AttackModel& model,
+                              const DtwConfig& config, double cutoff_score);
+
+/// Explains a scan of `target` against the detector's whole repository.
+/// The report's verdict/best_score/ordering are produced by the same
+/// Detector::finalize reduction as Detection, so they match the scan
+/// bit-exactly.
+ScanReport explain_scan(const Detector& detector, const CstBbs& target,
+                        std::string target_name = "",
+                        const ExplainConfig& config = {});
+ScanReport explain_scan(const Detector& detector, const isa::Program& target,
+                        const ExplainConfig& config = {});
+
+}  // namespace scag::core

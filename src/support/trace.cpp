@@ -64,8 +64,33 @@ std::string Tracer::to_json() const {
   return out;
 }
 
+// Chrome trace-event format ("JSON Array Format" wrapped in an object so
+// metadata fits), shared by both modes: the no-op tracer renders an empty
+// but still valid document. Each span becomes a complete event ("ph":"X")
+// with ts/dur in microseconds (Chrome's unit) and the recording thread as
+// tid; names are JSON-escaped, never spliced raw. Dropped spans are
+// reported in "otherData" so a capped capture is visible in the file too.
+std::string Tracer::to_chrome_json() const {
+  const std::vector<TraceSpan> all = spans();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"scaguard\"}}";
+  for (const TraceSpan& s : all) {
+    out += strfmt(",{\"name\":%s,\"cat\":\"scag\",\"ph\":\"X\",\"pid\":1,"
+                  "\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f,"
+                  "\"args\":{\"depth\":%u}}",
+                  json_quote(s.name).c_str(), s.thread,
+                  static_cast<double>(s.start_ns) / 1e3,
+                  static_cast<double>(s.dur_ns) / 1e3, s.depth);
+  }
+  out += strfmt("],\"otherData\":{\"spans\":%zu,\"dropped\":%llu}}",
+                all.size(), static_cast<unsigned long long>(dropped()));
+  return out;
+}
+
 std::string Tracer::to_table() const {
-  const auto stages = aggregate(spans());
+  const std::vector<TraceSpan> all = spans();
+  const auto stages = aggregate(all);
   if (stages.empty()) return "(no spans recorded)\n";
   Table t("Pipeline stages");
   t.header({"Stage", "Count", "Total", "Mean", "Min", "Max"});
@@ -78,9 +103,11 @@ std::string Tracer::to_table() const {
            ms(static_cast<double>(a.max_ns))});
   }
   std::string out = t.render();
-  if (dropped() > 0)
-    out += strfmt("(%llu span(s) dropped past the span cap)\n",
-                  static_cast<unsigned long long>(dropped()));
+  // Always state the capture bounds: a capped span store that silently
+  // stops recording would otherwise read as "nothing else happened".
+  out += strfmt("(spans kept %zu of cap %zu, dropped %llu)\n", all.size(),
+                static_cast<std::size_t>(kMaxSpans),
+                static_cast<unsigned long long>(dropped()));
   return out;
 }
 

@@ -13,9 +13,11 @@
 //     ...;
 //   }  // span recorded on scope exit
 //
-// Exports: to_json() (raw spans + per-stage aggregates) and to_table()
-// (human-readable per-stage summary). Span storage is capped; spans past
-// the cap are counted in dropped() instead of growing without bound.
+// Exports: to_json() (raw spans + per-stage aggregates), to_chrome_json()
+// (Chrome trace-event format, loadable in Perfetto / chrome://tracing),
+// and to_table() (human-readable per-stage summary). Span storage is
+// capped; spans past the cap are counted in dropped() instead of growing
+// without bound, and both renderers surface the dropped count.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +44,8 @@ struct TraceSpan {
 
 class Tracer {
  public:
+  static constexpr std::size_t kMaxSpans = 1 << 16;  // mirrors real mode
+
   static Tracer& global() {
     static Tracer t;
     return t;
@@ -52,6 +56,7 @@ class Tracer {
   std::uint64_t dropped() const { return 0; }
   void clear() {}
   std::string to_json() const;
+  std::string to_chrome_json() const;
   std::string to_table() const;
 };
 
@@ -87,6 +92,12 @@ class Tracer {
 
   /// {"spans": [...], "dropped": n, "stages": {name: aggregate}}.
   std::string to_json() const;
+  /// Chrome trace-event format (the JSON Array Format wrapped in an
+  /// object): loads directly in Perfetto / chrome://tracing. Spans map to
+  /// complete ("ph":"X") events with ts/dur in microseconds and the
+  /// recording thread as tid; dropped spans are surfaced in "otherData".
+  /// See docs/observability.md "Chrome trace export".
+  std::string to_chrome_json() const;
   /// Per-stage aggregate table (count, total, mean, min, max).
   std::string to_table() const;
 

@@ -20,11 +20,13 @@
 #include "attacks/registry.h"
 #include "benign/registry.h"
 #include "core/detector.h"
+#include "core/explain.h"
 #include "support/rng.h"
 
 namespace scag::golden {
 
 inline constexpr const char* kExpectedHeader = "scaguard-golden v1";
+inline constexpr const char* kExplainHeader = "scaguard-golden-explain v1";
 inline constexpr std::uint64_t kBenignSeed = 7;
 
 /// Exact round-trippable text form of a double (IEEE-754 bits in hex).
@@ -85,6 +87,46 @@ inline std::vector<GoldenTarget> make_targets() {
     targets.push_back({"Benign/" + benign[i].name, benign[i].build(gen)});
   }
   return targets;
+}
+
+/// One explain-fixture block per target (golden_explain.txt): every
+/// model's score/distance/accumulated-cost bit patterns, the best model's
+/// full warping path with each pair's D_IS/D_CSP decomposition, and the
+/// verdict rationale. Single source for the generator
+/// (tools/make_golden.cpp) and the drift test (tests/test_golden.cpp), so
+/// the two sides can never disagree about the rendering.
+inline std::string explain_fixture_block(const core::Detector& detector,
+                                         const GoldenTarget& target) {
+  const core::ScanReport report = detector.explain(
+      detector.builder().build(target.program).sequence, target.name,
+      core::ExplainConfig{});
+  auto idx = [](std::size_t i) {
+    return i == core::kGapIndex ? std::string("-") : std::to_string(i);
+  };
+  std::string out = "target " + target.name + " " +
+                    std::string(core::family_abbrev(report.verdict)) + " " +
+                    core::ieee_hex_bits(report.best_score) + "\n";
+  for (const core::ModelExplanation& m : report.models)
+    out += "  model " + m.model_name + " score " +
+           core::ieee_hex_bits(m.score) + " distance " +
+           core::ieee_hex_bits(m.distance) + " acc " +
+           core::ieee_hex_bits(m.accumulated_cost) + " path " +
+           std::to_string(m.path_length) + "\n";
+  if (!report.models.empty()) {
+    for (const core::AlignedPair& p : report.models.front().path)
+      out += "  pair " + idx(p.target_index) + " " + idx(p.model_index) +
+             " bb " + std::to_string(p.target_block) + " " +
+             std::to_string(p.model_block) + " cost " +
+             core::ieee_hex_bits(p.cost) + " is " +
+             core::ieee_hex_bits(p.is_distance) + " csp " +
+             core::ieee_hex_bits(p.csp_distance) + "\n";
+  }
+  for (const core::RationaleEntry& r : report.rationale)
+    out += "  top " + r.model_name + " " + idx(r.pair.target_index) + " " +
+           idx(r.pair.model_index) + " cost " +
+           core::ieee_hex_bits(r.pair.cost) + " share " +
+           core::ieee_hex_bits(r.share) + "\n";
+  return out;
 }
 
 }  // namespace scag::golden

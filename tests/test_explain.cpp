@@ -1,0 +1,432 @@
+// Tests for the scan explainability layer (core/explain.h).
+//
+// The load-bearing claim is BIT-EXACTNESS: dtw_align replicates the scan
+// kernel's dynamic program cell for cell, so the reconstructed warping
+// path's forward-accumulated pair costs EXPECT_EQ the kernel's
+// DtwResult::distance (no tolerance), the per-model distance/score equal
+// cst_bbs_distance/similarity, and a ScanReport's verdict/scores equal
+// the Detection of the same scan — compiled fast path included. On top of
+// that: path validity (a monotone warping path from (0,0) to (n-1,m-1)),
+// the D_IS/D_CSP decomposition identity, the empty-sequence gap
+// convention, pruning attribution agreeing with bounded_similarity's
+// actual decisions, and JSON/table rendering (balanced, hostile names
+// escaped).
+#include <gtest/gtest.h>
+
+#include "seed_util.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "attacks/registry.h"
+#include "benign/registry.h"
+#include "core/batch_detector.h"
+#include "core/distance.h"
+#include "core/explain.h"
+#include "isa/random_program.h"
+#include "support/rng.h"
+
+namespace scag::core {
+namespace {
+
+/// The configuration axes bit-exactness must hold on: both alphabets
+/// (paper-literal default and the calibrated reduced-token config), plus
+/// band, normalization, and length-penalty variations — mirrors
+/// test_dtw_properties.cpp so the two suites cover the same space.
+std::vector<DtwConfig> property_configs() {
+  std::vector<DtwConfig> configs;
+  configs.push_back(DtwConfig{});           // paper-literal
+  configs.push_back(calibrated_dtw_config());
+
+  DtwConfig banded = calibrated_dtw_config();
+  banded.window = 2;
+  configs.push_back(banded);
+
+  DtwConfig accumulated;
+  accumulated.window = 3;
+  accumulated.length_penalty = 0.5;
+  configs.push_back(accumulated);
+
+  DtwConfig averaged;
+  averaged.normalization = DtwNormalization::kPathAveraged;
+  averaged.cost_scale = 2.0;
+  configs.push_back(averaged);
+  return configs;
+}
+
+/// Structural JSON validator: quotes respected, braces/brackets balanced,
+/// no raw control characters. Mirrors tests/test_metrics.cpp.
+bool json_balanced(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+    if (in_string) {
+      if (c == '\\') ++i;  // skip escaped char
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{' || c == '[') ++depth;
+    else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new std::vector<CstBbs>();
+    const ModelBuilder builder;
+
+    const attacks::PocConfig poc;
+    corpus_->push_back(builder.build(attacks::fr_iaik(poc)).sequence);
+    corpus_->push_back(builder.build(attacks::pp_iaik(poc)).sequence);
+    corpus_->push_back(builder.build(attacks::spectre_fr_ideal(poc)).sequence);
+    Rng benign_rng(99);
+    corpus_->push_back(
+        builder.build(benign::aes_ttables(benign_rng)).sequence);
+
+    // Randomized programs (often short or empty sequences); seed
+    // overridable for replay (docs/testing-guide.md).
+    corpus_seed_ = testutil::test_seed(4321);
+    Rng rng(corpus_seed_);
+    for (int k = 0; k < 5; ++k) {
+      Rng gen = rng.split();
+      isa::RandomProgramOptions options;
+      options.statements = 15 + 7 * k;
+      corpus_->push_back(
+          builder.build(isa::random_program(gen, options)).sequence);
+    }
+    corpus_->push_back(CstBbs{});  // explicit empty sequence
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    corpus_ = nullptr;
+  }
+
+  /// The canonical 4-family detector the report-level tests scan against.
+  static Detector make_detector(const DtwConfig& config) {
+    Detector detector(ModelConfig{}, config, 0.45);
+    for (const char* name :
+         {"FR-IAIK", "PP-IAIK", "Spectre-FR-Ideal", "Spectre-PP-Trippel"}) {
+      const attacks::PocSpec& spec = attacks::poc_by_name(name);
+      detector.enroll(spec.build(attacks::PocConfig{}), spec.family);
+    }
+    return detector;
+  }
+
+  static std::vector<CstBbs>* corpus_;
+  static std::uint64_t corpus_seed_;
+  ::testing::ScopedTrace seed_trace_{__FILE__, __LINE__,
+                                     testutil::seed_note(corpus_seed_)};
+};
+
+std::vector<CstBbs>* ExplainTest::corpus_ = nullptr;
+std::uint64_t ExplainTest::corpus_seed_ = 0;
+
+// The acceptance criterion of the layer: summing the reconstructed path's
+// pair costs in forward order reproduces the scan kernel's accumulated
+// DTW distance bit-exactly (EXPECT_EQ on doubles, no tolerance), on every
+// config (both alphabets) and every corpus pair. Path length matches too.
+TEST_F(ExplainTest, PathCostsSumToKernelDistanceBitExactly) {
+  for (const DtwConfig& config : property_configs()) {
+    for (std::size_t i = 0; i < corpus_->size(); ++i) {
+      for (std::size_t j = 0; j < corpus_->size(); ++j) {
+        const CstBbs& a = (*corpus_)[i];
+        const CstBbs& b = (*corpus_)[j];
+        const DtwAlignment align = dtw_align(a, b, config);
+        const DtwResult kernel = dtw(
+            a.size(), b.size(),
+            [&](std::size_t x, std::size_t y) {
+              return cst_distance(a[x], b[y], config.distance);
+            },
+            config);
+        EXPECT_EQ(align.result.distance, kernel.distance)
+            << "pair " << i << "," << j;
+        EXPECT_EQ(align.result.path_length, kernel.path_length)
+            << "pair " << i << "," << j;
+        EXPECT_FALSE(align.result.abandoned);
+
+        double acc = 0.0;
+        for (const AlignedPair& p : align.path) acc += p.cost;
+        EXPECT_EQ(acc, kernel.distance) << "pair " << i << "," << j;
+        EXPECT_EQ(align.path.size(), kernel.path_length)
+            << "pair " << i << "," << j;
+      }
+    }
+  }
+}
+
+// The path must be a valid warping path: starts at (0,0), ends at
+// (n-1,m-1), every step advances the target index, the model index, or
+// both, by exactly one; and each pair's cost decomposes into the weighted
+// D_IS/D_CSP combination bit-exactly.
+TEST_F(ExplainTest, PathIsMonotoneAndDecompositionIsExact) {
+  for (const DtwConfig& config : property_configs()) {
+    for (std::size_t i = 0; i < corpus_->size(); ++i) {
+      for (std::size_t j = 0; j < corpus_->size(); ++j) {
+        const CstBbs& a = (*corpus_)[i];
+        const CstBbs& b = (*corpus_)[j];
+        if (a.empty() || b.empty()) continue;  // gap convention tested below
+        const DtwAlignment align = dtw_align(a, b, config);
+        ASSERT_FALSE(align.path.empty());
+        EXPECT_EQ(align.path.front().target_index, 0u);
+        EXPECT_EQ(align.path.front().model_index, 0u);
+        EXPECT_EQ(align.path.back().target_index, a.size() - 1);
+        EXPECT_EQ(align.path.back().model_index, b.size() - 1);
+        for (std::size_t k = 0; k < align.path.size(); ++k) {
+          const AlignedPair& p = align.path[k];
+          ASSERT_FALSE(p.is_gap());
+          EXPECT_EQ(p.target_block, a[p.target_index].block);
+          EXPECT_EQ(p.model_block, b[p.model_index].block);
+          EXPECT_EQ(p.cost,
+                    config.distance.is_weight * p.is_distance +
+                        (1.0 - config.distance.is_weight) * p.csp_distance);
+          EXPECT_EQ(p.is_distance,
+                    instruction_distance(a[p.target_index], b[p.model_index],
+                                         config.distance));
+          EXPECT_EQ(p.csp_distance, csp_distance(a[p.target_index].cst,
+                                                 b[p.model_index].cst));
+          if (k == 0) continue;
+          const AlignedPair& q = align.path[k - 1];
+          const std::size_t dt = p.target_index - q.target_index;
+          const std::size_t dm = p.model_index - q.model_index;
+          EXPECT_TRUE((dt == 0 || dt == 1) && (dm == 0 || dm == 1) &&
+                      dt + dm >= 1)
+              << "step " << k << " moved (" << dt << "," << dm << ")";
+        }
+      }
+    }
+  }
+}
+
+// Empty sequences follow the kernel's convention: every element of the
+// non-empty side becomes a gap pair at cost 1, and the sum is n+m.
+TEST_F(ExplainTest, EmptySequencesAlignAsGapPairs) {
+  const DtwConfig config = calibrated_dtw_config();
+  for (const CstBbs& s : *corpus_) {
+    const DtwAlignment align = dtw_align(s, CstBbs{}, config);
+    EXPECT_EQ(align.result.distance, static_cast<double>(s.size()));
+    EXPECT_EQ(align.path.size(), s.size());
+    for (std::size_t k = 0; k < align.path.size(); ++k) {
+      EXPECT_TRUE(align.path[k].is_gap());
+      EXPECT_EQ(align.path[k].target_index, k);
+      EXPECT_EQ(align.path[k].model_index, kGapIndex);
+      EXPECT_EQ(align.path[k].cost, 1.0);
+      EXPECT_EQ(align.path[k].is_distance, 0.0);
+      EXPECT_EQ(align.path[k].csp_distance, 0.0);
+    }
+    const DtwAlignment flipped = dtw_align(CstBbs{}, s, config);
+    EXPECT_EQ(flipped.result.distance, static_cast<double>(s.size()));
+    for (const AlignedPair& p : flipped.path) {
+      EXPECT_EQ(p.target_index, kGapIndex);
+      EXPECT_TRUE(p.is_gap());
+    }
+  }
+  const DtwAlignment both = dtw_align(CstBbs{}, CstBbs{}, config);
+  EXPECT_EQ(both.result.distance, 0.0);
+  EXPECT_TRUE(both.path.empty());
+}
+
+// explain_pair's distance and score must equal the sequence-level scan
+// kernels bit-exactly — the whole point of the report is that its numbers
+// ARE the scan's numbers.
+TEST_F(ExplainTest, PairDistanceAndScoreEqualScanKernels) {
+  AttackModel model;
+  model.name = "probe";
+  model.family = Family::kFlushReload;
+  for (const DtwConfig& config : property_configs()) {
+    for (std::size_t i = 0; i < corpus_->size(); ++i) {
+      for (std::size_t j = 0; j < corpus_->size(); ++j) {
+        const CstBbs& target = (*corpus_)[i];
+        model.sequence = (*corpus_)[j];
+        const ModelExplanation e =
+            explain_pair(target, model, config, /*cutoff_score=*/0.45);
+        EXPECT_EQ(e.distance, cst_bbs_distance(target, model.sequence, config))
+            << "pair " << i << "," << j;
+        EXPECT_EQ(e.score, similarity(target, model.sequence, config))
+            << "pair " << i << "," << j;
+        EXPECT_EQ(e.target_length, target.size());
+        EXPECT_EQ(e.model_length, model.sequence.size());
+        EXPECT_EQ(e.path_length, e.path.size());
+      }
+    }
+  }
+}
+
+// A ScanReport must agree with the Detection of the same scan — verdict,
+// best_score, and every per-model score, in the same order, bit for bit —
+// whether the scan ran through the compiled fast path (the default) or
+// the string kernels.
+TEST_F(ExplainTest, ReportMatchesDetectionBitExactly) {
+  for (const DtwConfig& config :
+       {DtwConfig{}, calibrated_dtw_config()}) {  // both alphabets
+    Detector detector = make_detector(config);
+    for (bool compiled : {true, false}) {
+      detector.set_use_compiled(compiled);
+      for (std::size_t i = 0; i < corpus_->size(); ++i) {
+        SCOPED_TRACE("target " + std::to_string(i) +
+                     (compiled ? " compiled" : " string"));
+        const CstBbs& target = (*corpus_)[i];
+        const Detection det = detector.scan(target);
+        const ScanReport report =
+            detector.explain(target, "t" + std::to_string(i), {});
+        EXPECT_EQ(report.verdict, det.verdict);
+        EXPECT_EQ(report.best_score, det.best_score);
+        EXPECT_EQ(report.threshold, detector.threshold());
+        ASSERT_EQ(report.models.size(), det.scores.size());
+        for (std::size_t k = 0; k < det.scores.size(); ++k) {
+          EXPECT_EQ(report.models[k].model_name, det.scores[k].model_name);
+          EXPECT_EQ(report.models[k].family, det.scores[k].family);
+          EXPECT_EQ(report.models[k].score, det.scores[k].score);
+        }
+      }
+    }
+  }
+}
+
+// The pruning attribution must agree with what bounded_similarity
+// actually decides at the same cutoff: lb_prunes <=> PruneKind::kLowerBound,
+// an early_abandon_row <=> PruneKind::kEarlyAbandon, neither <=> kNone.
+TEST_F(ExplainTest, PruneAttributionMatchesBoundedSimilarity) {
+  const double cutoffs[] = {0.2, 0.45, 0.75, 0.9};
+  AttackModel model;
+  model.name = "probe";
+  for (const DtwConfig& config : property_configs()) {
+    for (std::size_t i = 0; i < corpus_->size(); ++i) {
+      for (std::size_t j = 0; j < corpus_->size(); ++j) {
+        const CstBbs& target = (*corpus_)[i];
+        model.sequence = (*corpus_)[j];
+        for (double cutoff : cutoffs) {
+          const ModelExplanation e =
+              explain_pair(target, model, config, cutoff);
+          const BoundedScore bs =
+              bounded_similarity(target, model.sequence, cutoff, config);
+          SCOPED_TRACE("pair " + std::to_string(i) + "," + std::to_string(j) +
+                       " cutoff " + std::to_string(cutoff));
+          EXPECT_EQ(e.prune.cutoff_score, cutoff);
+          EXPECT_EQ(e.prune.lower_bound,
+                    cst_bbs_distance_lower_bound(target, model.sequence,
+                                                 config));
+          EXPECT_EQ(e.prune.score_upper_bound,
+                    similarity_upper_bound(target, model.sequence, config));
+          switch (bs.pruned) {
+            case PruneKind::kLowerBound:
+              EXPECT_TRUE(e.prune.lb_prunes);
+              break;
+            case PruneKind::kEarlyAbandon:
+              EXPECT_FALSE(e.prune.lb_prunes);
+              EXPECT_GE(e.prune.early_abandon_row, 1);
+              EXPECT_LE(e.prune.early_abandon_row,
+                        static_cast<std::ptrdiff_t>(target.size()));
+              break;
+            case PruneKind::kNone:
+              EXPECT_FALSE(e.prune.lb_prunes);
+              EXPECT_EQ(e.prune.early_abandon_row, -1);
+              break;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Rationale: top-k cheapest non-gap pairs of the best model, cost-sorted,
+// shares derived from the accumulated cost.
+TEST_F(ExplainTest, RationaleIsTopKCheapestPairs) {
+  const Detector detector = make_detector(calibrated_dtw_config());
+  ExplainConfig config;
+  config.top_k = 4;
+  const ScanReport report =
+      detector.explain((*corpus_)[0], "fr-iaik-target", config);
+  ASSERT_FALSE(report.models.empty());
+  const ModelExplanation& best = report.models.front();
+  std::size_t non_gap = 0;
+  for (const AlignedPair& p : best.path) non_gap += !p.is_gap();
+  ASSERT_EQ(report.rationale.size(), std::min<std::size_t>(4, non_gap));
+  for (std::size_t i = 0; i < report.rationale.size(); ++i) {
+    const RationaleEntry& r = report.rationale[i];
+    EXPECT_EQ(r.model_name, best.model_name);
+    EXPECT_FALSE(r.pair.is_gap());
+    if (i > 0) {
+      EXPECT_GE(r.pair.cost, report.rationale[i - 1].pair.cost);
+    }
+    EXPECT_EQ(r.share, best.accumulated_cost > 0.0
+                           ? r.pair.cost / best.accumulated_cost
+                           : 0.0);
+  }
+  // top_k = 0 disables the rationale without touching the evidence.
+  ExplainConfig none;
+  none.top_k = 0;
+  EXPECT_TRUE(detector.explain((*corpus_)[0], "t", none).rationale.empty());
+}
+
+// JSON rendering: structurally valid, schema-tagged, and hostile target
+// names are escaped, never spliced raw.
+TEST_F(ExplainTest, JsonIsBalancedAndEscapesHostileNames) {
+  const Detector detector = make_detector(calibrated_dtw_config());
+  const std::string hostile = "evil\"name\\with\nnewline\x01" "end";
+  const ScanReport report = detector.explain((*corpus_)[0], hostile, {});
+  const std::string json = report.to_json();
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_NE(json.find("\"schema\":\"scag-scan-report-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"name\\\\with\\nnewline\\u0001end"),
+            std::string::npos)
+      << json;
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // single-line document
+
+  // include_paths=false drops the per-pair arrays but stays valid.
+  ExplainConfig no_paths;
+  no_paths.include_paths = false;
+  const std::string lean =
+      detector.explain((*corpus_)[0], "t", no_paths).to_json();
+  EXPECT_TRUE(json_balanced(lean));
+  EXPECT_EQ(lean.find("\"path\":"), std::string::npos);
+  EXPECT_LT(lean.size(), json.size());
+
+  // Scores in the JSON are round-trippable %.17g plus hex-bits twins.
+  EXPECT_NE(json.find("\"best_score_bits\":\"" +
+                      ieee_hex_bits(report.best_score) + "\""),
+            std::string::npos);
+}
+
+// Table rendering: human-readable, carries the verdict line and both
+// tables; an empty repository degrades to a one-line note.
+TEST_F(ExplainTest, TableRendersVerdictEvidenceAndRationale) {
+  const Detector detector = make_detector(calibrated_dtw_config());
+  const std::string table = detector.explain((*corpus_)[0], "target-x", {})
+                                .to_table();
+  EXPECT_NE(table.find("Scan explanation: target-x"), std::string::npos);
+  EXPECT_NE(table.find("Model evidence"), std::string::npos);
+  EXPECT_NE(table.find("Rationale"), std::string::npos);
+  EXPECT_NE(table.find("D_IS"), std::string::npos);
+
+  const Detector empty_repo(ModelConfig{}, calibrated_dtw_config(), 0.45);
+  const ScanReport empty = empty_repo.explain((*corpus_)[0], "t", {});
+  EXPECT_EQ(empty.verdict, Family::kBenign);
+  EXPECT_NE(empty.to_table().find("empty repository"), std::string::npos);
+  EXPECT_TRUE(json_balanced(empty.to_json()));
+}
+
+// BatchDetector::explain_all is the serial loop over Detector::explain
+// with generated names — byte-identical reports.
+TEST_F(ExplainTest, BatchExplainAllMatchesSerialExplain) {
+  const Detector detector = make_detector(calibrated_dtw_config());
+  const BatchDetector batch(detector);
+  std::vector<CstBbs> targets((*corpus_).begin(), (*corpus_).begin() + 3);
+  const std::vector<ScanReport> reports = batch.explain_all(targets, {});
+  ASSERT_EQ(reports.size(), targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const ScanReport serial =
+        detector.explain(targets[i], "target-" + std::to_string(i), {});
+    EXPECT_EQ(reports[i].to_json(), serial.to_json()) << "target " << i;
+  }
+}
+
+}  // namespace
+}  // namespace scag::core

@@ -101,6 +101,45 @@ TEST(Golden, EndToEndVerdictsAndScoresMatchFixture) {
   }
 }
 
+// The explain fixture pins the full alignment evidence — every model's
+// score/distance bit patterns, the best model's warping path with its
+// D_IS/D_CSP decomposition, and the verdict rationale — for the same
+// corpus. A drift here with Golden.EndToEnd green means the *evidence*
+// changed while the verdicts happened to survive: exactly the kind of
+// silent behavioral shift explainability exists to catch.
+TEST(Golden, ExplainEvidenceMatchesFixture) {
+  const std::string data_dir = SCAG_TEST_DATA_DIR;
+  std::ifstream in(data_dir + "/golden_explain.txt");
+  ASSERT_TRUE(in.is_open())
+      << "missing fixture golden_explain.txt" << kRegenerate;
+  std::string line, have;
+  bool header_ok = false, end_ok = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line == golden::kExplainHeader) {
+      header_ok = true;
+      continue;
+    }
+    if (line == "end") {
+      end_ok = true;
+      continue;
+    }
+    have += line + "\n";
+  }
+  EXPECT_TRUE(header_ok) << "fixture header missing" << kRegenerate;
+  EXPECT_TRUE(end_ok) << "fixture truncated (no 'end')" << kRegenerate;
+
+  Detector detector(ModelConfig{}, calibrated_dtw_config(), 0.45);
+  for (AttackModel& m : load_models_from_file(data_dir + "/golden.repo"))
+    detector.enroll(std::move(m));
+  ASSERT_EQ(detector.repository_size(), 4u) << kRegenerate;
+
+  std::string want;
+  for (const golden::GoldenTarget& t : golden::make_targets())
+    want += golden::explain_fixture_block(detector, t);
+  EXPECT_EQ(have, want) << kRegenerate;
+}
+
 // The committed repository itself must round-trip: guards against fixture
 // corruption (hand edits, bad merges) separately from behavior drift.
 TEST(Golden, FixtureRepositoryRoundTrips) {

@@ -334,6 +334,72 @@ TEST_F(TracerTest, JsonAndTableAreWellFormed) {
   }
 }
 
+// Chrome trace-event export: a structurally valid document with the
+// traceEvents array and complete ("ph":"X") events, in both modes — the
+// SCAG_METRICS_OFF no-op tracer still renders a valid, empty trace.
+TEST_F(TracerTest, ChromeJsonIsWellFormed) {
+  { TraceScope s("chrome.stage"); }
+  const std::string json = Tracer::global().to_chrome_json();
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"otherData\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\":0"), std::string::npos);
+  if (Registry::compiled_in()) {
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"chrome.stage\""), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  }
+}
+
+// Hostile span names must be escaped in BOTH exporters — a span name is
+// attacker-influenced data (it can come from file paths), so a quote or
+// control character in it must never break the JSON documents.
+TEST_F(TracerTest, HostileSpanNamesAreEscapedInBothExporters) {
+  if (!Registry::compiled_in()) return;
+  { TraceScope s("evil\"span\\name\nwith\x02" "ctrl"); }
+  for (const std::string& json :
+       {Tracer::global().to_json(), Tracer::global().to_chrome_json()}) {
+    EXPECT_TRUE(json_balanced(json)) << json;
+    EXPECT_NE(json.find("evil\\\"span\\\\name\\nwith\\u0002ctrl"),
+              std::string::npos)
+        << json;
+    EXPECT_EQ(json.find('\n'), std::string::npos);
+  }
+}
+
+// The span store is capped: spans past Tracer::kMaxSpans are counted in
+// dropped() instead of growing without bound, and every renderer surfaces
+// the dropped count so a truncated capture is visible.
+TEST_F(TracerTest, SpanCapCountsDropsAndSurfacesThem) {
+  if (!Registry::compiled_in()) return;
+  for (std::size_t i = 0; i < Tracer::kMaxSpans + 10; ++i) {
+    TraceScope s("flood");
+  }
+  EXPECT_EQ(Tracer::global().spans().size(), Tracer::kMaxSpans);
+  EXPECT_EQ(Tracer::global().dropped(), 10u);
+  EXPECT_NE(Tracer::global().to_table().find("dropped 10"),
+            std::string::npos);
+  EXPECT_NE(Tracer::global().to_json().find("\"dropped\":10"),
+            std::string::npos);
+  EXPECT_NE(Tracer::global().to_chrome_json().find("\"dropped\":10"),
+            std::string::npos);
+  // clear() restarts the epoch and the drop counter.
+  Tracer::global().clear();
+  EXPECT_EQ(Tracer::global().dropped(), 0u);
+}
+
+// The table always states the capture bounds, even with nothing dropped —
+// a capped store that silently stops recording must be distinguishable
+// from "nothing else happened".
+TEST_F(TracerTest, TableAlwaysStatesCaptureBounds) {
+  if (!Registry::compiled_in()) return;
+  { TraceScope s("bounded"); }
+  const std::string table = Tracer::global().to_table();
+  EXPECT_NE(table.find("spans kept 1 of cap"), std::string::npos) << table;
+  EXPECT_NE(table.find("dropped 0"), std::string::npos) << table;
+}
+
 TEST_F(TracerTest, ConcurrentSpansGetDistinctThreadIndices) {
   if (!Registry::compiled_in()) return;
   constexpr int kThreads = 4;

@@ -206,4 +206,82 @@ TEST_F(ScagctlCli, FailedScanLeavesNoPartialStatsFile) {
   std::remove(stats.c_str());
 }
 
+// ---------------------------------------------------------------------------
+// Observability surfaces: scagctl explain, scan --explain=, --trace=
+// (docs/observability.md).
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::string s, line;
+  while (std::getline(in, line)) s += line + "\n";
+  return s;
+}
+
+TEST_F(ScagctlCli, ExplainCommandPrintsEvidenceAndWritesJson) {
+  const std::string json = ::testing::TempDir() + "scag_cli_explain_" +
+                           std::to_string(getpid()) + ".json";
+  std::remove(json.c_str());
+  const RunResult r = run_scagctl("explain '--json=" + json + "' '" + *repo_ +
+                                  "' '" + *target_ + "'");
+  EXPECT_EQ(r.exit_code, 0) << r.output;  // audit view: 0 even for attacks
+  EXPECT_NE(r.output.find("Scan explanation:"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("Model evidence"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("Rationale"), std::string::npos) << r.output;
+  ASSERT_TRUE(file_exists(json)) << r.output;
+  const std::string doc = slurp(json);
+  EXPECT_NE(doc.find("\"schema\":\"scag-scan-report-v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"path\":["), std::string::npos);
+  std::remove(json.c_str());
+}
+
+TEST_F(ScagctlCli, ScanExplainFlagWritesReportsAndKeepsVerdictExit) {
+  const std::string json = ::testing::TempDir() + "scag_cli_scanex_" +
+                           std::to_string(getpid()) + ".json";
+  std::remove(json.c_str());
+  const RunResult r = run_scagctl("scan '--explain=" + json + "' '" + *repo_ +
+                                  "' '" + *target_ + "'");
+  EXPECT_EQ(r.exit_code, 1) << r.output;  // target is an attack PoC
+  ASSERT_TRUE(file_exists(json)) << r.output;
+  EXPECT_NE(slurp(json).find("\"schema\":\"scag-scan-report-v1\""),
+            std::string::npos);
+  std::remove(json.c_str());
+
+  // A failed scan must not leave a partial (or any) explain file behind.
+  const RunResult fail = run_scagctl("scan '--explain=" + json +
+                                     "' /no/such/missing.repo '" + *target_ +
+                                     "'");
+  EXPECT_NE(fail.exit_code, 0);
+  EXPECT_FALSE(file_exists(json));
+  EXPECT_FALSE(file_exists(json + ".tmp"));
+}
+
+TEST_F(ScagctlCli, TraceFlagWritesChromeTraceFile) {
+  const std::string trace = ::testing::TempDir() + "scag_cli_trace_" +
+                            std::to_string(getpid()) + ".json";
+  std::remove(trace.c_str());
+  const RunResult r = run_scagctl("'--trace=" + trace + "' scan '" + *repo_ +
+                                  "' '" + *target_ + "'");
+  EXPECT_EQ(r.exit_code, 1) << r.output;  // verdict exit is unchanged
+  ASSERT_TRUE(file_exists(trace)) << r.output;
+  const std::string doc = slurp(trace);
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  std::remove(trace.c_str());
+
+  // A command that fails never leaves a trace file (full or partial).
+  const RunResult fail = run_scagctl("'--trace=" + trace +
+                                     "' scan /no/such/missing.repo '" +
+                                     *target_ + "'");
+  EXPECT_NE(fail.exit_code, 0);
+  EXPECT_FALSE(file_exists(trace));
+  EXPECT_FALSE(file_exists(trace + ".tmp"));
+}
+
+TEST_F(ScagctlCli, ExplainWithoutArgsIsUsageError) {
+  const RunResult r = run_scagctl("explain");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("scagctl explain"), std::string::npos) << r.output;
+}
+
 }  // namespace

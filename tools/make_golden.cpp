@@ -4,11 +4,15 @@
 //   build/tools/make_golden tests/data
 //
 // writes <dir>/golden.repo (the canonical 4-model repository, in the
-// serializer's exact-bits format) and <dir>/golden_expected.txt (one line
+// serializer's exact-bits format), <dir>/golden_expected.txt (one line
 // per scan target: name, verdict family, best score as IEEE-754 hex
-// bits). Run it ONLY after an intentional behavior change, review the
-// diff, and commit the regenerated files together with the change that
-// caused it (see docs/testing-guide.md "Golden regression fixture").
+// bits), and <dir>/golden_explain.txt (one explain block per target: all
+// model scores, the best model's DTW warping path with the D_IS/D_CSP
+// decomposition, and the verdict rationale — see
+// golden::explain_fixture_block). Run it ONLY after an intentional
+// behavior change, review the diff, and commit the regenerated files
+// together with the change that caused it (see docs/testing-guide.md
+// "Golden regression fixture").
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -54,7 +58,33 @@ int main(int argc, char** argv) {
     std::cerr << "make_golden: rename failed for " << expected_path << "\n";
     return 1;
   }
-  std::cout << "wrote " << dir << "/golden.repo and " << expected_path
-            << "\n";
+
+  // The explain fixture: the same corpus, but pinning the full alignment
+  // evidence (warping path, D_IS/D_CSP decomposition, rationale) of every
+  // scan, bit-exactly. Rendering lives in golden::explain_fixture_block so
+  // the test compares against the identical format.
+  const std::string explain_path = dir + "/golden_explain.txt";
+  std::ofstream eout(explain_path + ".tmp");
+  eout << golden::kExplainHeader << "\n";
+  eout << "# per target: verdict + every model's score/distance bits, the\n";
+  eout << "# best model's warping path (pair <ti> <mi> bb <tb> <mb> with\n";
+  eout << "# cost/is/csp IEEE-754 hex bits), and the rationale entries.\n";
+  eout << "# regenerate (after an INTENTIONAL change, review the diff!):\n";
+  eout << "#   build/tools/make_golden tests/data\n";
+  for (const golden::GoldenTarget& t : golden::make_targets())
+    eout << golden::explain_fixture_block(detector, t);
+  eout << "end\n";
+  if (!eout.flush()) {
+    std::cerr << "make_golden: write failed for " << explain_path << "\n";
+    return 1;
+  }
+  eout.close();
+  if (std::rename((explain_path + ".tmp").c_str(), explain_path.c_str()) !=
+      0) {
+    std::cerr << "make_golden: rename failed for " << explain_path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << dir << "/golden.repo, " << expected_path
+            << " and " << explain_path << "\n";
   return 0;
 }

@@ -2,8 +2,10 @@
 //
 //   scagctl list                         known attack PoCs & benign templates
 //   scagctl build-repo <out.repo>        model all PoCs into a repository file
-//   scagctl scan [--stats[=out.json]] [--no-compiled] <repo> <prog.s>...
-//                                        scan assembly programs against a repo
+//   scagctl scan [--stats[=out.json]] [--explain=out.json] [--no-compiled]
+//                <repo> <prog.s>...     scan assembly programs against a repo
+//   scagctl explain [--json=out.json] <repo> <prog.s>...
+//                                        full DTW alignment evidence per scan
 //   scagctl model <prog.s>               print a program's CST-BBS model
 //   scagctl demo <poc-name> [secret]     run a PoC and show the recovery
 //   scagctl export <poc-name> [out.s]    dump a PoC as re-assemblable .s
@@ -18,6 +20,13 @@
 // `--no-compiled` is the escape hatch back to the string-based scan
 // kernels; scores and verdicts are bit-identical either way (the compiled
 // fast path of core/compiled.h is just faster).
+//
+// Observability (docs/observability.md): `explain` / `scan --explain=`
+// emit ScanReports — the DTW warping path per model, each pair's
+// D_IS/D_CSP cost decomposition, pruning attribution, and the verdict
+// rationale. The global `--trace=out.json` flag enables span tracing for
+// the whole command and writes a Chrome trace-event file loadable in
+// Perfetto / chrome://tracing.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -30,6 +39,7 @@
 #include "cfg/cfg.h"
 #include "core/batch_detector.h"
 #include "core/detector.h"
+#include "core/explain.h"
 #include "core/serialize.h"
 #include "cpu/interpreter.h"
 #include "eval/experiments.h"
@@ -48,10 +58,12 @@ namespace {
 
 int usage() {
   std::fputs(
-      "usage: scagctl [--failpoints=<spec>] <command>\n"
+      "usage: scagctl [--failpoints=<spec>] [--trace=out.json] <command>\n"
       "  scagctl list\n"
       "  scagctl build-repo <out.repo>\n"
-      "  scagctl scan [--stats[=out.json]] [--no-compiled] <repo> <prog.s>...\n"
+      "  scagctl scan [--stats[=out.json]] [--explain=out.json]\n"
+      "               [--no-compiled] <repo> <prog.s>...\n"
+      "  scagctl explain [--json=out.json] <repo> <prog.s>...\n"
       "  scagctl model <prog.s>\n"
       "  scagctl demo <poc-name> [secret 1..15]\n"
       "  scagctl export <poc-name> [out.s]\n"
@@ -60,9 +72,38 @@ int usage() {
       "\n"
       "--failpoints arms deterministic fault injection, e.g.\n"
       "  --failpoints='serialize.load.read=throw;batch.scan_target=delay:50'\n"
-      "(equivalent to exporting SCAG_FAILPOINTS; see docs/testing-guide.md).\n",
+      "(equivalent to exporting SCAG_FAILPOINTS; see docs/testing-guide.md).\n"
+      "--trace records pipeline spans for the whole command and writes them\n"
+      "as a Chrome trace-event file (open in Perfetto / chrome://tracing).\n"
+      "`explain` and `scan --explain=` emit scan evidence reports; see\n"
+      "docs/observability.md.\n",
       stderr);
   return 2;
+}
+
+/// Tmp + rename so a failed write never leaves truncated output behind.
+/// Shared by --stats=, --trace=, --explain= and explain --json=.
+void write_text_atomic(const char* path, const std::string& content) {
+  const std::string tmp = std::string(path) + ".tmp";
+  try {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot open " + tmp);
+    out << content;
+    out.flush();
+    if (!out.good()) throw std::runtime_error("write failed: " + tmp);
+  } catch (...) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    throw;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    throw std::runtime_error(std::string("cannot write ") + path + ": " +
+                             ec.message());
+  }
 }
 
 /// Combined metrics + span JSON document (the schema is documented in
@@ -79,27 +120,7 @@ void print_stats(const char* json_path) {
   std::fputs(support::Registry::global().snapshot().to_table().c_str(),
              stdout);
   if (json_path != nullptr && json_path[0] != '\0') {
-    // Tmp + rename so a failed write never leaves a truncated JSON behind.
-    const std::string tmp = std::string(json_path) + ".tmp";
-    try {
-      std::ofstream out(tmp, std::ios::trunc);
-      if (!out) throw std::runtime_error("cannot open " + tmp);
-      out << stats_json() << "\n";
-      out.flush();
-      if (!out.good()) throw std::runtime_error("write failed: " + tmp);
-    } catch (...) {
-      std::error_code ignored;
-      std::filesystem::remove(tmp, ignored);
-      throw;
-    }
-    std::error_code ec;
-    std::filesystem::rename(tmp, json_path, ec);
-    if (ec) {
-      std::error_code ignored;
-      std::filesystem::remove(tmp, ignored);
-      throw std::runtime_error(std::string("cannot write ") + json_path +
-                               ": " + ec.message());
-    }
+    write_text_atomic(json_path, stats_json() + "\n");
     std::printf("wrote stats JSON to %s\n", json_path);
   }
 }
@@ -141,15 +162,7 @@ int cmd_build_repo(const char* out_path) {
   return 0;
 }
 
-int cmd_scan(const char* repo_path, int nfiles, char** files,
-             bool with_stats, const char* stats_json_path,
-             bool use_compiled) {
-  if (with_stats) {
-    support::set_metrics_enabled(true);
-    support::Tracer::global().set_enabled(true);
-    support::Tracer::global().clear();
-    support::Registry::global().reset();
-  }
+core::Detector load_detector(const char* repo_path, bool use_compiled) {
   core::Detector detector(eval::experiment_model_config(),
                           eval::experiment_dtw_config(), eval::kThreshold);
   detector.set_use_compiled(use_compiled);
@@ -160,12 +173,39 @@ int cmd_scan(const char* repo_path, int nfiles, char** files,
     detector.enroll(std::move(m));
   std::printf("repository: %zu models, threshold %s\n\n",
               detector.repository_size(), pct(detector.threshold()).c_str());
+  return detector;
+}
+
+/// JSON array of ScanReports, one per scanned program (the file form of
+/// `scan --explain=` and `explain --json=`).
+std::string reports_json(const std::vector<core::ScanReport>& reports) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (i > 0) out += ",\n";
+    out += reports[i].to_json();
+  }
+  out += "]\n";
+  return out;
+}
+
+int cmd_scan(const char* repo_path, int nfiles, char** files,
+             bool with_stats, const char* stats_json_path,
+             const char* explain_json_path, bool use_compiled) {
+  if (with_stats) {
+    support::set_metrics_enabled(true);
+    support::Tracer::global().set_enabled(true);
+    support::Tracer::global().clear();
+    support::Registry::global().reset();
+  }
+  const core::Detector detector = load_detector(repo_path, use_compiled);
 
   Table report("Scan report");
   report.header({"Program", "Verdict", "Best match", "Score"});
   int attacks_found = 0;
+  std::vector<core::ScanReport> explained;
   for (int i = 0; i < nfiles; ++i) {
-    const core::Detection det = detector.scan(load_asm(files[i]));
+    const isa::Program program = load_asm(files[i]);
+    const core::Detection det = detector.scan(program);
     attacks_found += det.is_attack();
     report.row({files[i],
                 det.is_attack()
@@ -173,10 +213,43 @@ int cmd_scan(const char* repo_path, int nfiles, char** files,
                     : "benign",
                 det.scores.empty() ? "-" : det.scores.front().model_name,
                 pct(det.best_score)});
+    // The report re-derives the same scores on the string kernels; its
+    // verdict/best_score match `det` bit-exactly (tests/test_explain.cpp).
+    if (explain_json_path != nullptr)
+      explained.push_back(detector.explain(program, core::ExplainConfig{}));
   }
   report.print();
+  if (explain_json_path != nullptr) {
+    write_text_atomic(explain_json_path, reports_json(explained));
+    std::printf("wrote %zu explain report(s) to %s\n", explained.size(),
+                explain_json_path);
+  }
   if (with_stats) print_stats(stats_json_path);
   return attacks_found > 0 ? 1 : 0;  // nonzero exit if anything was flagged
+}
+
+/// Full scan evidence per program: verdict rationale, per-model DTW
+/// alignment summary, pruning attribution (core/explain.h). Exit 0 on
+/// success even when attacks are found — this is an audit view of a scan,
+/// not the admission gate itself.
+int cmd_explain(const char* repo_path, int nfiles, char** files,
+                const char* json_path) {
+  const core::Detector detector = load_detector(repo_path, true);
+  std::vector<core::ScanReport> reports;
+  reports.reserve(static_cast<std::size_t>(nfiles));
+  for (int i = 0; i < nfiles; ++i) {
+    const core::ScanReport report =
+        detector.explain(load_asm(files[i]), core::ExplainConfig{});
+    std::fputs(report.to_table().c_str(), stdout);
+    if (i + 1 < nfiles) std::fputs("\n", stdout);
+    reports.push_back(std::move(report));
+  }
+  if (json_path != nullptr) {
+    write_text_atomic(json_path, reports_json(reports));
+    std::printf("wrote %zu explain report(s) to %s\n", reports.size(),
+                json_path);
+  }
+  return 0;
 }
 
 /// Self-contained smoke path for the metrics/tracing layer: exercises the
@@ -311,12 +384,75 @@ int cmd_export(const char* name, const char* out_path) {
   return 0;
 }
 
+int dispatch(int argc, char** argv) {
+  if (argc < 2) return usage();
+  if (std::strcmp(argv[1], "list") == 0) return cmd_list();
+  if (std::strcmp(argv[1], "build-repo") == 0 && argc == 3)
+    return cmd_build_repo(argv[2]);
+  if (std::strcmp(argv[1], "scan") == 0) {
+    int i = 2;
+    bool with_stats = false;
+    bool use_compiled = true;
+    const char* stats_json_path = nullptr;
+    const char* explain_json_path = nullptr;
+    for (; i < argc && starts_with(argv[i], "--"); ++i) {
+      if (std::strcmp(argv[i], "--no-compiled") == 0) {
+        use_compiled = false;
+      } else if (starts_with(argv[i], "--explain=")) {
+        explain_json_path = argv[i] + std::strlen("--explain=");
+        if (explain_json_path[0] == '\0') return usage();
+      } else if (starts_with(argv[i], "--stats")) {
+        with_stats = true;
+        if (starts_with(argv[i], "--stats="))
+          stats_json_path = argv[i] + std::strlen("--stats=");
+        else if (std::strcmp(argv[i], "--stats") != 0)
+          return usage();
+      } else {
+        return usage();
+      }
+    }
+    if (argc - i >= 2)
+      return cmd_scan(argv[i], argc - i - 1, argv + i + 1, with_stats,
+                      stats_json_path, explain_json_path, use_compiled);
+    return usage();
+  }
+  if (std::strcmp(argv[1], "explain") == 0) {
+    int i = 2;
+    const char* json_path = nullptr;
+    for (; i < argc && starts_with(argv[i], "--"); ++i) {
+      if (starts_with(argv[i], "--json=")) {
+        json_path = argv[i] + std::strlen("--json=");
+        if (json_path[0] == '\0') return usage();
+      } else {
+        return usage();
+      }
+    }
+    if (argc - i >= 2)
+      return cmd_explain(argv[i], argc - i - 1, argv + i + 1, json_path);
+    return usage();
+  }
+  if (std::strcmp(argv[1], "metrics-demo") == 0 && argc == 2)
+    return cmd_metrics_demo();
+  if (std::strcmp(argv[1], "model") == 0 && argc == 3)
+    return cmd_model(argv[2]);
+  if (std::strcmp(argv[1], "demo") == 0 && (argc == 3 || argc == 4))
+    return cmd_demo(argv[2], argc == 4 ? argv[3] : nullptr);
+  if (std::strcmp(argv[1], "export") == 0 && (argc == 3 || argc == 4))
+    return cmd_export(argv[2], argc == 4 ? argv[3] : nullptr);
+  if (std::strcmp(argv[1], "cfg") == 0 && argc == 3)
+    return cmd_cfg(argv[2]);
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const char* trace_path = nullptr;
   try {
     // Global options precede the command. --failpoints arms the fault-
-    // injection registry exactly like exporting SCAG_FAILPOINTS.
+    // injection registry exactly like exporting SCAG_FAILPOINTS; --trace
+    // records spans across the whole command and writes a Chrome
+    // trace-event file once it finishes.
     while (argc >= 2 && starts_with(argv[1], "--")) {
       if (starts_with(argv[1], "--failpoints=")) {
         const char* spec = argv[1] + std::strlen("--failpoints=");
@@ -325,49 +461,29 @@ int main(int argc, char** argv) {
                      "--failpoints is ignored\n",
                      stderr);
         support::fp::arm_from_string(spec);
-        --argc;
-        ++argv;
+      } else if (starts_with(argv[1], "--trace=")) {
+        trace_path = argv[1] + std::strlen("--trace=");
+        if (trace_path[0] == '\0') return usage();
+        if (!support::Registry::compiled_in())
+          std::fputs("scagctl: note: built with SCAG_METRICS_OFF; the trace "
+                     "file will contain no spans\n",
+                     stderr);
+        support::Tracer::global().set_enabled(true);
+        support::Tracer::global().clear();
       } else {
         return usage();
       }
+      --argc;
+      ++argv;
     }
-    if (argc < 2) return usage();
-    if (std::strcmp(argv[1], "list") == 0) return cmd_list();
-    if (std::strcmp(argv[1], "build-repo") == 0 && argc == 3)
-      return cmd_build_repo(argv[2]);
-    if (std::strcmp(argv[1], "scan") == 0) {
-      int i = 2;
-      bool with_stats = false;
-      bool use_compiled = true;
-      const char* stats_json_path = nullptr;
-      for (; i < argc && starts_with(argv[i], "--"); ++i) {
-        if (std::strcmp(argv[i], "--no-compiled") == 0) {
-          use_compiled = false;
-        } else if (starts_with(argv[i], "--stats")) {
-          with_stats = true;
-          if (starts_with(argv[i], "--stats="))
-            stats_json_path = argv[i] + std::strlen("--stats=");
-          else if (std::strcmp(argv[i], "--stats") != 0)
-            return usage();
-        } else {
-          return usage();
-        }
-      }
-      if (argc - i >= 2)
-        return cmd_scan(argv[i], argc - i - 1, argv + i + 1, with_stats,
-                        stats_json_path, use_compiled);
-      return usage();
+    const int rc = dispatch(argc, argv);
+    if (trace_path != nullptr) {
+      write_text_atomic(trace_path,
+                        support::Tracer::global().to_chrome_json() + "\n");
+      std::printf("wrote Chrome trace to %s (open in Perfetto)\n",
+                  trace_path);
     }
-    if (std::strcmp(argv[1], "metrics-demo") == 0 && argc == 2)
-      return cmd_metrics_demo();
-    if (std::strcmp(argv[1], "model") == 0 && argc == 3)
-      return cmd_model(argv[2]);
-    if (std::strcmp(argv[1], "demo") == 0 && (argc == 3 || argc == 4))
-      return cmd_demo(argv[2], argc == 4 ? argv[3] : nullptr);
-    if (std::strcmp(argv[1], "export") == 0 && (argc == 3 || argc == 4))
-      return cmd_export(argv[2], argc == 4 ? argv[3] : nullptr);
-    if (std::strcmp(argv[1], "cfg") == 0 && argc == 3)
-      return cmd_cfg(argv[2]);
+    return rc;
   } catch (const std::exception& e) {
     // One-line error and a clean nonzero exit for malformed repositories,
     // bad .s files, and I/O failures — never a std::terminate abort.
@@ -377,5 +493,4 @@ int main(int argc, char** argv) {
     std::fputs("scagctl: unknown error\n", stderr);
     return 1;
   }
-  return usage();
 }
