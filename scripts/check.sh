@@ -114,6 +114,16 @@ grep -Eq '"compile_ns": *[1-9][0-9]*' BENCH_scan.json
 grep -Eq '"steady_state_allocs": *0' BENCH_scan.json
 grep -Eq '"equivalent": *true' BENCH_scan.json
 
+# Scan-cascade smoke: the repository-size bench verifies the triage
+# cascade verdict-equivalent against the exhaustive scan (nonzero exit
+# otherwise) and its scag-bench-v1 report must carry the per-stage prune
+# attribution for the largest sweep point.
+build/bench/bench_repository_size 8 BENCH_repository.json
+grep -q '"schema": "scag-bench-v1"' BENCH_repository.json
+grep -Eq '"equivalent": *true' BENCH_repository.json
+grep -Eq '"size48_kim_pruned": *[0-9]+' BENCH_repository.json
+grep -Eq '"size48_exact_per_scan": *[0-9]' BENCH_repository.json
+
 N="${1:-60}"   # samples per attack type for the bench pass
 for b in build/bench/bench_*; do
   [ -x "$b" ] || continue
@@ -125,6 +135,7 @@ for b in build/bench/bench_*; do
     bench_table1*|bench_table5*) "$b" ;;
     bench_timecost) "$b" "$N" BENCH_timecost.json ;;
     bench_scan_throughput) "$b" "$N" BENCH_scan.json ;;
+    bench_repository_size) "$b" "$N" BENCH_repository.json ;;
     *) "$b" "$N" ;;
   esac
 done

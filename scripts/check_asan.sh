@@ -36,7 +36,8 @@ cmake -B "$BUILD" -S . \
   -DCMAKE_CXX_FLAGS="$ASAN_FLAGS" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build "$BUILD" --target test_serialize test_fuzz test_metrics \
-  test_failpoints test_scagctl_cli scagctl -j"$(nproc)"
+  test_failpoints test_scagctl_cli test_lower_bounds test_scan_index \
+  scagctl -j"$(nproc)"
 
 # Leak detection needs ptrace, which many containers deny; the point here
 # is bounds/UB checking of the parser, metrics, and failure paths (the
@@ -48,4 +49,9 @@ export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1"
 "$BUILD/tests/test_metrics"
 "$BUILD/tests/test_failpoints"
 "$BUILD/tests/test_scagctl_cli"
+# The lower-bound arithmetic and the scan cascade: bounds code indexes
+# envelope arrays and the cascade walks caller-supplied visit orders, so
+# out-of-bounds mistakes would surface here first.
+"$BUILD/tests/test_lower_bounds"
+"$BUILD/tests/test_scan_index"
 echo "ASAN CHECKS PASSED"

@@ -34,7 +34,7 @@ cmake -B "$BUILD" -S . \
   -DCMAKE_CXX_FLAGS="$TSAN_FLAGS" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build "$BUILD" --target test_parallel_scan test_dtw_properties \
-  test_compiled_kernel test_failpoints -j"$(nproc)"
+  test_compiled_kernel test_failpoints test_scan_index -j"$(nproc)"
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 "$BUILD/tests/test_parallel_scan"
@@ -43,4 +43,7 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 # The failpoint harness under TSan: arming/disarming races against the
 # wait-free hit() fast path and against pool workers mid-job.
 "$BUILD/tests/test_failpoints"
+# The indexed batch scan: concurrent target rows share the read-only
+# triage index and bump the cascade's atomic stage counters.
+"$BUILD/tests/test_scan_index"
 echo "TSAN CHECKS PASSED"

@@ -16,12 +16,14 @@ namespace {
 struct BatchCounters {
   support::Counter& pairs;
   support::Counter& exact;
+  support::Counter& kim_skipped;
   support::Counter& lb_skipped;
   support::Counter& early_abandoned;
 
   static BatchCounters& global() {
     support::Registry& r = support::Registry::global();
     static BatchCounters c{r.counter("batch.pairs"), r.counter("batch.exact"),
+                           r.counter("batch.kim_skipped"),
                            r.counter("batch.lb_skipped"),
                            r.counter("batch.early_abandoned")};
     return c;
@@ -37,6 +39,7 @@ BatchStats BatchDetector::stats() const {
   BatchStats s;
   s.pairs = pairs_.load(std::memory_order_relaxed);
   s.exact = exact_.load(std::memory_order_relaxed);
+  s.kim_skipped = kim_skipped_.load(std::memory_order_relaxed);
   s.lb_skipped = lb_skipped_.load(std::memory_order_relaxed);
   s.early_abandoned = early_abandoned_.load(std::memory_order_relaxed);
   return s;
@@ -45,6 +48,7 @@ BatchStats BatchDetector::stats() const {
 void BatchDetector::reset_stats() const {
   pairs_.store(0, std::memory_order_relaxed);
   exact_.store(0, std::memory_order_relaxed);
+  kim_skipped_.store(0, std::memory_order_relaxed);
   lb_skipped_.store(0, std::memory_order_relaxed);
   early_abandoned_.store(0, std::memory_order_relaxed);
 }
@@ -126,6 +130,71 @@ Detection BatchDetector::scan_one_pruned(const CstBbs& target,
   return Detector::finalize(std::move(scores), detector_.threshold());
 }
 
+Detection BatchDetector::scan_one_indexed(const CstBbs& target,
+                                          std::uint64_t deadline_ns) const {
+  static support::Histogram& h_latency =
+      support::Registry::global().histogram("batch.target_latency_ns");
+  support::ScopedTimer timer(h_latency);
+  const std::vector<AttackModel>& repo = detector_.repository();
+  DtwConfig dtw = detector_.dtw_config();
+  dtw.deadline_ns = deadline_ns;
+  bool compiled = detector_.use_compiled() && !repo.empty();
+  const CompiledRepository& crepo = detector_.compiled_repository();
+  const ScanIndex& index = detector_.scan_index();
+  CompiledTarget ctarget;
+  ElementDistanceMemo memo;
+  ElementDistanceMemo::Stats memo_stats;
+  if (compiled) {
+    try {
+      ctarget = crepo.compile_target(target);
+      memo = ElementDistanceMemo(ctarget.unique_elements,
+                                 crepo.unique_elements());
+    } catch (const support::fp::FailpointError&) {
+      fallback_counter().add();
+      compiled = false;  // degrade to the bit-identical string kernels
+    }
+  }
+  // The visit order and every cascade decision depend only on the
+  // enrolled models and this target; one thread owns the whole row, so
+  // indexed scans are deterministic at any thread count.
+  std::vector<CascadeScore> cascade;
+  CascadeStats cstats;
+  if (compiled) {
+    const std::vector<std::uint32_t> order =
+        index.scan_order(ctarget.seq.features, ctarget.seq.size());
+    cascade =
+        cascade_scan(ctarget, crepo, order, memo, dtw, &cstats, &memo_stats);
+    flush_memo_stats(memo_stats);
+  } else {
+    const SequenceFeatures tf =
+        compute_sequence_features(target, dtw.distance);
+    const std::vector<std::uint32_t> order =
+        index.scan_order(tf, target.size());
+    cascade = cascade_scan(target, repo, order, tf, dtw, &cstats);
+  }
+  std::vector<ModelScore> scores;
+  scores.reserve(repo.size());
+  for (std::size_t j = 0; j < repo.size(); ++j) {
+    ModelScore s;
+    s.model_name = repo[j].name;
+    s.family = repo[j].family;
+    s.score = cascade[j].score;
+    s.pruned = cascade[j].stage != CascadeStage::kExact;
+    scores.push_back(std::move(s));
+  }
+  exact_.fetch_add(cstats.exact, std::memory_order_relaxed);
+  kim_skipped_.fetch_add(cstats.kim_pruned, std::memory_order_relaxed);
+  lb_skipped_.fetch_add(cstats.envelope_pruned, std::memory_order_relaxed);
+  early_abandoned_.fetch_add(cstats.early_abandoned,
+                             std::memory_order_relaxed);
+  BatchCounters& bc = BatchCounters::global();
+  bc.exact.add(cstats.exact);
+  bc.kim_skipped.add(cstats.kim_pruned);
+  bc.lb_skipped.add(cstats.envelope_pruned);
+  bc.early_abandoned.add(cstats.early_abandoned);
+  return Detector::finalize(std::move(scores), detector_.threshold());
+}
+
 std::vector<Detection> BatchDetector::scan_all(
     const std::vector<CstBbs>& targets) const {
   const std::vector<AttackModel>& repo = detector_.repository();
@@ -139,6 +208,14 @@ std::vector<Detection> BatchDetector::scan_all(
       support::Registry::global().histogram("batch.scan_latency_ns");
   support::TraceScope span("batch.scan_all");
   support::ScopedTimer timer(h_latency);
+
+  if (config_.index) {
+    // One work unit per target row, like pruned mode: the cascade's
+    // best-so-far cutoff is a per-row sequential ratchet.
+    pool_.parallel_for(
+        n, [&](std::size_t t) { out[t] = scan_one_indexed(targets[t]); });
+    return out;
+  }
 
   if (config_.prune) {
     // One work unit per target row: the best-so-far cutoff is a per-row
@@ -300,8 +377,9 @@ ScanOutcome BatchDetector::scan_outcome_one(const CstBbs& target) const {
   try {
     if (support::fp::hit("batch.scan_target"))
       throw support::fp::FailpointError("batch.scan_target");
-    o.detection = config_.prune ? scan_one_pruned(target, deadline_ns)
-                                : scan_one_exact(target, deadline_ns);
+    o.detection = config_.index ? scan_one_indexed(target, deadline_ns)
+                 : config_.prune ? scan_one_pruned(target, deadline_ns)
+                                 : scan_one_exact(target, deadline_ns);
   } catch (const ScanTimeoutError&) {
     o.status = ScanStatus::kTimedOut;
     o.error = "scan deadline of " + std::to_string(config_.scan.deadline_ms) +

@@ -17,6 +17,14 @@
 //     instead of the exact score; those are flagged ModelScore::pruned.
 //     Pruning decisions depend only on the enrollment order, never on
 //     thread scheduling, so pruned runs are also deterministic.
+//   - With the triage index enabled (BatchConfig::index), each target row
+//     runs the lower-bound cascade of core/scan_index.h in the index's
+//     visit order. The cutoff is the best exact score only, so verdict,
+//     best_score, and the winning model are ALL bit-identical to the
+//     serial exhaustive path, for benign targets too (the stronger
+//     contract the differential harness tests/differential_scan.h
+//     enforces). Visit order depends only on the enrolled models and the
+//     target, never on scheduling.
 //
 // Both modes run through the Detector's compiled fast path
 // (core/compiled.h) when it is enabled (the default); the compiled
@@ -49,6 +57,14 @@ struct BatchConfig {
   std::size_t threads = 0;
   /// Enable the DTW fast paths (lower-bound skip + early abandon).
   bool prune = false;
+  /// Route each target through the triage index + lower-bound cascade
+  /// (core/scan_index.h) instead of the enrollment-order scan. Takes
+  /// precedence over `prune` (the cascade subsumes it). Unlike `prune`,
+  /// the cascade's cutoff is the best exact score only — never the
+  /// threshold — so verdict, best_score, AND the winning model are
+  /// bit-identical to the exhaustive path for every target, benign ones
+  /// included; sub-best entries may carry flagged upper bounds.
+  bool index = false;
   /// Pairs per work chunk when pruning is off (pruning works per target
   /// row so its best-so-far cutoff stays deterministic).
   std::size_t grain = 16;
@@ -80,6 +96,8 @@ struct ScanOutcome {
 struct BatchStats {
   std::uint64_t pairs = 0;            // (target, model) comparisons issued
   std::uint64_t exact = 0;            // computed by the full DP
+  std::uint64_t kim_skipped = 0;      // skipped by the O(1) endpoints bound
+                                      // (indexed cascade mode only)
   std::uint64_t lb_skipped = 0;       // skipped by the O(n+m) lower bound
   std::uint64_t early_abandoned = 0;  // DP abandoned mid-way
 };
@@ -144,6 +162,8 @@ class BatchDetector {
                             std::uint64_t deadline_ns = 0) const;
   Detection scan_one_exact(const CstBbs& target,
                            std::uint64_t deadline_ns) const;
+  Detection scan_one_indexed(const CstBbs& target,
+                             std::uint64_t deadline_ns = 0) const;
   ScanOutcome scan_outcome_one(const CstBbs& target) const;
 
   const Detector& detector_;
@@ -151,6 +171,7 @@ class BatchDetector {
   mutable support::ThreadPool pool_;
   mutable std::atomic<std::uint64_t> pairs_{0};
   mutable std::atomic<std::uint64_t> exact_{0};
+  mutable std::atomic<std::uint64_t> kim_skipped_{0};
   mutable std::atomic<std::uint64_t> lb_skipped_{0};
   mutable std::atomic<std::uint64_t> early_abandoned_{0};
 };

@@ -399,6 +399,26 @@ double compiled_cst_bbs_distance_lower_bound(
   return d * detail::penalty_factor(n, m, config);
 }
 
+double compiled_cst_bbs_distance_lower_bound_kim(
+    const CompiledTarget& target, const CompiledRepository& repo,
+    std::size_t model_index, ElementDistanceMemo& memo,
+    const DtwConfig& config, ElementDistanceMemo::Stats* memo_stats) {
+  const std::size_t n = target.seq.size();
+  const std::size_t m = repo.model(model_index).size();
+  if (n == 0 || m == 0)
+    return compiled_cst_bbs_distance(target, repo, model_index, memo, config,
+                                     memo_stats);
+
+  double kim = compiled_element_distance(target, 0, repo, model_index, 0,
+                                         memo, config.distance, memo_stats);
+  if (n + m > 2)
+    kim += compiled_element_distance(target, n - 1, repo, model_index, m - 1,
+                                     memo, config.distance, memo_stats);
+  if (config.normalization == DtwNormalization::kPathAveraged)
+    kim /= static_cast<double>(n + m - 1);  // the longest possible path
+  return kim * detail::penalty_factor(n, m, config);
+}
+
 double compiled_similarity(const CompiledTarget& target,
                            const CompiledRepository& repo,
                            std::size_t model_index, ElementDistanceMemo& memo,
@@ -436,31 +456,11 @@ BoundedScore compiled_bounded_similarity(
     return out;
   }
 
-  // Stage 2: exact DP with early abandon. Translate the distance cutoff
-  // back into accumulated-cost space, conservatively (the true path is at
-  // most n+m-1 cells long, the penalty factor is exact).
-  const double pf = detail::penalty_factor(n, m, config);
-  double acc_limit = d_cut / pf;
-  if (config.normalization == DtwNormalization::kPathAveraged)
-    acc_limit *= static_cast<double>(n + m - 1);
-  acc_limit *= 1.0 + detail::kPruneSlack;
-
+  // Stage 2: exact DP with early abandon (shared with the string kernel
+  // and the scan cascade via core/dtw_internal.h).
   const PairContext cost{target, repo,       model_index,
                          memo,   config.distance, memo_stats};
-  const DtwResult r = dtw(n, m, cost, config, acc_limit);
-  if (r.abandoned) {
-    double d_ab = r.distance;  // row minimum: accumulated-cost lower bound
-    if (config.normalization == DtwNormalization::kPathAveraged)
-      d_ab /= static_cast<double>(n + m - 1);
-    d_ab *= pf;
-    out.score = detail::similarity_from_distance(
-        d_ab * (1.0 - detail::kPruneSlack), config);
-    out.pruned = PruneKind::kEarlyAbandon;
-    return out;
-  }
-  out.score = detail::similarity_from_distance(
-      detail::finish_distance(r, n, m, config), config);
-  return out;
+  return detail::bounded_dp(n, m, cost, d_cut, config);
 }
 
 void flush_memo_stats(const ElementDistanceMemo::Stats& stats) {

@@ -207,6 +207,14 @@ double compiled_cst_bbs_distance_lower_bound(
     std::size_t model_index, ElementDistanceMemo& memo,
     const DtwConfig& config, ElementDistanceMemo::Stats* memo_stats);
 
+/// == cst_bbs_distance_lower_bound_kim(target, model, config): the O(1)
+/// endpoints-only stage of the scan cascade. The two element distances it
+/// pays go through the memo, so a later envelope/DP stage reuses them.
+double compiled_cst_bbs_distance_lower_bound_kim(
+    const CompiledTarget& target, const CompiledRepository& repo,
+    std::size_t model_index, ElementDistanceMemo& memo,
+    const DtwConfig& config, ElementDistanceMemo::Stats* memo_stats);
+
 /// == similarity(target, model, config).
 double compiled_similarity(const CompiledTarget& target,
                            const CompiledRepository& repo,

@@ -20,6 +20,12 @@ void Detector::enroll(AttackModel model) {
     throw std::invalid_argument("Detector::enroll: enroll attack models only");
   repository_.push_back(std::move(model));
   compiled_.add(repository_.back().sequence);
+  // The compiled form just computed this model's envelope features; the
+  // triage index summarizes them further, so enrollment pays no extra
+  // sequence sweep.
+  const AttackModel& m = repository_.back();
+  index_.add(compiled_.model(repository_.size() - 1).features,
+             m.sequence.size(), m.family);
 }
 
 Detection Detector::scan(const isa::Program& target) const {
@@ -59,6 +65,36 @@ Detection Detector::scan(const CstBbs& target_sequence) const {
 
   std::vector<ModelScore> scores;
   scores.reserve(repository_.size());
+  if (use_index_ && !repository_.empty()) {
+    // Triage + lower-bound cascade (core/scan_index.h): sublinear in the
+    // exact-DTW count, bit-identical verdict/best/winner either way.
+    std::vector<CascadeScore> cascade;
+    if (compiled_ok) {
+      ElementDistanceMemo memo(target.unique_elements,
+                               compiled_.unique_elements());
+      ElementDistanceMemo::Stats stats;
+      const std::vector<std::uint32_t> order =
+          index_.scan_order(target.seq.features, target.seq.size());
+      cascade =
+          cascade_scan(target, compiled_, order, memo, dtw_, nullptr, &stats);
+      flush_memo_stats(stats);
+    } else {
+      const SequenceFeatures tf =
+          compute_sequence_features(target_sequence, dtw_.distance);
+      const std::vector<std::uint32_t> order =
+          index_.scan_order(tf, target_sequence.size());
+      cascade = cascade_scan(target_sequence, repository_, order, tf, dtw_);
+    }
+    for (std::size_t j = 0; j < repository_.size(); ++j) {
+      ModelScore s;
+      s.model_name = repository_[j].name;
+      s.family = repository_[j].family;
+      s.score = cascade[j].score;
+      s.pruned = cascade[j].stage != CascadeStage::kExact;
+      scores.push_back(std::move(s));
+    }
+    return finalize(std::move(scores), threshold_);
+  }
   if (compiled_ok) {
     ElementDistanceMemo memo(target.unique_elements,
                              compiled_.unique_elements());

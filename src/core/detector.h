@@ -13,6 +13,7 @@
 #include "core/compiled.h"
 #include "core/dtw.h"
 #include "core/model.h"
+#include "core/scan_index.h"
 
 namespace scag::core {
 
@@ -24,10 +25,10 @@ struct ModelScore {
   std::string model_name;
   Family family = Family::kBenign;
   double score = 0.0;
-  /// Set only by the pruning batch-scan path (core/batch_detector.h): the
-  /// comparison was cut short and `score` is an upper bound on the exact
-  /// similarity, itself below the pruning cutoff. The serial Detector
-  /// always computes exactly and leaves this false.
+  /// Set by the pruning scan paths (BatchConfig::prune and the triage
+  /// cascade, core/scan_index.h): the comparison was cut short and `score`
+  /// is an upper bound on the exact similarity, itself below the pruning
+  /// cutoff. Exhaustive scans always compute exactly and leave this false.
   bool pruned = false;
 };
 
@@ -68,6 +69,20 @@ class Detector {
   /// enrollment. BatchDetector compiles its targets against this.
   const CompiledRepository& compiled_repository() const { return compiled_; }
 
+  /// Whether scans run through the triage index + lower-bound cascade
+  /// (core/scan_index.h). Off by default here (the serial Detector is the
+  /// exhaustive-oracle baseline of every equivalence test); `scagctl scan`
+  /// turns it on, with `--no-index` as the escape hatch. On or off, the
+  /// Detection's verdict, best_score, and winning model are bit-identical;
+  /// only sub-best entries may carry flagged upper bounds when on.
+  bool use_index() const { return use_index_; }
+  void set_use_index(bool on) { use_index_ = on; }
+
+  /// The triage index, maintained at enrollment regardless of use_index()
+  /// so it can be toggled on (or consulted by explain reports) at any
+  /// time. BatchDetector's indexed mode reads this.
+  const ScanIndex& scan_index() const { return index_; }
+
   /// Adds a PoC to the repository (modeling it with the pipeline).
   void enroll(const isa::Program& poc, Family family);
 
@@ -106,8 +121,10 @@ class Detector {
   DtwConfig dtw_;
   double threshold_;
   bool use_compiled_ = true;
+  bool use_index_ = false;
   std::vector<AttackModel> repository_;
   CompiledRepository compiled_;
+  ScanIndex index_;
 };
 
 }  // namespace scag::core

@@ -104,6 +104,22 @@ double cst_bbs_distance_lower_bound(const CstBbs& a, const CstBbs& b,
   return cst_bbs_distance_lower_bound(a, b, fa, fb, config);
 }
 
+double cst_bbs_distance_lower_bound_kim(const CstBbs& a, const CstBbs& b,
+                                        const DtwConfig& config) {
+  const std::size_t n = a.size(), m = b.size();
+  if (n == 0 || m == 0) return cst_bbs_distance(a, b, config);
+
+  // Exactly the kim term of accumulated_cost_lower_bound, finished with
+  // the same (monotone) normalization/penalty arithmetic; since
+  // kim <= max(kim, envelope) and both finishes round identically, this
+  // bound never exceeds the full lower bound bit-exactly.
+  double kim = cst_distance(a.front(), b.front(), config.distance);
+  if (n + m > 2) kim += cst_distance(a.back(), b.back(), config.distance);
+  if (config.normalization == DtwNormalization::kPathAveraged)
+    kim /= static_cast<double>(n + m - 1);  // the longest possible path
+  return kim * detail::penalty_factor(n, m, config);
+}
+
 double similarity(const CstBbs& a, const CstBbs& b, const DtwConfig& config) {
   return detail::similarity_from_distance(cst_bbs_distance(a, b, config),
                                           config);
@@ -139,34 +155,14 @@ BoundedScore bounded_similarity(const CstBbs& a, const CstBbs& b,
     return out;
   }
 
-  // Stage 2: exact DP with early abandon. Translate the distance cutoff
-  // back into accumulated-cost space, conservatively (the true path is at
-  // most n+m-1 cells long, the penalty factor is exact).
-  const double pf = detail::penalty_factor(n, m, config);
-  double acc_limit = d_cut / pf;
-  if (config.normalization == DtwNormalization::kPathAveraged)
-    acc_limit *= static_cast<double>(n + m - 1);
-  acc_limit *= 1.0 + detail::kPruneSlack;
-
-  const DtwResult r =
-      dtw(n, m,
-          [&a, &b, &config](std::size_t i, std::size_t j) {
-            return cst_distance(a[i], b[j], config.distance);
-          },
-          config, acc_limit);
-  if (r.abandoned) {
-    double d_ab = r.distance;  // row minimum: accumulated-cost lower bound
-    if (config.normalization == DtwNormalization::kPathAveraged)
-      d_ab /= static_cast<double>(n + m - 1);
-    d_ab *= pf;
-    out.score = detail::similarity_from_distance(
-        d_ab * (1.0 - detail::kPruneSlack), config);
-    out.pruned = PruneKind::kEarlyAbandon;
-    return out;
-  }
-  out.score = detail::similarity_from_distance(
-      detail::finish_distance(r, n, m, config), config);
-  return out;
+  // Stage 2: exact DP with early abandon (shared with the compiled kernel
+  // and the scan cascade via core/dtw_internal.h).
+  return detail::bounded_dp(
+      n, m,
+      [&a, &b, &config](std::size_t i, std::size_t j) {
+        return cst_distance(a[i], b[j], config.distance);
+      },
+      d_cut, config);
 }
 
 DtwConfig calibrated_dtw_config() {

@@ -241,6 +241,15 @@ double cst_bbs_distance_lower_bound(const CstBbs& a, const CstBbs& b,
                                     const SequenceFeatures& fb,
                                     const DtwConfig& config = {});
 
+/// The LB_Kim half of the bound alone: only the endpoint costs, O(1) after
+/// the sequences are in hand (no envelope sweep). This is the cheapest
+/// stage of the scan cascade (core/scan_index.h). Bit-exact tightness
+/// ordering (tests/test_lower_bounds.cpp):
+///   cst_bbs_distance_lower_bound_kim <= cst_bbs_distance_lower_bound
+///                                    <= cst_bbs_distance.
+double cst_bbs_distance_lower_bound_kim(const CstBbs& a, const CstBbs& b,
+                                        const DtwConfig& config = {});
+
 /// Similarity score in (0, 1]: 1 / (1 + cost_scale * D).
 double similarity(const CstBbs& a, const CstBbs& b,
                   const DtwConfig& config = {});

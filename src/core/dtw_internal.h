@@ -68,6 +68,41 @@ inline double distance_cutoff(double min_similarity, const DtwConfig& config) {
   return d * (1.0 + kPruneSlack);
 }
 
+/// Stage 2 of bounded_similarity and the final stage of the scan cascade:
+/// the exact DP with early abandon, entered once the O(n+m) lower bounds
+/// failed to prune at distance cutoff `d_cut`. The cutoff is translated
+/// back into accumulated-cost space conservatively (the true path is at
+/// most n+m-1 cells long, the penalty factor is exact). Shared between the
+/// string kernel (dtw.cpp), the compiled kernel (compiled.cpp), and the
+/// cascade scanner (scan_index.cpp) so all three make bit-identical
+/// decisions and report bit-identical scores.
+template <class CostFn>
+BoundedScore bounded_dp(std::size_t n, std::size_t m, CostFn&& cost,
+                        double d_cut, const DtwConfig& config) {
+  BoundedScore out;
+  const double pf = penalty_factor(n, m, config);
+  double acc_limit = d_cut / pf;
+  if (config.normalization == DtwNormalization::kPathAveraged)
+    acc_limit *= static_cast<double>(n + m - 1);
+  acc_limit *= 1.0 + kPruneSlack;
+
+  const DtwResult r =
+      dtw(n, m, static_cast<CostFn&&>(cost), config, acc_limit);
+  if (r.abandoned) {
+    double d_ab = r.distance;  // row minimum: accumulated-cost lower bound
+    if (config.normalization == DtwNormalization::kPathAveraged)
+      d_ab /= static_cast<double>(n + m - 1);
+    d_ab *= pf;
+    out.score =
+        similarity_from_distance(d_ab * (1.0 - kPruneSlack), config);
+    out.pruned = PruneKind::kEarlyAbandon;
+    return out;
+  }
+  out.score =
+      similarity_from_distance(finish_distance(r, n, m, config), config);
+  return out;
+}
+
 /// Distance from value x to the interval [lo, hi] (0 inside).
 inline double interval_gap(double x, double lo, double hi) {
   if (x > hi) return x - hi;

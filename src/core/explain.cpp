@@ -178,6 +178,7 @@ std::string index_cell(std::size_t index, cfg::BlockId block) {
 }
 
 std::string prune_cell(const PruneAttribution& p) {
+  if (p.kim_prunes) return "kim-skip (ub " + pct(p.score_upper_bound) + ")";
   if (p.lb_prunes) return "lb-skip (ub " + pct(p.score_upper_bound) + ")";
   if (p.early_abandon_row >= 0)
     return strfmt("abandon@row %lld",
@@ -227,12 +228,16 @@ ModelExplanation explain_pair(const CstBbs& target, const AttackModel& model,
   PruneAttribution& pr = e.prune;
   pr.cutoff_score = cutoff_score;
   pr.band_width = effective_band(n, m, config);
+  pr.kim_bound = cst_bbs_distance_lower_bound_kim(target, seq, config);
   pr.lower_bound = cst_bbs_distance_lower_bound(target, seq, config);
   pr.score_upper_bound = similarity_upper_bound(target, seq, config);
   const double d_cut = detail::distance_cutoff(cutoff_score, config);
   const bool shortcuts_armed =
       std::isfinite(d_cut) && n > 0 && m > 0 && n * m > 16;
   if (shortcuts_armed) {
+    // Mirrors the cascade's stage order: the kim bound never exceeds the
+    // full bound, so kim_prunes implies lb_prunes.
+    pr.kim_prunes = pr.kim_bound * (1.0 - detail::kPruneSlack) > d_cut;
     if (pr.lower_bound * (1.0 - detail::kPruneSlack) > d_cut) {
       pr.lb_prunes = true;
     } else {
@@ -271,6 +276,19 @@ ScanReport explain_scan(const Detector& detector, const CstBbs& target,
   for (const AttackModel& model : detector.repository())
     report.models.push_back(
         explain_pair(target, model, detector.dtw_config(), cutoff));
+
+  // Triage attribution: where the scan cascade (core/scan_index.h) would
+  // visit each model for this target. The index is maintained at
+  // enrollment whether or not indexed scanning is enabled, so the report
+  // can always say what triage *would* do.
+  if (!report.models.empty()) {
+    const SequenceFeatures tf =
+        compute_sequence_features(target, detector.dtw_config().distance);
+    const std::vector<std::uint32_t> order =
+        detector.scan_index().scan_order(tf, target.size());
+    for (std::size_t rank = 0; rank < order.size(); ++rank)
+      report.models[order[rank]].prune.triage_rank = rank;
+  }
 
   // The verdict must match Detection bit-exactly, so it goes through the
   // exact same reduction: Detector::finalize over the same scores in
@@ -374,12 +392,16 @@ std::string ScanReport::to_json() const {
     out += ",\"model_length\":" + std::to_string(e.model_length);
     out += ",\"pruning\":{\"cutoff_score\":" +
            fmt_double(e.prune.cutoff_score);
+    out += ",\"kim_bound\":" + fmt_double(e.prune.kim_bound);
     out += ",\"lower_bound\":" + fmt_double(e.prune.lower_bound);
     out += ",\"score_upper_bound\":" + fmt_double(e.prune.score_upper_bound);
+    out += std::string(",\"kim_prunes\":") +
+           (e.prune.kim_prunes ? "true" : "false");
     out += std::string(",\"lb_prunes\":") +
            (e.prune.lb_prunes ? "true" : "false");
     out += ",\"early_abandon_row\":" +
            std::to_string(static_cast<long long>(e.prune.early_abandon_row));
+    out += ",\"triage_rank\":" + std::to_string(e.prune.triage_rank);
     out += ",\"band_width\":" + std::to_string(e.prune.band_width) + "}";
     if (paths_included) {
       out += ",\"path\":[";
@@ -421,12 +443,13 @@ std::string ScanReport::to_table() const {
   }
 
   Table t("Model evidence");
-  t.header({"Model", "Family", "Score", "Distance", "Path", "Band",
+  t.header({"Model", "Family", "Score", "Distance", "Path", "Band", "Triage",
             "Pruning @" + pct(models.front().prune.cutoff_score)});
   for (const ModelExplanation& e : models) {
     t.row({e.model_name, std::string(family_abbrev(e.family)), pct(e.score),
            strfmt("%.6f", e.distance), std::to_string(e.path_length),
-           std::to_string(e.prune.band_width), prune_cell(e.prune)});
+           std::to_string(e.prune.band_width),
+           std::to_string(e.prune.triage_rank + 1), prune_cell(e.prune)});
   }
   out += t.render();
 

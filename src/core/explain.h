@@ -74,11 +74,20 @@ struct AlignedPair {
 /// mirror bounded_similarity's decisions at `cutoff_score`.
 struct PruneAttribution {
   double cutoff_score = 0.0;       // min_similarity the attribution assumes
+  double kim_bound = 0.0;          // O(1) endpoints-only lower bound
   double lower_bound = 0.0;        // O(n+m) distance lower bound
   double score_upper_bound = 1.0;  // similarity bound implied by it
+  /// True when the O(1) endpoints bound alone proves score < cutoff — the
+  /// cheapest stage of the scan cascade (core/scan_index.h) would discard
+  /// the pair before even the envelope sweep. Implies lb_prunes.
+  bool kim_prunes = false;
   /// True when the lower bound alone proves score < cutoff (the pair would
   /// be skipped without running the DP).
   bool lb_prunes = false;
+  /// Position of this model in the triage index's visit order for this
+  /// target (0 = scanned first). Filled by explain_scan; a lone
+  /// explain_pair leaves it 0.
+  std::size_t triage_rank = 0;
   /// 1-based DP row at which early abandon would fire at this cutoff
   /// (every in-band cell of that row already exceeds the translated
   /// accumulated-cost limit); -1 when the DP runs to completion.

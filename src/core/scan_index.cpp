@@ -1,0 +1,347 @@
+#include "core/scan_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "core/dtw_internal.h"
+#include "support/metrics.h"
+#include "support/rng.h"
+
+namespace scag::core {
+
+namespace {
+
+/// Registry mirrors of the per-scan CascadeStats, so a fleet of detectors
+/// reports through one process-wide substrate (docs/observability.md).
+struct CascadeCounters {
+  support::Counter& scans;
+  support::Counter& pairs;
+  support::Counter& exact;
+  support::Counter& kim_pruned;
+  support::Counter& envelope_pruned;
+  support::Counter& early_abandoned;
+  support::Counter& promoted;
+  support::Counter& triage_first_best;
+
+  static CascadeCounters& global() {
+    support::Registry& r = support::Registry::global();
+    static CascadeCounters c{r.counter("cascade.scans"),
+                             r.counter("cascade.pairs"),
+                             r.counter("cascade.exact"),
+                             r.counter("cascade.kim_pruned"),
+                             r.counter("cascade.envelope_pruned"),
+                             r.counter("cascade.early_abandoned"),
+                             r.counter("cascade.promoted"),
+                             r.counter("cascade.triage_first_best")};
+    return c;
+  }
+};
+
+void flush_cascade_stats(const CascadeStats& st) {
+  CascadeCounters& c = CascadeCounters::global();
+  c.scans.add();
+  c.pairs.add(st.pairs);
+  c.exact.add(st.exact);
+  if (st.kim_pruned != 0) c.kim_pruned.add(st.kim_pruned);
+  if (st.envelope_pruned != 0) c.envelope_pruned.add(st.envelope_pruned);
+  if (st.early_abandoned != 0) c.early_abandoned.add(st.early_abandoned);
+  if (st.promoted != 0) c.promoted.add(st.promoted);
+  if (st.triage_first_is_best) c.triage_first_best.add();
+}
+
+/// The cascade proper, shared by both kernels through a per-model oracle
+/// (lengths / exact / lb_kim / lb_full / bounded DP). Keeping the control
+/// flow in one template is what makes the two kernels' stage decisions
+/// literally the same code.
+template <class Oracle>
+std::vector<CascadeScore> run_cascade(std::size_t num_models,
+                                      const std::vector<std::uint32_t>& order,
+                                      const DtwConfig& config, Oracle&& oracle,
+                                      CascadeStats* stats_out) {
+  if (order.size() != num_models)
+    throw std::invalid_argument(
+        "cascade_scan: order must be a permutation of the repository");
+  std::vector<CascadeScore> out(num_models);
+  CascadeStats st;
+  st.pairs = num_models;
+
+  // The pruning cutoff is the best EXACT score seen so far — never the
+  // detection threshold — so pruned entries are provably sub-best and the
+  // finalize reduction is bit-identical to the exhaustive path (see the
+  // header's equivalence contract). best_j tracks finalize's tie-break
+  // (first enrolled among equal best) for the triage-quality stat.
+  double best = 0.0;
+  std::size_t best_j = num_models;
+  const auto note_exact = [&](std::size_t j, double score) {
+    if (best_j == num_models || score > best) {
+      best = score;
+      best_j = j;
+    } else if (score == best && j < best_j) {
+      best_j = j;
+    }
+  };
+
+  for (const std::uint32_t j : order) {
+    if (config.deadline_ns != 0 &&
+        support::monotonic_ns() >= config.deadline_ns)
+      throw ScanTimeoutError();
+    CascadeScore& cs = out[j];
+    const auto [n, m] = oracle.lengths(j);
+    const double d_cut = detail::distance_cutoff(best, config);
+    // Same arming gate as bounded_similarity: no usable cutoff yet (the
+    // first visit always lands here — similarities are positive, so best
+    // ratchets off zero immediately), or a pair too small to shortcut.
+    if (!std::isfinite(d_cut) || n == 0 || m == 0 || n * m <= 16) {
+      cs.score = oracle.exact(j);
+      cs.stage = CascadeStage::kExact;
+      ++st.exact;
+      note_exact(j, cs.score);
+      continue;
+    }
+
+    // Stage 1: O(1) endpoints bound.
+    const double d_kim = oracle.lb_kim(j);
+    if (d_kim * (1.0 - detail::kPruneSlack) > d_cut) {
+      cs.score = detail::similarity_from_distance(
+          d_kim * (1.0 - detail::kPruneSlack), config);
+      cs.stage = CascadeStage::kKimBound;
+      ++st.kim_pruned;
+      continue;
+    }
+
+    // Stage 2: full O(n+m) lower bound (envelopes; >= the kim bound, so a
+    // prune here is genuinely the envelopes' doing).
+    const double d_lb = oracle.lb_full(j);
+    if (d_lb * (1.0 - detail::kPruneSlack) > d_cut) {
+      cs.score = detail::similarity_from_distance(
+          d_lb * (1.0 - detail::kPruneSlack), config);
+      cs.stage = CascadeStage::kEnvelopeBound;
+      ++st.envelope_pruned;
+      continue;
+    }
+
+    // Stage 3: exact DP with early abandon.
+    const BoundedScore bs = oracle.bounded(j, d_cut);
+    cs.score = bs.score;
+    if (bs.pruned == PruneKind::kEarlyAbandon) {
+      cs.stage = CascadeStage::kEarlyAbandon;
+      ++st.early_abandoned;
+      continue;
+    }
+    cs.stage = CascadeStage::kExact;
+    ++st.exact;
+    note_exact(j, cs.score);
+  }
+
+  st.triage_first_is_best = !order.empty() && best_j == order.front();
+
+  // Conservative fallback: a pruned upper bound that rounded up to the
+  // best exact score could steal finalize's enrollment-order tie-break
+  // from the true winner. Recompute such entries exactly (their exact
+  // score is provably < best, so `best` cannot move and one pass
+  // suffices). This closes the last float-rounding gap in the
+  // equivalence proof; it needs a bound within ~1e-9 of the best to fire.
+  for (std::size_t j = 0; j < num_models; ++j) {
+    if (out[j].stage == CascadeStage::kExact || out[j].score < best) continue;
+    switch (out[j].stage) {
+      case CascadeStage::kKimBound: --st.kim_pruned; break;
+      case CascadeStage::kEnvelopeBound: --st.envelope_pruned; break;
+      case CascadeStage::kEarlyAbandon: --st.early_abandoned; break;
+      case CascadeStage::kExact: break;
+    }
+    out[j].score = oracle.exact(j);
+    out[j].stage = CascadeStage::kExact;
+    ++st.exact;
+    ++st.promoted;
+  }
+
+  flush_cascade_stats(st);
+  if (stats_out != nullptr) *stats_out = st;
+  return out;
+}
+
+struct CompiledOracle {
+  const CompiledTarget& target;
+  const CompiledRepository& repo;
+  ElementDistanceMemo& memo;
+  const DtwConfig& config;
+  ElementDistanceMemo::Stats* memo_stats;
+
+  std::pair<std::size_t, std::size_t> lengths(std::size_t j) const {
+    return {target.seq.size(), repo.model(j).size()};
+  }
+  double exact(std::size_t j) const {
+    return compiled_similarity(target, repo, j, memo, config, memo_stats);
+  }
+  double lb_kim(std::size_t j) const {
+    return compiled_cst_bbs_distance_lower_bound_kim(target, repo, j, memo,
+                                                     config, memo_stats);
+  }
+  double lb_full(std::size_t j) const {
+    return compiled_cst_bbs_distance_lower_bound(target, repo, j, memo,
+                                                 config, memo_stats);
+  }
+  BoundedScore bounded(std::size_t j, double d_cut) const {
+    const PairContext cost{target, repo, j, memo, config.distance,
+                           memo_stats};
+    return detail::bounded_dp(target.seq.size(), repo.model(j).size(), cost,
+                              d_cut, config);
+  }
+
+  /// Same shape as compiled.cpp's PairContext: keeps the DTW cost functor
+  /// a two-index call through the memo.
+  struct PairContext {
+    const CompiledTarget& target;
+    const CompiledRepository& repo;
+    std::size_t model_index;
+    ElementDistanceMemo& memo;
+    const DistanceConfig& dc;
+    ElementDistanceMemo::Stats* stats;
+
+    double operator()(std::size_t i, std::size_t j) const {
+      return compiled_element_distance(target, i, repo, model_index, j, memo,
+                                       dc, stats);
+    }
+  };
+};
+
+struct StringOracle {
+  const CstBbs& target;
+  const std::vector<AttackModel>& repository;
+  const SequenceFeatures& target_features;
+  const DtwConfig& config;
+  // Model-side envelope features, computed lazily: models the kim stage
+  // already pruned never pay the O(m) feature sweep.
+  mutable std::vector<SequenceFeatures> model_features;
+  mutable std::vector<char> have_features;
+
+  std::pair<std::size_t, std::size_t> lengths(std::size_t j) const {
+    return {target.size(), repository[j].sequence.size()};
+  }
+  double exact(std::size_t j) const {
+    return similarity(target, repository[j].sequence, config);
+  }
+  double lb_kim(std::size_t j) const {
+    return cst_bbs_distance_lower_bound_kim(target, repository[j].sequence,
+                                            config);
+  }
+  double lb_full(std::size_t j) const {
+    if (model_features.empty()) {
+      model_features.resize(repository.size());
+      have_features.assign(repository.size(), 0);
+    }
+    if (!have_features[j]) {
+      model_features[j] =
+          compute_sequence_features(repository[j].sequence, config.distance);
+      have_features[j] = 1;
+    }
+    return cst_bbs_distance_lower_bound(target, repository[j].sequence,
+                                        target_features, model_features[j],
+                                        config);
+  }
+  BoundedScore bounded(std::size_t j, double d_cut) const {
+    const CstBbs& b = repository[j].sequence;
+    return detail::bounded_dp(
+        target.size(), b.size(),
+        [this, &b](std::size_t i, std::size_t k) {
+          return cst_distance(target[i], b[k], config.distance);
+        },
+        d_cut, config);
+  }
+};
+
+}  // namespace
+
+ml::FeatureVector triage_features(const SequenceFeatures& f,
+                                  std::size_t length) {
+  // An empty sequence has empty (infinite) envelopes; map it to the
+  // origin so every coordinate stays finite for the standardizer.
+  if (length == 0) return ml::FeatureVector(9, 0.0);
+  const auto mean = [length](const std::vector<double>& v) {
+    double sum = 0.0;
+    for (const double x : v) sum += x;
+    return sum / static_cast<double>(length);
+  };
+  return ml::FeatureVector{static_cast<double>(length),
+                           f.csp_lo,
+                           f.csp_hi,
+                           mean(f.csp),
+                           f.count_lo,
+                           f.count_hi,
+                           mean(f.count),
+                           f.mass_hi,
+                           mean(f.mass)};
+}
+
+void ScanIndex::add(const SequenceFeatures& features, std::size_t length,
+                    Family family) {
+  raw_.push_back(triage_features(features, length));
+  families_.push_back(family);
+  standardizer_ = ml::Standardizer();
+  standardizer_.fit(raw_);
+  standardized_ = standardizer_.transform_all(raw_);
+  std::vector<int> labels;
+  labels.reserve(families_.size());
+  for (const Family f : families_) labels.push_back(static_cast<int>(f));
+  Rng rng(0);  // Knn::fit ignores its rng; the classifier is deterministic
+  knn_.fit(standardized_, labels, kNumAttackFamilies, rng);
+}
+
+Family ScanIndex::predict_family(const SequenceFeatures& features,
+                                 std::size_t length) const {
+  if (empty()) return Family::kBenign;
+  const ml::FeatureVector x =
+      standardizer_.transform(triage_features(features, length));
+  return static_cast<Family>(knn_.predict(x));
+}
+
+std::vector<std::uint32_t> ScanIndex::scan_order(
+    const SequenceFeatures& features, std::size_t length) const {
+  std::vector<std::uint32_t> order(families_.size());
+  for (std::uint32_t j = 0; j < order.size(); ++j) order[j] = j;
+  if (families_.size() < 2) return order;
+
+  const ml::FeatureVector x =
+      standardizer_.transform(triage_features(features, length));
+  const Family predicted = static_cast<Family>(knn_.predict(x));
+  std::vector<double> d2(families_.size(), 0.0);
+  for (std::size_t j = 0; j < standardized_.size(); ++j) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double diff = x[i] - standardized_[j][i];
+      d2[j] += diff * diff;
+    }
+  }
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              const int ga = families_[a] == predicted ? 0 : 1;
+              const int gb = families_[b] == predicted ? 0 : 1;
+              if (ga != gb) return ga < gb;
+              if (d2[a] != d2[b]) return d2[a] < d2[b];
+              return a < b;
+            });
+  return order;
+}
+
+std::vector<CascadeScore> cascade_scan(const CompiledTarget& target,
+                                       const CompiledRepository& repo,
+                                       const std::vector<std::uint32_t>& order,
+                                       ElementDistanceMemo& memo,
+                                       const DtwConfig& config,
+                                       CascadeStats* stats,
+                                       ElementDistanceMemo::Stats* memo_stats) {
+  const CompiledOracle oracle{target, repo, memo, config, memo_stats};
+  return run_cascade(repo.num_models(), order, config, oracle, stats);
+}
+
+std::vector<CascadeScore> cascade_scan(
+    const CstBbs& target, const std::vector<AttackModel>& repository,
+    const std::vector<std::uint32_t>& order,
+    const SequenceFeatures& target_features, const DtwConfig& config,
+    CascadeStats* stats) {
+  const StringOracle oracle{target, repository, target_features, config};
+  return run_cascade(repository.size(), order, config, oracle, stats);
+}
+
+}  // namespace scag::core

@@ -1,0 +1,158 @@
+// Sublinear repository scan: k-NN triage ordering + an admissible
+// lower-bound cascade.
+//
+// Scan cost is O(models x targets) exact DTWs even through the compiled
+// kernel; with mutation-expanded repositories (~400 variants per attack
+// type) the repository is the scaling axis. This module makes the exact
+// DTW count sublinear in practice without changing a single verdict:
+//
+//   - ScanIndex: a coarse-feature triage index over the repository. Each
+//     model is summarized by a tiny vector derived from the
+//     SequenceFeatures the DTW lower bound already precomputes (length,
+//     CSP envelope/mean, token-count envelope/mean, weight-mass
+//     envelope/mean), z-scored with ml::Standardizer; an ml::Knn vote over
+//     the standardized vectors predicts the target's closest attack
+//     family. scan_order() then visits the predicted family's models
+//     first, each group by ascending coarse distance. Triage ONLY reorders
+//     the scan — the conservative-fallback rule below means a wrong
+//     prediction costs time, never correctness.
+//   - cascade_scan(): visits models in that order, keeping the best EXACT
+//     similarity seen so far as the pruning cutoff, and runs a cascade of
+//     admissible checks, cheapest first:
+//       stage 1  LB_Kim endpoints bound            O(1)
+//       stage 2  full lower bound (+ envelopes)    O(n+m)
+//       stage 3  exact DP with early abandon       O(n*m), often truncated
+//     A model pruned at any stage records an upper bound on its exact
+//     similarity that is itself below the cutoff; an unpruned model
+//     records the exact score. A good triage order makes the first visit
+//     the eventual winner, so later models die in stages 1-2.
+//
+// Equivalence contract (the reason the cutoff is the best exact score
+// only, NOT max(best, threshold) like BatchConfig::prune): every pruned
+// model provably scores strictly below some exact score, so
+// Detector::finalize over the cascade's scores produces the SAME verdict,
+// best_score, and winning model — bit-identical, unconditionally, for
+// attack and benign targets alike. As a belt-and-braces guard against the
+// one conceivable escape (a pruned upper bound rounding up to the best
+// score and stealing finalize's enrollment-order tie-break), any pruned
+// entry whose recorded bound reaches the running best is recomputed
+// exactly before the reduction (CascadeStats::promoted counts these;
+// reaching this path needs the bound within ~1e-9 of the best, which no
+// fuzzed corpus has produced). The differential harness
+// (tests/differential_scan.h) enforces the contract against the
+// exhaustive path across kernels, thread counts, and thresholds.
+//
+// Both kernels are served: the compiled overload reads precomputed
+// features and the element-distance memo; the string overload is the
+// degradation path (compile_target failure) and the equivalence-test
+// oracle. Their decisions and scores are bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/compiled.h"
+#include "core/family.h"
+#include "core/model.h"
+#include "ml/features.h"
+#include "ml/knn.h"
+
+namespace scag::core {
+
+/// The coarse per-sequence summary the triage index runs on, derived from
+/// the SequenceFeatures the lower bound precomputes anyway. All entries
+/// are finite (an empty sequence maps to the zero vector).
+ml::FeatureVector triage_features(const SequenceFeatures& f,
+                                  std::size_t length);
+
+/// Which cascade stage decided a model's entry.
+enum class CascadeStage : std::uint8_t {
+  kExact,         // exact similarity was computed
+  kKimBound,      // stage 1: the O(1) endpoints bound pruned it
+  kEnvelopeBound, // stage 2: the full O(n+m) lower bound pruned it
+  kEarlyAbandon,  // stage 3: the DP was abandoned mid-way
+};
+
+/// Per-model result of a cascade scan, in ENROLLMENT order (not visit
+/// order). `score` is exact iff `stage == kExact`; otherwise it is an
+/// upper bound on the exact similarity, itself strictly below the best
+/// exact score of the scan.
+struct CascadeScore {
+  double score = 0.0;
+  CascadeStage stage = CascadeStage::kExact;
+};
+
+/// Counters of one cascade scan (also mirrored into support::metrics as
+/// "cascade.*" by the cascade_scan wrappers).
+struct CascadeStats {
+  std::uint64_t pairs = 0;            // models visited (= repository size)
+  std::uint64_t exact = 0;            // full-DP exact scores
+  std::uint64_t kim_pruned = 0;       // stage 1 prunes
+  std::uint64_t envelope_pruned = 0;  // stage 2 prunes
+  std::uint64_t early_abandoned = 0;  // stage 3 truncations
+  std::uint64_t promoted = 0;         // conservative-fallback recomputes
+  /// Triage quality: the first-visited model ended up the scan's winner
+  /// (ties resolved like Detector::finalize, first enrolled wins).
+  bool triage_first_is_best = false;
+};
+
+/// Triage index over a Detector's repository. Grown alongside enrollment
+/// (add + refit are cheap: O(models x ~9 doubles)); immutable and safe to
+/// share across scan threads afterwards. Deterministic: same models in
+/// the same order -> the same scan_order for a given target, regardless
+/// of thread count or scheduling.
+class ScanIndex {
+ public:
+  /// k-NN vote size; clamped to the repository size by ml::Knn.
+  explicit ScanIndex(int k = 3) : knn_(k) {}
+
+  /// Appends one enrolled model's summary and refits the standardizer and
+  /// classifier over all models seen so far.
+  void add(const SequenceFeatures& features, std::size_t length,
+           Family family);
+
+  std::size_t size() const { return families_.size(); }
+  bool empty() const { return families_.empty(); }
+
+  /// The attack family whose models the triage visits first for this
+  /// target (majority k-NN vote, lowest family index on ties).
+  Family predict_family(const SequenceFeatures& features,
+                        std::size_t length) const;
+
+  /// Deterministic visit order over [0, size()): the predicted family's
+  /// models first, then the rest; both groups by ascending standardized
+  /// coarse distance, ties by enrollment index.
+  std::vector<std::uint32_t> scan_order(const SequenceFeatures& features,
+                                        std::size_t length) const;
+
+ private:
+  std::vector<ml::FeatureVector> raw_;
+  std::vector<Family> families_;
+  ml::Standardizer standardizer_;
+  std::vector<ml::FeatureVector> standardized_;
+  ml::Knn knn_;
+};
+
+/// Cascade scan through the compiled kernel. `order` must be a
+/// permutation of [0, repo.num_models()) — normally ScanIndex::scan_order,
+/// but any order yields the same verdict/best/winner (only the prune
+/// counts change). Honors config.deadline_ns like the other scan kernels
+/// (throws ScanTimeoutError).
+std::vector<CascadeScore> cascade_scan(
+    const CompiledTarget& target, const CompiledRepository& repo,
+    const std::vector<std::uint32_t>& order, ElementDistanceMemo& memo,
+    const DtwConfig& config, CascadeStats* stats = nullptr,
+    ElementDistanceMemo::Stats* memo_stats = nullptr);
+
+/// String-kernel twin (the compile_target degradation path and the
+/// equivalence-test oracle): bit-identical scores, stages, and stats for
+/// the same inputs. `target_features` must come from
+/// compute_sequence_features(target, config.distance); model features are
+/// computed lazily, only for models that reach stage 2.
+std::vector<CascadeScore> cascade_scan(
+    const CstBbs& target, const std::vector<AttackModel>& repository,
+    const std::vector<std::uint32_t>& order,
+    const SequenceFeatures& target_features, const DtwConfig& config,
+    CascadeStats* stats = nullptr);
+
+}  // namespace scag::core

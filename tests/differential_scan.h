@@ -1,0 +1,156 @@
+// Reusable differential harness for the sublinear scan paths.
+//
+// The triage index + lower-bound cascade (core/scan_index.h) promises a
+// STRONGER contract than BatchConfig::prune: verdict, best_score, AND the
+// winning model are bit-identical to the exhaustive scan for EVERY target
+// — benign ones included — because the cascade's cutoff is the best exact
+// score only, never the threshold. This header turns that promise into a
+// single reusable check:
+//
+//   - exhaustive_oracle(): the ground truth, computed directly on the
+//     string kernels (core/dtw.h similarity + Detector::finalize), with no
+//     detector flags involved — it cannot accidentally share a fast path
+//     with the candidate under test.
+//   - expect_detection_equivalent(): EXPECT_EQ-level comparison of one
+//     candidate Detection against the oracle. Doubles are compared as
+//     IEEE-754 bit patterns, never with tolerances. Sub-best entries are
+//     checked too: exact entries must match the oracle bit for bit, and
+//     pruned entries must record an upper bound that is >= the true score
+//     and strictly below the scan's best (the admissibility invariant).
+//   - run_differential_matrix(): sweeps one target set through every
+//     cascaded path — serial Detector with use_index() on, both kernels
+//     (use_compiled on/off), and BatchDetector with BatchConfig::index at
+//     each requested thread count — asserting equivalence per target.
+//
+// Used by tests/test_scan_index.cpp (fixed corpora, thresholds, hostile
+// and degraded inputs) and tests/test_fuzz.cpp (seed-replayable random
+// repositories and targets).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/batch_detector.h"
+#include "core/detector.h"
+#include "core/dtw.h"
+
+namespace scag::testutil {
+
+/// IEEE-754 bit pattern of a double; the only way two scores are ever
+/// compared in this harness.
+inline std::uint64_t score_bits(double v) {
+  return std::bit_cast<std::uint64_t>(v);
+}
+
+/// Ground-truth Detection: exhaustive string-kernel similarity against
+/// every repository model, reduced by the shared Detector::finalize. No
+/// compiled path, no index, no pruning — nothing to share a bug with.
+inline core::Detection exhaustive_oracle(const core::Detector& detector,
+                                         const core::CstBbs& target) {
+  std::vector<core::ModelScore> scores;
+  scores.reserve(detector.repository_size());
+  for (const core::AttackModel& model : detector.repository()) {
+    core::ModelScore s;
+    s.model_name = model.name;
+    s.family = model.family;
+    s.score = core::similarity(target, model.sequence, detector.dtw_config());
+    scores.push_back(std::move(s));
+  }
+  return core::Detector::finalize(std::move(scores), detector.threshold());
+}
+
+/// Asserts `got` (produced by a cascaded path) is verdict-equivalent to
+/// `oracle` (produced by exhaustive_oracle over the same detector/target):
+/// same verdict, bit-identical best_score, same winning model by name AND
+/// family, and per-model entries that are either bit-exact (unpruned) or
+/// admissible upper bounds strictly below the best (pruned).
+inline void expect_detection_equivalent(const core::Detection& oracle,
+                                        const core::Detection& got,
+                                        const std::string& label) {
+  EXPECT_EQ(oracle.verdict, got.verdict) << label;
+  EXPECT_EQ(score_bits(oracle.best_score), score_bits(got.best_score))
+      << label << ": best_score " << oracle.best_score << " vs "
+      << got.best_score;
+  ASSERT_EQ(oracle.scores.size(), got.scores.size()) << label;
+  if (!oracle.scores.empty()) {
+    EXPECT_EQ(oracle.scores.front().model_name, got.scores.front().model_name)
+        << label << ": winning model";
+    EXPECT_EQ(oracle.scores.front().family, got.scores.front().family)
+        << label << ": winning family";
+  }
+  // Sub-best audit. Both score lists cover the same repository, so match
+  // entries by model name (unique per enrollment in every corpus here).
+  for (const core::ModelScore& s : got.scores) {
+    double truth = -1.0;
+    for (const core::ModelScore& o : oracle.scores)
+      if (o.model_name == s.model_name) truth = o.score;
+    ASSERT_GE(truth, 0.0) << label << ": model " << s.model_name
+                          << " missing from oracle";
+    if (!s.pruned) {
+      EXPECT_EQ(score_bits(truth), score_bits(s.score))
+          << label << ": exact entry " << s.model_name;
+    } else {
+      // An admissible bound: at least the true score (it is an upper
+      // bound), strictly below the scan's best (or it would have been
+      // promoted to an exact recompute).
+      EXPECT_GE(s.score, truth) << label << ": pruned bound " << s.model_name;
+      EXPECT_LT(s.score, got.best_score)
+          << label << ": pruned bound " << s.model_name
+          << " not below the best";
+    }
+  }
+}
+
+/// Sweeps `targets` through every cascaded scan path and asserts each one
+/// is verdict-equivalent to the exhaustive oracle:
+///   - serial Detector, use_index() on, use_compiled() off and on;
+///   - BatchDetector with BatchConfig::index, both kernels, at every
+///     thread count in `thread_counts`.
+/// Restores the detector's flags before returning. `label` prefixes every
+/// failure message (put the corpus/seed there).
+inline void run_differential_matrix(
+    core::Detector& detector, const std::vector<core::CstBbs>& targets,
+    const std::string& label,
+    const std::vector<std::size_t>& thread_counts = {1, 2}) {
+  const bool saved_compiled = detector.use_compiled();
+  const bool saved_index = detector.use_index();
+
+  std::vector<core::Detection> oracles;
+  oracles.reserve(targets.size());
+  for (const core::CstBbs& t : targets)
+    oracles.push_back(exhaustive_oracle(detector, t));
+
+  detector.set_use_index(true);
+  for (bool compiled : {false, true}) {
+    detector.set_use_compiled(compiled);
+    const std::string serial_label =
+        label + "/serial" + (compiled ? "+compiled" : "+string");
+    for (std::size_t i = 0; i < targets.size(); ++i)
+      expect_detection_equivalent(
+          oracles[i], detector.scan(targets[i]),
+          serial_label + "/target" + std::to_string(i));
+
+    for (std::size_t threads : thread_counts) {
+      core::BatchConfig config;
+      config.threads = threads;
+      config.index = true;
+      const core::BatchDetector batch(detector, config);
+      const std::vector<core::Detection> got = batch.scan_all(targets);
+      ASSERT_EQ(got.size(), targets.size());
+      const std::string batch_label = serial_label + "/batch-t" +
+                                      std::to_string(threads) + "/target";
+      for (std::size_t i = 0; i < targets.size(); ++i)
+        expect_detection_equivalent(oracles[i], got[i],
+                                    batch_label + std::to_string(i));
+    }
+  }
+
+  detector.set_use_compiled(saved_compiled);
+  detector.set_use_index(saved_index);
+}
+
+}  // namespace scag::testutil

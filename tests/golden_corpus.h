@@ -106,12 +106,23 @@ inline std::string explain_fixture_block(const core::Detector& detector,
   std::string out = "target " + target.name + " " +
                     std::string(core::family_abbrev(report.verdict)) + " " +
                     core::ieee_hex_bits(report.best_score) + "\n";
-  for (const core::ModelExplanation& m : report.models)
+  for (const core::ModelExplanation& m : report.models) {
     out += "  model " + m.model_name + " score " +
            core::ieee_hex_bits(m.score) + " distance " +
            core::ieee_hex_bits(m.distance) + " acc " +
            core::ieee_hex_bits(m.accumulated_cost) + " path " +
            std::to_string(m.path_length) + "\n";
+    // Cascade attribution: pins the kim/envelope bound values and the
+    // triage index's visit rank, so any drift in the scan cascade
+    // (core/scan_index.h) shows up here as a one-line diff.
+    out += "  prune " + m.model_name + " kim " +
+           core::ieee_hex_bits(m.prune.kim_bound) + " lb " +
+           core::ieee_hex_bits(m.prune.lower_bound) + " ub " +
+           core::ieee_hex_bits(m.prune.score_upper_bound) + " rank " +
+           std::to_string(m.prune.triage_rank) + " skips " +
+           (m.prune.kim_prunes ? "kim" : m.prune.lb_prunes ? "lb" : "none") +
+           " band " + std::to_string(m.prune.band_width) + "\n";
+  }
   if (!report.models.empty()) {
     for (const core::AlignedPair& p : report.models.front().path)
       out += "  pair " + idx(p.target_index) + " " + idx(p.model_index) +

@@ -5,12 +5,17 @@
 //     same data-register dump and sandbox memory;
 //   - the modeling pipeline never crashes on arbitrary (benign) programs;
 //   - the parallel batch-scan engine survives degenerate inputs (empty and
-//     single-instruction programs, empty CST-BBS targets).
+//     single-instruction programs, empty CST-BBS targets);
+//   - the triage-index scan cascade stays verdict-equivalent to the
+//     exhaustive oracle over random repositories and targets, including
+//     under fault-injected compiled-kernel degradation (FuzzCascade).
 #include <gtest/gtest.h>
 
 #include <string>
 
+#include "attacks/registry.h"
 #include "core/batch_detector.h"
+#include "differential_scan.h"
 #include "core/model.h"
 #include "core/serialize.h"
 #include "cpu/interpreter.h"
@@ -19,6 +24,7 @@
 #include "isa/random_program.h"
 #include "mutation/mutator.h"
 #include "seed_util.h"
+#include "support/failpoint.h"
 
 namespace scag {
 namespace {
@@ -230,6 +236,103 @@ TEST(FuzzSerialize, MutatedRepositoriesNeverCrashTheLoader) {
   // rejected, but e.g. whitespace-only edits still load.
   EXPECT_GT(rejected, 0);
   EXPECT_EQ(loaded_ok + rejected, 400);
+}
+
+// Differential fuzz for the scan cascade (core/scan_index.h): random
+// repositories (mutated PoC variants, families cycling) scanned by random
+// targets must stay verdict-equivalent to the exhaustive string-kernel
+// oracle on every cascaded path (tests/differential_scan.h). Replay a
+// failing run with SCAG_TEST_SEED=<printed seed>.
+TEST(FuzzCascade, RandomRepositoriesStayVerdictEquivalent) {
+  const std::uint64_t seed = scag::testutil::test_seed(0xca5cade);
+  SCOPED_TRACE(scag::testutil::seed_note(seed));
+  Rng rng(seed);
+  const core::ModelBuilder builder;
+  const attacks::PocConfig poc;
+  const std::vector<attacks::PocSpec>& pocs = attacks::all_pocs();
+
+  for (int round = 0; round < 3; ++round) {
+    // Repository: 3-6 mutated variants of randomly drawn PoCs. Names are
+    // forced unique so the harness can match entries across orderings.
+    const double thresholds[] = {0.2, 0.45, 0.7};
+    core::Detector detector(core::ModelConfig{},
+                            core::calibrated_dtw_config(),
+                            thresholds[rng.below(3)]);
+    const std::size_t repo_size = 3 + rng.below(4);
+    for (std::size_t j = 0; j < repo_size; ++j) {
+      const attacks::PocSpec& spec =
+          pocs[static_cast<std::size_t>(rng.below(pocs.size()))];
+      Rng mut_rng = rng.split();
+      core::AttackModel model =
+          builder.build(mutation::mutate(spec.build(poc), mut_rng),
+                        spec.family);
+      model.name = "fuzz-" + std::to_string(round) + "-" + std::to_string(j);
+      detector.enroll(std::move(model));
+    }
+
+    // Targets: random programs, a mutated PoC, an enrolled-family PoC,
+    // and the empty sequence.
+    std::vector<core::CstBbs> targets;
+    for (int t = 0; t < 2; ++t) {
+      Rng gen = rng.split();
+      RandomProgramOptions options;
+      options.statements = 15 + 10 * t;
+      targets.push_back(
+          builder.build(isa::random_program(gen, options)).sequence);
+    }
+    {
+      Rng mut_rng = rng.split();
+      const attacks::PocSpec& spec =
+          pocs[static_cast<std::size_t>(rng.below(pocs.size()))];
+      targets.push_back(
+          builder.build(mutation::mutate(spec.build(poc), mut_rng)).sequence);
+      targets.push_back(builder.build(spec.build(poc)).sequence);
+    }
+    targets.push_back(core::CstBbs{});
+
+    scag::testutil::run_differential_matrix(
+        detector, targets, "round " + std::to_string(round), {1, 2});
+  }
+}
+
+// Same property while the compiled target compilation fails
+// probabilistically: the cascade degrades per call to the bit-identical
+// string kernels, so equivalence must survive any interleaving of
+// degraded and fast-path scans.
+TEST(FuzzCascade, StaysEquivalentUnderProbabilisticDegradation) {
+  if (!support::fp::compiled_in())
+    GTEST_SKIP() << "built with SCAG_FAILPOINTS_OFF";
+  const std::uint64_t seed = scag::testutil::test_seed(0xdeca1);
+  SCOPED_TRACE(scag::testutil::seed_note(seed));
+  Rng rng(seed);
+  const core::ModelBuilder builder;
+  const attacks::PocConfig poc;
+
+  core::Detector detector(core::ModelConfig{}, core::calibrated_dtw_config(),
+                          0.45);
+  std::size_t j = 0;
+  for (const char* name : {"FR-IAIK", "PP-IAIK", "Spectre-FR-Ideal"}) {
+    const attacks::PocSpec& spec = attacks::poc_by_name(name);
+    Rng mut_rng = rng.split();
+    core::AttackModel model = builder.build(
+        mutation::mutate(spec.build(poc), mut_rng), spec.family);
+    model.name = "degrade-" + std::to_string(j++);
+    detector.enroll(std::move(model));
+  }
+  std::vector<core::CstBbs> targets;
+  for (int t = 0; t < 3; ++t) {
+    Rng gen = rng.split();
+    targets.push_back(builder.build(isa::random_program(gen)).sequence);
+  }
+  targets.push_back(
+      builder.build(attacks::poc_by_name("FR-IAIK").build(poc)).sequence);
+
+  support::fp::disarm_all();
+  support::fp::arm_from_string("compiled.compile_target=throw%0.5:" +
+                               std::to_string(seed & 0xffff));
+  scag::testutil::run_differential_matrix(detector, targets,
+                                          "degraded-50pct", {1, 2});
+  support::fp::disarm_all();
 }
 
 TEST(FuzzGenerator, ProgramsDifferAcrossSeeds) {

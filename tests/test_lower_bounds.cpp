@@ -1,0 +1,247 @@
+// Property suite for the admissible DTW lower bounds (core/dtw.h), the
+// foundation the scan cascade (core/scan_index.h) stands on.
+//
+// The cascade prunes a model the moment a bound exceeds the running
+// cutoff, so every guarantee it makes reduces to one property chain,
+// checked here the hard way (EXPECT_LE / EXPECT_EQ on raw doubles, never
+// EXPECT_NEAR):
+//
+//   cst_bbs_distance_lower_bound_kim    O(1)    endpoints only
+//     <= cst_bbs_distance_lower_bound   O(n+m)  + feature envelopes
+//     <= cst_bbs_distance               O(n*m)  exact DP
+//
+// bit-exactly, over every pair of a corpus produced by the real modeling
+// pipeline (attack PoCs, benign templates, mutated variants, seeded
+// random programs), plus hand-built hostile sequences and the empty
+// sequence, across every DTW configuration axis the property suite uses
+// (both alphabets, both normalizations, banded windows, length penalty).
+// The compiled twins (core/compiled.h) must agree with the string bounds
+// bit for bit, and the bounds must inherit the distance's symmetry.
+#include <gtest/gtest.h>
+
+#include "seed_util.h"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "attacks/registry.h"
+#include "benign/registry.h"
+#include "core/compiled.h"
+#include "core/dtw.h"
+#include "core/model.h"
+#include "isa/random_program.h"
+#include "mutation/mutator.h"
+#include "support/rng.h"
+
+namespace scag::core {
+namespace {
+
+/// Same axes as tests/test_dtw_properties.cpp: paper-literal, calibrated,
+/// banded, accumulated with penalty, path-averaged full tokens.
+std::vector<DtwConfig> bound_configs() {
+  std::vector<DtwConfig> configs;
+  configs.push_back(DtwConfig{});
+  configs.push_back(calibrated_dtw_config());
+
+  DtwConfig banded = calibrated_dtw_config();
+  banded.window = 2;
+  configs.push_back(banded);
+
+  DtwConfig accumulated;
+  accumulated.window = 3;
+  accumulated.length_penalty = 0.5;
+  configs.push_back(accumulated);
+
+  DtwConfig averaged;
+  averaged.normalization = DtwNormalization::kPathAveraged;
+  averaged.cost_scale = 2.0;
+  configs.push_back(averaged);
+  return configs;
+}
+
+/// Hand-built blocks with tokens the modeling pipeline never emits (the
+/// shape a hostile or newer-format deserialized target could take).
+CstBbs hostile_sequence() {
+  CstBbs s;
+  CstBbsElement e1;
+  e1.norm_instrs = {"alien op1, op2", "mov reg, mem", "alien op1, op2"};
+  e1.sem_tokens = {"unknowable", "load", "unknowable"};
+  e1.cst.after.ao = 3;
+  s.push_back(e1);
+  CstBbsElement e2;
+  e2.norm_instrs = {"mov reg, mem"};
+  e2.sem_tokens = {"load"};
+  e2.cst.after.io = 5;
+  s.push_back(e2);
+  s.push_back(e1);
+  return s;
+}
+
+class LowerBounds : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new std::vector<CstBbs>();
+    const ModelBuilder builder;
+    const attacks::PocConfig poc;
+    corpus_->push_back(builder.build(attacks::fr_iaik(poc)).sequence);
+    corpus_->push_back(builder.build(attacks::pp_iaik(poc)).sequence);
+    corpus_->push_back(builder.build(attacks::spectre_fr_ideal(poc)).sequence);
+    Rng benign_rng(99);
+    corpus_->push_back(
+        builder.build(benign::aes_ttables(benign_rng)).sequence);
+    Rng mut_rng(7);
+    corpus_->push_back(
+        builder.build(mutation::mutate(attacks::fr_iaik(poc), mut_rng))
+            .sequence);
+    corpus_seed_ = testutil::test_seed(1234);
+    Rng rng(corpus_seed_);
+    for (int k = 0; k < 3; ++k) {
+      Rng gen = rng.split();
+      isa::RandomProgramOptions options;
+      options.statements = 20 + 10 * k;
+      corpus_->push_back(
+          builder.build(isa::random_program(gen, options)).sequence);
+    }
+    corpus_->push_back(CstBbs{});
+    CstBbs single;
+    single.push_back(hostile_sequence().front());
+    corpus_->push_back(single);  // degenerate length 1
+    corpus_->push_back(hostile_sequence());
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    corpus_ = nullptr;
+  }
+
+  static std::vector<CstBbs>* corpus_;
+  static std::uint64_t corpus_seed_;
+  ::testing::ScopedTrace seed_trace_{__FILE__, __LINE__,
+                                     testutil::seed_note(corpus_seed_)};
+};
+
+std::vector<CstBbs>* LowerBounds::corpus_ = nullptr;
+std::uint64_t LowerBounds::corpus_seed_ = 0;
+
+/// The headline chain: kim <= full bound <= exact distance, every pair,
+/// every config, compared as raw doubles.
+TEST_F(LowerBounds, TightnessOrderingHoldsBitExactly) {
+  std::size_t config_index = 0;
+  for (const DtwConfig& config : bound_configs()) {
+    SCOPED_TRACE("config " + std::to_string(config_index++));
+    for (std::size_t i = 0; i < corpus_->size(); ++i) {
+      for (std::size_t j = 0; j < corpus_->size(); ++j) {
+        SCOPED_TRACE("pair (" + std::to_string(i) + ", " + std::to_string(j) +
+                     ")");
+        const CstBbs& a = (*corpus_)[i];
+        const CstBbs& b = (*corpus_)[j];
+        const double kim = cst_bbs_distance_lower_bound_kim(a, b, config);
+        const double full = cst_bbs_distance_lower_bound(a, b, config);
+        const double exact = cst_bbs_distance(a, b, config);
+        EXPECT_LE(kim, full);
+        EXPECT_LE(full, exact);
+      }
+    }
+  }
+}
+
+/// The precomputed-features overload must be bit-identical to the
+/// two-argument overload (it is what the batch scanner and the cascade
+/// actually call).
+TEST_F(LowerBounds, FeatureOverloadIsBitIdentical) {
+  for (const DtwConfig& config : bound_configs()) {
+    std::vector<SequenceFeatures> features;
+    features.reserve(corpus_->size());
+    for (const CstBbs& s : *corpus_)
+      features.push_back(compute_sequence_features(s, config.distance));
+    for (std::size_t i = 0; i < corpus_->size(); ++i) {
+      for (std::size_t j = 0; j < corpus_->size(); ++j) {
+        const double plain =
+            cst_bbs_distance_lower_bound((*corpus_)[i], (*corpus_)[j], config);
+        const double precomputed = cst_bbs_distance_lower_bound(
+            (*corpus_)[i], (*corpus_)[j], features[i], features[j], config);
+        EXPECT_EQ(plain, precomputed)
+            << "pair (" << i << ", " << j << ")";
+      }
+    }
+  }
+}
+
+/// Both bounds inherit the exact distance's symmetry bit for bit.
+TEST_F(LowerBounds, BoundsAreSymmetric) {
+  for (const DtwConfig& config : bound_configs()) {
+    for (std::size_t i = 0; i < corpus_->size(); ++i) {
+      for (std::size_t j = i; j < corpus_->size(); ++j) {
+        const CstBbs& a = (*corpus_)[i];
+        const CstBbs& b = (*corpus_)[j];
+        EXPECT_EQ(cst_bbs_distance_lower_bound_kim(a, b, config),
+                  cst_bbs_distance_lower_bound_kim(b, a, config))
+            << "kim pair (" << i << ", " << j << ")";
+        EXPECT_EQ(cst_bbs_distance_lower_bound(a, b, config),
+                  cst_bbs_distance_lower_bound(b, a, config))
+            << "full pair (" << i << ", " << j << ")";
+      }
+    }
+  }
+}
+
+/// Degenerate shapes: against the empty sequence every bound collapses to
+/// the exact distance (the empty-sequence convention has a single possible
+/// alignment); a self-comparison's bounds never exceed the self-distance.
+TEST_F(LowerBounds, DegenerateLengthsCollapseToExact) {
+  const CstBbs empty;
+  for (const DtwConfig& config : bound_configs()) {
+    for (std::size_t i = 0; i < corpus_->size(); ++i) {
+      const CstBbs& s = (*corpus_)[i];
+      const double exact = cst_bbs_distance(s, empty, config);
+      EXPECT_EQ(cst_bbs_distance_lower_bound_kim(s, empty, config), exact)
+          << "kim vs empty, seq " << i;
+      EXPECT_EQ(cst_bbs_distance_lower_bound_kim(empty, s, config), exact)
+          << "kim empty vs, seq " << i;
+      const double self = cst_bbs_distance(s, s, config);
+      EXPECT_LE(cst_bbs_distance_lower_bound_kim(s, s, config), self)
+          << "kim self, seq " << i;
+      EXPECT_LE(cst_bbs_distance_lower_bound(s, s, config), self)
+          << "full self, seq " << i;
+    }
+  }
+}
+
+/// The compiled kim bound (core/compiled.h) is bit-identical to the
+/// string kim bound for every (target, model) pair, memoized or not —
+/// the cascade's stage decisions must not depend on the kernel.
+TEST_F(LowerBounds, CompiledKimBoundMatchesStringKernel) {
+  for (const DtwConfig& config : bound_configs()) {
+    CompiledRepository repo(config.distance);
+    for (const CstBbs& s : *corpus_) repo.add(s);
+    for (std::size_t t = 0; t < corpus_->size(); ++t) {
+      const CompiledTarget target = repo.compile_target((*corpus_)[t]);
+      ElementDistanceMemo memo(target.unique_elements, repo.unique_elements());
+      for (std::size_t j = 0; j < corpus_->size(); ++j) {
+        const double compiled = compiled_cst_bbs_distance_lower_bound_kim(
+            target, repo, j, memo, config, nullptr);
+        const double reference = cst_bbs_distance_lower_bound_kim(
+            (*corpus_)[t], (*corpus_)[j], config);
+        EXPECT_EQ(compiled, reference) << "pair (" << t << ", " << j << ")";
+      }
+    }
+  }
+}
+
+/// Similarity-side consistency: the upper bound derived from the full
+/// lower bound can never fall below the exact similarity, so a cascade
+/// cutoff above the upper bound proves the exact score is below it too.
+TEST_F(LowerBounds, SimilarityUpperBoundDominatesExactScore) {
+  for (const DtwConfig& config : bound_configs()) {
+    for (std::size_t i = 0; i < corpus_->size(); ++i) {
+      for (std::size_t j = 0; j < corpus_->size(); ++j) {
+        EXPECT_GE(similarity_upper_bound((*corpus_)[i], (*corpus_)[j], config),
+                  similarity((*corpus_)[i], (*corpus_)[j], config))
+            << "pair (" << i << ", " << j << ")";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scag::core

@@ -3,7 +3,8 @@
 //   scagctl list                         known attack PoCs & benign templates
 //   scagctl build-repo <out.repo>        model all PoCs into a repository file
 //   scagctl scan [--stats[=out.json]] [--explain=out.json] [--no-compiled]
-//                <repo> <prog.s>...     scan assembly programs against a repo
+//                [--no-index] <repo> <prog.s>...
+//                                        scan assembly programs against a repo
 //   scagctl explain [--json=out.json] <repo> <prog.s>...
 //                                        full DTW alignment evidence per scan
 //   scagctl model <prog.s>               print a program's CST-BBS model
@@ -19,7 +20,11 @@
 // report; `--stats=out.json` additionally writes them as JSON.
 // `--no-compiled` is the escape hatch back to the string-based scan
 // kernels; scores and verdicts are bit-identical either way (the compiled
-// fast path of core/compiled.h is just faster).
+// fast path of core/compiled.h is just faster). `--no-index` likewise
+// disables the triage index + lower-bound cascade (core/scan_index.h) and
+// scans the repository exhaustively in enrollment order; verdict, best
+// score, and best-matching model are bit-identical either way — the
+// cascade only skips comparisons it can prove are sub-best.
 //
 // Observability (docs/observability.md): `explain` / `scan --explain=`
 // emit ScanReports — the DTW warping path per model, each pair's
@@ -62,7 +67,7 @@ int usage() {
       "  scagctl list\n"
       "  scagctl build-repo <out.repo>\n"
       "  scagctl scan [--stats[=out.json]] [--explain=out.json]\n"
-      "               [--no-compiled] <repo> <prog.s>...\n"
+      "               [--no-compiled] [--no-index] <repo> <prog.s>...\n"
       "  scagctl explain [--json=out.json] <repo> <prog.s>...\n"
       "  scagctl model <prog.s>\n"
       "  scagctl demo <poc-name> [secret 1..15]\n"
@@ -162,10 +167,12 @@ int cmd_build_repo(const char* out_path) {
   return 0;
 }
 
-core::Detector load_detector(const char* repo_path, bool use_compiled) {
+core::Detector load_detector(const char* repo_path, bool use_compiled,
+                             bool use_index = false) {
   core::Detector detector(eval::experiment_model_config(),
                           eval::experiment_dtw_config(), eval::kThreshold);
   detector.set_use_compiled(use_compiled);
+  detector.set_use_index(use_index);
   // Bounded retry for transient I/O faults; malformed repositories are
   // terminal on the first attempt (SerializeError is never retried).
   for (core::AttackModel& m :
@@ -190,14 +197,16 @@ std::string reports_json(const std::vector<core::ScanReport>& reports) {
 
 int cmd_scan(const char* repo_path, int nfiles, char** files,
              bool with_stats, const char* stats_json_path,
-             const char* explain_json_path, bool use_compiled) {
+             const char* explain_json_path, bool use_compiled,
+             bool use_index) {
   if (with_stats) {
     support::set_metrics_enabled(true);
     support::Tracer::global().set_enabled(true);
     support::Tracer::global().clear();
     support::Registry::global().reset();
   }
-  const core::Detector detector = load_detector(repo_path, use_compiled);
+  const core::Detector detector =
+      load_detector(repo_path, use_compiled, use_index);
 
   Table report("Scan report");
   report.header({"Program", "Verdict", "Best match", "Score"});
@@ -393,11 +402,14 @@ int dispatch(int argc, char** argv) {
     int i = 2;
     bool with_stats = false;
     bool use_compiled = true;
+    bool use_index = true;
     const char* stats_json_path = nullptr;
     const char* explain_json_path = nullptr;
     for (; i < argc && starts_with(argv[i], "--"); ++i) {
       if (std::strcmp(argv[i], "--no-compiled") == 0) {
         use_compiled = false;
+      } else if (std::strcmp(argv[i], "--no-index") == 0) {
+        use_index = false;
       } else if (starts_with(argv[i], "--explain=")) {
         explain_json_path = argv[i] + std::strlen("--explain=");
         if (explain_json_path[0] == '\0') return usage();
@@ -413,7 +425,8 @@ int dispatch(int argc, char** argv) {
     }
     if (argc - i >= 2)
       return cmd_scan(argv[i], argc - i - 1, argv + i + 1, with_stats,
-                      stats_json_path, explain_json_path, use_compiled);
+                      stats_json_path, explain_json_path, use_compiled,
+                      use_index);
     return usage();
   }
   if (std::strcmp(argv[1], "explain") == 0) {
