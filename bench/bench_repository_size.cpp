@@ -9,7 +9,11 @@
 //   - pass A: exhaustive scan (BatchDetector, 1 thread, no pruning);
 //   - pass B: the triage cascade (BatchConfig::index, 1 thread), with the
 //     per-stage attribution counters: exact DPs, O(1) kim prunes,
-//     O(n+m) envelope prunes, early-abandoned DPs.
+//     O(n+m) envelope prunes, early-abandoned DPs;
+//   - pass C: the same cascade with the wavefront SIMD DTW kernel
+//     (core/dtw_wavefront.h) on the surviving exact DPs. A and B run
+//     with the scalar row kernel so the cascade effect is measured
+//     alone; C is asserted verdict-equivalent like every other pass.
 // The point of the table is the "exact DPs / scan" column: exhaustive is
 // exactly M, the cascade stays nearly flat as M grows (the triage order
 // finds the winner early, then the bounds kill the rest), so wall time
@@ -33,6 +37,7 @@
 #include "benign/registry.h"
 #include "core/batch_detector.h"
 #include "core/detector.h"
+#include "core/simd.h"
 #include "eval/experiments.h"
 #include "isa/random_program.h"
 #include "mutation/mutator.h"
@@ -141,18 +146,23 @@ int run(int argc, char** argv) {
   }
 
   Table t("\nREPOSITORY SIZE: exhaustive scan vs triage cascade (1 thread)");
-  t.header({"Models", "us/scan exhaustive", "us/scan cascade", "speedup",
-            "exact DP/scan", "kim", "envelope", "abandoned"});
+  t.header({"Models", "us/scan exhaustive", "us/scan cascade", "+wavefront",
+            "speedup", "exact DP/scan", "kim", "envelope", "abandoned"});
 
   bench::BenchTelemetry telemetry("repository_size");
   telemetry.set_u64("targets", targets.size());
+  telemetry.set_str("simd_level", core::simd::level_name());
   bool all_equivalent = true;
+  bool all_simd_equivalent = true;
 
   for (std::size_t size : {std::size_t{4}, std::size_t{8}, std::size_t{16},
                            std::size_t{32}, kMaxModels}) {
     core::Detector detector(eval::experiment_model_config(),
                             eval::experiment_dtw_config(), eval::kThreshold);
     for (std::size_t j = 0; j < size; ++j) detector.enroll(pool[j]);
+    // Passes A and B run the scalar row kernel so the table isolates the
+    // cascade effect; pass C below flips the wavefront kernel back on.
+    detector.set_use_simd(false);
 
     core::BatchConfig exhaustive_config;
     exhaustive_config.threads = 1;
@@ -172,17 +182,32 @@ int run(int argc, char** argv) {
     const double cascade_s = seconds_since(t0);
     const core::BatchStats stats = cascade.stats();
 
+    // Pass C: cascade again, wavefront SIMD kernel on the survivors.
+    detector.set_use_simd(true);
+    const core::BatchDetector simd_cascade(detector, cascade_config);
+    t0 = Clock::now();
+    const std::vector<core::Detection> simd_indexed =
+        simd_cascade.scan_all(targets);
+    const double simd_s = seconds_since(t0);
+
     const bool equivalent = verdict_equivalent(indexed, baseline);
     all_equivalent = all_equivalent && equivalent;
     if (!equivalent)
       std::printf("MISMATCH at %zu models: cascade verdicts diverged from "
                   "the exhaustive scan\n",
                   size);
+    const bool simd_equivalent = verdict_equivalent(simd_indexed, baseline);
+    all_simd_equivalent = all_simd_equivalent && simd_equivalent;
+    if (!simd_equivalent)
+      std::printf("MISMATCH at %zu models: wavefront-kernel cascade verdicts "
+                  "diverged from the exhaustive scan\n",
+                  size);
 
     const double scans = static_cast<double>(targets.size());
     const double exact_per_scan = static_cast<double>(stats.exact) / scans;
     t.row({std::to_string(size), strfmt("%.1f", 1e6 * exhaustive_s / scans),
            strfmt("%.1f", 1e6 * cascade_s / scans),
+           strfmt("%.1f", 1e6 * simd_s / scans),
            strfmt("%.2fx", cascade_s > 0.0 ? exhaustive_s / cascade_s : 0.0),
            strfmt("%.1f / %zu", exact_per_scan, size),
            std::to_string(stats.kim_skipped),
@@ -193,6 +218,7 @@ int run(int argc, char** argv) {
     telemetry.set(prefix + "exhaustive_us_per_scan",
                   1e6 * exhaustive_s / scans);
     telemetry.set(prefix + "cascade_us_per_scan", 1e6 * cascade_s / scans);
+    telemetry.set(prefix + "simd_cascade_us_per_scan", 1e6 * simd_s / scans);
     telemetry.set(prefix + "exact_per_scan", exact_per_scan);
     telemetry.set_u64(prefix + "kim_pruned", stats.kim_skipped);
     telemetry.set_u64(prefix + "envelope_pruned", stats.lb_skipped);
@@ -202,7 +228,8 @@ int run(int argc, char** argv) {
 
   telemetry.set_u64("max_models", kMaxModels);
   telemetry.set_bool("equivalent", all_equivalent);
-  int failures = all_equivalent ? 0 : 1;
+  telemetry.set_bool("simd_equivalent", all_simd_equivalent);
+  int failures = (all_equivalent ? 0 : 1) + (all_simd_equivalent ? 0 : 1);
   if (!telemetry.write(json_path)) ++failures;
 
   std::puts(

@@ -3,15 +3,22 @@
 // single-threaded, comparing
 //   - pass A: the string-kernel scan path (Detector::set_use_compiled(false)),
 //   - pass B: the compiled fast path (interned ids, precomputed features,
-//     memoized element distances),
+//     memoized element distances), scalar row DP,
+//   - pass B': the compiled path with the wavefront SIMD DP kernel
+//     (core/dtw_wavefront.h, Detector::set_use_simd(true)),
 //   - pass C: pruned BatchDetector at 1 thread (compiled + DTW pruning),
-// and writing a machine-readable JSON report (default BENCH_scan.json) with
+// plus a survivor-DP microbench: the exact O(n*m) dynamic programs the
+// cascade's surviving pairs pay, timed kernel-against-kernel (scalar row
+// loop vs wavefront SIMD) over the same pairs with a warm element memo —
+// the apples-to-apples number behind the "simd_dp_speedup" field.
+// A machine-readable JSON report (default BENCH_scan.json) carries
 // throughput, DP-cell counts, memo hit rates, compile time, prune rates,
-// and the measured speedup.
+// the measured speedups, and the active SIMD level.
 //
-// Exits non-zero on an equivalence violation (pass B must be bit-identical
-// to pass A) or — when metrics are compiled in — on a steady-state
-// allocation in the compiled element-distance inner loop (detected via the
+// Exits non-zero on an equivalence violation (passes B/B' must be
+// bit-identical to pass A, the survivor DPs bit-identical across kernels)
+// or — when metrics are compiled in — on a steady-state allocation in the
+// compiled element-distance inner loop (detected via the
 // "compiled.scratch_grows" counter: after a warm-up pass over all targets,
 // the thread-local DP scratch must never grow again).
 //
@@ -21,11 +28,15 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
 #include "attacks/registry.h"
 #include "bench_common.h"
 #include "cfg/cfg.h"
 #include "core/batch_detector.h"
+#include "core/compiled.h"
 #include "core/detector.h"
+#include "core/simd.h"
 #include "eval/experiments.h"
 #include "support/metrics.h"
 
@@ -91,7 +102,10 @@ int run(int argc, char** argv) {
 
   int failures = 0;
 
-  // Pass A: the string kernels (the pre-compiled-path scan loop).
+  // Pass A: the string kernels (the pre-compiled-path scan loop). SIMD off
+  // so A and B keep their historical meaning as the scalar baselines; the
+  // wavefront kernel gets its own pass below.
+  detector.set_use_simd(false);
   detector.set_use_compiled(false);
   std::uint64_t cells0 = counter_value("dtw.dp_cells");
   auto t0 = Clock::now();
@@ -140,6 +154,25 @@ int run(int argc, char** argv) {
                 "scan\n");
     ++failures;
   }
+
+  // Pass B': compiled + wavefront SIMD DP (the production default). Same
+  // warm scratch/memo state as pass B; still bit-identical to pass A.
+  detector.set_use_simd(true);
+  t0 = Clock::now();
+  std::vector<core::Detection> simd_dets;
+  simd_dets.reserve(targets.size());
+  for (const core::CstBbs& t : targets) simd_dets.push_back(detector.scan(t));
+  const double simd_s = seconds_since(t0);
+  std::printf("%-24s %8.3f s  %10.1f targets/s  speedup %.2fx  [%s]\n",
+              "compiled + wavefront", simd_s, targets.size() / simd_s,
+              simd_s > 0.0 ? string_s / simd_s : 0.0,
+              core::simd::level_name());
+  const bool simd_scan_equivalent = identical(simd_dets, string_dets);
+  if (!simd_scan_equivalent) {
+    std::printf("MISMATCH: wavefront scan is not bit-identical to the string "
+                "scan\n");
+    ++failures;
+  }
   if (support::Registry::compiled_in() && scratch_grows != 0) {
     std::printf("ALLOCATION: scratch grew %llu time(s) after warm-up — the "
                 "element-distance inner loop is not allocation-free\n",
@@ -167,6 +200,63 @@ int run(int argc, char** argv) {
   std::printf("%-24s %8.3f s  %10.1f targets/s  speedup %.2fx\n",
               "compiled + pruning", pruned_s, targets.size() / pruned_s,
               pruned_s > 0.0 ? string_s / pruned_s : 0.0);
+
+  // Survivor-DP microbench: a model that survives the lower-bound cascade
+  // pays one exact O(n*m) DP through the compiled cost functor — exactly
+  // what compiled_cst_bbs_distance runs. Time that DP alone over every
+  // (target, model) pair with a warm memo (so the kernel, not the element
+  // distances, is measured), scalar row kernel vs wavefront SIMD, and
+  // bit-compare every distance. Repetitions are sized off a calibration
+  // pass so each side runs ~0.5 s.
+  const core::CompiledRepository& crepo = detector.compiled_repository();
+  core::DtwConfig scalar_cfg = detector.dtw_config();  // kernel = kScalar
+  core::DtwConfig wave_cfg = scalar_cfg;
+  wave_cfg.kernel = core::DtwKernel::kWavefront;
+  std::vector<core::CompiledTarget> ctargets(targets.size());
+  std::vector<core::ElementDistanceMemo> memos(targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    ctargets[i] = crepo.compile_target(targets[i]);
+    memos[i] = core::ElementDistanceMemo(ctargets[i].unique_elements,
+                                         crepo.unique_elements());
+  }
+  const auto dp_pass = [&](const core::DtwConfig& cfg) {
+    double checksum = 0.0;
+    for (std::size_t i = 0; i < ctargets.size(); ++i)
+      for (std::size_t j = 0; j < n_models; ++j)
+        checksum += core::compiled_cst_bbs_distance(ctargets[i], crepo, j,
+                                                    memos[i], cfg, nullptr);
+    return checksum;
+  };
+  (void)dp_pass(scalar_cfg);  // warm every memo and the DP scratch
+  t0 = Clock::now();
+  const double check_scalar_once = dp_pass(scalar_cfg);
+  const double calib_s = seconds_since(t0);
+  const int reps =
+      calib_s > 0.0
+          ? std::max(1, static_cast<int>(0.5 / std::max(calib_s, 1e-4)))
+          : 1;
+  double check_scalar = 0.0, check_wave = 0.0;
+  t0 = Clock::now();
+  for (int r = 0; r < reps; ++r) check_scalar += dp_pass(scalar_cfg);
+  const double dp_scalar_s = seconds_since(t0);
+  t0 = Clock::now();
+  for (int r = 0; r < reps; ++r) check_wave += dp_pass(wave_cfg);
+  const double dp_wave_s = seconds_since(t0);
+  const double dp_speedup = dp_wave_s > 0.0 ? dp_scalar_s / dp_wave_s : 0.0;
+  // Both sides accumulate per-pair distances in the same order over the
+  // same rep count, so bit-identical pairs imply bit-identical sums; a
+  // mismatch flags a kernel divergence.
+  (void)check_scalar_once;
+  const bool simd_equivalent = check_scalar == check_wave;
+  if (!simd_equivalent) {
+    std::printf("MISMATCH: wavefront survivor DPs differ from scalar "
+                "(checksum %.17g vs %.17g)\n",
+                check_scalar, check_wave);
+    ++failures;
+  }
+  std::printf("%-24s %8.3f s vs %.3f s (%d rep(s))  dp speedup %.2fx  [%s]\n",
+              "survivor DP kernel", dp_scalar_s, dp_wave_s, reps, dp_speedup,
+              core::simd::level_name());
 
   const std::uint64_t memo_total = memo_hits + memo_misses;
   const double hit_rate =
@@ -215,6 +305,15 @@ int run(int argc, char** argv) {
   telemetry.set_u64("steady_state_allocs", scratch_grows);
   telemetry.set("speedup", speedup);
   telemetry.set_bool("equivalent", equivalent);
+  telemetry.set_str("simd_level", core::simd::level_name());
+  telemetry.set("simd_seconds", simd_s);
+  telemetry.set("simd_targets_per_sec", targets.size() / simd_s);
+  telemetry.set("simd_scan_speedup", simd_s > 0.0 ? compiled_s / simd_s : 0.0);
+  telemetry.set("simd_dp_scalar_seconds", dp_scalar_s);
+  telemetry.set("simd_dp_wavefront_seconds", dp_wave_s);
+  telemetry.set("simd_dp_speedup", dp_speedup);
+  telemetry.set_bool("simd_equivalent",
+                     simd_equivalent && simd_scan_equivalent);
   if (!telemetry.write(json_path)) ++failures;
 
   if (failures > 0) {

@@ -8,6 +8,15 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
 
+# Tri-kernel differential under both SIMD dispatch modes: the wavefront
+# suites assert bit-identity against the scalar row kernel whatever the
+# SCAG_SIMD escape hatch says (0 also proves the scalar fallback path a
+# no-AVX2 host would take end to end).
+for simd in 0 1; do
+  SCAG_SIMD="$simd" build/tests/test_simd_kernel
+  SCAG_SIMD="$simd" build/tests/test_scan_index
+done
+
 # Data-race check of the parallel batch-scan engine (separate build tree;
 # skips itself where TSan cannot run).
 scripts/check_tsan.sh
@@ -113,6 +122,11 @@ grep -Eq '"memo_hits": *[1-9][0-9]*' BENCH_scan.json
 grep -Eq '"compile_ns": *[1-9][0-9]*' BENCH_scan.json
 grep -Eq '"steady_state_allocs": *0' BENCH_scan.json
 grep -Eq '"equivalent": *true' BENCH_scan.json
+# The wavefront pass must have run (level + survivor-DP timing populated)
+# and matched the scalar kernel bit-for-bit.
+grep -Eq '"simd_level": *"(scalar|neon|avx2)"' BENCH_scan.json
+grep -Eq '"simd_dp_speedup": *[0-9]' BENCH_scan.json
+grep -Eq '"simd_equivalent": *true' BENCH_scan.json
 
 # Scan-cascade smoke: the repository-size bench verifies the triage
 # cascade verdict-equivalent against the exhaustive scan (nonzero exit
@@ -121,6 +135,7 @@ grep -Eq '"equivalent": *true' BENCH_scan.json
 build/bench/bench_repository_size 8 BENCH_repository.json
 grep -q '"schema": "scag-bench-v1"' BENCH_repository.json
 grep -Eq '"equivalent": *true' BENCH_repository.json
+grep -Eq '"simd_equivalent": *true' BENCH_repository.json
 grep -Eq '"size48_kim_pruned": *[0-9]+' BENCH_repository.json
 grep -Eq '"size48_exact_per_scan": *[0-9]' BENCH_repository.json
 

@@ -37,7 +37,7 @@ cmake -B "$BUILD" -S . \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build "$BUILD" --target test_serialize test_fuzz test_metrics \
   test_failpoints test_scagctl_cli test_lower_bounds test_scan_index \
-  scagctl -j"$(nproc)"
+  test_simd_kernel scagctl -j"$(nproc)"
 
 # Leak detection needs ptrace, which many containers deny; the point here
 # is bounds/UB checking of the parser, metrics, and failure paths (the
@@ -54,4 +54,8 @@ export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1"
 # out-of-bounds mistakes would surface here first.
 "$BUILD/tests/test_lower_bounds"
 "$BUILD/tests/test_scan_index"
+# The wavefront kernel: padded ghost lanes, rotating diagonal scratch,
+# and the vectorized memo gather all index raw buffers, so off-by-one
+# lane math would surface here first.
+"$BUILD/tests/test_simd_kernel"
 echo "ASAN CHECKS PASSED"

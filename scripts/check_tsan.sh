@@ -34,7 +34,8 @@ cmake -B "$BUILD" -S . \
   -DCMAKE_CXX_FLAGS="$TSAN_FLAGS" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build "$BUILD" --target test_parallel_scan test_dtw_properties \
-  test_compiled_kernel test_failpoints test_scan_index -j"$(nproc)"
+  test_compiled_kernel test_failpoints test_scan_index test_simd_kernel \
+  -j"$(nproc)"
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 "$BUILD/tests/test_parallel_scan"
@@ -46,4 +47,8 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 # The indexed batch scan: concurrent target rows share the read-only
 # triage index and bump the cascade's atomic stage counters.
 "$BUILD/tests/test_scan_index"
+# The wavefront kernel's thread_local scratch plus the shared
+# ElementDistanceMemo: the vectorized gather reads cells concurrent scan
+# threads fill through relaxed atomics.
+"$BUILD/tests/test_simd_kernel"
 echo "TSAN CHECKS PASSED"

@@ -71,7 +71,7 @@ Detection BatchDetector::scan_one_pruned(const CstBbs& target,
       support::Registry::global().histogram("batch.target_latency_ns");
   support::ScopedTimer timer(h_latency);
   const std::vector<AttackModel>& repo = detector_.repository();
-  DtwConfig dtw = detector_.dtw_config();
+  DtwConfig dtw = detector_.scan_dtw_config();
   dtw.deadline_ns = deadline_ns;
   bool compiled = detector_.use_compiled() && !repo.empty();
   const CompiledRepository& crepo = detector_.compiled_repository();
@@ -136,7 +136,7 @@ Detection BatchDetector::scan_one_indexed(const CstBbs& target,
       support::Registry::global().histogram("batch.target_latency_ns");
   support::ScopedTimer timer(h_latency);
   const std::vector<AttackModel>& repo = detector_.repository();
-  DtwConfig dtw = detector_.dtw_config();
+  DtwConfig dtw = detector_.scan_dtw_config();
   dtw.deadline_ns = deadline_ns;
   bool compiled = detector_.use_compiled() && !repo.empty();
   const CompiledRepository& crepo = detector_.compiled_repository();
@@ -230,7 +230,7 @@ std::vector<Detection> BatchDetector::scan_all(
   // indices; the per-target reduction below is serial and shared with the
   // serial Detector, so the result is bit-identical at any thread count.
   std::vector<ModelScore> matrix(n * m);
-  const DtwConfig& dtw = detector_.dtw_config();
+  const DtwConfig dtw = detector_.scan_dtw_config();
   if (detector_.use_compiled() && m > 0) {
     // Compile every target once up front (parallel across targets), then
     // share each target's memo across all of its matrix cells. The memo's
@@ -324,7 +324,7 @@ Detection BatchDetector::scan(const CstBbs& target) const {
 Detection BatchDetector::scan_one_exact(const CstBbs& target,
                                         std::uint64_t deadline_ns) const {
   const std::vector<AttackModel>& repo = detector_.repository();
-  DtwConfig dtw = detector_.dtw_config();
+  DtwConfig dtw = detector_.scan_dtw_config();
   dtw.deadline_ns = deadline_ns;
   bool compiled = detector_.use_compiled() && !repo.empty();
   const CompiledRepository& crepo = detector_.compiled_repository();

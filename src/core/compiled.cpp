@@ -6,6 +6,7 @@
 
 #include "core/cst.h"
 #include "core/dtw_internal.h"
+#include "core/simd.h"
 #include "isa/normalize.h"
 #include "support/failpoint.h"
 #include "support/metrics.h"
@@ -195,6 +196,34 @@ struct PairContext {
     return compiled_element_distance(target, i, repo, model_index, j, memo,
                                      dc, stats);
   }
+
+  /// Anti-diagonal bulk gather for the wavefront kernel (dtw_wavefront.h):
+  /// fills cbuf[j] = (*this)(d - j - 1, j - 1) for every j in
+  /// [j_lo, j_hi], bit-for-bit. Warm memo lanes come from one vectorized
+  /// table gather; cold lanes (the NaN sentinel passes through) fall back
+  /// to the scalar miss path, which also keeps hit/miss accounting
+  /// identical to the scalar kernel's — a pair duplicated within one
+  /// diagonal misses once and hits on the later lane, same as the row
+  /// loop.
+  void gather_diag(std::size_t d, std::size_t j_lo, std::size_t j_hi,
+                   double* cbuf) const {
+    const simd::PairGatherFn fn = simd::pair_gather();
+    if (fn == nullptr) {
+      for (std::size_t j = j_lo; j <= j_hi; ++j)
+        cbuf[j] = (*this)(d - j - 1, j - 1);
+      return;
+    }
+    const CompiledSeq& a = target.seq;
+    const CompiledSeq& b = repo.model(model_index);
+    fn(memo.raw(), memo.stride(), a.elem.data() + (d - j_lo - 1),
+       b.elem.data() + (j_lo - 1), cbuf + j_lo, j_hi - j_lo + 1);
+    for (std::size_t j = j_lo; j <= j_hi; ++j) {
+      if (std::isnan(cbuf[j]))
+        cbuf[j] = (*this)(d - j - 1, j - 1);
+      else if (stats != nullptr)
+        ++stats->hits;
+    }
+  }
 };
 
 }  // namespace
@@ -368,7 +397,7 @@ double compiled_cst_bbs_distance(const CompiledTarget& target,
   const std::size_t n = target.seq.size(), m = b.size();
   const PairContext cost{target, repo,       model_index,
                          memo,   config.distance, memo_stats};
-  const DtwResult r = dtw(n, m, cost, config);
+  const DtwResult r = dtw_run(n, m, cost, config);
   return detail::finish_distance(r, n, m, config);
 }
 

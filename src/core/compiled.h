@@ -173,6 +173,20 @@ class ElementDistanceMemo {
         d, std::memory_order_relaxed);
   }
 
+  /// Row stride and raw cell view for the vectorized anti-diagonal gather
+  /// (core/simd.h pair_gather). Each gather lane is one aligned 8-byte
+  /// load, which the target ISAs perform indivisibly, so a concurrent
+  /// fill is observed exactly like a relaxed load(): either the NaN
+  /// sentinel (the lane is then patched through the scalar miss path) or
+  /// the full written value — identical bits either way, since fills are
+  /// pure-function results.
+  std::size_t stride() const { return stride_; }
+  const double* raw() const {
+    static_assert(sizeof(std::atomic<double>) == sizeof(double) &&
+                  std::atomic<double>::is_always_lock_free);
+    return reinterpret_cast<const double*>(cells_.data());
+  }
+
  private:
   std::size_t stride_ = 0;
   std::vector<std::atomic<double>> cells_;

@@ -63,6 +63,10 @@ Detection Detector::scan(const CstBbs& target_sequence) const {
     }
   }
 
+  // use_simd() folds into the config as the kernel selection; every DP
+  // below (exact, early-abandoned, string or compiled) honors it.
+  const DtwConfig dtw = scan_dtw_config();
+
   std::vector<ModelScore> scores;
   scores.reserve(repository_.size());
   if (use_index_ && !repository_.empty()) {
@@ -76,14 +80,14 @@ Detection Detector::scan(const CstBbs& target_sequence) const {
       const std::vector<std::uint32_t> order =
           index_.scan_order(target.seq.features, target.seq.size());
       cascade =
-          cascade_scan(target, compiled_, order, memo, dtw_, nullptr, &stats);
+          cascade_scan(target, compiled_, order, memo, dtw, nullptr, &stats);
       flush_memo_stats(stats);
     } else {
       const SequenceFeatures tf =
-          compute_sequence_features(target_sequence, dtw_.distance);
+          compute_sequence_features(target_sequence, dtw.distance);
       const std::vector<std::uint32_t> order =
           index_.scan_order(tf, target_sequence.size());
-      cascade = cascade_scan(target_sequence, repository_, order, tf, dtw_);
+      cascade = cascade_scan(target_sequence, repository_, order, tf, dtw);
     }
     for (std::size_t j = 0; j < repository_.size(); ++j) {
       ModelScore s;
@@ -103,7 +107,7 @@ Detection Detector::scan(const CstBbs& target_sequence) const {
       ModelScore s;
       s.model_name = repository_[j].name;
       s.family = repository_[j].family;
-      s.score = compiled_similarity(target, compiled_, j, memo, dtw_, &stats);
+      s.score = compiled_similarity(target, compiled_, j, memo, dtw, &stats);
       scores.push_back(std::move(s));
     }
     flush_memo_stats(stats);
@@ -112,7 +116,7 @@ Detection Detector::scan(const CstBbs& target_sequence) const {
       ModelScore s;
       s.model_name = model.name;
       s.family = model.family;
-      s.score = similarity(target_sequence, model.sequence, dtw_);
+      s.score = similarity(target_sequence, model.sequence, dtw);
       scores.push_back(std::move(s));
     }
   }

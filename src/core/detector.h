@@ -78,6 +78,26 @@ class Detector {
   bool use_index() const { return use_index_; }
   void set_use_index(bool on) { use_index_ = on; }
 
+  /// Whether scan DPs run the anti-diagonal wavefront SIMD kernel
+  /// (core/dtw_wavefront.h) instead of the scalar row loop. On by default;
+  /// `scagctl scan --no-simd` and the SCAG_SIMD=0 environment variable are
+  /// the escape hatches. The kernels are bit-identical (same per-cell
+  /// arithmetic, no reassociation), so this — like use_compiled() — never
+  /// changes a Detection; it composes with both kernels and the cascade.
+  /// Explain-mode alignment recovery always stays scalar.
+  bool use_simd() const { return use_simd_; }
+  void set_use_simd(bool on) { use_simd_ = on; }
+
+  /// The DtwConfig the scan paths actually execute with: dtw_config()
+  /// plus the kernel selection implied by use_simd(). BatchDetector and
+  /// the serial scan() both read this, so the flag covers every path.
+  DtwConfig scan_dtw_config() const {
+    DtwConfig config = dtw_;
+    config.kernel =
+        use_simd_ ? DtwKernel::kWavefront : DtwKernel::kScalar;
+    return config;
+  }
+
   /// The triage index, maintained at enrollment regardless of use_index()
   /// so it can be toggled on (or consulted by explain reports) at any
   /// time. BatchDetector's indexed mode reads this.
@@ -122,6 +142,7 @@ class Detector {
   double threshold_;
   bool use_compiled_ = true;
   bool use_index_ = false;
+  bool use_simd_ = true;
   std::vector<AttackModel> repository_;
   CompiledRepository compiled_;
   ScanIndex index_;

@@ -74,11 +74,11 @@ DtwResult dtw(std::size_t n, std::size_t m,
 double cst_bbs_distance(const CstBbs& a, const CstBbs& b,
                         const DtwConfig& config) {
   const DtwResult r =
-      dtw(a.size(), b.size(),
-          [&a, &b, &config](std::size_t i, std::size_t j) {
-            return cst_distance(a[i], b[j], config.distance);
-          },
-          config);
+      dtw_run(a.size(), b.size(),
+              [&a, &b, &config](std::size_t i, std::size_t j) {
+                return cst_distance(a[i], b[j], config.distance);
+              },
+              config);
   return detail::finish_distance(r, a.size(), b.size(), config);
 }
 

@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <limits>
 #include <stdexcept>
@@ -36,6 +37,16 @@ namespace scag::core {
 ///                  this because our model sequences are much shorter than
 ///                  the paper's (see DESIGN.md).
 enum class DtwNormalization { kAccumulated, kPathAveraged };
+
+/// Which dynamic-program implementation executes the O(n*m) stage.
+/// Both kernels perform the same per-cell arithmetic (min-of-three + add
+/// on doubles, no reassociation) and produce bit-identical results;
+/// kWavefront processes anti-diagonals so the 3-way min vectorizes
+/// (core/dtw_wavefront.h, backends in core/simd.h). The selection is a
+/// pure execution-strategy knob: the string/compiled kernel split stays
+/// orthogonal to it. Explain-mode alignment recovery always runs the
+/// scalar full-matrix DP regardless of this setting.
+enum class DtwKernel : std::uint8_t { kScalar, kWavefront };
 
 struct DtwConfig {
   /// Per-element distance configuration (alphabet selection).
@@ -65,6 +76,10 @@ struct DtwConfig {
   /// (core/batch_detector.h), which converts the per-target budget into an
   /// absolute time and reports the throw as a timed_out ScanOutcome.
   std::uint64_t deadline_ns = 0;
+  /// DP execution strategy (see DtwKernel). Scan paths select kWavefront
+  /// through Detector::scan_dtw_config() when use_simd() is on; the
+  /// default keeps every direct caller on the scalar oracle kernel.
+  DtwKernel kernel = DtwKernel::kScalar;
 };
 
 /// Thrown by the DTW dynamic program when DtwConfig::deadline_ns passes
@@ -90,6 +105,31 @@ struct DtwResult {
   /// `path_length` is 0.
   bool abandoned = false;
 };
+
+namespace detail {
+
+/// Flushes a locally accumulated DP cell count into a shared counter on
+/// scope exit. The DP loops stay free of atomics, and the flush happens
+/// on *every* exit path — early returns, early abandon, and the
+/// ScanTimeoutError unwind — so `dtw.dp_cells` stays accurate under
+/// fault-injected deadlines (tests/test_failpoints.cpp relies on the
+/// counters to audit degraded scans).
+class CellCountFlusher {
+ public:
+  explicit CellCountFlusher(support::Counter& counter) : counter_(counter) {}
+  ~CellCountFlusher() {
+    if (cells != 0) counter_.add(cells);
+  }
+  CellCountFlusher(const CellCountFlusher&) = delete;
+  CellCountFlusher& operator=(const CellCountFlusher&) = delete;
+
+  std::uint64_t cells = 0;
+
+ private:
+  support::Counter& counter_;
+};
+
+}  // namespace detail
 
 /// Generic DTW between index spaces [0,n) and [0,m) with an arbitrary
 /// cost functor. Empty-sequence convention: aligning against an empty
@@ -120,7 +160,12 @@ DtwResult dtw(std::size_t n, std::size_t m, CostFn&& cost,
   static support::Counter& c_abandoned =
       support::Registry::global().counter("dtw.abandoned");
   c_calls.add();
-  std::uint64_t cells = 0;
+  detail::CellCountFlusher flusher(c_cells);
+
+  // An armed deadline applies to every call, including the O(1) empty
+  // cases: a scan past its budget must not keep returning results.
+  if (config.deadline_ns != 0 && support::monotonic_ns() >= config.deadline_ns)
+    throw ScanTimeoutError();
 
   DtwResult result;
   if (n == 0 && m == 0) return result;
@@ -150,7 +195,7 @@ DtwResult dtw(std::size_t n, std::size_t m, CostFn&& cost,
     std::fill(cur.begin(), cur.end(), kInf);
     const std::size_t j_lo = i > w ? i - w : 1;
     const std::size_t j_hi = std::min(m, i + w);
-    cells += j_hi - j_lo + 1;
+    flusher.cells += j_hi - j_lo + 1;
     double row_min = kInf;
     for (std::size_t j = j_lo; j <= j_hi; ++j) {
       const double c = cost(i - 1, j - 1);
@@ -175,7 +220,6 @@ DtwResult dtw(std::size_t n, std::size_t m, CostFn&& cost,
       result.distance = row_min;
       result.path_length = 0;
       result.abandoned = true;
-      c_cells.add(cells);
       c_abandoned.add();
       return result;
     }
@@ -184,7 +228,6 @@ DtwResult dtw(std::size_t n, std::size_t m, CostFn&& cost,
   }
   result.distance = prev[m];
   result.path_length = prev_steps[m];
-  c_cells.add(cells);
   return result;
 }
 

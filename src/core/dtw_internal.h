@@ -13,6 +13,7 @@
 #include <limits>
 
 #include "core/dtw.h"
+#include "core/dtw_wavefront.h"
 #include "isa/normalize.h"
 
 namespace scag::core::detail {
@@ -68,6 +69,23 @@ inline double distance_cutoff(double min_similarity, const DtwConfig& config) {
   return d * (1.0 + kPruneSlack);
 }
 
+/// Distance cutoff -> accumulated-cost early-abandon threshold: undo the
+/// length penalty, scale by the maximum warping-path length under
+/// path-averaged normalization (the true path has at most n+m-1 cells),
+/// and inflate by the pruning slack. Shared by bounded_dp and the explain
+/// shortcut-attribution path (explain.cpp) so both translate bit-
+/// identically. Precondition: n >= 1 and m >= 1 — the n+m-1 path-length
+/// factor would wrap to SIZE_MAX on two empty sequences, and the empty
+/// alignments are O(1) exact, so callers score them before any cutoff
+/// math.
+inline double accumulated_cutoff(double d_cut, std::size_t n, std::size_t m,
+                                 const DtwConfig& config) {
+  double acc_limit = d_cut / penalty_factor(n, m, config);
+  if (config.normalization == DtwNormalization::kPathAveraged)
+    acc_limit *= static_cast<double>(n + m - 1);
+  return acc_limit * (1.0 + kPruneSlack);
+}
+
 /// Stage 2 of bounded_similarity and the final stage of the scan cascade:
 /// the exact DP with early abandon, entered once the O(n+m) lower bounds
 /// failed to prune at distance cutoff `d_cut`. The cutoff is translated
@@ -75,19 +93,27 @@ inline double distance_cutoff(double min_similarity, const DtwConfig& config) {
 /// most n+m-1 cells long, the penalty factor is exact). Shared between the
 /// string kernel (dtw.cpp), the compiled kernel (compiled.cpp), and the
 /// cascade scanner (scan_index.cpp) so all three make bit-identical
-/// decisions and report bit-identical scores.
+/// decisions and report bit-identical scores. The DP itself honors
+/// DtwConfig::kernel via dtw_run (scalar row loop or wavefront SIMD; same
+/// bits either way).
 template <class CostFn>
 BoundedScore bounded_dp(std::size_t n, std::size_t m, CostFn&& cost,
                         double d_cut, const DtwConfig& config) {
   BoundedScore out;
+  if (n == 0 || m == 0) {
+    // Empty alignments are O(1) exact: score them before any cutoff math
+    // (accumulated_cutoff's n+m-1 factor would wrap to SIZE_MAX when both
+    // sides are empty and silently skew the abandon threshold).
+    const DtwResult r = dtw_run(n, m, static_cast<CostFn&&>(cost), config);
+    out.score =
+        similarity_from_distance(finish_distance(r, n, m, config), config);
+    return out;
+  }
   const double pf = penalty_factor(n, m, config);
-  double acc_limit = d_cut / pf;
-  if (config.normalization == DtwNormalization::kPathAveraged)
-    acc_limit *= static_cast<double>(n + m - 1);
-  acc_limit *= 1.0 + kPruneSlack;
+  const double acc_limit = accumulated_cutoff(d_cut, n, m, config);
 
   const DtwResult r =
-      dtw(n, m, static_cast<CostFn&&>(cost), config, acc_limit);
+      dtw_run(n, m, static_cast<CostFn&&>(cost), config, acc_limit);
   if (r.abandoned) {
     double d_ab = r.distance;  // row minimum: accumulated-cost lower bound
     if (config.normalization == DtwNormalization::kPathAveraged)

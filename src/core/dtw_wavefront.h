@@ -1,0 +1,258 @@
+// Anti-diagonal (wavefront) DTW kernel, bit-identical to the row-major
+// scalar DP in core/dtw.h.
+//
+// Cell (i, j) of the DP matrix depends on (i-1, j-1), (i-1, j) and
+// (i, j-1). On anti-diagonal d = i + j those predecessors live on
+// diagonals d-2, d-1 and d-1: every in-band cell of one diagonal is
+// independent of the others, so the 3-way min + cost add vectorizes
+// (core/simd.h), and — just as importantly — the scalar row loop's serial
+// cur[j-1] dependency chain disappears.
+//
+// Layout: diagonal arrays are indexed by column j, D_d[j] = dp[d-j][j].
+// Three rolling arrays of size m + 2 + simd::kLanePad hold diagonals d-2,
+// d-1 and d; each produced diagonal writes its in-band range [j_lo, j_hi]
+// padded to a full vector multiple of ghost lanes, then one +inf sentinel
+// on either side, which covers every read later diagonals make (j_lo is
+// non-decreasing in d and j_hi grows by at most one, so neither stale
+// values from the recycled d-2 buffer nor ghost-lane garbage is ever
+// read). Warping-path step
+// counts ride in parallel double arrays (exact integers far below 2^53)
+// and are blended with the same comparison masks as the values, so the
+// tie-break chain (diagonal, then insertion, then deletion, strict <)
+// matches the scalar kernel decision for decision.
+//
+// Early abandon keeps the scalar kernel's row-minimum semantics: lane
+// minima are folded into per-row minima (lane j of diagonal d belongs to
+// row i = d - j), and row r is complete once diagonal d = r + min(m, r+w)
+// has been produced. That completion point is strictly increasing in r,
+// so at most one row completes per diagonal and rows are tested in the
+// same order, against the same minima, as the scalar loop — the kernel
+// abandons on the same row with the same returned bound. (Cells of later,
+// incomplete rows may have been computed by then; the cost functor is
+// pure — memoized in the compiled path — so the extra evaluations are
+// unobservable.)
+//
+// Not installed with the public headers' guarantees in mind: include from
+// core code, tests and benches. Production scans reach this kernel only
+// through DtwConfig::kernel (see dtw_run below).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/dtw.h"
+#include "core/simd.h"
+#include "support/metrics.h"
+
+namespace scag::core {
+
+namespace detail {
+
+/// Thread-local scratch for the wavefront DP: three rolling value/step
+/// diagonal pairs, the per-diagonal cost gather buffer, and the per-row
+/// minima used by early abandon. Shared by every CostFn instantiation
+/// (the buffers are plain doubles), so steady-state scans allocate
+/// nothing once the high-water sequence length has been seen.
+struct WavefrontScratch {
+  std::vector<double> val[3];
+  std::vector<double> steps[3];
+  std::vector<double> cost;
+  std::vector<double> row_min;
+};
+
+inline WavefrontScratch& wavefront_scratch() {
+  thread_local WavefrontScratch scratch;
+  return scratch;
+}
+
+}  // namespace detail
+
+/// Wavefront twin of the scalar dtw() template: same inputs, same
+/// counters, bit-identical DtwResult (distance, path_length, abandoned)
+/// for every configuration — enforced by tests/test_simd_kernel.cpp and
+/// the FuzzSimd case in tests/test_fuzz.cpp. Always runs the wavefront
+/// algorithm; callers wanting the SCAG_SIMD escape hatch go through
+/// dtw_run().
+template <class CostFn>
+DtwResult dtw_wavefront(
+    std::size_t n, std::size_t m, CostFn&& cost, const DtwConfig& config = {},
+    double abandon_above = std::numeric_limits<double>::infinity()) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  static support::Counter& c_calls =
+      support::Registry::global().counter("dtw.calls");
+  static support::Counter& c_cells =
+      support::Registry::global().counter("dtw.dp_cells");
+  static support::Counter& c_abandoned =
+      support::Registry::global().counter("dtw.abandoned");
+  static support::Counter& c_wavefront =
+      support::Registry::global().counter("dtw.wavefront_calls");
+  c_calls.add();
+  c_wavefront.add();
+  detail::CellCountFlusher flusher(c_cells);
+
+  if (config.deadline_ns != 0 && support::monotonic_ns() >= config.deadline_ns)
+    throw ScanTimeoutError();
+
+  DtwResult result;
+  if (n == 0 && m == 0) return result;
+  if (n == 0 || m == 0) {
+    result.distance = static_cast<double>(n + m);  // all unmatched, cost 1
+    result.path_length = n + m;
+    return result;
+  }
+
+  const bool may_abandon = std::isfinite(abandon_above);
+  const std::size_t w =
+      config.window == 0 ? std::max(n, m)
+                         : std::max(config.window,
+                                    n > m ? n - m : m - n);  // feasibility
+
+  detail::WavefrontScratch& ws = detail::wavefront_scratch();
+  // One sentinel column on each side of the band plus up to kLanePad - 1
+  // ghost lanes past j_hi + 1 (see the padded step call below): the
+  // highest index touched is j_lo + plen - 1 <= j_hi + 3 <= m + 3.
+  const std::size_t cols = m + 2 + simd::kLanePad;
+  if (ws.val[0].size() < cols) {
+    for (int q = 0; q < 3; ++q) {
+      ws.val[q].resize(cols);
+      ws.steps[q].resize(cols);
+    }
+    ws.cost.resize(cols);
+  }
+  if (may_abandon) ws.row_min.assign(n + 1, kInf);
+
+  double* d2 = ws.val[0].data();   // diagonal d-2
+  double* d1 = ws.val[1].data();   // diagonal d-1
+  double* d0 = ws.val[2].data();   // diagonal d (being produced)
+  double* s2 = ws.steps[0].data();
+  double* s1 = ws.steps[1].data();
+  double* s0 = ws.steps[2].data();
+  // Stale scratch beyond these six cells is never read: diagonal d = 2
+  // reads only d2[0] and d1[0..1], diagonal 3 reads the rotated d2 (this
+  // d1) only at [0..1], and every later read lands in a range a produced
+  // diagonal wrote (in-band cells plus the two sentinels). So the O(m)
+  // full-array clear the first version did is unnecessary — a measurable
+  // tax on the short sequences the scan actually compares.
+  d2[0] = 0.0;  // dp[0][0]; every other boundary cell is +inf
+  s2[0] = 0.0;
+  d1[0] = kInf;  // dp[1][0] and dp[0][1]
+  d1[1] = kInf;
+  s1[0] = 0.0;
+  s1[1] = 0.0;
+
+  const simd::DiagStepFn step = simd::diag_step();
+  double* cbuf = ws.cost.data();
+  std::size_t next_complete_row = 1;
+
+  for (std::size_t d = 2; d <= n + m; ++d) {
+    if (config.deadline_ns != 0 &&
+        support::monotonic_ns() >= config.deadline_ns)
+      throw ScanTimeoutError();
+
+    // In-band columns of diagonal d: j in [1, m], row i = d - j in [1, n],
+    // |i - j| <= w. The band is never empty for d in [2, n+m] because
+    // w >= |n - m| keeps the end cell reachable.
+    std::size_t j_lo = 1;
+    if (d > n) j_lo = std::max(j_lo, d - n);
+    if (d > w) j_lo = std::max(j_lo, (d - w + 1) / 2);
+    const std::size_t j_hi = std::min({m, d - 1, (d + w) / 2});
+    const std::size_t len = j_hi - j_lo + 1;
+    flusher.cells += len;
+
+    // Gather the cell costs: scalar lane loop by default (the functor may
+    // intern/memoize), or the functor's own anti-diagonal bulk gather when
+    // it provides one (the compiled kernel's memo-table lookup does; see
+    // PairContext::gather_diag). The contract is the same either way —
+    // cbuf[j] = cost(d - j - 1, j - 1) for every in-band j, bit-for-bit.
+    if constexpr (requires { cost.gather_diag(d, j_lo, j_hi, cbuf); }) {
+      cost.gather_diag(d, j_lo, j_hi, cbuf);
+    } else {
+      for (std::size_t j = j_lo; j <= j_hi; ++j)
+        cbuf[j] = cost(d - j - 1, j - 1);
+    }
+
+    // Pad the lane count to a full vector multiple and let the step write
+    // ghost lanes past j_hi. Exact-length calls leave a varying mix of
+    // vector and scalar tail stores that the next diagonal's overlapping
+    // vector loads cannot forward from — measured at ~4x the cost of this
+    // whole loop body on short diagonals. Ghost lanes read only scratch
+    // the kernel owns (zero-filled on growth, finite or +inf afterwards;
+    // their cost lanes are zeroed here), and nothing ever reads a lane
+    // past j_hi + 1, where the sentinel store below overwrites whatever
+    // the ghost lanes left.
+    const std::size_t plen = (len + simd::kLanePad - 1) & ~(simd::kLanePad - 1);
+    for (std::size_t j = j_hi + 1; j < j_lo + plen; ++j) cbuf[j] = 0.0;
+
+    // Lane j: dp[d-j][j] = min(dp[d-j-1][j-1], dp[d-j-1][j],
+    //                          dp[d-j][j-1]) + cost.
+    step(d2 + (j_lo - 1), s2 + (j_lo - 1),  // diagonal predecessor
+         d1 + j_lo, s1 + j_lo,              // insertion (row above)
+         d1 + (j_lo - 1), s1 + (j_lo - 1),  // deletion  (column left)
+         cbuf + j_lo, d0 + j_lo, s0 + j_lo, plen);
+
+    // +inf sentinels so diagonals d+1/d+2 read "out of band" correctly.
+    // Written after the step: the j_hi + 1 slot doubles as the first ghost
+    // lane when len < plen.
+    d0[j_lo - 1] = kInf;
+    s0[j_lo - 1] = 0.0;
+    d0[j_hi + 1] = kInf;
+    s0[j_hi + 1] = 0.0;
+
+    if (may_abandon) {
+      double* rmin = ws.row_min.data();
+      for (std::size_t j = j_lo; j <= j_hi; ++j)
+        rmin[d - j] = std::min(rmin[d - j], d0[j]);
+      // Row r is complete once its last in-band cell, column
+      // min(m, r + w), has been produced — i.e. on this diagonal when
+      // d == r + min(m, r + w). Strictly increasing in r, so at most one
+      // row completes per diagonal; test rows in scalar order.
+      while (next_complete_row <= n &&
+             next_complete_row + std::min(m, next_complete_row + w) == d) {
+        if (rmin[next_complete_row] > abandon_above) {
+          result.distance = rmin[next_complete_row];
+          result.path_length = 0;
+          result.abandoned = true;
+          c_abandoned.add();
+          return result;
+        }
+        ++next_complete_row;
+      }
+    }
+
+    if (d == n + m) {
+      result.distance = d0[m];
+      result.path_length = static_cast<std::size_t>(s0[m]);
+      return result;
+    }
+
+    double* t = d2;
+    d2 = d1;
+    d1 = d0;
+    d0 = t;
+    t = s2;
+    s2 = s1;
+    s1 = s0;
+    s0 = t;
+  }
+  return result;  // unreachable: n, m >= 1 means the loop body returns
+}
+
+/// Kernel dispatch for the scan paths: honors DtwConfig::kernel and the
+/// SCAG_SIMD environment escape hatch. Every production DP invocation
+/// (cst_bbs_distance, the compiled kernel, bounded_dp) funnels through
+/// here; the scalar dtw() template stays the reference oracle.
+template <class CostFn>
+DtwResult dtw_run(
+    std::size_t n, std::size_t m, CostFn&& cost, const DtwConfig& config = {},
+    double abandon_above = std::numeric_limits<double>::infinity()) {
+  if (config.kernel == DtwKernel::kWavefront && simd::wavefront_enabled())
+    return dtw_wavefront(n, m, static_cast<CostFn&&>(cost), config,
+                         abandon_above);
+  return dtw(n, m, static_cast<CostFn&&>(cost), config, abandon_above);
+}
+
+}  // namespace scag::core

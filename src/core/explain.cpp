@@ -241,11 +241,10 @@ ModelExplanation explain_pair(const CstBbs& target, const AttackModel& model,
     if (pr.lower_bound * (1.0 - detail::kPruneSlack) > d_cut) {
       pr.lb_prunes = true;
     } else {
-      const double pf = detail::penalty_factor(n, m, config);
-      double acc_limit = d_cut / pf;
-      if (config.normalization == DtwNormalization::kPathAveraged)
-        acc_limit *= static_cast<double>(n + m - 1);
-      acc_limit *= 1.0 + detail::kPruneSlack;
+      // Shared with bounded_dp so the attribution translates the cutoff
+      // bit-identically (shortcuts_armed guarantees n, m >= 1).
+      const double acc_limit =
+          detail::accumulated_cutoff(d_cut, n, m, config);
       for (std::size_t i = 0; i < row_min.size(); ++i) {
         if (row_min[i] > acc_limit) {
           pr.early_abandon_row = static_cast<std::ptrdiff_t>(i + 1);

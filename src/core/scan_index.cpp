@@ -300,7 +300,8 @@ Family ScanIndex::predict_family(const SequenceFeatures& features,
 std::vector<std::uint32_t> ScanIndex::scan_order(
     const SequenceFeatures& features, std::size_t length) const {
   std::vector<std::uint32_t> order(families_.size());
-  for (std::uint32_t j = 0; j < order.size(); ++j) order[j] = j;
+  for (std::size_t j = 0; j < order.size(); ++j)
+    order[j] = static_cast<std::uint32_t>(j);
   if (families_.size() < 2) return order;
 
   const ml::FeatureVector x =

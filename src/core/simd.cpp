@@ -1,0 +1,203 @@
+#include "core/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SCAG_SIMD_HAVE_AVX2 1
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__)
+#define SCAG_SIMD_HAVE_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace scag::core::simd {
+namespace {
+
+// Reference lanes: the exact scalar comparison chain the vector backends
+// must reproduce. Also the tail loop for partial vectors.
+void diag_step_scalar(const double* diag, const double* sdiag,
+                      const double* up, const double* sup, const double* left,
+                      const double* sleft, const double* cost, double* out,
+                      double* sout, std::size_t len) {
+  for (std::size_t k = 0; k < len; ++k) {
+    double best = diag[k];
+    double s = sdiag[k];
+    if (up[k] < best) {
+      best = up[k];
+      s = sup[k];
+    }
+    if (left[k] < best) {
+      best = left[k];
+      s = sleft[k];
+    }
+    out[k] = best + cost[k];
+    sout[k] = s + 1.0;
+  }
+}
+
+#if SCAG_SIMD_HAVE_AVX2
+// 4 lanes per iteration. _CMP_LT_OQ + blendv is the scalar `if (x < best)`
+// for every non-NaN input (including the +inf boundary sentinels), and
+// _mm256_add_pd rounds exactly like the scalar add, so results are
+// bit-identical to diag_step_scalar. Compiled with a per-function target
+// attribute so the translation unit (and the rest of the build) keeps the
+// default portable flags; dispatch checks cpu support at runtime.
+__attribute__((target("avx2"))) void diag_step_avx2(
+    const double* diag, const double* sdiag, const double* up,
+    const double* sup, const double* left, const double* sleft,
+    const double* cost, double* out, double* sout, std::size_t len) {
+  std::size_t k = 0;
+  for (; k + 4 <= len; k += 4) {
+    __m256d best = _mm256_loadu_pd(diag + k);
+    __m256d s = _mm256_loadu_pd(sdiag + k);
+    const __m256d u = _mm256_loadu_pd(up + k);
+    const __m256d su = _mm256_loadu_pd(sup + k);
+    __m256d m = _mm256_cmp_pd(u, best, _CMP_LT_OQ);
+    best = _mm256_blendv_pd(best, u, m);
+    s = _mm256_blendv_pd(s, su, m);
+    const __m256d l = _mm256_loadu_pd(left + k);
+    const __m256d sl = _mm256_loadu_pd(sleft + k);
+    m = _mm256_cmp_pd(l, best, _CMP_LT_OQ);
+    best = _mm256_blendv_pd(best, l, m);
+    s = _mm256_blendv_pd(s, sl, m);
+    _mm256_storeu_pd(out + k, _mm256_add_pd(best, _mm256_loadu_pd(cost + k)));
+    _mm256_storeu_pd(sout + k, _mm256_add_pd(s, _mm256_set1_pd(1.0)));
+  }
+  if (k < len)
+    diag_step_scalar(diag + k, sdiag + k, up + k, sup + k, left + k,
+                     sleft + k, cost + k, out + k, sout + k, len - k);
+}
+// 4 lanes per iteration. The a-side ids walk downwards (row index falls
+// along an anti-diagonal), so a 128-bit load ending at a_desc[-k] is
+// lane-reversed with a shuffle; ids are zero-extended to 64 bits and the
+// index a*stride + b computed in 64-bit lanes (mul_epu32 is exact here:
+// both factors fit 32 bits). vgatherqpd performs one aligned 8-byte load
+// per lane — bitwise the same values the scalar loop reads.
+__attribute__((target("avx2"))) void pair_gather_avx2(
+    const double* table, std::size_t stride, const std::uint32_t* a_desc,
+    const std::uint32_t* b_asc, double* out, std::size_t len) {
+  const __m256i vstride = _mm256_set1_epi64x(static_cast<long long>(stride));
+  std::size_t k = 0;
+  for (; k + 4 <= len; k += 4) {
+    __m128i a = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(a_desc - k - 3));
+    a = _mm_shuffle_epi32(a, _MM_SHUFFLE(0, 1, 2, 3));
+    const __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b_asc + k));
+    const __m256i a64 = _mm256_cvtepu32_epi64(a);
+    const __m256i b64 = _mm256_cvtepu32_epi64(b);
+    const __m256i idx =
+        _mm256_add_epi64(_mm256_mul_epu32(a64, vstride), b64);
+    _mm256_storeu_pd(out + k, _mm256_i64gather_pd(table, idx, 8));
+  }
+  for (; k < len; ++k)
+    out[k] = table[static_cast<std::size_t>(a_desc[-static_cast<std::ptrdiff_t>(
+                       k)]) *
+                       stride +
+                   b_asc[k]];
+}
+#endif  // SCAG_SIMD_HAVE_AVX2
+
+#if SCAG_SIMD_HAVE_NEON
+// 2 lanes per iteration; vcltq_f64 + vbslq_f64 mirror the scalar compare
+// chain, vaddq_f64 the scalar add.
+void diag_step_neon(const double* diag, const double* sdiag, const double* up,
+                    const double* sup, const double* left, const double* sleft,
+                    const double* cost, double* out, double* sout,
+                    std::size_t len) {
+  std::size_t k = 0;
+  for (; k + 2 <= len; k += 2) {
+    float64x2_t best = vld1q_f64(diag + k);
+    float64x2_t s = vld1q_f64(sdiag + k);
+    const float64x2_t u = vld1q_f64(up + k);
+    const float64x2_t su = vld1q_f64(sup + k);
+    uint64x2_t m = vcltq_f64(u, best);
+    best = vbslq_f64(m, u, best);
+    s = vbslq_f64(m, su, s);
+    const float64x2_t l = vld1q_f64(left + k);
+    const float64x2_t sl = vld1q_f64(sleft + k);
+    m = vcltq_f64(l, best);
+    best = vbslq_f64(m, l, best);
+    s = vbslq_f64(m, sl, s);
+    vst1q_f64(out + k, vaddq_f64(best, vld1q_f64(cost + k)));
+    vst1q_f64(sout + k, vaddq_f64(s, vdupq_n_f64(1.0)));
+  }
+  if (k < len)
+    diag_step_scalar(diag + k, sdiag + k, up + k, sup + k, left + k,
+                     sleft + k, cost + k, out + k, sout + k, len - k);
+}
+#endif  // SCAG_SIMD_HAVE_NEON
+
+struct Backend {
+  DiagStepFn fn;
+  PairGatherFn gather;
+  Level level;
+};
+
+// Under ThreadSanitizer the pair gather is disabled (scalar loop instead):
+// its vector loads read memo cells that concurrent scan threads fill
+// through relaxed atomics. The hardware performs the same indivisible
+// aligned 8-byte loads either way, but TSan cannot see atomicity through
+// the vgatherqpd intrinsic and would report the benign race.
+#if defined(__SANITIZE_THREAD__)
+#define SCAG_SIMD_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SCAG_SIMD_TSAN 1
+#endif
+#endif
+#ifndef SCAG_SIMD_TSAN
+#define SCAG_SIMD_TSAN 0
+#endif
+
+Backend detect_backend() {
+#if SCAG_SIMD_HAVE_AVX2
+  if (__builtin_cpu_supports("avx2"))
+    return {diag_step_avx2, SCAG_SIMD_TSAN ? nullptr : pair_gather_avx2,
+            Level::kAvx2};
+#endif
+#if SCAG_SIMD_HAVE_NEON
+  return {diag_step_neon, nullptr, Level::kNeon};
+#endif
+  return {diag_step_scalar, nullptr, Level::kScalar};
+}
+
+const Backend& backend() {
+  static const Backend b = detect_backend();
+  return b;
+}
+
+bool read_env_enabled() {
+  const char* v = std::getenv("SCAG_SIMD");
+  if (v == nullptr || *v == '\0') return true;
+  return std::strcmp(v, "0") != 0;
+}
+
+}  // namespace
+
+DiagStepFn diag_step() { return backend().fn; }
+
+PairGatherFn pair_gather() { return backend().gather; }
+
+Level active_level() { return backend().level; }
+
+const char* level_name() {
+  switch (backend().level) {
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kNeon:
+      return "neon";
+    case Level::kScalar:
+      return "scalar";
+  }
+  return "scalar";
+}
+
+bool wavefront_enabled() {
+  static const bool enabled = read_env_enabled();
+  return enabled;
+}
+
+}  // namespace scag::core::simd

@@ -1,0 +1,88 @@
+// Portable SIMD backend for the anti-diagonal (wavefront) DTW kernel
+// (core/dtw_wavefront.h).
+//
+// The only vectorized primitive is `diag_step`: one wavefront step over a
+// contiguous run of anti-diagonal lanes, each lane performing the scalar
+// DP cell update
+//
+//   best = diag[k]; s = sdiag[k];
+//   if (up[k]   < best) { best = up[k];   s = sup[k];   }
+//   if (left[k] < best) { best = left[k]; s = sleft[k]; }
+//   out[k]  = best + cost[k];
+//   sout[k] = s + 1.0;
+//
+// with *exactly* that comparison chain and rounding: the AVX2/NEON
+// specializations use ordered less-than compares + blends + one add per
+// lane, which for the non-NaN inputs the DP produces (finite costs and
+// +inf boundary sentinels) are bit-identical to the scalar if-chain. No
+// reassociation, no FMA, no fast-math — scores stay bit-identical to the
+// row-major scalar kernel in core/dtw.h.
+//
+// Backend selection happens once, at first use, via runtime CPU detection
+// (`__builtin_cpu_supports("avx2")` on x86-64, compile-time on aarch64);
+// the build itself uses the default target flags, so the binary stays
+// portable. `SCAG_SIMD=0` in the environment disables wavefront dispatch
+// entirely (scans fall back to the scalar row DP); a value of `1` (or the
+// variable being unset) leaves it on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace scag::core::simd {
+
+/// Which diag_step implementation runtime detection selected.
+enum class Level { kScalar, kNeon, kAvx2 };
+
+/// Lane-count multiple callers should pad diag_step calls to (with ghost
+/// lanes whose inputs they own and whose outputs they never read).
+/// Padding keeps every store the widest vector width: a call that ends in
+/// a scalar tail leaves mixed 8/32-byte stores that the next diagonal's
+/// overlapping vector loads cannot store-forward from, which measured
+/// ~4x slower than the padded form on short diagonals. A power of two,
+/// sized for the widest backend (AVX2, 4 doubles); the narrower backends
+/// just do at most kLanePad - 1 lanes of throwaway work.
+inline constexpr std::size_t kLanePad = 4;
+
+/// One wavefront step over `len` lanes (see the file comment for the
+/// per-lane semantics). `diag`/`sdiag` are the d-2 diagonal's values and
+/// step counts, `up`/`sup` and `left`/`sleft` the two d-1 offsets, `cost`
+/// the per-lane cell costs; results go to `out`/`sout`. All pointers are
+/// pre-offset by the caller; ranges may not alias `out`/`sout`.
+using DiagStepFn = void (*)(const double* diag, const double* sdiag,
+                            const double* up, const double* sup,
+                            const double* left, const double* sleft,
+                            const double* cost, double* out, double* sout,
+                            std::size_t len);
+
+/// The backend selected for this process (detection runs once).
+DiagStepFn diag_step();
+
+/// Anti-diagonal gather from a dense pair table: lane k reads
+/// table[a_desc[-k] * stride + b_asc[k]] into out[k], for k in [0, len).
+/// This is the memoized element-distance lookup of the compiled kernel
+/// walking one anti-diagonal (row index descending, column ascending);
+/// the loads are plain 8-byte aligned reads, so the gathered bits equal
+/// the scalar loop's. NaN sentinel entries (memo misses) pass through
+/// untouched — the caller patches them lane by lane afterwards.
+using PairGatherFn = void (*)(const double* table, std::size_t stride,
+                              const std::uint32_t* a_desc,
+                              const std::uint32_t* b_asc, double* out,
+                              std::size_t len);
+
+/// Vectorized pair-table gather, or nullptr when the detected backend has
+/// no gather instruction (scalar, NEON): callers keep their scalar loop.
+PairGatherFn pair_gather();
+
+/// The detected level, and its lowercase name ("scalar"/"neon"/"avx2")
+/// for bench telemetry.
+Level active_level();
+const char* level_name();
+
+/// False when the SCAG_SIMD environment variable is set to 0 (read once
+/// per process): the wavefront kernel is then never dispatched to, and
+/// every DP runs the scalar row kernel. Direct calls to dtw_wavefront()
+/// (tests, benches) are not affected — only the DtwKernel dispatch.
+bool wavefront_enabled();
+
+}  // namespace scag::core::simd

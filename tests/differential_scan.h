@@ -19,8 +19,13 @@
 //     and strictly below the scan's best (the admissibility invariant).
 //   - run_differential_matrix(): sweeps one target set through every
 //     cascaded path — serial Detector with use_index() on, both kernels
-//     (use_compiled on/off), and BatchDetector with BatchConfig::index at
-//     each requested thread count — asserting equivalence per target.
+//     (use_compiled on/off), both DP kernels (use_simd off = scalar row
+//     loop, on = wavefront SIMD), and BatchDetector with
+//     BatchConfig::index at each requested thread count — asserting
+//     equivalence per target. The oracle always runs the scalar string
+//     kernel (dtw_config() never selects the wavefront), so the SIMD
+//     kernel's bit-identity is proven against an independent scalar
+//     ground truth in every sweep.
 //
 // Used by tests/test_scan_index.cpp (fixed corpora, thresholds, hostile
 // and degraded inputs) and tests/test_fuzz.cpp (seed-replayable random
@@ -107,17 +112,19 @@ inline void expect_detection_equivalent(const core::Detection& oracle,
 
 /// Sweeps `targets` through every cascaded scan path and asserts each one
 /// is verdict-equivalent to the exhaustive oracle:
-///   - serial Detector, use_index() on, use_compiled() off and on;
-///   - BatchDetector with BatchConfig::index, both kernels, at every
-///     thread count in `thread_counts`.
+///   - serial Detector, use_index() on, use_compiled() off and on,
+///     use_simd() off (scalar row DP) and on (wavefront SIMD DP);
+///   - BatchDetector with BatchConfig::index, all four kernel
+///     combinations, at every thread count in `thread_counts`.
 /// Restores the detector's flags before returning. `label` prefixes every
 /// failure message (put the corpus/seed there).
 inline void run_differential_matrix(
     core::Detector& detector, const std::vector<core::CstBbs>& targets,
     const std::string& label,
-    const std::vector<std::size_t>& thread_counts = {1, 2}) {
+    const std::vector<std::size_t>& thread_counts = {1, 2, 8}) {
   const bool saved_compiled = detector.use_compiled();
   const bool saved_index = detector.use_index();
+  const bool saved_simd = detector.use_simd();
 
   std::vector<core::Detection> oracles;
   oracles.reserve(targets.size());
@@ -127,30 +134,35 @@ inline void run_differential_matrix(
   detector.set_use_index(true);
   for (bool compiled : {false, true}) {
     detector.set_use_compiled(compiled);
-    const std::string serial_label =
-        label + "/serial" + (compiled ? "+compiled" : "+string");
-    for (std::size_t i = 0; i < targets.size(); ++i)
-      expect_detection_equivalent(
-          oracles[i], detector.scan(targets[i]),
-          serial_label + "/target" + std::to_string(i));
-
-    for (std::size_t threads : thread_counts) {
-      core::BatchConfig config;
-      config.threads = threads;
-      config.index = true;
-      const core::BatchDetector batch(detector, config);
-      const std::vector<core::Detection> got = batch.scan_all(targets);
-      ASSERT_EQ(got.size(), targets.size());
-      const std::string batch_label = serial_label + "/batch-t" +
-                                      std::to_string(threads) + "/target";
+    for (bool simd : {false, true}) {
+      detector.set_use_simd(simd);
+      const std::string serial_label = label + "/serial" +
+                                       (compiled ? "+compiled" : "+string") +
+                                       (simd ? "+simd" : "+scalar");
       for (std::size_t i = 0; i < targets.size(); ++i)
-        expect_detection_equivalent(oracles[i], got[i],
-                                    batch_label + std::to_string(i));
+        expect_detection_equivalent(
+            oracles[i], detector.scan(targets[i]),
+            serial_label + "/target" + std::to_string(i));
+
+      for (std::size_t threads : thread_counts) {
+        core::BatchConfig config;
+        config.threads = threads;
+        config.index = true;
+        const core::BatchDetector batch(detector, config);
+        const std::vector<core::Detection> got = batch.scan_all(targets);
+        ASSERT_EQ(got.size(), targets.size());
+        const std::string batch_label = serial_label + "/batch-t" +
+                                        std::to_string(threads) + "/target";
+        for (std::size_t i = 0; i < targets.size(); ++i)
+          expect_detection_equivalent(oracles[i], got[i],
+                                      batch_label + std::to_string(i));
+      }
     }
   }
 
   detector.set_use_compiled(saved_compiled);
   detector.set_use_index(saved_index);
+  detector.set_use_simd(saved_simd);
 }
 
 }  // namespace scag::testutil

@@ -8,14 +8,19 @@
 //     single-instruction programs, empty CST-BBS targets);
 //   - the triage-index scan cascade stays verdict-equivalent to the
 //     exhaustive oracle over random repositories and targets, including
-//     under fault-injected compiled-kernel degradation (FuzzCascade).
+//     under fault-injected compiled-kernel degradation (FuzzCascade);
+//   - the wavefront SIMD DP kernel is bit-identical to the scalar row
+//     kernel over random cost matrices, shapes, windows and abandon
+//     thresholds (FuzzSimd).
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "attacks/registry.h"
 #include "core/batch_detector.h"
 #include "differential_scan.h"
+#include "core/dtw_wavefront.h"
 #include "core/model.h"
 #include "core/serialize.h"
 #include "cpu/interpreter.h"
@@ -333,6 +338,53 @@ TEST(FuzzCascade, StaysEquivalentUnderProbabilisticDegradation) {
   scag::testutil::run_differential_matrix(detector, targets,
                                           "degraded-50pct", {1, 2});
   support::fp::disarm_all();
+}
+
+// The wavefront SIMD kernel (core/dtw_wavefront.h) against the scalar row
+// kernel, directly at the DP level: random shapes (degenerate ones
+// included), random cost matrices, random windows (narrower than |n-m|
+// too — the kernels must widen identically), both normalizations, and
+// random early-abandon thresholds spanning never/sometimes/always. The
+// results must match bit for bit: distance, path_length (tie-breaks
+// included), and the abandoned flag. Replay a failure with
+// SCAG_TEST_SEED=<seed> (seed_util.h).
+TEST(FuzzSimd, WavefrontMatchesScalarBitExactly) {
+  const std::uint64_t seed = scag::testutil::test_seed(0x51'3d);
+  SCOPED_TRACE(scag::testutil::seed_note(seed));
+  Rng rng(seed);
+
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t n = rng.below(41);
+    const std::size_t m = rng.chance(0.1) ? rng.below(2) : rng.below(41);
+    std::vector<double> costs(std::max<std::size_t>(1, n * m));
+    for (double& c : costs) c = rng.uniform_real(0.0, 2.0);
+    const auto cost = [&](std::size_t i, std::size_t j) {
+      return costs[i * m + j];
+    };
+
+    core::DtwConfig config;
+    config.normalization = rng.chance(0.5)
+                               ? core::DtwNormalization::kPathAveraged
+                               : core::DtwNormalization::kAccumulated;
+    config.window = rng.below(12);  // 0 = unconstrained; may be < |n-m|
+    double abandon = std::numeric_limits<double>::infinity();
+    if (rng.chance(0.6))
+      abandon = rng.uniform_real(0.0, 1.5 * static_cast<double>(n + m));
+
+    const core::DtwResult scalar = core::dtw(n, m, cost, config, abandon);
+    const core::DtwResult wave =
+        core::dtw_wavefront(n, m, cost, config, abandon);
+    const std::string what = "round " + std::to_string(round) + " n=" +
+                             std::to_string(n) + " m=" + std::to_string(m) +
+                             " w=" + std::to_string(config.window) +
+                             " abandon=" + std::to_string(abandon);
+    EXPECT_EQ(scag::testutil::score_bits(scalar.distance),
+              scag::testutil::score_bits(wave.distance))
+        << what << ": distance " << scalar.distance << " vs "
+        << wave.distance;
+    EXPECT_EQ(scalar.path_length, wave.path_length) << what;
+    EXPECT_EQ(scalar.abandoned, wave.abandoned) << what;
+  }
 }
 
 TEST(FuzzGenerator, ProgramsDifferAcrossSeeds) {

@@ -128,7 +128,7 @@ TEST_F(ScanIndexSuite, DifferentialMatrixCalibratedAlphabet) {
 TEST_F(ScanIndexSuite, DifferentialMatrixFullTokenAlphabet) {
   Detector detector = make_detector(DtwConfig{}, 0.45);
   testutil::run_differential_matrix(detector, *targets_, "full-tokens",
-                                    {1, 2});
+                                    {1, 2, 8});
 }
 
 /// A banded window changes the DP (and the bounds must respect it); the

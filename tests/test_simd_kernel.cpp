@@ -1,0 +1,405 @@
+// Tri-kernel bit-equality suite for the wavefront SIMD DP kernel
+// (core/dtw_wavefront.h + core/simd.h).
+//
+// Three kernels can score a pair: the string scalar kernel (the oracle),
+// the compiled scalar kernel, and the wavefront SIMD kernel (reachable
+// from both the string and compiled cost functors via DtwConfig::kernel).
+// The contract is bit-identity — same distance bits, same path length
+// (tie-breaks included), same abandon decisions — which this suite checks
+// with EXPECT_EQ on IEEE-754 bit patterns, never tolerances, focusing on
+// the paths the bugfixes in this change touched:
+//
+//   - degenerate shapes: empty vs empty, empty vs nonempty, 1-element
+//     sequences, and windows narrower than |n - m| (both kernels must
+//     widen identically);
+//   - the bounded-DP cutoff translation (detail::accumulated_cutoff),
+//     whose n+m-1 factor used to wrap to SIZE_MAX on two empty sequences;
+//   - early abandon: same abandon row, same returned bound, under both
+//     kernels, across cutoffs that never/sometimes/always fire;
+//   - counter accounting: dtw.dp_cells is identical between kernels on
+//     full runs, and is flushed even when ScanTimeoutError unwinds the DP
+//     (the RAII CellCountFlusher fix).
+//
+// The end-to-end sweep (whole-repository scans on both alphabets at
+// 1/2/8 threads) lives in tests/test_scan_index.cpp via the shared
+// differential harness; random-matrix coverage lives in
+// tests/test_fuzz.cpp (FuzzSimd). Run with SCAG_SIMD=0 to exercise the
+// dispatch escape hatch (scripts/check.sh does both).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "attacks/registry.h"
+#include "benign/registry.h"
+#include "core/compiled.h"
+#include "core/dtw.h"
+#include "core/dtw_internal.h"
+#include "core/dtw_wavefront.h"
+#include "core/model.h"
+#include "core/simd.h"
+#include "differential_scan.h"
+#include "support/metrics.h"
+
+namespace scag::core {
+namespace {
+
+using testutil::score_bits;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// The DTW configuration axes every property suite in this repo sweeps:
+/// paper-literal, calibrated, banded, and length-penalized variants.
+std::vector<DtwConfig> config_axes() {
+  std::vector<DtwConfig> configs;
+  configs.push_back(DtwConfig{});  // paper-literal full tokens
+  configs.push_back(calibrated_dtw_config());
+  DtwConfig banded = calibrated_dtw_config();
+  banded.window = 2;
+  configs.push_back(banded);
+  DtwConfig narrow;  // window far narrower than most |n - m| gaps
+  narrow.window = 1;
+  narrow.normalization = DtwNormalization::kPathAveraged;
+  configs.push_back(narrow);
+  DtwConfig penalized = calibrated_dtw_config();
+  penalized.length_penalty = 0.25;
+  configs.push_back(penalized);
+  return configs;
+}
+
+/// Deterministic synthetic cost functor (no modeling pipeline involved).
+double synth_cost(std::size_t i, std::size_t j) {
+  return static_cast<double>((i * 31 + j * 17 + (i ^ j)) % 11) / 11.0;
+}
+
+void expect_results_equal(const DtwResult& scalar, const DtwResult& wave,
+                          const std::string& what) {
+  EXPECT_EQ(score_bits(scalar.distance), score_bits(wave.distance))
+      << what << ": distance " << scalar.distance << " vs " << wave.distance;
+  EXPECT_EQ(scalar.path_length, wave.path_length) << what;
+  EXPECT_EQ(scalar.abandoned, wave.abandoned) << what;
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate shapes, directly at the DP level.
+
+TEST(SimdKernel, DegenerateShapesMatchScalarBitExactly) {
+  const std::size_t shapes[][2] = {{0, 0}, {0, 1}, {1, 0},  {0, 7},
+                                   {7, 0}, {1, 1}, {1, 9},  {9, 1},
+                                   {2, 2}, {3, 17}, {17, 3}, {12, 12}};
+  for (const DtwConfig& config : config_axes()) {
+    for (const auto& shape : shapes) {
+      const std::size_t n = shape[0], m = shape[1];
+      for (double abandon : {kInf, 5.0, 0.5, 0.0}) {
+        const DtwResult scalar = dtw(n, m, synth_cost, config, abandon);
+        const DtwResult wave =
+            dtw_wavefront(n, m, synth_cost, config, abandon);
+        expect_results_equal(scalar, wave,
+                             "n=" + std::to_string(n) + " m=" +
+                                 std::to_string(m) + " w=" +
+                                 std::to_string(config.window) + " abandon=" +
+                                 std::to_string(abandon));
+      }
+    }
+  }
+}
+
+/// A window narrower than |n - m| must be widened to keep the end cell
+/// reachable — by both kernels, to the same effective band.
+TEST(SimdKernel, NarrowWindowWidensIdentically) {
+  DtwConfig config;
+  config.window = 1;
+  for (const auto& shape : {std::pair<std::size_t, std::size_t>{3, 20},
+                            {20, 3},
+                            {1, 15},
+                            {2, 40}}) {
+    const DtwResult scalar =
+        dtw(shape.first, shape.second, synth_cost, config);
+    const DtwResult wave =
+        dtw_wavefront(shape.first, shape.second, synth_cost, config);
+    expect_results_equal(scalar, wave,
+                         "narrow n=" + std::to_string(shape.first) + " m=" +
+                             std::to_string(shape.second));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tri-kernel equality on real modeled sequences, both alphabets.
+
+class SimdKernelCorpus : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new std::vector<CstBbs>();
+    const ModelBuilder builder;
+    const attacks::PocConfig poc;
+    int picked = 0;
+    for (const attacks::PocSpec& spec : attacks::all_pocs()) {
+      if (picked++ % 3 != 0) continue;  // every third PoC: enough variety
+      corpus_->push_back(builder.build(spec.build(poc), spec.family).sequence);
+    }
+    corpus_->push_back(CstBbs{});  // empty sequence rides along
+    CstBbs single;                 // 1-element sequence
+    single.push_back(corpus_->front().front());
+    corpus_->push_back(single);
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    corpus_ = nullptr;
+  }
+  static std::vector<CstBbs>* corpus_;
+};
+
+std::vector<CstBbs>* SimdKernelCorpus::corpus_ = nullptr;
+
+/// String scalar (oracle) == string wavefront == compiled scalar ==
+/// compiled wavefront, for every pair and every configuration axis.
+TEST_F(SimdKernelCorpus, TriKernelDistancesBitEqual) {
+  for (const DtwConfig& scalar_config : config_axes()) {
+    DtwConfig wave_config = scalar_config;
+    wave_config.kernel = DtwKernel::kWavefront;
+
+    CompiledRepository repo(scalar_config.distance);
+    for (const CstBbs& s : *corpus_) repo.add(s);
+
+    for (std::size_t a = 0; a < corpus_->size(); ++a) {
+      const CompiledTarget target = repo.compile_target((*corpus_)[a]);
+      ElementDistanceMemo memo(target.unique_elements, repo.unique_elements());
+      for (std::size_t b = 0; b < corpus_->size(); ++b) {
+        const std::string what =
+            "pair " + std::to_string(a) + "x" + std::to_string(b) +
+            " window=" + std::to_string(scalar_config.window);
+        const double oracle =
+            cst_bbs_distance((*corpus_)[a], (*corpus_)[b], scalar_config);
+        const double string_wave =
+            cst_bbs_distance((*corpus_)[a], (*corpus_)[b], wave_config);
+        const double compiled_scalar = compiled_cst_bbs_distance(
+            target, repo, b, memo, scalar_config, nullptr);
+        const double compiled_wave = compiled_cst_bbs_distance(
+            target, repo, b, memo, wave_config, nullptr);
+        EXPECT_EQ(score_bits(oracle), score_bits(string_wave))
+            << what << ": string wavefront";
+        EXPECT_EQ(score_bits(oracle), score_bits(compiled_scalar))
+            << what << ": compiled scalar";
+        EXPECT_EQ(score_bits(oracle), score_bits(compiled_wave))
+            << what << ": compiled wavefront";
+      }
+    }
+  }
+}
+
+/// bounded_dp under both kernels: same score bits, same PruneKind, over
+/// cutoffs spanning never-prunes to always-prunes.
+TEST_F(SimdKernelCorpus, BoundedDpEquivalentAcrossKernels) {
+  for (const DtwConfig& scalar_config : config_axes()) {
+    DtwConfig wave_config = scalar_config;
+    wave_config.kernel = DtwKernel::kWavefront;
+    for (const CstBbs& a : *corpus_) {
+      for (const CstBbs& b : *corpus_) {
+        const auto cost = [&](std::size_t i, std::size_t j) {
+          return cst_distance(a[i], b[j], scalar_config.distance);
+        };
+        for (double d_cut : {kInf, 4.0, 0.25, 0.01}) {
+          const BoundedScore s = detail::bounded_dp(a.size(), b.size(), cost,
+                                                    d_cut, scalar_config);
+          const BoundedScore w = detail::bounded_dp(a.size(), b.size(), cost,
+                                                    d_cut, wave_config);
+          EXPECT_EQ(score_bits(s.score), score_bits(w.score))
+              << "d_cut=" << d_cut;
+          EXPECT_EQ(static_cast<int>(s.pruned), static_cast<int>(w.pruned))
+              << "d_cut=" << d_cut;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The bounded-DP empty-sequence bugfix.
+
+/// Two empty sequences under path-averaged normalization used to wrap the
+/// accumulated-cost limit through size_t(0 + 0 - 1): the score must be
+/// the exact empty-vs-empty similarity regardless of cutoff, never
+/// pruned, on both kernels.
+TEST(SimdKernel, BoundedDpEmptySequencesAreExact) {
+  const auto no_cost = [](std::size_t, std::size_t) { return 0.0; };
+  for (const DtwConfig& base : config_axes()) {
+    for (DtwKernel kernel : {DtwKernel::kScalar, DtwKernel::kWavefront}) {
+      DtwConfig config = base;
+      config.kernel = kernel;
+      const double exact =
+          detail::similarity_from_distance(0.0, config);  // D(empty,empty)=0
+      for (double d_cut : {kInf, 1.0, 1e-6, 0.0}) {
+        const BoundedScore s = detail::bounded_dp(0, 0, no_cost, d_cut, config);
+        EXPECT_EQ(score_bits(exact), score_bits(s.score)) << "d_cut=" << d_cut;
+        EXPECT_EQ(static_cast<int>(PruneKind::kNone),
+                  static_cast<int>(s.pruned))
+            << "d_cut=" << d_cut;
+      }
+      // Empty vs nonempty: O(1) exact as well (distance n + m, cost 1 per
+      // unmatched element), never pruned, on every cutoff.
+      const auto unit_cost = [](std::size_t, std::size_t) { return 1.0; };
+      DtwResult r;
+      r.distance = 5.0;
+      r.path_length = 5;
+      const double exact_5 = detail::similarity_from_distance(
+          detail::finish_distance(r, 0, 5, config), config);
+      for (double d_cut : {kInf, 1e-6}) {
+        const BoundedScore s =
+            detail::bounded_dp(0, 5, unit_cost, d_cut, config);
+        EXPECT_EQ(score_bits(exact_5), score_bits(s.score))
+            << "d_cut=" << d_cut;
+        EXPECT_EQ(static_cast<int>(PruneKind::kNone),
+                  static_cast<int>(s.pruned));
+      }
+    }
+  }
+}
+
+/// The public bounded_similarity contract on empty inputs, for symmetry
+/// with the internal check above.
+TEST(SimdKernel, BoundedSimilarityEmptyInputsNeverPruned) {
+  const CstBbs empty;
+  for (double min_sim : {0.0, 0.45, 0.999}) {
+    const BoundedScore s =
+        bounded_similarity(empty, empty, min_sim, calibrated_dtw_config());
+    EXPECT_EQ(score_bits(similarity(empty, empty, calibrated_dtw_config())),
+              score_bits(s.score))
+        << "min_sim=" << min_sim;
+    EXPECT_EQ(static_cast<int>(PruneKind::kNone), static_cast<int>(s.pruned));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Counter accounting (the CellCountFlusher bugfix).
+
+TEST(SimdKernel, DpCellCountersMatchAcrossKernels) {
+  if (!support::Registry::compiled_in())
+    GTEST_SKIP() << "built with SCAG_METRICS_OFF";
+  support::Counter& cells = support::Registry::global().counter("dtw.dp_cells");
+  DtwConfig config;
+  config.window = 3;
+  const std::uint64_t before_scalar = cells.value();
+  dtw(10, 14, synth_cost, config);
+  const std::uint64_t scalar_cells = cells.value() - before_scalar;
+  const std::uint64_t before_wave = cells.value();
+  dtw_wavefront(10, 14, synth_cost, config);
+  const std::uint64_t wave_cells = cells.value() - before_wave;
+  EXPECT_GT(scalar_cells, 0u);
+  EXPECT_EQ(scalar_cells, wave_cells);
+}
+
+/// A deadline expiring mid-DP must still flush the cells computed so far:
+/// the first row is computed (the cost functor stalls long enough for the
+/// deadline to pass), the second row's check throws, and the counter must
+/// have advanced by at least one full row.
+TEST(SimdKernel, TimeoutStillFlushesCellCounters) {
+  if (!support::Registry::compiled_in())
+    GTEST_SKIP() << "built with SCAG_METRICS_OFF";
+  support::Counter& cells = support::Registry::global().counter("dtw.dp_cells");
+  for (int use_wavefront : {0, 1}) {
+    DtwConfig config;
+    config.deadline_ns = support::monotonic_ns() + 1'000'000;  // 1ms
+    bool stalled = false;
+    const auto stalling_cost = [&](std::size_t, std::size_t) {
+      if (!stalled) {
+        stalled = true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+      return 0.5;
+    };
+    const std::uint64_t before = cells.value();
+    const auto run = [&] {
+      if (use_wavefront)
+        dtw_wavefront(8, 8, stalling_cost, config);
+      else
+        dtw(8, 8, stalling_cost, config);
+    };
+    EXPECT_THROW(run(), ScanTimeoutError) << "wavefront=" << use_wavefront;
+    EXPECT_GT(cells.value(), before)
+        << "cells not flushed on timeout, wavefront=" << use_wavefront;
+  }
+}
+
+/// The deadline check now covers the O(1) empty-sequence returns too: a
+/// scan past its budget must not keep producing results.
+TEST(SimdKernel, ExpiredDeadlineThrowsOnEmptyInputs) {
+  DtwConfig config;
+  config.deadline_ns = 1;  // epoch + 1ns: long past
+  const auto no_cost = [](std::size_t, std::size_t) { return 0.0; };
+  EXPECT_THROW(dtw(0, 0, no_cost, config), ScanTimeoutError);
+  EXPECT_THROW(dtw(0, 5, no_cost, config), ScanTimeoutError);
+  EXPECT_THROW(dtw_wavefront(0, 0, no_cost, config), ScanTimeoutError);
+  EXPECT_THROW(dtw_wavefront(5, 0, no_cost, config), ScanTimeoutError);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch plumbing.
+
+TEST(SimdKernel, BackendReportsAConcreteLevel) {
+  const char* name = simd::level_name();
+  ASSERT_NE(name, nullptr);
+  EXPECT_TRUE(std::string(name) == "scalar" || std::string(name) == "neon" ||
+              std::string(name) == "avx2")
+      << name;
+  // diag_step is callable whatever the level: one 5-lane step, checked
+  // against the documented per-lane semantics.
+  const double diag[5] = {0.0, 1.0, kInf, 2.0, 3.0};
+  const double sdiag[5] = {1.0, 2.0, 0.0, 3.0, 4.0};
+  const double up[5] = {0.5, 2.0, 1.0, 2.0, kInf};
+  const double sup[5] = {7.0, 8.0, 9.0, 10.0, 0.0};
+  const double left[5] = {1.0, 0.5, kInf, 1.5, 2.5};
+  const double sleft[5] = {11.0, 12.0, 0.0, 13.0, 14.0};
+  const double cost[5] = {0.25, 0.25, 0.25, 0.25, 0.25};
+  double out[5], sout[5];
+  simd::diag_step()(diag, sdiag, up, sup, left, sleft, cost, out, sout, 5);
+  for (int k = 0; k < 5; ++k) {
+    double best = diag[k], s = sdiag[k];
+    if (up[k] < best) {
+      best = up[k];
+      s = sup[k];
+    }
+    if (left[k] < best) {
+      best = left[k];
+      s = sleft[k];
+    }
+    EXPECT_EQ(score_bits(best + cost[k]), score_bits(out[k])) << "lane " << k;
+    EXPECT_EQ(score_bits(s + 1.0), score_bits(sout[k])) << "lane " << k;
+  }
+}
+
+/// use_simd() is a pure execution-strategy knob on the detector: scans
+/// with it on and off produce bit-identical Detections (the full sweep
+/// lives in the differential harness; this is the direct toggle check).
+TEST_F(SimdKernelCorpus, DetectorToggleIsBitIdentical) {
+  const ModelBuilder builder;
+  const attacks::PocConfig poc;
+  Detector detector(ModelConfig{}, calibrated_dtw_config(), 0.45);
+  int picked = 0;
+  for (const attacks::PocSpec& spec : attacks::all_pocs()) {
+    if (picked++ % 4 != 0) continue;
+    detector.enroll(spec.build(poc), spec.family);
+  }
+  ASSERT_TRUE(detector.use_simd());  // default on
+  for (const CstBbs& target : *corpus_) {
+    detector.set_use_simd(true);
+    const Detection with_simd = detector.scan(target);
+    detector.set_use_simd(false);
+    const Detection without = detector.scan(target);
+    EXPECT_EQ(with_simd.verdict, without.verdict);
+    EXPECT_EQ(score_bits(with_simd.best_score), score_bits(without.best_score));
+    ASSERT_EQ(with_simd.scores.size(), without.scores.size());
+    for (std::size_t i = 0; i < with_simd.scores.size(); ++i) {
+      EXPECT_EQ(with_simd.scores[i].model_name, without.scores[i].model_name);
+      EXPECT_EQ(score_bits(with_simd.scores[i].score),
+                score_bits(without.scores[i].score));
+    }
+  }
+  detector.set_use_simd(true);
+}
+
+}  // namespace
+}  // namespace scag::core

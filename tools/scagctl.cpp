@@ -3,7 +3,7 @@
 //   scagctl list                         known attack PoCs & benign templates
 //   scagctl build-repo <out.repo>        model all PoCs into a repository file
 //   scagctl scan [--stats[=out.json]] [--explain=out.json] [--no-compiled]
-//                [--no-index] <repo> <prog.s>...
+//                [--no-index] [--no-simd] <repo> <prog.s>...
 //                                        scan assembly programs against a repo
 //   scagctl explain [--json=out.json] <repo> <prog.s>...
 //                                        full DTW alignment evidence per scan
@@ -24,7 +24,11 @@
 // disables the triage index + lower-bound cascade (core/scan_index.h) and
 // scans the repository exhaustively in enrollment order; verdict, best
 // score, and best-matching model are bit-identical either way — the
-// cascade only skips comparisons it can prove are sub-best.
+// cascade only skips comparisons it can prove are sub-best. `--no-simd`
+// routes the DP stage back to the scalar row kernel instead of the
+// anti-diagonal wavefront SIMD kernel (core/dtw_wavefront.h) — again
+// bit-identical, an execution-strategy knob only (SCAG_SIMD=0 in the
+// environment has the same effect).
 //
 // Observability (docs/observability.md): `explain` / `scan --explain=`
 // emit ScanReports — the DTW warping path per model, each pair's
@@ -67,7 +71,8 @@ int usage() {
       "  scagctl list\n"
       "  scagctl build-repo <out.repo>\n"
       "  scagctl scan [--stats[=out.json]] [--explain=out.json]\n"
-      "               [--no-compiled] [--no-index] <repo> <prog.s>...\n"
+      "               [--no-compiled] [--no-index] [--no-simd] <repo>\n"
+      "               <prog.s>...\n"
       "  scagctl explain [--json=out.json] <repo> <prog.s>...\n"
       "  scagctl model <prog.s>\n"
       "  scagctl demo <poc-name> [secret 1..15]\n"
@@ -168,11 +173,12 @@ int cmd_build_repo(const char* out_path) {
 }
 
 core::Detector load_detector(const char* repo_path, bool use_compiled,
-                             bool use_index = false) {
+                             bool use_index = false, bool use_simd = true) {
   core::Detector detector(eval::experiment_model_config(),
                           eval::experiment_dtw_config(), eval::kThreshold);
   detector.set_use_compiled(use_compiled);
   detector.set_use_index(use_index);
+  detector.set_use_simd(use_simd);
   // Bounded retry for transient I/O faults; malformed repositories are
   // terminal on the first attempt (SerializeError is never retried).
   for (core::AttackModel& m :
@@ -198,7 +204,7 @@ std::string reports_json(const std::vector<core::ScanReport>& reports) {
 int cmd_scan(const char* repo_path, int nfiles, char** files,
              bool with_stats, const char* stats_json_path,
              const char* explain_json_path, bool use_compiled,
-             bool use_index) {
+             bool use_index, bool use_simd) {
   if (with_stats) {
     support::set_metrics_enabled(true);
     support::Tracer::global().set_enabled(true);
@@ -206,7 +212,7 @@ int cmd_scan(const char* repo_path, int nfiles, char** files,
     support::Registry::global().reset();
   }
   const core::Detector detector =
-      load_detector(repo_path, use_compiled, use_index);
+      load_detector(repo_path, use_compiled, use_index, use_simd);
 
   Table report("Scan report");
   report.header({"Program", "Verdict", "Best match", "Score"});
@@ -403,6 +409,7 @@ int dispatch(int argc, char** argv) {
     bool with_stats = false;
     bool use_compiled = true;
     bool use_index = true;
+    bool use_simd = true;
     const char* stats_json_path = nullptr;
     const char* explain_json_path = nullptr;
     for (; i < argc && starts_with(argv[i], "--"); ++i) {
@@ -410,6 +417,8 @@ int dispatch(int argc, char** argv) {
         use_compiled = false;
       } else if (std::strcmp(argv[i], "--no-index") == 0) {
         use_index = false;
+      } else if (std::strcmp(argv[i], "--no-simd") == 0) {
+        use_simd = false;
       } else if (starts_with(argv[i], "--explain=")) {
         explain_json_path = argv[i] + std::strlen("--explain=");
         if (explain_json_path[0] == '\0') return usage();
@@ -426,7 +435,7 @@ int dispatch(int argc, char** argv) {
     if (argc - i >= 2)
       return cmd_scan(argv[i], argc - i - 1, argv + i + 1, with_stats,
                       stats_json_path, explain_json_path, use_compiled,
-                      use_index);
+                      use_index, use_simd);
     return usage();
   }
   if (std::strcmp(argv[1], "explain") == 0) {
