@@ -138,6 +138,43 @@ grep -Eq '"equivalent": *true' BENCH_repository.json
 grep -Eq '"simd_equivalent": *true' BENCH_repository.json
 grep -Eq '"size48_kim_pruned": *[0-9]+' BENCH_repository.json
 grep -Eq '"size48_exact_per_scan": *[0-9]' BENCH_repository.json
+# The load-path pass must prove the store-backed scan verdict-equivalent
+# and record the open-to-first-verdict speedup of the mmap store.
+grep -Eq '"store_load_speedup": *[0-9]' BENCH_repository.json
+grep -Eq '"store_equivalent": *true' BENCH_repository.json
+
+# Zero-copy store smoke through the CLI: pack the text repository into a
+# scag-store-v1 image, audit it (header + checksums), prove the unpack
+# round-trip bit-exact, and prove a store-backed scan prints the same
+# report as the text-loaded scan. A truncated image must die with the
+# standard one-line diagnostic, never a crash.
+build/tools/scagctl repo pack build/fp_smoke.repo build/store_smoke.store
+build/tools/scagctl repo info build/store_smoke.store >build/store_smoke.out
+grep -q 'scag-store-v1' build/store_smoke.out
+grep -q 'checksums OK' build/store_smoke.out
+build/tools/scagctl repo unpack build/store_smoke.store build/store_smoke.repo
+cmp build/fp_smoke.repo build/store_smoke.repo
+if build/tools/scagctl scan build/store_smoke.store build/fp_smoke_poc.s \
+    >build/store_scan.out; then
+  echo "store smoke: scan of an attack PoC unexpectedly exited 0"; exit 1
+fi
+build/tools/scagctl scan build/fp_smoke.repo build/fp_smoke_poc.s \
+  >build/text_scan.out || [ $? -eq 1 ]
+if ! diff <(sed -n '/Scan report/,$p' build/store_scan.out) \
+          <(sed -n '/Scan report/,$p' build/text_scan.out); then
+  echo "store smoke: store-backed scan report diverged from text-loaded"
+  exit 1
+fi
+head -c 100 build/store_smoke.store >build/store_trunc.store
+if build/tools/scagctl repo info build/store_trunc.store \
+    >build/store_trunc.out 2>&1; then
+  echo "store smoke: truncated store unexpectedly accepted"; exit 1
+fi
+if grep -Eq 'terminate|Aborted|Segmentation' build/store_trunc.out; then
+  echo "store smoke: truncated store crashed the reader:"
+  cat build/store_trunc.out; exit 1
+fi
+grep -q 'scagctl: ' build/store_trunc.out
 
 N="${1:-60}"   # samples per attack type for the bench pass
 for b in build/bench/bench_*; do

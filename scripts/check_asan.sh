@@ -37,7 +37,7 @@ cmake -B "$BUILD" -S . \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build "$BUILD" --target test_serialize test_fuzz test_metrics \
   test_failpoints test_scagctl_cli test_lower_bounds test_scan_index \
-  test_simd_kernel scagctl -j"$(nproc)"
+  test_simd_kernel test_store scagctl -j"$(nproc)"
 
 # Leak detection needs ptrace, which many containers deny; the point here
 # is bounds/UB checking of the parser, metrics, and failure paths (the
@@ -58,4 +58,8 @@ export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1"
 # and the vectorized memo gather all index raw buffers, so off-by-one
 # lane math would surface here first.
 "$BUILD/tests/test_simd_kernel"
+# The zero-copy store reader: every typed view is a raw pointer into the
+# mapped image and the hostile-input battery walks truncated/corrupted
+# section tables, so any validation gap is an out-of-bounds read here.
+"$BUILD/tests/test_store"
 echo "ASAN CHECKS PASSED"

@@ -70,10 +70,10 @@ Detection BatchDetector::scan_one_pruned(const CstBbs& target,
   static support::Histogram& h_latency =
       support::Registry::global().histogram("batch.target_latency_ns");
   support::ScopedTimer timer(h_latency);
-  const std::vector<AttackModel>& repo = detector_.repository();
+  const std::size_t m = detector_.repository_size();
   DtwConfig dtw = detector_.scan_dtw_config();
   dtw.deadline_ns = deadline_ns;
-  bool compiled = detector_.use_compiled() && !repo.empty();
+  bool compiled = detector_.use_compiled() && m > 0;
   const CompiledRepository& crepo = detector_.compiled_repository();
   CompiledTarget ctarget;
   ElementDistanceMemo memo;
@@ -88,22 +88,26 @@ Detection BatchDetector::scan_one_pruned(const CstBbs& target,
       compiled = false;  // degrade to the bit-identical string kernels
     }
   }
+  // The string kernels need the text-form models; on a store-backed
+  // detector repository() materializes them, so touch it only on the
+  // degradation path and keep the compiled path zero-copy.
+  const std::vector<AttackModel>* repo =
+      compiled ? nullptr : &detector_.repository();
   std::vector<ModelScore> scores;
-  scores.reserve(repo.size());
+  scores.reserve(m);
   // The cutoff ratchets up with the best exact score seen so far. Models
   // are visited in enrollment order by exactly one thread, so the pruning
   // decisions are deterministic and independent of scheduling.
   double best = 0.0;
   std::uint64_t exact = 0, lb = 0, ea = 0;
-  for (std::size_t j = 0; j < repo.size(); ++j) {
+  for (std::size_t j = 0; j < m; ++j) {
     if (deadline_ns != 0 && support::monotonic_ns() >= deadline_ns)
       throw ScanTimeoutError();
-    const AttackModel& model = repo[j];
     const double cutoff = std::max(best, detector_.threshold());
     const BoundedScore bs =
         compiled ? compiled_bounded_similarity(ctarget, crepo, j, memo, cutoff,
                                                dtw, &memo_stats)
-                 : bounded_similarity(target, model.sequence, cutoff, dtw);
+                 : bounded_similarity(target, (*repo)[j].sequence, cutoff, dtw);
     switch (bs.pruned) {
       case PruneKind::kNone:
         ++exact;
@@ -113,8 +117,8 @@ Detection BatchDetector::scan_one_pruned(const CstBbs& target,
       case PruneKind::kEarlyAbandon: ++ea; break;
     }
     ModelScore s;
-    s.model_name = model.name;
-    s.family = model.family;
+    s.model_name = detector_.model_name(j);
+    s.family = detector_.model_family(j);
     s.score = bs.score;
     s.pruned = bs.pruned != PruneKind::kNone;
     scores.push_back(std::move(s));
@@ -135,10 +139,10 @@ Detection BatchDetector::scan_one_indexed(const CstBbs& target,
   static support::Histogram& h_latency =
       support::Registry::global().histogram("batch.target_latency_ns");
   support::ScopedTimer timer(h_latency);
-  const std::vector<AttackModel>& repo = detector_.repository();
+  const std::size_t m = detector_.repository_size();
   DtwConfig dtw = detector_.scan_dtw_config();
   dtw.deadline_ns = deadline_ns;
-  bool compiled = detector_.use_compiled() && !repo.empty();
+  bool compiled = detector_.use_compiled() && m > 0;
   const CompiledRepository& crepo = detector_.compiled_repository();
   const ScanIndex& index = detector_.scan_index();
   CompiledTarget ctarget;
@@ -170,14 +174,15 @@ Detection BatchDetector::scan_one_indexed(const CstBbs& target,
         compute_sequence_features(target, dtw.distance);
     const std::vector<std::uint32_t> order =
         index.scan_order(tf, target.size());
-    cascade = cascade_scan(target, repo, order, tf, dtw, &cstats);
+    cascade =
+        cascade_scan(target, detector_.repository(), order, tf, dtw, &cstats);
   }
   std::vector<ModelScore> scores;
-  scores.reserve(repo.size());
-  for (std::size_t j = 0; j < repo.size(); ++j) {
+  scores.reserve(m);
+  for (std::size_t j = 0; j < m; ++j) {
     ModelScore s;
-    s.model_name = repo[j].name;
-    s.family = repo[j].family;
+    s.model_name = detector_.model_name(j);
+    s.family = detector_.model_family(j);
     s.score = cascade[j].score;
     s.pruned = cascade[j].stage != CascadeStage::kExact;
     scores.push_back(std::move(s));
@@ -197,9 +202,8 @@ Detection BatchDetector::scan_one_indexed(const CstBbs& target,
 
 std::vector<Detection> BatchDetector::scan_all(
     const std::vector<CstBbs>& targets) const {
-  const std::vector<AttackModel>& repo = detector_.repository();
   const std::size_t n = targets.size();
-  const std::size_t m = repo.size();
+  const std::size_t m = detector_.repository_size();
   std::vector<Detection> out(n);
   pairs_.fetch_add(static_cast<std::uint64_t>(n) * m,
                    std::memory_order_relaxed);
@@ -252,16 +256,24 @@ std::vector<Detection> BatchDetector::scan_all(
         use_string[t] = 1;
       }
     });
+    // Materialize the text models up front only if some target degraded:
+    // on a store-backed detector repository() is a lazy unpack, and paying
+    // it inside the parallel region would serialize the first wave of
+    // cells behind the call_once.
+    const std::vector<AttackModel>* repo = nullptr;
+    if (std::find(use_string.begin(), use_string.end(), 1) !=
+        use_string.end())
+      repo = &detector_.repository();
     pool_.parallel_for(
         n * m,
         [&](std::size_t k) {
           const std::size_t t = k / m;
           const std::size_t j = k % m;
           ModelScore& s = matrix[k];
-          s.model_name = repo[j].name;
-          s.family = repo[j].family;
+          s.model_name = detector_.model_name(j);
+          s.family = detector_.model_family(j);
           if (use_string[t]) {
-            s.score = similarity(targets[t], repo[j].sequence, dtw);
+            s.score = similarity(targets[t], (*repo)[j].sequence, dtw);
             return;
           }
           ElementDistanceMemo::Stats stats;
@@ -271,6 +283,7 @@ std::vector<Detection> BatchDetector::scan_all(
         },
         config_.grain);
   } else {
+    const std::vector<AttackModel>& repo = detector_.repository();
     pool_.parallel_for(
         n * m,
         [&](std::size_t k) {
@@ -323,10 +336,10 @@ Detection BatchDetector::scan(const CstBbs& target) const {
 
 Detection BatchDetector::scan_one_exact(const CstBbs& target,
                                         std::uint64_t deadline_ns) const {
-  const std::vector<AttackModel>& repo = detector_.repository();
+  const std::size_t m = detector_.repository_size();
   DtwConfig dtw = detector_.scan_dtw_config();
   dtw.deadline_ns = deadline_ns;
-  bool compiled = detector_.use_compiled() && !repo.empty();
+  bool compiled = detector_.use_compiled() && m > 0;
   const CompiledRepository& crepo = detector_.compiled_repository();
   CompiledTarget ctarget;
   ElementDistanceMemo memo;
@@ -341,23 +354,25 @@ Detection BatchDetector::scan_one_exact(const CstBbs& target,
       compiled = false;
     }
   }
+  const std::vector<AttackModel>* repo =
+      compiled ? nullptr : &detector_.repository();
   std::vector<ModelScore> scores;
-  scores.reserve(repo.size());
-  for (std::size_t j = 0; j < repo.size(); ++j) {
+  scores.reserve(m);
+  for (std::size_t j = 0; j < m; ++j) {
     if (deadline_ns != 0 && support::monotonic_ns() >= deadline_ns)
       throw ScanTimeoutError();
     ModelScore s;
-    s.model_name = repo[j].name;
-    s.family = repo[j].family;
+    s.model_name = detector_.model_name(j);
+    s.family = detector_.model_family(j);
     s.score = compiled
                   ? compiled_similarity(ctarget, crepo, j, memo, dtw,
                                         &memo_stats)
-                  : similarity(target, repo[j].sequence, dtw);
+                  : similarity(target, (*repo)[j].sequence, dtw);
     scores.push_back(std::move(s));
   }
   if (compiled) flush_memo_stats(memo_stats);
-  exact_.fetch_add(repo.size(), std::memory_order_relaxed);
-  BatchCounters::global().exact.add(repo.size());
+  exact_.fetch_add(m, std::memory_order_relaxed);
+  BatchCounters::global().exact.add(m);
   return Detector::finalize(std::move(scores), detector_.threshold());
 }
 
@@ -403,10 +418,10 @@ std::vector<ScanOutcome> BatchDetector::scan_all_outcomes(
   const std::size_t n = targets.size();
   std::vector<ScanOutcome> out(n);
   pairs_.fetch_add(
-      static_cast<std::uint64_t>(n) * detector_.repository().size(),
+      static_cast<std::uint64_t>(n) * detector_.repository_size(),
       std::memory_order_relaxed);
   BatchCounters::global().pairs.add(
-      static_cast<std::uint64_t>(n) * detector_.repository().size());
+      static_cast<std::uint64_t>(n) * detector_.repository_size());
   support::TraceScope span("batch.scan_all_outcomes");
   // One work unit per target: errors, timeouts, and pruning cutoffs are
   // all per-target state, so a failing slot never perturbs its neighbors.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <stdexcept>
 
 #include "core/cst.h"
 #include "core/dtw_internal.h"
@@ -232,6 +233,9 @@ struct PairContext {
 // TokenInterner
 
 TokenId TokenInterner::intern(const std::string& token) {
+  if (mapped_)
+    throw std::logic_error(
+        "TokenInterner::intern: store-backed interner is frozen");
   const auto [it, inserted] =
       ids_.try_emplace(token, static_cast<TokenId>(weight_.size()));
   if (inserted) {
@@ -242,8 +246,50 @@ TokenId TokenInterner::intern(const std::string& token) {
 }
 
 TokenId TokenInterner::find(const std::string& token) const {
-  const auto it = ids_.find(token);
-  return it == ids_.end() ? kNoToken : it->second;
+  if (!mapped_) {
+    const auto it = ids_.find(token);
+    return it == ids_.end() ? kNoToken : it->second;
+  }
+  // Mapped mode: probe the serialized open-addressing table. The store
+  // validator guarantees at least one empty slot, so the bounded linear
+  // probe below terminates even on a hostile (but structurally valid)
+  // table.
+  if (view_.count == 0) return kNoToken;
+  const std::uint64_t h = fnv1a64(token.data(), token.size());
+  for (std::uint64_t i = 0; i <= view_.probe_mask; ++i) {
+    const std::uint32_t slot = view_.probe[(h + i) & view_.probe_mask];
+    if (slot == kNoToken) return kNoToken;
+    if (string_of(slot) == token) return slot;
+  }
+  return kNoToken;
+}
+
+std::vector<std::string_view> TokenInterner::strings_by_id() const {
+  std::vector<std::string_view> out(size());
+  if (mapped_) {
+    for (TokenId id = 0; id < view_.count; ++id) out[id] = string_of(id);
+  } else {
+    for (const auto& [s, id] : ids_) out[id] = s;
+  }
+  return out;
+}
+
+std::string_view TokenInterner::string_of(TokenId id) const {
+  if (mapped_) {
+    return {view_.blob + view_.str_off[id],
+            view_.str_off[id + 1] - view_.str_off[id]};
+  }
+  for (const auto& [s, tid] : ids_)
+    if (tid == id) return s;
+  return {};
+}
+
+void TokenInterner::attach(const TokenTableView& view) {
+  ids_.clear();
+  weight_.clear();
+  cls_.clear();
+  view_ = view;
+  mapped_ = true;
 }
 
 double TokenInterner::weight_of(const std::string& token) {
@@ -270,28 +316,70 @@ std::size_t CompiledRepository::ElemKeyHash::operator()(
   return static_cast<std::size_t>(h);
 }
 
+CompiledRepository::CompiledRepository(StoreView view)
+    : dc_(view.dc), frozen_(true), frozen_unique_(view.unique_elements),
+      models_(std::move(view.models)) {
+  interner_.attach(view.tokens);
+  CompiledCounters::global().models.add(models_.size());
+}
+
+void CompiledRepository::rebuild_views() {
+  // Arena push_backs may have reallocated, so every model view is
+  // re-derived from its extent. O(num_models) pointer writes per add().
+  models_.resize(extents_.size());
+  for (std::size_t k = 0; k < extents_.size(); ++k) {
+    const ModelExtent& e = extents_[k];
+    CompiledSeq& v = models_[k];
+    v.tokens = tok_arena_.data();
+    v.offsets = off_arena_.data() + e.elem_start;
+    v.elem = {elem_arena_.data() + e.elem_start, e.elem_count};
+    v.features.csp = {csp_arena_.data() + e.elem_start, e.elem_count};
+    v.features.count = {count_arena_.data() + e.elem_start, e.elem_count};
+    v.features.mass = {mass_arena_.data() + e.elem_start, e.elem_count};
+    v.features.csp_lo = e.csp_lo;
+    v.features.csp_hi = e.csp_hi;
+    v.features.count_lo = e.count_lo;
+    v.features.count_hi = e.count_hi;
+    v.features.mass_hi = e.mass_hi;
+  }
+}
+
 void CompiledRepository::add(const CstBbs& sequence) {
+  if (frozen_)
+    throw std::logic_error(
+        "CompiledRepository::add: store-backed repository is frozen");
   CompileTimer timer;
-  CompiledSeq c;
-  c.offsets.reserve(sequence.size() + 1);
-  c.elem.reserve(sequence.size());
+  ModelExtent ext;
+  ext.elem_start = static_cast<std::uint32_t>(elem_arena_.size());
+  ext.elem_count = static_cast<std::uint32_t>(sequence.size());
   for (const CstBbsElement& e : sequence) {
     const std::vector<std::string>& toks =
         dc_.alphabet == IsAlphabet::kFullTokens ? e.norm_instrs
                                                 : e.sem_tokens;
-    for (const std::string& t : toks) c.tokens.push_back(interner_.intern(t));
-    c.offsets.push_back(static_cast<std::uint32_t>(c.tokens.size()));
+    for (const std::string& t : toks)
+      tok_arena_.push_back(interner_.intern(t));
+    off_arena_.push_back(static_cast<std::uint32_t>(tok_arena_.size()));
 
     ElemKey key;
-    key.tokens.assign(c.tokens.end() - static_cast<std::ptrdiff_t>(toks.size()),
-                      c.tokens.end());
+    key.tokens.assign(
+        tok_arena_.end() - static_cast<std::ptrdiff_t>(toks.size()),
+        tok_arena_.end());
     key.change_bits = std::bit_cast<std::uint64_t>(e.cst.change());
     const auto [it, inserted] = elem_ids_.try_emplace(
         std::move(key), static_cast<std::uint32_t>(elem_ids_.size()));
-    c.elem.push_back(it->second);
+    elem_arena_.push_back(it->second);
   }
-  c.features = compute_sequence_features(sequence, dc_);
-  models_.push_back(std::move(c));
+  const SequenceFeatures f = compute_sequence_features(sequence, dc_);
+  csp_arena_.insert(csp_arena_.end(), f.csp.begin(), f.csp.end());
+  count_arena_.insert(count_arena_.end(), f.count.begin(), f.count.end());
+  mass_arena_.insert(mass_arena_.end(), f.mass.begin(), f.mass.end());
+  ext.csp_lo = f.csp_lo;
+  ext.csp_hi = f.csp_hi;
+  ext.count_lo = f.count_lo;
+  ext.count_hi = f.count_hi;
+  ext.mass_hi = f.mass_hi;
+  extents_.push_back(ext);
+  rebuild_views();
   CompiledCounters::global().models.add();
 }
 
@@ -305,8 +393,12 @@ CompiledTarget CompiledRepository::compile_target(
   CompiledTarget t;
   const bool weighted = dc_.alphabet == IsAlphabet::kSemanticWeighted;
   if (weighted) {
-    t.weight = interner_.weights();
-    t.cls = interner_.classes();
+    // Works in both interner modes (copies out of the mapping when
+    // store-backed); values are identical either way.
+    t.weight.assign(interner_.weight_data(),
+                    interner_.weight_data() + interner_.size());
+    t.cls.assign(interner_.class_data(),
+                 interner_.class_data() + interner_.size());
   }
   // Local extensions: unseen tokens get ids after the frozen interner's,
   // unseen elements get target-side dedup ids. The shared repository is
@@ -314,9 +406,9 @@ CompiledTarget CompiledRepository::compile_target(
   std::unordered_map<std::string, TokenId> local_ids;
   ElemRegistry local_elems;
 
-  CompiledSeq& c = t.seq;
-  c.offsets.reserve(sequence.size() + 1);
-  c.elem.reserve(sequence.size());
+  t.off_store.reserve(sequence.size() + 1);
+  t.off_store.push_back(0);
+  t.elem_store.reserve(sequence.size());
   for (const CstBbsElement& e : sequence) {
     const std::vector<std::string>& toks =
         dc_.alphabet == IsAlphabet::kFullTokens ? e.norm_instrs
@@ -333,20 +425,22 @@ CompiledTarget CompiledRepository::compile_target(
           t.cls.push_back(TokenInterner::class_of(tok));
         }
       }
-      c.tokens.push_back(id);
+      t.tok_store.push_back(id);
     }
-    c.offsets.push_back(static_cast<std::uint32_t>(c.tokens.size()));
+    t.off_store.push_back(static_cast<std::uint32_t>(t.tok_store.size()));
 
     ElemKey key;
-    key.tokens.assign(c.tokens.end() - static_cast<std::ptrdiff_t>(toks.size()),
-                      c.tokens.end());
+    key.tokens.assign(
+        t.tok_store.end() - static_cast<std::ptrdiff_t>(toks.size()),
+        t.tok_store.end());
     key.change_bits = std::bit_cast<std::uint64_t>(e.cst.change());
     const auto [it, inserted] = local_elems.try_emplace(
         std::move(key), static_cast<std::uint32_t>(local_elems.size()));
-    c.elem.push_back(it->second);
+    t.elem_store.push_back(it->second);
   }
   t.unique_elements = static_cast<std::uint32_t>(local_elems.size());
-  c.features = compute_sequence_features(sequence, dc_);
+  t.feat_store = compute_sequence_features(sequence, dc_);
+  t.rebind_views();
   CompiledCounters::global().targets.add();
   return t;
 }

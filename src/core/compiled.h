@@ -9,27 +9,33 @@
 //
 //   - TokenInterner: token string -> dense uint32 id, with per-id weight
 //     and SemanticClass tables replicated from isa::semantic_token_weight /
-//     semantic_token_class at intern time.
-//   - CompiledSeq: flat SoA arrays per sequence — interned token ids
-//     (offset/length spans), precomputed Cst::change(), semantic token
-//     mass, a dedup id per element, and the SequenceFeatures the DTW lower
-//     bound needs — all computed once instead of per pair.
+//     semantic_token_class at intern time. Has a second, mapped mode where
+//     the tables live in a scag-store-v1 mapping (core/store.h) and find()
+//     probes a serialized open-addressing table instead of the hash map.
+//   - CompiledSeq: a non-owning SoA *view* of one sequence — interned token
+//     ids (offset/length spans), precomputed Cst::change(), semantic token
+//     mass, a dedup id per element, and the envelope features the DTW lower
+//     bound needs. The backing arrays live either in CompiledRepository's
+//     flat arenas (enrollment mode) or directly in a read-only mmap of a
+//     model store (zero parse, zero compile, zero per-worker copies).
 //   - CompiledRepository: the frozen compiled form of a Detector's model
-//     repository, grown incrementally at enrollment. compile_target() is
-//     const and thread-safe: unseen target tokens extend the id space
-//     locally (per target) without mutating the shared interner.
+//     repository, grown incrementally at enrollment — or constructed in one
+//     step over a ModelStore mapping. compile_target() is const and
+//     thread-safe: unseen target tokens extend the id space locally (per
+//     target) without mutating the shared interner.
 //   - ElementDistanceMemo: a per-scan memo of unique-element-pair
 //     distances. Normalization erases registers/immediates, so distinct
 //     blocks frequently share identical content within a sequence and
 //     across the repository; every unique (target element, repo element)
 //     pair pays for its weighted Levenshtein once per scan.
 //
-// Hard contract (tests/test_compiled_kernel.cpp): every distance,
-// similarity, lower bound, pruning decision, and Detector/BatchDetector
-// verdict produced through the compiled path is BIT-IDENTICAL to the
-// string path. The kernels replicate the exact floating-point expression
-// trees of core/distance.cpp and share the finishing arithmetic with
-// dtw.cpp via core/dtw_internal.h.
+// Hard contract (tests/test_compiled_kernel.cpp, tests/test_store.cpp):
+// every distance, similarity, lower bound, pruning decision, and
+// Detector/BatchDetector verdict produced through the compiled path —
+// enrolled OR store-backed — is BIT-IDENTICAL to the string path. The
+// kernels replicate the exact floating-point expression trees of
+// core/distance.cpp and share the finishing arithmetic with dtw.cpp via
+// core/dtw_internal.h.
 //
 // Constraint: a compiled form is specific to its DistanceConfig alphabet.
 // DtwConfigs passed to the query functions may vary normalization, band,
@@ -41,6 +47,7 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -51,18 +58,80 @@ namespace scag::core {
 
 using TokenId = std::uint32_t;
 
-/// Flat SoA form of one CST-BBS. Token ids of element i are
-/// tokens[offsets[i] .. offsets[i+1]). features.csp/count/mass double as
-/// the per-element kernel inputs (change, token count, weight mass).
+/// FNV-1a over raw bytes. Single source of truth for the store's token
+/// probe-table hash and section checksums: the packer and the mapped
+/// reader must agree bit-for-bit (core/store.cpp, TokenInterner::find).
+inline std::uint64_t fnv1a64(const void* data, std::size_t n,
+                             std::uint64_t h = 1469598103934665603ull) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Minimal non-owning array view (std::span stand-in kept deliberately
+/// tiny: const access only, no subviews).
+template <class T>
+struct Span {
+  const T* ptr = nullptr;
+  std::size_t len = 0;
+
+  const T& operator[](std::size_t i) const { return ptr[i]; }
+  std::size_t size() const { return len; }
+  bool empty() const { return len == 0; }
+  const T* data() const { return ptr; }
+  const T* begin() const { return ptr; }
+  const T* end() const { return ptr + len; }
+};
+
+/// Non-owning counterpart of SequenceFeatures (core/dtw.h): same fields,
+/// but the per-element arrays are views into an arena or a store mapping.
+/// The lower-bound arithmetic in core/dtw_internal.h is templated over
+/// either form.
+struct FeaturesView {
+  Span<double> csp;
+  Span<double> count;
+  Span<double> mass;
+  double csp_lo = std::numeric_limits<double>::infinity();
+  double csp_hi = -std::numeric_limits<double>::infinity();
+  double count_lo = std::numeric_limits<double>::infinity();
+  double count_hi = -std::numeric_limits<double>::infinity();
+  double mass_hi = 0.0;
+};
+
+/// View of owning features (the per-target path).
+inline FeaturesView as_features_view(const SequenceFeatures& f) {
+  FeaturesView v;
+  v.csp = {f.csp.data(), f.csp.size()};
+  v.count = {f.count.data(), f.count.size()};
+  v.mass = {f.mass.data(), f.mass.size()};
+  v.csp_lo = f.csp_lo;
+  v.csp_hi = f.csp_hi;
+  v.count_lo = f.count_lo;
+  v.count_hi = f.count_hi;
+  v.mass_hi = f.mass_hi;
+  return v;
+}
+
+/// Flat SoA view of one CST-BBS. Token ids of element i are
+/// tokens[offsets[i] .. offsets[i+1]); `offsets` has size() + 1 entries
+/// and its values are absolute positions in the `tokens` base array (so
+/// consecutive models can share one arena-wide offsets table).
+/// features.csp/count/mass double as the per-element kernel inputs
+/// (change, token count, weight mass). Non-owning: valid only while the
+/// backing CompiledRepository arena / CompiledTarget storage / store
+/// mapping is alive.
 struct CompiledSeq {
-  std::vector<TokenId> tokens;
-  std::vector<std::uint32_t> offsets{0};  // size() + 1 entries
-  std::vector<std::uint32_t> elem;        // dedup id per element
-  SequenceFeatures features;
+  const TokenId* tokens = nullptr;
+  const std::uint32_t* offsets = nullptr;  // size() + 1 entries, absolute
+  Span<std::uint32_t> elem;                // dedup id per element
+  FeaturesView features;
 
   std::size_t size() const { return elem.size(); }
   const TokenId* token_begin(std::size_t i) const {
-    return tokens.data() + offsets[i];
+    return tokens + offsets[i];
   }
   std::size_t token_count(std::size_t i) const {
     return offsets[i + 1] - offsets[i];
@@ -72,27 +141,85 @@ struct CompiledSeq {
 /// A target compiled against a CompiledRepository. Unseen tokens got local
 /// ids appended after the repository's; `weight`/`cls` are the combined
 /// per-id tables covering both (empty in kFullTokens mode, where equality
-/// on ids is all the kernel needs).
+/// on ids is all the kernel needs). Owns its backing storage; `seq` views
+/// into it, so the type is movable (vector moves keep heap buffers alive)
+/// but deliberately not copyable.
 struct CompiledTarget {
   CompiledSeq seq;
   std::uint32_t unique_elements = 0;  // target-side dedup space size
   std::vector<double> weight;
   std::vector<std::uint8_t> cls;
+
+  // Backing storage for `seq`'s views.
+  std::vector<TokenId> tok_store;
+  std::vector<std::uint32_t> off_store;
+  std::vector<std::uint32_t> elem_store;
+  SequenceFeatures feat_store;
+
+  CompiledTarget() = default;
+  CompiledTarget(const CompiledTarget&) = delete;
+  CompiledTarget& operator=(const CompiledTarget&) = delete;
+  CompiledTarget(CompiledTarget&&) noexcept = default;
+  CompiledTarget& operator=(CompiledTarget&&) noexcept = default;
+
+  /// Re-points `seq` at the owned storage (after the owned vectors are
+  /// filled or replaced).
+  void rebind_views() {
+    seq.tokens = tok_store.data();
+    seq.offsets = off_store.data();
+    seq.elem = {elem_store.data(), elem_store.size()};
+    seq.features = as_features_view(feat_store);
+  }
+};
+
+/// The serialized token tables of a scag-store-v1 mapping, as raw typed
+/// pointers (validated by core/store.cpp before they get here). `probe` is
+/// an open-addressing hash table of capacity probe_mask + 1 (a power of
+/// two) slots holding token ids or the 0xFFFFFFFF empty sentinel, built
+/// with fnv1a64 over the token bytes and linear probing.
+struct TokenTableView {
+  const char* blob = nullptr;
+  const std::uint32_t* str_off = nullptr;  // count + 1 entries
+  const double* weight = nullptr;
+  const std::uint8_t* cls = nullptr;
+  const std::uint32_t* probe = nullptr;
+  std::uint64_t probe_mask = 0;
+  std::uint32_t count = 0;
 };
 
 /// Maps token strings to dense ids and element contents to dedup ids.
-/// Mutated only while models are added; all lookups used during scans are
-/// const.
+/// Owned mode (enrollment): a hash map plus weight/class vectors, mutated
+/// only while models are added. Mapped mode (store-backed): all tables
+/// live in the read-only mapping; intern() is forbidden, find() probes the
+/// serialized table. All lookups used during scans are const.
 class TokenInterner {
  public:
   TokenId intern(const std::string& token);
   /// kNoToken when the token was never interned.
   static constexpr TokenId kNoToken = std::numeric_limits<TokenId>::max();
   TokenId find(const std::string& token) const;
-  std::size_t size() const { return weight_.size(); }
+  std::size_t size() const { return mapped_ ? view_.count : weight_.size(); }
+  bool mapped() const { return mapped_; }
 
+  /// Contiguous per-id attribute tables, either mode.
+  const double* weight_data() const {
+    return mapped_ ? view_.weight : weight_.data();
+  }
+  const std::uint8_t* class_data() const {
+    return mapped_ ? view_.cls : cls_.data();
+  }
+
+  /// Owned-mode vector accessors (tests and the store packer).
   const std::vector<double>& weights() const { return weight_; }
   const std::vector<std::uint8_t>& classes() const { return cls_; }
+
+  /// id -> token string. Views into the map keys (owned) or the mapping
+  /// (mapped); stable while the interner / store is alive and unmodified.
+  std::vector<std::string_view> strings_by_id() const;
+  std::string_view string_of(TokenId id) const;
+
+  /// Switches to mapped mode over a validated store view.
+  void attach(const TokenTableView& view);
 
   /// Per-token attributes for a string that is not interned here (used by
   /// CompiledTarget's local extension).
@@ -103,27 +230,80 @@ class TokenInterner {
   std::unordered_map<std::string, TokenId> ids_;
   std::vector<double> weight_;
   std::vector<std::uint8_t> cls_;
+  bool mapped_ = false;
+  TokenTableView view_;
 };
 
 /// The compiled form of a Detector's repository plus the shared interner
-/// and element-dedup registry. Grown by add() at enrollment; immutable
-/// (and safe to share across scan threads) afterwards.
+/// and element-dedup registry. Two modes:
+///
+///   - Enrollment: grown by add(); token ids, element ids, and all
+///     per-element data land in flat owned arenas (one allocation group
+///     for the whole repository) and `models_` holds views into them.
+///   - Store-backed: constructed from a StoreView whose pointers reach
+///     into a read-only scag-store-v1 mapping. add() throws — the mapping
+///     is frozen; re-pack the store to change it.
+///
+/// Immutable (and safe to share across scan threads) once enrollment is
+/// done, in either mode.
 class CompiledRepository {
  public:
   explicit CompiledRepository(DistanceConfig dc = {}) : dc_(dc) {}
+
+  // Copies must re-point the enrollment-mode views at the copy's own
+  // arenas (the memberwise copy would leave them aimed at the source's);
+  // store-backed views point into the external mapping and copy as-is.
+  // Moves transfer the arena heap buffers, so the views stay valid.
+  CompiledRepository(const CompiledRepository& o)
+      : dc_(o.dc_),
+        interner_(o.interner_),
+        elem_ids_(o.elem_ids_),
+        frozen_(o.frozen_),
+        frozen_unique_(o.frozen_unique_),
+        tok_arena_(o.tok_arena_),
+        off_arena_(o.off_arena_),
+        elem_arena_(o.elem_arena_),
+        csp_arena_(o.csp_arena_),
+        count_arena_(o.count_arena_),
+        mass_arena_(o.mass_arena_),
+        extents_(o.extents_),
+        models_(o.models_) {
+    if (!frozen_) rebuild_views();
+  }
+  CompiledRepository& operator=(const CompiledRepository& o) {
+    if (this != &o) *this = CompiledRepository(o);  // copy, then move
+    return *this;
+  }
+  CompiledRepository(CompiledRepository&&) noexcept = default;
+  CompiledRepository& operator=(CompiledRepository&&) noexcept = default;
+
+  /// Everything a store mapping provides: token tables, per-model views,
+  /// and the size of the global element-dedup space. Assembled by
+  /// ModelStore::compiled_view() (core/store.h) after validation.
+  struct StoreView {
+    DistanceConfig dc;
+    TokenTableView tokens;
+    std::vector<CompiledSeq> models;
+    std::uint32_t unique_elements = 0;
+  };
+  explicit CompiledRepository(StoreView view);
 
   const DistanceConfig& distance_config() const { return dc_; }
   std::size_t num_models() const { return models_.size(); }
   const CompiledSeq& model(std::size_t j) const { return models_[j]; }
   const TokenInterner& interner() const { return interner_; }
+  /// True when this repository scans directly out of a store mapping.
+  bool store_backed() const { return frozen_; }
   /// Size of the repository-side element dedup space (= the memo's inner
   /// dimension).
   std::uint32_t unique_elements() const {
-    return static_cast<std::uint32_t>(elem_ids_.size());
+    return frozen_ ? frozen_unique_
+                   : static_cast<std::uint32_t>(elem_ids_.size());
   }
 
   /// Compiles and appends one model sequence (enrollment path; also the
-  /// serialize reload path via Detector::enroll).
+  /// serialize reload path via Detector::enroll). Throws std::logic_error
+  /// on a store-backed repository.
   void add(const CstBbs& sequence);
 
   /// Compiles a scan target against the frozen repository. const and
@@ -141,10 +321,32 @@ class CompiledRepository {
   };
   using ElemRegistry = std::unordered_map<ElemKey, std::uint32_t, ElemKeyHash>;
 
+  /// Where model k's data lives in the arenas, plus its envelope scalars.
+  struct ModelExtent {
+    std::uint32_t elem_start = 0;
+    std::uint32_t elem_count = 0;
+    double csp_lo = 0, csp_hi = 0, count_lo = 0, count_hi = 0, mass_hi = 0;
+  };
+
+  void rebuild_views();
+
   DistanceConfig dc_;
   TokenInterner interner_;
   ElemRegistry elem_ids_;
-  std::vector<CompiledSeq> models_;
+  bool frozen_ = false;
+  std::uint32_t frozen_unique_ = 0;
+
+  // Enrollment-mode arenas. off_arena_ has one entry per element plus a
+  // leading 0: model k's offsets pointer is &off_arena_[elem_start]
+  // because consecutive models share the boundary entry (end of k ==
+  // start of k + 1).
+  std::vector<TokenId> tok_arena_;
+  std::vector<std::uint32_t> off_arena_{0};
+  std::vector<std::uint32_t> elem_arena_;
+  std::vector<double> csp_arena_, count_arena_, mass_arena_;
+  std::vector<ModelExtent> extents_;
+
+  std::vector<CompiledSeq> models_;  // views into arenas or the mapping
 };
 
 /// Per-scan memo of unique-element-pair distances, keyed by

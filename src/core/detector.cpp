@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/store.h"
 #include "support/failpoint.h"
 #include "support/metrics.h"
 #include "support/trace.h"
@@ -16,6 +17,10 @@ void Detector::enroll(const isa::Program& poc, Family family) {
 }
 
 void Detector::enroll(AttackModel model) {
+  if (store_ != nullptr)
+    throw std::logic_error(
+        "Detector::enroll: store-backed repository is frozen (re-pack the "
+        "store to change it)");
   if (model.family == Family::kBenign)
     throw std::invalid_argument("Detector::enroll: enroll attack models only");
   repository_.push_back(std::move(model));
@@ -26,6 +31,41 @@ void Detector::enroll(AttackModel model) {
   const AttackModel& m = repository_.back();
   index_.add(compiled_.model(repository_.size() - 1).features,
              m.sequence.size(), m.family);
+}
+
+void Detector::attach_store(std::shared_ptr<const ModelStore> store) {
+  if (store == nullptr)
+    throw std::invalid_argument("Detector::attach_store: null store");
+  if (!repository_.empty() || store_ != nullptr)
+    throw std::logic_error(
+        "Detector::attach_store: attach to an empty detector");
+  // compiled_view() rejects an alphabet mismatch before any state changes.
+  compiled_ = CompiledRepository(store->compiled_view(dtw_.distance));
+  index_ = ScanIndex();
+  index_.load(store->triage_vectors(), store->model_families());
+  store_ = std::move(store);
+  materialize_once_ = std::make_shared<std::once_flag>();
+}
+
+std::size_t Detector::repository_size() const {
+  return store_ != nullptr ? store_->num_models() : repository_.size();
+}
+
+std::string_view Detector::model_name(std::size_t j) const {
+  return store_ != nullptr ? store_->model_name(j)
+                           : std::string_view(repository_[j].name);
+}
+
+Family Detector::model_family(std::size_t j) const {
+  return store_ != nullptr ? store_->model_family(j) : repository_[j].family;
+}
+
+const std::vector<AttackModel>& Detector::repository() const {
+  if (store_ != nullptr) {
+    std::call_once(*materialize_once_,
+                   [&] { repository_ = store_->unpack(); });
+  }
+  return repository_;
 }
 
 Detection Detector::scan(const isa::Program& target) const {
@@ -45,12 +85,14 @@ Detection Detector::scan(const CstBbs& target_sequence) const {
   if (support::fp::hit("detector.scan"))
     throw support::fp::FailpointError("detector.scan");
   c_requests.add();
-  c_pairs.add(repository_.size());
+  const std::size_t repo_size = repository_size();
+  c_pairs.add(repo_size);
 
   // Target compilation is the one fast-path stage that can fail on its
   // own (failpoint-injected today, defensive tomorrow); the string kernels
-  // are bit-identical, so degrade to them rather than failing the scan.
-  bool compiled_ok = use_compiled_ && !repository_.empty();
+  // are bit-identical, so degrade to them rather than failing the scan
+  // (on a store-backed detector that first materializes the text models).
+  bool compiled_ok = use_compiled_ && repo_size > 0;
   CompiledTarget target;
   if (compiled_ok) {
     try {
@@ -68,8 +110,8 @@ Detection Detector::scan(const CstBbs& target_sequence) const {
   const DtwConfig dtw = scan_dtw_config();
 
   std::vector<ModelScore> scores;
-  scores.reserve(repository_.size());
-  if (use_index_ && !repository_.empty()) {
+  scores.reserve(repo_size);
+  if (use_index_ && repo_size > 0) {
     // Triage + lower-bound cascade (core/scan_index.h): sublinear in the
     // exact-DTW count, bit-identical verdict/best/winner either way.
     std::vector<CascadeScore> cascade;
@@ -87,12 +129,12 @@ Detection Detector::scan(const CstBbs& target_sequence) const {
           compute_sequence_features(target_sequence, dtw.distance);
       const std::vector<std::uint32_t> order =
           index_.scan_order(tf, target_sequence.size());
-      cascade = cascade_scan(target_sequence, repository_, order, tf, dtw);
+      cascade = cascade_scan(target_sequence, repository(), order, tf, dtw);
     }
-    for (std::size_t j = 0; j < repository_.size(); ++j) {
+    for (std::size_t j = 0; j < repo_size; ++j) {
       ModelScore s;
-      s.model_name = repository_[j].name;
-      s.family = repository_[j].family;
+      s.model_name = model_name(j);
+      s.family = model_family(j);
       s.score = cascade[j].score;
       s.pruned = cascade[j].stage != CascadeStage::kExact;
       scores.push_back(std::move(s));
@@ -103,16 +145,16 @@ Detection Detector::scan(const CstBbs& target_sequence) const {
     ElementDistanceMemo memo(target.unique_elements,
                              compiled_.unique_elements());
     ElementDistanceMemo::Stats stats;
-    for (std::size_t j = 0; j < repository_.size(); ++j) {
+    for (std::size_t j = 0; j < repo_size; ++j) {
       ModelScore s;
-      s.model_name = repository_[j].name;
-      s.family = repository_[j].family;
+      s.model_name = model_name(j);
+      s.family = model_family(j);
       s.score = compiled_similarity(target, compiled_, j, memo, dtw, &stats);
       scores.push_back(std::move(s));
     }
     flush_memo_stats(stats);
   } else {
-    for (const AttackModel& model : repository_) {
+    for (const AttackModel& model : repository()) {
       ModelScore s;
       s.model_name = model.name;
       s.family = model.family;

@@ -7,7 +7,10 @@
 //   otherwise           -> benign
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/compiled.h"
@@ -19,6 +22,7 @@ namespace scag::core {
 
 struct ScanReport;     // core/explain.h
 struct ExplainConfig;  // core/explain.h
+class ModelStore;      // core/store.h
 
 /// Score of the target against one repository model.
 struct ModelScore {
@@ -106,11 +110,33 @@ class Detector {
   /// Adds a PoC to the repository (modeling it with the pipeline).
   void enroll(const isa::Program& poc, Family family);
 
-  /// Adds a pre-built model.
+  /// Adds a pre-built model. Throws std::logic_error on a store-backed
+  /// detector — the mapping is frozen; re-pack the store instead.
   void enroll(AttackModel model);
 
-  std::size_t repository_size() const { return repository_.size(); }
-  const std::vector<AttackModel>& repository() const { return repository_; }
+  /// Backs this (empty) detector with an opened scag-store-v1 image
+  /// (core/store.h): scans run straight out of the mapping — no parse, no
+  /// compile, no copies — and are bit-identical to enrolling the same
+  /// models from text. The detector keeps the shared_ptr alive for as long
+  /// as it scans. Throws std::logic_error if models were already enrolled,
+  /// StoreError if the store's scan alphabet differs from dtw_config().
+  void attach_store(std::shared_ptr<const ModelStore> store);
+
+  /// True when attach_store() backs the repository (enrollment is frozen).
+  bool store_backed() const { return store_ != nullptr; }
+  const std::shared_ptr<const ModelStore>& store() const { return store_; }
+
+  /// Repository directory. These never materialize text models: they read
+  /// the enrolled vector or the store mapping directly, so every scan path
+  /// stays zero-copy.
+  std::size_t repository_size() const;
+  std::string_view model_name(std::size_t j) const;
+  Family model_family(std::size_t j) const;
+
+  /// The text-form models. On a store-backed detector the first call
+  /// materializes them from the mapping (lazily, thread-safe) — scans
+  /// never need this; the string-kernel fallback and explain() do.
+  const std::vector<AttackModel>& repository() const;
 
   /// Full pipeline on a target program, then similarity comparison.
   Detection scan(const isa::Program& target) const;
@@ -143,7 +169,13 @@ class Detector {
   bool use_compiled_ = true;
   bool use_index_ = false;
   bool use_simd_ = true;
-  std::vector<AttackModel> repository_;
+  /// Enrolled text models; on a store-backed detector, the lazily
+  /// materialized cache behind repository() (hence mutable + once_flag;
+  /// the flag lives on the heap because once_flag is immovable and the
+  /// Detector itself must stay movable).
+  mutable std::vector<AttackModel> repository_;
+  std::shared_ptr<const ModelStore> store_;
+  std::shared_ptr<std::once_flag> materialize_once_;
   CompiledRepository compiled_;
   ScanIndex index_;
 };

@@ -142,7 +142,12 @@ inline double interval_gap(double x, double lo, double hi) {
 /// edit operation changes the token count by at most one and costs at
 /// least the cheapest token (weighted mode) or exactly one (full-token
 /// mode), while the normalizing denominator is at most the envelope max.
-inline double is_gap(double count, double mass, const SequenceFeatures& other,
+/// Templated over the features type: SequenceFeatures (owning, dtw.cpp)
+/// and FeaturesView (non-owning, compiled.cpp / store-backed) share the
+/// exact same expression tree, which is what keeps the kernels
+/// bit-identical.
+template <class F>
+inline double is_gap(double count, double mass, const F& other,
                      const DistanceConfig& dc) {
   const double count_gap =
       interval_gap(count, other.count_lo, other.count_hi);
@@ -163,8 +168,8 @@ inline double is_gap(double count, double mass, const SequenceFeatures& other,
 /// visits every row and every column at least once, and visited cells are
 /// distinct, so per-row (per-column) minimum costs sum into the
 /// accumulated cost. Returns max(row sum, column sum).
-inline double envelope_lower_bound(const SequenceFeatures& fa,
-                                   const SequenceFeatures& fb,
+template <class FA, class FB>
+inline double envelope_lower_bound(const FA& fa, const FB& fb,
                                    const DistanceConfig& dc) {
   const double is_w = dc.is_weight;
   const double csp_w = 1.0 - dc.is_weight;

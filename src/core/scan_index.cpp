@@ -254,12 +254,18 @@ struct StringOracle {
 
 }  // namespace
 
-ml::FeatureVector triage_features(const SequenceFeatures& f,
-                                  std::size_t length) {
+namespace {
+
+/// Shared implementation over both feature forms. The per-element arrays
+/// only ever feed the same sum loop, so SequenceFeatures (owning vectors)
+/// and FeaturesView (spans into an arena or store mapping) produce
+/// bit-identical vectors for the same sequence.
+template <class F>
+ml::FeatureVector triage_impl(const F& f, std::size_t length) {
   // An empty sequence has empty (infinite) envelopes; map it to the
   // origin so every coordinate stays finite for the standardizer.
   if (length == 0) return ml::FeatureVector(9, 0.0);
-  const auto mean = [length](const std::vector<double>& v) {
+  const auto mean = [length](const auto& v) {
     double sum = 0.0;
     for (const double x : v) sum += x;
     return sum / static_cast<double>(length);
@@ -275,10 +281,18 @@ ml::FeatureVector triage_features(const SequenceFeatures& f,
                            mean(f.mass)};
 }
 
-void ScanIndex::add(const SequenceFeatures& features, std::size_t length,
-                    Family family) {
-  raw_.push_back(triage_features(features, length));
-  families_.push_back(family);
+}  // namespace
+
+ml::FeatureVector triage_features(const SequenceFeatures& f,
+                                  std::size_t length) {
+  return triage_impl(f, length);
+}
+
+ml::FeatureVector triage_features(const FeaturesView& f, std::size_t length) {
+  return triage_impl(f, length);
+}
+
+void ScanIndex::refit() {
   standardizer_ = ml::Standardizer();
   standardizer_.fit(raw_);
   standardized_ = standardizer_.transform_all(raw_);
@@ -289,23 +303,63 @@ void ScanIndex::add(const SequenceFeatures& features, std::size_t length,
   knn_.fit(standardized_, labels, kNumAttackFamilies, rng);
 }
 
+void ScanIndex::add(const SequenceFeatures& features, std::size_t length,
+                    Family family) {
+  add(triage_features(features, length), family);
+}
+
+void ScanIndex::add(const FeaturesView& features, std::size_t length,
+                    Family family) {
+  add(triage_features(features, length), family);
+}
+
+void ScanIndex::add(ml::FeatureVector triage, Family family) {
+  raw_.push_back(std::move(triage));
+  families_.push_back(family);
+  refit();
+}
+
+void ScanIndex::load(std::vector<ml::FeatureVector> triage,
+                     std::vector<Family> families) {
+  raw_ = std::move(triage);
+  families_ = std::move(families);
+  refit();
+}
+
 Family ScanIndex::predict_family(const SequenceFeatures& features,
                                  std::size_t length) const {
+  return predict_vec(triage_features(features, length));
+}
+
+Family ScanIndex::predict_family(const FeaturesView& features,
+                                 std::size_t length) const {
+  return predict_vec(triage_features(features, length));
+}
+
+Family ScanIndex::predict_vec(const ml::FeatureVector& triage) const {
   if (empty()) return Family::kBenign;
-  const ml::FeatureVector x =
-      standardizer_.transform(triage_features(features, length));
+  const ml::FeatureVector x = standardizer_.transform(triage);
   return static_cast<Family>(knn_.predict(x));
 }
 
 std::vector<std::uint32_t> ScanIndex::scan_order(
     const SequenceFeatures& features, std::size_t length) const {
+  return order_vec(triage_features(features, length));
+}
+
+std::vector<std::uint32_t> ScanIndex::scan_order(
+    const FeaturesView& features, std::size_t length) const {
+  return order_vec(triage_features(features, length));
+}
+
+std::vector<std::uint32_t> ScanIndex::order_vec(
+    const ml::FeatureVector& triage) const {
   std::vector<std::uint32_t> order(families_.size());
   for (std::size_t j = 0; j < order.size(); ++j)
     order[j] = static_cast<std::uint32_t>(j);
   if (families_.size() < 2) return order;
 
-  const ml::FeatureVector x =
-      standardizer_.transform(triage_features(features, length));
+  const ml::FeatureVector x = standardizer_.transform(triage);
   const Family predicted = static_cast<Family>(knn_.predict(x));
   std::vector<double> d2(families_.size(), 0.0);
   for (std::size_t j = 0; j < standardized_.size(); ++j) {

@@ -61,9 +61,14 @@ namespace scag::core {
 
 /// The coarse per-sequence summary the triage index runs on, derived from
 /// the SequenceFeatures the lower bound precomputes anyway. All entries
-/// are finite (an empty sequence maps to the zero vector).
+/// are finite (an empty sequence maps to the zero vector). The
+/// FeaturesView overload is the compiled/store-backed twin — identical
+/// arithmetic, so the vectors are bit-identical for the same sequence
+/// (the model store serializes them precomputed and test_store asserts
+/// the round trip).
 ml::FeatureVector triage_features(const SequenceFeatures& f,
                                   std::size_t length);
+ml::FeatureVector triage_features(const FeaturesView& f, std::size_t length);
 
 /// Which cascade stage decided a model's entry.
 enum class CascadeStage : std::uint8_t {
@@ -110,6 +115,16 @@ class ScanIndex {
   /// classifier over all models seen so far.
   void add(const SequenceFeatures& features, std::size_t length,
            Family family);
+  void add(const FeaturesView& features, std::size_t length, Family family);
+  /// Primitive form: a precomputed triage vector (must match
+  /// triage_features() output for the model — the store serializes these).
+  void add(ml::FeatureVector triage, Family family);
+
+  /// Bulk form of add() for the store-backed load path: same end state as
+  /// N sequential adds (the intermediate refits a sequential build pays
+  /// are dead work — only the final fit matters), but refits once.
+  void load(std::vector<ml::FeatureVector> triage,
+            std::vector<Family> families);
 
   std::size_t size() const { return families_.size(); }
   bool empty() const { return families_.empty(); }
@@ -118,14 +133,22 @@ class ScanIndex {
   /// target (majority k-NN vote, lowest family index on ties).
   Family predict_family(const SequenceFeatures& features,
                         std::size_t length) const;
+  Family predict_family(const FeaturesView& features,
+                        std::size_t length) const;
 
   /// Deterministic visit order over [0, size()): the predicted family's
   /// models first, then the rest; both groups by ascending standardized
   /// coarse distance, ties by enrollment index.
   std::vector<std::uint32_t> scan_order(const SequenceFeatures& features,
                                         std::size_t length) const;
+  std::vector<std::uint32_t> scan_order(const FeaturesView& features,
+                                        std::size_t length) const;
 
  private:
+  void refit();
+  Family predict_vec(const ml::FeatureVector& triage) const;
+  std::vector<std::uint32_t> order_vec(const ml::FeatureVector& triage) const;
+
   std::vector<ml::FeatureVector> raw_;
   std::vector<Family> families_;
   ml::Standardizer standardizer_;

@@ -1,0 +1,975 @@
+#include "core/store.h"
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/scan_index.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SCAG_STORE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define SCAG_STORE_HAVE_MMAP 0
+#endif
+
+namespace scag::core {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Format constants. The byte layout is versioned: any change here bumps
+// kVersion (readers reject other versions instead of guessing).
+
+constexpr char kMagic[8] = {'S', 'C', 'A', 'G', 'S', 'T', 'R', '1'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kEndianCheck = 0x01020304u;
+// Read back as a double: rejects files written with a different
+// floating-point byte layout (all scores/features are raw IEEE-754 bits).
+constexpr double kDoubleProbe = 1.5;
+constexpr std::uint64_t kHeaderBytes = 64;
+constexpr std::uint64_t kSectionRecordBytes = 32;
+constexpr std::uint64_t kSectionAlign = 64;
+constexpr std::uint64_t kShardHeaderBytes = 176;
+constexpr std::uint32_t kNoFamily = 0xFFFFFFFFu;
+constexpr std::uint32_t kNoToken = TokenInterner::kNoToken;
+
+// Section kinds.
+constexpr std::uint32_t kSecNormStrings = 1;
+constexpr std::uint32_t kSecSemStrings = 2;
+constexpr std::uint32_t kSecTokenMeta = 3;
+constexpr std::uint32_t kSecTokenProbe = 4;
+constexpr std::uint32_t kSecShard = 5;
+
+// Header field offsets.
+constexpr std::uint64_t kHdrVersion = 8;
+constexpr std::uint64_t kHdrEndian = 12;
+constexpr std::uint64_t kHdrDoubleProbe = 16;
+constexpr std::uint64_t kHdrAlphabet = 24;
+constexpr std::uint64_t kHdrSectionCount = 28;
+constexpr std::uint64_t kHdrFileBytes = 32;
+constexpr std::uint64_t kHdrSectionTableOff = 40;
+constexpr std::uint64_t kHdrModelCount = 48;
+constexpr std::uint64_t kHdrUniqueElements = 52;
+constexpr std::uint64_t kHdrChecksum = 56;
+
+// Shard-header array slots (relative u64 offsets after the 40-byte count
+// block), in emission order.
+enum ShardArray : std::size_t {
+  kShNameOff = 0,
+  kShNameBlob,
+  kShGlobalIndex,
+  kShElemStart,
+  kShBlock,
+  kShFirstCycle,
+  kShCst,
+  kShNormOff,
+  kShNormIds,
+  kShSemOff,
+  kShSemIds,
+  kShElemDedup,
+  kShFeatCsp,
+  kShFeatCount,
+  kShFeatMass,
+  kShScalars,
+  kShTriage,
+  kShArrayCount,  // 17
+};
+static_assert(kShardHeaderBytes == 40 + 8 * kShArrayCount);
+
+[[noreturn]] void fail(const std::string& msg) {
+  throw StoreError("scag-store: " + msg);
+}
+
+void need(bool ok, const char* msg) {
+  if (!ok) fail(msg);
+}
+
+/// off + len stays inside [0, limit] without overflow.
+bool fits(std::uint64_t off, std::uint64_t len, std::uint64_t limit) {
+  return off <= limit && len <= limit - off;
+}
+
+std::uint32_t rd_u32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+std::uint64_t rd_u64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+
+class ByteBuf {
+ public:
+  std::vector<std::uint8_t> bytes;
+
+  std::uint64_t size() const { return bytes.size(); }
+  void align(std::uint64_t a) {
+    while (bytes.size() % a != 0) bytes.push_back(0);
+  }
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    bytes.insert(bytes.end(), b, b + n);
+  }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+  template <class T>
+  void array(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    raw(v.data(), v.size() * sizeof(T));
+  }
+  void patch_u64(std::uint64_t at, std::uint64_t v) {
+    std::memcpy(bytes.data() + at, &v, sizeof v);
+  }
+};
+
+/// String table section payload: u32 count, u32 pad, u32 off[count+1],
+/// char blob.
+ByteBuf build_string_table(const std::vector<std::string_view>& strings) {
+  ByteBuf b;
+  b.u32(static_cast<std::uint32_t>(strings.size()));
+  b.u32(0);
+  std::uint32_t off = 0;
+  b.u32(off);
+  for (const std::string_view s : strings) {
+    off += static_cast<std::uint32_t>(s.size());
+    b.u32(off);
+  }
+  for (const std::string_view s : strings) b.raw(s.data(), s.size());
+  return b;
+}
+
+/// Open-addressing probe table over the scan-alphabet strings: u64
+/// capacity (power of two, load factor <= 0.5), u32 slot[capacity] of
+/// token ids with kNoToken empty sentinel. FNV-1a + linear probing —
+/// TokenInterner::find replays exactly this.
+ByteBuf build_probe_table(const std::vector<std::string_view>& strings) {
+  std::uint64_t capacity = 8;
+  while (capacity < 2 * strings.size()) capacity <<= 1;
+  std::vector<std::uint32_t> slots(capacity, kNoToken);
+  const std::uint64_t mask = capacity - 1;
+  for (std::uint32_t id = 0; id < strings.size(); ++id) {
+    std::uint64_t at = fnv1a64(strings[id].data(), strings[id].size()) & mask;
+    while (slots[at] != kNoToken) at = (at + 1) & mask;
+    slots[at] = id;
+  }
+  ByteBuf b;
+  b.u64(capacity);
+  b.array(slots);
+  return b;
+}
+
+struct PendingSection {
+  std::uint32_t kind = 0;
+  std::uint32_t family = kNoFamily;
+  ByteBuf payload;
+};
+
+// ---------------------------------------------------------------------------
+// Reader-side views
+
+struct StringTableRef {
+  std::uint32_t count = 0;
+  const std::uint32_t* off = nullptr;  // count + 1 entries
+  const char* blob = nullptr;
+
+  std::string_view str(std::uint32_t id) const {
+    return {blob + off[id], off[id + 1] - off[id]};
+  }
+};
+
+struct ShardRef {
+  Family family = Family::kCount;
+  std::uint32_t model_count = 0;
+  std::uint64_t elem_count = 0;
+  const std::uint32_t* name_off = nullptr;
+  const char* name_blob = nullptr;
+  const std::uint32_t* global_index = nullptr;
+  const std::uint32_t* elem_start = nullptr;
+  const std::uint64_t* block = nullptr;
+  const std::uint64_t* first_cycle = nullptr;
+  const double* cst = nullptr;  // 4 per element
+  const std::uint32_t* norm_off = nullptr;
+  const std::uint32_t* norm_ids = nullptr;
+  const std::uint32_t* sem_off = nullptr;
+  const std::uint32_t* sem_ids = nullptr;
+  const std::uint32_t* elem_dedup = nullptr;
+  const double* feat_csp = nullptr;
+  const double* feat_count = nullptr;
+  const double* feat_mass = nullptr;
+  const double* scalars = nullptr;  // 5 per model
+  const double* triage = nullptr;   // 9 per model
+
+  std::string_view name(std::uint32_t local) const {
+    return {name_blob + name_off[local],
+            name_off[local + 1] - name_off[local]};
+  }
+};
+
+struct SectionRec {
+  std::uint32_t kind = 0;
+  std::uint32_t family = kNoFamily;
+  std::uint64_t offset = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t checksum = 0;
+  std::uint32_t shard_models = 0;
+};
+
+/// Bounds- and alignment-checked typed pointer into one section payload.
+/// `base` is 8-aligned (page-aligned mapping or u64-backed owned buffer,
+/// plus 64-aligned section offsets), so checking the relative offset's
+/// alignment is sufficient.
+template <class T>
+const T* sect_array(const std::uint8_t* base, std::uint64_t sect_bytes,
+                    std::uint64_t off, std::uint64_t count,
+                    const char* what) {
+  if (off % alignof(T) != 0) fail(std::string(what) + ": misaligned array");
+  if (count > sect_bytes / sizeof(T) ||
+      !fits(off, count * sizeof(T), sect_bytes))
+    fail(std::string(what) + ": array out of bounds");
+  return reinterpret_cast<const T*>(base + off);
+}
+
+StringTableRef parse_string_table(const std::uint8_t* base,
+                                  std::uint64_t bytes, const char* what) {
+  StringTableRef t;
+  if (bytes < 8) fail(std::string(what) + ": truncated");
+  t.count = rd_u32(base);
+  if (t.count >= (1u << 30)) fail(std::string(what) + ": token count");
+  t.off = sect_array<std::uint32_t>(base, bytes, 8,
+                                    std::uint64_t{t.count} + 1, what);
+  const std::uint64_t blob_off = 8 + 4 * (std::uint64_t{t.count} + 1);
+  if (t.off[0] != 0) fail(std::string(what) + ": offsets must start at 0");
+  for (std::uint32_t i = 0; i < t.count; ++i)
+    if (t.off[i] > t.off[i + 1])
+      fail(std::string(what) + ": offsets not monotonic");
+  if (!fits(blob_off, t.off[t.count], bytes))
+    fail(std::string(what) + ": string blob out of bounds");
+  t.blob = reinterpret_cast<const char*>(base + blob_off);
+  return t;
+}
+
+#if !SCAG_STORE_HAVE_MMAP
+/// File -> owned buffer fallback used where mmap is unavailable.
+std::vector<std::uint64_t> read_file_aligned(const std::string& path,
+                                             std::uint64_t* out_bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) fail("cannot open " + path + ": " + std::strerror(errno));
+  std::fseek(f, 0, SEEK_END);
+  const long len = std::ftell(f);
+  if (len < 0) {
+    std::fclose(f);
+    fail("cannot stat " + path);
+  }
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<std::uint64_t> buf((static_cast<std::uint64_t>(len) + 7) / 8);
+  const std::size_t got = buf.empty()
+                              ? 0
+                              : std::fread(buf.data(), 1,
+                                           static_cast<std::size_t>(len), f);
+  std::fclose(f);
+  if (got != static_cast<std::size_t>(len)) fail("short read of " + path);
+  *out_bytes = static_cast<std::uint64_t>(len);
+  return buf;
+}
+#endif
+
+const char* section_kind_name(std::uint32_t kind) {
+  switch (kind) {
+    case kSecNormStrings: return "norm-strings";
+    case kSecSemStrings: return "sem-strings";
+    case kSecTokenMeta: return "token-meta";
+    case kSecTokenProbe: return "token-probe";
+    case kSecShard: return "shard";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Pack
+
+std::vector<std::uint8_t> pack_store_bytes(
+    const std::vector<AttackModel>& models, const DistanceConfig& dc) {
+  // Same duplicate-name contract as the text loader: the repository is a
+  // directory keyed by name.
+  std::unordered_set<std::string_view> seen_names;
+  for (const AttackModel& m : models) {
+    if (!seen_names.insert(m.name).second)
+      fail("duplicate model name '" + m.name + "'");
+    if (static_cast<int>(m.family) < 0 ||
+        static_cast<int>(m.family) >= static_cast<int>(Family::kCount))
+      fail("model '" + m.name + "' has an out-of-range family");
+  }
+
+  // Compile exactly as enrollment would: identical token ids, dedup ids,
+  // and features are what make the store-backed scan bit-identical.
+  CompiledRepository crepo(dc);
+  for (const AttackModel& m : models) crepo.add(m.sequence);
+  const std::vector<std::string_view> scan_strings =
+      crepo.interner().strings_by_id();
+  const bool full = dc.alphabet == IsAlphabet::kFullTokens;
+
+  // The non-scan alphabet gets its own first-occurrence id space (needed
+  // only for the bit-exact text round trip, never for scans).
+  std::unordered_map<std::string_view, std::uint32_t> other_ids;
+  std::vector<std::string_view> other_strings;
+  for (const AttackModel& m : models) {
+    for (const CstBbsElement& e : m.sequence) {
+      for (const std::string& tok : full ? e.sem_tokens : e.norm_instrs) {
+        const auto [it, inserted] = other_ids.try_emplace(
+            tok, static_cast<std::uint32_t>(other_strings.size()));
+        if (inserted) other_strings.push_back(it->first);
+      }
+    }
+  }
+
+  std::vector<PendingSection> sections;
+  sections.push_back({kSecNormStrings, kNoFamily,
+                      build_string_table(full ? scan_strings : other_strings)});
+  sections.push_back({kSecSemStrings, kNoFamily,
+                      build_string_table(full ? other_strings : scan_strings)});
+  {
+    ByteBuf meta;
+    meta.u32(static_cast<std::uint32_t>(scan_strings.size()));
+    meta.u32(0);
+    meta.array(crepo.interner().weights());
+    meta.array(crepo.interner().classes());
+    sections.push_back({kSecTokenMeta, kNoFamily, std::move(meta)});
+  }
+  sections.push_back(
+      {kSecTokenProbe, kNoFamily, build_probe_table(scan_strings)});
+
+  // One shard per family that has models, in family order; models inside
+  // a shard keep enrollment order (global_index records it).
+  for (int fam = 0; fam < static_cast<int>(Family::kCount); ++fam) {
+    std::vector<std::uint32_t> members;
+    for (std::uint32_t j = 0; j < models.size(); ++j)
+      if (static_cast<int>(models[j].family) == fam) members.push_back(j);
+    if (members.empty()) continue;
+
+    const std::uint32_t mc = static_cast<std::uint32_t>(members.size());
+    std::vector<std::uint32_t> name_off{0};
+    std::string name_blob;
+    std::vector<std::uint32_t> elem_start{0};
+    std::vector<std::uint64_t> block, first_cycle;
+    std::vector<double> cst, feat_csp, feat_count, feat_mass, scalars, triage;
+    std::vector<std::uint32_t> scan_off{0}, scan_ids, other_off{0}, other_id_v,
+        elem_dedup;
+    for (const std::uint32_t g : members) {
+      const AttackModel& m = models[g];
+      const CompiledSeq& view = crepo.model(g);
+      name_blob += m.name;
+      name_off.push_back(static_cast<std::uint32_t>(name_blob.size()));
+      for (std::size_t i = 0; i < m.sequence.size(); ++i) {
+        const CstBbsElement& e = m.sequence[i];
+        block.push_back(e.block);
+        first_cycle.push_back(e.first_cycle);
+        cst.push_back(e.cst.before.ao);
+        cst.push_back(e.cst.before.io);
+        cst.push_back(e.cst.after.ao);
+        cst.push_back(e.cst.after.io);
+        const TokenId* tb = view.token_begin(i);
+        scan_ids.insert(scan_ids.end(), tb, tb + view.token_count(i));
+        scan_off.push_back(static_cast<std::uint32_t>(scan_ids.size()));
+        for (const std::string& tok : full ? e.sem_tokens : e.norm_instrs)
+          other_id_v.push_back(other_ids.at(tok));
+        other_off.push_back(static_cast<std::uint32_t>(other_id_v.size()));
+        elem_dedup.push_back(view.elem[i]);
+        feat_csp.push_back(view.features.csp[i]);
+        feat_count.push_back(view.features.count[i]);
+        feat_mass.push_back(view.features.mass[i]);
+      }
+      elem_start.push_back(static_cast<std::uint32_t>(elem_dedup.size()));
+      scalars.push_back(view.features.csp_lo);
+      scalars.push_back(view.features.csp_hi);
+      scalars.push_back(view.features.count_lo);
+      scalars.push_back(view.features.count_hi);
+      scalars.push_back(view.features.mass_hi);
+      const ml::FeatureVector tv = triage_features(view.features, view.size());
+      triage.insert(triage.end(), tv.begin(), tv.end());
+    }
+
+    ByteBuf b;
+    b.u32(mc);
+    b.u32(static_cast<std::uint32_t>(fam));
+    b.u64(elem_dedup.size());
+    b.u64(full ? scan_ids.size() : other_id_v.size());   // norm id count
+    b.u64(full ? other_id_v.size() : scan_ids.size());   // sem id count
+    b.u64(name_blob.size());
+    const std::uint64_t offsets_at = b.size();
+    for (std::size_t i = 0; i < kShArrayCount; ++i) b.u64(0);  // patched
+    const auto emit = [&](ShardArray slot, auto&& fill) {
+      b.align(8);
+      b.patch_u64(offsets_at + 8 * static_cast<std::uint64_t>(slot), b.size());
+      fill();
+    };
+    emit(kShNameOff, [&] { b.array(name_off); });
+    emit(kShNameBlob, [&] { b.raw(name_blob.data(), name_blob.size()); });
+    emit(kShGlobalIndex, [&] { b.array(members); });
+    emit(kShElemStart, [&] { b.array(elem_start); });
+    emit(kShBlock, [&] { b.array(block); });
+    emit(kShFirstCycle, [&] { b.array(first_cycle); });
+    emit(kShCst, [&] { b.array(cst); });
+    emit(kShNormOff, [&] { b.array(full ? scan_off : other_off); });
+    emit(kShNormIds, [&] { b.array(full ? scan_ids : other_id_v); });
+    emit(kShSemOff, [&] { b.array(full ? other_off : scan_off); });
+    emit(kShSemIds, [&] { b.array(full ? other_id_v : scan_ids); });
+    emit(kShElemDedup, [&] { b.array(elem_dedup); });
+    emit(kShFeatCsp, [&] { b.array(feat_csp); });
+    emit(kShFeatCount, [&] { b.array(feat_count); });
+    emit(kShFeatMass, [&] { b.array(feat_mass); });
+    emit(kShScalars, [&] { b.array(scalars); });
+    emit(kShTriage, [&] { b.array(triage); });
+    sections.push_back(
+        {kSecShard, static_cast<std::uint32_t>(fam), std::move(b)});
+  }
+
+  // Assemble: header | section table | 64-aligned payloads (zero padding
+  // everywhere, so packing is byte-deterministic).
+  ByteBuf out;
+  out.raw(kMagic, sizeof kMagic);
+  out.u32(kVersion);
+  out.u32(kEndianCheck);
+  out.u64(std::bit_cast<std::uint64_t>(kDoubleProbe));
+  out.u32(dc.alphabet == IsAlphabet::kFullTokens ? 0u : 1u);
+  out.u32(static_cast<std::uint32_t>(sections.size()));
+  const std::uint64_t file_bytes_at = out.size();
+  out.u64(0);            // file_bytes, patched below
+  out.u64(kHeaderBytes); // section table offset
+  out.u32(static_cast<std::uint32_t>(models.size()));
+  out.u32(crepo.unique_elements());
+  const std::uint64_t checksum_at = out.size();
+  out.u64(0);            // header checksum, patched below
+
+  const std::uint64_t table_at = out.size();
+  for (std::size_t i = 0; i < sections.size(); ++i)
+    for (std::size_t k = 0; k < kSectionRecordBytes; ++k) out.bytes.push_back(0);
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    out.align(kSectionAlign);
+    const std::uint64_t rec = table_at + i * kSectionRecordBytes;
+    std::uint32_t kind = sections[i].kind, family = sections[i].family;
+    std::memcpy(out.bytes.data() + rec, &kind, 4);
+    std::memcpy(out.bytes.data() + rec + 4, &family, 4);
+    out.patch_u64(rec + 8, out.size());
+    out.patch_u64(rec + 16, sections[i].payload.size());
+    out.patch_u64(rec + 24, fnv1a64(sections[i].payload.bytes.data(),
+                                    sections[i].payload.bytes.size()));
+    out.raw(sections[i].payload.bytes.data(), sections[i].payload.size());
+  }
+  out.align(kSectionAlign);
+  out.patch_u64(file_bytes_at, out.size());
+  out.patch_u64(checksum_at, fnv1a64(out.bytes.data(), checksum_at));
+  return out.bytes;
+}
+
+void pack_store(const std::string& path,
+                const std::vector<AttackModel>& models,
+                const DistanceConfig& dc) {
+  const std::vector<std::uint8_t> bytes = pack_store_bytes(models, dc);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) fail("cannot create " + tmp + ": " + std::strerror(errno));
+  const std::size_t wrote = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fclose(f) == 0;
+  if (wrote != bytes.size() || !flushed) {
+    std::remove(tmp.c_str());
+    fail("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail("cannot rename " + tmp + " to " + path + ": " +
+         std::strerror(errno));
+  }
+}
+
+bool is_store_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char magic[8] = {};
+  const std::size_t got = std::fread(magic, 1, sizeof magic, f);
+  std::fclose(f);
+  return got == sizeof magic && std::memcmp(magic, kMagic, sizeof magic) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Open + validate
+
+struct ModelStore::Impl {
+  // Ownership of the image: exactly one of (mmap, owned) is live.
+  void* map_addr = nullptr;
+  std::size_t map_len = 0;
+  std::vector<std::uint64_t> owned;
+  const std::uint8_t* data = nullptr;
+  std::uint64_t size = 0;
+
+  StringTableRef norm_tab, sem_tab;
+  const double* weight = nullptr;
+  const std::uint8_t* cls = nullptr;
+  const std::uint32_t* probe = nullptr;
+  std::uint64_t probe_mask = 0;
+  std::vector<ShardRef> shards;
+  struct ModelRef {
+    std::uint32_t shard = 0;
+    std::uint32_t local = 0;
+  };
+  std::vector<ModelRef> refs;          // enrollment order
+  std::vector<CompiledSeq> models;     // enrollment order, views into image
+  std::vector<SectionRec> sections;
+  bool checksums_verified = false;
+
+  ~Impl() {
+#if SCAG_STORE_HAVE_MMAP
+    if (map_addr != nullptr) ::munmap(map_addr, map_len);
+#endif
+  }
+
+  const StringTableRef& scan_tab(IsAlphabet alphabet) const {
+    return alphabet == IsAlphabet::kFullTokens ? norm_tab : sem_tab;
+  }
+
+  void parse(ModelStore& store, const StoreOptions& opts);
+};
+
+ModelStore::~ModelStore() = default;
+
+void ModelStore::Impl::parse(ModelStore& store, const StoreOptions& opts) {
+  // --- Header ---------------------------------------------------------
+  need(size >= kHeaderBytes, "file too small for a store header");
+  need(std::memcmp(data, kMagic, sizeof kMagic) == 0,
+       "not a scag-store file (bad magic)");
+  const std::uint32_t version = rd_u32(data + kHdrVersion);
+  if (version != kVersion)
+    fail("unsupported store version " + std::to_string(version) +
+         " (this build reads version " + std::to_string(kVersion) + ")");
+  need(rd_u32(data + kHdrEndian) == kEndianCheck,
+       "store written with a different byte order");
+  need(std::bit_cast<double>(rd_u64(data + kHdrDoubleProbe)) == kDoubleProbe,
+       "store written with a different double layout");
+  need(rd_u64(data + kHdrChecksum) == fnv1a64(data, kHdrChecksum),
+       "header checksum mismatch");
+  const std::uint32_t alphabet_u = rd_u32(data + kHdrAlphabet);
+  need(alphabet_u <= 1, "unknown scan alphabet");
+  store.alphabet_ =
+      alphabet_u == 0 ? IsAlphabet::kFullTokens : IsAlphabet::kSemanticWeighted;
+  need(rd_u64(data + kHdrFileBytes) == size,
+       "file size does not match the header");
+  const std::uint32_t model_count = rd_u32(data + kHdrModelCount);
+  store.unique_elements_ = rd_u32(data + kHdrUniqueElements);
+  const std::uint32_t section_count = rd_u32(data + kHdrSectionCount);
+  need(section_count >= 4 && section_count <= 64, "bad section count");
+  const std::uint64_t table_off = rd_u64(data + kHdrSectionTableOff);
+  need(table_off == kHeaderBytes, "bad section table offset");
+  need(fits(table_off, std::uint64_t{section_count} * kSectionRecordBytes,
+            size),
+       "section table out of bounds");
+
+  // --- Section table --------------------------------------------------
+  const std::uint64_t payload_floor =
+      table_off + std::uint64_t{section_count} * kSectionRecordBytes;
+  sections.resize(section_count);
+  for (std::uint32_t i = 0; i < section_count; ++i) {
+    const std::uint8_t* rec = data + table_off + i * kSectionRecordBytes;
+    SectionRec& s = sections[i];
+    s.kind = rd_u32(rec);
+    s.family = rd_u32(rec + 4);
+    s.offset = rd_u64(rec + 8);
+    s.bytes = rd_u64(rec + 16);
+    s.checksum = rd_u64(rec + 24);
+    need(s.kind >= kSecNormStrings && s.kind <= kSecShard,
+         "unknown section kind");
+    need(s.offset % kSectionAlign == 0, "misaligned section");
+    need(s.offset >= payload_floor, "section overlaps the directory");
+    need(fits(s.offset, s.bytes, size), "section out of bounds");
+  }
+  {
+    std::vector<const SectionRec*> by_off;
+    by_off.reserve(sections.size());
+    for (const SectionRec& s : sections) by_off.push_back(&s);
+    std::sort(by_off.begin(), by_off.end(),
+              [](const SectionRec* a, const SectionRec* b) {
+                return a->offset < b->offset;
+              });
+    for (std::size_t i = 1; i < by_off.size(); ++i)
+      need(by_off[i]->offset >=
+               by_off[i - 1]->offset + by_off[i - 1]->bytes,
+           "overlapping sections");
+  }
+  if (opts.verify_checksums) {
+    for (const SectionRec& s : sections)
+      need(fnv1a64(data + s.offset, s.bytes) == s.checksum,
+           "section checksum mismatch");
+    checksums_verified = true;
+  }
+
+  // --- Global sections ------------------------------------------------
+  const SectionRec* sec[kSecShard + 1] = {};
+  std::vector<const SectionRec*> shard_recs;
+  for (const SectionRec& s : sections) {
+    if (s.kind == kSecShard) {
+      need(s.family < static_cast<std::uint32_t>(Family::kCount),
+           "shard family out of range");
+      shard_recs.push_back(&s);
+      continue;
+    }
+    need(sec[s.kind] == nullptr, "duplicate global section");
+    sec[s.kind] = &s;
+  }
+  for (std::uint32_t k = kSecNormStrings; k <= kSecTokenProbe; ++k)
+    need(sec[k] != nullptr, "missing global section");
+  {
+    std::vector<char> fam_seen(static_cast<std::size_t>(Family::kCount), 0);
+    for (const SectionRec* s : shard_recs) {
+      need(!fam_seen[s->family], "duplicate shard for a family");
+      fam_seen[s->family] = 1;
+    }
+  }
+
+  norm_tab = parse_string_table(data + sec[kSecNormStrings]->offset,
+                                sec[kSecNormStrings]->bytes, "norm-strings");
+  sem_tab = parse_string_table(data + sec[kSecSemStrings]->offset,
+                               sec[kSecSemStrings]->bytes, "sem-strings");
+  const std::uint32_t scan_count = scan_tab(store.alphabet_).count;
+
+  {
+    const std::uint8_t* base = data + sec[kSecTokenMeta]->offset;
+    const std::uint64_t bytes = sec[kSecTokenMeta]->bytes;
+    need(bytes >= 8, "token-meta: truncated");
+    need(rd_u32(base) == scan_count,
+         "token-meta: count does not match the scan token table");
+    weight = sect_array<double>(base, bytes, 8, scan_count, "token-meta");
+    cls = sect_array<std::uint8_t>(base, bytes, 8 + 8 * std::uint64_t{scan_count},
+                                   scan_count, "token-meta");
+    for (std::uint32_t i = 0; i < scan_count; ++i)
+      need(std::isfinite(weight[i]), "token-meta: non-finite token weight");
+  }
+  {
+    const std::uint8_t* base = data + sec[kSecTokenProbe]->offset;
+    const std::uint64_t bytes = sec[kSecTokenProbe]->bytes;
+    need(bytes >= 8, "token-probe: truncated");
+    const std::uint64_t capacity = rd_u64(base);
+    need(capacity >= 8 && capacity <= (1u << 28) &&
+             (capacity & (capacity - 1)) == 0,
+         "token-probe: bad capacity");
+    need(capacity >= std::uint64_t{scan_count} + 1,
+         "token-probe: table too small");
+    probe = sect_array<std::uint32_t>(base, bytes, 8, capacity, "token-probe");
+    probe_mask = capacity - 1;
+    std::uint64_t filled = 0;
+    for (std::uint64_t i = 0; i < capacity; ++i) {
+      need(probe[i] == kNoToken || probe[i] < scan_count,
+           "token-probe: slot id out of range");
+      filled += probe[i] != kNoToken;
+    }
+    need(filled == scan_count, "token-probe: wrong fill count");
+    // Every token must probe back to its own id, or mapped find() would
+    // silently diverge from the enrollment-time interner.
+    const StringTableRef& st = scan_tab(store.alphabet_);
+    for (std::uint32_t id = 0; id < scan_count; ++id) {
+      const std::string_view s = st.str(id);
+      std::uint64_t at = fnv1a64(s.data(), s.size()) & probe_mask;
+      while (probe[at] != kNoToken && (probe[at] != id || st.str(probe[at]) != s))
+        at = (at + 1) & probe_mask;
+      need(probe[at] == id, "token-probe: token does not resolve to its id");
+    }
+  }
+
+  // --- Shards ---------------------------------------------------------
+  std::vector<char> model_seen(model_count, 0);
+  std::uint32_t models_total = 0;
+  shards.reserve(shard_recs.size());
+  for (const SectionRec* s : shard_recs) {
+    const std::uint8_t* base = data + s->offset;
+    const std::uint64_t bytes = s->bytes;
+    need(bytes >= kShardHeaderBytes, "shard: truncated header");
+    ShardRef sh;
+    sh.model_count = rd_u32(base);
+    need(rd_u32(base + 4) == s->family, "shard: family mismatch");
+    sh.family = static_cast<Family>(s->family);
+    sh.elem_count = rd_u64(base + 8);
+    const std::uint64_t norm_id_count = rd_u64(base + 16);
+    const std::uint64_t sem_id_count = rd_u64(base + 24);
+    const std::uint64_t name_blob_bytes = rd_u64(base + 32);
+    need(sh.model_count > 0, "shard: empty shard");
+    std::uint64_t off[kShArrayCount];
+    for (std::size_t i = 0; i < kShArrayCount; ++i)
+      off[i] = rd_u64(base + 40 + 8 * i);
+
+    const std::uint64_t mc = sh.model_count, ec = sh.elem_count;
+    sh.name_off =
+        sect_array<std::uint32_t>(base, bytes, off[kShNameOff], mc + 1, "shard");
+    need(fits(off[kShNameBlob], name_blob_bytes, bytes),
+         "shard: name blob out of bounds");
+    sh.name_blob = reinterpret_cast<const char*>(base + off[kShNameBlob]);
+    need(sh.name_off[0] == 0, "shard: name offsets must start at 0");
+    for (std::uint64_t i = 0; i < mc; ++i)
+      need(sh.name_off[i] <= sh.name_off[i + 1],
+           "shard: name offsets not monotonic");
+    need(sh.name_off[mc] <= name_blob_bytes, "shard: name blob overrun");
+
+    sh.global_index = sect_array<std::uint32_t>(base, bytes,
+                                                off[kShGlobalIndex], mc, "shard");
+    sh.elem_start = sect_array<std::uint32_t>(base, bytes, off[kShElemStart],
+                                              mc + 1, "shard");
+    sh.block = sect_array<std::uint64_t>(base, bytes, off[kShBlock], ec, "shard");
+    sh.first_cycle =
+        sect_array<std::uint64_t>(base, bytes, off[kShFirstCycle], ec, "shard");
+    sh.cst = sect_array<double>(base, bytes, off[kShCst], 4 * ec, "shard");
+    sh.norm_off = sect_array<std::uint32_t>(base, bytes, off[kShNormOff],
+                                            ec + 1, "shard");
+    sh.norm_ids = sect_array<std::uint32_t>(base, bytes, off[kShNormIds],
+                                            norm_id_count, "shard");
+    sh.sem_off =
+        sect_array<std::uint32_t>(base, bytes, off[kShSemOff], ec + 1, "shard");
+    sh.sem_ids = sect_array<std::uint32_t>(base, bytes, off[kShSemIds],
+                                           sem_id_count, "shard");
+    sh.elem_dedup = sect_array<std::uint32_t>(base, bytes, off[kShElemDedup],
+                                              ec, "shard");
+    sh.feat_csp = sect_array<double>(base, bytes, off[kShFeatCsp], ec, "shard");
+    sh.feat_count =
+        sect_array<double>(base, bytes, off[kShFeatCount], ec, "shard");
+    sh.feat_mass = sect_array<double>(base, bytes, off[kShFeatMass], ec, "shard");
+    sh.scalars = sect_array<double>(base, bytes, off[kShScalars], 5 * mc, "shard");
+    sh.triage = sect_array<double>(base, bytes, off[kShTriage], 9 * mc, "shard");
+
+    need(sh.elem_start[0] == 0, "shard: elem_start must start at 0");
+    for (std::uint64_t i = 0; i < mc; ++i)
+      need(sh.elem_start[i] <= sh.elem_start[i + 1],
+           "shard: elem_start not monotonic");
+    need(sh.elem_start[mc] == ec, "shard: elem_start does not cover elements");
+    const auto check_offsets = [&](const std::uint32_t* o, std::uint64_t ids,
+                                   const char* what) {
+      need(o[0] == 0, what);
+      for (std::uint64_t i = 0; i < ec; ++i) need(o[i] <= o[i + 1], what);
+      need(o[ec] == ids, what);
+    };
+    check_offsets(sh.norm_off, norm_id_count, "shard: bad norm token offsets");
+    check_offsets(sh.sem_off, sem_id_count, "shard: bad sem token offsets");
+    for (std::uint64_t i = 0; i < norm_id_count; ++i)
+      need(sh.norm_ids[i] < norm_tab.count, "shard: norm token id out of range");
+    for (std::uint64_t i = 0; i < sem_id_count; ++i)
+      need(sh.sem_ids[i] < sem_tab.count, "shard: sem token id out of range");
+    for (std::uint64_t i = 0; i < ec; ++i) {
+      need(sh.elem_dedup[i] < store.unique_elements_,
+           "shard: dedup id out of range");
+      need(sh.block[i] <= 0xFFFFFFFFull, "shard: block id out of range");
+    }
+    // Every double that can reach scan arithmetic or a sort comparator
+    // must be finite: NaN scores would void the strict-weak-ordering
+    // contract of Detector::finalize and ScanIndex's sorts (UB), so
+    // finiteness is a structural requirement, not a checksum concern.
+    const auto check_finite = [](const double* p, std::uint64_t n,
+                                 const char* what) {
+      for (std::uint64_t i = 0; i < n; ++i)
+        if (!std::isfinite(p[i])) fail(what);
+    };
+    check_finite(sh.cst, 4 * ec, "shard: non-finite cache-state value");
+    check_finite(sh.feat_csp, ec, "shard: non-finite element feature");
+    check_finite(sh.feat_count, ec, "shard: non-finite element feature");
+    check_finite(sh.feat_mass, ec, "shard: non-finite element feature");
+    check_finite(sh.scalars, 5 * mc, "shard: non-finite envelope scalar");
+    check_finite(sh.triage, 9 * mc, "shard: non-finite triage feature");
+    for (std::uint64_t i = 0; i < mc; ++i) {
+      const std::uint32_t g = sh.global_index[i];
+      need(g < model_count, "shard: model index out of range");
+      need(!model_seen[g], "shard: duplicate model index");
+      model_seen[g] = 1;
+    }
+    models_total += sh.model_count;
+    shards.push_back(sh);
+  }
+  need(models_total == model_count,
+       "model count does not match the shard directory");
+
+  // --- Directory + per-model views ------------------------------------
+  refs.resize(model_count);
+  models.resize(model_count);
+  store.names_.resize(model_count);
+  store.families_.resize(model_count);
+  const bool full_alpha = store.alphabet_ == IsAlphabet::kFullTokens;
+  for (std::uint32_t si = 0; si < shards.size(); ++si) {
+    const ShardRef& sh = shards[si];
+    const std::uint32_t* scan_off = full_alpha ? sh.norm_off : sh.sem_off;
+    const std::uint32_t* scan_ids = full_alpha ? sh.norm_ids : sh.sem_ids;
+    for (std::uint32_t local = 0; local < sh.model_count; ++local) {
+      const std::uint32_t g = sh.global_index[local];
+      refs[g] = {si, local};
+      store.names_[g] = sh.name(local);
+      store.families_[g] = sh.family;
+      const std::uint32_t es = sh.elem_start[local];
+      const std::uint32_t n = sh.elem_start[local + 1] - es;
+      CompiledSeq& v = models[g];
+      v.tokens = scan_ids;
+      v.offsets = scan_off + es;
+      v.elem = {sh.elem_dedup + es, n};
+      v.features.csp = {sh.feat_csp + es, n};
+      v.features.count = {sh.feat_count + es, n};
+      v.features.mass = {sh.feat_mass + es, n};
+      const double* sc = sh.scalars + 5 * std::uint64_t{local};
+      v.features.csp_lo = sc[0];
+      v.features.csp_hi = sc[1];
+      v.features.count_lo = sc[2];
+      v.features.count_hi = sc[3];
+      v.features.mass_hi = sc[4];
+    }
+  }
+}
+
+std::shared_ptr<const ModelStore> ModelStore::open(const std::string& path,
+                                                   const StoreOptions& opts) {
+  std::shared_ptr<ModelStore> store(new ModelStore());
+  store->impl_ = std::make_unique<Impl>();
+  Impl& im = *store->impl_;
+#if SCAG_STORE_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail("cannot open " + path + ": " + std::strerror(errno));
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    fail("cannot stat " + path);
+  }
+  const std::uint64_t len = static_cast<std::uint64_t>(st.st_size);
+  if (len < kHeaderBytes) {
+    ::close(fd);
+    fail(path + ": file too small for a store header");
+  }
+  void* addr = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (addr == MAP_FAILED)
+    fail("cannot mmap " + path + ": " + std::strerror(errno));
+  im.map_addr = addr;
+  im.map_len = len;
+  im.data = static_cast<const std::uint8_t*>(addr);
+  im.size = len;
+  store->is_mmap_ = true;
+#else
+  im.owned = read_file_aligned(path, &im.size);
+  im.data = reinterpret_cast<const std::uint8_t*>(im.owned.data());
+#endif
+  im.parse(*store, opts);
+  return store;
+}
+
+std::shared_ptr<const ModelStore> ModelStore::from_bytes(
+    std::vector<std::uint8_t> bytes, const StoreOptions& opts) {
+  std::shared_ptr<ModelStore> store(new ModelStore());
+  store->impl_ = std::make_unique<Impl>();
+  Impl& im = *store->impl_;
+  // Copy into a u64-backed buffer: the format requires 8-byte alignment
+  // of the image base and a vector<uint8_t> does not guarantee it.
+  im.owned.resize((bytes.size() + 7) / 8);
+  if (!bytes.empty())
+    std::memcpy(im.owned.data(), bytes.data(), bytes.size());
+  im.data = reinterpret_cast<const std::uint8_t*>(im.owned.data());
+  im.size = bytes.size();
+  im.parse(*store, opts);
+  return store;
+}
+
+CompiledRepository::StoreView ModelStore::compiled_view(
+    const DistanceConfig& dc) const {
+  if (dc.alphabet != alphabet_)
+    fail("scan alphabet does not match the store's (re-pack the store)");
+  const Impl& im = *impl_;
+  const StringTableRef& st = im.scan_tab(alphabet_);
+  CompiledRepository::StoreView v;
+  v.dc = dc;
+  v.tokens = {st.blob, st.off,      im.weight, im.cls,
+              im.probe, im.probe_mask, st.count};
+  v.models = im.models;
+  v.unique_elements = unique_elements_;
+  return v;
+}
+
+std::vector<ml::FeatureVector> ModelStore::triage_vectors() const {
+  std::vector<ml::FeatureVector> out(num_models());
+  for (std::size_t g = 0; g < out.size(); ++g) {
+    const Impl::ModelRef r = impl_->refs[g];
+    const double* t = impl_->shards[r.shard].triage + 9 * std::uint64_t{r.local};
+    out[g].assign(t, t + 9);
+  }
+  return out;
+}
+
+std::vector<Family> ModelStore::model_families() const {
+  return families_;
+}
+
+std::vector<AttackModel> ModelStore::unpack() const {
+  const Impl& im = *impl_;
+  std::vector<AttackModel> out(num_models());
+  for (std::size_t g = 0; g < out.size(); ++g) {
+    const Impl::ModelRef r = im.refs[g];
+    const ShardRef& sh = im.shards[r.shard];
+    AttackModel& m = out[g];
+    m.name = std::string(sh.name(r.local));
+    m.family = sh.family;
+    const std::uint32_t es = sh.elem_start[r.local];
+    const std::uint32_t n = sh.elem_start[r.local + 1] - es;
+    m.sequence.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint64_t e = std::uint64_t{es} + i;
+      CstBbsElement& el = m.sequence[i];
+      el.block = static_cast<cfg::BlockId>(sh.block[e]);
+      el.first_cycle = sh.first_cycle[e];
+      el.cst.before.ao = sh.cst[4 * e];
+      el.cst.before.io = sh.cst[4 * e + 1];
+      el.cst.after.ao = sh.cst[4 * e + 2];
+      el.cst.after.io = sh.cst[4 * e + 3];
+      el.norm_instrs.reserve(sh.norm_off[e + 1] - sh.norm_off[e]);
+      for (std::uint32_t t = sh.norm_off[e]; t < sh.norm_off[e + 1]; ++t)
+        el.norm_instrs.emplace_back(im.norm_tab.str(sh.norm_ids[t]));
+      el.sem_tokens.reserve(sh.sem_off[e + 1] - sh.sem_off[e]);
+      for (std::uint32_t t = sh.sem_off[e]; t < sh.sem_off[e + 1]; ++t)
+        el.sem_tokens.emplace_back(im.sem_tab.str(sh.sem_ids[t]));
+    }
+  }
+  return out;
+}
+
+StoreInfo ModelStore::info() const {
+  const Impl& im = *impl_;
+  StoreInfo out;
+  out.version = kVersion;
+  out.alphabet = alphabet_;
+  out.file_bytes = im.size;
+  out.model_count = static_cast<std::uint32_t>(num_models());
+  out.unique_elements = unique_elements_;
+  out.norm_tokens = im.norm_tab.count;
+  out.sem_tokens = im.sem_tab.count;
+  out.shard_count = im.shards.size();
+  out.checksums_verified = im.checksums_verified;
+  for (const SectionRec& s : im.sections) {
+    StoreSectionInfo si;
+    si.name = section_kind_name(s.kind);
+    si.kind = s.kind;
+    si.shard_family = s.kind == kSecShard ? static_cast<Family>(s.family)
+                                          : Family::kCount;
+    si.offset = s.offset;
+    si.bytes = s.bytes;
+    si.checksum = s.checksum;
+    if (s.kind == kSecShard) {
+      for (const ShardRef& sh : im.shards)
+        if (sh.family == si.shard_family) si.shard_models = sh.model_count;
+    }
+    out.sections.push_back(std::move(si));
+  }
+  return out;
+}
+
+}  // namespace scag::core

@@ -1,0 +1,174 @@
+// scag-store-v1: the zero-copy model store.
+//
+// The text repository format (core/serialize.h) is the interchange/debug
+// path: line-oriented, human-diffable, hex-exact floats. But every process
+// that loads it pays parse + compile (token interning, SoA layout, feature
+// precompute) before the first target can be scanned — a startup tax that
+// dominates short-lived invocations and is paid N times by N workers. The
+// store fixes this by making the on-disk format BE the compiled
+// representation:
+//
+//   file      := header | section table | sections...
+//   header    := magic "SCAGSTR1", version, endianness probe, IEEE-754
+//                double probe, scan alphabet, model/unique-element counts,
+//                file size, FNV-1a header checksum          (64 bytes)
+//   sections  := norm-token strings | sem-token strings | token meta
+//                (weights + semantic classes) | token probe table (open
+//                addressing, FNV-1a + linear probe) | one SHARD per attack
+//                family
+//   shard     := model names + enrollment-order directory + flat SoA
+//                element arrays (block ids, cycles, Cst doubles, token-id
+//                spans for BOTH alphabets, global dedup ids, per-element
+//                envelope features) + per-model envelope scalars + the
+//                9-dim k-NN triage vectors
+//
+// Every section is 64-byte aligned and independently FNV-1a checksummed;
+// all integers are fixed-width and the header probes reject a foreign
+// endianness or double layout instead of misreading it. A scan process
+// mmaps the file read-only and Detector/BatchDetector scan directly out
+// of the mapping — zero parse, zero compile, zero per-worker copies (N
+// processes share one page-cache mapping). Token and dedup id spaces are
+// global (first occurrence in enrollment order), so appending a family's
+// new mutants at the end of the text repository and re-packing leaves
+// every other family's shard byte-identical — the incremental-update
+// story is "re-emit one shard".
+//
+// Invariants (tests/test_store.cpp, tests/differential_scan.h):
+//   - pack -> unpack round-trips the text format bit-exactly;
+//   - packing a fixed corpus is byte-deterministic;
+//   - a store-backed scan is verdict/best-score/winner BIT-IDENTICAL to
+//     the text-loaded scan on every kernel and thread count;
+//   - a hostile or truncated store never crashes the reader: every
+//     section offset/length/alignment, every id, every offset table, and
+//     the model directory permutation are validated at open() before any
+//     typed pointer is formed (FuzzStore feeds mutated bytes).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/compiled.h"
+#include "core/family.h"
+#include "core/model.h"
+#include "ml/features.h"
+
+namespace scag::core {
+
+/// Malformed, corrupt, truncated, or version-mismatched store data, and
+/// store I/O failures. Terminal: retrying will not help (unlike IoError).
+class StoreError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct StoreOptions {
+  /// Re-hash every section payload against its checksum at open. The
+  /// structural validation (offsets, ids, permutations) always runs; the
+  /// full hash costs one pass over the file, so the scan hot path leaves
+  /// it off and `scagctl repo info` / `repo unpack` turn it on.
+  bool verify_checksums = false;
+};
+
+struct StoreSectionInfo {
+  std::string name;        // "norm-strings", "shard", ...
+  std::uint32_t kind = 0;
+  Family shard_family = Family::kCount;  // kCount for global sections
+  std::uint32_t shard_models = 0;        // shard sections only
+  std::uint64_t offset = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t checksum = 0;
+};
+
+/// Header + directory dump for `scagctl repo info`.
+struct StoreInfo {
+  std::uint32_t version = 0;
+  IsAlphabet alphabet = IsAlphabet::kFullTokens;
+  std::uint64_t file_bytes = 0;
+  std::uint32_t model_count = 0;
+  std::uint32_t unique_elements = 0;
+  std::uint32_t norm_tokens = 0;
+  std::uint32_t sem_tokens = 0;
+  std::size_t shard_count = 0;
+  bool checksums_verified = false;
+  std::vector<StoreSectionInfo> sections;
+};
+
+/// An open scag-store-v1 image: an mmap of the file (or an owned,
+/// 8-aligned byte buffer for in-memory use) plus the validated typed
+/// directory over it. Immutable and safe to share across threads; keep
+/// the shared_ptr alive as long as any view into it is used —
+/// Detector::attach_store holds one for exactly that reason.
+class ModelStore {
+ public:
+  /// Maps `path` read-only and validates the image (see StoreOptions).
+  /// Throws StoreError on I/O failure or any validation failure.
+  static std::shared_ptr<const ModelStore> open(const std::string& path,
+                                                const StoreOptions& opts = {});
+  /// Same validation over an in-memory image (tests, fuzzing, benches).
+  static std::shared_ptr<const ModelStore> from_bytes(
+      std::vector<std::uint8_t> bytes, const StoreOptions& opts = {});
+
+  ModelStore(const ModelStore&) = delete;
+  ModelStore& operator=(const ModelStore&) = delete;
+  ~ModelStore();
+
+  std::size_t num_models() const { return names_.size(); }
+  std::string_view model_name(std::size_t j) const { return names_[j]; }
+  Family model_family(std::size_t j) const { return families_[j]; }
+  IsAlphabet alphabet() const { return alphabet_; }
+  std::uint32_t unique_elements() const { return unique_elements_; }
+  /// True when backed by a real file mapping (false for from_bytes).
+  bool mapped() const { return is_mmap_; }
+
+  /// The zero-copy compiled form: token tables and per-model views
+  /// pointing straight into the mapping. `dc.alphabet` must equal
+  /// alphabet() (the compiled form is alphabet-specific); throws
+  /// StoreError otherwise.
+  CompiledRepository::StoreView compiled_view(const DistanceConfig& dc) const;
+
+  /// Precomputed 9-dim triage vectors / families in enrollment order, for
+  /// ScanIndex::load.
+  std::vector<ml::FeatureVector> triage_vectors() const;
+  std::vector<Family> model_families() const;
+
+  /// Materializes the text-form models (enrollment order). The inverse of
+  /// pack: unpack(pack(models)) == models bit-exactly.
+  std::vector<AttackModel> unpack() const;
+
+  StoreInfo info() const;
+
+ private:
+  ModelStore() = default;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+
+  // Hot-path directory, filled by validation.
+  std::vector<std::string_view> names_;
+  std::vector<Family> families_;
+  IsAlphabet alphabet_ = IsAlphabet::kFullTokens;
+  std::uint32_t unique_elements_ = 0;
+  bool is_mmap_ = false;
+};
+
+/// True when `path` exists and starts with the scag-store-v1 magic (the
+/// sniff scagctl uses to accept either repository format for `scan`).
+bool is_store_file(const std::string& path);
+
+/// Compiles `models` (in enrollment order, exactly as Detector::enroll
+/// would) and serializes the compiled form. Deterministic: identical
+/// models + config produce identical bytes. Throws StoreError on
+/// duplicate model names or out-of-range families.
+std::vector<std::uint8_t> pack_store_bytes(
+    const std::vector<AttackModel>& models, const DistanceConfig& dc);
+
+/// pack_store_bytes + atomic write (temp file + rename, like
+/// save_models_to_file). Throws StoreError on I/O failure.
+void pack_store(const std::string& path,
+                const std::vector<AttackModel>& models,
+                const DistanceConfig& dc);
+
+}  // namespace scag::core

@@ -42,6 +42,7 @@
 #include "core/batch_detector.h"
 #include "core/detector.h"
 #include "core/dtw.h"
+#include "core/store.h"
 
 namespace scag::testutil {
 
@@ -163,6 +164,72 @@ inline void run_differential_matrix(
   detector.set_use_compiled(saved_compiled);
   detector.set_use_index(saved_index);
   detector.set_use_simd(saved_simd);
+}
+
+/// A store-backed twin of `detector`: its repository packed to
+/// scag-store-v1 bytes, re-opened (with checksum verification), and
+/// attached to a fresh Detector with the same configs and threshold. The
+/// twin scans straight out of the store image; the zero-copy contract
+/// says its Detections are bit-identical to the original's.
+inline core::Detector store_backed_clone(const core::Detector& detector) {
+  core::StoreOptions opts;
+  opts.verify_checksums = true;
+  std::shared_ptr<const core::ModelStore> store = core::ModelStore::from_bytes(
+      core::pack_store_bytes(detector.repository(),
+                             detector.dtw_config().distance),
+      opts);
+  core::Detector twin(detector.builder().config(), detector.dtw_config(),
+                      detector.threshold());
+  twin.attach_store(std::move(store));
+  return twin;
+}
+
+/// The store-backed differential axis: oracle Detections come from the
+/// text-enrolled `detector` (exhaustive string kernel), candidates from a
+/// store-backed twin across serial + batch paths, both kernels, scalar
+/// and SIMD DPs, index off and on, at every thread count. One call proves
+/// the tentpole invariant — mmap-backed scans bit-identical to
+/// text-loaded scans — for one corpus.
+inline void run_store_differential_matrix(
+    const core::Detector& detector, const std::vector<core::CstBbs>& targets,
+    const std::string& label,
+    const std::vector<std::size_t>& thread_counts = {1, 2, 8}) {
+  std::vector<core::Detection> oracles;
+  oracles.reserve(targets.size());
+  for (const core::CstBbs& t : targets)
+    oracles.push_back(exhaustive_oracle(detector, t));
+
+  core::Detector twin = store_backed_clone(detector);
+  for (bool use_index : {false, true}) {
+    twin.set_use_index(use_index);
+    for (bool compiled : {false, true}) {
+      twin.set_use_compiled(compiled);
+      for (bool simd : {false, true}) {
+        twin.set_use_simd(simd);
+        const std::string serial_label =
+            label + "/store-serial" + (use_index ? "+index" : "+exhaustive") +
+            (compiled ? "+compiled" : "+string") + (simd ? "+simd" : "+scalar");
+        for (std::size_t i = 0; i < targets.size(); ++i)
+          expect_detection_equivalent(
+              oracles[i], twin.scan(targets[i]),
+              serial_label + "/target" + std::to_string(i));
+
+        for (std::size_t threads : thread_counts) {
+          core::BatchConfig config;
+          config.threads = threads;
+          config.index = use_index;
+          const core::BatchDetector batch(twin, config);
+          const std::vector<core::Detection> got = batch.scan_all(targets);
+          ASSERT_EQ(got.size(), targets.size());
+          const std::string batch_label = serial_label + "/batch-t" +
+                                          std::to_string(threads) + "/target";
+          for (std::size_t i = 0; i < targets.size(); ++i)
+            expect_detection_equivalent(oracles[i], got[i],
+                                        batch_label + std::to_string(i));
+        }
+      }
+    }
+  }
 }
 
 }  // namespace scag::testutil

@@ -14,6 +14,7 @@
 //     thresholds (FuzzSimd).
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "core/dtw_wavefront.h"
 #include "core/model.h"
 #include "core/serialize.h"
+#include "core/store.h"
 #include "cpu/interpreter.h"
 #include "eval/experiments.h"
 #include "isa/assembler.h"
@@ -241,6 +243,66 @@ TEST(FuzzSerialize, MutatedRepositoriesNeverCrashTheLoader) {
   // rejected, but e.g. whitespace-only edits still load.
   EXPECT_GT(rejected, 0);
   EXPECT_EQ(loaded_ok + rejected, 400);
+}
+
+// Feeds mutated scag-store-v1 images to the binary reader (core/store.h):
+// every mutation of a valid store must either be rejected with StoreError
+// at from_bytes or yield a store that attaches and scans without crashing
+// — a mutant that slips through structural validation (checksums off) may
+// legally change scores, never memory safety. Seed-replayable like every
+// FuzzSeeds case (SCAG_TEST_SEED + Replay instantiation).
+TEST_P(FuzzSeeds, MutatedStoresNeverCrashTheReader) {
+  const core::Detector source = eval::make_scaguard(
+      {core::Family::kFlushReload, core::Family::kPrimeProbe});
+  static const std::vector<std::uint8_t> base = core::pack_store_bytes(
+      source.repository(), source.dtw_config().distance);
+  const core::CstBbs probe =
+      core::ModelBuilder().build(attacks::fr_iaik()).sequence;
+
+  Rng rng(GetParam() + 0x570123);
+  int accepted = 0, rejected = 0;
+  for (int iter = 0; iter < 120; ++iter) {
+    std::vector<std::uint8_t> bytes = base;
+    const std::size_t n_mutations = 1 + rng.below(4);
+    for (std::size_t m = 0; m < n_mutations && !bytes.empty(); ++m) {
+      const std::size_t pos =
+          static_cast<std::size_t>(rng.below(bytes.size()));
+      switch (rng.below(4)) {
+        case 0:  // flip bits in one byte
+          bytes[pos] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+          break;
+        case 1:  // truncate
+          bytes.resize(pos);
+          break;
+        case 2:  // insert a byte (shifts every section after it)
+          bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                       static_cast<std::uint8_t>(rng.below(256)));
+          break;
+        case 3:  // overwrite an aligned u64 — offsets, counts, checksums
+          if (bytes.size() >= 8) {
+            const std::uint64_t v = rng.next();
+            const std::size_t at = (pos / 8) * 8;
+            if (at + 8 <= bytes.size()) std::memcpy(bytes.data() + at, &v, 8);
+          }
+          break;
+      }
+    }
+    core::StoreOptions opts;
+    opts.verify_checksums = rng.below(4) == 0;
+    try {
+      const auto store = core::ModelStore::from_bytes(std::move(bytes), opts);
+      core::Detector twin(core::ModelConfig{}, source.dtw_config(),
+                          source.threshold());
+      twin.attach_store(store);
+      const core::Detection det = twin.scan(probe);
+      EXPECT_EQ(det.scores.size(), store->num_models());
+      ++accepted;
+    } catch (const core::StoreError&) {
+      ++rejected;  // the only acceptable failure mode
+    }
+  }
+  EXPECT_GT(rejected, 0) << "mutations never tripped the validator";
+  EXPECT_EQ(accepted + rejected, 120);
 }
 
 // Differential fuzz for the scan cascade (core/scan_index.h): random

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <sys/stat.h>
 #include <sys/wait.h>
@@ -217,6 +218,18 @@ std::string slurp(const std::string& path) {
   return s;
 }
 
+std::string slurp_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
 TEST_F(ScagctlCli, ExplainCommandPrintsEvidenceAndWritesJson) {
   const std::string json = ::testing::TempDir() + "scag_cli_explain_" +
                            std::to_string(getpid()) + ".json";
@@ -282,6 +295,119 @@ TEST_F(ScagctlCli, ExplainWithoutArgsIsUsageError) {
   EXPECT_EQ(r.exit_code, 2) << r.output;
   EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
   EXPECT_NE(r.output.find("scagctl explain"), std::string::npos) << r.output;
+}
+
+// ---------------------------------------------------------------------------
+// scag-store-v1 surfaces: scagctl repo pack / unpack / info, and scan
+// accepting either repository format (docs/scan_architecture.md).
+
+/// A per-test store packed from the shared fixture repository. Removed in
+/// the destructor; tests mutate their own copy freely.
+struct TempStore {
+  std::string path;
+  explicit TempStore(const std::string& repo, const std::string& tag) {
+    path = ::testing::TempDir() + "scag_cli_" + tag + "_" +
+           std::to_string(getpid()) + ".store";
+    std::remove(path.c_str());
+    const RunResult r =
+        run_scagctl("repo pack '" + repo + "' '" + path + "'");
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+  }
+  ~TempStore() { std::remove(path.c_str()); }
+};
+
+TEST_F(ScagctlCli, RepoPackInfoUnpackRoundTrip) {
+  const TempStore store(*repo_, "rt");
+  const RunResult info = run_scagctl("repo info '" + store.path + "'");
+  EXPECT_EQ(info.exit_code, 0) << info.output;
+  EXPECT_NE(info.output.find("scag-store-v1"), std::string::npos)
+      << info.output;
+  EXPECT_NE(info.output.find("checksums OK"), std::string::npos)
+      << info.output;
+  EXPECT_NE(info.output.find("shard"), std::string::npos) << info.output;
+
+  // unpack recovers the text form bit-exactly.
+  const std::string back = ::testing::TempDir() + "scag_cli_back_" +
+                           std::to_string(getpid()) + ".repo";
+  std::remove(back.c_str());
+  const RunResult unpack =
+      run_scagctl("repo unpack '" + store.path + "' '" + back + "'");
+  EXPECT_EQ(unpack.exit_code, 0) << unpack.output;
+  EXPECT_EQ(slurp(back), slurp(*repo_))
+      << "unpack(pack(repo)) must equal the original text repository";
+  std::remove(back.c_str());
+}
+
+TEST_F(ScagctlCli, ScanAcceptsStoreAndMatchesTextVerdict) {
+  const TempStore store(*repo_, "scan");
+  const RunResult from_store =
+      run_scagctl("scan '" + store.path + "' '" + *target_ + "'");
+  const RunResult from_text =
+      run_scagctl("scan '" + *repo_ + "' '" + *target_ + "'");
+  EXPECT_EQ(from_store.exit_code, from_text.exit_code) << from_store.output;
+  EXPECT_NE(from_store.output.find("scag-store-v1"), std::string::npos)
+      << "store-backed scan should announce the format:\n"
+      << from_store.output;
+  // The scan report (everything from the table header on) is identical;
+  // only the "repository:" banner differs.
+  const std::size_t a = from_store.output.find("Scan report");
+  const std::size_t b = from_text.output.find("Scan report");
+  ASSERT_NE(a, std::string::npos) << from_store.output;
+  ASSERT_NE(b, std::string::npos) << from_text.output;
+  EXPECT_EQ(from_store.output.substr(a), from_text.output.substr(b));
+}
+
+TEST_F(ScagctlCli, RepoInfoOnTextRepositoryIsOneCleanError) {
+  const RunResult r = run_scagctl("repo info '" + *repo_ + "'", "",
+                                  /*stderr_only=*/true);
+  expect_clean_one_line_error(r, "info on text repo");
+}
+
+TEST_F(ScagctlCli, TruncatedStoreIsOneCleanError) {
+  const TempStore store(*repo_, "trunc");
+  // Chop the image mid-section: everything structural after the header is
+  // gone, so both the audit path and the scan path must reject cleanly.
+  std::string bytes = slurp_bytes(store.path);
+  ASSERT_GT(bytes.size(), 100u);
+  write_bytes(store.path, bytes.substr(0, 100));
+  expect_clean_one_line_error(
+      run_scagctl("repo info '" + store.path + "'", "", /*stderr_only=*/true),
+      "info on truncated store");
+  expect_clean_one_line_error(
+      run_scagctl("scan '" + store.path + "' '" + *target_ + "'", "",
+                  /*stderr_only=*/true),
+      "scan on truncated store");
+}
+
+TEST_F(ScagctlCli, VersionMismatchedStoreIsOneCleanError) {
+  const TempStore store(*repo_, "ver");
+  // The version field is the u32 at byte 8; a reader from this build must
+  // name the unsupported version, not report a checksum failure (version
+  // is checked before the header hash for exactly this diagnostic).
+  std::string bytes = slurp_bytes(store.path);
+  ASSERT_GT(bytes.size(), 12u);
+  bytes[8] = 0x63;
+  write_bytes(store.path, bytes);
+  const RunResult r = run_scagctl("repo info '" + store.path + "'", "",
+                                  /*stderr_only=*/true);
+  expect_clean_one_line_error(r, "version-mismatched store");
+  EXPECT_NE(r.output.find("version"), std::string::npos)
+      << "diagnostic should name the version mismatch:\n"
+      << r.output;
+}
+
+TEST_F(ScagctlCli, RepoPackMissingInputIsOneCleanError) {
+  const RunResult r = run_scagctl(
+      "repo pack /no/such/dir/missing.repo /no/such/dir/out.store", "",
+      /*stderr_only=*/true);
+  expect_clean_one_line_error(r, "pack missing input");
+}
+
+TEST_F(ScagctlCli, RepoWithoutSubcommandIsUsageError) {
+  const RunResult r = run_scagctl("repo");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("repo pack"), std::string::npos) << r.output;
 }
 
 }  // namespace

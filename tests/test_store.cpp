@@ -1,0 +1,442 @@
+// Suite for the zero-copy model store (core/store.h, scag-store-v1).
+//
+// Four concerns:
+//   - Fidelity: pack -> unpack round-trips the text format bit-exactly
+//     (asserted through save_models_to_string equality), packing is
+//     byte-deterministic, and pack(unpack(bytes)) == bytes.
+//   - Equivalence: a store-backed Detector produces Detections
+//     bit-identical to the text-enrolled one on every scan path — the
+//     run_store_differential_matrix harness sweeps serial/batch, both
+//     kernels, scalar/SIMD DPs, index on/off, threads {1, 2, 8}.
+//   - Shard stability: appending one family's new mutant re-emits only
+//     that family's shard; every other shard stays byte-identical
+//     (checksums compare equal), which is the incremental-update story.
+//   - Hostility: a mutated, truncated, or version-bumped store image is
+//     rejected with StoreError at open — every rejection path in the
+//     validator battery below, plus the seed-replayable FuzzStore case in
+//     test_fuzz.cpp — and never crashes or attaches.
+#include <gtest/gtest.h>
+
+#include "differential_scan.h"
+#include "seed_util.h"
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "attacks/registry.h"
+#include "benign/registry.h"
+#include "core/batch_detector.h"
+#include "core/detector.h"
+#include "core/serialize.h"
+#include "core/store.h"
+#include "mutation/mutator.h"
+#include "support/rng.h"
+
+namespace scag::core {
+namespace {
+
+/// One representative PoC per attack family plus a mutant — small enough
+/// to pack in microseconds, rich enough to cover all four shards and the
+/// dedup/token sharing paths.
+std::vector<AttackModel> corpus_models() {
+  const ModelBuilder builder;
+  const attacks::PocConfig poc;
+  std::vector<AttackModel> models;
+  for (const char* name :
+       {"FR-IAIK", "PP-IAIK", "Spectre-FR-Ideal", "Spectre-PP-Trippel"}) {
+    const attacks::PocSpec& spec = attacks::poc_by_name(name);
+    models.push_back(builder.build(spec.build(poc), spec.family));
+    models.back().name = name;
+  }
+  Rng rng(11);
+  models.push_back(
+      builder.build(mutation::mutate(attacks::fr_iaik(poc), rng),
+                    Family::kFlushReload));
+  models.back().name = "FR-IAIK-mut";
+  return models;
+}
+
+Detector enrolled_detector(const std::vector<AttackModel>& models,
+                           double threshold = 0.45) {
+  Detector detector(ModelConfig{}, calibrated_dtw_config(), threshold);
+  for (const AttackModel& m : models) detector.enroll(m);
+  return detector;
+}
+
+std::vector<CstBbs> corpus_targets() {
+  const ModelBuilder builder;
+  const attacks::PocConfig poc;
+  std::vector<CstBbs> targets;
+  for (const char* name : {"FR-IAIK", "PP-Jzhang"})
+    targets.push_back(
+        builder.build(attacks::poc_by_name(name).build(poc)).sequence);
+  Rng benign_rng(99);
+  targets.push_back(builder.build(benign::aes_ttables(benign_rng)).sequence);
+  targets.push_back(CstBbs{});
+  return targets;
+}
+
+DistanceConfig scan_distance() { return calibrated_dtw_config().distance; }
+
+// ---------------------------------------------------------------------------
+// Fidelity
+
+TEST(StoreRoundTrip, UnpackReproducesTextFormBitExactly) {
+  const std::vector<AttackModel> models = corpus_models();
+  const std::vector<std::uint8_t> bytes =
+      pack_store_bytes(models, scan_distance());
+  StoreOptions opts;
+  opts.verify_checksums = true;
+  const auto store = ModelStore::from_bytes(bytes, opts);
+  ASSERT_EQ(store->num_models(), models.size());
+  // The text serializer writes floats as exact bit patterns, so string
+  // equality of the serialized forms IS bit equality of the models.
+  EXPECT_EQ(save_models_to_string(store->unpack()),
+            save_models_to_string(models));
+  for (std::size_t j = 0; j < models.size(); ++j) {
+    EXPECT_EQ(store->model_name(j), models[j].name);
+    EXPECT_EQ(store->model_family(j), models[j].family);
+  }
+}
+
+TEST(StoreRoundTrip, PackIsByteDeterministicAndIdempotent) {
+  const std::vector<AttackModel> models = corpus_models();
+  const std::vector<std::uint8_t> once =
+      pack_store_bytes(models, scan_distance());
+  const std::vector<std::uint8_t> twice =
+      pack_store_bytes(models, scan_distance());
+  EXPECT_EQ(once, twice) << "packing the same corpus twice diverged";
+  const auto store = ModelStore::from_bytes(once);
+  EXPECT_EQ(pack_store_bytes(store->unpack(), scan_distance()), once)
+      << "pack(unpack(bytes)) != bytes";
+}
+
+TEST(StoreRoundTrip, BothAlphabetsRoundTrip) {
+  const std::vector<AttackModel> models = corpus_models();
+  for (IsAlphabet alphabet :
+       {IsAlphabet::kFullTokens, IsAlphabet::kSemanticWeighted}) {
+    DistanceConfig dc;
+    dc.alphabet = alphabet;
+    const auto store = ModelStore::from_bytes(pack_store_bytes(models, dc));
+    EXPECT_EQ(store->alphabet(), alphabet);
+    EXPECT_EQ(save_models_to_string(store->unpack()),
+              save_models_to_string(models));
+  }
+}
+
+TEST(StoreRoundTrip, EmptyRepositoryPacks) {
+  const auto store =
+      ModelStore::from_bytes(pack_store_bytes({}, scan_distance()));
+  EXPECT_EQ(store->num_models(), 0u);
+  EXPECT_TRUE(store->unpack().empty());
+  EXPECT_EQ(store->info().shard_count, 0u);
+}
+
+TEST(StoreRoundTrip, PackRejectsBadInputs) {
+  std::vector<AttackModel> dup = corpus_models();
+  dup[1].name = dup[0].name;
+  EXPECT_THROW(pack_store_bytes(dup, scan_distance()), StoreError);
+  std::vector<AttackModel> bad_family = corpus_models();
+  bad_family[0].family = Family::kCount;
+  EXPECT_THROW(pack_store_bytes(bad_family, scan_distance()), StoreError);
+}
+
+// ---------------------------------------------------------------------------
+// Shard stability (the incremental-update story)
+
+TEST(StoreShards, AppendingAMutantLeavesOtherShardsByteIdentical) {
+  std::vector<AttackModel> models = corpus_models();
+  const auto before = ModelStore::from_bytes(
+      pack_store_bytes(models, scan_distance()));
+
+  const ModelBuilder builder;
+  Rng rng(23);
+  models.push_back(
+      builder.build(mutation::mutate(attacks::fr_iaik(attacks::PocConfig{}),
+                                     rng),
+                    Family::kFlushReload));
+  models.back().name = "FR-IAIK-mut2";
+  const auto after =
+      ModelStore::from_bytes(pack_store_bytes(models, scan_distance()));
+
+  // The new model only touches the FlushReload shard; every other
+  // family's shard payload must hash identically (global token/dedup ids
+  // are first-occurrence in enrollment order, so an append cannot
+  // renumber anything that came before it).
+  int compared = 0;
+  for (const StoreSectionInfo& b : before->info().sections) {
+    if (b.name != "shard" || b.shard_family == Family::kFlushReload) continue;
+    for (const StoreSectionInfo& a : after->info().sections) {
+      if (a.name != "shard" || a.shard_family != b.shard_family) continue;
+      EXPECT_EQ(a.checksum, b.checksum)
+          << "shard " << family_name(b.shard_family)
+          << " re-emitted by an unrelated append";
+      EXPECT_EQ(a.bytes, b.bytes);
+      ++compared;
+    }
+  }
+  EXPECT_EQ(compared, 3) << "expected three untouched family shards";
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence: the tentpole invariant
+
+TEST(StoreDifferential, StoreBackedScansMatchTextLoadedBitExactly) {
+  const std::vector<AttackModel> models = corpus_models();
+  const std::vector<CstBbs> targets = corpus_targets();
+  for (double threshold : {0.2, 0.45, 0.7}) {
+    const Detector detector = enrolled_detector(models, threshold);
+    testutil::run_store_differential_matrix(
+        detector, targets, "threshold" + std::to_string(threshold));
+  }
+}
+
+TEST(StoreDifferential, ScanIndexLoadMatchesSequentialAdds) {
+  const std::vector<AttackModel> models = corpus_models();
+  const Detector detector = enrolled_detector(models);
+  const Detector twin = testutil::store_backed_clone(detector);
+  // Same scan_order for every target: the bulk-loaded index (precomputed
+  // triage vectors from the store) must equal the sequentially grown one.
+  const DistanceConfig dc = scan_distance();
+  for (const CstBbs& t : corpus_targets()) {
+    const SequenceFeatures tf = compute_sequence_features(t, dc);
+    EXPECT_EQ(detector.scan_index().scan_order(tf, t.size()),
+              twin.scan_index().scan_order(tf, t.size()));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lifetime and freeze semantics
+
+TEST(StoreSemantics, AttachKeepsTheImageAlive) {
+  const std::vector<AttackModel> models = corpus_models();
+  Detector twin(ModelConfig{}, calibrated_dtw_config(), 0.45);
+  {
+    // The only handle to the store goes out of scope; the detector's
+    // shared_ptr must keep the image (and every view into it) valid.
+    auto store = ModelStore::from_bytes(
+        pack_store_bytes(models, scan_distance()));
+    twin.attach_store(std::move(store));
+  }
+  const Detector text = enrolled_detector(models);
+  for (const CstBbs& t : corpus_targets()) {
+    const Detection oracle = testutil::exhaustive_oracle(text, t);
+    testutil::expect_detection_equivalent(oracle, twin.scan(t),
+                                          "attach-keeps-alive");
+  }
+}
+
+TEST(StoreSemantics, StoreBackedDetectorIsFrozen) {
+  std::vector<AttackModel> models = corpus_models();
+  Detector twin(ModelConfig{}, calibrated_dtw_config(), 0.45);
+  twin.attach_store(
+      ModelStore::from_bytes(pack_store_bytes(models, scan_distance())));
+  EXPECT_TRUE(twin.store_backed());
+  EXPECT_THROW(twin.enroll(models[0]), std::logic_error);
+  // Attach is single-shot and requires an empty detector.
+  EXPECT_THROW(twin.attach_store(ModelStore::from_bytes(
+                   pack_store_bytes(models, scan_distance()))),
+               std::logic_error);
+  Detector enrolled = enrolled_detector(models);
+  EXPECT_THROW(enrolled.attach_store(ModelStore::from_bytes(
+                   pack_store_bytes(models, scan_distance()))),
+               std::logic_error);
+}
+
+TEST(StoreSemantics, AlphabetMismatchIsRejected) {
+  DistanceConfig other;
+  other.alphabet = calibrated_dtw_config().distance.alphabet ==
+                           IsAlphabet::kFullTokens
+                       ? IsAlphabet::kSemanticWeighted
+                       : IsAlphabet::kFullTokens;
+  const auto store =
+      ModelStore::from_bytes(pack_store_bytes(corpus_models(), other));
+  Detector detector(ModelConfig{}, calibrated_dtw_config(), 0.45);
+  EXPECT_THROW(detector.attach_store(store), StoreError);
+}
+
+TEST(StoreSemantics, MmapOpenMatchesFromBytes) {
+  namespace fs = std::filesystem;
+  const std::vector<AttackModel> models = corpus_models();
+  const std::vector<std::uint8_t> bytes =
+      pack_store_bytes(models, scan_distance());
+  const fs::path path =
+      fs::temp_directory_path() / "scag_test_store_mmap.store";
+  pack_store(path.string(), models, scan_distance());
+  StoreOptions opts;
+  opts.verify_checksums = true;
+  const auto mapped = ModelStore::open(path.string(), opts);
+  EXPECT_TRUE(mapped->mapped());
+  EXPECT_TRUE(mapped->info().checksums_verified);
+  // The file written by pack_store is the same image from_bytes saw.
+  std::ifstream in(path, std::ios::binary);
+  const std::vector<std::uint8_t> disk(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(disk, bytes);
+  EXPECT_EQ(save_models_to_string(mapped->unpack()),
+            save_models_to_string(models));
+
+  // And a detector scanning out of the real mapping matches the oracle.
+  Detector twin(ModelConfig{}, calibrated_dtw_config(), 0.45);
+  twin.attach_store(mapped);
+  const Detector text = enrolled_detector(models);
+  for (const CstBbs& t : corpus_targets())
+    testutil::expect_detection_equivalent(testutil::exhaustive_oracle(text, t),
+                                          twin.scan(t), "mmap-scan");
+  fs::remove(path);
+}
+
+TEST(StoreSemantics, IsStoreFileSniffsTheMagic) {
+  namespace fs = std::filesystem;
+  const fs::path store_path =
+      fs::temp_directory_path() / "scag_test_store_sniff.store";
+  const fs::path text_path =
+      fs::temp_directory_path() / "scag_test_store_sniff.repo";
+  pack_store(store_path.string(), corpus_models(), scan_distance());
+  save_models_to_file(text_path.string(), corpus_models());
+  EXPECT_TRUE(is_store_file(store_path.string()));
+  EXPECT_FALSE(is_store_file(text_path.string()));
+  EXPECT_FALSE(is_store_file((store_path / "nope").string()));
+  fs::remove(store_path);
+  fs::remove(text_path);
+}
+
+// ---------------------------------------------------------------------------
+// Hostile input: every rejection path, by targeted mutation
+
+using Mutator = void (*)(std::vector<std::uint8_t>&);
+
+void expect_rejected(std::vector<std::uint8_t> bytes, const char* what) {
+  EXPECT_THROW(ModelStore::from_bytes(std::move(bytes)), StoreError) << what;
+}
+
+TEST(StoreHostile, RejectsTruncationsAtEveryBoundary) {
+  const std::vector<std::uint8_t> bytes =
+      pack_store_bytes(corpus_models(), scan_distance());
+  for (std::size_t keep :
+       {std::size_t{0}, std::size_t{7}, std::size_t{63}, std::size_t{64},
+        std::size_t{200}, bytes.size() / 2, bytes.size() - 1}) {
+    expect_rejected({bytes.begin(), bytes.begin() + keep}, "truncation");
+  }
+  // Extension is equally invalid: file_bytes no longer matches.
+  std::vector<std::uint8_t> extended = bytes;
+  extended.push_back(0);
+  expect_rejected(std::move(extended), "extension");
+}
+
+TEST(StoreHostile, RejectsHeaderCorruption) {
+  const std::vector<std::uint8_t> base =
+      pack_store_bytes(corpus_models(), scan_distance());
+  // XOR so the byte is guaranteed to change whatever its current value.
+  const auto mutated = [&](std::size_t at, std::uint8_t flip) {
+    std::vector<std::uint8_t> b = base;
+    b[at] ^= flip;
+    return b;
+  };
+  expect_rejected(mutated(0, 'X'), "bad magic");
+  expect_rejected(mutated(8, 99), "future version");
+  expect_rejected(mutated(12, 0xAA), "endianness probe");
+  expect_rejected(mutated(16, 0xAA), "double-layout probe");
+  expect_rejected(mutated(24, 9), "unknown alphabet");
+  expect_rejected(mutated(32, 0x01), "file size mismatch");
+  expect_rejected(mutated(48, 0xEE), "model count mismatch");
+  expect_rejected(mutated(56, 0x01), "header checksum");
+}
+
+TEST(StoreHostile, RejectsSectionTableAbuse) {
+  const std::vector<std::uint8_t> base =
+      pack_store_bytes(corpus_models(), scan_distance());
+  // Section records start at byte 64: {kind u32, family u32, offset u64,
+  // bytes u64, checksum u64}. The header checksum only covers the first
+  // 56 bytes, so the section table is attacker-controlled unless
+  // validated field by field.
+  const auto patched = [&](std::size_t rec, std::size_t field_off,
+                           std::uint64_t value) {
+    std::vector<std::uint8_t> b = base;
+    std::memcpy(b.data() + 64 + 32 * rec + field_off, &value, 8);
+    return b;
+  };
+  expect_rejected(patched(0, 8, 1u << 30), "offset past the file");
+  expect_rejected(patched(0, 16, 1u << 30), "length past the file");
+  expect_rejected(patched(0, 8, 96), "misaligned section offset");
+  {
+    // Point section 1 at section 0's range: overlap.
+    std::vector<std::uint8_t> b = base;
+    std::memcpy(b.data() + 64 + 32 + 8, b.data() + 64 + 8, 16);
+    expect_rejected(std::move(b), "overlapping sections");
+  }
+  {
+    std::vector<std::uint8_t> b = base;
+    const std::uint32_t bad_kind = 77;
+    std::memcpy(b.data() + 64, &bad_kind, 4);
+    expect_rejected(std::move(b), "unknown section kind");
+  }
+  {
+    // Turn the norm-strings section into a second shard: both "missing
+    // global section" and "shard family" trip.
+    std::vector<std::uint8_t> b = base;
+    const std::uint32_t shard_kind = 5;
+    std::memcpy(b.data() + 64, &shard_kind, 4);
+    expect_rejected(std::move(b), "missing global section");
+  }
+}
+
+TEST(StoreHostile, RejectsPayloadCorruptionUnderChecksums) {
+  const std::vector<std::uint8_t> base =
+      pack_store_bytes(corpus_models(), scan_distance());
+  // Flip the final byte INSIDE a section payload — the file's last bytes
+  // can be alignment padding that no checksum covers.
+  std::uint64_t last_end = 0;
+  for (const StoreSectionInfo& s :
+       ModelStore::from_bytes(base)->info().sections)
+    last_end = std::max(last_end, s.offset + s.bytes);
+  ASSERT_GT(last_end, 0u);
+  std::vector<std::uint8_t> b = base;
+  b[last_end - 1] ^= 0xFF;
+  StoreOptions verify;
+  verify.verify_checksums = true;
+  EXPECT_THROW(ModelStore::from_bytes(std::move(b), verify), StoreError)
+      << "checksum pass must catch payload bit-flips";
+}
+
+TEST(StoreHostile, RejectsNonFiniteTriageFeatures) {
+  // NaN triage features would reach std::sort comparators in ScanIndex —
+  // structural validation must reject them even without checksum
+  // verification. A shard's triage array is its final field, so the last
+  // 8 bytes of the highest-offset shard section are one triage double.
+  const std::vector<std::uint8_t> base =
+      pack_store_bytes(corpus_models(), scan_distance());
+  const auto store = ModelStore::from_bytes(base);
+  std::uint64_t last_off = 0, last_bytes = 0;
+  for (const StoreSectionInfo& s : store->info().sections)
+    if (s.name == "shard" && s.offset > last_off) {
+      last_off = s.offset;
+      last_bytes = s.bytes;
+    }
+  ASSERT_GT(last_bytes, 8u);
+  std::vector<std::uint8_t> b = base;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::memcpy(b.data() + last_off + last_bytes - 8, &nan, 8);
+  expect_rejected(std::move(b), "NaN triage feature");
+}
+
+TEST(StoreHostile, OpenRejectsMissingAndTextFiles) {
+  namespace fs = std::filesystem;
+  EXPECT_THROW(ModelStore::open((fs::temp_directory_path() /
+                                 "scag_no_such_store.store").string()),
+               StoreError);
+  const fs::path text_path =
+      fs::temp_directory_path() / "scag_test_store_notastore.repo";
+  save_models_to_file(text_path.string(), corpus_models());
+  EXPECT_THROW(ModelStore::open(text_path.string()), StoreError);
+  fs::remove(text_path);
+}
+
+}  // namespace
+}  // namespace scag::core

@@ -2,6 +2,12 @@
 //
 //   scagctl list                         known attack PoCs & benign templates
 //   scagctl build-repo <out.repo>        model all PoCs into a repository file
+//   scagctl repo pack <in.repo> <out.store>
+//                                        compile a text repository into the
+//                                        scag-store-v1 zero-copy binary form
+//   scagctl repo unpack <in.store> <out.repo>
+//                                        recover the text form (bit-exact)
+//   scagctl repo info <in.store>         header, directory & checksum audit
 //   scagctl scan [--stats[=out.json]] [--explain=out.json] [--no-compiled]
 //                [--no-index] [--no-simd] <repo> <prog.s>...
 //                                        scan assembly programs against a repo
@@ -39,6 +45,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include <filesystem>
@@ -50,6 +57,7 @@
 #include "core/detector.h"
 #include "core/explain.h"
 #include "core/serialize.h"
+#include "core/store.h"
 #include "cpu/interpreter.h"
 #include "eval/experiments.h"
 #include "isa/assembler.h"
@@ -70,6 +78,9 @@ int usage() {
       "usage: scagctl [--failpoints=<spec>] [--trace=out.json] <command>\n"
       "  scagctl list\n"
       "  scagctl build-repo <out.repo>\n"
+      "  scagctl repo pack <in.repo> <out.store>\n"
+      "  scagctl repo unpack <in.store> <out.repo>\n"
+      "  scagctl repo info <in.store>\n"
       "  scagctl scan [--stats[=out.json]] [--explain=out.json]\n"
       "               [--no-compiled] [--no-index] [--no-simd] <repo>\n"
       "               <prog.s>...\n"
@@ -85,6 +96,9 @@ int usage() {
       "(equivalent to exporting SCAG_FAILPOINTS; see docs/testing-guide.md).\n"
       "--trace records pipeline spans for the whole command and writes them\n"
       "as a Chrome trace-event file (open in Perfetto / chrome://tracing).\n"
+      "`repo pack` compiles a text repository into the scag-store-v1 binary\n"
+      "form; `scan` and `explain` accept either format — stores are mmapped\n"
+      "and scanned zero-copy (see docs/scan_architecture.md).\n"
       "`explain` and `scan --explain=` emit scan evidence reports; see\n"
       "docs/observability.md.\n",
       stderr);
@@ -179,6 +193,19 @@ core::Detector load_detector(const char* repo_path, bool use_compiled,
   detector.set_use_compiled(use_compiled);
   detector.set_use_index(use_index);
   detector.set_use_simd(use_simd);
+  if (core::is_store_file(repo_path)) {
+    // scag-store-v1: mmap the compiled image and scan straight out of it —
+    // no parse, no compile. Structural validation runs at open; checksums
+    // are the `repo info` / `repo unpack` audit path, not the scan path.
+    std::shared_ptr<const core::ModelStore> store =
+        core::ModelStore::open(repo_path);
+    const bool mapped = store->mapped();
+    detector.attach_store(std::move(store));
+    std::printf("repository: %zu models, threshold %s (scag-store-v1, %s)\n\n",
+                detector.repository_size(), pct(detector.threshold()).c_str(),
+                mapped ? "mmap" : "in-memory");
+    return detector;
+  }
   // Bounded retry for transient I/O faults; malformed repositories are
   // terminal on the first attempt (SerializeError is never retried).
   for (core::AttackModel& m :
@@ -187,6 +214,68 @@ core::Detector load_detector(const char* repo_path, bool use_compiled,
   std::printf("repository: %zu models, threshold %s\n\n",
               detector.repository_size(), pct(detector.threshold()).c_str());
   return detector;
+}
+
+int cmd_repo_pack(const char* in_path, const char* out_path) {
+  std::vector<core::AttackModel> models =
+      core::load_models_from_file(in_path, core::RetryPolicy{});
+  core::pack_store(out_path, models, eval::experiment_dtw_config().distance);
+  const std::uintmax_t bytes = std::filesystem::file_size(out_path);
+  std::printf("packed %zu models into %s (%llu bytes, scag-store-v1)\n",
+              models.size(), out_path,
+              static_cast<unsigned long long>(bytes));
+  return 0;
+}
+
+int cmd_repo_unpack(const char* in_path, const char* out_path) {
+  core::StoreOptions opts;
+  opts.verify_checksums = true;
+  const std::vector<core::AttackModel> models =
+      core::ModelStore::open(in_path, opts)->unpack();
+  core::save_models_to_file(out_path, models);
+  std::printf("unpacked %zu models into %s\n", models.size(), out_path);
+  return 0;
+}
+
+int cmd_repo_info(const char* path) {
+  core::StoreOptions opts;
+  opts.verify_checksums = true;
+  const std::shared_ptr<const core::ModelStore> store =
+      core::ModelStore::open(path, opts);
+  const core::StoreInfo info = store->info();
+  std::printf("%s: scag-store-v1 (version %u, %s)\n", path, info.version,
+              store->mapped() ? "mmap" : "in-memory");
+  std::printf("  alphabet        : %s\n",
+              info.alphabet == core::IsAlphabet::kFullTokens
+                  ? "full-tokens"
+                  : "semantic-weighted");
+  std::printf("  models          : %u in %zu family shard(s)\n",
+              info.model_count, info.shard_count);
+  std::printf("  unique elements : %u\n", info.unique_elements);
+  std::printf("  tokens          : %u norm, %u sem\n", info.norm_tokens,
+              info.sem_tokens);
+  std::printf("  file bytes      : %llu\n",
+              static_cast<unsigned long long>(info.file_bytes));
+
+  Table sections("\nSections");
+  sections.header({"Section", "Family", "Models", "Offset", "Bytes",
+                   "Checksum"});
+  for (const core::StoreSectionInfo& s : info.sections) {
+    sections.row({s.name,
+                  s.shard_family == core::Family::kCount
+                      ? "-"
+                      : std::string(core::family_name(s.shard_family)),
+                  s.shard_family == core::Family::kCount
+                      ? "-"
+                      : std::to_string(s.shard_models),
+                  std::to_string(s.offset), std::to_string(s.bytes),
+                  strfmt("%016llx",
+                         static_cast<unsigned long long>(s.checksum))});
+  }
+  sections.print();
+  std::puts(info.checksums_verified ? "checksums OK"
+                                    : "checksums not verified");
+  return 0;
 }
 
 /// JSON array of ScanReports, one per scanned program (the file form of
@@ -404,6 +493,15 @@ int dispatch(int argc, char** argv) {
   if (std::strcmp(argv[1], "list") == 0) return cmd_list();
   if (std::strcmp(argv[1], "build-repo") == 0 && argc == 3)
     return cmd_build_repo(argv[2]);
+  if (std::strcmp(argv[1], "repo") == 0) {
+    if (argc == 5 && std::strcmp(argv[2], "pack") == 0)
+      return cmd_repo_pack(argv[3], argv[4]);
+    if (argc == 5 && std::strcmp(argv[2], "unpack") == 0)
+      return cmd_repo_unpack(argv[3], argv[4]);
+    if (argc == 4 && std::strcmp(argv[2], "info") == 0)
+      return cmd_repo_info(argv[3]);
+    return usage();
+  }
   if (std::strcmp(argv[1], "scan") == 0) {
     int i = 2;
     bool with_stats = false;
