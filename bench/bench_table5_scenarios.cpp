@@ -1,20 +1,57 @@
-// Table V: similarity comparison of the five typical scenarios, printed
-// next to the paper's scores. The shape to check: the attacker-only
-// scenarios all score above 66%, the benign one below 16%, and scores
-// decrease as the compared programs diverge (S1/S2 may tie at our block
-// granularity because our Evict+Reload shares Flush+Reload's reload
-// semantics; see EXPERIMENTS.md).
+// Table V plus the scenario matrix (attack x defense x noise x spy-count).
+//
+// Pass A reproduces Table V (similarity of the paper's five typical
+// scenarios) next to the paper's scores, exactly as before. Pass B runs
+// the full scenario grid of eval/scenario_matrix.h: every designated
+// single-spy PoC and both cooperative multi-spy attacks, against the
+// undefended and the SHARP-defended LLC, across noise levels and spy
+// counts, reporting per-cell detection/classification/recovery rates. Pass
+// C scans each multi-spy cell's INDIVIDUAL spy traces to measure how much
+// attack signature a lone cooperating spy leaks.
+//
+// Every cell verdict is verified against the exhaustive string-kernel scan
+// (and the triage-index scan path) bit for bit; any divergence makes the
+// run exit nonzero, as does a telemetry write failure. The report lands in
+// the scag-bench-v1 envelope (default BENCH_scenarios.json):
+//
+//   bench_table5_scenarios [secrets_per_cell] [out.json] [smoke]
+#include <algorithm>
+#include <bit>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "eval/experiments.h"
+#include "eval/scenario_matrix.h"
 #include "support/table.h"
 
 using namespace scag;
 
-int main() {
-  const double paper[] = {0.9431, 0.8432, 0.7448, 0.6692, 0.1510};
+namespace {
 
+/// The planted secret nibbles, cell-invariant so single-spy/undefended
+/// rows stay comparable across grid shapes. First `secrets_per_cell` used.
+std::vector<std::uint64_t> pick_secrets(std::size_t n) {
+  static constexpr std::uint64_t kPool[] = {5, 12, 3, 9, 14, 7, 2, 11};
+  std::vector<std::uint64_t> out;
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(kPool[i % (sizeof(kPool) / sizeof(kPool[0]))]);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t secrets_per_cell = bench::samples_from_argv(argc, argv, 2);
+  const std::string json_path = argc > 2 ? argv[2] : "BENCH_scenarios.json";
+  const bool smoke = argc > 3 && std::strcmp(argv[3], "smoke") == 0;
+  bench::BenchTelemetry telemetry("table5_scenarios");
+  int failures = 0;
+
+  // ---- Pass A: Table V, unchanged from the pre-matrix bench. -------------
+  const double paper[] = {0.9431, 0.8432, 0.7448, 0.6692, 0.1510};
   std::puts("TABLE V: SIMILARITY COMPARISON OF 5 TYPICAL SCENARIOS");
   const auto rows = eval::run_scenarios();
   Table t;
@@ -22,7 +59,79 @@ int main() {
   for (std::size_t i = 0; i < rows.size(); ++i) {
     t.row({rows[i].id, rows[i].scenario, rows[i].description,
            pct(rows[i].score), pct(paper[i])});
+    telemetry.set("s" + std::to_string(i + 1) + "_score", rows[i].score);
   }
   t.print();
-  return 0;
+
+  // ---- Pass B: the scenario matrix. --------------------------------------
+  const std::vector<eval::ScenarioCell> grid = eval::scenario_grid(smoke);
+  const std::vector<std::uint64_t> secrets = pick_secrets(secrets_per_cell);
+  core::Detector detector = eval::make_scenario_detector();
+
+  std::printf("\nSCENARIO MATRIX (%s grid, %zu cells, %zu secrets/cell)\n",
+              smoke ? "smoke" : "full", grid.size(), secrets.size());
+  Table m;
+  m.header({"Cell", "Detect", "Classify", "Recover", "Score", "Alarms"});
+  bool all_equivalent = true;
+  for (const eval::ScenarioCell& cell : grid) {
+    const eval::CellResult res =
+        eval::run_scenario_cell(detector, cell, secrets);
+    m.row({cell.label(), pct(res.detection_rate),
+           pct(res.classification_rate), pct(res.recovery_rate),
+           pct(res.mean_best_score), std::to_string(res.sharp_alarms)});
+    const std::string key = cell.telemetry_key();
+    telemetry.set(key + "_detect", res.detection_rate);
+    telemetry.set(key + "_classify", res.classification_rate);
+    telemetry.set(key + "_recover", res.recovery_rate);
+    telemetry.set(key + "_score", res.mean_best_score);
+    telemetry.set_u64(key + "_alarms", res.sharp_alarms);
+
+    // Verdict equivalence: the default scan path (compiled + SIMD) that
+    // produced the rates, and the triage-index cascade, must both match
+    // the exhaustive string-kernel ground truth bit for bit.
+    for (std::size_t i = 0; i < res.targets.size(); ++i) {
+      const core::Detection oracle =
+          eval::exhaustive_scan(detector, res.targets[i]);
+      bool ok = eval::detection_equivalent(oracle, res.detections[i]);
+      detector.set_use_index(true);
+      ok = ok &&
+           eval::detection_equivalent(oracle, detector.scan(res.targets[i]));
+      detector.set_use_index(false);
+      if (!ok) {
+        std::printf("DIVERGENCE in cell %s (secret %llu)\n",
+                    cell.label().c_str(),
+                    static_cast<unsigned long long>(secrets[i]));
+        all_equivalent = false;
+        ++failures;
+      }
+    }
+  }
+  m.print();
+  telemetry.set_str("grid", smoke ? "smoke" : "full");
+  telemetry.set_u64("cells", grid.size());
+  telemetry.set_u64("secrets_per_cell", secrets.size());
+  telemetry.set_bool("equivalent", all_equivalent);
+
+  // ---- Pass C: individual spy traces of the multi-spy cells. -------------
+  // The tentpole hypothesis was that a lone cooperating spy's trace drops
+  // below the detection threshold; this pass measures it. Empirically the
+  // signature survives the split (min score ~0.54 > 0.45): CST-BBS matches
+  // behavior, not recovery success. The matrix states that instead of
+  // assuming either way.
+  double min_spy_score = 1.0;
+  for (const eval::ScenarioCell& cell : grid) {
+    if (cell.spies < 2 || cell.noise > 0.0) continue;
+    for (const core::CstBbs& spy_target :
+         eval::run_spy_targets(cell, secrets[0])) {
+      const core::Detection d = detector.scan(spy_target);
+      min_spy_score = std::min(min_spy_score, d.best_score);
+    }
+  }
+  std::printf("\nWeakest individual spy trace score: %s (threshold %s)\n",
+              pct(min_spy_score).c_str(), pct(eval::kThreshold).c_str());
+  telemetry.set("min_spy_score", min_spy_score);
+  telemetry.set_bool("spy_subthreshold", min_spy_score < eval::kThreshold);
+
+  if (!telemetry.write(json_path)) ++failures;
+  return failures > 0 ? 1 : 0;
 }

@@ -176,6 +176,24 @@ if grep -Eq 'terminate|Aborted|Segmentation' build/store_trunc.out; then
 fi
 grep -q 'scagctl: ' build/store_trunc.out
 
+# Scenario-matrix smoke: the full attack x defense x noise x spy-count
+# grid (bench_table5_scenarios) asserts every cell verdict bit-identical
+# to the exhaustive string-kernel scan AND the triage-index path (nonzero
+# exit on divergence). Its scag-bench-v1 report must carry the grid
+# shape, the equivalence bit, the SHARP alarm asymmetry (Prime+Probe
+# trips the defended LLC, Flush+Reload never does), and the lone-spy
+# score floor of the cooperative attacks.
+build/bench/bench_table5_scenarios 2 BENCH_scenarios.json
+grep -q '"schema": "scag-bench-v1"' BENCH_scenarios.json
+grep -Eq '"grid": *"full"' BENCH_scenarios.json
+grep -Eq '"cells": *60' BENCH_scenarios.json
+grep -Eq '"equivalent": *true' BENCH_scenarios.json
+grep -Eq '"pp_iaik__sharp__n0__s1_alarms": *[1-9]' BENCH_scenarios.json
+grep -Eq '"fr_iaik__sharp__n0__s1_alarms": *0' BENCH_scenarios.json
+grep -Eq '"multispy_pp__sharp__n0__s2_detect": *1' BENCH_scenarios.json
+grep -Eq '"multispy_fr__none__n0__s4_recover": *1' BENCH_scenarios.json
+grep -Eq '"min_spy_score": *[0-9]' BENCH_scenarios.json
+
 N="${1:-60}"   # samples per attack type for the bench pass
 for b in build/bench/bench_*; do
   [ -x "$b" ] || continue

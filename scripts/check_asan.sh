@@ -37,7 +37,7 @@ cmake -B "$BUILD" -S . \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build "$BUILD" --target test_serialize test_fuzz test_metrics \
   test_failpoints test_scagctl_cli test_lower_bounds test_scan_index \
-  test_simd_kernel test_store scagctl -j"$(nproc)"
+  test_simd_kernel test_store test_scenarios scagctl -j"$(nproc)"
 
 # Leak detection needs ptrace, which many containers deny; the point here
 # is bounds/UB checking of the parser, metrics, and failure paths (the
@@ -62,4 +62,9 @@ export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1"
 # mapped image and the hostile-input battery walks truncated/corrupted
 # section tables, so any validation gap is an out-of-bounds read here.
 "$BUILD/tests/test_store"
+# The scenario matrix: multi-spy PoC generation, the trace merge's
+# segment rebasing, and the SHARP eviction path all do index arithmetic
+# over concatenated buffers, so off-by-one segment math (and the fuzz
+# suite's FuzzMultiSpy rounds above) would surface here first.
+"$BUILD/tests/test_scenarios"
 echo "ASAN CHECKS PASSED"

@@ -35,7 +35,7 @@ cmake -B "$BUILD" -S . \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build "$BUILD" --target test_parallel_scan test_dtw_properties \
   test_compiled_kernel test_failpoints test_scan_index test_simd_kernel \
-  -j"$(nproc)"
+  test_scenarios -j"$(nproc)"
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 "$BUILD/tests/test_parallel_scan"
@@ -51,4 +51,8 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 # ElementDistanceMemo: the vectorized gather reads cells concurrent scan
 # threads fill through relaxed atomics.
 "$BUILD/tests/test_simd_kernel"
+# The scenario differential battery drives BatchDetector over every grid
+# cell's target at 1/2/8 threads, so the scan pool's work distribution is
+# exercised with real multi-spy traces rather than synthetic corpora.
+"$BUILD/tests/test_scenarios"
 echo "TSAN CHECKS PASSED"

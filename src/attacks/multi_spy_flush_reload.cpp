@@ -1,0 +1,137 @@
+// Cooperative multi-spy Flush+Reload. Each of `num_spies` (2..4) spies
+// timeshares the shared array: spy k flushes and reloads only its
+// contiguous slot share [k*16/n, (k+1)*16/n), voting into the disjoint
+// slots of the common histogram. One spy alone observes (and can recover)
+// at most its share of the nibble space — the full attack only exists in
+// the merged behavior (trace/merge.h), which is exactly the scenario the
+// detector has to survive.
+#include "attacks/registry.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "isa/builder.h"
+
+namespace scag::attacks {
+
+using namespace scag::isa;  // NOLINT: builder DSL
+
+namespace {
+
+/// Same victim as the single-spy FR PoCs: every spy's run includes the
+/// victim touching the slot its secret selects.
+void emit_victim(ProgramBuilder& b, const Layout& lay) {
+  b.label("victim");
+  b.mark_relevant(true);
+  b.mov(reg(Reg::RAX), mem_abs(static_cast<std::int64_t>(lay.secret_addr)));
+  b.imul(reg(Reg::RAX), imm(Layout::kSlotStride));
+  b.mov(reg(Reg::RBX),
+        mem(Reg::RAX, static_cast<std::int64_t>(lay.shared_array)));
+  b.mark_relevant(false);
+  b.ret();
+}
+
+/// Spy-local argmax over the spy's OWN slot share only: the spy cannot
+/// name a slot it never probed. Winner defaults to the first own slot.
+void emit_share_argmax(ProgramBuilder& b, const Layout& lay, int lo, int hi) {
+  b.mov(reg(Reg::RDI), imm(lo));
+  b.mov(reg(Reg::RBX), imm(-1));
+  b.mov(reg(Reg::RDX), imm(lo));
+  b.label("argmax_loop");
+  b.mov(reg(Reg::RAX),
+        mem_idx(Reg::R15, Reg::RDI, 8,
+                static_cast<std::int64_t>(lay.histogram)));
+  b.cmp(reg(Reg::RAX), reg(Reg::RBX));
+  b.jle("argmax_next");
+  b.mov(reg(Reg::RBX), reg(Reg::RAX));
+  b.mov(reg(Reg::RDX), reg(Reg::RDI));
+  b.label("argmax_next");
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(hi));
+  b.jl("argmax_loop");
+  b.mov(mem_abs(static_cast<std::int64_t>(lay.recovered_addr)),
+        reg(Reg::RDX));
+}
+
+}  // namespace
+
+void validate_spy_split(int spy_index, int num_spies) {
+  if (num_spies < 2 || num_spies > 4)
+    throw std::invalid_argument("multi-spy: num_spies must be in [2, 4]");
+  if (spy_index < 0 || spy_index >= num_spies)
+    throw std::invalid_argument("multi-spy: spy_index out of range");
+}
+
+isa::Program multi_spy_flush_reload(const PocConfig& config, int spy_index,
+                                    int num_spies) {
+  validate_spy_split(spy_index, num_spies);
+  const int lo = spy_index * Layout::kNumSlots / num_spies;
+  const int hi = (spy_index + 1) * Layout::kNumSlots / num_spies;
+  const Layout& lay = config.layout;
+  ProgramBuilder b("MultiSpy-FR/spy" + std::to_string(spy_index) + "of" +
+                   std::to_string(num_spies));
+  b.data_word(lay.secret_addr, config.secret);
+
+  // R15 stays 0; it serves as a zero base register for indexed addressing.
+  b.label("main");
+  b.xor_(reg(Reg::R15), reg(Reg::R15));
+  b.mov(reg(Reg::RCX), imm(config.rounds));
+
+  b.label("round_loop");
+  // ---- Flush phase: clflush only this spy's slot share.
+  b.mov(reg(Reg::RDI), imm(lo));
+  b.lea(reg(Reg::RSI),
+        mem_abs(static_cast<std::int64_t>(lay.shared_array) +
+                static_cast<std::int64_t>(lo) * Layout::kSlotStride));
+  b.label("flush_loop");
+  b.mark_relevant(true);
+  b.clflush(mem(Reg::RSI));
+  b.add(reg(Reg::RSI), imm(Layout::kSlotStride));
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(hi));
+  b.jl("flush_loop");
+  b.mark_relevant(false);
+  b.mfence();
+
+  // ---- Victim runs (each spy's timeslice sees one victim activation).
+  b.call("victim");
+
+  // ---- Reload phase: time a load of every own slot.
+  b.mov(reg(Reg::RDI), imm(lo));
+  b.label("reload_loop");
+  b.mark_relevant(true);
+  b.mov(reg(Reg::RAX), reg(Reg::RDI));
+  b.imul(reg(Reg::RAX), imm(Layout::kSlotStride));
+  b.lea(reg(Reg::RSI),
+        mem(Reg::RAX, static_cast<std::int64_t>(lay.shared_array)));
+  b.rdtscp(Reg::R8);
+  b.mov(reg(Reg::RBX), mem(Reg::RSI));
+  b.rdtscp(Reg::R9);
+  b.sub(reg(Reg::R9), reg(Reg::R8));
+  b.cmp(reg(Reg::R9), imm(config.reload_threshold));
+  b.jge("reload_next");
+  // Cache hit: the victim touched this slot -> histogram[slot]++. Shares
+  // are disjoint, so cooperative merging is a plain per-slot sum.
+  b.mov(reg(Reg::RAX),
+        mem_idx(Reg::R15, Reg::RDI, 8,
+                static_cast<std::int64_t>(lay.histogram)));
+  b.inc(reg(Reg::RAX));
+  b.mov(mem_idx(Reg::R15, Reg::RDI, 8,
+                static_cast<std::int64_t>(lay.histogram)),
+        reg(Reg::RAX));
+  b.label("reload_next");
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(hi));
+  b.jl("reload_loop");
+  b.mark_relevant(false);
+
+  b.dec(reg(Reg::RCX));
+  b.jne("round_loop");
+
+  emit_share_argmax(b, lay, lo, hi);
+  b.hlt();
+  emit_victim(b, lay);
+  return b.build();
+}
+
+}  // namespace scag::attacks

@@ -1,0 +1,165 @@
+// Cooperative multi-spy Prime+Probe. Spy k of n primes and probes only the
+// LLC sets of its contiguous slot share [k*16/n, (k+1)*16/n): each spy's
+// trace contains a fraction of a full Prime+Probe sweep, the merged trace
+// (trace/merge.h) the whole attack. Calibration walks the spy's own first
+// slot, so every spy stays self-contained.
+#include "attacks/registry.h"
+
+#include <string>
+
+#include "isa/builder.h"
+
+namespace scag::attacks {
+
+using namespace scag::isa;  // NOLINT: builder DSL
+
+// Defined in multi_spy_flush_reload.cpp (shared spy-split validation).
+void validate_spy_split(int spy_index, int num_spies);
+
+namespace {
+
+constexpr int kWays = 16;  // default LLC associativity
+constexpr int kProbeMargin = 100;
+
+/// Victim for the PP family: touches its private array (congruent LLC sets
+/// with the attacker's prime region) at the slot its secret selects.
+void emit_pp_victim(ProgramBuilder& b, const Layout& lay) {
+  b.label("victim");
+  b.mark_relevant(true);
+  b.mov(reg(Reg::RAX), mem_abs(static_cast<std::int64_t>(lay.secret_addr)));
+  b.imul(reg(Reg::RAX), imm(Layout::kSlotStride));
+  b.mov(reg(Reg::RBX),
+        mem(Reg::RAX, static_cast<std::int64_t>(lay.victim_array)));
+  b.mark_relevant(false);
+  b.ret();
+}
+
+void emit_share_argmax(ProgramBuilder& b, const Layout& lay, int lo, int hi) {
+  b.mov(reg(Reg::RDI), imm(lo));
+  b.mov(reg(Reg::RBX), imm(-1));
+  b.mov(reg(Reg::RDX), imm(lo));
+  b.label("argmax_loop");
+  b.mov(reg(Reg::RAX),
+        mem_idx(Reg::R15, Reg::RDI, 8,
+                static_cast<std::int64_t>(lay.histogram)));
+  b.cmp(reg(Reg::RAX), reg(Reg::RBX));
+  b.jle("argmax_next");
+  b.mov(reg(Reg::RBX), reg(Reg::RAX));
+  b.mov(reg(Reg::RDX), reg(Reg::RDI));
+  b.label("argmax_next");
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(hi));
+  b.jl("argmax_loop");
+  b.mov(mem_abs(static_cast<std::int64_t>(lay.recovered_addr)),
+        reg(Reg::RDX));
+}
+
+}  // namespace
+
+isa::Program multi_spy_prime_probe(const PocConfig& config, int spy_index,
+                                   int num_spies) {
+  validate_spy_split(spy_index, num_spies);
+  const int lo = spy_index * Layout::kNumSlots / num_spies;
+  const int hi = (spy_index + 1) * Layout::kNumSlots / num_spies;
+  const Layout& lay = config.layout;
+  ProgramBuilder b("MultiSpy-PP/spy" + std::to_string(spy_index) + "of" +
+                   std::to_string(num_spies));
+  b.data_word(lay.secret_addr, config.secret);
+
+  b.label("main");
+  b.xor_(reg(Reg::R15), reg(Reg::R15));
+  b.mov(reg(Reg::RCX), imm(config.rounds));
+
+  b.label("round_loop");
+  // ---- Prime phase: fill only this spy's monitored sets.
+  b.mov(reg(Reg::RDI), imm(lo));  // slot
+  b.label("prime_slot_loop");
+  b.mark_relevant(true);
+  b.mov(reg(Reg::RAX), reg(Reg::RDI));
+  b.imul(reg(Reg::RAX), imm(Layout::kSlotStride));
+  b.lea(reg(Reg::RSI),
+        mem(Reg::RAX, static_cast<std::int64_t>(lay.attacker_array)));
+  b.mov(reg(Reg::RDX), imm(0));  // way
+  // Masked way index: a wrong-path extra iteration wraps onto way 0
+  // instead of self-evicting the freshly primed set (see pp_iaik).
+  b.label("prime_way_loop");
+  b.mov(reg(Reg::R11), reg(Reg::RDX));
+  b.and_(reg(Reg::R11), imm(kWays - 1));
+  b.shl(reg(Reg::R11), imm(16));  // * kSetAlias
+  b.mov(reg(Reg::RBX), mem_idx(Reg::RSI, Reg::R11, 1));
+  b.inc(reg(Reg::RDX));
+  b.cmp(reg(Reg::RDX), imm(kWays));
+  b.jl("prime_way_loop");
+  b.mark_relevant(false);
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(hi));
+  b.jl("prime_slot_loop");
+  b.mfence();
+
+  // ---- Calibrate: time one walk of the spy's own first primed set.
+  b.lea(reg(Reg::RSI),
+        mem_abs(static_cast<std::int64_t>(lay.attacker_array) +
+                static_cast<std::int64_t>(lo) * Layout::kSlotStride));
+  b.rdtscp(Reg::R8);
+  b.mov(reg(Reg::RDX), imm(0));
+  b.label("calib_way_loop");
+  b.mov(reg(Reg::R11), reg(Reg::RDX));
+  b.and_(reg(Reg::R11), imm(kWays - 1));
+  b.shl(reg(Reg::R11), imm(16));
+  b.mov(reg(Reg::RBX), mem_idx(Reg::RSI, Reg::R11, 1));
+  b.inc(reg(Reg::RDX));
+  b.cmp(reg(Reg::RDX), imm(kWays));
+  b.jl("calib_way_loop");
+  b.rdtscp(Reg::R9);
+  b.sub(reg(Reg::R9), reg(Reg::R8));
+  b.mov(reg(Reg::RBP), reg(Reg::R9));
+  b.add(reg(Reg::RBP), imm(kProbeMargin));
+
+  b.call("victim");
+
+  // ---- Probe phase: time a full walk of each own set.
+  b.mov(reg(Reg::RDI), imm(lo));
+  b.label("probe_slot_loop");
+  b.mark_relevant(true);
+  b.mov(reg(Reg::RAX), reg(Reg::RDI));
+  b.imul(reg(Reg::RAX), imm(Layout::kSlotStride));
+  b.lea(reg(Reg::RSI),
+        mem(Reg::RAX, static_cast<std::int64_t>(lay.attacker_array)));
+  b.rdtscp(Reg::R8);
+  b.mov(reg(Reg::RDX), imm(0));
+  b.label("probe_way_loop");
+  b.mov(reg(Reg::R11), reg(Reg::RDX));
+  b.and_(reg(Reg::R11), imm(kWays - 1));
+  b.shl(reg(Reg::R11), imm(16));
+  b.mov(reg(Reg::RBX), mem_idx(Reg::RSI, Reg::R11, 1));
+  b.inc(reg(Reg::RDX));
+  b.cmp(reg(Reg::RDX), imm(kWays));
+  b.jl("probe_way_loop");
+  b.rdtscp(Reg::R9);
+  b.sub(reg(Reg::R9), reg(Reg::R8));
+  b.cmp(reg(Reg::R9), reg(Reg::RBP));
+  b.jle("probe_next");
+  // Slow walk: the victim displaced a way -> histogram[slot]++.
+  b.mov(reg(Reg::RAX),
+        mem_idx(Reg::R15, Reg::RDI, 8,
+                static_cast<std::int64_t>(lay.histogram)));
+  b.inc(reg(Reg::RAX));
+  b.mov(mem_idx(Reg::R15, Reg::RDI, 8,
+                static_cast<std::int64_t>(lay.histogram)),
+        reg(Reg::RAX));
+  b.label("probe_next");
+  b.mark_relevant(false);
+  b.inc(reg(Reg::RDI));
+  b.cmp(reg(Reg::RDI), imm(hi));
+  b.jl("probe_slot_loop");
+
+  b.dec(reg(Reg::RCX));
+  b.jne("round_loop");
+
+  emit_share_argmax(b, lay, lo, hi);
+  b.hlt();
+  emit_pp_victim(b, lay);
+  return b.build();
+}
+
+}  // namespace scag::attacks

@@ -35,4 +35,18 @@ const PocSpec& poc_by_name(const std::string& name) {
   throw std::out_of_range("unknown PoC: " + name);
 }
 
+const std::vector<MultiSpySpec>& all_multi_spy_specs() {
+  static const std::vector<MultiSpySpec> specs = {
+      {"MultiSpy-FR", core::Family::kFlushReload, multi_spy_flush_reload},
+      {"MultiSpy-PP", core::Family::kPrimeProbe, multi_spy_prime_probe},
+  };
+  return specs;
+}
+
+const MultiSpySpec& multi_spy_by_name(const std::string& name) {
+  for (const MultiSpySpec& s : all_multi_spy_specs())
+    if (s.name == name) return s;
+  throw std::out_of_range("unknown multi-spy attack: " + name);
+}
+
 }  // namespace scag::attacks

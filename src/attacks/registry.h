@@ -47,6 +47,35 @@ isa::Program spectre_pp_trippel(const PocConfig& config = {});
 /// (the repository never contains its model).
 isa::Program evict_time(const PocConfig& config = {});
 
+// ---- Multi-spy cooperative attacks (beyond Table II) ------------------------
+/// Spy `spy_index` of `num_spies` (2..4) cooperating Flush+Reload spies.
+/// Each spy flushes/reloads only its contiguous share of the 16 slots and
+/// votes into the disjoint slots of the shared histogram; the full attack
+/// only exists in the merged trace (trace/merge.h). Throws
+/// std::invalid_argument on a bad split.
+isa::Program multi_spy_flush_reload(const PocConfig& config, int spy_index,
+                                    int num_spies);
+/// Spy `spy_index` of `num_spies` (2..4) cooperating Prime+Probe spies;
+/// primes/probes only its own slot share's LLC sets.
+isa::Program multi_spy_prime_probe(const PocConfig& config, int spy_index,
+                                   int num_spies);
+
+/// A cooperative multi-spy attack: one builder per spy, parameterized by
+/// (spy_index, num_spies).
+struct MultiSpySpec {
+  std::string name;
+  core::Family family;
+  std::function<isa::Program(const PocConfig&, int, int)> build_spy;
+};
+
+/// The multi-spy attacks. Kept OUT of all_pocs(): Table II's registry is
+/// exactly the paper's 11 PoCs and the repository never enrolls these —
+/// they exist to test detection of split attack behavior.
+const std::vector<MultiSpySpec>& all_multi_spy_specs();
+
+/// Looks up a multi-spy spec by name; throws std::out_of_range if unknown.
+const MultiSpySpec& multi_spy_by_name(const std::string& name);
+
 /// A PoC entry: name, attack family, and builder.
 struct PocSpec {
   std::string name;

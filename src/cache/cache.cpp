@@ -18,6 +18,8 @@ Cache::Cache(const CacheConfig& config) : config_(config) {
   lines_.resize(static_cast<std::size_t>(config_.num_sets) * config_.ways);
   if (config_.policy == ReplacementPolicy::kPlru)
     plru_bits_.assign(config_.num_sets, 0);
+  sharp_rand_state_ =
+      config_.defense_seed != 0 ? config_.defense_seed : 0xC0FFEE5EEDULL;
 }
 
 Cache::Line* Cache::find(std::uint64_t addr) {
@@ -35,7 +37,34 @@ const Cache::Line* Cache::find(std::uint64_t addr) const {
   return const_cast<Cache*>(this)->find(addr);
 }
 
-std::size_t Cache::pick_victim(std::size_t set_idx, std::size_t base) {
+std::size_t Cache::pick_victim(std::size_t set_idx, std::size_t base,
+                               Owner accessor) {
+  if (config_.defense == DefensePolicy::kSharp) {
+    // SHARP: evicting your own line cannot leak, so restrict the victim
+    // search to accessor-owned ways. Among the candidates pick the one
+    // with the smallest (lru stamp, way index) — exact LRU under kLru,
+    // insertion order under kFifo, and (since kPlru/kRandom never write
+    // stamps) the lowest candidate way under those policies; all
+    // deterministic.
+    std::size_t candidate = config_.ways;
+    for (std::size_t w = 0; w < config_.ways; ++w) {
+      const Line& line = lines_[base + w];
+      if (!line.valid || line.owner != accessor) continue;
+      if (candidate == config_.ways ||
+          line.lru < lines_[base + candidate].lru)
+        candidate = w;
+    }
+    if (candidate != config_.ways) return candidate;
+    // Every line in the set is foreign-owned: the hardware has no safe
+    // victim, evicts one at random (own xorshift64* stream so kRandom
+    // replacement state is untouched) and raises the requester's alarm.
+    sharp_rand_state_ ^= sharp_rand_state_ >> 12;
+    sharp_rand_state_ ^= sharp_rand_state_ << 25;
+    sharp_rand_state_ ^= sharp_rand_state_ >> 27;
+    ++sharp_alarms_[static_cast<std::size_t>(accessor)];
+    return static_cast<std::size_t>(
+        (sharp_rand_state_ * 0x2545F4914F6CDD1DULL) % config_.ways);
+  }
   switch (config_.policy) {
     case ReplacementPolicy::kLru:
     case ReplacementPolicy::kFifo: {
@@ -128,7 +157,7 @@ AccessOutcome Cache::access(std::uint64_t addr, AccessType /*type*/,
       break;
     }
   }
-  if (way == config_.ways) way = pick_victim(set_idx, base);
+  if (way == config_.ways) way = pick_victim(set_idx, base, owner);
   Line& victim = lines_[base + way];
   if (victim.valid) {
     out.evicted = true;
@@ -192,6 +221,12 @@ double Cache::total_occupancy() const {
   for (const Line& line : lines_)
     if (line.valid) ++count;
   return static_cast<double>(count) / static_cast<double>(lines_.size());
+}
+
+std::uint64_t Cache::sharp_alarms_total() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t a : sharp_alarms_) total += a;
+  return total;
 }
 
 std::uint32_t Cache::set_occupancy(std::uint64_t addr, Owner owner) const {

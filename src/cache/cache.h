@@ -7,6 +7,7 @@
 // everyone else) directly.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -27,11 +28,27 @@ enum class ReplacementPolicy : std::uint8_t {
   kRandom, // evict a deterministic-pseudo-random way
 };
 
+/// Hardware defense applied on top of the replacement policy.
+///
+/// kSharp models the SHARP proposal (Yan et al., ISCA'17): on a miss into a
+/// full set, the replacement first looks for a victim line *owned by the
+/// requester* (evicting your own lines leaks nothing). Only when every line
+/// in the set is foreign-owned does it fall back to evicting one at random
+/// (deterministic seeded PRNG, independent of the kRandom policy state) and
+/// bumps a per-requester alarm counter — the hardware's "this owner keeps
+/// forcing cross-owner evictions" suspicion signal. kNone leaves the
+/// replacement decision byte-for-byte identical to the undefended cache.
+enum class DefensePolicy : std::uint8_t { kNone, kSharp };
+
 struct CacheConfig {
   std::uint32_t num_sets = 64;
   std::uint32_t ways = 8;
   std::uint32_t line_size = 64;  // bytes, power of two
   ReplacementPolicy policy = ReplacementPolicy::kLru;
+  DefensePolicy defense = DefensePolicy::kNone;
+  /// Seed of the SHARP fallback PRNG (the random pick among foreign-owned
+  /// lines). Must be nonzero for xorshift; 0 falls back to the default.
+  std::uint64_t defense_seed = 0xC0FFEE5EEDULL;
 
   std::uint32_t num_lines() const { return num_sets * ways; }
 };
@@ -57,7 +74,9 @@ class Cache {
 
   /// Performs an access; on miss the line is filled and tagged `owner`.
   /// On hit the owner tag is updated to the accessor (the most recent
-  /// toucher "owns" the line for occupancy purposes).
+  /// toucher "owns" the line for occupancy purposes). Under
+  /// DefensePolicy::kSharp the accessor also steers victim selection (see
+  /// DefensePolicy).
   AccessOutcome access(std::uint64_t addr, AccessType type, Owner owner);
 
   /// True if the line holding `addr` is present (no LRU update).
@@ -92,7 +111,20 @@ class Cache {
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
-  void reset_counters() { hits_ = misses_ = 0; }
+
+  /// SHARP alarms attributed to `owner`: how often an access by `owner`
+  /// was forced to evict a foreign-owned line because the set held none of
+  /// its own. Always 0 under DefensePolicy::kNone.
+  std::uint64_t sharp_alarms(Owner owner) const {
+    return sharp_alarms_[static_cast<std::size_t>(owner)];
+  }
+  /// Sum of the per-owner SHARP alarm counters.
+  std::uint64_t sharp_alarms_total() const;
+
+  void reset_counters() {
+    hits_ = misses_ = 0;
+    sharp_alarms_.fill(0);
+  }
 
  private:
   struct Line {
@@ -106,8 +138,10 @@ class Cache {
   const Line* find(std::uint64_t addr) const;
 
   /// Picks the way to evict in the (full) set starting at `base`,
-  /// according to the configured policy.
-  std::size_t pick_victim(std::size_t set_index, std::size_t base);
+  /// according to the configured policy. Under kSharp, `accessor` narrows
+  /// the candidates to self-owned lines first (see DefensePolicy).
+  std::size_t pick_victim(std::size_t set_index, std::size_t base,
+                          Owner accessor);
 
   /// Updates policy metadata on a hit/fill of way `way` in `set_index`.
   void touch(std::size_t set_index, std::size_t way, bool is_fill);
@@ -116,6 +150,8 @@ class Cache {
   std::vector<Line> lines_;  // num_sets * ways, set-major
   std::vector<std::uint32_t> plru_bits_;  // one tree per set (kPlru)
   std::uint64_t rand_state_ = 0x9e3779b97f4a7c15ULL;  // kRandom
+  std::uint64_t sharp_rand_state_ = 0;   // kSharp fallback; seeded in ctor
+  std::array<std::uint64_t, 4> sharp_alarms_{};  // indexed by Owner
   std::uint64_t tick_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

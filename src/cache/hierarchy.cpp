@@ -5,10 +5,10 @@
 namespace scag::cache {
 
 CacheHierarchy::CacheHierarchy(const HierarchyConfig& config)
-    : config_(config),
-      l1d_(config.l1d),
-      l1i_(config.l1i),
-      llc_(config.llc) {}
+    : config_(config.with_defense_applied()),
+      l1d_(config_.l1d),
+      l1i_(config_.l1i),
+      llc_(config_.llc) {}
 
 HierarchyOutcome CacheHierarchy::data_access(std::uint64_t addr,
                                              AccessType type, Owner owner) {

@@ -25,6 +25,22 @@ struct HierarchyConfig {
   std::uint32_t lat_flush_present = 48;
   std::uint32_t lat_flush_absent = 30;
   std::uint32_t lat_store_buffer = 1;  // architectural store cost
+
+  /// Hierarchy-level defense switch. SHARP is an LLC (shared-cache)
+  /// defense: when != kNone it is applied to the LLC config (the private
+  /// L1s keep their own per-level `CacheConfig::defense`, normally kNone).
+  DefensePolicy defense = DefensePolicy::kNone;
+  std::uint64_t defense_seed = 0xC0FFEE5EEDULL;
+
+  /// Copy with `defense` folded into the LLC config (what the ctor uses).
+  HierarchyConfig with_defense_applied() const {
+    HierarchyConfig c = *this;
+    if (defense != DefensePolicy::kNone) {
+      c.llc.defense = defense;
+      c.llc.defense_seed = defense_seed;
+    }
+    return c;
+  }
 };
 
 /// Result of a data access through the whole hierarchy.
@@ -55,6 +71,11 @@ class CacheHierarchy {
   /// True if the line is in the LLC (the level CSCA probes care about).
   bool probe_llc(std::uint64_t addr) const { return llc_.probe(addr); }
   bool probe_l1d(std::uint64_t addr) const { return l1d_.probe(addr); }
+
+  /// SHARP alarms raised against `owner` at the (defended) LLC.
+  std::uint64_t sharp_alarms(Owner owner) const {
+    return llc_.sharp_alarms(owner);
+  }
 
   Cache& l1d() { return l1d_; }
   Cache& l1i() { return l1i_; }

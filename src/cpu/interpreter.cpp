@@ -539,6 +539,10 @@ RunResult Interpreter::run(const Program& program) {
 
   profile_.cycles = cycles_;
   profile_.retired = retired;
+  profile_.sharp_alarms_attacker =
+      hierarchy_.sharp_alarms(cache::Owner::kAttacker);
+  profile_.sharp_alarms_victim =
+      hierarchy_.sharp_alarms(cache::Owner::kVictim);
 
   static support::Counter& c_runs =
       support::Registry::global().counter("interp.runs");

@@ -1,0 +1,276 @@
+#include "eval/scenario_matrix.h"
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "attacks/registry.h"
+#include "cfg/cfg.h"
+#include "core/dtw.h"
+#include "cpu/interpreter.h"
+#include "eval/experiments.h"
+#include "trace/merge.h"
+
+namespace scag::eval {
+
+namespace {
+
+std::string defense_name(cache::DefensePolicy d) {
+  return d == cache::DefensePolicy::kSharp ? "sharp" : "none";
+}
+
+int noise_pct(double noise) {
+  return static_cast<int>(std::lround(noise * 100.0));
+}
+
+/// Lowercases and maps every non-[a-z0-9] char to '_' (telemetry keys).
+std::string sanitize(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9');
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+/// ExecOptions of a cell's trace-collection run: the canonical experiment
+/// options plus the cell's defense and noise axes. Noise needs a sampling
+/// cadence to act on (it jitters snapshot reads, nothing else).
+core::ModelConfig cell_model_config(const ScenarioCell& cell) {
+  core::ModelConfig cfg = experiment_model_config();
+  cfg.exec.cache_config.defense = cell.defense;
+  if (cell.noise > 0.0) {
+    cfg.exec.sample_interval = 2000;
+    cfg.exec.sample_noise = cell.noise;
+  }
+  return cfg;
+}
+
+/// Attributes the victim's code to cache::Owner::kVictim so the SHARP
+/// defense has owner boundaries to act on: the "victim" subroutine of the
+/// FR/PP-style PoCs, or the speculatively executed "gadget" of the Spectre
+/// PoCs. Programs without either (none of ours) get no range, which makes
+/// SHARP owner-blind — and therefore a no-op relative to plain LRU.
+void add_victim_range(cpu::ExecOptions& exec, const isa::Program& program) {
+  const auto& labels = program.labels();
+  const std::uint64_t code_end =
+      program.code_base() + program.size() * isa::kInstrSize;
+  if (auto it = labels.find("victim"); it != labels.end()) {
+    exec.victim_ranges.emplace_back(it->second, code_end);
+  } else if (auto git = labels.find("gadget"); git != labels.end()) {
+    const auto gend = labels.find("gadget_end");
+    exec.victim_ranges.emplace_back(
+        git->second, gend != labels.end() ? gend->second : code_end);
+  }
+}
+
+struct RawRun {
+  isa::Program program;
+  trace::ExecutionProfile profile;
+  cpu::Memory memory;
+};
+
+RawRun run_program(const isa::Program& program, cpu::ExecOptions exec) {
+  add_victim_range(exec, program);
+  cpu::Interpreter interp(std::move(exec));
+  cpu::RunResult result = interp.run(program);
+  RawRun out;
+  out.program = program;
+  out.profile = std::move(result.profile);
+  out.memory = std::move(result.memory);
+  return out;
+}
+
+}  // namespace
+
+std::string ScenarioCell::label() const {
+  return attack + "/" + defense_name(defense) + "/n" +
+         std::to_string(noise_pct(noise)) + "/s" + std::to_string(spies);
+}
+
+std::string ScenarioCell::telemetry_key() const {
+  return sanitize(attack) + "__" + defense_name(defense) + "__n" +
+         std::to_string(noise_pct(noise)) + "__s" + std::to_string(spies);
+}
+
+std::vector<ScenarioCell> scenario_grid(bool smoke) {
+  struct Single {
+    const char* name;
+    core::Family family;
+  };
+  static constexpr std::array<Single, 4> kSingles = {{
+      {"FR-IAIK", core::Family::kFlushReload},
+      {"PP-IAIK", core::Family::kPrimeProbe},
+      {"Spectre-FR-Ideal", core::Family::kSpectreFR},
+      {"Spectre-PP-Trippel", core::Family::kSpectrePP},
+  }};
+  static constexpr std::array<cache::DefensePolicy, 2> kDefenses = {
+      cache::DefensePolicy::kNone, cache::DefensePolicy::kSharp};
+
+  const std::size_t num_singles = smoke ? 2 : kSingles.size();
+  const std::vector<double> noises = smoke ? std::vector<double>{0.0}
+                                           : std::vector<double>{0.0, 0.1, 0.4};
+  const std::vector<int> spy_counts =
+      smoke ? std::vector<int>{2} : std::vector<int>{2, 3, 4};
+  const std::size_t num_multi = smoke ? 1 : attacks::all_multi_spy_specs().size();
+
+  std::vector<ScenarioCell> grid;
+  for (std::size_t a = 0; a < num_singles; ++a)
+    for (const cache::DefensePolicy defense : kDefenses)
+      for (const double noise : noises)
+        grid.push_back({kSingles[a].name, kSingles[a].family, defense, noise,
+                        /*spies=*/1});
+  for (std::size_t a = 0; a < num_multi; ++a) {
+    const attacks::MultiSpySpec& spec = attacks::all_multi_spy_specs()[a];
+    for (const cache::DefensePolicy defense : kDefenses)
+      for (const double noise : noises)
+        for (const int spies : spy_counts)
+          grid.push_back({spec.name, spec.family, defense, noise, spies});
+  }
+  return grid;
+}
+
+core::Detector make_scenario_detector() {
+  return make_scaguard({core::Family::kFlushReload, core::Family::kPrimeProbe,
+                        core::Family::kSpectreFR, core::Family::kSpectrePP});
+}
+
+ScenarioRun run_scenario_target(const ScenarioCell& cell,
+                                std::uint64_t secret) {
+  const core::ModelConfig cfg = cell_model_config(cell);
+  const core::ModelBuilder builder(cfg);
+  const attacks::Layout layout;
+  attacks::PocConfig poc_config;
+  poc_config.secret = secret % attacks::Layout::kNumSlots;
+
+  ScenarioRun out;
+  if (cell.spies <= 1) {
+    const attacks::PocSpec& spec = attacks::poc_by_name(cell.attack);
+    const RawRun run = run_program(spec.build(poc_config), cfg.exec);
+    out.target = builder
+                     .build_from_profile(cfg::Cfg::build(run.program),
+                                         run.profile, cell.family)
+                     .sequence;
+    out.recovered =
+        run.memory.read(layout.recovered_addr) == poc_config.secret;
+    out.sharp_alarms =
+        run.profile.sharp_alarms_attacker + run.profile.sharp_alarms_victim;
+    return out;
+  }
+
+  // Multi-spy: run every spy in its own address space/cache, merge the
+  // traces deterministically, and model the merged behavior.
+  const attacks::MultiSpySpec& spec = attacks::multi_spy_by_name(cell.attack);
+  std::vector<RawRun> runs;
+  runs.reserve(static_cast<std::size_t>(cell.spies));
+  for (int k = 0; k < cell.spies; ++k)
+    runs.push_back(
+        run_program(spec.build_spy(poc_config, k, cell.spies), cfg.exec));
+
+  std::vector<trace::SpyRun> spy_runs;
+  for (const RawRun& r : runs) spy_runs.push_back({&r.program, &r.profile});
+  const trace::MergedTrace merged = trace::merge_spy_traces(
+      spy_runs, cell.attack + "-x" + std::to_string(cell.spies));
+
+  out.target = builder
+                   .build_from_profile(cfg::Cfg::build(merged.program),
+                                       merged.profile, cell.family)
+                   .sequence;
+
+  // Cooperative recovery: the spies' slot shares are disjoint, so summing
+  // the per-spy histograms reconstructs the full 16-slot histogram; the
+  // argmax (lowest slot on ties) is the cooperative guess.
+  std::uint64_t best_votes = 0;
+  std::uint64_t best_slot = 0;
+  for (std::uint64_t s = 0; s < attacks::Layout::kNumSlots; ++s) {
+    std::uint64_t votes = 0;
+    for (const RawRun& r : runs) votes += r.memory.read(layout.histogram + 8 * s);
+    if (votes > best_votes) {
+      best_votes = votes;
+      best_slot = s;
+    }
+  }
+  out.recovered = best_votes > 0 && best_slot == poc_config.secret;
+  for (const RawRun& r : runs)
+    out.sharp_alarms +=
+        r.profile.sharp_alarms_attacker + r.profile.sharp_alarms_victim;
+  return out;
+}
+
+CellResult run_scenario_cell(const core::Detector& detector,
+                             const ScenarioCell& cell,
+                             const std::vector<std::uint64_t>& secrets) {
+  if (secrets.empty())
+    throw std::invalid_argument("run_scenario_cell: no secrets");
+  CellResult result;
+  result.cell = cell;
+  for (const std::uint64_t secret : secrets) {
+    ScenarioRun run = run_scenario_target(cell, secret);
+    const core::Detection detection = detector.scan(run.target);
+    if (detection.is_attack()) result.detection_rate += 1.0;
+    if (detection.verdict == cell.family) result.classification_rate += 1.0;
+    if (run.recovered) result.recovery_rate += 1.0;
+    result.mean_best_score += detection.best_score;
+    result.sharp_alarms += run.sharp_alarms;
+    result.targets.push_back(std::move(run.target));
+    result.detections.push_back(detection);
+  }
+  const double n = static_cast<double>(secrets.size());
+  result.detection_rate /= n;
+  result.classification_rate /= n;
+  result.recovery_rate /= n;
+  result.mean_best_score /= n;
+  return result;
+}
+
+std::vector<core::CstBbs> run_spy_targets(const ScenarioCell& cell,
+                                          std::uint64_t secret) {
+  if (cell.spies < 2)
+    throw std::invalid_argument("run_spy_targets: not a multi-spy cell");
+  const core::ModelConfig cfg = cell_model_config(cell);
+  const core::ModelBuilder builder(cfg);
+  attacks::PocConfig poc_config;
+  poc_config.secret = secret % attacks::Layout::kNumSlots;
+  const attacks::MultiSpySpec& spec = attacks::multi_spy_by_name(cell.attack);
+  std::vector<core::CstBbs> out;
+  for (int k = 0; k < cell.spies; ++k) {
+    const RawRun run =
+        run_program(spec.build_spy(poc_config, k, cell.spies), cfg.exec);
+    out.push_back(builder
+                      .build_from_profile(cfg::Cfg::build(run.program),
+                                          run.profile, cell.family)
+                      .sequence);
+  }
+  return out;
+}
+
+core::Detection exhaustive_scan(const core::Detector& detector,
+                                const core::CstBbs& target) {
+  std::vector<core::ModelScore> scores;
+  scores.reserve(detector.repository_size());
+  for (const core::AttackModel& model : detector.repository()) {
+    core::ModelScore s;
+    s.model_name = model.name;
+    s.family = model.family;
+    s.score = core::similarity(target, model.sequence, detector.dtw_config());
+    scores.push_back(std::move(s));
+  }
+  return core::Detector::finalize(std::move(scores), detector.threshold());
+}
+
+bool detection_equivalent(const core::Detection& a, const core::Detection& b) {
+  if (a.verdict != b.verdict) return false;
+  if (std::bit_cast<std::uint64_t>(a.best_score) !=
+      std::bit_cast<std::uint64_t>(b.best_score))
+    return false;
+  if (a.scores.empty() != b.scores.empty()) return false;
+  if (!a.scores.empty() &&
+      a.scores.front().model_name != b.scores.front().model_name)
+    return false;
+  return true;
+}
+
+}  // namespace scag::eval

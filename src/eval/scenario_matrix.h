@@ -1,0 +1,105 @@
+// Scenario matrix: attack x defense x noise x spy-count grid.
+//
+// The paper evaluates one spy probing an undefended LRU cache. This module
+// answers the question that setup cannot: does CST-BBS similarity still
+// detect an attack whose cache-state signature is distorted by a
+// SHARP-style defended LLC (cache::DefensePolicy::kSharp), jittered by HPC
+// sampling noise, or split across 2..4 cooperating spies whose merged
+// trace (trace/merge.h) is the only place the full attack exists?
+//
+// The detector under test is always enrolled on the paper's protocol —
+// one designated single-spy PoC per family, clean and undefended — so
+// every matrix cell measures generalization, never re-enrollment. Each
+// cell is run for a set of planted secrets; the targets it models are
+// returned alongside the rates so the differential battery
+// (tests/differential_scan.h) can assert every cell's verdict bit-identical
+// across kernels, thread counts, index modes, and the zero-copy store.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/cache.h"
+#include "core/detector.h"
+#include "core/model.h"
+
+namespace scag::eval {
+
+/// One cell of the scenario grid.
+struct ScenarioCell {
+  /// PoC name: in attacks::all_pocs() when spies == 1, in
+  /// attacks::all_multi_spy_specs() when spies >= 2.
+  std::string attack;
+  core::Family family = core::Family::kBenign;
+  cache::DefensePolicy defense = cache::DefensePolicy::kNone;
+  /// ExecOptions::sample_noise on the trace collection run. Jitters the
+  /// sampled HPC snapshot series only; per-instruction attribution (what
+  /// CST-BBS modeling consumes) stays exact, so SCAGuard is expected flat
+  /// along this axis — the grid states that instead of assuming it.
+  double noise = 0.0;
+  int spies = 1;
+
+  /// Human-readable cell id, e.g. "FR-IAIK/sharp/n40/s1".
+  std::string label() const;
+  /// Telemetry-safe key ([a-z0-9_]), e.g. "fr_iaik__sharp__n40__s1".
+  std::string telemetry_key() const;
+};
+
+/// The grid. smoke = reduced (2 attacks x 2 defenses + one 2-spy attack x
+/// 2 defenses, noise 0 only) for CI smokes; full = every single-spy
+/// designated PoC and both multi-spy attacks x both defenses x 3 noise
+/// levels x spy counts {2,3,4}.
+std::vector<ScenarioCell> scenario_grid(bool smoke);
+
+/// The detector every cell scans against: the four designated PoCs of
+/// eval::make_scaguard, enrolled clean/undefended/single-spy.
+core::Detector make_scenario_detector();
+
+/// One modeled run of a cell with a planted secret.
+struct ScenarioRun {
+  core::CstBbs target;      // CST-BBS model of the (merged) trace
+  bool recovered = false;   // PoC's (cooperative) recovery hit the secret
+  std::uint64_t sharp_alarms = 0;  // per-run LLC alarms, both owners
+};
+
+/// Builds, executes, and models one target of `cell` (merging spy traces
+/// when cell.spies >= 2). Deterministic per (cell, secret).
+ScenarioRun run_scenario_target(const ScenarioCell& cell,
+                                std::uint64_t secret);
+
+/// Aggregated rates of one cell over `secrets`.
+struct CellResult {
+  ScenarioCell cell;
+  double detection_rate = 0.0;       // fraction with verdict != benign
+  double classification_rate = 0.0;  // fraction with verdict == cell.family
+  double recovery_rate = 0.0;        // fraction recovering the secret
+  double mean_best_score = 0.0;
+  std::uint64_t sharp_alarms = 0;    // summed over runs
+  std::vector<core::CstBbs> targets;       // one per secret
+  std::vector<core::Detection> detections;  // detector.scan() per target
+};
+
+CellResult run_scenario_cell(const core::Detector& detector,
+                             const ScenarioCell& cell,
+                             const std::vector<std::uint64_t>& secrets);
+
+/// Models each spy's INDIVIDUAL trace of a multi-spy cell (no merging):
+/// one CST-BBS per spy, same execution options as run_scenario_target.
+/// Measures how much of the attack signature survives in a lone
+/// cooperating spy. Throws std::invalid_argument when cell.spies < 2.
+std::vector<core::CstBbs> run_spy_targets(const ScenarioCell& cell,
+                                          std::uint64_t secret);
+
+/// Exhaustive string-kernel ground truth (the gtest-free twin of
+/// testutil::exhaustive_oracle): direct core::similarity against every
+/// repository model, reduced by Detector::finalize. The bench compares
+/// every cell verdict against this and exits nonzero on divergence.
+core::Detection exhaustive_scan(const core::Detector& detector,
+                                const core::CstBbs& target);
+
+/// Bit-level verdict equivalence: verdict, best_score (IEEE-754 bits),
+/// and winning model name all equal.
+bool detection_equivalent(const core::Detection& a, const core::Detection& b);
+
+}  // namespace scag::eval

@@ -1,0 +1,104 @@
+#include "trace/merge.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace scag::trace {
+
+namespace {
+
+/// Worse of two exit reasons: a merged trace is only cleanly halted if
+/// every spy halted cleanly.
+ExitReason worse_exit(ExitReason a, ExitReason b) {
+  auto rank = [](ExitReason r) {
+    switch (r) {
+      case ExitReason::kHalted: return 0;
+      case ExitReason::kInstrLimit: return 1;
+      case ExitReason::kBadInstruction: return 2;
+    }
+    return 2;
+  };
+  return rank(a) >= rank(b) ? a : b;
+}
+
+}  // namespace
+
+MergedTrace merge_spy_traces(const std::vector<SpyRun>& spies,
+                             const std::string& name) {
+  if (spies.empty())
+    throw std::invalid_argument("merge_spy_traces: no spy runs");
+  for (const SpyRun& s : spies) {
+    if (s.program == nullptr || s.profile == nullptr)
+      throw std::invalid_argument("merge_spy_traces: null spy run");
+    const std::size_t n = s.program->size();
+    if (s.profile->per_instr.size() != n ||
+        s.profile->first_cycle.size() != n ||
+        s.profile->line_addrs.size() != n ||
+        s.profile->transient_line_addrs.size() != n)
+      throw std::invalid_argument(
+          "merge_spy_traces: profile does not match program size");
+  }
+
+  const std::size_t num_spies = spies.size();
+  const std::uint64_t base = spies[0].program->code_base();
+
+  MergedTrace out;
+  out.program = isa::Program(name, base);
+
+  std::size_t total = 0;
+  for (const SpyRun& s : spies) total += s.program->size();
+  out.profile.program_name = name;
+  out.profile.resize(total);
+
+  std::size_t at = 0;  // merged index of the current segment's start
+  std::uint64_t max_cycles = 0;
+  for (std::size_t k = 0; k < num_spies; ++k) {
+    const isa::Program& prog = *spies[k].program;
+    const ExecutionProfile& prof = *spies[k].profile;
+    const std::uint64_t seg_base =
+        base + static_cast<std::uint64_t>(at) * isa::kInstrSize;
+    // Rebase delta of this segment; targets/labels/marks are absolute
+    // addresses, so moving the segment means adding the delta.
+    const std::uint64_t delta = seg_base - prog.code_base();
+
+    for (std::size_t i = 0; i < prog.size(); ++i) {
+      isa::Instruction insn = prog.at(i);
+      if (insn.target != 0) insn.target += delta;
+      out.program.append(insn);  // append() reassigns insn.address
+    }
+    const std::string prefix = "spy" + std::to_string(k) + "/";
+    for (const auto& [label, addr] : prog.labels())
+      out.program.labels()[prefix + label] = addr + delta;
+    for (const std::uint64_t mark : prog.relevant_marks())
+      out.program.relevant_marks().insert(mark + delta);
+    // Shared layout: cooperating spies agree on the data image, so
+    // first-spy-wins is a tie-break, not a policy.
+    for (const auto& [addr, word] : prog.initial_data())
+      out.program.initial_data().emplace(addr, word);
+    if (k == 0) out.program.set_entry(prog.entry() + delta);
+
+    for (std::size_t i = 0; i < prog.size(); ++i) {
+      out.profile.per_instr[at + i] = prof.per_instr[i];
+      out.profile.first_cycle[at + i] =
+          interleave_first_cycle(prof.first_cycle[i], k, num_spies);
+      out.profile.line_addrs[at + i] = prof.line_addrs[i];
+      out.profile.transient_line_addrs[at + i] =
+          prof.transient_line_addrs[i];
+    }
+    out.profile.totals += prof.totals;
+    out.profile.retired += prof.retired;
+    out.profile.sharp_alarms_attacker += prof.sharp_alarms_attacker;
+    out.profile.sharp_alarms_victim += prof.sharp_alarms_victim;
+    out.profile.exit = k == 0 ? prof.exit
+                              : worse_exit(out.profile.exit, prof.exit);
+    max_cycles = std::max(max_cycles, prof.cycles);
+    at += prog.size();
+  }
+
+  // Round-robin interleave: the merged timeline is num_spies times the
+  // longest spy timeline (idle tail slots of shorter spies included).
+  out.profile.cycles = max_cycles * num_spies;
+  return out;
+}
+
+}  // namespace scag::trace

@@ -1,0 +1,66 @@
+// Deterministic merge of per-spy execution traces into one cooperative
+// trace. Multi-spy attacks (attacks/multi_spy_*.cpp) split one attack
+// across 2..4 processes; the detector, like a system-wide profiler, sees
+// the union of their behavior. merge_spy_traces() produces that union:
+// one Program concatenating the rebased spy programs and one
+// ExecutionProfile whose first-retirement cycles interleave the spies
+// round-robin — spy k's local cycle c lands at merged cycle (c-1)*n + k,
+// modeling n processes timesharing one core at per-cycle granularity.
+// The merge is a pure function of its inputs (no clocks, no RNG), so the
+// same spy runs always merge bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+#include "trace/profile.h"
+
+namespace scag::trace {
+
+/// One spy's run: the program it executed and the profile collected from
+/// that execution. Both must outlive the merge call; the result owns its
+/// own copies.
+struct SpyRun {
+  const isa::Program* program = nullptr;
+  const ExecutionProfile* profile = nullptr;
+};
+
+/// Merged cooperative trace.
+struct MergedTrace {
+  isa::Program program;
+  ExecutionProfile profile;
+};
+
+/// Merged stored first-cycle of spy `spy_index` of `num_spies` for a local
+/// stored first-cycle `fc` (both use the profile encoding: cycle + 1, 0 =
+/// never executed). Round-robin: (fc-1)*n + k + 1.
+inline std::uint64_t interleave_first_cycle(std::uint64_t fc,
+                                            std::size_t spy_index,
+                                            std::size_t num_spies) {
+  if (fc == 0) return 0;
+  return (fc - 1) * num_spies + spy_index + 1;
+}
+
+/// Merges the spy runs into one trace named `name`.
+///
+/// Program: segments are concatenated at the first spy's code base in spy
+/// order; control-flow targets are rebased by each segment's delta, labels
+/// are prefixed "spyK/", relevant marks and the entry point are rebased
+/// (entry = spy 0's entry). Initial data images are merged first-spy-wins
+/// (cooperating spies share the layout, so the images agree in practice).
+///
+/// Profile: per-instruction vectors are concatenated in segment order,
+/// first-retirement cycles are interleaved per interleave_first_cycle(),
+/// HPC totals / retired counts / SHARP alarms are summed, and exit is the
+/// worst across spies. Whole-program sampling series are NOT merged
+/// (samples/occupancy_samples cleared, sample_interval = 0): cumulative
+/// snapshots of different address spaces have no meaningful union.
+///
+/// Throws std::invalid_argument on empty input, null pointers, or a
+/// profile whose vectors do not match its program's size.
+MergedTrace merge_spy_traces(const std::vector<SpyRun>& spies,
+                             const std::string& name);
+
+}  // namespace scag::trace

@@ -65,6 +65,12 @@ struct ExecutionProfile {
   std::uint64_t retired = 0;
   ExitReason exit = ExitReason::kHalted;
 
+  /// SHARP defense telemetry (cache::DefensePolicy::kSharp on the LLC):
+  /// per-owner counts of forced foreign-owner evictions over the run.
+  /// Always 0 when the run was undefended.
+  std::uint64_t sharp_alarms_attacker = 0;
+  std::uint64_t sharp_alarms_victim = 0;
+
   /// Prepares the per-instruction vectors for `n` instructions.
   void resize(std::size_t n) {
     per_instr.assign(n, {});

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "attacks/registry.h"
+#include "cfg/cfg.h"
 #include "core/batch_detector.h"
 #include "differential_scan.h"
 #include "core/dtw_wavefront.h"
@@ -27,6 +28,8 @@
 #include "core/store.h"
 #include "cpu/interpreter.h"
 #include "eval/experiments.h"
+#include "eval/scenario_matrix.h"
+#include "trace/merge.h"
 #include "isa/assembler.h"
 #include "isa/random_program.h"
 #include "mutation/mutator.h"
@@ -446,6 +449,73 @@ TEST(FuzzSimd, WavefrontMatchesScalarBitExactly) {
         << wave.distance;
     EXPECT_EQ(scalar.path_length, wave.path_length) << what;
     EXPECT_EQ(scalar.abandoned, wave.abandoned) << what;
+  }
+}
+
+// Seed-replayable fuzz over the multi-spy pipeline: a random cooperative
+// attack (spec, spy count, secret, defense) is executed and merged twice;
+// the merged programs, profiles, and the detector's verdict must be
+// bit-identical — the scenario matrix's determinism contract, explored
+// beyond the fixed grid. Replay with SCAG_TEST_SEED=<printed seed>.
+TEST(FuzzMultiSpy, RandomCooperativeRunsMergeBitIdentically) {
+  const std::uint64_t seed = scag::testutil::test_seed(0x5be5);
+  SCOPED_TRACE(scag::testutil::seed_note(seed));
+  Rng rng(seed);
+  const core::Detector detector = eval::make_scenario_detector();
+
+  for (int round = 0; round < 4; ++round) {
+    const auto& specs = attacks::all_multi_spy_specs();
+    const attacks::MultiSpySpec& spec = specs[rng.below(specs.size())];
+    const int spies = static_cast<int>(rng.uniform(2, 4));
+    attacks::PocConfig pc;
+    pc.secret = rng.below(attacks::Layout::kNumSlots);
+    const cache::DefensePolicy defense = rng.chance(0.5)
+                                             ? cache::DefensePolicy::kSharp
+                                             : cache::DefensePolicy::kNone;
+    const std::string what = "round " + std::to_string(round) + " " +
+                             spec.name + " x" + std::to_string(spies) +
+                             " secret=" + std::to_string(pc.secret);
+
+    auto run_once = [&]() {
+      core::ModelConfig cfg = eval::experiment_model_config();
+      cfg.exec.cache_config.defense = defense;
+      std::vector<isa::Program> programs;
+      std::vector<cpu::RunResult> results;
+      for (int k = 0; k < spies; ++k) {
+        programs.push_back(spec.build_spy(pc, k, spies));
+        cpu::Interpreter interp(cfg.exec);
+        results.push_back(interp.run(programs.back()));
+      }
+      std::vector<trace::SpyRun> runs;
+      for (std::size_t k = 0; k < programs.size(); ++k)
+        runs.push_back({&programs[k], &results[k].profile});
+      return trace::merge_spy_traces(runs, spec.name + "-fuzz");
+    };
+    const trace::MergedTrace a = run_once();
+    const trace::MergedTrace b = run_once();
+    ASSERT_EQ(a.program.instructions(), b.program.instructions()) << what;
+    ASSERT_EQ(a.profile.first_cycle, b.profile.first_cycle) << what;
+    ASSERT_EQ(a.profile.line_addrs, b.profile.line_addrs) << what;
+    ASSERT_EQ(a.profile.totals.counts, b.profile.totals.counts) << what;
+    ASSERT_EQ(a.profile.sharp_alarms_attacker, b.profile.sharp_alarms_attacker)
+        << what;
+
+    const core::ModelBuilder builder{eval::experiment_model_config()};
+    const core::Detection da = detector.scan(
+        builder
+            .build_from_profile(cfg::Cfg::build(a.program), a.profile,
+                                spec.family)
+            .sequence);
+    const core::Detection db = detector.scan(
+        builder
+            .build_from_profile(cfg::Cfg::build(b.program), b.profile,
+                                spec.family)
+            .sequence);
+    EXPECT_EQ(da.verdict, db.verdict) << what;
+    EXPECT_EQ(da.verdict, spec.family) << what;
+    EXPECT_EQ(scag::testutil::score_bits(da.best_score),
+              scag::testutil::score_bits(db.best_score))
+        << what;
   }
 }
 

@@ -1,0 +1,416 @@
+// Differential + property battery for the scenario matrix
+// (eval/scenario_matrix.h): the attack x defense x noise x spy-count grid
+// built on the SHARP-defended LLC, the cooperative multi-spy PoCs, and the
+// deterministic trace merge.
+//
+//   - every noise-free grid cell's modeled target goes through the full
+//     differential harness (tests/differential_scan.h): serial + batch,
+//     string + compiled kernels, scalar + SIMD DP, index off/on, and the
+//     zero-copy store twin — all bit-identical to the exhaustive oracle;
+//   - cooperative recovery: merged multi-spy runs recover the planted
+//     secret under both defenses, while a lone spy only ever recovers
+//     secrets inside its own slot share;
+//   - trace merge: pure-function determinism (same runs merge
+//     bit-identically), round-robin interleaving, rebased programs that
+//     still validate;
+//   - SHARP telemetry: Prime+Probe-family runs against the defended LLC
+//     raise alarms, Flush+Reload runs never do (clflush bypasses the
+//     replacement logic entirely).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "attacks/registry.h"
+#include "cpu/interpreter.h"
+#include "differential_scan.h"
+#include "eval/experiments.h"
+#include "eval/scenario_matrix.h"
+#include "trace/merge.h"
+
+namespace scag {
+namespace {
+
+using eval::ScenarioCell;
+
+/// All noise-free cells of the full grid: the differential battery's
+/// target set. Noise cells are excluded only to bound runtime; the bench
+/// covers them with the same equivalence check.
+std::vector<ScenarioCell> noise_free_cells() {
+  std::vector<ScenarioCell> out;
+  for (const ScenarioCell& cell : eval::scenario_grid(/*smoke=*/false))
+    if (cell.noise == 0.0) out.push_back(cell);
+  return out;
+}
+
+/// Raw execution of one spy of a multi-spy cell under the canonical
+/// experiment options (undefended unless `defense` says otherwise).
+cpu::RunResult run_spy_raw(const std::string& attack, int spy_index,
+                           int num_spies, std::uint64_t secret,
+                           cache::DefensePolicy defense) {
+  attacks::PocConfig pc;
+  pc.secret = secret;
+  core::ModelConfig cfg = eval::experiment_model_config();
+  cfg.exec.cache_config.defense = defense;
+  cpu::Interpreter interp(cfg.exec);
+  return interp.run(
+      attacks::multi_spy_by_name(attack).build_spy(pc, spy_index, num_spies));
+}
+
+// ---- Grid shape -------------------------------------------------------------
+
+TEST(ScenarioGrid, FullGridCoversEveryAxisCombination) {
+  const std::vector<ScenarioCell> grid = eval::scenario_grid(false);
+  // 4 single-spy PoCs x 2 defenses x 3 noise levels
+  //   + 2 multi-spy attacks x 2 defenses x 3 noise levels x 3 spy counts.
+  EXPECT_EQ(grid.size(), 4u * 2 * 3 + 2u * 2 * 3 * 3);
+  std::set<std::string> labels;
+  std::set<std::string> keys;
+  for (const ScenarioCell& cell : grid) {
+    labels.insert(cell.label());
+    const std::string key = cell.telemetry_key();
+    keys.insert(key);
+    for (char c : key)
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_')
+          << key;
+  }
+  EXPECT_EQ(labels.size(), grid.size()) << "cell labels must be unique";
+  EXPECT_EQ(keys.size(), grid.size()) << "telemetry keys must be unique";
+}
+
+TEST(ScenarioGrid, SmokeGridIsASubsetOfTheFullGrid) {
+  std::set<std::string> full;
+  for (const ScenarioCell& cell : eval::scenario_grid(false))
+    full.insert(cell.label());
+  const std::vector<ScenarioCell> smoke = eval::scenario_grid(true);
+  EXPECT_LT(smoke.size(), full.size());
+  for (const ScenarioCell& cell : smoke)
+    EXPECT_TRUE(full.count(cell.label())) << cell.label();
+}
+
+// ---- The differential matrix ------------------------------------------------
+
+// Every (attack, defense, spy-count) cell's target, through every scan
+// path. This is the acceptance criterion of the matrix: one modeled
+// behavior, N execution strategies, zero bits of divergence.
+TEST(ScenarioDifferential, EveryCellVerdictBitIdenticalAcrossAllScanPaths) {
+  core::Detector detector = eval::make_scenario_detector();
+  std::vector<core::CstBbs> targets;
+  for (const ScenarioCell& cell : noise_free_cells())
+    targets.push_back(eval::run_scenario_target(cell, /*secret=*/7).target);
+  ASSERT_EQ(targets.size(), 4u * 2 + 2u * 2 * 3);
+  testutil::run_differential_matrix(detector, targets, "scenario-matrix");
+}
+
+// The same cells against the zero-copy store twin: oracle verdicts come
+// from the text-enrolled detector, candidates from the mmap-format image.
+TEST(ScenarioDifferential, EveryCellVerdictSurvivesTheStoreRoundTrip) {
+  core::Detector detector = eval::make_scenario_detector();
+  std::vector<core::CstBbs> targets;
+  for (const ScenarioCell& cell : noise_free_cells())
+    targets.push_back(eval::run_scenario_target(cell, /*secret=*/11).target);
+  testutil::run_store_differential_matrix(detector, targets,
+                                          "scenario-matrix-store");
+}
+
+// eval::exhaustive_scan is the bench's gtest-free twin of
+// testutil::exhaustive_oracle; they must agree bit for bit, or the bench's
+// nonzero-exit contract proves nothing.
+TEST(ScenarioDifferential, BenchOracleMatchesTestOracle) {
+  const core::Detector detector = eval::make_scenario_detector();
+  for (const ScenarioCell& cell : eval::scenario_grid(/*smoke=*/true)) {
+    const core::CstBbs target = eval::run_scenario_target(cell, 5).target;
+    const core::Detection a = testutil::exhaustive_oracle(detector, target);
+    const core::Detection b = eval::exhaustive_scan(detector, target);
+    EXPECT_TRUE(eval::detection_equivalent(a, b)) << cell.label();
+    EXPECT_EQ(testutil::score_bits(a.best_score),
+              testutil::score_bits(b.best_score))
+        << cell.label();
+  }
+}
+
+// ---- Cell semantics ---------------------------------------------------------
+
+TEST(ScenarioCells, UndefendedSingleSpyCellsMatchTheBaselineProtocol) {
+  // The paper's own setting — one spy, no defense, no noise — must stay
+  // perfect: detected, correctly classified, secret recovered.
+  const core::Detector detector = eval::make_scenario_detector();
+  for (const ScenarioCell& cell : noise_free_cells()) {
+    if (cell.spies != 1 || cell.defense != cache::DefensePolicy::kNone)
+      continue;
+    const eval::CellResult res =
+        eval::run_scenario_cell(detector, cell, {5, 12});
+    EXPECT_DOUBLE_EQ(res.detection_rate, 1.0) << cell.label();
+    EXPECT_DOUBLE_EQ(res.classification_rate, 1.0) << cell.label();
+    EXPECT_DOUBLE_EQ(res.recovery_rate, 1.0) << cell.label();
+    EXPECT_EQ(res.sharp_alarms, 0u) << cell.label();
+  }
+}
+
+TEST(ScenarioCells, SamplingNoiseDoesNotPerturbTheModeledBehavior) {
+  // ExecOptions::sample_noise jitters the sampled HPC snapshot series
+  // only; per-instruction attribution — what CST-BBS modeling consumes —
+  // stays exact, so a noisy cell's best score is bit-identical to the
+  // clean cell's.
+  const core::Detector detector = eval::make_scenario_detector();
+  ScenarioCell clean{"FR-IAIK", core::Family::kFlushReload,
+                     cache::DefensePolicy::kNone, 0.0, 1};
+  ScenarioCell noisy = clean;
+  noisy.noise = 0.4;
+  const core::Detection a =
+      detector.scan(eval::run_scenario_target(clean, 9).target);
+  const core::Detection b =
+      detector.scan(eval::run_scenario_target(noisy, 9).target);
+  EXPECT_EQ(a.verdict, b.verdict);
+  EXPECT_EQ(testutil::score_bits(a.best_score),
+            testutil::score_bits(b.best_score));
+}
+
+TEST(ScenarioCells, SharpAlarmsFireForPrimeProbeButNeverFlushReload) {
+  // Prime+Probe evicts the victim's lines through the replacement logic,
+  // which is exactly where SHARP watches; Flush+Reload uses clflush, which
+  // invalidates lines without ever selecting a victim, so the defended
+  // cell stays alarm-free.
+  ScenarioCell pp{"PP-IAIK", core::Family::kPrimeProbe,
+                  cache::DefensePolicy::kSharp, 0.0, 1};
+  EXPECT_GE(eval::run_scenario_target(pp, 5).sharp_alarms, 1u);
+  ScenarioCell fr{"FR-IAIK", core::Family::kFlushReload,
+                  cache::DefensePolicy::kSharp, 0.0, 1};
+  EXPECT_EQ(eval::run_scenario_target(fr, 5).sharp_alarms, 0u);
+  pp.defense = cache::DefensePolicy::kNone;
+  EXPECT_EQ(eval::run_scenario_target(pp, 5).sharp_alarms, 0u);
+}
+
+// ---- Multi-spy cooperation --------------------------------------------------
+
+TEST(MultiSpy, CooperativeRecoveryWorksAcrossSpyCountsAndDefenses) {
+  const core::Detector detector = eval::make_scenario_detector();
+  for (const attacks::MultiSpySpec& spec : attacks::all_multi_spy_specs()) {
+    for (const cache::DefensePolicy defense :
+         {cache::DefensePolicy::kNone, cache::DefensePolicy::kSharp}) {
+      for (const int spies : {2, 3, 4}) {
+        const ScenarioCell cell{spec.name, spec.family, defense, 0.0, spies};
+        const eval::ScenarioRun run = eval::run_scenario_target(cell, 14);
+        EXPECT_TRUE(run.recovered) << cell.label();
+        const core::Detection d = detector.scan(run.target);
+        EXPECT_EQ(d.verdict, spec.family) << cell.label();
+      }
+    }
+  }
+}
+
+TEST(MultiSpy, ALoneSpyOnlyRecoversSecretsInItsOwnShare) {
+  // Two spies split the 16 slots as [0,8) and [8,16). With the secret
+  // planted at 9, only spy 1 can observe it; spy 0's local argmax never
+  // leaves its own share. Cooperative recovery (summed histograms) is what
+  // reconstructs the secret — that is the point of the attack.
+  const attacks::Layout layout;
+  for (const attacks::MultiSpySpec& spec : attacks::all_multi_spy_specs()) {
+    const cpu::RunResult spy0 =
+        run_spy_raw(spec.name, 0, 2, 9, cache::DefensePolicy::kNone);
+    const cpu::RunResult spy1 =
+        run_spy_raw(spec.name, 1, 2, 9, cache::DefensePolicy::kNone);
+    EXPECT_EQ(spy1.memory.read(layout.recovered_addr), 9u) << spec.name;
+    EXPECT_LT(spy0.memory.read(layout.recovered_addr), 8u) << spec.name;
+
+    // The histogram shares are disjoint, and their union votes for the
+    // planted slot.
+    std::uint64_t best_slot = 0;
+    std::uint64_t best_votes = 0;
+    for (std::uint64_t s = 0; s < attacks::Layout::kNumSlots; ++s) {
+      const std::uint64_t votes = spy0.memory.read(layout.histogram + 8 * s) +
+                                  spy1.memory.read(layout.histogram + 8 * s);
+      if (votes > best_votes) {
+        best_votes = votes;
+        best_slot = s;
+      }
+    }
+    EXPECT_GT(best_votes, 0u) << spec.name;
+    EXPECT_EQ(best_slot, 9u) << spec.name;
+  }
+}
+
+TEST(MultiSpy, IndividualSpyTracesStillScoreAboveThreshold) {
+  // The matrix's honest negative result: splitting the attack across
+  // cooperating spies does NOT push a lone spy's trace below the
+  // detection threshold — CST-BBS matches attack *behavior*, and each spy
+  // still primes/flushes and probes/reloads its share. What the split
+  // does limit is recovery (see ALoneSpyOnlyRecoversSecretsInItsOwnShare).
+  const core::Detector detector = eval::make_scenario_detector();
+  for (const attacks::MultiSpySpec& spec : attacks::all_multi_spy_specs()) {
+    const ScenarioCell cell{spec.name, spec.family,
+                            cache::DefensePolicy::kNone, 0.0, 2};
+    for (const core::CstBbs& target : eval::run_spy_targets(cell, 5)) {
+      const core::Detection d = detector.scan(target);
+      EXPECT_TRUE(d.is_attack()) << spec.name;
+      EXPECT_GE(d.best_score, eval::kThreshold) << spec.name;
+    }
+  }
+}
+
+TEST(MultiSpy, InvalidSpySplitsThrow) {
+  const attacks::PocConfig pc;
+  for (const attacks::MultiSpySpec& spec : attacks::all_multi_spy_specs()) {
+    EXPECT_THROW(spec.build_spy(pc, 0, 1), std::invalid_argument) << spec.name;
+    EXPECT_THROW(spec.build_spy(pc, 0, 5), std::invalid_argument) << spec.name;
+    EXPECT_THROW(spec.build_spy(pc, 2, 2), std::invalid_argument) << spec.name;
+    EXPECT_THROW(spec.build_spy(pc, -1, 2), std::invalid_argument)
+        << spec.name;
+  }
+  EXPECT_THROW(attacks::multi_spy_by_name("NoSuchAttack"), std::out_of_range);
+}
+
+TEST(MultiSpy, SpecsAreRegisteredButKeptOutOfThePocRegistry) {
+  // all_pocs() drives enrollment corpora and registry-wide tests that
+  // assume standalone single-process attacks; the cooperative builders
+  // live in their own list.
+  ASSERT_EQ(attacks::all_multi_spy_specs().size(), 2u);
+  for (const attacks::MultiSpySpec& spec : attacks::all_multi_spy_specs()) {
+    for (const attacks::PocSpec& poc : attacks::all_pocs())
+      EXPECT_NE(poc.name, spec.name);
+    EXPECT_NE(spec.family, core::Family::kBenign);
+  }
+}
+
+// ---- Trace merge ------------------------------------------------------------
+
+TEST(TraceMerge, InterleavingIsRoundRobinAndCollisionFree) {
+  // fc encodes cycle+1 with 0 = never executed, which the merge preserves.
+  EXPECT_EQ(trace::interleave_first_cycle(0, 1, 3), 0u);
+  for (const std::size_t n : {std::size_t{2}, std::size_t{3}, std::size_t{4}}) {
+    std::set<std::uint64_t> seen;
+    for (std::size_t k = 0; k < n; ++k) {
+      std::uint64_t prev = 0;
+      for (std::uint64_t fc = 1; fc <= 40; ++fc) {
+        const std::uint64_t merged = trace::interleave_first_cycle(fc, k, n);
+        EXPECT_EQ((merged - 1) % n, k);       // spy k owns residue k
+        EXPECT_GT(merged, prev);              // order-preserving per spy
+        EXPECT_TRUE(seen.insert(merged).second)  // no two events collide
+            << "fc=" << fc << " k=" << k << " n=" << n;
+        prev = merged;
+      }
+    }
+  }
+}
+
+TEST(TraceMerge, MergingTheSameRunsTwiceIsBitIdentical) {
+  const attacks::MultiSpySpec& spec = attacks::multi_spy_by_name("MultiSpy-PP");
+  auto merge_once = [&spec]() {
+    std::vector<cpu::RunResult> results;
+    std::vector<isa::Program> programs;
+    attacks::PocConfig pc;
+    pc.secret = 3;
+    for (int k = 0; k < 2; ++k) {
+      programs.push_back(spec.build_spy(pc, k, 2));
+      cpu::Interpreter interp(eval::experiment_model_config().exec);
+      results.push_back(interp.run(programs.back()));
+    }
+    std::vector<trace::SpyRun> runs;
+    for (int k = 0; k < 2; ++k)
+      runs.push_back({&programs[static_cast<std::size_t>(k)],
+                      &results[static_cast<std::size_t>(k)].profile});
+    return trace::merge_spy_traces(runs, "determinism-probe");
+  };
+  const trace::MergedTrace a = merge_once();
+  const trace::MergedTrace b = merge_once();
+  EXPECT_EQ(a.program.instructions(), b.program.instructions());
+  EXPECT_EQ(a.program.entry(), b.program.entry());
+  EXPECT_EQ(a.program.labels(), b.program.labels());
+  EXPECT_EQ(a.program.initial_data(), b.program.initial_data());
+  EXPECT_EQ(a.program.relevant_marks(), b.program.relevant_marks());
+  EXPECT_EQ(a.profile.first_cycle, b.profile.first_cycle);
+  EXPECT_EQ(a.profile.line_addrs, b.profile.line_addrs);
+  EXPECT_EQ(a.profile.totals.counts, b.profile.totals.counts);
+  EXPECT_EQ(a.profile.cycles, b.profile.cycles);
+  EXPECT_EQ(a.profile.retired, b.profile.retired);
+}
+
+TEST(TraceMerge, MergedProgramIsValidAndInterleavesSegments) {
+  const attacks::MultiSpySpec& spec = attacks::multi_spy_by_name("MultiSpy-FR");
+  attacks::PocConfig pc;
+  pc.secret = 6;
+  const int n = 3;
+  std::vector<isa::Program> programs;
+  std::vector<cpu::RunResult> results;
+  for (int k = 0; k < n; ++k) {
+    programs.push_back(spec.build_spy(pc, k, n));
+    cpu::Interpreter interp(eval::experiment_model_config().exec);
+    results.push_back(interp.run(programs.back()));
+  }
+  std::vector<trace::SpyRun> runs;
+  for (int k = 0; k < n; ++k)
+    runs.push_back({&programs[static_cast<std::size_t>(k)],
+                    &results[static_cast<std::size_t>(k)].profile});
+  const trace::MergedTrace merged = trace::merge_spy_traces(runs, "probe-x3");
+
+  // The concatenated program still satisfies every structural invariant
+  // (branch targets in range, operands sensible) after rebasing.
+  EXPECT_NO_THROW(merged.program.validate());
+  std::size_t total = 0;
+  for (const isa::Program& p : programs) total += p.size();
+  ASSERT_EQ(merged.program.size(), total);
+  ASSERT_EQ(merged.profile.first_cycle.size(), total);
+  EXPECT_TRUE(merged.program.contains(merged.program.entry()));
+  ASSERT_FALSE(merged.program.labels().empty());
+  for (const auto& [name, addr] : merged.program.labels()) {
+    EXPECT_EQ(name.rfind("spy", 0), 0u) << name;  // "spyK/..." prefix
+    EXPECT_TRUE(merged.program.contains(addr) ||
+                addr == merged.program.code_base() +
+                            merged.program.size() * isa::kInstrSize)
+        << name;  // rebased labels stay inside (or one past) the program
+  }
+
+  // Per-segment checks: labels are prefixed, executed instructions land on
+  // their spy's round-robin residue, and totals/alarm counters are sums.
+  std::size_t base = 0;
+  std::uint64_t retired_sum = 0;
+  std::uint64_t max_cycles = 0;
+  for (int k = 0; k < n; ++k) {
+    const trace::ExecutionProfile& local =
+        results[static_cast<std::size_t>(k)].profile;
+    for (std::size_t i = 0; i < programs[static_cast<std::size_t>(k)].size();
+         ++i) {
+      const std::uint64_t fc = local.first_cycle[i];
+      const std::uint64_t merged_fc = merged.profile.first_cycle[base + i];
+      if (fc == 0) {
+        EXPECT_EQ(merged_fc, 0u);
+      } else {
+        ASSERT_NE(merged_fc, 0u);
+        EXPECT_EQ((merged_fc - 1) % static_cast<std::uint64_t>(n),
+                  static_cast<std::uint64_t>(k));
+      }
+    }
+    retired_sum += local.retired;
+    max_cycles = std::max(max_cycles, local.cycles);
+    base += programs[static_cast<std::size_t>(k)].size();
+  }
+  EXPECT_EQ(merged.profile.retired, retired_sum);
+  EXPECT_EQ(merged.profile.cycles, max_cycles * static_cast<std::uint64_t>(n));
+  // Whole-program sampling series have no meaningful union across address
+  // spaces; the merge drops them instead of fabricating one.
+  EXPECT_TRUE(merged.profile.samples.empty());
+  EXPECT_EQ(merged.profile.sample_interval, 0u);
+}
+
+TEST(TraceMerge, RejectsMalformedInput) {
+  EXPECT_THROW(trace::merge_spy_traces({}, "empty"), std::invalid_argument);
+  const isa::Program program("p");
+  trace::ExecutionProfile profile;
+  EXPECT_THROW(trace::merge_spy_traces({{nullptr, &profile}}, "null"),
+               std::invalid_argument);
+  EXPECT_THROW(trace::merge_spy_traces({{&program, nullptr}}, "null"),
+               std::invalid_argument);
+  // A profile whose vectors do not match its program's size is corrupt.
+  isa::Program one("one");
+  one.append(isa::Instruction{});
+  trace::ExecutionProfile mismatched;
+  mismatched.resize(3);
+  EXPECT_THROW(trace::merge_spy_traces({{&one, &mismatched}}, "mismatch"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scag
