@@ -28,12 +28,14 @@ scripts/check_asan.sh
 
 # The metrics layer must also compile (and its tests pass) when compiled
 # out with -DSCAG_METRICS_OFF — including the explain layer, which shares
-# the Tracer plumbing and must keep producing full reports with metrics
-# compiled out.
+# the Tracer plumbing, and the event journal / flight recorder, whose
+# emit paths must collapse to true no-ops in that build.
 cmake -B build-metrics-off -G Ninja -DSCAG_METRICS_OFF=ON
-cmake --build build-metrics-off --target test_metrics test_explain scagctl
+cmake --build build-metrics-off --target test_metrics test_explain \
+  test_events scagctl
 build-metrics-off/tests/test_metrics
 build-metrics-off/tests/test_explain
+build-metrics-off/tests/test_events
 build-metrics-off/tools/scagctl metrics-demo
 
 # Failpoint sweep smoke through the CLI: every library failpoint, armed
@@ -111,6 +113,47 @@ if build/tools/scagctl scan --explain=build/scan_smoke.json \
   echo "explain smoke: scan of an attack PoC unexpectedly exited 0"; exit 1
 fi
 grep -q '"schema":"scag-scan-report-v1"' build/scan_smoke.json
+
+# Observability smoke through the CLI: a scan under --journal= must
+# stream the scag-events-v1 journal (schema header, verdict event,
+# accounting summary) without changing the verdict exit, `events tail`
+# must read it back filtered, `scan --prom=` must leave a Prometheus
+# 0.0.4 snapshot that `top` can render, and the stats serve/get pair
+# must round-trip that exposition over a Unix socket.
+build/tools/scagctl --journal=build/events_smoke.jsonl \
+  scan --prom=build/events_smoke.prom \
+  build/fp_smoke.repo build/fp_smoke_poc.s \
+  >build/events_smoke.out || [ $? -eq 1 ]
+grep -q 'wrote event journal' build/events_smoke.out
+head -1 build/events_smoke.jsonl | grep -q '"schema":"scag-events-v1"'
+grep -q '"type":"scan-start"' build/events_smoke.jsonl
+grep -q '"type":"scan-verdict"' build/events_smoke.jsonl
+grep -q '"summary":true' build/events_smoke.jsonl
+build/tools/scagctl events tail --once --type=scan-verdict \
+  build/events_smoke.jsonl >build/events_tail.out
+grep -q '"type":"scan-verdict"' build/events_tail.out
+if grep -q '"type":"scan-start"' build/events_tail.out; then
+  echo "events smoke: tail --type=scan-verdict leaked other event types"
+  exit 1
+fi
+grep -q '# TYPE scag_scan_requests_total counter' build/events_smoke.prom
+grep -q 'scag_scan_latency_ns_bucket{le="+Inf"}' build/events_smoke.prom
+build/tools/scagctl top --once build/events_smoke.prom >build/events_top.out
+grep -q 'scag top' build/events_top.out
+grep -q 'prune ratio' build/events_top.out
+rm -f build/events_smoke.sock
+build/tools/scagctl stats serve --socket=build/events_smoke.sock \
+  --requests=1 --warm >build/events_serve.out 2>&1 &
+events_serve_pid=$!
+for _ in $(seq 1 100); do
+  [ -S build/events_smoke.sock ] && break
+  sleep 0.1
+done
+build/tools/scagctl stats get --socket=build/events_smoke.sock \
+  >build/events_get.out
+wait "$events_serve_pid"
+grep -q '# TYPE scag_' build/events_get.out
+grep -q 'scag_batch_pairs_total' build/events_get.out
 
 # Compiled-kernel smoke: the throughput bench must verify bit-identical
 # scans (nonzero exit otherwise) and its JSON report — written to the

@@ -37,7 +37,8 @@ cmake -B "$BUILD" -S . \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build "$BUILD" --target test_serialize test_fuzz test_metrics \
   test_failpoints test_scagctl_cli test_lower_bounds test_scan_index \
-  test_simd_kernel test_store test_scenarios scagctl -j"$(nproc)"
+  test_simd_kernel test_store test_scenarios test_events scagctl \
+  -j"$(nproc)"
 
 # Leak detection needs ptrace, which many containers deny; the point here
 # is bounds/UB checking of the parser, metrics, and failure paths (the
@@ -67,4 +68,9 @@ export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1"
 # over concatenated buffers, so off-by-one segment math (and the fuzz
 # suite's FuzzMultiSpy rounds above) would surface here first.
 "$BUILD/tests/test_scenarios"
+# The observability plane: the JSONL event parser walks untrusted journal
+# text byte by byte, the Prometheus parser/validator index rendered
+# exposition, and the flight recorder snapshots fixed-size tails — all
+# raw-buffer arithmetic that belongs under ASan/UBSan.
+"$BUILD/tests/test_events"
 echo "ASAN CHECKS PASSED"

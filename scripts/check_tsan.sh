@@ -35,7 +35,7 @@ cmake -B "$BUILD" -S . \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build "$BUILD" --target test_parallel_scan test_dtw_properties \
   test_compiled_kernel test_failpoints test_scan_index test_simd_kernel \
-  test_scenarios -j"$(nproc)"
+  test_scenarios test_events -j"$(nproc)"
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 "$BUILD/tests/test_parallel_scan"
@@ -55,4 +55,9 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 # cell's target at 1/2/8 threads, so the scan pool's work distribution is
 # exercised with real multi-spy traces rather than synthetic corpora.
 "$BUILD/tests/test_scenarios"
+# The event journal's lock-free MPSC ring: the conservation stress pushes
+# from 1/2/8 producers against a concurrent consumer while the writer
+# thread drains, so the seq-number handoff and the drop counters are
+# exercised under real contention.
+"$BUILD/tests/test_events"
 echo "TSAN CHECKS PASSED"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "support/events.h"
 #include "support/failpoint.h"
 #include "support/metrics.h"
 #include "support/trace.h"
@@ -70,6 +71,7 @@ Detection BatchDetector::scan_one_pruned(const CstBbs& target,
   static support::Histogram& h_latency =
       support::Registry::global().histogram("batch.target_latency_ns");
   support::ScopedTimer timer(h_latency);
+  support::events::ScanScope scan_scope(target.size());
   const std::size_t m = detector_.repository_size();
   DtwConfig dtw = detector_.scan_dtw_config();
   dtw.deadline_ns = deadline_ns;
@@ -131,6 +133,21 @@ Detection BatchDetector::scan_one_pruned(const CstBbs& target,
   bc.exact.add(exact);
   bc.lb_skipped.add(lb);
   bc.early_abandoned.add(ea);
+  // Per-scan stage attribution for the journal, stage bytes shared with
+  // CascadeStage (the flat pruned path has no Kim stage: its single
+  // lower bound is the envelope bound).
+  if (support::events::enabled()) {
+    using support::events::emit_prune_stage;
+    if (exact > 0)
+      emit_prune_stage(static_cast<std::uint8_t>(CascadeStage::kExact), exact,
+                       m);
+    if (lb > 0)
+      emit_prune_stage(static_cast<std::uint8_t>(CascadeStage::kEnvelopeBound),
+                       lb, m);
+    if (ea > 0)
+      emit_prune_stage(static_cast<std::uint8_t>(CascadeStage::kEarlyAbandon),
+                       ea, m);
+  }
   return Detector::finalize(std::move(scores), detector_.threshold());
 }
 
@@ -139,6 +156,7 @@ Detection BatchDetector::scan_one_indexed(const CstBbs& target,
   static support::Histogram& h_latency =
       support::Registry::global().histogram("batch.target_latency_ns");
   support::ScopedTimer timer(h_latency);
+  support::events::ScanScope scan_scope(target.size());
   const std::size_t m = detector_.repository_size();
   DtwConfig dtw = detector_.scan_dtw_config();
   dtw.deadline_ns = deadline_ns;
@@ -336,6 +354,7 @@ Detection BatchDetector::scan(const CstBbs& target) const {
 
 Detection BatchDetector::scan_one_exact(const CstBbs& target,
                                         std::uint64_t deadline_ns) const {
+  support::events::ScanScope scan_scope(target.size());
   const std::size_t m = detector_.repository_size();
   DtwConfig dtw = detector_.scan_dtw_config();
   dtw.deadline_ns = deadline_ns;
@@ -373,6 +392,9 @@ Detection BatchDetector::scan_one_exact(const CstBbs& target,
   if (compiled) flush_memo_stats(memo_stats);
   exact_.fetch_add(m, std::memory_order_relaxed);
   BatchCounters::global().exact.add(m);
+  if (m > 0)
+    support::events::emit_prune_stage(
+        static_cast<std::uint8_t>(CascadeStage::kExact), m, m);
   return Detector::finalize(std::move(scores), detector_.threshold());
 }
 
@@ -400,6 +422,11 @@ ScanOutcome BatchDetector::scan_outcome_one(const CstBbs& target) const {
     o.error = "scan deadline of " + std::to_string(config_.scan.deadline_ms) +
               "ms exceeded";
     c_timeouts.add();
+    // The trip event doubles as the flight-recorder dump trigger: the
+    // per-thread tails still hold what every worker was doing when this
+    // scan ran out of budget.
+    support::events::emit_deadline_trip(
+        static_cast<std::uint64_t>(config_.scan.deadline_ms) * 1'000'000ull);
   } catch (const support::fp::FailpointError& e) {
     o.status = ScanStatus::kError;
     o.error = e.what();

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/store.h"
+#include "support/events.h"
 #include "support/failpoint.h"
 #include "support/metrics.h"
 #include "support/trace.h"
@@ -82,6 +83,10 @@ Detection Detector::scan(const CstBbs& target_sequence) const {
       support::Registry::global().histogram("scan.latency_ns");
   support::TraceScope span("scan.dtw");
   support::ScopedTimer timer(h_latency);
+  // Journal correlation: tags every event emitted below (cascade stages,
+  // cutoff improvements, the verdict) with this scan's id. Passive — a
+  // disabled journal makes this a single relaxed load.
+  support::events::ScanScope scan_scope(target_sequence.size());
   if (support::fp::hit("detector.scan"))
     throw support::fp::FailpointError("detector.scan");
   c_requests.add();
@@ -179,6 +184,14 @@ Detection Detector::finalize(std::vector<ModelScore> scores,
     det.best_score = det.scores.front().score;
     if (det.best_score >= threshold) det.verdict = det.scores.front().family;
   }
+  // Every reduction path (serial, batch worker, scenario oracle) funnels
+  // through here, so this is the one verdict-emission point. The score
+  // goes out as raw IEEE-754 bits: journal readers can compare verdicts
+  // bit-exactly, the same guarantee the differential tests enforce.
+  support::events::emit_scan_verdict(
+      static_cast<std::uint8_t>(det.verdict), det.best_score,
+      det.scores.empty() ? std::string_view{}
+                         : std::string_view(det.scores.front().model_name));
   return det;
 }
 

@@ -159,7 +159,12 @@ DtwResult dtw(std::size_t n, std::size_t m, CostFn&& cost,
       support::Registry::global().counter("dtw.dp_cells");
   static support::Counter& c_abandoned =
       support::Registry::global().counter("dtw.abandoned");
+  // Per-kernel attribution twin of dtw.wavefront_calls (dtw_wavefront.h):
+  // together they expose the kernel-dispatch split in the exposition.
+  static support::Counter& c_scalar_calls =
+      support::Registry::global().counter("dtw.scalar_calls");
   c_calls.add();
+  c_scalar_calls.add();
   detail::CellCountFlusher flusher(c_cells);
 
   // An armed deadline applies to every call, including the O(1) empty

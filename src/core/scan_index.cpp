@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/dtw_internal.h"
+#include "support/events.h"
 #include "support/metrics.h"
 #include "support/rng.h"
 
@@ -49,6 +50,21 @@ void flush_cascade_stats(const CascadeStats& st) {
   if (st.early_abandoned != 0) c.early_abandoned.add(st.early_abandoned);
   if (st.promoted != 0) c.promoted.add(st.promoted);
   if (st.triage_first_is_best) c.triage_first_best.add();
+
+  // Journal twin of the counters above: per-scan stage attribution (one
+  // prune-stage event per non-empty stage, tagged with the enclosing
+  // ScanScope id), which the aggregate registry cannot reconstruct.
+  if (support::events::enabled()) {
+    using support::events::emit_prune_stage;
+    const auto emit = [&](CascadeStage stage, std::uint64_t decided) {
+      if (decided != 0)
+        emit_prune_stage(static_cast<std::uint8_t>(stage), decided, st.pairs);
+    };
+    emit(CascadeStage::kExact, st.exact);
+    emit(CascadeStage::kKimBound, st.kim_pruned);
+    emit(CascadeStage::kEnvelopeBound, st.envelope_pruned);
+    emit(CascadeStage::kEarlyAbandon, st.early_abandoned);
+  }
 }
 
 /// The cascade proper, shared by both kernels through a per-model oracle
@@ -78,6 +94,10 @@ std::vector<CascadeScore> run_cascade(std::size_t num_models,
     if (best_j == num_models || score > best) {
       best = score;
       best_j = j;
+      // Cutoff ratchet for the journal: when and through which model the
+      // cascade tightened its prune bar. Emitted as raw score bits so a
+      // reader can line the trajectory up with the verdict bit-exactly.
+      support::events::emit_cascade_cutoff(score, j);
     } else if (score == best && j < best_j) {
       best_j = j;
     }

@@ -10,6 +10,7 @@
 #include <unordered_set>
 
 #include "core/scan_index.h"
+#include "support/metrics.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define SCAG_STORE_HAVE_MMAP 1
@@ -832,6 +833,14 @@ void ModelStore::Impl::parse(ModelStore& store, const StoreOptions& opts) {
 
 std::shared_ptr<const ModelStore> ModelStore::open(const std::string& path,
                                                    const StoreOptions& opts) {
+  // Loader-side series for the observability plane: the open-to-usable
+  // latency is the store's whole selling point, so expose it.
+  static support::Counter& c_opens =
+      support::Registry::global().counter("store.opens");
+  static support::Histogram& h_open =
+      support::Registry::global().histogram("store.open_ns");
+  c_opens.add();
+  support::ScopedTimer timer(h_open);
   std::shared_ptr<ModelStore> store(new ModelStore());
   store->impl_ = std::make_unique<Impl>();
   Impl& im = *store->impl_;

@@ -1,0 +1,656 @@
+#include "support/events.h"
+
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "support/strings.h"
+
+#ifndef SCAG_METRICS_OFF
+#include <csignal>
+#endif
+
+namespace scag::support::events {
+
+// ---------------------------------------------------------------------------
+// Wire names (both modes: the parser is pure and tested even when the
+// live journal compiles out).
+
+namespace {
+
+constexpr std::array<std::string_view, kNumEventTypes> kTypeNames = {
+    "scan-start",     "scan-verdict",  "prune-stage",
+    "cascade-cutoff", "failpoint-hit", "deadline-trip",
+};
+
+}  // namespace
+
+std::string_view event_type_name(EventType t) {
+  const auto i = static_cast<std::size_t>(t);
+  return i < kTypeNames.size() ? kTypeNames[i] : std::string_view{"unknown"};
+}
+
+std::optional<EventType> parse_event_type(std::string_view name) {
+  for (std::size_t i = 0; i < kTypeNames.size(); ++i)
+    if (kTypeNames[i] == name) return static_cast<EventType>(i);
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// JSONL round trip. Emission is exact string building; parsing is a
+// minimal single-object scanner (quoted strings with escapes, unsigned
+// decimals) so `scagctl events tail` and the tests can re-read journal
+// lines without a JSON library. a/b are unsigned decimals, so IEEE-754
+// score bits survive the round trip unchanged.
+
+std::string event_to_json(const Event& e) {
+  std::string out;
+  out.reserve(160);
+  out += "{\"type\":";
+  out += json_quote(event_type_name(e.type));
+  out += strfmt(",\"ts\":%llu", static_cast<unsigned long long>(e.ts_ns));
+  out += strfmt(",\"thread\":%u", e.thread);
+  out += strfmt(",\"scan\":%u", e.scan);
+  out += strfmt(",\"family\":%u", e.family);
+  out += strfmt(",\"stage\":%u", e.stage);
+  out += strfmt(",\"a\":%llu", static_cast<unsigned long long>(e.a));
+  out += strfmt(",\"b\":%llu", static_cast<unsigned long long>(e.b));
+  out += ",\"detail\":";
+  out += json_quote(e.detail_view());
+  out += "}";
+  return out;
+}
+
+namespace {
+
+void skip_ws(std::string_view s, std::size_t& i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+}
+
+// Parses a JSON string literal at s[i] (which must be '"'). Returns false
+// on malformed input. Handles the escapes json_quote emits.
+bool parse_json_string(std::string_view s, std::size_t& i, std::string& out) {
+  if (i >= s.size() || s[i] != '"') return false;
+  ++i;
+  out.clear();
+  while (i < s.size()) {
+    char c = s[i++];
+    if (c == '"') return true;
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    if (i >= s.size()) return false;
+    char esc = s[i++];
+    switch (esc) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'n': out += '\n'; break;
+      case 't': out += '\t'; break;
+      case 'r': out += '\r'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'u': {
+        if (i + 4 > s.size()) return false;
+        unsigned code = 0;
+        for (int k = 0; k < 4; ++k) {
+          char h = s[i++];
+          code <<= 4;
+          if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+          else return false;
+        }
+        if (code > 0xff) return false;  // journal lines are ASCII-only
+        out += static_cast<char>(code);
+        break;
+      }
+      default: return false;
+    }
+  }
+  return false;
+}
+
+bool parse_json_u64(std::string_view s, std::size_t& i, std::uint64_t& out) {
+  if (i >= s.size() || s[i] < '0' || s[i] > '9') return false;
+  out = 0;
+  while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+    const std::uint64_t digit = static_cast<std::uint64_t>(s[i] - '0');
+    if (out > (~std::uint64_t{0} - digit) / 10) return false;  // overflow
+    out = out * 10 + digit;
+    ++i;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool event_from_json(std::string_view line, Event& out) {
+  std::size_t i = 0;
+  skip_ws(line, i);
+  if (i >= line.size() || line[i] != '{') return false;
+  ++i;
+
+  Event e;
+  bool have_type = false;
+  std::string key, sval;
+  while (true) {
+    skip_ws(line, i);
+    if (i < line.size() && line[i] == '}') break;
+    if (!parse_json_string(line, i, key)) return false;
+    skip_ws(line, i);
+    if (i >= line.size() || line[i] != ':') return false;
+    ++i;
+    skip_ws(line, i);
+    if (i < line.size() && line[i] == '"') {
+      if (!parse_json_string(line, i, sval)) return false;
+      if (key == "type") {
+        const auto t = parse_event_type(sval);
+        if (!t) return false;
+        e.type = *t;
+        have_type = true;
+      } else if (key == "detail") {
+        e.set_detail(sval);
+      }  // unknown string fields: forward-compatible skip
+    } else {
+      std::uint64_t uval = 0;
+      if (parse_json_u64(line, i, uval)) {
+        if (key == "ts") e.ts_ns = uval;
+        else if (key == "a") e.a = uval;
+        else if (key == "b") e.b = uval;
+        else if (key == "thread") e.thread = static_cast<std::uint32_t>(uval);
+        else if (key == "scan") e.scan = static_cast<std::uint32_t>(uval);
+        else if (key == "family") e.family = static_cast<std::uint8_t>(uval);
+        else if (key == "stage") e.stage = static_cast<std::uint8_t>(uval);
+      } else {
+        // Non-numeric, non-string value (bool/null/nested): skip one
+        // bare token; the journal's header/summary lines land here.
+        while (i < line.size() && line[i] != ',' && line[i] != '}') ++i;
+      }
+    }
+    skip_ws(line, i);
+    if (i < line.size() && line[i] == ',') {
+      ++i;
+      continue;
+    }
+    break;
+  }
+  if (i >= line.size() || line[i] != '}') return false;
+  if (!have_type) return false;  // header/summary records are not events
+  out = e;
+  return true;
+}
+
+#ifndef SCAG_METRICS_OFF
+
+// ---------------------------------------------------------------------------
+// EventRing: Vyukov bounded queue, multi-producer / single-consumer.
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t cap = 2;
+  while (cap < n) cap <<= 1;
+  return cap;
+}
+
+}  // namespace
+
+EventRing::EventRing(std::size_t capacity)
+    : mask_(round_up_pow2(capacity < 2 ? 2 : capacity) - 1),
+      slots_(mask_ + 1) {
+  for (std::size_t i = 0; i <= mask_; ++i)
+    slots_[i].seq.store(i, std::memory_order_relaxed);
+}
+
+bool EventRing::push(const Event& e) {
+  std::uint64_t pos = head_.load(std::memory_order_relaxed);
+  for (;;) {
+    Slot& slot = slots_[pos & mask_];
+    const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+    const auto diff =
+        static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+    if (diff == 0) {
+      if (head_.compare_exchange_weak(pos, pos + 1,
+                                      std::memory_order_relaxed)) {
+        slot.event = e;
+        slot.seq.store(pos + 1, std::memory_order_release);
+        emitted_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      // CAS failure reloaded pos; retry with the fresh value.
+    } else if (diff < 0) {
+      // The slot one full lap behind is still unconsumed: ring is full.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    } else {
+      pos = head_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+bool EventRing::pop(Event& out) {
+  Slot& slot = slots_[tail_ & mask_];
+  const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+  const auto diff = static_cast<std::int64_t>(seq) -
+                    static_cast<std::int64_t>(tail_ + 1);
+  if (diff < 0) return false;  // producer hasn't published this slot yet
+  out = slot.event;
+  slot.seq.store(tail_ + mask_ + 1, std::memory_order_release);
+  ++tail_;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Thread identity + scan correlation.
+
+namespace {
+
+thread_local std::uint32_t tls_event_thread = ~std::uint32_t{0};
+
+std::uint32_t event_thread_index() {
+  static std::atomic<std::uint32_t> next{0};
+  if (tls_event_thread == ~std::uint32_t{0})
+    tls_event_thread = next.fetch_add(1, std::memory_order_relaxed);
+  return tls_event_thread;
+}
+
+thread_local std::uint32_t tls_scan_id = 0;
+
+std::uint32_t next_scan_id() {
+  static std::atomic<std::uint32_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+std::uint32_t current_scan_id() { return tls_scan_id; }
+
+ScanScope::ScanScope(std::uint64_t target_length) {
+  if (!EventJournal::global().enabled()) return;
+  active_ = true;
+  prev_ = tls_scan_id;
+  id_ = next_scan_id();
+  tls_scan_id = id_;
+  Event e;
+  e.type = EventType::kScanStart;
+  e.a = target_length;
+  EventJournal::global().emit(e);
+}
+
+ScanScope::~ScanScope() {
+  if (active_) tls_scan_id = prev_;
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder.
+
+namespace flight {
+
+namespace {
+
+struct Tail {
+  std::uint32_t thread = 0;
+  mutable std::mutex mu;  // uncontended in note(); taken by snapshots
+  std::array<Event, kTailLen> ring{};
+  std::uint64_t count = 0;
+
+  void note(const Event& e) {
+    std::lock_guard<std::mutex> lock(mu);
+    ring[count % kTailLen] = e;
+    ++count;
+  }
+};
+
+struct TailRegistry {
+  std::mutex mu;
+  // Owned forever: a tail of an exited pool worker stays dumpable, and
+  // never freeing sidesteps thread-exit destruction-order hazards.
+  std::vector<std::unique_ptr<Tail>> tails;
+};
+
+TailRegistry& tail_registry() {
+  static TailRegistry* r = new TailRegistry;  // leaked deliberately
+  return *r;
+}
+
+thread_local Tail* tls_tail = nullptr;
+
+Tail& thread_tail() {
+  if (tls_tail == nullptr) {
+    auto tail = std::make_unique<Tail>();
+    tail->thread = event_thread_index();
+    tls_tail = tail.get();
+    std::lock_guard<std::mutex> lock(tail_registry().mu);
+    tail_registry().tails.push_back(std::move(tail));
+  }
+  return *tls_tail;
+}
+
+}  // namespace
+
+void note(const Event& e);  // forward declaration for EventJournal::emit
+void note(const Event& e) { thread_tail().note(e); }
+
+std::string dump_text() {
+  // Snapshot under the registry lock, format outside it.
+  struct TailCopy {
+    std::uint32_t thread;
+    std::uint64_t count;
+    std::vector<Event> events;  // oldest first
+  };
+  std::vector<TailCopy> copies;
+  {
+    TailRegistry& reg = tail_registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    copies.reserve(reg.tails.size());
+    for (const auto& tail : reg.tails) {
+      std::lock_guard<std::mutex> tlock(tail->mu);
+      TailCopy c;
+      c.thread = tail->thread;
+      c.count = tail->count;
+      const std::uint64_t n =
+          tail->count < kTailLen ? tail->count : kTailLen;
+      c.events.reserve(static_cast<std::size_t>(n));
+      for (std::uint64_t k = 0; k < n; ++k)
+        c.events.push_back(tail->ring[(tail->count - n + k) % kTailLen]);
+      copies.push_back(std::move(c));
+    }
+  }
+
+  std::string out = strfmt(
+      "{\"schema\":\"scag-flight-v1\",\"tail_len\":%zu,\"threads\":%zu}\n",
+      kTailLen, copies.size());
+  for (const TailCopy& c : copies) {
+    out += strfmt("{\"thread\":%u,\"recorded\":%llu,\"kept\":%zu}\n", c.thread,
+                  static_cast<unsigned long long>(c.count), c.events.size());
+    for (const Event& e : c.events) {
+      out += event_to_json(e);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+bool dump_to_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string text = dump_text();
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return (std::fclose(f) == 0) && ok;
+}
+
+void clear() {
+  TailRegistry& reg = tail_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  // tls_tail pointers of live threads keep pointing at their (still
+  // owned) tails; only reset the contents so dumps start fresh.
+  for (const auto& tail : reg.tails) {
+    std::lock_guard<std::mutex> tlock(tail->mu);
+    tail->count = 0;
+  }
+}
+
+namespace {
+
+// The signal handler needs a plain-char destination path: set once at
+// install/start time, read inside the handler.
+char g_signal_dump_path[512] = {};
+std::atomic<bool> g_signal_installed{false};
+
+void fatal_signal_handler(int signo) {
+  // Best effort and documented as such: formatting allocates, which is
+  // not async-signal-safe, but the alternative on a crashing process is
+  // no post-mortem at all. Restore default first so a second fault while
+  // dumping terminates instead of recursing.
+  std::signal(signo, SIG_DFL);
+  if (g_signal_dump_path[0] != '\0')
+    dump_to_file(g_signal_dump_path);
+  std::raise(signo);
+}
+
+}  // namespace
+
+void install_signal_dump() {
+  if (g_signal_installed.exchange(true)) return;
+  for (int signo : {SIGSEGV, SIGBUS, SIGILL, SIGABRT, SIGFPE})
+    std::signal(signo, fatal_signal_handler);
+}
+
+namespace detail {
+void set_signal_dump_path(const std::string& path) {
+  const std::size_t n = path.size() < sizeof(g_signal_dump_path) - 1
+                            ? path.size()
+                            : sizeof(g_signal_dump_path) - 1;
+  std::memcpy(g_signal_dump_path, path.c_str(), n);
+  g_signal_dump_path[n] = '\0';
+}
+}  // namespace detail
+
+}  // namespace flight
+
+// ---------------------------------------------------------------------------
+// EventJournal.
+
+EventJournal& EventJournal::global() {
+  static EventJournal* j = new EventJournal;  // leaked: outlives all threads
+  return *j;
+}
+
+void EventJournal::start(const JournalConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (enabled_.load(std::memory_order_relaxed))
+    throw std::logic_error("event journal already started");
+
+  config_ = config;
+  if (config_.flight_path.empty() && !config_.path.empty())
+    config_.flight_path = config_.path + ".flight";
+  if (!config_.flight_path.empty())
+    flight::detail::set_signal_dump_path(config_.flight_path);
+
+  ring_ = std::make_unique<EventRing>(config_.ring_capacity);
+  written_.store(0, std::memory_order_relaxed);
+  flight_dumps_.store(0, std::memory_order_relaxed);
+  mirrored_ = {};  // fresh ring, fresh deltas
+
+  if (!config_.path.empty()) {
+    // Probe the sink before enabling: an unwritable journal path should
+    // fail loudly at start, not silently drop every event.
+    {
+      std::ofstream probe(config_.path, std::ios::trunc);
+      if (!probe)
+        throw std::runtime_error("cannot open event journal: " + config_.path);
+    }
+    stop_writer_.store(false, std::memory_order_relaxed);
+    writer_ = std::thread([this] { writer_loop(); });
+  }
+  enabled_.store(true, std::memory_order_release);
+}
+
+void EventJournal::stop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  enabled_.store(false, std::memory_order_release);
+  if (writer_.joinable()) {
+    stop_writer_.store(true, std::memory_order_release);
+    writer_.join();
+  }
+  // Close the books: consume anything still queued (ring-only sessions,
+  // plus any straggler emit that raced the disable above) so the
+  // conservation invariant emitted == written + dropped holds at stop.
+  // Callers must still quiesce their own emitting threads first — the
+  // scan APIs do (BatchDetector joins its pool before returning).
+  if (ring_) {
+    Event residue;
+    while (ring_->pop(residue))
+      written_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Mirror the session's accounting into the metrics registry so the
+  // Prometheus exposition carries the journal's own health series.
+  mirror_locked();
+}
+
+void EventJournal::mirror_locked() {
+  if (!ring_) return;
+  static Counter& emitted = Registry::global().counter("events.emitted");
+  static Counter& dropped = Registry::global().counter("events.dropped");
+  static Counter& written = Registry::global().counter("events.written");
+  JournalStats now;
+  // Journal-level "emitted" counts emit() calls (the ring splits them
+  // into accepted pushes and drops), so emitted == written + dropped.
+  now.emitted = ring_->emitted() + ring_->dropped();
+  now.dropped = ring_->dropped();
+  now.written = written_.load(std::memory_order_relaxed);
+  emitted.add(now.emitted - mirrored_.emitted);
+  dropped.add(now.dropped - mirrored_.dropped);
+  written.add(now.written - mirrored_.written);
+  mirrored_ = now;
+}
+
+void EventJournal::sync_registry_counters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  mirror_locked();
+}
+
+void EventJournal::emit(Event e) {
+  // Acquire pairs with start()'s release store so ring_ is visible; on
+  // the disabled fast path this is still a single uncontended load.
+  if (!enabled_.load(std::memory_order_acquire)) return;
+  e.ts_ns = monotonic_ns();
+  e.thread = event_thread_index();
+  if (e.scan == 0) e.scan = tls_scan_id;
+  flight::note(e);
+  ring_->push(e);  // a full ring counts the drop inside push()
+}
+
+std::size_t EventJournal::drain(std::vector<Event>& out) {
+  if (!ring_) return 0;
+  std::size_t n = 0;
+  Event e;
+  while (ring_->pop(e)) {
+    out.push_back(e);
+    ++n;
+  }
+  written_.fetch_add(n, std::memory_order_relaxed);
+  return n;
+}
+
+JournalStats EventJournal::stats() const {
+  JournalStats s;
+  if (ring_) {
+    s.emitted = ring_->emitted() + ring_->dropped();
+    s.dropped = ring_->dropped();
+  }
+  s.written = written_.load(std::memory_order_relaxed);
+  s.flight_dumps = flight_dumps_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void EventJournal::dump_flight(std::string_view reason) {
+  flight_dumps_.fetch_add(1, std::memory_order_relaxed);
+  if (!config_.flight_path.empty()) {
+    flight::dump_to_file(config_.flight_path);
+  } else {
+    std::fprintf(stderr, "scag: flight-recorder dump (%.*s):\n%s",
+                 static_cast<int>(reason.size()), reason.data(),
+                 flight::dump_text().c_str());
+  }
+}
+
+void EventJournal::writer_loop() {
+  std::ofstream out(config_.path, std::ios::trunc);
+  out << strfmt("{\"schema\":\"scag-events-v1\",\"ring_capacity\":%zu}\n",
+                ring_->capacity());
+
+  std::uint64_t written = 0;
+  Event e;
+  for (;;) {
+    bool wrote_any = false;
+    while (ring_->pop(e)) {
+      out << event_to_json(e) << '\n';
+      ++written;
+      wrote_any = true;
+    }
+    written_.store(written, std::memory_order_relaxed);
+    if (!wrote_any) {
+      if (stop_writer_.load(std::memory_order_acquire)) break;
+      out.flush();  // keep `events tail -f` latency low while idle
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  // Summary footer: lets a reader verify conservation without the
+  // process's metrics output (emitted == written + dropped).
+  out << strfmt(
+      "{\"schema\":\"scag-events-v1\",\"summary\":true,"
+      "\"emitted\":%llu,\"written\":%llu,\"dropped\":%llu}\n",
+      static_cast<unsigned long long>(ring_->emitted() + ring_->dropped()),
+      static_cast<unsigned long long>(written),
+      static_cast<unsigned long long>(ring_->dropped()));
+  out.flush();
+}
+
+// ---------------------------------------------------------------------------
+// Typed emit helpers.
+
+void emit_scan_verdict(std::uint8_t family, double best_score,
+                       std::string_view winner) {
+  EventJournal& j = EventJournal::global();
+  if (!j.enabled()) return;
+  Event e;
+  e.type = EventType::kScanVerdict;
+  e.family = family;
+  std::memcpy(&e.a, &best_score, sizeof(e.a));
+  e.set_detail(winner);
+  j.emit(e);
+}
+
+void emit_prune_stage(std::uint8_t stage, std::uint64_t decided,
+                      std::uint64_t repo_size) {
+  EventJournal& j = EventJournal::global();
+  if (!j.enabled()) return;
+  Event e;
+  e.type = EventType::kPruneStage;
+  e.stage = stage;
+  e.a = decided;
+  e.b = repo_size;
+  j.emit(e);
+}
+
+void emit_cascade_cutoff(double score, std::uint64_t model_index) {
+  EventJournal& j = EventJournal::global();
+  if (!j.enabled()) return;
+  Event e;
+  e.type = EventType::kCascadeCutoff;
+  std::memcpy(&e.a, &score, sizeof(e.a));
+  e.b = model_index;
+  j.emit(e);
+}
+
+void emit_failpoint_hit(std::string_view name) {
+  EventJournal& j = EventJournal::global();
+  if (!j.enabled()) return;
+  Event e;
+  e.type = EventType::kFailpointHit;
+  e.set_detail(name);
+  j.emit(e);
+}
+
+void emit_deadline_trip(std::uint64_t budget_ns) {
+  EventJournal& j = EventJournal::global();
+  if (!j.enabled()) return;
+  Event e;
+  e.type = EventType::kDeadlineTrip;
+  e.a = budget_ns;
+  j.emit(e);
+  // The trip is exactly the "what was everyone doing" moment the
+  // recorder exists for; dump while the tails are hot.
+  j.dump_flight("deadline-trip");
+}
+
+#endif  // SCAG_METRICS_OFF
+
+}  // namespace scag::support::events

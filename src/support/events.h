@@ -1,0 +1,362 @@
+// Structured event journal for the scan pipeline: a lock-free MPSC ring
+// buffer of fixed-size typed events (scan lifecycle, cascade pruning,
+// failpoint triggers, deadline trips) drained by a background writer
+// thread into a JSONL file under the versioned `scag-events-v1` schema —
+// the per-scan evidence stream the aggregate metrics layer
+// (support/metrics.h) cannot provide, and the surface the streaming
+// daemon (`scagd`, ROADMAP) will publish.
+//
+// Design goals (see docs/observability.md "Event journal"):
+//   - Passive: recording an event never changes a verdict, a score, or an
+//     iteration order. Scans are bit-identical with the journal on or off
+//     (enforced by the events axis of tests/differential_scan.h).
+//   - Lock-free producers: emit() is one relaxed load when the journal is
+//     disabled; enabled, it is a bounded CAS loop into a Vyukov-style
+//     sequence-numbered ring plus a mutex-free* write of 64 bytes. A full
+//     ring DROPS the event and counts it — producers never block on the
+//     writer (*the flight-recorder tail takes a per-thread uncontended
+//     mutex so post-mortem snapshots are tear-free).
+//   - Accounted loss: emitted == written + dropped holds at every stop()
+//     (drop-counter conservation, tests/test_events.cpp), so a saturated
+//     journal is visible, never silent.
+//   - Post-mortem: every emitted event also lands in a fixed-size
+//     per-thread flight-recorder tail. On failpoint-armed crashes,
+//     deadline trips, and fatal signals the tails are dumped so the last
+//     N events per thread survive the process (scag-flight-v1).
+//   - Removable: -DSCAG_METRICS_OFF compiles the journal to inline no-ops
+//     like the rest of the observability plane; call sites compile
+//     unchanged and behavior is bit-identical to a disabled journal.
+//
+// Usage (instrumentation sites):
+//   {
+//     support::events::ScanScope scan(sequence.size());   // scan-start
+//     ...
+//     support::events::emit_scan_verdict(family, score, winner);
+//   }
+// The thread-local scan id assigned by ScanScope tags every event emitted
+// below it (cascade stages, cutoff improvements, deadline trips), so a
+// journal line always names the scan it belongs to, even from a pool
+// worker thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "support/metrics.h"
+
+namespace scag::support::events {
+
+// ---------------------------------------------------------------------------
+// Event model: plain data, identical in both modes.
+
+enum class EventType : std::uint8_t {
+  kScanStart = 0,      // a scan began; a = target sequence length
+  kScanVerdict = 1,    // a scan finished; a = IEEE-754 bits of best_score,
+                       // family = verdict, detail = winning model
+  kPruneStage = 2,     // cascade stage summary; stage = CascadeStage,
+                       // a = models decided at that stage, b = repo size
+  kCascadeCutoff = 3,  // the cascade's best exact score improved;
+                       // a = IEEE-754 bits of the new cutoff, b = model idx
+  kFailpointHit = 4,   // an armed failpoint fired; detail = failpoint name
+  kDeadlineTrip = 5,   // a cooperative scan deadline expired; a = budget ns
+};
+inline constexpr std::size_t kNumEventTypes = 6;
+
+/// Stable wire name of an event type ("scan-start", "failpoint-hit", ...).
+std::string_view event_type_name(EventType t);
+/// Inverse of event_type_name; nullopt for unknown names.
+std::optional<EventType> parse_event_type(std::string_view name);
+
+/// Family byte meaning "no family attached" (the journal is a support
+/// layer and carries core::Family values as opaque small integers).
+inline constexpr std::uint8_t kNoFamily = 0xff;
+
+/// One journal event: exactly 64 bytes, trivially copyable, so ring slots
+/// are cache-line sized and the MPSC publish is a plain struct store.
+struct Event {
+  static constexpr std::size_t kDetailCap = 28;  // truncating, NUL-kept
+
+  std::uint64_t ts_ns = 0;   // support::monotonic_ns() at emit
+  std::uint64_t a = 0;       // type-specific payload (see EventType)
+  std::uint64_t b = 0;       // type-specific payload
+  std::uint32_t thread = 0;  // dense per-process thread index
+  std::uint32_t scan = 0;    // ScanScope id; 0 = outside any scan
+  EventType type = EventType::kScanStart;
+  std::uint8_t family = kNoFamily;  // core::Family as int; 0xff = none
+  std::uint8_t stage = 0;           // type-specific small discriminator
+  char detail[kDetailCap + 1] = {};
+
+  void set_detail(std::string_view s) {
+    const std::size_t n = s.size() < kDetailCap ? s.size() : kDetailCap;
+    std::memcpy(detail, s.data(), n);
+    detail[n] = '\0';
+  }
+  std::string_view detail_view() const { return detail; }
+};
+static_assert(sizeof(Event) == 64, "Event must stay one cache line");
+static_assert(std::is_trivially_copyable_v<Event>);
+
+/// One `scag-events-v1` JSONL line (no trailing newline). Every field is
+/// always present; a/b are unsigned decimals so IEEE-754 score bits
+/// round-trip exactly.
+std::string event_to_json(const Event& e);
+/// Parses a line produced by event_to_json. Returns false (and leaves
+/// `out` unspecified) for malformed lines and for non-event lines of a
+/// journal file (the header/summary records have no "type" field).
+bool event_from_json(std::string_view line, Event& out);
+
+/// Cumulative producer/consumer accounting. Conservation invariant after
+/// a full drain (stop() or ring-only drain()): emitted == written/popped
+/// + dropped.
+struct JournalStats {
+  std::uint64_t emitted = 0;  // emit() calls while enabled
+  std::uint64_t dropped = 0;  // lost to a full ring
+  std::uint64_t written = 0;  // events drained (to file or drain())
+  std::uint64_t flight_dumps = 0;  // flight-recorder dumps written
+};
+
+struct JournalConfig {
+  /// JSONL output path. Empty = ring-only mode: no writer thread; events
+  /// accumulate in the ring until drain() (or are dropped, counted). Used
+  /// by the differential tests' events axis and by embedders that attach
+  /// their own consumer.
+  std::string path;
+  /// Ring slots; rounded up to a power of two. 2^14 slots x 64 B = 1 MiB.
+  std::size_t ring_capacity = 1u << 14;
+  /// Flight-recorder dump target for automatic dumps (deadline trips,
+  /// fatal signals, crash handlers). Empty = derived as path + ".flight"
+  /// when a path is set, else disabled.
+  std::string flight_path;
+};
+
+#ifdef SCAG_METRICS_OFF
+
+// ---------------------------------------------------------------------------
+// No-op mode: the journal compiles out with the rest of the plane.
+
+class EventRing {
+ public:
+  explicit EventRing(std::size_t = 0) {}
+  bool push(const Event&) { return false; }
+  bool pop(Event&) { return false; }
+  std::size_t capacity() const { return 0; }
+  std::uint64_t emitted() const { return 0; }
+  std::uint64_t dropped() const { return 0; }
+};
+
+class EventJournal {
+ public:
+  static EventJournal& global() {
+    static EventJournal j;
+    return j;
+  }
+  static constexpr bool compiled_in() { return false; }
+  void start(const JournalConfig&) {}
+  void stop() {}
+  bool enabled() const { return false; }
+  void emit(Event) {}
+  std::size_t drain(std::vector<Event>&) { return 0; }
+  void sync_registry_counters() {}
+  JournalStats stats() const { return {}; }
+  const std::string& path() const {
+    static const std::string empty;
+    return empty;
+  }
+  void dump_flight(std::string_view) {}
+};
+
+class ScanScope {
+ public:
+  explicit ScanScope(std::uint64_t) {}
+  ScanScope(const ScanScope&) = delete;
+  ScanScope& operator=(const ScanScope&) = delete;
+  std::uint32_t id() const { return 0; }
+};
+
+inline std::uint32_t current_scan_id() { return 0; }
+inline bool enabled() { return false; }
+inline void emit_scan_verdict(std::uint8_t, double, std::string_view) {}
+inline void emit_prune_stage(std::uint8_t, std::uint64_t, std::uint64_t) {}
+inline void emit_cascade_cutoff(double, std::uint64_t) {}
+inline void emit_failpoint_hit(std::string_view) {}
+inline void emit_deadline_trip(std::uint64_t) {}
+
+namespace flight {
+inline std::string dump_text() { return {}; }
+inline bool dump_to_file(const std::string&) { return false; }
+inline void clear() {}
+inline void install_signal_dump() {}
+}  // namespace flight
+
+#else  // SCAG_METRICS_OFF not defined: the real implementation.
+
+/// Bounded lock-free MPSC ring (Vyukov sequence-numbered slots, restricted
+/// to one consumer). push() is wait-free in the absence of contention and
+/// lock-free under it; a full ring fails the push (the caller counts the
+/// drop). pop() must only ever run on one thread at a time (the journal's
+/// writer thread, or the draining test).
+class EventRing {
+ public:
+  explicit EventRing(std::size_t capacity);
+  EventRing(const EventRing&) = delete;
+  EventRing& operator=(const EventRing&) = delete;
+
+  /// False when the ring is full; the event is lost and counted.
+  bool push(const Event& e);
+  /// Single consumer only. False when empty.
+  bool pop(Event& out);
+
+  std::size_t capacity() const { return mask_ + 1; }
+  /// Successful pushes (not attempts; drops are counted separately).
+  std::uint64_t emitted() const {
+    return emitted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> seq;
+    Event event;
+  };
+
+  std::size_t mask_;
+  std::vector<Slot> slots_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // producers
+  alignas(64) std::uint64_t tail_ = 0;              // the single consumer
+  std::atomic<std::uint64_t> emitted_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// The process-wide journal. start()/stop() bracket a recording session;
+/// emit() is safe from any thread in between. Hot call sites go through
+/// the free emit_* helpers below, which check enabled() first.
+class EventJournal {
+ public:
+  static EventJournal& global();
+  static constexpr bool compiled_in() { return true; }
+
+  /// Opens the sink and enables recording. With a non-empty path, spawns
+  /// the background writer thread (JSONL, scag-events-v1 header line
+  /// first). Throws std::runtime_error if the file cannot be opened, and
+  /// std::logic_error if already started.
+  void start(const JournalConfig& config);
+  /// Disables recording, drains the ring completely, writes the summary
+  /// line, joins the writer. Idempotent; safe to call when never started.
+  void stop();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Stamps ts/thread, records the flight tail, pushes the ring. The
+  /// caller fills everything else. No-op when disabled.
+  void emit(Event e);
+
+  /// Ring-only consumption (no writer thread): appends every queued event
+  /// to `out`, returns the number drained, and counts them as written.
+  /// Must not be called while a writer thread is running.
+  std::size_t drain(std::vector<Event>& out);
+
+  /// Pushes the accounting deltas since the last sync into the metrics
+  /// registry (`events.emitted/dropped/written`). stop() does this
+  /// automatically; call it before taking a mid-session snapshot so the
+  /// exposition carries the journal's own health series.
+  void sync_registry_counters();
+
+  JournalStats stats() const;
+  const std::string& path() const { return config_.path; }
+
+  /// Writes the flight-recorder dump to the configured flight_path (or
+  /// stderr when none), tagging it with `reason`. Called automatically on
+  /// deadline trips and from the fatal-signal handler; callers may invoke
+  /// it directly on their own crash paths.
+  void dump_flight(std::string_view reason);
+
+ private:
+  EventJournal() = default;
+  void writer_loop();
+  void mirror_locked();  // registry-counter delta sync; needs mu_ held
+
+  mutable std::mutex mu_;  // guards start/stop transitions only
+  JournalConfig config_;
+  JournalStats mirrored_;  // what has already been pushed to the registry
+  std::unique_ptr<EventRing> ring_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<bool> stop_writer_{false};
+  std::atomic<std::uint64_t> written_{0};
+  std::atomic<std::uint64_t> flight_dumps_{0};
+  std::thread writer_;
+};
+
+/// RAII scan correlation: assigns the next process-wide scan id to this
+/// thread, emits the scan-start event, and restores the previous id on
+/// exit (scans never nest today, but the discipline is cheap). When the
+/// journal is disabled the constructor is one relaxed load.
+class ScanScope {
+ public:
+  explicit ScanScope(std::uint64_t target_length);
+  ~ScanScope();
+  ScanScope(const ScanScope&) = delete;
+  ScanScope& operator=(const ScanScope&) = delete;
+  std::uint32_t id() const { return id_; }
+
+ private:
+  std::uint32_t id_ = 0;
+  std::uint32_t prev_ = 0;
+  bool active_ = false;
+};
+
+/// The scan id events emitted on this thread are tagged with (0 outside
+/// any ScanScope).
+std::uint32_t current_scan_id();
+
+inline bool enabled() { return EventJournal::global().enabled(); }
+
+// Typed emit helpers — each is a single enabled() check when the journal
+// is off. `family` is a core::Family cast to its integer value.
+void emit_scan_verdict(std::uint8_t family, double best_score,
+                       std::string_view winner);
+void emit_prune_stage(std::uint8_t stage, std::uint64_t decided,
+                      std::uint64_t repo_size);
+void emit_cascade_cutoff(double score, std::uint64_t model_index);
+void emit_failpoint_hit(std::string_view name);
+/// Also triggers an automatic flight-recorder dump (the trip is exactly
+/// the "what was the detector doing" moment the recorder exists for).
+void emit_deadline_trip(std::uint64_t budget_ns);
+
+/// Flight recorder: a fixed-size tail of the most recent events per
+/// thread, recorded on every emit. Tails of exited threads are kept (the
+/// registry owns them), so a post-mortem dump still shows what each pool
+/// worker last did.
+namespace flight {
+
+inline constexpr std::size_t kTailLen = 64;
+
+/// Human- and machine-readable dump (scag-flight-v1): a header line, then
+/// per-thread sections of event JSONL lines, oldest first.
+std::string dump_text();
+/// Atomic-enough dump to a file (truncate + write + flush). Returns false
+/// on I/O failure — a crash path must never throw over the real error.
+bool dump_to_file(const std::string& path);
+/// Forgets all recorded tails (test isolation).
+void clear();
+/// Installs SIGSEGV/SIGBUS/SIGILL/SIGABRT/SIGFPE handlers that write the
+/// flight dump to the journal's configured flight path before re-raising.
+/// Idempotent. Best-effort by design: the dump formatter is not strictly
+/// async-signal-safe, but a lost dump on a crashed process beats no dump.
+void install_signal_dump();
+
+}  // namespace flight
+
+#endif  // SCAG_METRICS_OFF
+
+}  // namespace scag::support::events

@@ -9,6 +9,8 @@
 #include <thread>
 #include <unordered_map>
 
+#include "support/events.h"
+
 namespace scag::support::fp {
 
 namespace {
@@ -175,6 +177,11 @@ bool Site::fire() {
   }
   fired_.fetch_add(1, std::memory_order_relaxed);
   fired_counter_->add();
+  // Journal the trigger before the action takes effect: a kThrow unwinds
+  // from here, so emitting first is what puts the failure's own marker
+  // ahead of its fallout in the event stream (and in the flight tails a
+  // crash dump will capture).
+  events::emit_failpoint_hit(name_);
   switch (static_cast<Kind>(kind_.load(std::memory_order_relaxed))) {
     case Kind::kDelay:
       std::this_thread::sleep_for(

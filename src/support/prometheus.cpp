@@ -1,0 +1,396 @@
+#include "support/prometheus.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "support/strings.h"
+
+namespace scag::support::prom {
+
+// ---------------------------------------------------------------------------
+// Rendering.
+
+std::string prometheus_name(std::string_view instrument_name) {
+  std::string out = "scag_";
+  out.reserve(out.size() + instrument_name.size());
+  for (char c : instrument_name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string to_prometheus_text(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+
+  for (const CounterSample& c : snapshot.counters) {
+    const std::string name = prometheus_name(c.name) + "_total";
+    out += "# HELP " + name + " Counter \"" + c.name +
+           "\" from the scag metrics registry.\n";
+    out += "# TYPE " + name + " counter\n";
+    out += name + strfmt(" %llu\n", static_cast<unsigned long long>(c.value));
+  }
+
+  for (const HistogramSample& h : snapshot.histograms) {
+    const std::string name = prometheus_name(h.name);
+    out += "# HELP " + name + " Histogram \"" + h.name +
+           "\" from the scag metrics registry (pow2 buckets, ns).\n";
+    out += "# TYPE " + name + " histogram\n";
+    // The snapshot keeps non-empty buckets only with inclusive upper
+    // bounds; the exposition needs cumulative counts per `le`.
+    std::uint64_t cumulative = 0;
+    for (const HistogramSample::Bucket& b : h.buckets) {
+      cumulative += b.count;
+      out += name +
+             strfmt("_bucket{le=\"%llu\"} %llu\n",
+                    static_cast<unsigned long long>(b.upper_ns),
+                    static_cast<unsigned long long>(cumulative));
+    }
+    out += name + strfmt("_bucket{le=\"+Inf\"} %llu\n",
+                         static_cast<unsigned long long>(h.count));
+    out += name + strfmt("_sum %llu\n",
+                         static_cast<unsigned long long>(h.sum_ns));
+    out += name + strfmt("_count %llu\n",
+                         static_cast<unsigned long long>(h.count));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing / validation.
+
+namespace {
+
+bool is_name_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+bool is_name_char(char c) {
+  return is_name_start(c) || (c >= '0' && c <= '9');
+}
+
+void set_error(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+// Parses `key="value"` label pairs between braces; `i` sits just past
+// `{` on entry and just past `}` on success.
+bool parse_labels(std::string_view line, std::size_t& i,
+                  std::map<std::string, std::string>& labels) {
+  for (;;) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    if (i < line.size() && line[i] == '}') {
+      ++i;
+      return true;
+    }
+    std::string key;
+    if (i >= line.size() || !is_name_start(line[i])) return false;
+    while (i < line.size() && is_name_char(line[i])) key += line[i++];
+    if (i >= line.size() || line[i] != '=') return false;
+    ++i;
+    if (i >= line.size() || line[i] != '"') return false;
+    ++i;
+    std::string value;
+    while (i < line.size() && line[i] != '"') {
+      char c = line[i++];
+      if (c == '\\') {
+        if (i >= line.size()) return false;
+        char esc = line[i++];
+        if (esc == 'n') value += '\n';
+        else if (esc == '\\') value += '\\';
+        else if (esc == '"') value += '"';
+        else return false;
+      } else {
+        value += c;
+      }
+    }
+    if (i >= line.size()) return false;  // unterminated value
+    ++i;                                 // closing quote
+    labels.emplace(std::move(key), std::move(value));
+    while (i < line.size() && line[i] == ' ') ++i;
+    if (i < line.size() && line[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < line.size() && line[i] == '}') {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+}
+
+bool parse_prom_value(std::string_view token, double& out) {
+  if (token == "+Inf" || token == "Inf") {
+    out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (token == "-Inf") {
+    out = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (token == "NaN") {
+    out = std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
+  if (token.empty()) return false;
+  char* end = nullptr;
+  const std::string buf(token);
+  errno = 0;
+  out = std::strtod(buf.c_str(), &end);
+  return errno == 0 && end == buf.c_str() + buf.size();
+}
+
+}  // namespace
+
+std::optional<PromText> parse_prometheus_text(std::string_view text,
+                                              std::string* error) {
+  PromText result;
+  std::size_t lineno = 0;
+  for (const std::string& raw : split(std::string(text), '\n')) {
+    ++lineno;
+    const std::string line = trim(raw);
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      const std::vector<std::string> parts = split_ws(line);
+      // `# TYPE <name> <type>` is the only comment we interpret.
+      if (parts.size() >= 4 && parts[1] == "TYPE")
+        result.types[parts[2]] = parts[3];
+      continue;
+    }
+
+    PromSample sample;
+    std::size_t i = 0;
+    if (!is_name_start(line[i])) {
+      set_error(error, strfmt("line %zu: invalid metric name", lineno));
+      return std::nullopt;
+    }
+    while (i < line.size() && is_name_char(line[i])) sample.name += line[i++];
+    if (i < line.size() && line[i] == '{') {
+      ++i;
+      if (!parse_labels(line, i, sample.labels)) {
+        set_error(error, strfmt("line %zu: malformed labels", lineno));
+        return std::nullopt;
+      }
+    }
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t value_end = i;
+    while (value_end < line.size() && line[value_end] != ' ' &&
+           line[value_end] != '\t')
+      ++value_end;
+    if (!parse_prom_value(std::string_view(line).substr(i, value_end - i),
+                          sample.value)) {
+      set_error(error, strfmt("line %zu: unparseable value", lineno));
+      return std::nullopt;
+    }
+    // Anything after the value would be a timestamp; we neither emit nor
+    // accept one (the scrape time is the snapshot time by construction).
+    if (trim(line.substr(value_end)).size() != 0) {
+      set_error(error, strfmt("line %zu: trailing content", lineno));
+      return std::nullopt;
+    }
+    result.samples.push_back(std::move(sample));
+  }
+  return result;
+}
+
+bool validate_prometheus_text(std::string_view text, std::string* error) {
+  const std::optional<PromText> parsed = parse_prometheus_text(text, error);
+  if (!parsed) return false;
+
+  // Histogram bookkeeping: family -> (last cumulative, saw +Inf, count).
+  struct HistState {
+    double last_cumulative = -1.0;
+    bool saw_inf = false;
+    double inf_value = 0.0;
+    bool has_count = false;
+    double count_value = 0.0;
+  };
+  std::map<std::string, HistState> hist;
+
+  auto family_of = [&](const std::string& name,
+                       std::string_view suffix) -> std::optional<std::string> {
+    if (name.size() <= suffix.size()) return std::nullopt;
+    if (std::string_view(name).substr(name.size() - suffix.size()) != suffix)
+      return std::nullopt;
+    std::string base = name.substr(0, name.size() - suffix.size());
+    const auto it = parsed->types.find(base);
+    if (it == parsed->types.end() || it->second != "histogram")
+      return std::nullopt;
+    return base;
+  };
+
+  for (const PromSample& s : parsed->samples) {
+    if (const auto base = family_of(s.name, "_bucket")) {
+      HistState& st = hist[*base];
+      const auto le = s.labels.find("le");
+      if (le == s.labels.end()) {
+        set_error(error, "_bucket sample without le label: " + s.name);
+        return false;
+      }
+      if (s.value + 1e-9 < st.last_cumulative) {
+        set_error(error, "non-cumulative histogram buckets: " + *base);
+        return false;
+      }
+      st.last_cumulative = s.value;
+      if (le->second == "+Inf") {
+        st.saw_inf = true;
+        st.inf_value = s.value;
+      }
+      continue;
+    }
+    if (const auto base = family_of(s.name, "_count")) {
+      HistState& st = hist[*base];
+      st.has_count = true;
+      st.count_value = s.value;
+      continue;
+    }
+    if (family_of(s.name, "_sum")) continue;
+    // Plain sample: its own name must carry a TYPE declaration.
+    if (parsed->types.find(s.name) == parsed->types.end()) {
+      set_error(error, "sample without # TYPE declaration: " + s.name);
+      return false;
+    }
+  }
+
+  for (const auto& [base, st] : hist) {
+    if (!st.saw_inf) {
+      set_error(error, "histogram not closed by le=\"+Inf\": " + base);
+      return false;
+    }
+    if (!st.has_count || st.count_value != st.inf_value) {
+      set_error(error, "_count does not match +Inf bucket: " + base);
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Unix-socket stats listener + client.
+
+namespace {
+
+sockaddr_un make_unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+void write_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // peer went away; nothing useful to do on a stats socket
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+StatsServer::StatsServer(const std::string& socket_path)
+    : path_(socket_path) {
+  const sockaddr_un addr = make_unix_addr(path_);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    throw std::runtime_error("stats socket: socket() failed");
+  ::unlink(path_.c_str());  // replace a stale socket file from a past run
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("stats socket: cannot bind " + path_);
+  }
+  if (::listen(listen_fd_, 4) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("stats socket: listen() failed on " + path_);
+  }
+}
+
+StatsServer::~StatsServer() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  ::unlink(path_.c_str());
+}
+
+std::size_t StatsServer::serve(std::size_t max_requests,
+                               const std::function<std::string()>& render) {
+  std::size_t served = 0;
+  while (max_requests == 0 || served < max_requests) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed
+    }
+    // Drain the request line + headers (best effort — any GET is the
+    // stats GET; there is exactly one resource).
+    char buf[1024];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n <= 0) break;
+      const std::string_view chunk(buf, static_cast<std::size_t>(n));
+      if (chunk.find("\r\n\r\n") != std::string_view::npos ||
+          chunk.find("\n\n") != std::string_view::npos)
+        break;
+      if (static_cast<std::size_t>(n) < sizeof(buf)) break;
+    }
+    const std::string body = render();
+    std::string response = "HTTP/1.0 200 OK\r\n";
+    response += "Content-Type: ";
+    response += kContentType;
+    response += strfmt("\r\nContent-Length: %zu\r\n\r\n", body.size());
+    response += body;
+    write_all(fd, response);
+    ::close(fd);
+    ++served;
+  }
+  return served;
+}
+
+std::string fetch_stats(const std::string& socket_path) {
+  const sockaddr_un addr = make_unix_addr(socket_path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("stats client: socket() failed");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    throw std::runtime_error("stats client: cannot connect " + socket_path);
+  }
+  write_all(fd, "GET /stats HTTP/1.0\r\nHost: scag\r\n\r\n");
+
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const std::size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos)
+    throw std::runtime_error("stats client: malformed response");
+  if (response.find("200") == std::string::npos ||
+      response.find("200") > header_end)
+    throw std::runtime_error("stats client: non-200 response");
+  return response.substr(header_end + 4);
+}
+
+}  // namespace scag::support::prom

@@ -1,0 +1,104 @@
+// Prometheus text exposition (text/plain; version=0.0.4) of the metrics
+// registry, plus a minimal blocking Unix-socket stats listener — the
+// `/stats` surface the streaming daemon (`scagd`, ROADMAP) will mount,
+// served today by `scagctl stats serve`.
+//
+// Mapping (see docs/observability.md "Prometheus exposition"):
+//   - Counter "dtw.dp_cells"  -> `scag_dtw_dp_cells_total` (TYPE counter)
+//   - Histogram "scan.latency_ns" -> `scag_scan_latency_ns_bucket{le="..."}`
+//     cumulative pow2 buckets + `_sum` + `_count` (TYPE histogram)
+//   - Metric names sanitize every character outside [a-zA-Z0-9_] to `_`
+//     and carry the `scag_` namespace prefix.
+//
+// The renderer consumes a MetricsSnapshot, so it works identically in
+// -DSCAG_METRICS_OFF builds (the snapshot is simply empty) and needs no
+// special no-op twin. The parser/validator exist so `scagctl top` and the
+// test suite can consume the format without a Prometheus client library.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/metrics.h"
+
+namespace scag::support::prom {
+
+/// The Content-Type the 0.0.4 text format must be served under.
+inline constexpr std::string_view kContentType =
+    "text/plain; version=0.0.4";
+
+/// Sanitizes an instrument name into a Prometheus metric name: `scag_`
+/// prefix, every character outside [a-zA-Z0-9_] replaced by `_`.
+std::string prometheus_name(std::string_view instrument_name);
+
+/// Renders a snapshot as 0.0.4 exposition text: counters as
+/// `<name>_total`, histograms as cumulative `_bucket{le=...}` series
+/// (upper bounds in nanoseconds, closed with `le="+Inf"`) plus `_sum` and
+/// `_count`, each preceded by `# HELP` / `# TYPE` lines. Output order is
+/// the snapshot's (sorted by instrument name), so identical registries
+/// render byte-identical text.
+std::string to_prometheus_text(const MetricsSnapshot& snapshot);
+
+/// One parsed sample line: `name{labels} value`.
+struct PromSample {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  double value = 0.0;
+};
+
+struct PromText {
+  std::vector<PromSample> samples;
+  std::map<std::string, std::string> types;  // metric name -> TYPE value
+};
+
+/// Parses exposition text. Returns nullopt on any malformed line (the
+/// validator's error message names the first offender via `error`).
+std::optional<PromText> parse_prometheus_text(std::string_view text,
+                                              std::string* error = nullptr);
+
+/// True when `text` is well-formed 0.0.4 exposition: every line is a
+/// comment or a parseable sample, every sample's metric has a preceding
+/// `# TYPE`, histogram `_bucket` series are cumulative and closed by
+/// `le="+Inf"`, and `_count` matches the `+Inf` bucket. On failure,
+/// `error` (if non-null) describes the first violation.
+bool validate_prometheus_text(std::string_view text,
+                              std::string* error = nullptr);
+
+/// Minimal blocking HTTP/1.0 listener on a Unix-domain socket. Each
+/// accepted connection gets a fresh snapshot rendered by `render` and is
+/// closed; requests are served strictly one at a time (scagd will own a
+/// real event loop — this is the bring-up surface behind it).
+class StatsServer {
+ public:
+  /// Binds and listens; throws std::runtime_error on socket errors
+  /// (including a stale socket file that cannot be replaced).
+  explicit StatsServer(const std::string& socket_path);
+  ~StatsServer();
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  /// Serves exactly `max_requests` connections (0 = forever), calling
+  /// `render()` per request for the response body. Returns the number of
+  /// requests served.
+  std::size_t serve(std::size_t max_requests,
+                    const std::function<std::string()>& render);
+
+  const std::string& socket_path() const { return path_; }
+
+ private:
+  std::string path_;
+  int listen_fd_ = -1;
+};
+
+/// One-shot client for the listener above: connects, sends a GET,
+/// returns the response body (headers stripped). Throws
+/// std::runtime_error on connection or protocol failure. Lets check.sh
+/// and the tests exercise the socket without depending on curl.
+std::string fetch_stats(const std::string& socket_path);
+
+}  // namespace scag::support::prom

@@ -36,6 +36,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -43,8 +44,31 @@
 #include "core/detector.h"
 #include "core/dtw.h"
 #include "core/store.h"
+#include "support/events.h"
 
 namespace scag::testutil {
+
+/// RAII ring-only session of the global event journal for the events axis
+/// of the differential matrices: no sink file, events accumulate in the
+/// ring (drops are fine — the journal is passive) and are discarded on
+/// destruction. Compiles to a no-op under -DSCAG_METRICS_OFF, which is
+/// itself part of the contract: call sites build and verdicts match in
+/// both modes.
+class ScopedEventJournal {
+ public:
+  ScopedEventJournal() {
+    support::events::JournalConfig config;
+    config.ring_capacity = 1u << 12;
+    support::events::EventJournal::global().start(config);
+  }
+  ~ScopedEventJournal() {
+    std::vector<support::events::Event> drained;
+    support::events::EventJournal::global().drain(drained);
+    support::events::EventJournal::global().stop();
+  }
+  ScopedEventJournal(const ScopedEventJournal&) = delete;
+  ScopedEventJournal& operator=(const ScopedEventJournal&) = delete;
+};
 
 /// IEEE-754 bit pattern of a double; the only way two scores are ever
 /// compared in this harness.
@@ -133,30 +157,40 @@ inline void run_differential_matrix(
     oracles.push_back(exhaustive_oracle(detector, t));
 
   detector.set_use_index(true);
-  for (bool compiled : {false, true}) {
-    detector.set_use_compiled(compiled);
-    for (bool simd : {false, true}) {
-      detector.set_use_simd(simd);
-      const std::string serial_label = label + "/serial" +
-                                       (compiled ? "+compiled" : "+string") +
-                                       (simd ? "+simd" : "+scalar");
-      for (std::size_t i = 0; i < targets.size(); ++i)
-        expect_detection_equivalent(
-            oracles[i], detector.scan(targets[i]),
-            serial_label + "/target" + std::to_string(i));
-
-      for (std::size_t threads : thread_counts) {
-        core::BatchConfig config;
-        config.threads = threads;
-        config.index = true;
-        const core::BatchDetector batch(detector, config);
-        const std::vector<core::Detection> got = batch.scan_all(targets);
-        ASSERT_EQ(got.size(), targets.size());
-        const std::string batch_label = serial_label + "/batch-t" +
-                                        std::to_string(threads) + "/target";
+  // The events axis: the journal is passive, so every path must produce
+  // bit-identical Detections with the journal off and recording into a
+  // live ring (scan-start/prune-stage/cascade-cutoff/verdict events from
+  // 1, 2, and 8 worker threads).
+  for (bool journal : {false, true}) {
+    std::optional<ScopedEventJournal> events_session;
+    if (journal) events_session.emplace();
+    const std::string jlabel =
+        label + (journal ? "/events-on" : "/events-off");
+    for (bool compiled : {false, true}) {
+      detector.set_use_compiled(compiled);
+      for (bool simd : {false, true}) {
+        detector.set_use_simd(simd);
+        const std::string serial_label = jlabel + "/serial" +
+                                         (compiled ? "+compiled" : "+string") +
+                                         (simd ? "+simd" : "+scalar");
         for (std::size_t i = 0; i < targets.size(); ++i)
-          expect_detection_equivalent(oracles[i], got[i],
-                                      batch_label + std::to_string(i));
+          expect_detection_equivalent(
+              oracles[i], detector.scan(targets[i]),
+              serial_label + "/target" + std::to_string(i));
+
+        for (std::size_t threads : thread_counts) {
+          core::BatchConfig config;
+          config.threads = threads;
+          config.index = true;
+          const core::BatchDetector batch(detector, config);
+          const std::vector<core::Detection> got = batch.scan_all(targets);
+          ASSERT_EQ(got.size(), targets.size());
+          const std::string batch_label = serial_label + "/batch-t" +
+                                          std::to_string(threads) + "/target";
+          for (std::size_t i = 0; i < targets.size(); ++i)
+            expect_detection_equivalent(oracles[i], got[i],
+                                        batch_label + std::to_string(i));
+        }
       }
     }
   }
@@ -200,32 +234,41 @@ inline void run_store_differential_matrix(
     oracles.push_back(exhaustive_oracle(detector, t));
 
   core::Detector twin = store_backed_clone(detector);
-  for (bool use_index : {false, true}) {
-    twin.set_use_index(use_index);
-    for (bool compiled : {false, true}) {
-      twin.set_use_compiled(compiled);
-      for (bool simd : {false, true}) {
-        twin.set_use_simd(simd);
-        const std::string serial_label =
-            label + "/store-serial" + (use_index ? "+index" : "+exhaustive") +
-            (compiled ? "+compiled" : "+string") + (simd ? "+simd" : "+scalar");
-        for (std::size_t i = 0; i < targets.size(); ++i)
-          expect_detection_equivalent(
-              oracles[i], twin.scan(targets[i]),
-              serial_label + "/target" + std::to_string(i));
-
-        for (std::size_t threads : thread_counts) {
-          core::BatchConfig config;
-          config.threads = threads;
-          config.index = use_index;
-          const core::BatchDetector batch(twin, config);
-          const std::vector<core::Detection> got = batch.scan_all(targets);
-          ASSERT_EQ(got.size(), targets.size());
-          const std::string batch_label = serial_label + "/batch-t" +
-                                          std::to_string(threads) + "/target";
+  for (bool journal : {false, true}) {
+    std::optional<ScopedEventJournal> events_session;
+    if (journal) events_session.emplace();
+    const std::string jlabel =
+        label + (journal ? "/events-on" : "/events-off");
+    for (bool use_index : {false, true}) {
+      twin.set_use_index(use_index);
+      for (bool compiled : {false, true}) {
+        twin.set_use_compiled(compiled);
+        for (bool simd : {false, true}) {
+          twin.set_use_simd(simd);
+          const std::string serial_label =
+              jlabel + "/store-serial" +
+              (use_index ? "+index" : "+exhaustive") +
+              (compiled ? "+compiled" : "+string") +
+              (simd ? "+simd" : "+scalar");
           for (std::size_t i = 0; i < targets.size(); ++i)
-            expect_detection_equivalent(oracles[i], got[i],
-                                        batch_label + std::to_string(i));
+            expect_detection_equivalent(
+                oracles[i], twin.scan(targets[i]),
+                serial_label + "/target" + std::to_string(i));
+
+          for (std::size_t threads : thread_counts) {
+            core::BatchConfig config;
+            config.threads = threads;
+            config.index = use_index;
+            const core::BatchDetector batch(twin, config);
+            const std::vector<core::Detection> got = batch.scan_all(targets);
+            ASSERT_EQ(got.size(), targets.size());
+            const std::string batch_label = serial_label + "/batch-t" +
+                                            std::to_string(threads) +
+                                            "/target";
+            for (std::size_t i = 0; i < targets.size(); ++i)
+              expect_detection_equivalent(oracles[i], got[i],
+                                          batch_label + std::to_string(i));
+          }
         }
       }
     }

@@ -1,0 +1,675 @@
+// Tests for the observability plane's event layer (support/events.h) and
+// Prometheus exposition (support/prometheus.h): the Vyukov MPSC ring's
+// ordering and drop-counter conservation under multi-producer stress
+// (1/2/8 threads — the TSan pass re-runs this binary instrumented), the
+// JSONL schema round trip of every event type, the journal's file and
+// ring-only modes, the flight recorder's tail-vs-journal agreement, and
+// 0.0.4 exposition rendering/validation plus the Unix-socket listener.
+//
+// Links against scag_support only, so the suite also builds in a
+// -DSCAG_METRICS_OFF tree; live-journal tests gate on
+// EventJournal::compiled_in() where behavior legitimately differs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/events.h"
+#include "support/metrics.h"
+#include "support/prometheus.h"
+
+namespace scag::support::events {
+namespace {
+
+[[maybe_unused]] std::filesystem::path temp_path(const std::string& name) {
+  return std::filesystem::temp_directory_path() /
+         ("scag_test_events_" + name);
+}
+
+/// Stops the global journal (and scrubs the flight tails) even when an
+/// assertion fails mid-test, so journal state never leaks across tests.
+struct JournalSession {
+  ~JournalSession() {
+    EventJournal::global().stop();
+    flight::clear();
+  }
+};
+
+Event make_event(EventType type) {
+  Event e;
+  e.type = type;
+  e.ts_ns = 123456789;
+  e.thread = 3;
+  e.scan = 41;
+  e.family = 2;
+  e.stage = 1;
+  e.a = 0xdeadbeefcafef00dull;
+  e.b = 77;
+  e.set_detail("detector.scan");
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// Event model + JSONL schema.
+
+TEST(Event, IsOneCacheLineAndPaddingFree) {
+  EXPECT_EQ(sizeof(Event), 64u);
+  // memcmp-comparable: every byte is covered by a member (the tests below
+  // and the flight/journal agreement check rely on this).
+  EXPECT_EQ(sizeof(Event), 8 + 8 + 8 + 4 + 4 + 1 + 1 + 1 +
+                               (Event::kDetailCap + 1));
+}
+
+TEST(Event, TypeNamesRoundTrip) {
+  for (std::size_t i = 0; i < kNumEventTypes; ++i) {
+    const auto t = static_cast<EventType>(i);
+    const auto parsed = parse_event_type(event_type_name(t));
+    ASSERT_TRUE(parsed.has_value()) << event_type_name(t);
+    EXPECT_EQ(*parsed, t);
+  }
+  EXPECT_FALSE(parse_event_type("no-such-event").has_value());
+  EXPECT_FALSE(parse_event_type("").has_value());
+}
+
+TEST(Event, DetailTruncatesAndStaysTerminated) {
+  Event e;
+  e.set_detail(std::string(100, 'x'));
+  EXPECT_EQ(e.detail_view().size(), Event::kDetailCap);
+  EXPECT_EQ(e.detail[Event::kDetailCap], '\0');
+  e.set_detail("short");
+  EXPECT_EQ(e.detail_view(), "short");
+}
+
+TEST(EventJson, RoundTripsEveryType) {
+  for (std::size_t i = 0; i < kNumEventTypes; ++i) {
+    const Event e = make_event(static_cast<EventType>(i));
+    const std::string line = event_to_json(e);
+    Event back;
+    ASSERT_TRUE(event_from_json(line, back)) << line;
+    EXPECT_EQ(std::memcmp(&e, &back, sizeof(Event)), 0) << line;
+  }
+}
+
+TEST(EventJson, ScoreBitsSurviveExactly) {
+  // IEEE-754 bits ride in `a` as unsigned decimals: the bit pattern of a
+  // verdict score must survive the round trip unchanged, including
+  // patterns that do not round-trip through decimal doubles.
+  for (const double score : {0.7300000000000001, 1.0 / 3.0, 0.0, 1.0}) {
+    Event e = make_event(EventType::kScanVerdict);
+    e.a = std::bit_cast<std::uint64_t>(score);
+    Event back;
+    ASSERT_TRUE(event_from_json(event_to_json(e), back));
+    EXPECT_EQ(back.a, std::bit_cast<std::uint64_t>(score));
+  }
+}
+
+TEST(EventJson, RejectsNonEventLines) {
+  Event e;
+  // A journal's header and summary records carry no "type" field.
+  EXPECT_FALSE(event_from_json(
+      "{\"schema\":\"scag-events-v1\",\"ring_capacity\":16384}", e));
+  EXPECT_FALSE(event_from_json(
+      "{\"schema\":\"scag-events-v1\",\"summary\":true,\"emitted\":3}", e));
+  EXPECT_FALSE(event_from_json("", e));
+  EXPECT_FALSE(event_from_json("not json", e));
+  EXPECT_FALSE(event_from_json("{\"type\":\"bogus-type\"}", e));
+  EXPECT_FALSE(event_from_json("{\"type\":\"scan-start\"", e));  // unclosed
+}
+
+#ifndef SCAG_METRICS_OFF
+
+// ---------------------------------------------------------------------------
+// EventRing: ordering, drop accounting, multi-producer conservation.
+
+TEST(EventRing, FifoOrderSingleThread) {
+  EventRing ring(8);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    Event e;
+    e.a = i;
+    ASSERT_TRUE(ring.push(e));
+  }
+  Event out;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ring.pop(out));
+    EXPECT_EQ(out.a, i);
+  }
+  EXPECT_FALSE(ring.pop(out));
+  EXPECT_EQ(ring.emitted(), 5u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(EventRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(EventRing(5).capacity(), 8u);
+  EXPECT_EQ(EventRing(8).capacity(), 8u);
+  EXPECT_EQ(EventRing(0).capacity(), 2u);
+}
+
+TEST(EventRing, FullRingDropsAndCounts) {
+  EventRing ring(4);
+  Event e;
+  for (int i = 0; i < 10; ++i) ring.push(e);
+  EXPECT_EQ(ring.emitted(), 4u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  // Consuming frees slots: pushes succeed again.
+  Event out;
+  ASSERT_TRUE(ring.pop(out));
+  EXPECT_TRUE(ring.push(e));
+  EXPECT_EQ(ring.emitted(), 5u);
+}
+
+TEST(EventRing, WrapsThroughManyLaps) {
+  EventRing ring(4);
+  Event out;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    Event e;
+    e.a = i;
+    ASSERT_TRUE(ring.push(e));
+    ASSERT_TRUE(ring.pop(out));
+    EXPECT_EQ(out.a, i);
+  }
+  EXPECT_EQ(ring.emitted(), 1000u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+/// The satellite's conservation stress: P producers hammer a small ring
+/// while one consumer drains concurrently. Afterwards every successful
+/// push must have been popped exactly once and the books must balance:
+/// attempts == emitted + dropped, popped == emitted.
+void mpsc_conservation_stress(unsigned producers) {
+  constexpr std::uint64_t kPerProducer = 20000;
+  EventRing ring(64);  // small on purpose: forces wrap and drops
+  std::atomic<bool> done{false};
+  std::uint64_t popped = 0;
+  std::uint64_t payload_sum = 0;
+
+  std::thread consumer([&] {
+    Event out;
+    for (;;) {
+      if (ring.pop(out)) {
+        ++popped;
+        payload_sum += out.a;
+      } else if (done.load(std::memory_order_acquire)) {
+        // Producers finished; drain whatever is still queued.
+        while (ring.pop(out)) {
+          ++popped;
+          payload_sum += out.a;
+        }
+        return;
+      }
+    }
+  });
+
+  std::vector<std::thread> threads;
+  std::atomic<std::uint64_t> pushed_sum{0};
+  for (unsigned p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      std::uint64_t mine = 0;
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        Event e;
+        e.a = p * kPerProducer + i + 1;
+        if (ring.push(e)) mine += e.a;
+      }
+      pushed_sum.fetch_add(mine, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  done.store(true, std::memory_order_release);
+  consumer.join();
+
+  EXPECT_EQ(ring.emitted() + ring.dropped(),
+            std::uint64_t{producers} * kPerProducer);
+  EXPECT_EQ(popped, ring.emitted());
+  // Payload conservation: the consumer saw exactly the accepted events,
+  // none lost, none duplicated, none torn (a torn 64-bit payload would
+  // break the sum with overwhelming probability).
+  EXPECT_EQ(payload_sum, pushed_sum.load());
+  EXPECT_GT(ring.dropped(), 0u) << "stress did not exercise the full-ring "
+                                   "path; shrink the ring";
+}
+
+TEST(EventRing, ConservationOneProducer) { mpsc_conservation_stress(1); }
+TEST(EventRing, ConservationTwoProducers) { mpsc_conservation_stress(2); }
+TEST(EventRing, ConservationEightProducers) { mpsc_conservation_stress(8); }
+
+// ---------------------------------------------------------------------------
+// EventJournal: ring-only mode, file mode, accounting.
+
+TEST(EventJournal, DisabledEmitIsNoOp) {
+  EventJournal& j = EventJournal::global();
+  ASSERT_FALSE(j.enabled());
+  j.emit(make_event(EventType::kScanStart));  // must not crash or record
+  EXPECT_EQ(j.stats().emitted, 0u);
+}
+
+TEST(EventJournal, RingOnlyDrainAndConservation) {
+  JournalSession session;
+  EventJournal& j = EventJournal::global();
+  JournalConfig config;
+  config.ring_capacity = 64;
+  j.start(config);
+  EXPECT_TRUE(j.enabled());
+  EXPECT_THROW(j.start(config), std::logic_error);  // no double start
+
+  for (int i = 0; i < 10; ++i) j.emit(make_event(EventType::kScanStart));
+  std::vector<Event> drained;
+  EXPECT_EQ(j.drain(drained), 10u);
+  EXPECT_EQ(drained.size(), 10u);
+  // emit() stamps timestamp and thread; the rest is caller-provided.
+  for (const Event& e : drained) {
+    EXPECT_GT(e.ts_ns, 0u);
+    EXPECT_EQ(e.scan, 41u);  // make_event's explicit scan id wins
+  }
+  j.stop();
+  const JournalStats st = j.stats();
+  EXPECT_EQ(st.emitted, 10u);
+  EXPECT_EQ(st.dropped, 0u);
+  EXPECT_EQ(st.written, 10u);
+  EXPECT_EQ(st.emitted, st.written + st.dropped);
+  EXPECT_FALSE(j.enabled());
+  j.stop();  // idempotent
+}
+
+TEST(EventJournal, SaturatedRingDropsAreCounted) {
+  JournalSession session;
+  EventJournal& j = EventJournal::global();
+  JournalConfig config;
+  config.ring_capacity = 4;  // tiny and never drained: every emit past 4 drops
+  j.start(config);
+  for (int i = 0; i < 100; ++i) j.emit(make_event(EventType::kPruneStage));
+  j.stop();
+  const JournalStats st = j.stats();
+  EXPECT_EQ(st.emitted, 100u);  // every emit() call, accepted or dropped
+  EXPECT_EQ(st.dropped, 96u);
+  EXPECT_EQ(st.written, 4u);                       // stop() drains the 4
+  EXPECT_EQ(st.emitted, st.written + st.dropped);  // conservation
+}
+
+TEST(EventJournal, FileModeWritesSchemaEventsAndSummary) {
+  JournalSession session;
+  const std::filesystem::path path = temp_path("journal.jsonl");
+  {
+    EventJournal& j = EventJournal::global();
+    JournalConfig config;
+    config.path = path.string();
+    j.start(config);
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t)
+      threads.emplace_back([&j] {
+        for (int i = 0; i < 50; ++i)
+          j.emit(make_event(EventType::kCascadeCutoff));
+      });
+    for (std::thread& th : threads) th.join();
+    j.stop();
+    const JournalStats st = j.stats();
+    EXPECT_EQ(st.emitted, 200u);
+    EXPECT_EQ(st.emitted, st.written + st.dropped);
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"schema\":\"scag-events-v1\""), std::string::npos);
+  EXPECT_NE(line.find("\"ring_capacity\""), std::string::npos);
+
+  std::size_t events = 0;
+  bool saw_summary = false;
+  Event e;
+  while (std::getline(in, line)) {
+    if (event_from_json(line, e)) {
+      ++events;
+      EXPECT_EQ(e.type, EventType::kCascadeCutoff);
+    } else {
+      EXPECT_NE(line.find("\"summary\":true"), std::string::npos) << line;
+      EXPECT_NE(line.find("\"emitted\":"), std::string::npos);
+      saw_summary = true;
+    }
+  }
+  EXPECT_EQ(events, EventJournal::global().stats().written);
+  EXPECT_TRUE(saw_summary);
+  std::filesystem::remove(path);
+  std::filesystem::remove(path.string() + ".flight");
+}
+
+TEST(EventJournal, UnwritableJournalPathFailsAtStart) {
+  JournalSession session;
+  JournalConfig config;
+  config.path = "/nonexistent-dir/journal.jsonl";
+  EXPECT_THROW(EventJournal::global().start(config), std::runtime_error);
+  EXPECT_FALSE(EventJournal::global().enabled());
+}
+
+TEST(EventJournal, SyncRegistryCountersPushesDeltasOnce) {
+  if (!Registry::compiled_in()) GTEST_SKIP();
+  JournalSession session;
+  Counter& emitted = Registry::global().counter("events.emitted");
+  const std::uint64_t before = emitted.value();
+
+  EventJournal& j = EventJournal::global();
+  JournalConfig config;
+  config.ring_capacity = 64;
+  j.start(config);
+  for (int i = 0; i < 7; ++i) j.emit(make_event(EventType::kScanStart));
+  j.sync_registry_counters();
+  EXPECT_EQ(emitted.value(), before + 7);
+  j.sync_registry_counters();  // delta-based: no double counting
+  EXPECT_EQ(emitted.value(), before + 7);
+  std::vector<Event> drained;
+  j.drain(drained);
+  j.stop();  // mirrors the remaining delta (none for emitted)
+  EXPECT_EQ(emitted.value(), before + 7);
+}
+
+// ---------------------------------------------------------------------------
+// Scan correlation.
+
+TEST(ScanScope, TagsEventsAndRestores) {
+  JournalSession session;
+  EventJournal& j = EventJournal::global();
+  JournalConfig config;
+  config.ring_capacity = 64;
+  j.start(config);
+
+  EXPECT_EQ(current_scan_id(), 0u);
+  std::uint32_t outer_id = 0;
+  {
+    ScanScope outer(17);
+    outer_id = outer.id();
+    EXPECT_NE(outer_id, 0u);
+    EXPECT_EQ(current_scan_id(), outer_id);
+    Event e;
+    e.type = EventType::kFailpointHit;
+    j.emit(e);
+    {
+      ScanScope inner(3);
+      EXPECT_NE(inner.id(), outer_id);
+      EXPECT_EQ(current_scan_id(), inner.id());
+    }
+    EXPECT_EQ(current_scan_id(), outer_id);
+  }
+  EXPECT_EQ(current_scan_id(), 0u);
+
+  std::vector<Event> drained;
+  j.drain(drained);
+  j.stop();
+  ASSERT_EQ(drained.size(), 3u);  // outer start, failpoint, inner start
+  EXPECT_EQ(drained[0].type, EventType::kScanStart);
+  EXPECT_EQ(drained[0].a, 17u);
+  EXPECT_EQ(drained[0].scan, outer_id);
+  EXPECT_EQ(drained[1].type, EventType::kFailpointHit);
+  EXPECT_EQ(drained[1].scan, outer_id);  // tagged by the enclosing scope
+  EXPECT_EQ(drained[2].type, EventType::kScanStart);
+}
+
+TEST(ScanScope, NoOpWhenJournalDisabled) {
+  ASSERT_FALSE(EventJournal::global().enabled());
+  ScanScope scope(5);
+  EXPECT_EQ(scope.id(), 0u);
+  EXPECT_EQ(current_scan_id(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder.
+
+TEST(FlightRecorder, TailMatchesJournalLastN) {
+  JournalSession session;
+  EventJournal& j = EventJournal::global();
+  JournalConfig config;
+  config.ring_capacity = 1u << 10;
+  j.start(config);
+
+  // Emit more than a tail holds so the dump is the *most recent* window.
+  constexpr std::size_t kEmit = flight::kTailLen + 37;
+  for (std::size_t i = 0; i < kEmit; ++i) {
+    Event e = make_event(EventType::kScanVerdict);
+    e.b = i;
+    j.emit(e);
+  }
+  std::vector<Event> journal_events;
+  j.drain(journal_events);
+  ASSERT_EQ(journal_events.size(), kEmit);
+
+  // Parse this thread's tail back out of the dump text.
+  const std::string dump = flight::dump_text();
+  EXPECT_NE(dump.find("\"schema\":\"scag-flight-v1\""), std::string::npos);
+  const std::uint32_t self = journal_events.front().thread;
+  std::vector<Event> tail;
+  std::istringstream lines(dump);
+  std::string line;
+  Event e;
+  while (std::getline(lines, line))
+    if (event_from_json(line, e) && e.thread == self) tail.push_back(e);
+
+  // The acceptance contract: the dump's tail IS the journal's last N
+  // events, bit for bit.
+  ASSERT_EQ(tail.size(), flight::kTailLen);
+  const std::size_t offset = journal_events.size() - tail.size();
+  for (std::size_t i = 0; i < tail.size(); ++i)
+    EXPECT_EQ(std::memcmp(&tail[i], &journal_events[offset + i],
+                          sizeof(Event)),
+              0)
+        << "tail diverges from journal at tail index " << i;
+  j.stop();
+}
+
+TEST(FlightRecorder, DumpToFileAndClear) {
+  JournalSession session;
+  EventJournal& j = EventJournal::global();
+  JournalConfig config;
+  config.ring_capacity = 64;
+  j.start(config);
+  j.emit(make_event(EventType::kDeadlineTrip));
+
+  const std::filesystem::path path = temp_path("flight.dump");
+  ASSERT_TRUE(flight::dump_to_file(path.string()));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("scag-flight-v1"), std::string::npos);
+  EXPECT_NE(ss.str().find("deadline-trip"), std::string::npos);
+  std::filesystem::remove(path);
+
+  flight::clear();
+  const std::string after = flight::dump_text();
+  EXPECT_EQ(after.find("deadline-trip"), std::string::npos);
+  EXPECT_FALSE(flight::dump_to_file("/nonexistent-dir/flight.dump"));
+}
+
+TEST(FlightRecorder, DeadlineTripTriggersAutomaticDump) {
+  JournalSession session;
+  EventJournal& j = EventJournal::global();
+  const std::filesystem::path flight_path = temp_path("trip.flight");
+  JournalConfig config;
+  config.ring_capacity = 64;
+  config.flight_path = flight_path.string();
+  j.start(config);
+
+  emit_failpoint_hit("batch.scan_target");
+  emit_deadline_trip(5'000'000);
+
+  EXPECT_TRUE(std::filesystem::exists(flight_path));
+  EXPECT_EQ(j.stats().flight_dumps, 1u);
+  std::ifstream in(flight_path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  // The dump carries the events that led up to the trip.
+  EXPECT_NE(ss.str().find("failpoint-hit"), std::string::npos);
+  EXPECT_NE(ss.str().find("deadline-trip"), std::string::npos);
+  j.stop();
+  std::filesystem::remove(flight_path);
+}
+
+#endif  // SCAG_METRICS_OFF
+
+TEST(EventJournalMode, CompiledInMatchesMetricsLayer) {
+  // The journal compiles out exactly when the metrics layer does: one
+  // -DSCAG_METRICS_OFF switch removes the whole observability plane.
+  EXPECT_EQ(EventJournal::compiled_in(), Registry::compiled_in());
+#ifdef SCAG_METRICS_OFF
+  EventJournal& j = EventJournal::global();
+  j.start(JournalConfig{});  // all no-ops; must not throw or record
+  j.emit(Event{});
+  EXPECT_FALSE(j.enabled());
+  EXPECT_EQ(j.stats().emitted, 0u);
+  j.stop();
+  ScanScope scope(1);
+  EXPECT_EQ(scope.id(), 0u);
+#endif
+}
+
+}  // namespace
+}  // namespace scag::support::events
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition (support/prometheus.h).
+
+namespace scag::support::prom {
+namespace {
+
+MetricsSnapshot sample_snapshot() {
+  MetricsSnapshot snap;
+  snap.counters.push_back({"dtw.scalar_calls", 42});
+  snap.counters.push_back({"scan.requests", 7});
+  HistogramSample h;
+  h.name = "scan.latency_ns";
+  h.count = 6;
+  h.sum_ns = 3000;
+  h.min_ns = 100;
+  h.max_ns = 2000;
+  h.buckets.push_back({127, 1});
+  h.buckets.push_back({1023, 2});
+  h.buckets.push_back({2047, 3});
+  snap.histograms.push_back(std::move(h));
+  return snap;
+}
+
+TEST(Prometheus, NameSanitization) {
+  EXPECT_EQ(prometheus_name("dtw.dp_cells"), "scag_dtw_dp_cells");
+  EXPECT_EQ(prometheus_name("fp.fired.batch.scan_target"),
+            "scag_fp_fired_batch_scan_target");
+  EXPECT_EQ(prometheus_name("weird-name:with spaces"),
+            "scag_weird_name_with_spaces");
+}
+
+TEST(Prometheus, RenderedSnapshotIsValid004) {
+  const std::string text = to_prometheus_text(sample_snapshot());
+  std::string error;
+  EXPECT_TRUE(validate_prometheus_text(text, &error)) << error << "\n"
+                                                      << text;
+  // Counters carry the _total suffix and their value.
+  EXPECT_NE(text.find("# TYPE scag_dtw_scalar_calls_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("scag_dtw_scalar_calls_total 42"), std::string::npos);
+  // Histogram buckets are cumulative and closed by +Inf.
+  EXPECT_NE(text.find("scag_scan_latency_ns_bucket{le=\"127\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("scag_scan_latency_ns_bucket{le=\"1023\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("scag_scan_latency_ns_bucket{le=\"2047\"} 6"),
+            std::string::npos);
+  EXPECT_NE(text.find("scag_scan_latency_ns_bucket{le=\"+Inf\"} 6"),
+            std::string::npos);
+  EXPECT_NE(text.find("scag_scan_latency_ns_sum 3000"), std::string::npos);
+  EXPECT_NE(text.find("scag_scan_latency_ns_count 6"), std::string::npos);
+}
+
+TEST(Prometheus, ParserReadsBackValuesAndLabels) {
+  const std::string text = to_prometheus_text(sample_snapshot());
+  std::string error;
+  const std::optional<PromText> parsed = parse_prometheus_text(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  double requests = -1.0, inf_bucket = -1.0;
+  for (const PromSample& s : parsed->samples) {
+    if (s.name == "scag_scan_requests_total") requests = s.value;
+    if (s.name == "scag_scan_latency_ns_bucket" &&
+        s.labels.at("le") == "+Inf")
+      inf_bucket = s.value;
+  }
+  EXPECT_EQ(requests, 7.0);
+  EXPECT_EQ(inf_bucket, 6.0);
+  EXPECT_EQ(parsed->types.at("scag_scan_latency_ns"), "histogram");
+}
+
+TEST(Prometheus, ValidatorRejectsMalformedText) {
+  std::string error;
+  // Sample without a TYPE declaration.
+  EXPECT_FALSE(validate_prometheus_text("orphan_metric 1\n", &error));
+  // Unparseable value.
+  EXPECT_FALSE(validate_prometheus_text(
+      "# TYPE m counter\nm not-a-number\n", &error));
+  // Histogram not closed by +Inf.
+  EXPECT_FALSE(validate_prometheus_text(
+      "# TYPE h histogram\nh_bucket{le=\"10\"} 1\nh_sum 1\nh_count 1\n",
+      &error));
+  // Non-cumulative buckets.
+  EXPECT_FALSE(validate_prometheus_text("# TYPE h histogram\n"
+                                        "h_bucket{le=\"10\"} 5\n"
+                                        "h_bucket{le=\"20\"} 3\n"
+                                        "h_bucket{le=\"+Inf\"} 5\n"
+                                        "h_sum 1\nh_count 5\n",
+                                        &error));
+  // _count disagreeing with the +Inf bucket.
+  EXPECT_FALSE(validate_prometheus_text("# TYPE h histogram\n"
+                                        "h_bucket{le=\"+Inf\"} 5\n"
+                                        "h_sum 1\nh_count 4\n",
+                                        &error));
+  // Malformed labels.
+  EXPECT_FALSE(validate_prometheus_text("# TYPE m counter\nm{le= 1\n",
+                                        &error));
+}
+
+TEST(Prometheus, LiveRegistrySnapshotIsValid) {
+  if (!Registry::compiled_in()) {
+    // Empty snapshot renders as empty text, which is trivially valid.
+    EXPECT_TRUE(validate_prometheus_text(
+        to_prometheus_text(Registry::global().snapshot())));
+    return;
+  }
+  Registry::global().counter("events.test_series").add(3);
+  Registry::global().histogram("events.test_latency_ns").record_ns(1500);
+  std::string error;
+  const std::string text =
+      to_prometheus_text(Registry::global().snapshot());
+  EXPECT_TRUE(validate_prometheus_text(text, &error)) << error;
+  EXPECT_NE(text.find("scag_events_test_series_total 3"), std::string::npos);
+}
+
+TEST(Prometheus, StatsServerServesSnapshotOverUnixSocket) {
+  const std::string socket_path =
+      (std::filesystem::temp_directory_path() / "scag_test_stats.sock")
+          .string();
+  const std::string body =
+      "# TYPE scag_test_total counter\nscag_test_total 1\n";
+  {
+    StatsServer server(socket_path);
+    std::thread server_thread(
+        [&] { server.serve(2, [&] { return body; }); });
+    // Two sequential clients: the listener must survive more than one
+    // request (scagd will scrape it periodically).
+    EXPECT_EQ(fetch_stats(socket_path), body);
+    EXPECT_EQ(fetch_stats(socket_path), body);
+    server_thread.join();
+  }
+  // The socket file is removed with the server.
+  EXPECT_THROW(fetch_stats(socket_path), std::runtime_error);
+}
+
+TEST(Prometheus, StatsServerRejectsBadPaths) {
+  EXPECT_THROW(StatsServer("/nonexistent-dir/stats.sock"),
+               std::runtime_error);
+  EXPECT_THROW(StatsServer(std::string(200, 'x')), std::runtime_error);
+  EXPECT_THROW(fetch_stats("/nonexistent-dir/stats.sock"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace scag::support::prom

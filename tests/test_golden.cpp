@@ -13,6 +13,8 @@
 // Never regenerate to silence a failure you cannot explain.
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -22,6 +24,8 @@
 #include "core/family.h"
 #include "core/serialize.h"
 #include "golden_corpus.h"
+#include "support/events.h"
+#include "support/failpoint.h"
 
 #ifndef SCAG_TEST_DATA_DIR
 #error "SCAG_TEST_DATA_DIR must point at tests/data (set by tests/CMakeLists.txt)"
@@ -138,6 +142,77 @@ TEST(Golden, ExplainEvidenceMatchesFixture) {
   for (const golden::GoldenTarget& t : golden::make_targets())
     want += golden::explain_fixture_block(detector, t);
   EXPECT_EQ(have, want) << kRegenerate;
+}
+
+// The observability plane's end-to-end contract on the golden corpus:
+// with a ring-only journal recording and `detector.scan=throw#1` armed,
+// one failing scan plus one clean rescan of the same golden target must
+// produce EXACTLY the sequence [scan-start, failpoint-hit(detector.scan),
+// scan-start, scan-verdict] — correlated by scan id — and the verdict
+// event must carry the fixture's score bits verbatim. Pins both that the
+// failpoint layer emits its marker *before* unwinding and that the
+// journal's evidence agrees bit-for-bit with the committed fixture.
+TEST(Golden, FailpointEventSequenceMatchesFixture) {
+  if (!support::fp::compiled_in() ||
+      !support::events::EventJournal::compiled_in())
+    GTEST_SKIP() << "failpoints or the event journal compiled out";
+
+  const std::string data_dir = SCAG_TEST_DATA_DIR;
+  const std::map<std::string, ExpectedLine> expected =
+      read_expected(data_dir + "/golden_expected.txt");
+  Detector detector(ModelConfig{}, calibrated_dtw_config(), 0.45);
+  for (AttackModel& m : load_models_from_file(data_dir + "/golden.repo"))
+    detector.enroll(std::move(m));
+  ASSERT_EQ(detector.repository_size(), 4u) << kRegenerate;
+
+  const std::vector<golden::GoldenTarget> targets = golden::make_targets();
+  ASSERT_FALSE(targets.empty());
+  const golden::GoldenTarget& t = targets.front();
+  const auto it = expected.find(t.name);
+  ASSERT_NE(it, expected.end()) << kRegenerate;
+
+  // Unwind order: disarm first, then stop the journal, even when an
+  // assertion bails out mid-test.
+  struct Cleanup {
+    ~Cleanup() {
+      support::fp::disarm_all();
+      support::events::EventJournal::global().stop();
+    }
+  } cleanup;
+
+  support::events::JournalConfig config;
+  config.ring_capacity = 1u << 12;
+  support::events::EventJournal::global().start(config);
+  ASSERT_EQ(support::fp::arm_from_string("detector.scan=throw#1"), 1u);
+
+  EXPECT_THROW(detector.scan(t.program), support::fp::FailpointError);
+  const Detection d = detector.scan(t.program);  // #1 budget spent: passes
+
+  std::vector<support::events::Event> seq;
+  support::events::EventJournal::global().drain(seq);
+
+  using support::events::EventType;
+  ASSERT_EQ(seq.size(), 4u);
+  EXPECT_EQ(seq[0].type, EventType::kScanStart);
+  EXPECT_EQ(seq[1].type, EventType::kFailpointHit);
+  EXPECT_EQ(seq[1].detail_view(), "detector.scan");
+  EXPECT_EQ(seq[2].type, EventType::kScanStart);
+  EXPECT_EQ(seq[3].type, EventType::kScanVerdict);
+  // Scan-id correlation: the failpoint marker belongs to the first scan,
+  // the verdict to the second, and the two scans are distinct.
+  EXPECT_EQ(seq[0].scan, seq[1].scan);
+  EXPECT_EQ(seq[2].scan, seq[3].scan);
+  EXPECT_NE(seq[0].scan, seq[2].scan);
+
+  // The verdict event's payload is the fixture's, bit for bit.
+  EXPECT_EQ(golden::score_bits(d.best_score), it->second.score_bits)
+      << kRegenerate;
+  EXPECT_EQ(seq[3].a, std::bit_cast<std::uint64_t>(d.best_score));
+  EXPECT_EQ(std::string(family_abbrev(static_cast<Family>(seq[3].family))),
+            it->second.verdict)
+      << kRegenerate;
+  ASSERT_FALSE(d.scores.empty());
+  EXPECT_EQ(seq[3].detail_view(), d.scores.front().model_name);
 }
 
 // The committed repository itself must round-trip: guards against fixture

@@ -15,7 +15,9 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "support/events.h"
 #include "support/failpoint.h"
+#include "support/metrics.h"
 
 #ifndef SCAG_SCAGCTL_PATH
 #error "SCAG_SCAGCTL_PATH must be the scagctl binary (set by tests/CMakeLists.txt)"
@@ -408,6 +410,121 @@ TEST_F(ScagctlCli, RepoWithoutSubcommandIsUsageError) {
   EXPECT_EQ(r.exit_code, 2) << r.output;
   EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
   EXPECT_NE(r.output.find("repo pack"), std::string::npos) << r.output;
+}
+
+// ---------------------------------------------------------------------------
+// Scan-event journal surfaces: --journal=, events tail, top, stats
+// serve/get, and the crash-path flight dump (docs/observability.md
+// "Event journal").
+
+TEST_F(ScagctlCli, JournalScanWritesSchemaJournalAndTailReadsIt) {
+  if (!scag::support::events::EventJournal::compiled_in())
+    GTEST_SKIP() << "built with SCAG_METRICS_OFF";
+  const std::string journal = ::testing::TempDir() + "scag_cli_events_" +
+                              std::to_string(getpid()) + ".jsonl";
+  std::remove(journal.c_str());
+  const RunResult r = run_scagctl("'--journal=" + journal + "' scan '" +
+                                  *repo_ + "' '" + *target_ + "'");
+  EXPECT_EQ(r.exit_code, 1) << r.output;  // verdict exit is unchanged
+  EXPECT_NE(r.output.find("wrote event journal"), std::string::npos)
+      << r.output;
+  ASSERT_TRUE(file_exists(journal)) << r.output;
+  const std::string doc = slurp(journal);
+  EXPECT_EQ(doc.rfind("{\"schema\":\"scag-events-v1\"", 0), 0u)
+      << "journal must open with the schema header:\n"
+      << doc;
+  EXPECT_NE(doc.find("\"type\":\"scan-start\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"type\":\"scan-verdict\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"summary\":true"), std::string::npos)
+      << "journal must close with the accounting summary:\n"
+      << doc;
+
+  // `events tail --once` reads it back, filtered, and exits 0.
+  const RunResult tail = run_scagctl("events tail --once --type=scan-verdict '" +
+                                     journal + "'");
+  EXPECT_EQ(tail.exit_code, 0) << tail.output;
+  EXPECT_NE(tail.output.find("\"type\":\"scan-verdict\""), std::string::npos)
+      << tail.output;
+  EXPECT_EQ(tail.output.find("\"type\":\"scan-start\""), std::string::npos)
+      << "--type filter must drop other event types:\n"
+      << tail.output;
+  std::remove(journal.c_str());
+  std::remove((journal + ".flight").c_str());
+}
+
+TEST_F(ScagctlCli, ScanPromSnapshotFeedsTopOnce) {
+  if (!scag::support::Registry::compiled_in())
+    GTEST_SKIP() << "built with SCAG_METRICS_OFF";
+  const std::string prom = ::testing::TempDir() + "scag_cli_prom_" +
+                           std::to_string(getpid()) + ".prom";
+  std::remove(prom.c_str());
+  const RunResult r = run_scagctl("scan '--prom=" + prom + "' '" + *repo_ +
+                                  "' '" + *target_ + "'");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  ASSERT_TRUE(file_exists(prom)) << r.output;
+  const std::string doc = slurp(prom);
+  EXPECT_NE(doc.find("# TYPE scag_scan_requests_total counter"),
+            std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find("scag_scan_latency_ns_bucket{le=\"+Inf\"}"),
+            std::string::npos)
+      << doc;
+
+  const RunResult top = run_scagctl("top --once '" + prom + "'");
+  EXPECT_EQ(top.exit_code, 0) << top.output;
+  EXPECT_NE(top.output.find("scag top"), std::string::npos) << top.output;
+  EXPECT_NE(top.output.find("prune ratio"), std::string::npos) << top.output;
+  std::remove(prom.c_str());
+}
+
+TEST_F(ScagctlCli, StatsServeAndGetRoundTripOverUnixSocket) {
+  if (!scag::support::Registry::compiled_in())
+    GTEST_SKIP() << "built with SCAG_METRICS_OFF";
+  const std::string sock = ::testing::TempDir() + "scag_cli_sock_" +
+                           std::to_string(getpid()) + ".sock";
+  std::remove(sock.c_str());
+  // Serve exactly one request in the background, wait for the socket to
+  // appear, then fetch it with the built-in client. The shell's exit code
+  // is `stats get`'s.
+  const RunResult r = run_scagctl(
+      "stats serve '--socket=" + sock +
+      "' --requests=1 --warm >/dev/null 2>&1 & i=0; while [ ! -S '" + sock +
+      "' ] && [ $i -lt 100 ]; do sleep 0.1; i=$((i+1)); done; '" +
+      std::string(SCAG_SCAGCTL_PATH) + "' stats get '--socket=" + sock + "'");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("# TYPE scag_"), std::string::npos)
+      << "stats get should print 0.0.4 exposition text:\n"
+      << r.output;
+  EXPECT_NE(r.output.find("scag_batch_pairs_total"), std::string::npos)
+      << "--warm must pre-populate the batch-scan series:\n"
+      << r.output;
+}
+
+TEST_F(ScagctlCli, CrashWithJournalDumpsFlightRecorder) {
+  if (!scag::support::fp::compiled_in() ||
+      !scag::support::events::EventJournal::compiled_in())
+    GTEST_SKIP() << "built with SCAG_FAILPOINTS_OFF or SCAG_METRICS_OFF";
+  const std::string journal = ::testing::TempDir() + "scag_cli_crash_" +
+                              std::to_string(getpid()) + ".jsonl";
+  const std::string crash = journal + ".crash";
+  std::remove(journal.c_str());
+  std::remove(crash.c_str());
+  const RunResult r = run_scagctl("'--journal=" + journal +
+                                  "' '--failpoints=scagctl.load_target=throw'"
+                                  " scan '" +
+                                  *repo_ + "' '" + *target_ + "'");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("flight recorder dumped"), std::string::npos)
+      << r.output;
+  ASSERT_TRUE(file_exists(crash)) << r.output;
+  const std::string dump = slurp(crash);
+  EXPECT_EQ(dump.rfind("{\"schema\":\"scag-flight-v1\"", 0), 0u) << dump;
+  EXPECT_NE(dump.find("\"type\":\"failpoint-hit\""), std::string::npos)
+      << "the crash dump should show the failpoint that fired:\n"
+      << dump;
+  std::remove(journal.c_str());
+  std::remove((journal + ".flight").c_str());
+  std::remove(crash.c_str());
 }
 
 }  // namespace

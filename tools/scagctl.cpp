@@ -42,11 +42,16 @@
 // rationale. The global `--trace=out.json` flag enables span tracing for
 // the whole command and writes a Chrome trace-event file loadable in
 // Perfetto / chrome://tracing.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <memory>
+#include <optional>
 #include <sstream>
+#include <thread>
 
 #include <filesystem>
 
@@ -62,8 +67,10 @@
 #include "eval/experiments.h"
 #include "isa/assembler.h"
 #include "isa/export.h"
+#include "support/events.h"
 #include "support/failpoint.h"
 #include "support/metrics.h"
+#include "support/prometheus.h"
 #include "support/rng.h"
 #include "support/strings.h"
 #include "support/table.h"
@@ -75,16 +82,23 @@ namespace {
 
 int usage() {
   std::fputs(
-      "usage: scagctl [--failpoints=<spec>] [--trace=out.json] <command>\n"
+      "usage: scagctl [--failpoints=<spec>] [--trace=out.json]\n"
+      "               [--journal=out.jsonl] <command>\n"
       "  scagctl list\n"
       "  scagctl build-repo <out.repo>\n"
       "  scagctl repo pack <in.repo> <out.store>\n"
       "  scagctl repo unpack <in.store> <out.repo>\n"
       "  scagctl repo info <in.store>\n"
       "  scagctl scan [--stats[=out.json]] [--explain=out.json]\n"
-      "               [--no-compiled] [--no-index] [--no-simd] <repo>\n"
-      "               <prog.s>...\n"
+      "               [--prom=out.prom] [--no-compiled] [--no-index]\n"
+      "               [--no-simd] <repo> <prog.s>...\n"
       "  scagctl explain [--json=out.json] <repo> <prog.s>...\n"
+      "  scagctl stats serve --socket=<path> [--requests=<n>] [--warm]\n"
+      "  scagctl stats get --socket=<path>\n"
+      "  scagctl events tail [--once] [--type=<event-type>]\n"
+      "               [--family=<family>] <journal.jsonl>\n"
+      "  scagctl top [--once] [--interval=<ms>] [--iterations=<n>]\n"
+      "               <snapshot.prom>\n"
       "  scagctl model <prog.s>\n"
       "  scagctl demo <poc-name> [secret 1..15]\n"
       "  scagctl export <poc-name> [out.s]\n"
@@ -96,11 +110,15 @@ int usage() {
       "(equivalent to exporting SCAG_FAILPOINTS; see docs/testing-guide.md).\n"
       "--trace records pipeline spans for the whole command and writes them\n"
       "as a Chrome trace-event file (open in Perfetto / chrome://tracing).\n"
+      "--journal records the structured scan-event stream (scag-events-v1\n"
+      "JSONL) for the whole command; a crash additionally dumps the\n"
+      "flight-recorder tails to <out.jsonl>.crash (docs/observability.md).\n"
       "`repo pack` compiles a text repository into the scag-store-v1 binary\n"
       "form; `scan` and `explain` accept either format — stores are mmapped\n"
       "and scanned zero-copy (see docs/scan_architecture.md).\n"
-      "`explain` and `scan --explain=` emit scan evidence reports; see\n"
-      "docs/observability.md.\n",
+      "`explain` and `scan --explain=` emit scan evidence reports;\n"
+      "`scan --prom=` / `stats serve` expose the metrics registry in\n"
+      "Prometheus 0.0.4 text; see docs/observability.md.\n",
       stderr);
   return 2;
 }
@@ -292,8 +310,8 @@ std::string reports_json(const std::vector<core::ScanReport>& reports) {
 
 int cmd_scan(const char* repo_path, int nfiles, char** files,
              bool with_stats, const char* stats_json_path,
-             const char* explain_json_path, bool use_compiled,
-             bool use_index, bool use_simd) {
+             const char* explain_json_path, const char* prom_path,
+             bool use_compiled, bool use_index, bool use_simd) {
   if (with_stats) {
     support::set_metrics_enabled(true);
     support::Tracer::global().set_enabled(true);
@@ -329,6 +347,16 @@ int cmd_scan(const char* repo_path, int nfiles, char** files,
                 explain_json_path);
   }
   if (with_stats) print_stats(stats_json_path);
+  if (prom_path != nullptr) {
+    // File twin of `stats serve`: the same 0.0.4 exposition text, written
+    // once after the scan (`scagctl top` consumes it). Sync the journal's
+    // accounting first so its health series are current in the snapshot.
+    support::events::EventJournal::global().sync_registry_counters();
+    write_text_atomic(prom_path,
+                      support::prom::to_prometheus_text(
+                          support::Registry::global().snapshot()));
+    std::printf("wrote Prometheus snapshot to %s\n", prom_path);
+  }
   return attacks_found > 0 ? 1 : 0;  // nonzero exit if anything was flagged
 }
 
@@ -404,6 +432,201 @@ int cmd_metrics_demo() {
               "no-ops");
   std::puts("metrics-demo: done");
   return 0;
+}
+
+/// Prometheus 0.0.4 snapshot of the metrics registry (the file form of
+/// `scan --prom=` and the body `stats serve` responds with).
+std::string prometheus_snapshot() {
+  support::events::EventJournal::global().sync_registry_counters();
+  return support::prom::to_prometheus_text(
+      support::Registry::global().snapshot());
+}
+
+/// Quiet version of the metrics-demo workload: enroll two models, batch-
+/// scan an attack and a benign target. Populates the scan/cascade/dtw
+/// series so a served snapshot has something to show.
+void run_warm_workload() {
+  core::Detector detector(eval::experiment_model_config(),
+                          eval::experiment_dtw_config(), eval::kThreshold);
+  for (const char* name : {"FR-IAIK", "PP-IAIK"}) {
+    const attacks::PocSpec& spec = attacks::poc_by_name(name);
+    detector.enroll(spec.build(attacks::PocConfig{}), spec.family);
+  }
+  std::vector<isa::Program> targets;
+  targets.push_back(
+      attacks::poc_by_name("FR-Nepoche").build(attacks::PocConfig{}));
+  Rng rng(1);
+  targets.push_back(benign::generate_benign(0, rng));
+  core::BatchConfig batch_config;
+  const core::BatchDetector batch(detector, batch_config);
+  (void)batch.scan_programs(targets);
+}
+
+/// `stats serve`: the bring-up form of scagd's /stats surface — a
+/// blocking Unix-socket listener serving a fresh exposition snapshot per
+/// request (docs/observability.md "Serving /stats").
+int cmd_stats_serve(const char* socket_path, std::size_t requests,
+                    bool warm) {
+  support::set_metrics_enabled(true);
+  if (warm) run_warm_workload();
+  if (!support::Registry::compiled_in())
+    std::fputs("scagctl: note: built with SCAG_METRICS_OFF; the snapshot "
+               "will be empty\n",
+               stderr);
+  support::prom::StatsServer server(socket_path);
+  std::printf("serving Prometheus 0.0.4 stats on %s (%s)\n", socket_path,
+              requests == 0 ? "until killed"
+                            : strfmt("%zu request(s)", requests).c_str());
+  std::fflush(stdout);
+  const std::size_t served =
+      server.serve(requests, [] { return prometheus_snapshot(); });
+  std::printf("served %zu request(s)\n", served);
+  return 0;
+}
+
+int cmd_stats_get(const char* socket_path) {
+  std::fputs(support::prom::fetch_stats(socket_path).c_str(), stdout);
+  return 0;
+}
+
+/// `events tail`: follow (or with --once, read through once) a
+/// scag-events-v1 journal, printing matching event lines verbatim.
+/// Filters: --type=<wire name>, --family=<abbrev|name|number>.
+int cmd_events_tail(const char* path, bool once, const char* type_filter,
+                    const char* family_filter) {
+  std::optional<support::events::EventType> want_type;
+  if (type_filter != nullptr) {
+    want_type = support::events::parse_event_type(type_filter);
+    if (!want_type) {
+      std::fprintf(stderr, "scagctl: unknown event type '%s'\n", type_filter);
+      return 2;
+    }
+  }
+  std::optional<std::uint8_t> want_family;
+  if (family_filter != nullptr) {
+    if (const auto f = core::parse_family(family_filter)) {
+      want_family = static_cast<std::uint8_t>(*f);
+    } else {
+      // The journal carries families as small integers; accept those too.
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(family_filter, &end, 10);
+      if (end == family_filter || *end != '\0' || v > 0xff) {
+        std::fprintf(stderr, "scagctl: unknown family '%s'\n", family_filter);
+        return 2;
+      }
+      want_family = static_cast<std::uint8_t>(v);
+    }
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "scagctl: cannot open %s\n", path);
+    return 1;
+  }
+  std::string line;
+  std::string carry;  // partial trailing line while following a live file
+  const auto consume = [&](const std::string& l) {
+    support::events::Event e;
+    if (!support::events::event_from_json(l, e)) return;  // header/summary
+    if (want_type && e.type != *want_type) return;
+    if (want_family && e.family != *want_family) return;
+    std::puts(l.c_str());
+  };
+  for (;;) {
+    while (std::getline(in, line)) {
+      if (!carry.empty()) {
+        line = carry + line;
+        carry.clear();
+      }
+      if (in.eof()) {
+        carry = line;  // incomplete line: the writer is mid-append
+        break;
+      }
+      consume(line);
+    }
+    if (once) {
+      if (!carry.empty()) consume(carry);
+      return 0;
+    }
+    in.clear();  // keep polling for appended lines
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    std::fflush(stdout);
+  }
+}
+
+/// `top`: per-stage throughput / prune-ratio summary recomputed from a
+/// Prometheus exposition snapshot file (the `scan --prom=` output, or a
+/// `stats get` capture).
+int cmd_top(const char* prom_path, bool once, std::uint64_t interval_ms,
+            std::uint64_t iterations) {
+  std::map<std::string, double> prev;
+  std::uint64_t round = 0;
+  for (;;) {
+    std::ifstream in(prom_path);
+    if (!in) {
+      std::fprintf(stderr, "scagctl: cannot open %s\n", prom_path);
+      return 1;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string error;
+    const std::optional<support::prom::PromText> parsed =
+        support::prom::parse_prometheus_text(ss.str(), &error);
+    if (!parsed) {
+      std::fprintf(stderr, "scagctl: %s: %s\n", prom_path, error.c_str());
+      return 1;
+    }
+    std::map<std::string, double> now;
+    for (const support::prom::PromSample& s : parsed->samples)
+      if (s.labels.empty()) now[s.name] = s.value;
+
+    const auto value = [&](const char* name) {
+      const auto it = now.find(name);
+      return it == now.end() ? 0.0 : it->second;
+    };
+    const auto delta = [&](const char* name) {
+      const auto it = prev.find(name);
+      return value(name) - (it == prev.end() ? 0.0 : it->second);
+    };
+    // Counters are cumulative; after the first round show per-interval
+    // deltas so the table reads as live throughput.
+    const bool diff = round > 0;
+    const auto show = [&](const char* name) {
+      return diff ? delta(name) : value(name);
+    };
+
+    const double pairs = show("scag_cascade_pairs_total");
+    const double exact = show("scag_cascade_exact_total");
+    const double kim = show("scag_cascade_kim_pruned_total");
+    const double env = show("scag_cascade_envelope_pruned_total");
+    const double ea = show("scag_cascade_early_abandoned_total");
+    const double ratio = pairs > 0.0 ? (pairs - exact) / pairs : 0.0;
+
+    Table t(diff ? strfmt("scag top — %s (delta over %llu ms)", prom_path,
+                          static_cast<unsigned long long>(interval_ms))
+                 : strfmt("scag top — %s (cumulative)", prom_path));
+    t.header({"Series", "Value"});
+    t.row({"scans", strfmt("%.0f", show("scag_cascade_scans_total"))});
+    t.row({"scan requests", strfmt("%.0f", show("scag_scan_requests_total"))});
+    t.row({"pairs", strfmt("%.0f", pairs)});
+    t.row({"exact DPs", strfmt("%.0f", exact)});
+    t.row({"kim-pruned", strfmt("%.0f", kim)});
+    t.row({"envelope-pruned", strfmt("%.0f", env)});
+    t.row({"early-abandoned", strfmt("%.0f", ea)});
+    t.row({"prune ratio", pct(ratio)});
+    t.row({"scalar DPs", strfmt("%.0f", show("scag_dtw_scalar_calls_total"))});
+    t.row({"wavefront DPs",
+           strfmt("%.0f", show("scag_dtw_wavefront_calls_total"))});
+    t.row({"events emitted", strfmt("%.0f", show("scag_events_emitted_total"))});
+    t.row({"events dropped", strfmt("%.0f", show("scag_events_dropped_total"))});
+    t.print();
+    std::fflush(stdout);
+
+    ++round;
+    if (once || (iterations != 0 && round >= iterations)) return 0;
+    prev = std::move(now);
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
 }
 
 int cmd_model(const char* path) {
@@ -510,6 +733,7 @@ int dispatch(int argc, char** argv) {
     bool use_simd = true;
     const char* stats_json_path = nullptr;
     const char* explain_json_path = nullptr;
+    const char* prom_path = nullptr;
     for (; i < argc && starts_with(argv[i], "--"); ++i) {
       if (std::strcmp(argv[i], "--no-compiled") == 0) {
         use_compiled = false;
@@ -520,6 +744,9 @@ int dispatch(int argc, char** argv) {
       } else if (starts_with(argv[i], "--explain=")) {
         explain_json_path = argv[i] + std::strlen("--explain=");
         if (explain_json_path[0] == '\0') return usage();
+      } else if (starts_with(argv[i], "--prom=")) {
+        prom_path = argv[i] + std::strlen("--prom=");
+        if (prom_path[0] == '\0') return usage();
       } else if (starts_with(argv[i], "--stats")) {
         with_stats = true;
         if (starts_with(argv[i], "--stats="))
@@ -532,9 +759,75 @@ int dispatch(int argc, char** argv) {
     }
     if (argc - i >= 2)
       return cmd_scan(argv[i], argc - i - 1, argv + i + 1, with_stats,
-                      stats_json_path, explain_json_path, use_compiled,
-                      use_index, use_simd);
+                      stats_json_path, explain_json_path, prom_path,
+                      use_compiled, use_index, use_simd);
     return usage();
+  }
+  if (std::strcmp(argv[1], "stats") == 0) {
+    if (argc < 3) return usage();
+    const char* socket_path = nullptr;
+    std::size_t requests = 1;
+    bool warm = false;
+    for (int i = 3; i < argc; ++i) {
+      if (starts_with(argv[i], "--socket=")) {
+        socket_path = argv[i] + std::strlen("--socket=");
+        if (socket_path[0] == '\0') return usage();
+      } else if (starts_with(argv[i], "--requests=")) {
+        requests = static_cast<std::size_t>(
+            std::strtoull(argv[i] + std::strlen("--requests="), nullptr, 10));
+      } else if (std::strcmp(argv[i], "--warm") == 0) {
+        warm = true;
+      } else {
+        return usage();
+      }
+    }
+    if (socket_path == nullptr) return usage();
+    if (std::strcmp(argv[2], "serve") == 0)
+      return cmd_stats_serve(socket_path, requests, warm);
+    if (std::strcmp(argv[2], "get") == 0) return cmd_stats_get(socket_path);
+    return usage();
+  }
+  if (std::strcmp(argv[1], "events") == 0) {
+    if (argc < 3 || std::strcmp(argv[2], "tail") != 0) return usage();
+    bool once = false;
+    const char* type_filter = nullptr;
+    const char* family_filter = nullptr;
+    int i = 3;
+    for (; i < argc && starts_with(argv[i], "--"); ++i) {
+      if (std::strcmp(argv[i], "--once") == 0) {
+        once = true;
+      } else if (starts_with(argv[i], "--type=")) {
+        type_filter = argv[i] + std::strlen("--type=");
+      } else if (starts_with(argv[i], "--family=")) {
+        family_filter = argv[i] + std::strlen("--family=");
+      } else {
+        return usage();
+      }
+    }
+    if (argc - i != 1) return usage();
+    return cmd_events_tail(argv[i], once, type_filter, family_filter);
+  }
+  if (std::strcmp(argv[1], "top") == 0) {
+    bool once = false;
+    std::uint64_t interval_ms = 2000;
+    std::uint64_t iterations = 0;
+    int i = 2;
+    for (; i < argc && starts_with(argv[i], "--"); ++i) {
+      if (std::strcmp(argv[i], "--once") == 0) {
+        once = true;
+      } else if (starts_with(argv[i], "--interval=")) {
+        interval_ms = std::strtoull(argv[i] + std::strlen("--interval="),
+                                    nullptr, 10);
+        if (interval_ms == 0) interval_ms = 1;
+      } else if (starts_with(argv[i], "--iterations=")) {
+        iterations = std::strtoull(argv[i] + std::strlen("--iterations="),
+                                   nullptr, 10);
+      } else {
+        return usage();
+      }
+    }
+    if (argc - i != 1) return usage();
+    return cmd_top(argv[i], once, interval_ms, iterations);
   }
   if (std::strcmp(argv[1], "explain") == 0) {
     int i = 2;
@@ -568,11 +861,13 @@ int dispatch(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   const char* trace_path = nullptr;
+  std::string journal_path;
   try {
     // Global options precede the command. --failpoints arms the fault-
     // injection registry exactly like exporting SCAG_FAILPOINTS; --trace
     // records spans across the whole command and writes a Chrome
-    // trace-event file once it finishes.
+    // trace-event file once it finishes; --journal streams typed scan
+    // events to a scag-events-v1 JSONL file for the whole command.
     while (argc >= 2 && starts_with(argv[1], "--")) {
       if (starts_with(argv[1], "--failpoints=")) {
         const char* spec = argv[1] + std::strlen("--failpoints=");
@@ -590,6 +885,19 @@ int main(int argc, char** argv) {
                      stderr);
         support::Tracer::global().set_enabled(true);
         support::Tracer::global().clear();
+      } else if (starts_with(argv[1], "--journal=")) {
+        journal_path = argv[1] + std::strlen("--journal=");
+        if (journal_path.empty()) return usage();
+        if (!support::events::EventJournal::compiled_in())
+          std::fputs("scagctl: note: built with SCAG_METRICS_OFF; the "
+                     "journal will contain no events\n",
+                     stderr);
+        support::events::JournalConfig jc;
+        jc.path = journal_path;
+        support::events::EventJournal::global().start(jc);
+        // Fatal signals dump the flight-recorder tails next to the
+        // journal (<journal>.flight) before re-raising.
+        support::events::flight::install_signal_dump();
       } else {
         return usage();
       }
@@ -603,10 +911,31 @@ int main(int argc, char** argv) {
       std::printf("wrote Chrome trace to %s (open in Perfetto)\n",
                   trace_path);
     }
+    if (!journal_path.empty()) {
+      support::events::EventJournal& journal =
+          support::events::EventJournal::global();
+      journal.stop();
+      const support::events::JournalStats st = journal.stats();
+      std::printf("wrote event journal to %s (%llu event(s), %llu "
+                  "dropped)\n",
+                  journal_path.c_str(),
+                  static_cast<unsigned long long>(st.written),
+                  static_cast<unsigned long long>(st.dropped));
+    }
     return rc;
   } catch (const std::exception& e) {
     // One-line error and a clean nonzero exit for malformed repositories,
     // bad .s files, and I/O failures — never a std::terminate abort.
+    // With a journal armed, this is a failpoint-style crash path: dump
+    // the flight-recorder tails (<journal>.crash) and flush the journal
+    // itself so the post-mortem evidence survives the process.
+    if (!journal_path.empty() &&
+        support::events::EventJournal::compiled_in()) {
+      support::events::flight::dump_to_file(journal_path + ".crash");
+      support::events::EventJournal::global().stop();
+      std::fprintf(stderr, "scagctl: flight recorder dumped to %s.crash\n",
+                   journal_path.c_str());
+    }
     std::fprintf(stderr, "scagctl: %s\n", e.what());
     return 1;
   } catch (...) {
